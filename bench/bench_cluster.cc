@@ -1,0 +1,114 @@
+// Experiment A3 — ablation: the clustering decoder (Theorem B.3
+// substitute). Recovery of planted expander clusters vs noise-edge rate,
+// and the cost of the spectral machinery.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "src/core/ldphh.h"
+#include "src/graphs/cluster.h"
+
+namespace {
+
+using namespace ldphh;
+
+Graph Planted(int count, int m, int d, int noise, uint64_t seed,
+              std::vector<std::vector<int>>* truth) {
+  Rng rng(seed);
+  Graph g(count * m);
+  truth->clear();
+  for (int c = 0; c < count; ++c) {
+    auto e = std::move(Expander::Sample(m, d, 1.0, seed * 37 + c)).value();
+    std::vector<int> members;
+    for (int v = 0; v < m; ++v) {
+      members.push_back(c * m + v);
+      for (int s = 0; s < d; ++s) {
+        const int w = e.Neighbor(v, s);
+        if (w > v || (w == v && e.PairedSlot(v, s) > s)) {
+          g.AddEdge(c * m + v, c * m + w);
+        }
+      }
+    }
+    truth->push_back(members);
+  }
+  for (int i = 0; i < noise; ++i) {
+    g.AddEdge(static_cast<int>(rng.UniformU64(count * m)),
+              static_cast<int>(rng.UniformU64(count * m)));
+  }
+  return g;
+}
+
+double AvgRecovery(const std::vector<std::vector<int>>& truth,
+                   const std::vector<std::vector<int>>& found) {
+  double acc = 0;
+  for (const auto& t : truth) {
+    std::set<int> ts(t.begin(), t.end());
+    double best = 0;
+    for (const auto& f : found) {
+      int hit = 0;
+      for (int v : f) hit += ts.count(v) > 0;
+      best = std::max(best, static_cast<double>(hit) / ts.size());
+    }
+    acc += best;
+  }
+  return acc / truth.size();
+}
+
+void BM_ClusterRecoveryVsNoise(benchmark::State& state) {
+  const int noise = static_cast<int>(state.range(0));
+  std::vector<std::vector<int>> truth;
+  Graph g = Planted(8, 16, 6, noise, 1000 + noise, &truth);
+  Rng rng(3);
+  double rec = 0;
+  for (auto _ : state) {
+    const auto found = FindSpectralClusters(g, ClusterOptions{}, rng);
+    rec = AvgRecovery(truth, found);
+  }
+  state.counters["recovery"] = rec;
+  state.counters["noise_edges"] = noise;
+}
+BENCHMARK(BM_ClusterRecoveryVsNoise)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ClusterThroughput(benchmark::State& state) {
+  const int clusters = static_cast<int>(state.range(0));
+  std::vector<std::vector<int>> truth;
+  Graph g = Planted(clusters, 16, 6, clusters * 2, 77, &truth);
+  Rng rng(5);
+  for (auto _ : state) {
+    auto found = FindSpectralClusters(g, ClusterOptions{}, rng);
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * clusters);
+}
+BENCHMARK(BM_ClusterThroughput)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_A3_Print(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  std::printf("\n=== A3: clustering decoder ablation (8 planted 16-vertex "
+              "d=6 expanders) ===\n");
+  std::printf("%-14s %10s\n", "noise edges", "recovery");
+  Rng rng(3);
+  for (int noise : {0, 8, 32, 64, 128, 256, 512}) {
+    std::vector<std::vector<int>> truth;
+    Graph g = Planted(8, 16, 6, noise, 1000 + noise, &truth);
+    const auto found = FindSpectralClusters(g, ClusterOptions{}, rng);
+    std::printf("%-14d %10.3f\n", noise, AvgRecovery(truth, found));
+  }
+  std::printf("shape: recovery ~1.0 while the noise rate per cluster stays\n"
+              "below the eta-spectral-cluster budget (Definition B.2), then\n"
+              "degrades gracefully as clusters merge — the Theorem B.3\n"
+              "contract the URL-code decoder relies on.\n\n");
+}
+BENCHMARK(BM_A3_Print)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Experiment F3 — error scaling in eps: the 1/eps law of the error bounds
+// (Theorems 3.7 / 3.13 / 7.2). The printed column err * eps should be flat
+// for eps <= 1 (where c_eps ~ 2/eps) and bend as c_eps -> 1 for large eps.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/ldphh.h"
+
+namespace {
+
+using namespace ldphh;
+
+constexpr uint64_t kN = 1 << 18;
+
+double MeasureHashtogramErrorOnce(double eps, uint64_t seed) {
+  const Workload w = MakePlantedWorkload(kN, 64, {0.3, 0.1}, seed);
+  HashtogramParams p;
+  p.beta = 1e-3;
+  Hashtogram ht(kN, eps, p, seed + 1);
+  Rng rng(seed + 2);
+  for (uint64_t i = 0; i < kN; ++i) {
+    ht.Aggregate(i, ht.Encode(i, w.database[static_cast<size_t>(i)], rng));
+  }
+  ht.Finalize();
+  double err = 0;
+  for (const auto& [item, count] : w.heavy) {
+    err = std::max(err, std::abs(ht.Estimate(item) - static_cast<double>(count)));
+  }
+  return err;
+}
+
+// Median over five seeds: stabilizes the printed 1/eps scaling curve.
+double MeasureHashtogramError(double eps, uint64_t seed) {
+  std::vector<double> runs;
+  for (uint64_t t = 0; t < 5; ++t) {
+    runs.push_back(MeasureHashtogramErrorOnce(eps, seed + 100 * t));
+  }
+  return Median(std::move(runs));
+}
+
+void BM_HashtogramErrorVsEps(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  double err = 0;
+  for (auto _ : state) {
+    err = MeasureHashtogramError(eps, 42);
+    benchmark::DoNotOptimize(err);
+  }
+  const double e = std::exp(eps);
+  state.counters["max_err"] = err;
+  state.counters["err*eps"] = err * eps;
+  state.counters["err/c_eps"] = err / ((e + 1) / (e - 1));
+}
+BENCHMARK(BM_HashtogramErrorVsEps)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_F3_Print(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  std::printf("\n=== F3: frequency-oracle error vs eps (n=%llu) ===\n",
+              static_cast<unsigned long long>(kN));
+  std::printf("%-8s %12s %12s %12s\n", "eps", "max_err", "err*eps",
+              "err/c_eps");
+  for (double eps : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const double err = MeasureHashtogramError(eps, 42);
+    const double e = std::exp(eps);
+    std::printf("%-8.2f %12.1f %12.1f %12.1f\n", eps, err, err * eps,
+                err / ((e + 1) / (e - 1)));
+  }
+  std::printf("shape: err/c_eps flat => error = Theta(c_eps sqrt(n)), i.e.\n"
+              "Theta(sqrt(n)/eps) in the small-eps regime (the 1/eps law).\n\n");
+}
+BENCHMARK(BM_F3_Print)->Iterations(1);
+
+}  // namespace

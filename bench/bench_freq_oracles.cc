@@ -1,0 +1,187 @@
+// Experiment A1 — ablation: frequency-oracle choice. Throughput of the
+// client encode and server aggregate paths, and accuracy of each oracle at
+// matched (n, eps) — Hadamard response vs k-RR vs RAPPOR-unary vs OLH on a
+// small domain, plus the large-domain Hashtogram.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "src/core/ldphh.h"
+
+namespace {
+
+using namespace ldphh;
+
+constexpr uint64_t kDomain = 32;
+constexpr uint64_t kN = 100000;
+constexpr double kEps = 1.0;
+
+std::vector<uint64_t> MakeValues(std::vector<uint64_t>* truth) {
+  Rng rng(13);
+  truth->assign(kDomain, 0);
+  std::vector<uint64_t> values(kN);
+  for (auto& v : values) {
+    v = rng.UniformU64(4) == 0 ? rng.UniformU64(4) : rng.UniformU64(kDomain);
+    ++(*truth)[static_cast<size_t>(v)];
+  }
+  return values;
+}
+
+std::unique_ptr<SmallDomainFO> MakeOracle(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<HadamardResponseFO>(kDomain, kEps);
+    case 1: return std::make_unique<DirectEncodingFO>(kDomain, kEps);
+    case 2: return std::make_unique<UnaryEncodingFO>(kDomain, kEps);
+    default: return std::make_unique<OlhFO>(kDomain, kEps, 17);
+  }
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0: return "hadamard";
+    case 1: return "k-rr";
+    case 2: return "rappor";
+    default: return "olh";
+  }
+}
+
+void BM_OracleEncode(benchmark::State& state) {
+  auto fo = MakeOracle(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fo->Encode(v++ % kDomain, rng));
+  }
+  state.SetLabel(KindName(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OracleEncode)->DenseRange(0, 3);
+
+void BM_OracleEndToEnd(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  std::vector<uint64_t> truth;
+  const auto values = MakeValues(&truth);
+  double max_err = 0;
+  for (auto _ : state) {
+    auto fo = MakeOracle(kind);
+    Rng rng(23);
+    for (uint64_t v : values) fo->Aggregate(fo->Encode(v, rng));
+    fo->Finalize();
+    max_err = 0;
+    for (uint64_t v = 0; v < kDomain; ++v) {
+      max_err = std::max(max_err, std::abs(fo->Estimate(v) -
+                                           static_cast<double>(truth[v])));
+    }
+  }
+  state.SetLabel(KindName(kind));
+  state.counters["max_err"] = max_err;
+  state.counters["err/sqrt(n)"] = max_err / std::sqrt(static_cast<double>(kN));
+}
+BENCHMARK(BM_OracleEndToEnd)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_HashtogramEndToEnd(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const Workload w = MakePlantedWorkload(n, 64, {0.3, 0.1}, 29);
+  double max_err = 0;
+  for (auto _ : state) {
+    HashtogramParams p;
+    p.beta = 1e-3;
+    Hashtogram ht(n, kEps, p, 31);
+    Rng rng(37);
+    for (uint64_t i = 0; i < n; ++i) {
+      ht.Aggregate(i, ht.Encode(i, w.database[static_cast<size_t>(i)], rng));
+    }
+    ht.Finalize();
+    max_err = 0;
+    for (const auto& [item, count] : w.heavy) {
+      max_err = std::max(
+          max_err, std::abs(ht.Estimate(item) - static_cast<double>(count)));
+    }
+  }
+  state.counters["max_err"] = max_err;
+  state.counters["err/sqrt(n)"] = max_err / std::sqrt(static_cast<double>(n));
+}
+BENCHMARK(BM_HashtogramEndToEnd)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_CountMeanSketchEndToEnd(benchmark::State& state) {
+  // The Apple-deployment oracle (paper ref [33]) on the same workload as
+  // Hashtogram: same sketch-family accuracy, W-bit reports.
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const Workload w = MakePlantedWorkload(n, 64, {0.3, 0.1}, 29);
+  double max_err = 0;
+  int report_bits = 0;
+  for (auto _ : state) {
+    CmsParams p;
+    CountMeanSketch cms(n, kEps, p, 31);
+    Rng rng(37);
+    for (uint64_t i = 0; i < n; ++i) {
+      const auto r = cms.Encode(w.database[static_cast<size_t>(i)], rng);
+      report_bits = r.num_bits;
+      cms.Aggregate(r);
+    }
+    cms.Finalize();
+    max_err = 0;
+    for (const auto& [item, count] : w.heavy) {
+      max_err = std::max(
+          max_err, std::abs(cms.Estimate(item) - static_cast<double>(count)));
+    }
+  }
+  state.counters["max_err"] = max_err;
+  state.counters["err/sqrt(n)"] = max_err / std::sqrt(static_cast<double>(n));
+  state.counters["report_bits"] = report_bits;
+}
+BENCHMARK(BM_CountMeanSketchEndToEnd)
+    ->Arg(1 << 16)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_A1_Print(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  std::printf("\n=== A1: frequency-oracle ablation "
+              "(K=%llu, n=%llu, eps=%.1f) ===\n",
+              static_cast<unsigned long long>(kDomain),
+              static_cast<unsigned long long>(kN), kEps);
+  std::printf("%-12s %10s %12s %14s %12s\n", "oracle", "max_err",
+              "report bits", "server mem B", "query cost");
+  std::vector<uint64_t> truth;
+  const auto values = MakeValues(&truth);
+  for (int kind = 0; kind < 4; ++kind) {
+    auto fo = MakeOracle(kind);
+    Rng rng(23);
+    int bits = 0;
+    for (uint64_t v : values) {
+      const auto r = fo->Encode(v, rng);
+      bits = r.num_bits;
+      fo->Aggregate(r);
+    }
+    fo->Finalize();
+    double max_err = 0;
+    for (uint64_t v = 0; v < kDomain; ++v) {
+      max_err = std::max(max_err, std::abs(fo->Estimate(v) -
+                                           static_cast<double>(truth[v])));
+    }
+    std::printf("%-12s %10.1f %12d %14zu %12s\n", KindName(kind), max_err,
+                bits, fo->MemoryBytes(), kind == 3 ? "O(n)" : "O(1)");
+  }
+  std::printf("shape: at eps=1 and K=32, hadamard/olh/k-rr are within a\n"
+              "small factor; k-rr degrades as sqrt(K) for larger domains,\n"
+              "rappor pays K-bit reports, olh pays O(n) per query. The\n"
+              "reduction uses hadamard (Thm 3.8) inside groups and the\n"
+              "row-hashed Hashtogram (Thm 3.7) globally.\n\n");
+}
+BENCHMARK(BM_A1_Print)->Iterations(1);
+
+}  // namespace

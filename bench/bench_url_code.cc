@@ -1,0 +1,142 @@
+// Experiment A2 — ablation: Theorem 3.6 code parameters. Encode/decode
+// throughput and list-recovery success rate as a function of the
+// per-coordinate corruption rate alpha, across (M, d, Y) shapes.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/ldphh.h"
+
+namespace {
+
+using namespace ldphh;
+
+UrlCodeParams Shape(int bits, int m, int y, int d) {
+  UrlCodeParams p;
+  p.domain_bits = bits;
+  p.num_coords = m;
+  p.hash_range = y;
+  p.expander_degree = d;
+  return p;
+}
+
+DomainItem RandomItem(int bits, Rng& rng) {
+  DomainItem x;
+  for (auto& l : x.limbs) l = rng();
+  x.Truncate(bits);
+  return x;
+}
+
+void BM_UrlEncode(benchmark::State& state) {
+  auto code = std::move(UrlCode::Create(Shape(64, 16, 32, 4), 3)).value();
+  Rng rng(5);
+  const auto x = RandomItem(64, rng);
+  for (auto _ : state) {
+    auto cw = code.Encode(x);
+    benchmark::DoNotOptimize(cw);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UrlEncode);
+
+void BM_UrlDecodeClean(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  auto code = std::move(UrlCode::Create(Shape(64, 16, 256, 4), 3)).value();
+  Rng rng(7);
+  std::vector<std::vector<UrlCode::ListEntry>> lists(16);
+  for (int i = 0; i < items; ++i) {
+    const auto cw = code.Encode(RandomItem(64, rng));
+    for (int m = 0; m < 16; ++m) {
+      lists[static_cast<size_t>(m)].push_back(
+          {cw.y[static_cast<size_t>(m)],
+           code.PackPayload(cw.symbols[static_cast<size_t>(m)])});
+    }
+  }
+  size_t recovered = 0;
+  for (auto _ : state) {
+    recovered = code.Decode(lists, rng).size();
+  }
+  state.counters["recovered"] = static_cast<double>(recovered);
+}
+BENCHMARK(BM_UrlDecodeClean)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+// Recovery rate vs per-coordinate corruption, one shape per Args set.
+double RecoveryRate(const UrlCodeParams& shape, double alpha, int trials,
+                    uint64_t seed) {
+  auto code = std::move(UrlCode::Create(shape, seed)).value();
+  Rng rng(seed + 1);
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto x = RandomItem(shape.domain_bits, rng);
+    const auto cw = code.Encode(x);
+    std::vector<std::vector<UrlCode::ListEntry>> lists(
+        static_cast<size_t>(shape.num_coords));
+    for (int m = 0; m < shape.num_coords; ++m) {
+      if (rng.UniformDouble() < alpha) {
+        // Corrupted coordinate: replace with junk (worse than erasure).
+        lists[static_cast<size_t>(m)].push_back(
+            {static_cast<uint16_t>(rng.UniformU64(shape.hash_range)),
+             rng() & ((uint64_t{1} << code.PayloadBits()) - 1)});
+      } else {
+        lists[static_cast<size_t>(m)].push_back(
+            {cw.y[static_cast<size_t>(m)],
+             code.PackPayload(cw.symbols[static_cast<size_t>(m)])});
+      }
+    }
+    const auto out = code.Decode(lists, rng);
+    for (const auto& o : out) ok += (o == x);
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+void BM_UrlRecoveryVsAlpha(benchmark::State& state) {
+  const double alpha = static_cast<double>(state.range(0)) / 100.0;
+  double rate = 0;
+  for (auto _ : state) {
+    rate = RecoveryRate(Shape(64, 16, 32, 4), alpha, 50, 11);
+  }
+  state.counters["recovery"] = rate;
+}
+BENCHMARK(BM_UrlRecoveryVsAlpha)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_A2_Print(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  std::printf("\n=== A2: unique-list-recoverable code ablation ===\n");
+  struct Row {
+    const char* name;
+    UrlCodeParams shape;
+  };
+  const Row rows[] = {
+      {"M=16 d=4 Y=32 (default)", Shape(64, 16, 32, 4)},
+      {"M=16 d=6 Y=32", Shape(64, 16, 32, 6)},
+      {"M=32 d=4 Y=32", Shape(64, 32, 32, 4)},
+      {"M=16 d=4 Y=256", Shape(64, 16, 256, 4)},
+  };
+  std::printf("%-26s", "shape \\ alpha");
+  for (double a : {0.0, 0.1, 0.2, 0.3, 0.4}) std::printf(" %7.2f", a);
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-26s", row.name);
+    for (double a : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+      std::printf(" %7.2f", RecoveryRate(row.shape, a, 50, 11));
+    }
+    std::printf("\n");
+  }
+  std::printf("shape: recovery ~1.0 up to the code's alpha budget (rate-1/2\n"
+              "RS corrects 25%% coordinate errors; M=32 halves the chunk and\n"
+              "doubles the margin), then collapses — the list-recovery\n"
+              "threshold of Theorem 3.6.\n\n");
+}
+BENCHMARK(BM_A2_Print)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Privacy accounting with the Section 4/5 structural results.
+//
+// Scenario: a device reports k = 128 binary attributes, each through
+// eps = 0.05 randomized response. What privacy does a *group* of users
+// enjoy (advanced grouposition, Theorem 4.2)? How much does the whole
+// k-attribute report leak (composition, Theorem 5.1)? How much information
+// does the full n-user protocol reveal about a random input
+// (max-information, Theorem 4.5)?
+
+#include <cstdio>
+
+#include "src/core/ldphh.h"
+
+int main() {
+  using namespace ldphh;
+  const double eps = 0.05;
+
+  // --- 1. Group privacy across users (Theorem 4.2) ----------------------
+  std::printf("== group privacy of an eps=%.2f LDP protocol ==\n", eps);
+  std::printf("%-8s %14s %14s %14s\n", "group k", "naive k*eps",
+              "Thm 4.2 bound", "exact (PLD)");
+  BinaryRandomizedResponse rr(eps);
+  for (int k : {8, 64, 512}) {
+    const double delta = 1e-9;
+    std::printf("%-8d %14.3f %14.3f %14.3f\n", k, NaiveGroupEpsilon(eps, k),
+                AdvancedGroupositionEpsilon(eps, k, delta),
+                ExactGroupEpsilon(rr, 0, 1, k, delta));
+  }
+  std::printf("-> a 512-user group keeps eps' ~ sqrt(512)*eps, not 512*eps:\n"
+              "   local privacy degrades by sqrt(k) (Section 4).\n\n");
+
+  // --- 2. One user's k attributes (Theorem 5.1) -------------------------
+  const int k = 128;
+  const double beta = 0.01;
+  ShellComposedRR composed(eps, k, beta);
+  std::printf("== composing k=%d randomized responses for ONE user ==\n", k);
+  std::printf("naive pure composition:  %6.2f\n", composed.NaiveEpsilon());
+  std::printf("Theorem 5.1 bound:       %6.2f\n", composed.EpsilonBound());
+  std::printf("realized exact eps~:     %6.2f\n", composed.ExactEpsilon());
+  std::printf("distortion TV(M~, M):    %6.2e (<= beta = %.2f)\n",
+              composed.TvToPlainComposition(), beta);
+  std::printf("-> the shell mechanism reports all %d attributes at the\n"
+              "   advanced-composition price while staying PURE-DP.\n\n", k);
+
+  // --- 3. Max-information of the whole protocol (Theorem 4.5) -----------
+  std::printf("== max-information about a random input database ==\n");
+  std::printf("%-10s %-8s %18s %18s\n", "n", "beta", "Thm 4.5 (nats)",
+              "central eps*n");
+  for (uint64_t n : {uint64_t{10000}, uint64_t{1000000}}) {
+    for (double b : {1e-2, 1e-6}) {
+      std::printf("%-10llu %-8.0e %18.1f %18.1f\n",
+                  static_cast<unsigned long long>(n), b,
+                  MaxInformationBound(eps, n, b),
+                  CentralMaxInformationBound(eps, n));
+    }
+  }
+  std::printf("-> adaptive analyses composed with this protocol generalize:\n"
+              "   the bound holds for arbitrary (non-product) priors, which\n"
+              "   the central model cannot offer (Section 4).\n");
+  return 0;
+}

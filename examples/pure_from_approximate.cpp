@@ -1,0 +1,93 @@
+// Pure privacy from approximate privacy — the Section 6 GenProt
+// transformation, end to end.
+//
+// A vendor ships an (eps, delta)-LDP randomizer with a delta-probability
+// "catastrophic leak" channel (the canonical worst case). GenProt wraps it:
+// users report only an index into public samples, the result is pure
+// 10eps-LDP, and the downstream estimate is statistically unchanged. This
+// is the paper's constructive proof that approximate local privacy buys no
+// accuracy over pure local privacy.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/ldphh.h"
+
+int main() {
+  using namespace ldphh;
+  const double eps = 0.2;
+  const double delta = 1e-6;
+  const uint64_t n = 100000;
+
+  LeakyRandomizedResponse leaky(eps, delta);
+  std::printf("source randomizer: eps=%.2f, delta=%.0e\n", eps, delta);
+  std::printf("  exact pure-DP parameter: %s (the leak channel)\n",
+              std::isinf(leaky.ExactEpsilon()) ? "INFINITE" : "finite");
+  std::printf("  hockey-stick delta(eps): %.2e\n\n", leaky.ExactDelta(eps));
+
+  // Wrap with GenProt. T = 2 ln(2n/beta) per Theorem 6.1's utility recipe.
+  const double beta = 1e-3;
+  const int t_count =
+      std::max(GenProt::MinT(eps),
+               static_cast<int>(std::ceil(2.0 * std::log(2.0 * n / beta))));
+  GenProt gp(&leaky, eps, t_count, /*default_input=*/0);
+  std::printf("GenProt: T=%d public samples/user, report = %d bits "
+              "(O(log log n))\n", t_count,
+              static_cast<int>(std::ceil(std::log2(t_count))));
+  std::printf("  guaranteed pure privacy: %.2f (= 10 eps)\n",
+              GenProt::PrivacyBound(eps));
+  std::printf("  utility TV bound: %.2e\n\n",
+              GenProt::UtilityTvBound(eps, delta, t_count, n));
+
+  // Verify the realized privacy exactly on sampled public randomness.
+  Rng rng(3);
+  double realized = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int> ys;
+    for (int t = 0; t < t_count; ++t) ys.push_back(leaky.Sample(0, rng));
+    realized = std::max(realized, gp.ExactEpsilonForPublicRandomness(ys));
+  }
+  std::printf("realized eps over sampled public randomness: %.3f "
+              "(<= %.2f)\n\n", realized, 10 * eps);
+
+  // Utility: count the ones through both channels.
+  std::vector<int> inputs(n);
+  uint64_t ones = 0;
+  Rng wl(7);
+  for (auto& x : inputs) {
+    x = wl.Bernoulli(0.35);
+    ones += x;
+  }
+  auto estimate = [&](const std::vector<int>& outputs) {
+    const double e = std::exp(eps);
+    double acc = 0;
+    for (int y : outputs) {
+      if (y >= 2) {
+        acc += (y - 2);
+      } else {
+        acc += ((e + 1) / (e - 1)) * (y - 1.0 / (e + 1));
+      }
+    }
+    return acc;
+  };
+  // Original (eps, delta) protocol.
+  std::vector<int> direct(n);
+  Rng coins(11);
+  for (uint64_t i = 0; i < n; ++i) {
+    direct[static_cast<size_t>(i)] =
+        leaky.Sample(inputs[static_cast<size_t>(i)], coins);
+  }
+  // Transformed pure protocol.
+  const auto run = gp.Run(inputs, 13);
+
+  std::printf("true count:                   %llu\n",
+              static_cast<unsigned long long>(ones));
+  std::printf("(eps,delta) protocol estimate: %.0f (err %.0f)\n",
+              estimate(direct), std::abs(estimate(direct) - double(ones)));
+  std::printf("pure GenProt estimate:         %.0f (err %.0f)\n",
+              estimate(run.resolved_output),
+              std::abs(estimate(run.resolved_output) - double(ones)));
+  std::printf("\n-> same accuracy, strictly stronger privacy guarantee.\n");
+  return 0;
+}

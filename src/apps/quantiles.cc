@@ -1,0 +1,95 @@
+#include "src/apps/quantiles.h"
+
+#include <cmath>
+
+namespace ldphh {
+
+QuantileSketch::QuantileSketch(uint64_t n_hint, const QuantileSketchParams& params,
+                               uint64_t seed)
+    : value_bits_(params.value_bits), epsilon_(params.epsilon) {
+  LDPHH_CHECK(value_bits_ >= 2 && value_bits_ <= 20,
+              "QuantileSketch: value_bits must be in [2, 20]");
+  LDPHH_CHECK(epsilon_ > 0.0, "QuantileSketch: epsilon must be positive");
+  (void)n_hint;
+  Rng seeder(seed);
+  level_seed_ = seeder();
+  levels_.reserve(static_cast<size_t>(value_bits_));
+  for (int l = 1; l <= value_bits_; ++l) {
+    levels_.push_back(
+        std::make_unique<HadamardResponseFO>(uint64_t{1} << l, epsilon_));
+  }
+}
+
+int QuantileSketch::LevelOf(uint64_t user_index) const {
+  return static_cast<int>(Mix64(level_seed_ ^ user_index) %
+                          static_cast<uint64_t>(value_bits_));
+}
+
+FoReport QuantileSketch::Encode(uint64_t user_index, uint64_t value,
+                                Rng& rng) const {
+  LDPHH_DCHECK(value < (uint64_t{1} << value_bits_),
+               "QuantileSketch: value out of range");
+  const int level = LevelOf(user_index);  // 0-based: oracle level l+1.
+  // The value's dyadic interval at level l+1: the top (l+1) bits.
+  const uint64_t interval = value >> (value_bits_ - (level + 1));
+  return levels_[static_cast<size_t>(level)]->Encode(interval, rng);
+}
+
+void QuantileSketch::Aggregate(uint64_t user_index, const FoReport& report) {
+  LDPHH_DCHECK(!finalized_, "Aggregate after Finalize");
+  levels_[static_cast<size_t>(LevelOf(user_index))]->Aggregate(report);
+  ++total_reports_;
+}
+
+void QuantileSketch::Finalize() {
+  LDPHH_DCHECK(!finalized_, "double Finalize");
+  for (auto& fo : levels_) fo->Finalize();
+  finalized_ = true;
+}
+
+double QuantileSketch::EstimateCdf(uint64_t x) const {
+  LDPHH_DCHECK(finalized_, "EstimateCdf before Finalize");
+  if (x == 0) return 0.0;
+  const uint64_t cap = uint64_t{1} << value_bits_;
+  if (x >= cap) return static_cast<double>(total_reports_);
+  // Dyadic decomposition of [0, x): for every set bit j of x, the interval
+  // of width 2^j at tree level B - j with index (x >> j) - 1.
+  double acc = 0.0;
+  for (int j = 0; j < value_bits_; ++j) {
+    if (((x >> j) & 1) == 0) continue;
+    const int level = value_bits_ - j;          // 1-based oracle level.
+    const uint64_t interval = (x >> j) - 1;
+    // Each user reported at one uniformly chosen of B levels: the level
+    // estimate sees ~n/B of the population, so scale by B.
+    acc += static_cast<double>(value_bits_) *
+           levels_[static_cast<size_t>(level - 1)]->Estimate(interval);
+  }
+  return acc;
+}
+
+uint64_t QuantileSketch::EstimateQuantile(double q) const {
+  LDPHH_DCHECK(finalized_, "EstimateQuantile before Finalize");
+  const double target = q * static_cast<double>(total_reports_);
+  uint64_t lo = 0;
+  uint64_t hi = uint64_t{1} << value_bits_;
+  // Smallest x with CDF^(x) >= target. CDF^ is not exactly monotone (each
+  // point is an independent noisy sum), but the dyadic structure keeps the
+  // binary search within the noise envelope of the true quantile.
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (EstimateCdf(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+size_t QuantileSketch::MemoryBytes() const {
+  size_t acc = 0;
+  for (const auto& fo : levels_) acc += fo->MemoryBytes();
+  return acc;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,82 @@
+/// \file quantiles.h
+/// \brief LDP quantile / median estimation on top of the frequency-oracle
+/// substrate — the first downstream application the paper's introduction
+/// names ("LDP algorithms for heavy-hitters provide important subroutines
+/// for solving many other problems, such as median estimation ...").
+///
+/// Construction: the classic hierarchical (dyadic) histogram. Each user is
+/// assigned one of the B levels of the dyadic tree over [0, 2^B) and
+/// reports its value's interval at that level through the Theorem 3.8
+/// Hadamard-response oracle. Any CDF query decomposes into at most B
+/// dyadic intervals (one per level), so
+///   |CDF^(x) - CDF(x)| = O((B/eps) sqrt(n B log(1/beta)) / ... )
+/// = O~(sqrt(n) poly(B) / eps), and quantiles follow by binary search.
+
+#ifndef LDPHH_APPS_QUANTILES_H_
+#define LDPHH_APPS_QUANTILES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/freq/hadamard_response.h"
+
+namespace ldphh {
+
+/// Parameters for the quantile sketch.
+struct QuantileSketchParams {
+  int value_bits = 16;   ///< Values live in [0, 2^value_bits); <= 20.
+  double epsilon = 1.0;  ///< Per-user privacy budget.
+};
+
+/// \brief eps-LDP quantile sketch over integer values.
+///
+/// Usage mirrors the frequency oracles: Encode per user (client side),
+/// Aggregate per report, Finalize once, then EstimateCdf / EstimateQuantile.
+class QuantileSketch {
+ public:
+  QuantileSketch(uint64_t n_hint, const QuantileSketchParams& params,
+                 uint64_t seed);
+
+  /// Client: privatizes \p value for user \p user_index. The level
+  /// assignment is public (derived from the index); the report leaks only
+  /// an eps-LDP view of the value's dyadic interval at that level.
+  FoReport Encode(uint64_t user_index, uint64_t value, Rng& rng) const;
+
+  /// Server: absorbs one report.
+  void Aggregate(uint64_t user_index, const FoReport& report);
+  /// Server: closes aggregation.
+  void Finalize();
+
+  /// Estimated number of users with value < \p x.
+  double EstimateCdf(uint64_t x) const;
+
+  /// Estimated q-quantile (q in [0, 1]): the smallest x whose estimated
+  /// CDF reaches q * n.
+  uint64_t EstimateQuantile(double q) const;
+
+  /// Estimated median.
+  uint64_t EstimateMedian() const { return EstimateQuantile(0.5); }
+
+  int value_bits() const { return value_bits_; }
+  double epsilon() const { return epsilon_; }
+  size_t MemoryBytes() const;
+
+ private:
+  int LevelOf(uint64_t user_index) const;
+
+  int value_bits_;
+  double epsilon_;
+  uint64_t level_seed_;
+  uint64_t total_reports_ = 0;
+  bool finalized_ = false;
+  /// Oracle for level l (l = 1..B): domain 2^l dyadic intervals. Index 0
+  /// of the vector is level 1.
+  std::vector<std::unique_ptr<HadamardResponseFO>> levels_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_APPS_QUANTILES_H_

@@ -1,0 +1,21 @@
+#include "src/codes/gf256.h"
+
+namespace ldphh {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t = [] {
+    Tables tab{};
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      tab.exp[i] = static_cast<uint8_t>(x);
+      tab.log[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    tab.log[0] = 0;  // Unused sentinel; Mul/Inv guard zero explicitly.
+    return tab;
+  }();
+  return t;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,201 @@
+#include "src/codes/reed_solomon.h"
+
+#include <algorithm>
+
+#include "src/codes/gf256.h"
+
+namespace ldphh {
+
+namespace {
+
+// Polynomials over GF(2^8), low-order coefficient first.
+using Poly = std::vector<uint8_t>;
+
+Poly PolyMul(const Poly& a, const Poly& b) {
+  Poly out(a.size() + b.size() - 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = GF256::Add(out[i + j], GF256::Mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+uint8_t PolyEval(const Poly& p, uint8_t x) {
+  uint8_t acc = 0;
+  for (size_t i = p.size(); i-- > 0;) {
+    acc = GF256::Add(GF256::Mul(acc, x), p[i]);
+  }
+  return acc;
+}
+
+// Formal derivative in characteristic 2: odd-degree terms survive.
+Poly PolyDerivative(const Poly& p) {
+  Poly out;
+  for (size_t i = 1; i < p.size(); i += 2) {
+    out.resize(i, 0);
+    out[i - 1] = p[i];
+  }
+  if (out.empty()) out.push_back(0);
+  return out;
+}
+
+int PolyDegree(const Poly& p) {
+  for (size_t i = p.size(); i-- > 0;) {
+    if (p[i] != 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
+  LDPHH_CHECK(n >= 2 && n <= 255, "ReedSolomon: n must be in [2, 255]");
+  LDPHH_CHECK(k >= 1 && k < n, "ReedSolomon: k must be in [1, n)");
+  // g(x) = prod_{i=1..n-k} (x + alpha^i), low-order first.
+  generator_ = {1};
+  for (int i = 1; i <= n - k; ++i) {
+    generator_ = PolyMul(generator_, Poly{GF256::AlphaPow(i), 1});
+  }
+}
+
+std::vector<uint8_t> ReedSolomon::Encode(const std::vector<uint8_t>& message) const {
+  LDPHH_CHECK(static_cast<int>(message.size()) == k_,
+              "ReedSolomon::Encode: message length != k");
+  const int parity_len = n_ - k_;
+  // Long-divide m(x) * x^{n-k} by g(x); the remainder is the parity block.
+  // Internal coefficient layout: parity occupies x^0..x^{n-k-1}, message
+  // occupies x^{n-k}..x^{n-1}.
+  std::vector<uint8_t> rem(parity_len, 0);
+  for (int i = k_ - 1; i >= 0; --i) {
+    // Bring in the next message coefficient (from the top).
+    const uint8_t feedback = GF256::Add(message[i], rem[parity_len - 1]);
+    for (int j = parity_len - 1; j >= 1; --j) {
+      rem[j] = GF256::Add(rem[j - 1], GF256::Mul(feedback, generator_[j]));
+    }
+    rem[0] = GF256::Mul(feedback, generator_[0]);
+  }
+  std::vector<uint8_t> out(message);
+  out.insert(out.end(), rem.begin(), rem.end());
+  return out;  // [message (k) | parity (n-k)], parity low-order reversed-free.
+}
+
+StatusOr<std::vector<uint8_t>> ReedSolomon::Decode(
+    const std::vector<uint8_t>& received, const std::vector<int>& erasures) const {
+  if (static_cast<int>(received.size()) != n_) {
+    return Status::InvalidArgument("ReedSolomon::Decode: wrong length");
+  }
+  const int two_t = n_ - k_;
+  if (static_cast<int>(erasures.size()) > two_t) {
+    return Status::DecodeFailure("too many erasures");
+  }
+
+  // Map external position p to internal coefficient index:
+  // message position p < k  -> x^{p + (n-k)};  parity position -> x^{p - k}.
+  auto coeff_index = [&](int p) { return p < k_ ? p + two_t : p - k_; };
+  Poly r(n_, 0);
+  for (int p = 0; p < n_; ++p) r[coeff_index(p)] = received[p];
+
+  // Syndromes S_i = r(alpha^i), i = 1..2t.
+  Poly synd(two_t, 0);
+  bool all_zero = true;
+  for (int i = 1; i <= two_t; ++i) {
+    synd[i - 1] = PolyEval(r, GF256::AlphaPow(i));
+    if (synd[i - 1] != 0) all_zero = false;
+  }
+  if (all_zero && erasures.empty()) {
+    return std::vector<uint8_t>(received.begin(), received.begin() + k_);
+  }
+
+  // Erasure locator Gamma(x) = prod (1 + alpha^{idx} x).
+  Poly gamma = {1};
+  for (int p : erasures) {
+    if (p < 0 || p >= n_) return Status::InvalidArgument("erasure out of range");
+    gamma = PolyMul(gamma, Poly{1, GF256::AlphaPow(coeff_index(p))});
+  }
+  const int s = static_cast<int>(erasures.size());
+
+  // Modified syndromes T(x) = S(x) * Gamma(x) mod x^{2t}.
+  Poly t_synd = PolyMul(synd, gamma);
+  t_synd.resize(two_t, 0);
+
+  // Berlekamp-Massey on the modified syndromes for the error locator sigma.
+  Poly sigma = {1};
+  Poly prev = {1};
+  int length = 0;
+  int m = 1;
+  uint8_t b = 1;
+  for (int i = s; i < two_t; ++i) {
+    uint8_t delta = t_synd[i];
+    for (int j = 1; j <= length; ++j) {
+      if (j < static_cast<int>(sigma.size())) {
+        delta = GF256::Add(delta, GF256::Mul(sigma[j], t_synd[i - j]));
+      }
+    }
+    if (delta == 0) {
+      ++m;
+    } else if (2 * length <= i - s) {
+      Poly tmp = sigma;
+      const uint8_t coef = GF256::Div(delta, b);
+      Poly shift(static_cast<size_t>(m), 0);
+      shift.push_back(coef);
+      Poly adj = PolyMul(shift, prev);
+      if (adj.size() > sigma.size()) sigma.resize(adj.size(), 0);
+      for (size_t j = 0; j < adj.size(); ++j) sigma[j] = GF256::Add(sigma[j], adj[j]);
+      length = i - s + 1 - length;
+      prev = tmp;
+      b = delta;
+      m = 1;
+    } else {
+      const uint8_t coef = GF256::Div(delta, b);
+      Poly shift(static_cast<size_t>(m), 0);
+      shift.push_back(coef);
+      Poly adj = PolyMul(shift, prev);
+      if (adj.size() > sigma.size()) sigma.resize(adj.size(), 0);
+      for (size_t j = 0; j < adj.size(); ++j) sigma[j] = GF256::Add(sigma[j], adj[j]);
+      ++m;
+    }
+  }
+  if (2 * length > two_t - s) {
+    return Status::DecodeFailure("error count exceeds capability");
+  }
+
+  // Errata locator psi = sigma * gamma; evaluator Omega = S * psi mod x^{2t}.
+  Poly psi = PolyMul(sigma, gamma);
+  Poly omega = PolyMul(synd, psi);
+  omega.resize(two_t, 0);
+
+  // Chien search: find positions j with psi(alpha^{-j}) == 0.
+  std::vector<int> errata;  // internal coefficient indices
+  for (int j = 0; j < n_; ++j) {
+    const uint8_t x_inv = GF256::AlphaPow(255 - (j % 255));
+    if (PolyEval(psi, x_inv) == 0) errata.push_back(j);
+  }
+  if (static_cast<int>(errata.size()) != PolyDegree(psi)) {
+    return Status::DecodeFailure("locator root count mismatch");
+  }
+
+  // Forney: e_j = Omega(X_j^{-1}) / psi'(X_j^{-1})   (b0 = 1 convention).
+  const Poly psi_deriv = PolyDerivative(psi);
+  for (int j : errata) {
+    const uint8_t x_inv = GF256::AlphaPow(255 - (j % 255));
+    const uint8_t denom = PolyEval(psi_deriv, x_inv);
+    if (denom == 0) return Status::DecodeFailure("Forney derivative zero");
+    const uint8_t magnitude = GF256::Div(PolyEval(omega, x_inv), denom);
+    r[j] = GF256::Add(r[j], magnitude);
+  }
+
+  // Verify: all syndromes of the corrected word must vanish.
+  for (int i = 1; i <= two_t; ++i) {
+    if (PolyEval(r, GF256::AlphaPow(i)) != 0) {
+      return Status::DecodeFailure("post-correction syndrome nonzero");
+    }
+  }
+
+  std::vector<uint8_t> message(static_cast<size_t>(k_));
+  for (int p = 0; p < k_; ++p) message[p] = r[coeff_index(p)];
+  return message;
+}
+
+}  // namespace ldphh

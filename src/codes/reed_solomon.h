@@ -1,0 +1,54 @@
+/// \file reed_solomon.h
+/// \brief Systematic Reed-Solomon codec over GF(2^8) with errors-and-erasures
+/// decoding (Berlekamp-Massey + Chien search + Forney).
+///
+/// This is the inner constant-rate error-correcting code (enc, dec) of the
+/// Theorem 3.6 construction. An RS(n, k) code corrects any pattern of
+/// e errors and s erasures with 2e + s <= n - k; the reduction needs a code
+/// correcting an Omega(1) fraction of adversarial coordinate corruptions,
+/// which rate-1/2 RS delivers (25% errors, 50% erasures).
+
+#ifndef LDPHH_CODES_REED_SOLOMON_H_
+#define LDPHH_CODES_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// \brief RS(n, k) codec over GF(2^8); n <= 255, 1 <= k < n.
+class ReedSolomon {
+ public:
+  /// Creates an RS(n, k) codec. CHECK-fails on invalid parameters.
+  ReedSolomon(int n, int k);
+
+  /// Encodes \p message (k symbols) into a systematic codeword (n symbols:
+  /// message followed by n-k parity symbols).
+  std::vector<uint8_t> Encode(const std::vector<uint8_t>& message) const;
+
+  /// \brief Decodes \p received (n symbols) into the k message symbols.
+  ///
+  /// \param received   the possibly corrupted codeword.
+  /// \param erasures   positions known to be unreliable (each counts once
+  ///                   against the 2e + s <= n - k budget).
+  /// \returns the message, or DecodeFailure if the corruption exceeds the
+  ///          code's capability (or the decoder's consistency check fails).
+  StatusOr<std::vector<uint8_t>> Decode(const std::vector<uint8_t>& received,
+                                        const std::vector<int>& erasures = {}) const;
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  /// Maximum correctable errors with no erasures: floor((n-k)/2).
+  int max_errors() const { return (n_ - k_) / 2; }
+
+ private:
+  int n_;
+  int k_;
+  std::vector<uint8_t> generator_;  ///< Generator polynomial, low-order first.
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_CODES_REED_SOLOMON_H_

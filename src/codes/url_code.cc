@@ -1,0 +1,281 @@
+#include "src/codes/url_code.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/math_util.h"
+
+namespace ldphh {
+
+UrlCode::UrlCode(const UrlCodeParams& params, int chunk_symbols, int message_bytes,
+                 ReedSolomon rs, Expander expander, HashFamily hashes)
+    : params_(params),
+      chunk_symbols_(chunk_symbols),
+      message_bytes_(message_bytes),
+      rs_(std::make_shared<ReedSolomon>(std::move(rs))),
+      expander_(std::make_shared<Expander>(std::move(expander))),
+      hashes_(std::make_shared<HashFamily>(std::move(hashes))) {
+  hash_bits_ = CeilLog2(static_cast<uint64_t>(params.hash_range));
+  payload_bits_ = 8 * chunk_symbols_ + params.expander_degree * hash_bits_;
+}
+
+StatusOr<UrlCode> UrlCode::Create(const UrlCodeParams& params, uint64_t seed) {
+  const auto& p = params;
+  if (p.domain_bits < 8 || p.domain_bits > 256) {
+    return Status::InvalidArgument("UrlCode: domain_bits must be in [8, 256]");
+  }
+  if (p.num_coords < 4 || p.num_coords % 2 != 0) {
+    return Status::InvalidArgument("UrlCode: num_coords must be even, >= 4");
+  }
+  if (p.hash_range < 4 ||
+      NextPow2(static_cast<uint64_t>(p.hash_range)) !=
+          static_cast<uint64_t>(p.hash_range) ||
+      p.hash_range > 65536) {
+    return Status::InvalidArgument("UrlCode: hash_range must be a power of two");
+  }
+  if (p.expander_degree < 2 || p.expander_degree % 2 != 0) {
+    return Status::InvalidArgument("UrlCode: expander_degree must be even");
+  }
+
+  const int message_bytes = (p.domain_bits + 7) / 8;
+  // Rate <= 1/2 inner code: chunk size so that M * chunk >= 2 * message.
+  const int chunk_symbols =
+      std::max(1, (2 * message_bytes + p.num_coords - 1) / p.num_coords);
+  const int code_symbols = p.num_coords * chunk_symbols;
+  if (code_symbols > 255) {
+    return Status::InvalidArgument(
+        "UrlCode: M * chunk exceeds the RS block-length limit of 255");
+  }
+  const int payload_bits =
+      8 * chunk_symbols + p.expander_degree * CeilLog2(static_cast<uint64_t>(
+                                                  p.hash_range));
+  if (payload_bits > 64) {
+    return Status::InvalidArgument(
+        "UrlCode: payload exceeds 64 bits; lower Y, d, or raise M");
+  }
+
+  Rng seeder(seed);
+  auto expander = Expander::Sample(p.num_coords, p.expander_degree,
+                                   p.lambda_fraction, seeder());
+  if (!expander.ok()) return expander.status();
+
+  HashFamily hashes(p.num_coords, /*k=*/2,
+                    static_cast<uint64_t>(p.hash_range), seeder());
+
+  return UrlCode(p, chunk_symbols, message_bytes,
+                 ReedSolomon(code_symbols, message_bytes),
+                 std::move(expander).value(), std::move(hashes));
+}
+
+UrlCode::Codeword UrlCode::Encode(const DomainItem& x) const {
+  const int m_count = params_.num_coords;
+  const int d = params_.expander_degree;
+  Codeword cw;
+  cw.y.resize(static_cast<size_t>(m_count));
+  cw.symbols.resize(static_cast<size_t>(m_count));
+
+  for (int m = 0; m < m_count; ++m) {
+    cw.y[static_cast<size_t>(m)] = static_cast<uint16_t>(hashes_->at(m)(x));
+  }
+
+  const std::vector<uint8_t> ecc = rs_->Encode(x.ToBytes(message_bytes_ * 8));
+  for (int m = 0; m < m_count; ++m) {
+    Symbol& s = cw.symbols[static_cast<size_t>(m)];
+    s.chunk.assign(ecc.begin() + m * chunk_symbols_,
+                   ecc.begin() + (m + 1) * chunk_symbols_);
+    s.nbr_hash.resize(static_cast<size_t>(d));
+    for (int slot = 0; slot < d; ++slot) {
+      s.nbr_hash[static_cast<size_t>(slot)] =
+          cw.y[static_cast<size_t>(expander_->Neighbor(m, slot))];
+    }
+  }
+  return cw;
+}
+
+uint64_t UrlCode::PackPayload(const Symbol& s) const {
+  uint64_t bits = 0;
+  int off = 0;
+  for (int i = 0; i < chunk_symbols_; ++i) {
+    bits |= static_cast<uint64_t>(s.chunk[static_cast<size_t>(i)]) << off;
+    off += 8;
+  }
+  for (int slot = 0; slot < params_.expander_degree; ++slot) {
+    bits |= static_cast<uint64_t>(s.nbr_hash[static_cast<size_t>(slot)]) << off;
+    off += hash_bits_;
+  }
+  return bits;
+}
+
+UrlCode::Symbol UrlCode::UnpackPayload(uint64_t bits) const {
+  Symbol s;
+  s.chunk.resize(static_cast<size_t>(chunk_symbols_));
+  int off = 0;
+  for (int i = 0; i < chunk_symbols_; ++i) {
+    s.chunk[static_cast<size_t>(i)] = static_cast<uint8_t>(bits >> off);
+    off += 8;
+  }
+  const uint64_t hash_mask = (uint64_t{1} << hash_bits_) - 1;
+  s.nbr_hash.resize(static_cast<size_t>(params_.expander_degree));
+  for (int slot = 0; slot < params_.expander_degree; ++slot) {
+    s.nbr_hash[static_cast<size_t>(slot)] =
+        static_cast<uint16_t>((bits >> off) & hash_mask);
+    off += hash_bits_;
+  }
+  return s;
+}
+
+std::vector<DomainItem> UrlCode::Decode(
+    const std::vector<std::vector<ListEntry>>& lists, Rng& rng) const {
+  const int m_count = params_.num_coords;
+  const int y_range = params_.hash_range;
+  const int d = params_.expander_degree;
+  LDPHH_CHECK(static_cast<int>(lists.size()) == m_count,
+              "UrlCode::Decode: need one list per coordinate");
+
+  // Per-coordinate map y -> unpacked symbol (first entry wins: uniqueness).
+  std::vector<std::unordered_map<uint16_t, Symbol>> sym(
+      static_cast<size_t>(m_count));
+  for (int m = 0; m < m_count; ++m) {
+    for (const ListEntry& e : lists[static_cast<size_t>(m)]) {
+      if (e.y >= y_range) continue;
+      sym[static_cast<size_t>(m)].emplace(e.y, UnpackPayload(e.payload));
+    }
+  }
+
+  // Layered graph on [M] x [Y]; vertex id = m * Y + y. An expander edge
+  // (m, slot) <-> (m2, slot2) induces a graph edge between (m, y) and
+  // (m2, y2) iff both symbols name each other in the paired slots.
+  Graph graph(m_count * y_range);
+  auto vid = [&](int m, int y) { return m * y_range + y; };
+  for (int m = 0; m < m_count; ++m) {
+    for (const auto& [y, s] : sym[static_cast<size_t>(m)]) {
+      for (int slot = 0; slot < d; ++slot) {
+        const int m2 = expander_->Neighbor(m, slot);
+        const int slot2 = expander_->PairedSlot(m, slot);
+        // Add each undirected edge exactly once.
+        if (m2 < m || (m2 == m && slot2 < slot)) continue;
+        const uint16_t y2 = s.nbr_hash[static_cast<size_t>(slot)];
+        const auto it2 = sym[static_cast<size_t>(m2)].find(y2);
+        if (it2 == sym[static_cast<size_t>(m2)].end()) continue;
+        if (it2->second.nbr_hash[static_cast<size_t>(slot2)] != y) continue;
+        graph.AddEdge(vid(m, y), vid(m2, y2));
+      }
+    }
+  }
+
+  // Attempts to decode one vertex set as a codeword cluster: peel low
+  // intra-cluster degrees, read one chunk per layer (erasure when missing
+  // or ambiguous), RS-decode, and verify against the input lists.
+  const int min_layers =
+      static_cast<int>((1.0 - params_.alpha) * static_cast<double>(m_count));
+  auto try_cluster = [&](const std::vector<int>& cluster, bool peel,
+                         DomainItem* out_item) -> bool {
+    if (static_cast<int>(cluster.size()) < std::max(2, min_layers)) return false;
+
+    // Peel vertices whose intra-cluster degree is <= d/2 (bad-coordinate
+    // debris), as in the Appendix B decoder. Callers retry without peeling
+    // when this fails: with parallel expander edges (likely at small M) a
+    // single missing layer can cascade the peel through its double-edge
+    // neighbors, and the un-peeled read is then the better shot.
+    std::vector<bool> in_cluster(static_cast<size_t>(graph.NumVertices()), false);
+    for (int v : cluster) in_cluster[static_cast<size_t>(v)] = true;
+    std::vector<int> kept;
+    for (int v : cluster) {
+      int deg = 0;
+      for (int w : graph.Neighbors(v)) {
+        if (in_cluster[static_cast<size_t>(w)]) ++deg;
+      }
+      if (!peel || deg > d / 2) kept.push_back(v);
+    }
+
+    // One vertex per layer; ambiguous or missing layers become erasures.
+    std::vector<int> layer_y(static_cast<size_t>(m_count), -1);
+    std::vector<bool> layer_conflict(static_cast<size_t>(m_count), false);
+    for (int v : kept) {
+      const int m = v / y_range;
+      const int y = v % y_range;
+      if (layer_y[static_cast<size_t>(m)] >= 0) {
+        layer_conflict[static_cast<size_t>(m)] = true;
+      } else {
+        layer_y[static_cast<size_t>(m)] = y;
+      }
+    }
+
+    std::vector<uint8_t> received(
+        static_cast<size_t>(m_count * chunk_symbols_), 0);
+    std::vector<int> erasures;
+    for (int m = 0; m < m_count; ++m) {
+      const int y = layer_y[static_cast<size_t>(m)];
+      const Symbol* s = nullptr;
+      if (y >= 0 && !layer_conflict[static_cast<size_t>(m)]) {
+        const auto it = sym[static_cast<size_t>(m)].find(static_cast<uint16_t>(y));
+        if (it != sym[static_cast<size_t>(m)].end()) s = &it->second;
+      }
+      if (s == nullptr) {
+        for (int j = 0; j < chunk_symbols_; ++j) {
+          erasures.push_back(m * chunk_symbols_ + j);
+        }
+      } else {
+        for (int j = 0; j < chunk_symbols_; ++j) {
+          received[static_cast<size_t>(m * chunk_symbols_ + j)] =
+              s->chunk[static_cast<size_t>(j)];
+        }
+      }
+    }
+
+    auto decoded = rs_->Decode(received, erasures);
+    if (!decoded.ok()) return false;
+    DomainItem candidate =
+        DomainItem::FromBytes(decoded.value(), params_.domain_bits);
+
+    // Verification: the candidate's true encoding must agree with the input
+    // lists on enough coordinates (hash value present and payload equal).
+    const Codeword cw = Encode(candidate);
+    int agree = 0;
+    for (int m = 0; m < m_count; ++m) {
+      const auto it =
+          sym[static_cast<size_t>(m)].find(cw.y[static_cast<size_t>(m)]);
+      if (it == sym[static_cast<size_t>(m)].end()) continue;
+      if (PackPayload(it->second) ==
+          PackPayload(cw.symbols[static_cast<size_t>(m)])) {
+        ++agree;
+      }
+    }
+    if (100 * agree < params_.verify_min_agree_percent * m_count) return false;
+    *out_item = candidate;
+    return true;
+  };
+
+  // Two-level clustering: a connected component is usually one clean
+  // codeword cluster (the expander copy of Appendix B); only when it fails
+  // to decode — e.g. two heavy hitters glued by stray edges — is it split
+  // into spectral clusters (the Theorem B.3 step) and retried.
+  std::vector<DomainItem> out;
+  DomainItem item;
+  for (const auto& comp : graph.ConnectedComponents()) {
+    if (static_cast<int>(comp.size()) < std::max(2, min_layers)) continue;
+    if (try_cluster(comp, /*peel=*/true, &item) ||
+        try_cluster(comp, /*peel=*/false, &item)) {
+      out.push_back(item);
+      continue;
+    }
+    ClusterOptions copts;
+    copts.min_split_size = std::max(4, m_count / 2);
+    Graph sub = graph.InducedSubgraph(comp);
+    for (const auto& sub_cluster : FindSpectralClusters(sub, copts, rng)) {
+      std::vector<int> orig;
+      orig.reserve(sub_cluster.size());
+      for (int v : sub_cluster) orig.push_back(comp[static_cast<size_t>(v)]);
+      if (try_cluster(orig, /*peel=*/true, &item) ||
+          try_cluster(orig, /*peel=*/false, &item)) {
+        out.push_back(item);
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ldphh

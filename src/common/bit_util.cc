@@ -1,0 +1,57 @@
+#include "src/common/bit_util.h"
+
+#include <cstdio>
+
+namespace ldphh {
+
+std::string DomainItem::ToHex() const {
+  char buf[4 * 16 + 1];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx%016llx%016llx",
+                static_cast<unsigned long long>(limbs[3]),
+                static_cast<unsigned long long>(limbs[2]),
+                static_cast<unsigned long long>(limbs[1]),
+                static_cast<unsigned long long>(limbs[0]));
+  return std::string(buf);
+}
+
+std::vector<uint8_t> DomainItem::ToBytes(int width) const {
+  const int nbytes = (width + 7) / 8;
+  LDPHH_DCHECK(nbytes <= 32, "DomainItem width exceeds 256 bits");
+  std::vector<uint8_t> out(nbytes);
+  for (int i = 0; i < nbytes; ++i) out[i] = Byte(i);
+  if (width % 8 != 0) {
+    out[nbytes - 1] &= static_cast<uint8_t>((1u << (width % 8)) - 1);
+  }
+  return out;
+}
+
+DomainItem DomainItem::FromBytes(const std::vector<uint8_t>& bytes, int width) {
+  DomainItem x;
+  const int nbytes = std::min<int>(static_cast<int>(bytes.size()), 32);
+  for (int i = 0; i < nbytes; ++i) x.SetByte(i, bytes[i]);
+  x.Truncate(width);
+  return x;
+}
+
+DomainItem DomainItem::FromString(const std::string& s, int width) {
+  DomainItem x;
+  const int nbytes = std::min<int>(static_cast<int>(s.size()), (width + 7) / 8);
+  for (int i = 0; i < nbytes && i < 32; ++i) {
+    x.SetByte(i, static_cast<uint8_t>(s[i]));
+  }
+  x.Truncate(width);
+  return x;
+}
+
+std::string DomainItem::ToString(int width) const {
+  std::string out;
+  const int nbytes = (width + 7) / 8;
+  for (int i = 0; i < nbytes && i < 32; ++i) {
+    const char c = static_cast<char>(Byte(i));
+    if (c == '\0') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,123 @@
+/// \file bit_util.h
+/// \brief Bit-level helpers: popcount parity, bit extraction, byte packing.
+///
+/// Domain elements in the library are fixed-width bitstrings (`DomainItem`,
+/// up to 256 bits). These helpers implement the symbol/bit views the
+/// protocols need (Algorithm PrivateExpanderSketch decodes payloads bitwise,
+/// the ECC views items as byte strings).
+
+#ifndef LDPHH_COMMON_BIT_UTIL_H_
+#define LDPHH_COMMON_BIT_UTIL_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// Parity of the 64-bit inner product <a, b> over GF(2).
+inline int ParityOfAnd(uint64_t a, uint64_t b) {
+  return __builtin_parityll(a & b);
+}
+
+/// +1 / -1 Hadamard matrix entry H[row, col] = (-1)^{<row, col>}.
+inline int HadamardEntry(uint64_t row, uint64_t col) {
+  return ParityOfAnd(row, col) ? -1 : 1;
+}
+
+/// \brief A domain element: a fixed-width bitstring of up to 256 bits.
+///
+/// `bits` holds the item little-endian in 64-bit limbs; `width` is the
+/// logical number of bits (log2 |X|). Items compare by value.
+struct DomainItem {
+  std::array<uint64_t, 4> limbs{0, 0, 0, 0};
+
+  DomainItem() = default;
+  /// Constructs from a 64-bit value.
+  explicit DomainItem(uint64_t v) { limbs[0] = v; }
+
+  bool operator==(const DomainItem& o) const { return limbs == o.limbs; }
+  bool operator!=(const DomainItem& o) const { return !(*this == o); }
+  bool operator<(const DomainItem& o) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limbs[i] != o.limbs[i]) return limbs[i] < o.limbs[i];
+    }
+    return false;
+  }
+
+  /// Bit i (0-based, little-endian).
+  int Bit(int i) const { return (limbs[i >> 6] >> (i & 63)) & 1; }
+
+  /// Sets bit i to \p v.
+  void SetBit(int i, int v) {
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (v) {
+      limbs[i >> 6] |= mask;
+    } else {
+      limbs[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Byte i (0-based). Width callers guarantee i < 32.
+  uint8_t Byte(int i) const {
+    return static_cast<uint8_t>(limbs[i >> 3] >> ((i & 7) * 8));
+  }
+
+  /// Sets byte i.
+  void SetByte(int i, uint8_t b) {
+    const int shift = (i & 7) * 8;
+    limbs[i >> 3] &= ~(uint64_t{0xff} << shift);
+    limbs[i >> 3] |= static_cast<uint64_t>(b) << shift;
+  }
+
+  /// Truncates the item to \p width bits (zeroes the rest).
+  void Truncate(int width) {
+    for (int i = 0; i < 4; ++i) {
+      const int lo = i * 64;
+      if (width <= lo) {
+        limbs[i] = 0;
+      } else if (width < lo + 64) {
+        limbs[i] &= (uint64_t{1} << (width - lo)) - 1;
+      }
+    }
+  }
+
+  /// A stable 64-bit fingerprint (for hashing into std containers).
+  uint64_t Fingerprint() const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t l : limbs) {
+      h ^= l + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  /// Hex rendering, most significant limb first, for diagnostics.
+  std::string ToHex() const;
+
+  /// Packs the first \p width bits into bytes (little-endian byte order).
+  std::vector<uint8_t> ToBytes(int width) const;
+
+  /// Unpacks from bytes (inverse of ToBytes).
+  static DomainItem FromBytes(const std::vector<uint8_t>& bytes, int width);
+
+  /// Encodes a string into a \p width-bit item (UTF-8 bytes, truncated or
+  /// zero-padded). Lossless for strings of at most width/8 bytes.
+  static DomainItem FromString(const std::string& s, int width);
+
+  /// Decodes back to a string (strips trailing NULs).
+  std::string ToString(int width) const;
+};
+
+struct DomainItemHash {
+  size_t operator()(const DomainItem& x) const {
+    return static_cast<size_t>(x.Fingerprint());
+  }
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_BIT_UTIL_H_

@@ -1,0 +1,116 @@
+#include "src/common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+double LogFactorial(uint64_t n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double LogBinomialPmf(uint64_t n, uint64_t k, double p) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (p <= 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+  return LogBinomial(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double BinomialUpperTail(uint64_t n, uint64_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  double acc = -std::numeric_limits<double>::infinity();
+  for (uint64_t j = k; j <= n; ++j) acc = LogSumExp(acc, LogBinomialPmf(n, j, p));
+  return std::min(1.0, std::exp(acc));
+}
+
+double BinomialLowerTail(uint64_t n, uint64_t k, double p) {
+  if (k >= n) return 1.0;
+  double acc = -std::numeric_limits<double>::infinity();
+  for (uint64_t j = 0; j <= k; ++j) acc = LogSumExp(acc, LogBinomialPmf(n, j, p));
+  return std::min(1.0, std::exp(acc));
+}
+
+double ChernoffUpper(double mu, double alpha) {
+  return std::exp(-alpha * alpha * mu / 3.0);
+}
+
+double ChernoffLower(double mu, double alpha) {
+  return std::exp(-alpha * alpha * mu / 2.0);
+}
+
+double PoissonTailBound(double mu, double alpha) {
+  return std::exp(-alpha * alpha * mu / 2.0);
+}
+
+double LogPoissonPmf(double mu, uint64_t k) {
+  if (mu <= 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  return static_cast<double>(k) * std::log(mu) - mu - LogFactorial(k);
+}
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double HoeffdingUpper(double t, uint64_t n, double c) {
+  if (n == 0 || c <= 0.0) return t > 0.0 ? 0.0 : 1.0;
+  return std::exp(-2.0 * t * t / (static_cast<double>(n) * 4.0 * c * c));
+}
+
+double BinomialAntiConcentrationLower(uint64_t n, double p, double t) {
+  LDPHH_DCHECK(p > 0.0 && p <= 0.5, "BinomialAntiConcentrationLower: p in (0, 1/2]");
+  const double np = static_cast<double>(n) * p;
+  if (t < std::sqrt(3.0 * np) || t > np / 2.0) return 0.0;  // Outside validity.
+  return std::exp(-9.0 * t * t / np);
+}
+
+double LogSumExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  double acc = -std::numeric_limits<double>::infinity();
+  for (double x : xs) acc = LogSumExp(acc, x);
+  return acc;
+}
+
+double Median(std::vector<double> xs) {
+  LDPHH_CHECK(!xs.empty(), "Median of empty vector");
+  const size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(), xs.begin() + mid - 1, xs.begin() + mid);
+  return 0.5 * (hi + xs[mid - 1]);
+}
+
+double TotalVariation(const std::vector<double>& p, const std::vector<double>& q) {
+  LDPHH_CHECK(p.size() == q.size(), "TotalVariation: size mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] - q[i]);
+  return 0.5 * acc;
+}
+
+uint64_t NextPow2(uint64_t x) {
+  if (x <= 1) return 1;
+  return uint64_t{1} << (64 - __builtin_clzll(x - 1));
+}
+
+int CeilLog2(uint64_t x) {
+  LDPHH_DCHECK(x >= 1, "CeilLog2 of zero");
+  if (x == 1) return 0;
+  return 64 - __builtin_clzll(x - 1);
+}
+
+}  // namespace ldphh

@@ -1,0 +1,74 @@
+/// \file math_util.h
+/// \brief Probability tails, entropy, and combinatorics used throughout the
+/// paper's analysis (Theorems 3.9-3.12, 7.5, A.4, A.5) and the experiments.
+
+#ifndef LDPHH_COMMON_MATH_UTIL_H_
+#define LDPHH_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ldphh {
+
+/// Natural log of n! via lgamma.
+double LogFactorial(uint64_t n);
+
+/// Natural log of the binomial coefficient C(n, k); -inf if k > n.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// log of the Binomial(n, p) pmf at k.
+double LogBinomialPmf(uint64_t n, uint64_t k, double p);
+
+/// Exact Binomial(n, p) upper tail Pr[X >= k], summed in log space.
+double BinomialUpperTail(uint64_t n, uint64_t k, double p);
+
+/// Exact Binomial(n, p) lower tail Pr[X <= k].
+double BinomialLowerTail(uint64_t n, uint64_t k, double p);
+
+/// Multiplicative Chernoff upper-tail bound exp(-a^2 mu / 3) (Thm 3.11(1)).
+double ChernoffUpper(double mu, double alpha);
+
+/// Multiplicative Chernoff lower-tail bound exp(-a^2 mu / 2) (Thm 3.11(2)).
+double ChernoffLower(double mu, double alpha);
+
+/// Poisson tail bound of Theorem 3.10: Pr[|X - mu| >= alpha mu] pieces.
+double PoissonTailBound(double mu, double alpha);
+
+/// log of the Poisson(mu) pmf at k.
+double LogPoissonPmf(double mu, uint64_t k);
+
+/// Binary entropy H(p) in bits; H(0)=H(1)=0.
+double BinaryEntropy(double p);
+
+/// Hoeffding bound Pr[S - E S >= t] <= exp(-2 t^2 / (n c^2)) for n summands
+/// bounded in magnitude by c.
+double HoeffdingUpper(double t, uint64_t n, double c);
+
+/// \brief Anti-concentration lower bound of Lemma 5.5 / Theorem A.4.
+///
+/// Returns the Klein-Young style lower bound exp(-9 t^2 / (n p)) on
+/// Pr[Bin(n, p) <= np - t], valid for sqrt(3 n p) <= t <= n p / 2.
+double BinomialAntiConcentrationLower(uint64_t n, double p, double t);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double LogSumExp(double a, double b);
+
+/// Numerically stable log-sum-exp of a vector.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Median of a vector (copies; average of middle two for even length).
+double Median(std::vector<double> xs);
+
+/// Exact Kolmogorov-style total variation distance between two discrete
+/// distributions given as aligned probability vectors.
+double TotalVariation(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Next power of two >= x (x >= 1).
+uint64_t NextPow2(uint64_t x);
+
+/// Integer ceil(log2(x)) for x >= 1.
+int CeilLog2(uint64_t x);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_MATH_UTIL_H_

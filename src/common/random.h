@@ -1,0 +1,113 @@
+/// \file random.h
+/// \brief Deterministic pseudo-randomness for protocols and experiments.
+///
+/// All randomness in the library flows through `Rng` (xoshiro256++ seeded
+/// via splitmix64). Protocol "public randomness" is modeled as seeds handed
+/// to every party, so runs are exactly reproducible given a master seed.
+
+#ifndef LDPHH_COMMON_RANDOM_H_
+#define LDPHH_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ldphh {
+
+/// splitmix64 step; used for seeding and cheap stateless mixing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a single value (Stafford variant 13).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// \brief xoshiro256++ generator.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can drive
+/// `std::uniform_int_distribution` etc., but the library prefers the
+/// built-in helpers below (portable across standard libraries).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Next 64 uniform random bits.
+  uint64_t operator()() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  uint64_t UniformU64(uint64_t bound) {
+    // Debiased multiply-high; bound == 0 is a caller bug.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformU64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) draw.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Uniform sign in {-1, +1}.
+  int Sign() { return ((*this)() & 1) ? 1 : -1; }
+
+  /// Forks an independent child generator (for per-party randomness).
+  Rng Fork() { return Rng((*this)()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_RANDOM_H_

@@ -1,0 +1,178 @@
+/// \file status.h
+/// \brief Lightweight Status / StatusOr error-handling primitives.
+///
+/// Follows the RocksDB/Arrow idiom: recoverable failures propagate as
+/// `Status` values rather than exceptions. Programmer errors (violated
+/// preconditions that indicate a bug, not bad input) use LDPHH_DCHECK.
+
+#ifndef LDPHH_COMMON_STATUS_H_
+#define LDPHH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ldphh {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied a malformed parameter.
+  kFailedPrecondition,///< Object not in a state that admits the call.
+  kOutOfRange,        ///< Index or value outside the permitted range.
+  kDecodeFailure,     ///< A codec could not recover a codeword.
+  kInternal,          ///< Invariant violation inside the library.
+  kResourceExhausted, ///< A Las Vegas procedure ran out of retries.
+};
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// code plus a human-readable message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with message \p msg.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a FailedPrecondition status with message \p msg.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an OutOfRange status with message \p msg.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a DecodeFailure status with message \p msg.
+  static Status DecodeFailure(std::string msg) {
+    return Status(StatusCode::kDecodeFailure, std::move(msg));
+  }
+  /// Returns an Internal status with message \p msg.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a ResourceExhausted status with message \p msg.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kDecodeFailure: return "DecodeFailure";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of a non-OK StatusOr aborts (programmer error), so
+/// callers must check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicitly OK).
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status.
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() && "StatusOr from OK status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// The held value; aborts if not OK.
+  const T& value() const& {
+    if (!ok()) Die();
+    return std::get<T>(payload_);
+  }
+  /// The held value (move); aborts if not OK.
+  T&& value() && {
+    if (!ok()) Die();
+    return std::get<T>(std::move(payload_));
+  }
+  /// Pointer-style accessors for the held value.
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  [[noreturn]] void Die() const {
+    std::fprintf(stderr, "StatusOr value() on error: %s\n",
+                 std::get<Status>(payload_).ToString().c_str());
+    std::abort();
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define LDPHH_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::ldphh::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Aborts with a message if \p cond is false. Enabled in all build types:
+/// the invariants guarded here are cheap and the library is research-grade.
+#define LDPHH_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "LDPHH_CHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, (msg));                        \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+/// Debug-only precondition check.
+#ifdef NDEBUG
+#define LDPHH_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+#else
+#define LDPHH_DCHECK(cond, msg) LDPHH_CHECK(cond, msg)
+#endif
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+/// \file timer.h
+/// \brief Wall-clock timing for the Table-1 resource measurements.
+
+#ifndef LDPHH_COMMON_TIMER_H_
+#define LDPHH_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ldphh {
+
+/// Monotonic stopwatch. Started on construction; `Seconds()` reads elapsed
+/// time without stopping.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds.
+  int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_TIMER_H_

@@ -1,0 +1,57 @@
+/// \file ldphh.h
+/// \brief Umbrella header: the public API of the ldphh library.
+///
+/// ldphh reproduces "Heavy Hitters and the Structure of Local Privacy"
+/// (Bun, Nelson, Stemmer — PODS 2018). The primary entry points:
+///
+///  - `PrivateExpanderSketch` (src/protocols/private_expander_sketch.h):
+///    the paper's optimal-error eps-LDP heavy-hitters protocol.
+///  - `Bitstogram`, `SuccinctHist`, `FreqScan`: the baselines of Table 1.
+///  - `Hashtogram`, `HadamardResponseFO`, `DirectEncodingFO`,
+///    `UnaryEncodingFO`, `OlhFO`: frequency oracles (Definition 3.2).
+///  - Section 4-7 structural results: `AdvancedGroupositionEpsilon`,
+///    `MaxInformationBound`, `ShellComposedRR`, `GenProt`,
+///    `RunLowerBoundExperiment`.
+///
+/// See README.md for a quickstart and DESIGN.md for the system inventory.
+
+#ifndef LDPHH_CORE_LDPHH_H_
+#define LDPHH_CORE_LDPHH_H_
+
+#include "src/apps/quantiles.h"             // IWYU pragma: export
+#include "src/codes/reed_solomon.h"         // IWYU pragma: export
+#include "src/codes/url_code.h"             // IWYU pragma: export
+#include "src/common/bit_util.h"            // IWYU pragma: export
+#include "src/common/math_util.h"           // IWYU pragma: export
+#include "src/common/random.h"              // IWYU pragma: export
+#include "src/common/status.h"              // IWYU pragma: export
+#include "src/freq/count_mean_sketch.h"     // IWYU pragma: export
+#include "src/freq/direct_encoding.h"       // IWYU pragma: export
+#include "src/freq/hadamard_response.h"     // IWYU pragma: export
+#include "src/freq/hashtogram.h"            // IWYU pragma: export
+#include "src/freq/olh.h"                   // IWYU pragma: export
+#include "src/freq/unary_encoding.h"        // IWYU pragma: export
+#include "src/graphs/expander.h"            // IWYU pragma: export
+#include "src/hashing/kwise_hash.h"         // IWYU pragma: export
+#include "src/ldp/anticoncentration.h"      // IWYU pragma: export
+#include "src/ldp/composition.h"            // IWYU pragma: export
+#include "src/ldp/genprot.h"                // IWYU pragma: export
+#include "src/ldp/grouposition.h"           // IWYU pragma: export
+#include "src/ldp/privacy_loss.h"           // IWYU pragma: export
+#include "src/ldp/randomizer.h"             // IWYU pragma: export
+#include "src/protocols/bitstogram.h"       // IWYU pragma: export
+#include "src/protocols/freq_scan.h"        // IWYU pragma: export
+#include "src/protocols/heavy_hitters.h"    // IWYU pragma: export
+#include "src/protocols/private_expander_sketch.h"  // IWYU pragma: export
+#include "src/protocols/succinct_hist.h"    // IWYU pragma: export
+#include "src/protocols/treehist.h"         // IWYU pragma: export
+#include "src/workload/workload.h"          // IWYU pragma: export
+
+namespace ldphh {
+
+/// Library version.
+inline constexpr const char* kVersion = "1.0.0";
+
+}  // namespace ldphh
+
+#endif  // LDPHH_CORE_LDPHH_H_

@@ -1,0 +1,100 @@
+#include "src/freq/count_mean_sketch.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+
+namespace ldphh {
+
+CountMeanSketch::CountMeanSketch(uint64_t n_hint, double epsilon,
+                                 const CmsParams& params, uint64_t seed)
+    : epsilon_(epsilon) {
+  LDPHH_CHECK(epsilon > 0.0, "CountMeanSketch: epsilon must be positive");
+  rows_ = params.rows > 0 ? params.rows : 16;
+  width_ = params.width;
+  if (width_ == 0) {
+    const double root =
+        std::sqrt(static_cast<double>(std::max<uint64_t>(n_hint, 16)));
+    width_ = NextPow2(static_cast<uint64_t>(2.0 * root));
+  }
+  LDPHH_CHECK(width_ >= 2, "CountMeanSketch: width must be >= 2");
+  const double e2 = std::exp(epsilon / 2.0);
+  flip_prob_ = 1.0 / (e2 + 1.0);
+  row_count_.assign(static_cast<size_t>(rows_), 0);
+  acc_.assign(static_cast<size_t>(rows_),
+              std::vector<double>(static_cast<size_t>(width_), 0.0));
+  hashes_ = std::make_unique<HashFamily>(rows_, /*k=*/2, width_, seed);
+}
+
+CmsReport CountMeanSketch::Encode(const DomainItem& x, Rng& rng) const {
+  CmsReport report;
+  report.row = static_cast<uint32_t>(rng.UniformU64(static_cast<uint64_t>(rows_)));
+  const uint64_t hot = hashes_->at(static_cast<int>(report.row))(x);
+  const size_t words = static_cast<size_t>((width_ + 63) / 64);
+  report.bits.assign(words, 0);
+  for (uint64_t w = 0; w < width_; ++w) {
+    bool bit = (w == hot);
+    if (rng.Bernoulli(flip_prob_)) bit = !bit;
+    if (bit) report.bits[static_cast<size_t>(w >> 6)] |= uint64_t{1} << (w & 63);
+  }
+  report.num_bits =
+      static_cast<int>(width_) + CeilLog2(NextPow2(static_cast<uint64_t>(rows_)));
+  return report;
+}
+
+void CountMeanSketch::Aggregate(const CmsReport& report) {
+  LDPHH_DCHECK(!finalized_, "Aggregate after Finalize");
+  LDPHH_CHECK(report.row < static_cast<uint32_t>(rows_),
+              "CountMeanSketch: bad row");
+  auto& row = acc_[report.row];
+  for (uint64_t w = 0; w < width_; ++w) {
+    if ((report.bits[static_cast<size_t>(w >> 6)] >> (w & 63)) & 1) {
+      row[static_cast<size_t>(w)] += 1.0;
+    }
+  }
+  ++row_count_[report.row];
+  ++count_;
+}
+
+void CountMeanSketch::Finalize() {
+  LDPHH_DCHECK(!finalized_, "double Finalize");
+  // Debias each cell: E[ones] = hits (1-p) + (n_r - hits) p.
+  for (int r = 0; r < rows_; ++r) {
+    const double n_r = static_cast<double>(row_count_[static_cast<size_t>(r)]);
+    for (auto& cell : acc_[static_cast<size_t>(r)]) {
+      cell = (cell - n_r * flip_prob_) / (1.0 - 2.0 * flip_prob_);
+    }
+  }
+  finalized_ = true;
+}
+
+double CountMeanSketch::Estimate(const DomainItem& x) const {
+  LDPHH_DCHECK(finalized_, "Estimate before Finalize");
+  // Per row: debiased hits at h_r(x) contain f_r(x) plus ~n_r/W collision
+  // mass; the W/(W-1) correction removes its expectation. Scale each row
+  // by rows_ (a 1/rows_ sample of the population) and average.
+  const double w_corr =
+      static_cast<double>(width_) / (static_cast<double>(width_) - 1.0);
+  double acc = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    const double n_r = static_cast<double>(row_count_[static_cast<size_t>(r)]);
+    const uint64_t cell = hashes_->at(r)(x);
+    const double debiased =
+        acc_[static_cast<size_t>(r)][static_cast<size_t>(cell)];
+    acc += w_corr * (debiased - n_r / static_cast<double>(width_));
+  }
+  return acc;
+}
+
+size_t CountMeanSketch::MemoryBytes() const {
+  return static_cast<size_t>(rows_) * static_cast<size_t>(width_) *
+         sizeof(double);
+}
+
+int CountMeanSketch::ReportBits() const {
+  return static_cast<int>(width_) +
+         CeilLog2(NextPow2(static_cast<uint64_t>(rows_)));
+}
+
+}  // namespace ldphh

@@ -1,0 +1,78 @@
+/// \file count_mean_sketch.h
+/// \brief Count-Mean-Sketch (Apple's iOS/macOS deployment, per "Learning
+/// with Privacy at Scale", 2017) — the second industrial frequency oracle
+/// the paper's introduction cites (reference [33]).
+///
+/// Each user picks a uniform sketch row r, one-hot encodes h_r(x) into a
+/// width-W bit vector, flips every bit independently with probability
+/// 1/(e^{eps/2}+1), and reports the W bits plus the row index. The server
+/// debiases the bit counts per row and averages rows at query time with the
+/// collision correction W/(W-1) (f^ is unbiased under pairwise hashing).
+///
+/// Included as an ablation point: same O~(sqrt n)-memory sketch family as
+/// Hashtogram, but W-bit reports instead of log T + 1 — the communication /
+/// variance trade Apple chose (their HCMS variant is essentially the
+/// Hashtogram encoding, implemented in hashtogram.h).
+
+#ifndef LDPHH_FREQ_COUNT_MEAN_SKETCH_H_
+#define LDPHH_FREQ_COUNT_MEAN_SKETCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/random.h"
+#include "src/hashing/kwise_hash.h"
+
+namespace ldphh {
+
+/// Tuning for CountMeanSketch.
+struct CmsParams {
+  int rows = 0;         ///< 0 = auto: 16.
+  uint64_t width = 0;   ///< W; 0 = auto next_pow2(2 sqrt(n)); <= 56 enforced
+                        ///< by splitting into multiple report words.
+};
+
+/// One user report: the row index and the perturbed one-hot bits.
+struct CmsReport {
+  uint32_t row = 0;
+  std::vector<uint64_t> bits;  ///< ceil(W/64) packed words.
+  int num_bits = 0;            ///< Honest wire size: W + log2(rows).
+};
+
+/// \brief Apple-style count-mean-sketch frequency oracle over DomainItem.
+class CountMeanSketch {
+ public:
+  CountMeanSketch(uint64_t n_hint, double epsilon, const CmsParams& params,
+                  uint64_t seed);
+
+  /// Client: privatizes item \p x.
+  CmsReport Encode(const DomainItem& x, Rng& rng) const;
+
+  /// Server: absorbs a report.
+  void Aggregate(const CmsReport& report);
+  /// Server: closes aggregation (debiasing).
+  void Finalize();
+  /// Unbiased frequency estimate for \p x.
+  double Estimate(const DomainItem& x) const;
+
+  int rows() const { return rows_; }
+  uint64_t width() const { return width_; }
+  size_t MemoryBytes() const;
+  int ReportBits() const;
+
+ private:
+  int rows_;
+  uint64_t width_;
+  double epsilon_;
+  double flip_prob_;   ///< Per-bit flip probability 1/(e^{eps/2}+1).
+  bool finalized_ = false;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> row_count_;
+  std::vector<std::vector<double>> acc_;  ///< rows x width bit tallies.
+  std::unique_ptr<HashFamily> hashes_;    ///< h_r : X -> [W], pairwise.
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_FREQ_COUNT_MEAN_SKETCH_H_

@@ -1,0 +1,53 @@
+#include "src/freq/direct_encoding.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+
+namespace ldphh {
+
+DirectEncodingFO::DirectEncodingFO(uint64_t domain_size, double epsilon)
+    : domain_size_(domain_size),
+      value_bits_(CeilLog2(NextPow2(domain_size))),
+      epsilon_(epsilon) {
+  LDPHH_CHECK(domain_size >= 2, "DirectEncodingFO: domain must have >= 2 values");
+  LDPHH_CHECK(epsilon > 0.0, "DirectEncodingFO: epsilon must be positive");
+  const double e = std::exp(epsilon);
+  const double denom = e + static_cast<double>(domain_size) - 1.0;
+  keep_prob_ = e / denom;
+  other_prob_ = 1.0 / denom;
+  hist_.assign(static_cast<size_t>(domain_size), 0.0);
+  if (value_bits_ == 0) value_bits_ = 1;
+}
+
+FoReport DirectEncodingFO::Encode(uint64_t value, Rng& rng) const {
+  LDPHH_DCHECK(value < domain_size_, "DirectEncodingFO: value out of domain");
+  uint64_t out = value;
+  if (!rng.Bernoulli(keep_prob_)) {
+    // Uniform over the other K-1 values.
+    out = rng.UniformU64(domain_size_ - 1);
+    if (out >= value) ++out;
+  }
+  return FoReport{out, value_bits_};
+}
+
+void DirectEncodingFO::Aggregate(const FoReport& report) {
+  LDPHH_DCHECK(report.bits < domain_size_, "DirectEncodingFO: bad report");
+  hist_[static_cast<size_t>(report.bits)] += 1.0;
+  ++count_;
+}
+
+double DirectEncodingFO::Estimate(uint64_t value) const {
+  LDPHH_DCHECK(value < domain_size_, "Estimate: value out of domain");
+  // E[hist(v)] = f(v) p + (n - f(v)) q  with q the per-other-value mass.
+  return (hist_[static_cast<size_t>(value)] -
+          static_cast<double>(count_) * other_prob_) /
+         (keep_prob_ - other_prob_);
+}
+
+size_t DirectEncodingFO::MemoryBytes() const {
+  return hist_.size() * sizeof(double);
+}
+
+}  // namespace ldphh

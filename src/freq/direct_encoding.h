@@ -1,0 +1,45 @@
+/// \file direct_encoding.h
+/// \brief k-ary randomized response frequency oracle ("direct encoding").
+///
+/// The oldest LDP frequency oracle (Warner 1965 generalized): report the
+/// true value with probability e^eps / (e^eps + K - 1), otherwise a uniform
+/// other value. Error grows as sqrt(K), so it is only competitive for tiny
+/// domains; included as the classical baseline for the ablation bench A1.
+
+#ifndef LDPHH_FREQ_DIRECT_ENCODING_H_
+#define LDPHH_FREQ_DIRECT_ENCODING_H_
+
+#include <vector>
+
+#include "src/freq/freq_oracle.h"
+
+namespace ldphh {
+
+/// \brief k-ary randomized response FO.
+class DirectEncodingFO final : public SmallDomainFO {
+ public:
+  DirectEncodingFO(uint64_t domain_size, double epsilon);
+
+  uint64_t domain_size() const override { return domain_size_; }
+  double epsilon() const override { return epsilon_; }
+  std::string Name() const override { return "k-rr"; }
+
+  FoReport Encode(uint64_t value, Rng& rng) const override;
+  void Aggregate(const FoReport& report) override;
+  void Finalize() override {}
+  double Estimate(uint64_t value) const override;
+  size_t MemoryBytes() const override;
+
+ private:
+  uint64_t domain_size_;
+  int value_bits_;
+  double epsilon_;
+  double keep_prob_;   ///< p = e^eps / (e^eps + K - 1).
+  double other_prob_;  ///< q = 1 / (e^eps + K - 1).
+  uint64_t count_ = 0;
+  std::vector<double> hist_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_FREQ_DIRECT_ENCODING_H_

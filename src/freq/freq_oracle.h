@@ -1,0 +1,59 @@
+/// \file freq_oracle.h
+/// \brief Frequency-oracle interface (Definition 3.2) for small domains.
+///
+/// A frequency oracle is an LDP protocol whose server ends up with a data
+/// structure answering frequency queries over the domain. The small-domain
+/// interface below covers the oracles used inside the heavy-hitter
+/// reductions and the industrial baselines; the large-domain Hashtogram
+/// (Theorem 3.7) has its own class in hashtogram.h because its client needs
+/// the user index (row assignment) in addition to the value.
+
+#ifndef LDPHH_FREQ_FREQ_ORACLE_H_
+#define LDPHH_FREQ_FREQ_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/random.h"
+
+namespace ldphh {
+
+/// A single user report: up to 64 payload bits. `num_bits` is the honest
+/// communication cost in bits of this report on the wire.
+struct FoReport {
+  uint64_t bits = 0;
+  int num_bits = 0;
+};
+
+/// \brief LDP frequency oracle over a small integer domain [0, K).
+///
+/// Usage: users call Encode (client side, stateless w.r.t. the server);
+/// the server calls Aggregate per report, Finalize once, then Estimate.
+class SmallDomainFO {
+ public:
+  virtual ~SmallDomainFO() = default;
+
+  /// Domain size K.
+  virtual uint64_t domain_size() const = 0;
+  /// The per-user privacy parameter epsilon.
+  virtual double epsilon() const = 0;
+  /// Short diagnostic name ("hadamard-response", "k-rr", ...).
+  virtual std::string Name() const = 0;
+
+  /// Client: privatizes \p value (< K) into a report.
+  virtual FoReport Encode(uint64_t value, Rng& rng) const = 0;
+
+  /// Server: absorbs one report.
+  virtual void Aggregate(const FoReport& report) = 0;
+  /// Server: closes aggregation; must be called before Estimate.
+  virtual void Finalize() = 0;
+  /// Server: unbiased frequency estimate for \p value.
+  virtual double Estimate(uint64_t value) const = 0;
+
+  /// Server-side memory footprint in bytes (for the Table-1 rows).
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_FREQ_FREQ_ORACLE_H_

@@ -1,0 +1,36 @@
+/// \file fwht.h
+/// \brief In-place fast Walsh-Hadamard transform.
+///
+/// Both Hashtogram variants decode their one-bit user reports by a single
+/// FWHT over the report-index histogram: the transform evaluates
+/// sum_l u[l] * (-1)^{<l, v>} for every v simultaneously in O(T log T).
+
+#ifndef LDPHH_FREQ_FWHT_H_
+#define LDPHH_FREQ_FWHT_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// In-place Walsh-Hadamard transform of \p v; size must be a power of two.
+/// Unnormalized: applying twice multiplies by the length.
+inline void Fwht(std::vector<double>& v) {
+  const size_t n = v.size();
+  LDPHH_CHECK(n > 0 && (n & (n - 1)) == 0, "Fwht: length must be a power of two");
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t i = 0; i < n; i += len << 1) {
+      for (size_t j = i; j < i + len; ++j) {
+        const double a = v[j];
+        const double b = v[j + len];
+        v[j] = a + b;
+        v[j + len] = a - b;
+      }
+    }
+  }
+}
+
+}  // namespace ldphh
+
+#endif  // LDPHH_FREQ_FWHT_H_

@@ -1,0 +1,60 @@
+#include "src/freq/hadamard_response.h"
+
+#include <cmath>
+
+#include "src/common/bit_util.h"
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+#include "src/freq/fwht.h"
+
+namespace ldphh {
+
+HadamardResponseFO::HadamardResponseFO(uint64_t domain_size, double epsilon)
+    : domain_size_(domain_size),
+      table_size_(NextPow2(domain_size)),
+      index_bits_(CeilLog2(NextPow2(domain_size))),
+      epsilon_(epsilon) {
+  LDPHH_CHECK(domain_size >= 1, "HadamardResponseFO: empty domain");
+  LDPHH_CHECK(epsilon > 0.0, "HadamardResponseFO: epsilon must be positive");
+  const double e = std::exp(epsilon);
+  keep_prob_ = e / (e + 1.0);
+  debias_ = (e + 1.0) / (e - 1.0);
+  acc_.assign(static_cast<size_t>(table_size_), 0.0);
+}
+
+FoReport HadamardResponseFO::Encode(uint64_t value, Rng& rng) const {
+  LDPHH_DCHECK(value < domain_size_, "HadamardResponseFO: value out of domain");
+  const uint64_t index = rng.UniformU64(table_size_);
+  int bit = HadamardEntry(index, value);
+  if (!rng.Bernoulli(keep_prob_)) bit = -bit;
+  FoReport r;
+  r.bits = index | (static_cast<uint64_t>(bit > 0 ? 1 : 0) << index_bits_);
+  r.num_bits = index_bits_ + 1;
+  return r;
+}
+
+void HadamardResponseFO::Aggregate(const FoReport& report) {
+  LDPHH_DCHECK(!finalized_, "Aggregate after Finalize");
+  const uint64_t index = report.bits & (table_size_ - 1);
+  const int bit = (report.bits >> index_bits_) & 1 ? 1 : -1;
+  acc_[static_cast<size_t>(index)] += static_cast<double>(bit);
+}
+
+void HadamardResponseFO::Finalize() {
+  LDPHH_DCHECK(!finalized_, "double Finalize");
+  Fwht(acc_);
+  for (double& v : acc_) v *= debias_;
+  finalized_ = true;
+}
+
+double HadamardResponseFO::Estimate(uint64_t value) const {
+  LDPHH_DCHECK(finalized_, "Estimate before Finalize");
+  LDPHH_DCHECK(value < domain_size_, "Estimate: value out of domain");
+  return acc_[static_cast<size_t>(value)];
+}
+
+size_t HadamardResponseFO::MemoryBytes() const {
+  return acc_.size() * sizeof(double);
+}
+
+}  // namespace ldphh

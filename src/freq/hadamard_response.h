@@ -1,0 +1,54 @@
+/// \file hadamard_response.h
+/// \brief Small-domain Hashtogram (Theorem 3.8): one-bit Hadamard reports.
+///
+/// Every user holding v < K samples a uniform index l in [T] (T = K rounded
+/// to a power of two), computes the +/-1 Hadamard entry H[l, v], flips it
+/// with probability 1/(e^eps + 1) (binary randomized response), and sends
+/// (l, bit) — log2(T) + 1 bits. The server histograms the reports by index
+/// and recovers unbiased frequency estimates for the whole domain with one
+/// FWHT. Per-query error is O(sqrt(n log(1/beta)) / eps), matching
+/// Theorem 3.8; server memory is O(T).
+
+#ifndef LDPHH_FREQ_HADAMARD_RESPONSE_H_
+#define LDPHH_FREQ_HADAMARD_RESPONSE_H_
+
+#include <vector>
+
+#include "src/freq/freq_oracle.h"
+
+namespace ldphh {
+
+/// \brief Theorem 3.8 frequency oracle.
+class HadamardResponseFO final : public SmallDomainFO {
+ public:
+  /// \param domain_size  K >= 1.
+  /// \param epsilon      per-user privacy parameter (> 0).
+  HadamardResponseFO(uint64_t domain_size, double epsilon);
+
+  uint64_t domain_size() const override { return domain_size_; }
+  double epsilon() const override { return epsilon_; }
+  std::string Name() const override { return "hadamard-response"; }
+
+  FoReport Encode(uint64_t value, Rng& rng) const override;
+  void Aggregate(const FoReport& report) override;
+  void Finalize() override;
+  double Estimate(uint64_t value) const override;
+  size_t MemoryBytes() const override;
+
+  /// Hadamard index range T (power of two >= K).
+  uint64_t table_size() const { return table_size_; }
+
+ private:
+  uint64_t domain_size_;
+  uint64_t table_size_;
+  int index_bits_;
+  double epsilon_;
+  double keep_prob_;   ///< e^eps / (e^eps + 1).
+  double debias_;      ///< (e^eps + 1) / (e^eps - 1).
+  bool finalized_ = false;
+  std::vector<double> acc_;  ///< Index histogram, then FWHT'd estimates.
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_FREQ_HADAMARD_RESPONSE_H_

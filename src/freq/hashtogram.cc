@@ -1,0 +1,104 @@
+#include "src/freq/hashtogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+#include "src/freq/fwht.h"
+
+namespace ldphh {
+
+Hashtogram::Hashtogram(uint64_t n_hint, double epsilon,
+                       const HashtogramParams& params, uint64_t seed)
+    : epsilon_(epsilon) {
+  LDPHH_CHECK(epsilon > 0.0, "Hashtogram: epsilon must be positive");
+  rows_ = params.rows;
+  if (rows_ <= 0) {
+    const double lb = std::log2(3.0 / std::max(1e-12, params.beta));
+    rows_ = std::max(8, 2 * static_cast<int>(std::ceil(lb)));
+  }
+  table_size_ = params.table_size;
+  if (table_size_ == 0) {
+    const double root = std::sqrt(static_cast<double>(std::max<uint64_t>(n_hint, 16)));
+    table_size_ = NextPow2(static_cast<uint64_t>(4.0 * root));
+  }
+  table_size_ = NextPow2(table_size_);
+  index_bits_ = CeilLog2(table_size_);
+
+  const double e = std::exp(epsilon);
+  keep_prob_ = e / (e + 1.0);
+  debias_ = (e + 1.0) / (e - 1.0);
+
+  Rng seeder(seed);
+  row_seed_ = seeder();
+  bucket_hash_ = std::make_unique<HashFamily>(rows_, /*k=*/2, table_size_, seeder());
+  sign_hash_ = std::make_unique<HashFamily>(rows_, /*k=*/4, /*range=*/2, seeder());
+  acc_.assign(static_cast<size_t>(rows_),
+              std::vector<double>(static_cast<size_t>(table_size_), 0.0));
+}
+
+int Hashtogram::RowOf(uint64_t user_index) const {
+  return static_cast<int>(Mix64(row_seed_ ^ user_index) %
+                          static_cast<uint64_t>(rows_));
+}
+
+FoReport Hashtogram::Encode(uint64_t user_index, const DomainItem& x,
+                            Rng& rng) const {
+  const int r = RowOf(user_index);
+  const uint64_t bucket = bucket_hash_->at(r)(x);
+  const int sign = sign_hash_->at(r).Sign(x);
+  const uint64_t index = rng.UniformU64(table_size_);
+  int bit = HadamardEntry(index, bucket) * sign;
+  if (!rng.Bernoulli(keep_prob_)) bit = -bit;
+  FoReport report;
+  report.bits = index | (static_cast<uint64_t>(bit > 0 ? 1 : 0) << index_bits_);
+  report.num_bits = index_bits_ + 1;
+  return report;
+}
+
+void Hashtogram::Aggregate(uint64_t user_index, const FoReport& report) {
+  LDPHH_DCHECK(!finalized_, "Aggregate after Finalize");
+  const int r = RowOf(user_index);
+  const uint64_t index = report.bits & (table_size_ - 1);
+  const int bit = (report.bits >> index_bits_) & 1 ? 1 : -1;
+  acc_[static_cast<size_t>(r)][static_cast<size_t>(index)] +=
+      static_cast<double>(bit);
+}
+
+void Hashtogram::Finalize() {
+  LDPHH_DCHECK(!finalized_, "double Finalize");
+  for (auto& row : acc_) {
+    Fwht(row);
+    for (double& v : row) v *= debias_;
+  }
+  finalized_ = true;
+}
+
+double Hashtogram::RowEstimate(int r, const DomainItem& x) const {
+  const uint64_t bucket = bucket_hash_->at(r)(x);
+  const int sign = sign_hash_->at(r).Sign(x);
+  return static_cast<double>(sign) *
+         acc_[static_cast<size_t>(r)][static_cast<size_t>(bucket)];
+}
+
+double Hashtogram::Estimate(const DomainItem& x) const {
+  LDPHH_DCHECK(finalized_, "Estimate before Finalize");
+  std::vector<double> per_row(static_cast<size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) per_row[static_cast<size_t>(r)] = RowEstimate(r, x);
+  return static_cast<double>(rows_) * Median(std::move(per_row));
+}
+
+double Hashtogram::EstimateSum(const DomainItem& x) const {
+  LDPHH_DCHECK(finalized_, "Estimate before Finalize");
+  double acc = 0.0;
+  for (int r = 0; r < rows_; ++r) acc += RowEstimate(r, x);
+  return acc;
+}
+
+size_t Hashtogram::MemoryBytes() const {
+  return static_cast<size_t>(rows_) * static_cast<size_t>(table_size_) *
+         sizeof(double);
+}
+
+}  // namespace ldphh

@@ -1,0 +1,96 @@
+/// \file hashtogram.h
+/// \brief Hashtogram (Bassily-Nissim-Stemmer-Thakurta 2017; Theorem 3.7):
+/// an eps-LDP frequency oracle over an arbitrary domain X with
+///   error        O( (1/eps) sqrt(n log(min(n,|X|)/beta)) ),
+///   server memory O~(sqrt(n)), server time O~(n), O~(1) per query,
+///   user cost    O~(1) time / memory / communication.
+///
+/// Construction: users are partitioned into R = O(log(1/beta)) rows by a
+/// public hash of the user index. Row r carries a pairwise hash
+/// h_r : X -> [T] (T = O~(sqrt(n))) and a 4-wise sign s_r : X -> {+-1}.
+/// A user in row r holding x reports one randomized-response bit of the
+/// Hadamard code of h_r(x), signed by s_r(x): it samples l in [T] and sends
+/// (l, RR(H[l, h_r(x)] * s_r(x))). The server FWHTs each row's report
+/// histogram into per-bucket signed counts c_r[t]; the frequency estimate is
+///   f^(x) = R * median_r ( s_r(x) * c_r[h_r(x)] ).
+/// The median over rows gives the log(1/beta) confidence and robustness to
+/// the rare hash collisions with heavy elements; the sign hash makes
+/// colliding light mass mean-zero.
+
+#ifndef LDPHH_FREQ_HASHTOGRAM_H_
+#define LDPHH_FREQ_HASHTOGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/random.h"
+#include "src/freq/freq_oracle.h"
+#include "src/hashing/kwise_hash.h"
+
+namespace ldphh {
+
+/// Tuning parameters for Hashtogram.
+struct HashtogramParams {
+  /// Rows (repetitions). 0 = auto: max(8, 2 ceil(log2(3/beta))).
+  int rows = 0;
+  /// Hash range per row. 0 = auto: next_pow2(4 sqrt(n)).
+  uint64_t table_size = 0;
+  /// Failure probability target used by the auto rules.
+  double beta = 1e-3;
+};
+
+/// \brief Theorem 3.7 frequency oracle over DomainItem values.
+class Hashtogram {
+ public:
+  /// \param n_hint   expected number of users (drives the auto parameters).
+  /// \param epsilon  per-user privacy parameter.
+  /// \param params   tuning; see HashtogramParams.
+  /// \param seed     public-randomness seed (shared by users and server).
+  Hashtogram(uint64_t n_hint, double epsilon, const HashtogramParams& params,
+             uint64_t seed);
+
+  /// Row assigned to a user (public: derived from the user index).
+  int RowOf(uint64_t user_index) const;
+
+  /// Client: privatizes item \p x for user \p user_index.
+  FoReport Encode(uint64_t user_index, const DomainItem& x, Rng& rng) const;
+
+  /// Server: absorbs the report of user \p user_index.
+  void Aggregate(uint64_t user_index, const FoReport& report);
+
+  /// Server: closes aggregation (one FWHT per row).
+  void Finalize();
+
+  /// Median-of-rows estimate (robust; the default).
+  double Estimate(const DomainItem& x) const;
+  /// Sum-of-rows estimate (unbiased; larger tail).
+  double EstimateSum(const DomainItem& x) const;
+
+  double epsilon() const { return epsilon_; }
+  int rows() const { return rows_; }
+  uint64_t table_size() const { return table_size_; }
+  /// Server memory in bytes.
+  size_t MemoryBytes() const;
+  /// Report size in bits.
+  int ReportBits() const { return index_bits_ + 1; }
+
+ private:
+  double RowEstimate(int r, const DomainItem& x) const;
+
+  double epsilon_;
+  int rows_;
+  uint64_t table_size_;
+  int index_bits_;
+  double keep_prob_;
+  double debias_;
+  uint64_t row_seed_;
+  std::unique_ptr<HashFamily> bucket_hash_;  ///< h_r : X -> [T], pairwise.
+  std::unique_ptr<HashFamily> sign_hash_;    ///< s_r : X -> {+-1}, 4-wise.
+  bool finalized_ = false;
+  std::vector<std::vector<double>> acc_;     ///< Per-row index histograms.
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_FREQ_HASHTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "src/freq/olh.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+#include "src/hashing/mersenne61.h"
+
+namespace ldphh {
+
+OlhFO::OlhFO(uint64_t domain_size, double epsilon, uint64_t seed)
+    : domain_size_(domain_size), epsilon_(epsilon), seed_(seed) {
+  LDPHH_CHECK(domain_size >= 2, "OlhFO: domain must have >= 2 values");
+  LDPHH_CHECK(epsilon > 0.0, "OlhFO: epsilon must be positive");
+  g_ = static_cast<uint64_t>(std::llround(std::exp(epsilon))) + 1;
+  if (g_ < 2) g_ = 2;
+  report_bits_ = CeilLog2(NextPow2(g_));
+  if (report_bits_ == 0) report_bits_ = 1;
+  const double e = std::exp(epsilon);
+  keep_prob_ = e / (e + static_cast<double>(g_) - 1.0);
+}
+
+uint64_t OlhFO::PersonalHash(uint64_t user_index, uint64_t value) const {
+  // A fresh pairwise hash per user, derived from (seed, user_index):
+  // h(v) = (a * v + b mod p) mod g with a != 0.
+  uint64_t s = seed_ ^ Mix64(user_index + 0x1234567);
+  const uint64_t a = 1 + Mix64(s) % (kMersenne61 - 1);
+  const uint64_t b = Mix64(s ^ 0x9e3779b97f4a7c15ULL) % kMersenne61;
+  const uint64_t hv =
+      Mersenne61Add(Mersenne61Mul(a, Mersenne61FromU64(value)), b);
+  return hv % g_;
+}
+
+FoReport OlhFO::EncodeForUser(uint64_t user_index, uint64_t value,
+                              Rng& rng) const {
+  LDPHH_DCHECK(value < domain_size_, "OlhFO: value out of domain");
+  uint64_t hashed = PersonalHash(user_index, value);
+  if (!rng.Bernoulli(keep_prob_)) {
+    uint64_t other = rng.UniformU64(g_ - 1);
+    if (other >= hashed) ++other;
+    hashed = other;
+  }
+  return FoReport{hashed, report_bits_};
+}
+
+FoReport OlhFO::Encode(uint64_t value, Rng& rng) const {
+  return EncodeForUser(next_user_++, value, rng);
+}
+
+void OlhFO::Aggregate(const FoReport& report) {
+  reports_.push_back(static_cast<uint32_t>(report.bits));
+}
+
+double OlhFO::Estimate(uint64_t value) const {
+  LDPHH_DCHECK(value < domain_size_, "Estimate: value out of domain");
+  // Support count: users whose report equals their personal hash of value.
+  double support = 0.0;
+  for (size_t i = 0; i < reports_.size(); ++i) {
+    if (reports_[i] == PersonalHash(static_cast<uint64_t>(i), value)) {
+      support += 1.0;
+    }
+  }
+  const double n = static_cast<double>(reports_.size());
+  const double inv_g = 1.0 / static_cast<double>(g_);
+  return (support - n * inv_g) / (keep_prob_ - inv_g);
+}
+
+size_t OlhFO::MemoryBytes() const { return reports_.size() * sizeof(uint32_t); }
+
+}  // namespace ldphh

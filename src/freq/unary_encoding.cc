@@ -1,0 +1,48 @@
+#include "src/freq/unary_encoding.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+UnaryEncodingFO::UnaryEncodingFO(uint64_t domain_size, double epsilon)
+    : domain_size_(domain_size), epsilon_(epsilon) {
+  LDPHH_CHECK(domain_size >= 2 && domain_size <= 56,
+              "UnaryEncodingFO: domain size must be in [2, 56]");
+  LDPHH_CHECK(epsilon > 0.0, "UnaryEncodingFO: epsilon must be positive");
+  const double e2 = std::exp(epsilon / 2.0);
+  p_ = e2 / (e2 + 1.0);
+  q_ = 1.0 - p_;
+  ones_.assign(static_cast<size_t>(domain_size), 0.0);
+}
+
+FoReport UnaryEncodingFO::Encode(uint64_t value, Rng& rng) const {
+  LDPHH_DCHECK(value < domain_size_, "UnaryEncodingFO: value out of domain");
+  uint64_t bits = 0;
+  for (uint64_t k = 0; k < domain_size_; ++k) {
+    const bool truth = (k == value);
+    const bool report = rng.Bernoulli(truth ? p_ : q_);
+    if (report) bits |= uint64_t{1} << k;
+  }
+  return FoReport{bits, static_cast<int>(domain_size_)};
+}
+
+void UnaryEncodingFO::Aggregate(const FoReport& report) {
+  for (uint64_t k = 0; k < domain_size_; ++k) {
+    if ((report.bits >> k) & 1) ones_[static_cast<size_t>(k)] += 1.0;
+  }
+  ++count_;
+}
+
+double UnaryEncodingFO::Estimate(uint64_t value) const {
+  LDPHH_DCHECK(value < domain_size_, "Estimate: value out of domain");
+  return (ones_[static_cast<size_t>(value)] - static_cast<double>(count_) * q_) /
+         (p_ - q_);
+}
+
+size_t UnaryEncodingFO::MemoryBytes() const {
+  return ones_.size() * sizeof(double);
+}
+
+}  // namespace ldphh

@@ -1,0 +1,46 @@
+/// \file unary_encoding.h
+/// \brief Symmetric unary encoding ("basic RAPPOR", Erlingsson et al. 2014).
+///
+/// The user one-hot encodes the value into K bits and flips every bit
+/// independently with probability 1/(e^{eps/2} + 1); the report is the full
+/// K-bit vector. This is the mechanism behind Google Chrome's RAPPOR — the
+/// paper's motivating industrial deployment — so it ships as a baseline.
+/// Report packing limits K to 56 here (plenty for the ablation bench).
+
+#ifndef LDPHH_FREQ_UNARY_ENCODING_H_
+#define LDPHH_FREQ_UNARY_ENCODING_H_
+
+#include <vector>
+
+#include "src/freq/freq_oracle.h"
+
+namespace ldphh {
+
+/// \brief Basic-RAPPOR frequency oracle.
+class UnaryEncodingFO final : public SmallDomainFO {
+ public:
+  /// \param domain_size  K in [2, 56] (report = one packed 64-bit word).
+  UnaryEncodingFO(uint64_t domain_size, double epsilon);
+
+  uint64_t domain_size() const override { return domain_size_; }
+  double epsilon() const override { return epsilon_; }
+  std::string Name() const override { return "rappor-unary"; }
+
+  FoReport Encode(uint64_t value, Rng& rng) const override;
+  void Aggregate(const FoReport& report) override;
+  void Finalize() override {}
+  double Estimate(uint64_t value) const override;
+  size_t MemoryBytes() const override;
+
+ private:
+  uint64_t domain_size_;
+  double epsilon_;
+  double p_;  ///< Pr[report bit = 1 | true bit = 1] = e^{eps/2}/(e^{eps/2}+1).
+  double q_;  ///< Pr[report bit = 1 | true bit = 0] = 1 - p.
+  uint64_t count_ = 0;
+  std::vector<double> ones_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_FREQ_UNARY_ENCODING_H_

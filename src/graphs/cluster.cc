@@ -1,0 +1,66 @@
+#include "src/graphs/cluster.h"
+
+#include <algorithm>
+
+#include "src/graphs/spectral.h"
+
+namespace ldphh {
+
+namespace {
+
+// Recursively partitions the subgraph induced on `vertices` (original ids).
+void SplitRecursive(const Graph& g, std::vector<int> vertices,
+                    const ClusterOptions& options, int depth, Rng& rng,
+                    std::vector<std::vector<int>>* out) {
+  if (static_cast<int>(vertices.size()) < options.min_split_size ||
+      depth >= options.max_depth) {
+    out->push_back(std::move(vertices));
+    return;
+  }
+
+  Graph sub = g.InducedSubgraph(vertices);
+  // The induced subgraph may have disconnected after a previous cut.
+  const auto comps = sub.ConnectedComponents();
+  if (comps.size() > 1) {
+    for (const auto& comp : comps) {
+      std::vector<int> orig;
+      orig.reserve(comp.size());
+      for (int v : comp) orig.push_back(vertices[static_cast<size_t>(v)]);
+      SplitRecursive(g, std::move(orig), options, depth + 1, rng, out);
+    }
+    return;
+  }
+
+  const std::vector<double> fiedler =
+      ApproximateFiedlerVector(sub, options.fiedler_iters, rng);
+  const SweepCut cut = BestSweepCut(sub, fiedler);
+  if (cut.conductance >= options.conductance_threshold || cut.side_a.empty() ||
+      cut.side_b.empty()) {
+    out->push_back(std::move(vertices));  // Internally well-connected: emit.
+    return;
+  }
+
+  std::vector<int> a;
+  std::vector<int> b;
+  a.reserve(cut.side_a.size());
+  b.reserve(cut.side_b.size());
+  for (int v : cut.side_a) a.push_back(vertices[static_cast<size_t>(v)]);
+  for (int v : cut.side_b) b.push_back(vertices[static_cast<size_t>(v)]);
+  SplitRecursive(g, std::move(a), options, depth + 1, rng, out);
+  SplitRecursive(g, std::move(b), options, depth + 1, rng, out);
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> FindSpectralClusters(const Graph& g,
+                                                   const ClusterOptions& options,
+                                                   Rng& rng) {
+  std::vector<std::vector<int>> out;
+  for (auto& comp : g.ConnectedComponents()) {
+    SplitRecursive(g, std::move(comp), options, 0, rng, &out);
+  }
+  for (auto& cluster : out) std::sort(cluster.begin(), cluster.end());
+  return out;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,88 @@
+#include "src/graphs/expander.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/graphs/spectral.h"
+
+namespace ldphh {
+
+StatusOr<Expander> Expander::Sample(int num_vertices, int degree,
+                                    double lambda_target_fraction, uint64_t seed,
+                                    int max_attempts) {
+  if (num_vertices < 2) {
+    return Status::InvalidArgument("Expander: need at least 2 vertices");
+  }
+  if (degree < 2 || degree % 2 != 0) {
+    return Status::InvalidArgument("Expander: degree must be even and >= 2");
+  }
+  Rng rng(seed);
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Expander e(num_vertices, degree);
+    e.slots_.assign(static_cast<size_t>(num_vertices * degree), Slot{});
+    std::vector<int> next_slot(static_cast<size_t>(num_vertices), 0);
+
+    // Union of degree/2 random 2-factors: each factor is a uniformly random
+    // *fixed-point-free* permutation's functional graph, contributing edges
+    // (i, pi(i)). Self-loops (fixed points) waste half a vertex's degree
+    // and, at small M, leave vertices hanging by a single neighbor — a
+    // single erased decoder layer could then disconnect the copy. Parallel
+    // edges are tolerated only once the early attempts fail (simple
+    // d-regular graphs may not exist for tiny M).
+    const bool require_simple = attempt < (max_attempts + 1) / 2;
+    std::vector<int> perm(static_cast<size_t>(num_vertices));
+    bool ok = true;
+    std::vector<std::vector<int>> seen(static_cast<size_t>(num_vertices));
+    for (int f = 0; f < degree / 2 && ok; ++f) {
+      std::iota(perm.begin(), perm.end(), 0);
+      bool fixed_point = true;
+      for (int tries = 0; tries < 64 && fixed_point; ++tries) {
+        for (int i = num_vertices - 1; i > 0; --i) {
+          const int j =
+              static_cast<int>(rng.UniformU64(static_cast<uint64_t>(i) + 1));
+          std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+        }
+        fixed_point = false;
+        for (int i = 0; i < num_vertices; ++i) {
+          if (perm[static_cast<size_t>(i)] == i) fixed_point = true;
+        }
+      }
+      if (fixed_point) {
+        ok = false;
+        break;
+      }
+      for (int i = 0; i < num_vertices && ok; ++i) {
+        const int j = perm[static_cast<size_t>(i)];
+        if (require_simple) {
+          auto& adj = seen[static_cast<size_t>(i)];
+          if (std::find(adj.begin(), adj.end(), j) != adj.end()) {
+            ok = false;
+            break;
+          }
+          adj.push_back(j);
+          seen[static_cast<size_t>(j)].push_back(i);
+        }
+        const int si = next_slot[static_cast<size_t>(i)]++;
+        const int sj = next_slot[static_cast<size_t>(j)]++;
+        e.slots_[static_cast<size_t>(i * degree + si)] = Slot{j, sj};
+        e.slots_[static_cast<size_t>(j * degree + sj)] = Slot{i, si};
+        e.graph_.AddEdge(i, j);
+      }
+    }
+    if (!ok) continue;
+
+    if (e.graph_.ConnectedComponents().size() != 1) continue;
+
+    Rng cert_rng(rng());
+    const double lam = SecondAdjacencyEigenvalue(e.graph_, 200, cert_rng);
+    e.lambda2_ = lam;
+    if (lam <= lambda_target_fraction * static_cast<double>(degree) + 1e-9) {
+      return e;
+    }
+  }
+  return Status::ResourceExhausted(
+      "Expander::Sample: no certified expander within retry budget");
+}
+
+}  // namespace ldphh

@@ -1,0 +1,71 @@
+#include "src/graphs/graph.h"
+
+#include <algorithm>
+
+namespace ldphh {
+
+int64_t Graph::Volume(const std::vector<int>& set) const {
+  int64_t vol = 0;
+  for (int v : set) vol += Degree(v);
+  return vol;
+}
+
+std::vector<std::vector<int>> Graph::ConnectedComponents() const {
+  std::vector<bool> alive(static_cast<size_t>(NumVertices()), true);
+  return ConnectedComponents(alive);
+}
+
+std::vector<std::vector<int>> Graph::ConnectedComponents(
+    const std::vector<bool>& alive) const {
+  const int n = NumVertices();
+  std::vector<int> state(static_cast<size_t>(n), 0);  // 0 unseen, 1 done
+  std::vector<std::vector<int>> comps;
+  std::vector<int> stack;
+  for (int s = 0; s < n; ++s) {
+    if (state[s] || !alive[static_cast<size_t>(s)]) continue;
+    comps.emplace_back();
+    stack.push_back(s);
+    state[s] = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      comps.back().push_back(u);
+      for (int w : Neighbors(u)) {
+        if (!state[w] && alive[static_cast<size_t>(w)]) {
+          state[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    std::sort(comps.back().begin(), comps.back().end());
+  }
+  return comps;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& vertices,
+                             std::vector<int>* old_to_new) const {
+  std::vector<int> map(static_cast<size_t>(NumVertices()), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    map[static_cast<size_t>(vertices[i])] = static_cast<int>(i);
+  }
+  Graph sub(static_cast<int>(vertices.size()));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const int u = vertices[i];
+    int self_loop_halves = 0;
+    for (int w : Neighbors(u)) {
+      const int nw = map[static_cast<size_t>(w)];
+      if (nw < 0) continue;
+      if (static_cast<int>(i) < nw) {
+        // Each cross edge appears once from the lower new id.
+        sub.AddEdge(static_cast<int>(i), nw);
+      } else if (static_cast<int>(i) == nw) {
+        // A self-loop appears twice in the adjacency list; add once per pair.
+        if (++self_loop_halves % 2 == 0) sub.AddEdge(nw, nw);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return sub;
+}
+
+}  // namespace ldphh

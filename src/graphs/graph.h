@@ -1,0 +1,77 @@
+/// \file graph.h
+/// \brief Small undirected multigraphs (adjacency-list based).
+///
+/// The decoder of the Theorem 3.6 unique-list-recoverable code builds a
+/// layered graph on [M] x [Y] vertices per bucket; these graphs are small
+/// (thousands of vertices), so a simple adjacency-list representation is
+/// the right tool.
+
+#ifndef LDPHH_GRAPHS_GRAPH_H_
+#define LDPHH_GRAPHS_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// \brief Undirected multigraph with fixed vertex count.
+class Graph {
+ public:
+  /// Creates an edgeless graph on \p num_vertices vertices.
+  explicit Graph(int num_vertices) : adj_(static_cast<size_t>(num_vertices)) {}
+
+  /// Adds an undirected edge (u, v). Parallel edges and self-loops allowed;
+  /// a self-loop contributes 2 to the degree.
+  void AddEdge(int u, int v) {
+    LDPHH_DCHECK(u >= 0 && u < NumVertices(), "AddEdge: u out of range");
+    LDPHH_DCHECK(v >= 0 && v < NumVertices(), "AddEdge: v out of range");
+    adj_[static_cast<size_t>(u)].push_back(v);
+    if (u != v) {
+      adj_[static_cast<size_t>(v)].push_back(u);
+    } else {
+      adj_[static_cast<size_t>(u)].push_back(v);  // Self-loop: degree += 2.
+    }
+    ++num_edges_;
+  }
+
+  int NumVertices() const { return static_cast<int>(adj_.size()); }
+  int64_t NumEdges() const { return num_edges_; }
+
+  /// Neighbors of \p u (with multiplicity).
+  const std::vector<int>& Neighbors(int u) const {
+    return adj_[static_cast<size_t>(u)];
+  }
+
+  /// Degree of \p u (self-loops count twice).
+  int Degree(int u) const {
+    return static_cast<int>(adj_[static_cast<size_t>(u)].size());
+  }
+
+  /// Sum of degrees of the vertices in \p set.
+  int64_t Volume(const std::vector<int>& set) const;
+
+  /// Connected components as lists of vertices (singletons included).
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// Connected components restricted to \p alive vertices (mask by vertex).
+  std::vector<std::vector<int>> ConnectedComponents(
+      const std::vector<bool>& alive) const;
+
+  /// \brief Vertex-induced subgraph.
+  /// \param vertices  the kept vertices (need not be sorted).
+  /// \param old_to_new  output: map from original id to subgraph id
+  ///   (size NumVertices(), -1 for dropped vertices). May be null.
+  Graph InducedSubgraph(const std::vector<int>& vertices,
+                        std::vector<int>* old_to_new = nullptr) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_GRAPHS_GRAPH_H_

@@ -1,0 +1,146 @@
+#include "src/graphs/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ldphh {
+
+namespace {
+
+// y = A x.
+void AdjacencyApply(const Graph& g, const std::vector<double>& x,
+                    std::vector<double>* y) {
+  const int n = g.NumVertices();
+  y->assign(static_cast<size_t>(n), 0.0);
+  for (int u = 0; u < n; ++u) {
+    double acc = 0.0;
+    for (int w : g.Neighbors(u)) acc += x[static_cast<size_t>(w)];
+    (*y)[static_cast<size_t>(u)] = acc;
+  }
+}
+
+void SubtractMean(std::vector<double>* x) {
+  const double mean =
+      std::accumulate(x->begin(), x->end(), 0.0) / static_cast<double>(x->size());
+  for (double& v : *x) v -= mean;
+}
+
+double Norm(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+double SecondAdjacencyEigenvalue(const Graph& g, int iters, Rng& rng) {
+  const int n = g.NumVertices();
+  if (n <= 1) return 0.0;
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) v = rng.UniformDouble() - 0.5;
+  SubtractMean(&x);
+  double nx = Norm(x);
+  if (nx == 0.0) return 0.0;
+  for (double& v : x) v /= nx;
+
+  std::vector<double> y;
+  double estimate = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    AdjacencyApply(g, x, &y);
+    SubtractMean(&y);  // Deflate drift back into the principal eigenspace.
+    const double ny = Norm(y);
+    if (ny == 0.0) return 0.0;
+    estimate = ny;  // ||A x|| for unit x -> |lambda_2| in the limit.
+    for (size_t i = 0; i < y.size(); ++i) x[i] = y[i] / ny;
+  }
+  return estimate;
+}
+
+std::vector<double> ApproximateFiedlerVector(const Graph& g, int iters, Rng& rng) {
+  const int n = g.NumVertices();
+  std::vector<double> x(static_cast<size_t>(n));
+  if (n == 0) return x;
+  int max_deg = 1;
+  for (int u = 0; u < n; ++u) max_deg = std::max(max_deg, g.Degree(u));
+  const double c = 2.0 * static_cast<double>(max_deg);
+
+  for (double& v : x) v = rng.UniformDouble() - 0.5;
+  SubtractMean(&x);
+  std::vector<double> ax;
+  for (int it = 0; it < iters; ++it) {
+    // y = (c I - L) x = c x - D x + A x.
+    AdjacencyApply(g, x, &ax);
+    std::vector<double> y(static_cast<size_t>(n));
+    for (int u = 0; u < n; ++u) {
+      y[static_cast<size_t>(u)] =
+          (c - static_cast<double>(g.Degree(u))) * x[static_cast<size_t>(u)] +
+          ax[static_cast<size_t>(u)];
+    }
+    SubtractMean(&y);
+    const double ny = Norm(y);
+    if (ny == 0.0) break;
+    for (int u = 0; u < n; ++u) x[static_cast<size_t>(u)] = y[static_cast<size_t>(u)] / ny;
+  }
+  return x;
+}
+
+SweepCut BestSweepCut(const Graph& g, const std::vector<double>& scores) {
+  const int n = g.NumVertices();
+  LDPHH_CHECK(static_cast<int>(scores.size()) == n, "BestSweepCut: score size");
+  SweepCut best;
+  if (n < 2) {
+    for (int u = 0; u < n; ++u) best.side_a.push_back(u);
+    return best;
+  }
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[static_cast<size_t>(a)] <
+                                       scores[static_cast<size_t>(b)]; });
+
+  std::vector<int> pos(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pos[static_cast<size_t>(order[i])] = i;
+
+  const int64_t total_vol = [&] {
+    int64_t v = 0;
+    for (int u = 0; u < n; ++u) v += g.Degree(u);
+    return v;
+  }();
+
+  // Sweep: move vertices from side B to side A in score order, maintaining
+  // the cut size incrementally.
+  int64_t cut = 0;
+  int64_t vol_a = 0;
+  double best_cond = 2.0;
+  int best_prefix = 1;
+  for (int i = 0; i + 1 < n; ++i) {
+    const int u = order[static_cast<size_t>(i)];
+    vol_a += g.Degree(u);
+    for (int w : g.Neighbors(u)) {
+      if (w == u) continue;  // Self-loops never cross a cut.
+      if (pos[static_cast<size_t>(w)] <= i) {
+        --cut;  // Edge now internal to A.
+      } else {
+        ++cut;  // Edge crosses the cut.
+      }
+    }
+    const int64_t vol_b = total_vol - vol_a;
+    const int64_t mn = std::min(vol_a, vol_b);
+    const double cond =
+        mn > 0 ? static_cast<double>(cut) / static_cast<double>(mn) : 2.0;
+    if (cond < best_cond) {
+      best_cond = cond;
+      best_prefix = i + 1;
+    }
+  }
+
+  best.conductance = best_cond;
+  best.side_a.assign(order.begin(), order.begin() + best_prefix);
+  best.side_b.assign(order.begin() + best_prefix, order.end());
+  std::sort(best.side_a.begin(), best.side_a.end());
+  std::sort(best.side_b.begin(), best.side_b.end());
+  return best;
+}
+
+}  // namespace ldphh

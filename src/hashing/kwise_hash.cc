@@ -1,0 +1,22 @@
+#include "src/hashing/kwise_hash.h"
+
+namespace ldphh {
+
+KWiseHash::KWiseHash(int k, uint64_t range, Rng& rng) : range_(range) {
+  LDPHH_CHECK(k >= 1, "KWiseHash: independence must be >= 1");
+  LDPHH_CHECK(range >= 1, "KWiseHash: range must be >= 1");
+  coeffs_.resize(static_cast<size_t>(k));
+  for (auto& c : coeffs_) c = rng.UniformU64(kMersenne61);
+  // Leading coefficient nonzero keeps the polynomial degree exactly k-1;
+  // not required for k-wise independence but avoids degenerate instances.
+  if (k >= 2 && coeffs_.back() == 0) coeffs_.back() = 1;
+  for (auto& m : limb_mults_) m = 1 + rng.UniformU64(kMersenne61 - 1);
+}
+
+HashFamily::HashFamily(int count, int k, uint64_t range, uint64_t seed) {
+  Rng rng(seed);
+  fns_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) fns_.emplace_back(k, range, rng);
+}
+
+}  // namespace ldphh

@@ -1,0 +1,102 @@
+/// \file kwise_hash.h
+/// \brief k-wise independent hash families (the protocols' public randomness).
+///
+/// `KWiseHash` evaluates a uniformly random degree-(k-1) polynomial over
+/// GF(2^61 - 1), which is the textbook k-wise independent family. The
+/// protocols use:
+///   - pairwise (k=2) functions h_1..h_M : X -> [Y]   (step 3 of §3.3),
+///   - a (Cg log|X|)-wise g : X -> [B]                (the bucket hash),
+///   - 4-wise sign hashes for the Hashtogram sketch rows.
+///
+/// Domain items wider than 61 bits are first compressed limb-wise with
+/// per-instance random multipliers (a standard pairwise-universal
+/// compression that composes with the outer polynomial).
+
+#ifndef LDPHH_HASHING_KWISE_HASH_H_
+#define LDPHH_HASHING_KWISE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/hashing/mersenne61.h"
+
+namespace ldphh {
+
+/// \brief A single member of the k-wise independent polynomial family.
+class KWiseHash {
+ public:
+  /// Samples a random member with independence parameter \p k (>= 1) and
+  /// output range [0, \p range). Deterministic given \p rng state.
+  KWiseHash(int k, uint64_t range, Rng& rng);
+
+  /// Evaluates the hash on a 64-bit key.
+  uint64_t operator()(uint64_t x) const {
+    return Eval(Mersenne61FromU64(x)) % range_;
+  }
+
+  /// Evaluates the hash on a domain item (any width up to 256 bits).
+  uint64_t operator()(const DomainItem& x) const {
+    return Eval(Compress(x)) % range_;
+  }
+
+  /// Full-field evaluation in [0, 2^61-1), before range reduction. Used by
+  /// callers that need more output entropy (e.g. sign extraction).
+  uint64_t FullEval(uint64_t x) const { return Eval(Mersenne61FromU64(x)); }
+  uint64_t FullEval(const DomainItem& x) const { return Eval(Compress(x)); }
+
+  /// A +/-1 sign derived from the evaluation (for sketch rows; with k>=4
+  /// the signs are 4-wise independent).
+  int Sign(const DomainItem& x) const {
+    return (FullEval(x) & 1) ? -1 : 1;
+  }
+
+  uint64_t range() const { return range_; }
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  uint64_t Eval(uint64_t x) const {
+    // Horner evaluation of the degree-(k-1) polynomial.
+    uint64_t acc = coeffs_.back();
+    for (int i = static_cast<int>(coeffs_.size()) - 2; i >= 0; --i) {
+      acc = Mersenne61Add(Mersenne61Mul(acc, x), coeffs_[i]);
+    }
+    return acc;
+  }
+
+  uint64_t Compress(const DomainItem& x) const {
+    // Pairwise-universal limb compression: sum of limb_i * r_i mod p.
+    uint64_t acc = 0;
+    for (int i = 0; i < 4; ++i) {
+      acc = Mersenne61Add(
+          acc, Mersenne61Mul(Mersenne61FromU64(x.limbs[i]), limb_mults_[i]));
+    }
+    return acc;
+  }
+
+  uint64_t range_;
+  std::vector<uint64_t> coeffs_;     ///< Polynomial coefficients in GF(p).
+  uint64_t limb_mults_[4];           ///< Limb-compression multipliers.
+};
+
+/// \brief A seeded family of independent k-wise hash functions.
+///
+/// Models "public randomness" in the protocols: both users and the server
+/// construct the family from the same seed and obtain identical functions.
+class HashFamily {
+ public:
+  /// Creates \p count independent k-wise functions into [0, range).
+  HashFamily(int count, int k, uint64_t range, uint64_t seed);
+
+  const KWiseHash& at(int i) const { return fns_.at(i); }
+  int size() const { return static_cast<int>(fns_.size()); }
+
+ private:
+  std::vector<KWiseHash> fns_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_HASHING_KWISE_HASH_H_

@@ -1,0 +1,48 @@
+/// \file mersenne61.h
+/// \brief Arithmetic in the prime field GF(p) with p = 2^61 - 1.
+///
+/// The Mersenne structure gives branch-light modular reduction, making
+/// polynomial hashing (k-wise independence) fast enough to sit on the
+/// per-user hot path of the protocols.
+
+#ifndef LDPHH_HASHING_MERSENNE61_H_
+#define LDPHH_HASHING_MERSENNE61_H_
+
+#include <cstdint>
+
+namespace ldphh {
+
+/// The Mersenne prime 2^61 - 1.
+inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// Reduces x (< 2^122) modulo 2^61 - 1 into [0, p).
+inline uint64_t Mersenne61Reduce(__uint128_t x) {
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// (a + b) mod p for a, b in [0, p).
+inline uint64_t Mersenne61Add(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// (a * b) mod p for a, b in [0, p).
+inline uint64_t Mersenne61Mul(uint64_t a, uint64_t b) {
+  return Mersenne61Reduce(static_cast<__uint128_t>(a) * b);
+}
+
+/// Maps an arbitrary 64-bit value into [0, p) (loses < 2^-58 of mass).
+inline uint64_t Mersenne61FromU64(uint64_t x) {
+  uint64_t r = (x & kMersenne61) + (x >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+}  // namespace ldphh
+
+#endif  // LDPHH_HASHING_MERSENNE61_H_

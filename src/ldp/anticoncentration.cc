@@ -1,0 +1,86 @@
+#include "src/ldp/anticoncentration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+
+namespace ldphh {
+
+double BinomialMinExitProbability(uint64_t n, double p, uint64_t interval_len) {
+  // Pre-compute the pmf once; slide the interval.
+  std::vector<double> pmf(static_cast<size_t>(n) + 1);
+  for (uint64_t k = 0; k <= n; ++k) {
+    pmf[static_cast<size_t>(k)] = std::exp(LogBinomialPmf(n, k, p));
+  }
+  if (interval_len >= n) return 0.0;
+  // Interval of integer length L covers L+1 support points.
+  double window = 0.0;
+  for (uint64_t k = 0; k <= interval_len; ++k) window += pmf[static_cast<size_t>(k)];
+  double best_inside = window;
+  for (uint64_t lo = 1; lo + interval_len <= n; ++lo) {
+    window += pmf[static_cast<size_t>(lo + interval_len)];
+    window -= pmf[static_cast<size_t>(lo - 1)];
+    best_inside = std::max(best_inside, window);
+  }
+  return std::max(0.0, 1.0 - best_inside);
+}
+
+LowerBoundExperiment RunLowerBoundExperiment(uint64_t n, double eps,
+                                             double block_constant, int trials,
+                                             uint64_t seed) {
+  LDPHH_CHECK(n >= 16, "RunLowerBoundExperiment: n too small");
+  LDPHH_CHECK(eps > 0.0, "RunLowerBoundExperiment: eps must be positive");
+  LowerBoundExperiment out;
+  out.n = n;
+  out.eps = eps;
+  uint64_t m = static_cast<uint64_t>(block_constant * eps * eps *
+                                     static_cast<double>(n));
+  m = std::clamp<uint64_t>(m, 4, n);
+  out.m = m;
+
+  const double e = std::exp(eps);
+  const double keep = e / (e + 1.0);
+  const double debias = (e + 1.0) / (e - 1.0);
+
+  Rng rng(seed);
+  out.abs_errors.reserve(static_cast<size_t>(trials));
+  for (int trial = 0; trial < trials; ++trial) {
+    // S in {0,1}^m uniform; D replicates each bit into a block.
+    uint64_t true_count = 0;
+    double est = 0.0;
+    // Walk the n users; user i holds bit S[floor(i * m / n)].
+    uint64_t bit = 0;
+    uint64_t block = ~uint64_t{0};
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t j = i * m / n;
+      if (j != block) {
+        block = j;
+        bit = rng() & 1;
+      }
+      true_count += bit;
+      // Binary randomized response + debiased sum: the canonical eps-LDP
+      // counting protocol.
+      const uint64_t reported = rng.Bernoulli(keep) ? bit : 1 - bit;
+      est += debias * (static_cast<double>(reported) - 1.0 / (e + 1.0));
+    }
+    out.abs_errors.push_back(std::abs(est - static_cast<double>(true_count)));
+  }
+  return out;
+}
+
+double ErrorQuantile(const LowerBoundExperiment& exp, double beta) {
+  LDPHH_CHECK(!exp.abs_errors.empty(), "ErrorQuantile: empty experiment");
+  std::vector<double> errs = exp.abs_errors;
+  std::sort(errs.begin(), errs.end());
+  const double rank = (1.0 - beta) * static_cast<double>(errs.size() - 1);
+  const size_t idx = static_cast<size_t>(std::llround(rank));
+  return errs[std::min(idx, errs.size() - 1)];
+}
+
+double LowerBoundShape(uint64_t n, double eps, double beta) {
+  return std::sqrt(static_cast<double>(n) * std::log(1.0 / beta)) / eps;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,60 @@
+/// \file anticoncentration.h
+/// \brief The Section 7 / Appendix A lower-bound machinery.
+///
+/// Theorem 7.2 shows every (eps, delta)-LDP frequency protocol has
+/// worst-case error Omega((1/eps) sqrt(n log(1/beta))) at failure
+/// probability beta. The proof plants m = C eps^2 n independent random bits,
+/// each copied into n/m users; conditioned on the transcript the bits stay
+/// near-uniform, so the true count anti-concentrates (Theorem 7.5 /
+/// Corollary 7.6 / Theorem A.5) inside any interval shorter than
+/// sqrt(m log(1/beta)).
+///
+/// This header provides (a) exact binomial anti-concentration checks that
+/// validate Theorem A.5 numerically and (b) the experiment harness that
+/// measures the realized error-vs-beta curve of an actual eps-LDP counting
+/// protocol on the block-random database, for the F9 bench.
+
+#ifndef LDPHH_LDP_ANTICONCENTRATION_H_
+#define LDPHH_LDP_ANTICONCENTRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace ldphh {
+
+/// \brief Exact min over interval placements of Pr[Bin(n, p) outside I]
+/// for an interval of integer length \p interval_len.
+///
+/// Theorem A.5 asserts this stays >= beta whenever
+/// interval_len <= c sqrt(n log(1/beta)); the tests sweep this claim.
+double BinomialMinExitProbability(uint64_t n, double p, uint64_t interval_len);
+
+/// Result of the Section 7 experiment.
+struct LowerBoundExperiment {
+  uint64_t n = 0;          ///< Number of users.
+  uint64_t m = 0;          ///< Number of planted random bits (C eps^2 n).
+  double eps = 0.0;
+  std::vector<double> abs_errors;  ///< |Est - true count|, one per trial.
+};
+
+/// \brief Runs the Theorem 7.2 experiment.
+///
+/// Per trial: draw S in {0,1}^m uniformly, replicate into the block
+/// database D in {0,1}^n (Y_i = X_{ceil(im/n)}), run the canonical eps-LDP
+/// counting protocol (binary randomized response with debiased sum — the
+/// X = {0,1} frequency oracle), and record the absolute counting error.
+LowerBoundExperiment RunLowerBoundExperiment(uint64_t n, double eps,
+                                             double block_constant, int trials,
+                                             uint64_t seed);
+
+/// The (1 - beta) empirical quantile of the absolute errors.
+double ErrorQuantile(const LowerBoundExperiment& exp, double beta);
+
+/// The lower-bound shape (1/eps) sqrt(n ln(1/beta)) for overlaying.
+double LowerBoundShape(uint64_t n, double eps, double beta);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_LDP_ANTICONCENTRATION_H_

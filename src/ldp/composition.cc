@@ -1,0 +1,183 @@
+#include "src/ldp/composition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/math_util.h"
+#include "src/common/status.h"
+
+namespace ldphh {
+
+ShellComposedRR::ShellComposedRR(double epsilon, int k, double beta)
+    : epsilon_(epsilon), k_(k), beta_(beta) {
+  LDPHH_CHECK(epsilon > 0.0, "ShellComposedRR: epsilon must be positive");
+  LDPHH_CHECK(k >= 1, "ShellComposedRR: k must be >= 1");
+  LDPHH_CHECK(beta > 0.0 && beta < 1.0, "ShellComposedRR: beta in (0,1)");
+  const double e = std::exp(epsilon);
+  keep_prob_ = e / (e + 1.0);
+  const double center = static_cast<double>(k) / (e + 1.0);
+  const double radius = std::sqrt(static_cast<double>(k) * std::log(2.0 / beta) / 2.0);
+  shell_lo_ = std::max(0, static_cast<int>(std::ceil(center - radius)));
+  shell_hi_ = std::min(k, static_cast<int>(std::floor(center + radius)));
+  LDPHH_CHECK(shell_lo_ <= shell_hi_, "ShellComposedRR: empty shell (beta too large)");
+
+  // Exact out-of-shell mass of M(x): sum over out-of-shell distances of
+  // C(k,d) q^d p^{k-d}, and the log cardinality of the out-of-shell set.
+  double out_mass_log = -std::numeric_limits<double>::infinity();
+  double out_count_log = -std::numeric_limits<double>::infinity();
+  for (int d = 0; d <= k; ++d) {
+    if (InShell(d)) continue;
+    const double lc = LogBinomial(static_cast<uint64_t>(k), static_cast<uint64_t>(d));
+    out_count_log = LogSumExp(out_count_log, lc);
+    out_mass_log = LogSumExp(out_mass_log, lc + LogPlainProbAtDistance(d));
+  }
+  if (out_count_log == -std::numeric_limits<double>::infinity()) {
+    // Shell covers the whole cube; M~ == M and no output ever re-routes.
+    out_shell_mass_ = 0.0;
+    log_out_prob_ = -std::numeric_limits<double>::infinity();
+  } else {
+    out_shell_mass_ = std::exp(out_mass_log);
+    log_out_prob_ = out_mass_log - out_count_log;
+  }
+}
+
+double ShellComposedRR::LogPlainProbAtDistance(int d) const {
+  return static_cast<double>(d) * std::log(1.0 - keep_prob_) +
+         static_cast<double>(k_ - d) * std::log(keep_prob_);
+}
+
+double ShellComposedRR::LogProbAtDistance(int d) const {
+  if (InShell(d)) return LogPlainProbAtDistance(d);
+  return log_out_prob_;
+}
+
+double ShellComposedRR::OutOfShellProb() const { return out_shell_mass_; }
+
+std::vector<uint8_t> ShellComposedRR::ApplyPlain(const std::vector<uint8_t>& x,
+                                                 Rng& rng) const {
+  LDPHH_CHECK(static_cast<int>(x.size()) == k_, "ApplyPlain: wrong length");
+  std::vector<uint8_t> y(x);
+  for (auto& bit : y) {
+    if (!rng.Bernoulli(keep_prob_)) bit ^= 1;
+  }
+  return y;
+}
+
+std::vector<uint8_t> ShellComposedRR::Apply(const std::vector<uint8_t>& x,
+                                            Rng& rng) const {
+  LDPHH_CHECK(static_cast<int>(x.size()) == k_, "Apply: wrong length");
+  std::vector<uint8_t> y = ApplyPlain(x, rng);
+  int d = 0;
+  for (int i = 0; i < k_; ++i) d += (y[static_cast<size_t>(i)] != x[static_cast<size_t>(i)]);
+  if (InShell(d)) return y;
+
+  // Re-route: uniform over outputs outside the shell. Sample the distance
+  // first (weights C(k,d) for out-of-shell d), then flip that many uniformly
+  // chosen coordinates of x.
+  std::vector<double> weights;
+  std::vector<int> dists;
+  double total_log = -std::numeric_limits<double>::infinity();
+  for (int dd = 0; dd <= k_; ++dd) {
+    if (InShell(dd)) continue;
+    const double lc =
+        LogBinomial(static_cast<uint64_t>(k_), static_cast<uint64_t>(dd));
+    dists.push_back(dd);
+    weights.push_back(lc);
+    total_log = LogSumExp(total_log, lc);
+  }
+  // CDF inversion in log space.
+  const double u = std::max(1e-300, rng.UniformDouble());
+  double acc = -std::numeric_limits<double>::infinity();
+  int chosen = dists.back();
+  for (size_t i = 0; i < dists.size(); ++i) {
+    acc = LogSumExp(acc, weights[i]);
+    if (std::exp(acc - total_log) >= u) {
+      chosen = dists[i];
+      break;
+    }
+  }
+  // Flip `chosen` distinct random coordinates (Fisher-Yates prefix).
+  std::vector<int> idx(static_cast<size_t>(k_));
+  for (int i = 0; i < k_; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < chosen; ++i) {
+    const int j = i + static_cast<int>(rng.UniformU64(static_cast<uint64_t>(k_ - i)));
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  std::vector<uint8_t> out(x);
+  for (int i = 0; i < chosen; ++i) out[static_cast<size_t>(idx[static_cast<size_t>(i)])] ^= 1;
+  return out;
+}
+
+bool ShellComposedRR::Feasible(int k, int h, int da, int db) {
+  if (da < 0 || da > k || db < 0 || db > k) return false;
+  if (da + db < h) return false;
+  if (std::abs(da - db) > h) return false;
+  if (da + db > 2 * k - h) return false;
+  return (da + db - h) % 2 == 0;
+}
+
+bool ShellComposedRR::FeasibleOutside(int h, int da) const {
+  // Feasible db for fixed (h, da) form an arithmetic progression of step 2:
+  // db in [max(h-da, da-h), min(da+h, 2k-h-da)] with db = da + h (mod 2).
+  const int lo = std::max(h - da, da - h);
+  const int hi = std::min(da + h, 2 * k_ - h - da);
+  if (lo > hi) return false;
+  auto aligned = [&](int v) {
+    if ((v + da + h) % 2 != 0) ++v;
+    return v;
+  };
+  // Any aligned value in [lo, hi] outside [shell_lo_, shell_hi_]?
+  const int first = aligned(lo);
+  if (first <= hi && first < shell_lo_) return true;                  // Below shell.
+  const int above = aligned(std::max(lo, shell_hi_ + 1));
+  if (above <= hi) return true;                                       // Above shell.
+  return false;
+}
+
+double ShellComposedRR::ExactEpsilon() const {
+  // Pr[M~(x)=y] depends on d(x,y) and shell membership only; maximize the
+  // log ratio over d(x,x') = h and feasible distance pairs.
+  double worst = 0.0;
+  const bool has_outside = log_out_prob_ != -std::numeric_limits<double>::infinity();
+  for (int h = 1; h <= k_; ++h) {
+    // Case in-in: ratio = (q/p)^{da - db}; maximized at extreme feasible
+    // distances within the shell.
+    for (int da = shell_lo_; da <= shell_hi_; ++da) {
+      for (int db = shell_lo_; db <= shell_hi_; ++db) {
+        if (!Feasible(k_, h, da, db)) continue;
+        worst = std::max(worst, std::abs(LogPlainProbAtDistance(da) -
+                                         LogPlainProbAtDistance(db)));
+      }
+      if (has_outside && FeasibleOutside(h, da)) {
+        // Cases in-out and out-in.
+        worst = std::max(worst,
+                         std::abs(LogPlainProbAtDistance(da) - log_out_prob_));
+      }
+    }
+    // Case out-out: identical per-output mass; ratio 1.
+  }
+  return worst;
+}
+
+double ShellComposedRR::EpsilonBound() const {
+  return 6.0 * epsilon_ *
+         std::sqrt(static_cast<double>(k_) * std::log(1.0 / beta_));
+}
+
+double ShellComposedRR::TvToPlainComposition() const {
+  // M~ and M agree inside the shell; outside, M~ spreads out_shell_mass_
+  // uniformly. TV = 1/2 sum_{d outside} C(k,d) |P_out - P_M(d)|.
+  double acc = 0.0;
+  for (int d = 0; d <= k_; ++d) {
+    if (InShell(d)) continue;
+    const double lc =
+        LogBinomial(static_cast<uint64_t>(k_), static_cast<uint64_t>(d));
+    const double pm = std::exp(lc + LogPlainProbAtDistance(d));
+    const double pt = std::exp(lc + log_out_prob_);
+    acc += std::abs(pt - pm);
+  }
+  return 0.5 * acc;
+}
+
+}  // namespace ldphh

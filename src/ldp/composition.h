@@ -1,0 +1,88 @@
+/// \file composition.h
+/// \brief Composition for randomized response (Section 5, Theorem 5.1).
+///
+/// M applies independent eps-randomized response to each of k bits; naive
+/// composition prices this at k * eps. Theorem 5.1's algorithm M~ replaces
+/// the out-of-shell outputs of M (total probability <= beta) by a uniform
+/// sample outside the shell, and the result is *pure*
+/// 6 eps sqrt(k ln(1/beta))-LDP while being beta-close to M on every input.
+///
+/// Because Pr[M~(x) = y] depends only on the Hamming distance d(x, y), the
+/// class implements an exact analysis: the realized pure-DP parameter
+/// (max log ratio over all input pairs and outputs, found by enumerating
+/// feasible distance pairs) and the exact total-variation distance to M.
+
+#ifndef LDPHH_LDP_COMPOSITION_H_
+#define LDPHH_LDP_COMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace ldphh {
+
+/// \brief Theorem 5.1's algorithm M~ over {0,1}^k.
+class ShellComposedRR {
+ public:
+  /// \param epsilon  per-bit RR parameter.
+  /// \param k        number of bits.
+  /// \param beta     shell failure probability (Theorem 5.1's beta).
+  ShellComposedRR(double epsilon, int k, double beta);
+
+  /// Applies M~ to \p x (k bits, one per vector entry).
+  std::vector<uint8_t> Apply(const std::vector<uint8_t>& x, Rng& rng) const;
+
+  /// Applies the plain composition M (k independent RRs) — the reference.
+  std::vector<uint8_t> ApplyPlain(const std::vector<uint8_t>& x, Rng& rng) const;
+
+  /// The "good" shell: distances d with |d - k/(e^eps+1)| <= sqrt(k ln(2/beta)/2).
+  int shell_lo() const { return shell_lo_; }
+  int shell_hi() const { return shell_hi_; }
+
+  /// Pr[M(x) lands outside the shell] (exact; <= beta by Hoeffding).
+  double OutOfShellProb() const;
+
+  /// \brief Exact realized pure-DP parameter of M~:
+  /// max over x, x', y of ln(Pr[M~(x)=y] / Pr[M~(x')=y]).
+  double ExactEpsilon() const;
+
+  /// Theorem 5.1's guaranteed bound eps~ = 6 eps sqrt(k ln(1/beta)).
+  double EpsilonBound() const;
+
+  /// Exact total-variation distance between M~(x) and M(x) (same for all x).
+  double TvToPlainComposition() const;
+
+  /// The naive composition price k * eps (comparison row).
+  double NaiveEpsilon() const { return epsilon_ * static_cast<double>(k_); }
+
+  /// log Pr[M~(x) = y] for an output at Hamming distance \p d from x.
+  double LogProbAtDistance(int d) const;
+  /// log Pr[M(x) = y] at distance d (plain composition).
+  double LogPlainProbAtDistance(int d) const;
+
+  int k() const { return k_; }
+  double epsilon() const { return epsilon_; }
+  double beta() const { return beta_; }
+
+ private:
+  bool InShell(int d) const { return d >= shell_lo_ && d <= shell_hi_; }
+  /// Is there an output y with d(x,y)=da, d(x',y)=db given d(x,x')=h?
+  static bool Feasible(int k, int h, int da, int db);
+  /// Any feasible db outside the shell for this (h, da)?
+  bool FeasibleOutside(int h, int da) const;
+
+  double epsilon_;
+  int k_;
+  double beta_;
+  double keep_prob_;       ///< e^eps / (e^eps + 1).
+  int shell_lo_;
+  int shell_hi_;
+  double log_out_prob_;    ///< log of the per-output mass outside the shell.
+  double out_shell_mass_;  ///< Pr[M(x) outside shell] (exact).
+  std::vector<double> log_out_count_by_d_;  ///< log C(k,d) for d outside.
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_LDP_COMPOSITION_H_

@@ -1,0 +1,145 @@
+#include "src/ldp/genprot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/math_util.h"
+
+namespace ldphh {
+
+GenProt::GenProt(const LocalRandomizer* randomizer, double eps, int t_count,
+                 int default_input)
+    : randomizer_(randomizer),
+      eps_(eps),
+      t_count_(t_count),
+      default_input_(default_input) {
+  LDPHH_CHECK(randomizer != nullptr, "GenProt: null randomizer");
+  LDPHH_CHECK(eps > 0.0 && eps <= 0.25, "GenProt: Theorem 6.1 needs eps <= 1/4");
+  LDPHH_CHECK(t_count >= 1, "GenProt: T >= 1");
+  LDPHH_CHECK(default_input >= 0 && default_input < randomizer->num_inputs(),
+              "GenProt: bad default input");
+  report_bits_ = CeilLog2(NextPow2(static_cast<uint64_t>(t_count)));
+  if (report_bits_ == 0) report_bits_ = 1;
+}
+
+int GenProt::MinT(double eps) {
+  return static_cast<int>(std::ceil(5.0 * std::log(1.0 / eps)));
+}
+
+double GenProt::UtilityTvBound(double eps, double delta, int t_count, uint64_t n) {
+  const double nd = static_cast<double>(n);
+  const double td = static_cast<double>(t_count);
+  return nd * (std::pow(0.5 + eps, td) +
+               6.0 * td * delta * std::exp(eps) / (1.0 - std::exp(-eps)));
+}
+
+double GenProt::ClampedProb(int x, int y) const {
+  const double lp = randomizer_->LogProb(x, y);
+  const double lq = randomizer_->LogProb(default_input_, y);
+  double p;
+  if (lq == -std::numeric_limits<double>::infinity()) {
+    p = 1.0;  // Ratio is +inf; certainly outside the good band.
+  } else {
+    p = 0.5 * std::exp(lp - lq);
+  }
+  const double lo = std::exp(-2.0 * eps_) / 2.0;
+  const double hi = std::exp(2.0 * eps_) / 2.0;
+  if (p < lo || p > hi) return 0.5;  // Step 2b: clamp bad ratios to 1/2.
+  return p;
+}
+
+GenProtRun GenProt::Run(const std::vector<int>& inputs, uint64_t seed) const {
+  Rng public_rng(seed);
+  GenProtRun out;
+  out.report_bits = report_bits_;
+  out.chosen_index.reserve(inputs.size());
+  out.resolved_output.reserve(inputs.size());
+
+  std::vector<int> ys(static_cast<size_t>(t_count_));
+  std::vector<int> successes;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    // Step 1: public samples y_{i,t} ~ A(bot).
+    for (int t = 0; t < t_count_; ++t) {
+      ys[static_cast<size_t>(t)] = randomizer_->Sample(default_input_, public_rng);
+    }
+    // Steps 2a-2f: the user's private selection.
+    Rng user_rng = public_rng.Fork();
+    successes.clear();
+    for (int t = 0; t < t_count_; ++t) {
+      const double p = ClampedProb(inputs[i], ys[static_cast<size_t>(t)]);
+      if (user_rng.Bernoulli(p)) successes.push_back(t);
+    }
+    int g;
+    if (successes.empty()) {
+      g = static_cast<int>(user_rng.UniformU64(static_cast<uint64_t>(t_count_)));
+    } else {
+      g = successes[user_rng.UniformU64(successes.size())];
+    }
+    out.chosen_index.push_back(g);
+    out.resolved_output.push_back(ys[static_cast<size_t>(g)]);
+  }
+  return out;
+}
+
+std::vector<double> GenProt::UserOutputDistribution(
+    const std::vector<int>& public_ys, int x) const {
+  LDPHH_CHECK(static_cast<int>(public_ys.size()) == t_count_,
+              "UserOutputDistribution: need T public samples");
+  const int t_cnt = t_count_;
+  std::vector<double> p(static_cast<size_t>(t_cnt));
+  for (int t = 0; t < t_cnt; ++t) {
+    p[static_cast<size_t>(t)] = ClampedProb(x, public_ys[static_cast<size_t>(t)]);
+  }
+
+  std::vector<double> dist(static_cast<size_t>(t_cnt), 0.0);
+  double prob_all_zero = 1.0;
+  for (int t = 0; t < t_cnt; ++t) prob_all_zero *= 1.0 - p[static_cast<size_t>(t)];
+
+  for (int g = 0; g < t_cnt; ++g) {
+    // W = number of successes among t != g; exact Poisson-binomial DP.
+    std::vector<double> w_dist(static_cast<size_t>(t_cnt), 0.0);
+    w_dist[0] = 1.0;
+    int support = 0;
+    for (int t = 0; t < t_cnt; ++t) {
+      if (t == g) continue;
+      ++support;
+      for (int w = support; w >= 1; --w) {
+        w_dist[static_cast<size_t>(w)] =
+            w_dist[static_cast<size_t>(w)] * (1.0 - p[static_cast<size_t>(t)]) +
+            w_dist[static_cast<size_t>(w - 1)] * p[static_cast<size_t>(t)];
+      }
+      w_dist[0] *= 1.0 - p[static_cast<size_t>(t)];
+    }
+    double expect_inv = 0.0;
+    for (int w = 0; w < t_cnt; ++w) {
+      expect_inv += w_dist[static_cast<size_t>(w)] / static_cast<double>(w + 1);
+    }
+    dist[static_cast<size_t>(g)] =
+        p[static_cast<size_t>(g)] * expect_inv +
+        prob_all_zero / static_cast<double>(t_cnt);
+  }
+  return dist;
+}
+
+double GenProt::ExactEpsilonForPublicRandomness(
+    const std::vector<int>& public_ys) const {
+  double worst = 0.0;
+  const int n_in = randomizer_->num_inputs();
+  std::vector<std::vector<double>> dists;
+  dists.reserve(static_cast<size_t>(n_in));
+  for (int x = 0; x < n_in; ++x) dists.push_back(UserOutputDistribution(public_ys, x));
+  for (int x = 0; x < n_in; ++x) {
+    for (int xp = 0; xp < n_in; ++xp) {
+      if (x == xp) continue;
+      for (int g = 0; g < t_count_; ++g) {
+        const double a = dists[static_cast<size_t>(x)][static_cast<size_t>(g)];
+        const double b = dists[static_cast<size_t>(xp)][static_cast<size_t>(g)];
+        worst = std::max(worst, std::log(a) - std::log(b));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,80 @@
+/// \file genprot.h
+/// \brief GenProt (Section 6, Theorem 6.1): a generic transformation of any
+/// non-interactive (eps, delta)-LDP protocol into a pure 10eps-LDP protocol
+/// with the same utility up to total-variation n((1/2+eps)^T + 6Tdelta e^eps/(1-e^-eps)).
+///
+/// Mechanics (rejection sampling): the public randomness contains T samples
+/// y_{i,1..T} ~ A_i(bot) per user. User i computes the density ratios
+/// p_{i,t} = Pr[A_i(x_i)=y_{i,t}] / (2 Pr[A_i(bot)=y_{i,t}]), clamps ratios
+/// outside [e^{-2eps}/2, e^{2eps}/2] to 1/2, tosses a p_{i,t}-coin per t,
+/// and reports a uniform index among the successes (all of [T] if none).
+/// The server resolves index g_i to the public sample y_{i,g_i} and feeds
+/// those to the original post-processing. The report is log2(T) =
+/// O(log log n) bits.
+
+#ifndef LDPHH_LDP_GENPROT_H_
+#define LDPHH_LDP_GENPROT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/ldp/randomizer.h"
+
+namespace ldphh {
+
+/// Outcome of a GenProt run.
+struct GenProtRun {
+  std::vector<int> chosen_index;      ///< g_i per user (the wire message).
+  std::vector<int> resolved_output;   ///< y_{i, g_i}: the server-side view.
+  int report_bits = 0;                ///< ceil(log2 T) per user.
+};
+
+/// \brief The GenProt transformation wrapping one shared randomizer.
+class GenProt {
+ public:
+  /// \param randomizer     the (eps, delta)-LDP local randomizer A.
+  /// \param eps            the eps used for clamping (the protocol's eps).
+  /// \param t_count        T, the number of public samples per user.
+  /// \param default_input  the fixed input "bot" used for the public samples.
+  GenProt(const LocalRandomizer* randomizer, double eps, int t_count,
+          int default_input);
+
+  /// Theorem 6.1 lower bound on T: 5 ln(1/eps).
+  static int MinT(double eps);
+  /// Theorem 6.1 utility bound on the total-variation distance.
+  static double UtilityTvBound(double eps, double delta, int t_count, uint64_t n);
+  /// The privacy guarantee of the transformed protocol: 10 eps.
+  static double PrivacyBound(double eps) { return 10.0 * eps; }
+
+  /// Runs the transformation for all users; \p seed drives the public
+  /// randomness (and the users' private coins, forked per user).
+  GenProtRun Run(const std::vector<int>& inputs, uint64_t seed) const;
+
+  /// \brief Exact output distribution over g in [T] of one user holding
+  /// \p x, for fixed public samples \p public_ys.
+  ///
+  /// Used to *verify* pure DP: the max log-ratio over inputs of these
+  /// distributions must be at most 10 eps for every public randomness.
+  std::vector<double> UserOutputDistribution(const std::vector<int>& public_ys,
+                                             int x) const;
+
+  /// Exact realized epsilon for fixed public samples: max over input pairs
+  /// and indices g of the log probability ratio.
+  double ExactEpsilonForPublicRandomness(const std::vector<int>& public_ys) const;
+
+  /// The clamped acceptance probability p_{i,t} for input x and sample y.
+  double ClampedProb(int x, int y) const;
+
+ private:
+  const LocalRandomizer* randomizer_;
+  double eps_;
+  int t_count_;
+  int default_input_;
+  int report_bits_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_LDP_GENPROT_H_

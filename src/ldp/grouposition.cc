@@ -1,0 +1,51 @@
+#include "src/ldp/grouposition.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+double AdvancedGroupositionEpsilon(double eps, int k, double delta) {
+  LDPHH_CHECK(k >= 0, "AdvancedGroupositionEpsilon: k >= 0");
+  LDPHH_CHECK(delta > 0.0 && delta < 1.0, "AdvancedGroupositionEpsilon: delta");
+  const double kd = static_cast<double>(k);
+  return kd * eps * eps / 2.0 + eps * std::sqrt(2.0 * kd * std::log(1.0 / delta));
+}
+
+double NaiveGroupEpsilon(double eps, int k) {
+  return eps * static_cast<double>(k);
+}
+
+ApproxGroupPrivacy AdvancedGroupositionApprox(double eps, double delta, int k,
+                                              double delta_prime) {
+  ApproxGroupPrivacy out;
+  out.eps_prime = AdvancedGroupositionEpsilon(eps, k, delta_prime);
+  out.delta_total = delta + static_cast<double>(k) * delta_prime;
+  return out;
+}
+
+double MaxInformationBound(double eps, uint64_t n, double beta) {
+  const double nd = static_cast<double>(n);
+  return nd * eps * eps / 2.0 + eps * std::sqrt(2.0 * nd * std::log(1.0 / beta));
+}
+
+double CentralMaxInformationBound(double eps, uint64_t n) {
+  return eps * static_cast<double>(n);
+}
+
+double ExactGroupEpsilon(const LocalRandomizer& a, int x, int x_prime, int k,
+                         double delta) {
+  const auto pld =
+      PrivacyLossDistribution::FromRandomizer(a, x, x_prime).SelfCompose(k);
+  return pld.EpsilonForDelta(delta);
+}
+
+double ExactGroupDelta(const LocalRandomizer& a, int x, int x_prime, int k,
+                       double eps_prime) {
+  const auto pld =
+      PrivacyLossDistribution::FromRandomizer(a, x, x_prime).SelfCompose(k);
+  return pld.DeltaForEpsilon(eps_prime);
+}
+
+}  // namespace ldphh

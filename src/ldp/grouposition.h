@@ -1,0 +1,60 @@
+/// \file grouposition.h
+/// \brief Advanced grouposition and max-information (Section 4).
+///
+/// In the local model, changing k of the n inputs changes the transcript
+/// distribution by roughly sqrt(k) * eps rather than k * eps: the privacy
+/// loss is a sum of k independent, mean-O(eps^2) bounded terms, so Hoeffding
+/// concentrates it (Theorem 4.2). The same bound yields the max-information
+/// guarantee of Theorem 4.5, which holds for *arbitrary* (non-product)
+/// input distributions — unlike the central model.
+
+#ifndef LDPHH_LDP_GROUPOSITION_H_
+#define LDPHH_LDP_GROUPOSITION_H_
+
+#include "src/ldp/privacy_loss.h"
+#include "src/ldp/randomizer.h"
+
+namespace ldphh {
+
+/// Theorem 4.2: for an eps-LDP protocol and inputs differing in k entries,
+/// Pr[loss > eps'] <= delta for eps' = k eps^2 / 2 + eps sqrt(2 k ln(1/delta)).
+double AdvancedGroupositionEpsilon(double eps, int k, double delta);
+
+/// The naive (central-model style) group-privacy parameter k * eps.
+double NaiveGroupEpsilon(double eps, int k);
+
+/// Theorem 4.3: the approximate-LDP extension. Returns the eps' of
+/// Theorem 4.2 evaluated at delta'; the caller's total delta becomes
+/// delta + k * delta_prime.
+struct ApproxGroupPrivacy {
+  double eps_prime;
+  double delta_total;
+};
+ApproxGroupPrivacy AdvancedGroupositionApprox(double eps, double delta, int k,
+                                              double delta_prime);
+
+/// Theorem 4.5: beta-approximate max-information bound (in nats) of an
+/// eps-LDP protocol on n users: n eps^2 / 2 + eps sqrt(2 n ln(1/beta)).
+double MaxInformationBound(double eps, uint64_t n, double beta);
+
+/// The central-model pure-DP max-information bound O(eps * n) (Dwork et
+/// al.); the comparison row for the F6 experiment. Uses the constant from
+/// [8]: I_inf(A, n) <= eps * n * log2(e) bits -> eps * n nats.
+double CentralMaxInformationBound(double eps, uint64_t n);
+
+/// \brief Exact group-privacy curve for a product of k identical
+/// randomizers, all k coordinates flipped from x to x'.
+///
+/// Returns the exact smallest eps' with hockey-stick delta(eps') <= delta,
+/// computed from the k-fold convolution of the single-coordinate PLD. This
+/// is the ground truth the Theorem 4.2 bound is compared against.
+double ExactGroupEpsilon(const LocalRandomizer& a, int x, int x_prime, int k,
+                         double delta);
+
+/// Exact delta at a given eps' for the same setting.
+double ExactGroupDelta(const LocalRandomizer& a, int x, int x_prime, int k,
+                       double eps_prime);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_LDP_GROUPOSITION_H_

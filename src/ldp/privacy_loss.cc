@@ -1,0 +1,113 @@
+#include "src/ldp/privacy_loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ldphh {
+
+namespace {
+constexpr double kGrid = 1e-9;
+}  // namespace
+
+int64_t PrivacyLossDistribution::Quantize(double loss) {
+  return static_cast<int64_t>(std::llround(loss / kGrid));
+}
+
+double PrivacyLossDistribution::Dequantize(int64_t q) {
+  return static_cast<double>(q) * kGrid;
+}
+
+PrivacyLossDistribution PrivacyLossDistribution::FromRandomizer(
+    const LocalRandomizer& a, int x, int x_prime) {
+  PrivacyLossDistribution pld;
+  for (int y = 0; y < a.num_outputs(); ++y) {
+    const double p = a.Prob(x, y);
+    if (p <= 0.0) continue;
+    const double q = a.Prob(x_prime, y);
+    if (q <= 0.0) {
+      pld.infinity_mass_ += p;
+      continue;
+    }
+    pld.atoms_[Quantize(std::log(p) - std::log(q))] += p;
+  }
+  return pld;
+}
+
+PrivacyLossDistribution PrivacyLossDistribution::Identity() {
+  PrivacyLossDistribution pld;
+  pld.atoms_[0] = 1.0;
+  return pld;
+}
+
+PrivacyLossDistribution PrivacyLossDistribution::Compose(
+    const PrivacyLossDistribution& other) const {
+  PrivacyLossDistribution out;
+  // Infinity mass absorbs: any component hitting an impossible output makes
+  // the composed output impossible under x'.
+  out.infinity_mass_ =
+      infinity_mass_ + other.infinity_mass_ - infinity_mass_ * other.infinity_mass_;
+  for (const auto& [la, pa] : atoms_) {
+    for (const auto& [lb, pb] : other.atoms_) {
+      out.atoms_[la + lb] += pa * pb;
+    }
+  }
+  return out;
+}
+
+PrivacyLossDistribution PrivacyLossDistribution::SelfCompose(int k) const {
+  LDPHH_CHECK(k >= 0, "SelfCompose: negative k");
+  PrivacyLossDistribution acc = Identity();
+  PrivacyLossDistribution base = *this;
+  while (k > 0) {
+    if (k & 1) acc = acc.Compose(base);
+    k >>= 1;
+    if (k > 0) base = base.Compose(base);
+  }
+  return acc;
+}
+
+double PrivacyLossDistribution::DeltaForEpsilon(double eps) const {
+  double acc = infinity_mass_;
+  for (const auto& [lq, p] : atoms_) {
+    const double loss = Dequantize(lq);
+    if (loss > eps) acc += p * (1.0 - std::exp(eps - loss));
+  }
+  return acc;
+}
+
+double PrivacyLossDistribution::EpsilonForDelta(double delta) const {
+  if (infinity_mass_ > delta) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (DeltaForEpsilon(0.0) <= delta) {
+    double lo = 0.0;
+    // delta(0) already small enough; still search down to negative eps? The
+    // standard convention reports the smallest nonnegative eps.
+    return lo;
+  }
+  double lo = 0.0;
+  double hi = std::max(1e-9, MaxLoss());
+  for (int it = 0; it < 200 && hi - lo > 1e-12 * std::max(1.0, hi); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (DeltaForEpsilon(mid) <= delta) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double PrivacyLossDistribution::ExpectedLoss() const {
+  double acc = 0.0;
+  for (const auto& [lq, p] : atoms_) acc += p * Dequantize(lq);
+  return acc;  // Conditional on finite loss; callers check infinity_mass.
+}
+
+double PrivacyLossDistribution::MaxLoss() const {
+  if (atoms_.empty()) return 0.0;
+  return Dequantize(atoms_.rbegin()->first);
+}
+
+}  // namespace ldphh

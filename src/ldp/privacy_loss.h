@@ -1,0 +1,74 @@
+/// \file privacy_loss.h
+/// \brief Privacy-loss distributions (Definition 4.1) with exact arithmetic
+/// on discrete randomizers.
+///
+/// The privacy loss random variable L_{A(x), A(x')} takes value
+/// ln(Pr[A(x)=y]/Pr[A(x')=y]) with y ~ A(x). Composing independent
+/// randomizers convolves their loss distributions; the library uses this to
+/// compute *exact* group-privacy curves delta(eps') for k-user groups and
+/// compare them against the advanced-grouposition bound of Theorem 4.2.
+
+#ifndef LDPHH_LDP_PRIVACY_LOSS_H_
+#define LDPHH_LDP_PRIVACY_LOSS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/ldp/randomizer.h"
+
+namespace ldphh {
+
+/// \brief A discrete privacy-loss distribution.
+///
+/// Losses are kept on an exact quantized grid (1e-9 nats) so that repeated
+/// convolution of identical atoms (e.g. +-eps for randomized response)
+/// merges exactly instead of exploding the support.
+class PrivacyLossDistribution {
+ public:
+  /// The PLD of the pair (A(x), A(x')).
+  static PrivacyLossDistribution FromRandomizer(const LocalRandomizer& a, int x,
+                                                int x_prime);
+
+  /// The trivial PLD (loss identically 0).
+  static PrivacyLossDistribution Identity();
+
+  /// PLD of running both mechanisms independently (loss = sum of losses).
+  PrivacyLossDistribution Compose(const PrivacyLossDistribution& other) const;
+
+  /// k-fold self-composition (exponentiation by squaring).
+  PrivacyLossDistribution SelfCompose(int k) const;
+
+  /// Hockey-stick divergence: delta(eps) = E_{l ~ L}[max(0, 1 - e^{eps - l})]
+  /// plus any mass on outputs impossible under x'.
+  double DeltaForEpsilon(double eps) const;
+
+  /// Smallest eps with delta(eps) <= delta (bisection; inf if impossible).
+  double EpsilonForDelta(double delta) const;
+
+  /// E[L]; the "expected privacy loss" (= KL divergence), at most eps^2/2
+  /// for an eps-DP randomizer (used in the Theorem 4.2 proof).
+  double ExpectedLoss() const;
+
+  /// Largest finite loss in the support.
+  double MaxLoss() const;
+
+  /// Mass on outputs with Pr[A(x')=y] = 0 (infinite loss).
+  double infinity_mass() const { return infinity_mass_; }
+
+  /// Number of support atoms (diagnostics).
+  size_t SupportSize() const { return atoms_.size(); }
+
+ private:
+  PrivacyLossDistribution() = default;
+
+  static int64_t Quantize(double loss);
+  static double Dequantize(int64_t q);
+
+  std::map<int64_t, double> atoms_;  ///< quantized loss -> probability.
+  double infinity_mass_ = 0.0;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_LDP_PRIVACY_LOSS_H_

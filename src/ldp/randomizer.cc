@@ -1,0 +1,129 @@
+#include "src/ldp/randomizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ldphh {
+
+int LocalRandomizer::Sample(int x, Rng& rng) const {
+  const double u = rng.UniformDouble();
+  double cum = 0.0;
+  const int m = num_outputs();
+  for (int y = 0; y < m; ++y) {
+    cum += Prob(x, y);
+    if (u < cum) return y;
+  }
+  return m - 1;  // Numerical slack.
+}
+
+double LocalRandomizer::ExactEpsilon() const {
+  double worst = 0.0;
+  const int n = num_inputs();
+  const int m = num_outputs();
+  for (int x = 0; x < n; ++x) {
+    for (int xp = 0; xp < n; ++xp) {
+      if (x == xp) continue;
+      for (int y = 0; y < m; ++y) {
+        const double lp = LogProb(x, y);
+        const double lq = LogProb(xp, y);
+        if (lp == -std::numeric_limits<double>::infinity()) continue;
+        if (lq == -std::numeric_limits<double>::infinity()) {
+          return std::numeric_limits<double>::infinity();
+        }
+        worst = std::max(worst, lp - lq);
+      }
+    }
+  }
+  return worst;
+}
+
+double LocalRandomizer::ExactDelta(double eps) const {
+  double worst = 0.0;
+  const int n = num_inputs();
+  const int m = num_outputs();
+  for (int x = 0; x < n; ++x) {
+    for (int xp = 0; xp < n; ++xp) {
+      if (x == xp) continue;
+      double acc = 0.0;
+      for (int y = 0; y < m; ++y) {
+        acc += std::max(0.0, Prob(x, y) - std::exp(eps) * Prob(xp, y));
+      }
+      worst = std::max(worst, acc);
+    }
+  }
+  return worst;
+}
+
+Status LocalRandomizer::CheckStochastic(double tol) const {
+  for (int x = 0; x < num_inputs(); ++x) {
+    double acc = 0.0;
+    for (int y = 0; y < num_outputs(); ++y) acc += Prob(x, y);
+    if (std::abs(acc - 1.0) > tol) {
+      return Status::Internal(Name() + ": row " + std::to_string(x) +
+                              " sums to " + std::to_string(acc));
+    }
+  }
+  return Status::OK();
+}
+
+BinaryRandomizedResponse::BinaryRandomizedResponse(double epsilon)
+    : epsilon_(epsilon) {
+  LDPHH_CHECK(epsilon > 0.0, "BinaryRandomizedResponse: epsilon must be > 0");
+  keep_prob_ = std::exp(epsilon) / (std::exp(epsilon) + 1.0);
+}
+
+double BinaryRandomizedResponse::LogProb(int x, int y) const {
+  LDPHH_DCHECK(x >= 0 && x < 2 && y >= 0 && y < 2, "binary-rr: out of range");
+  return std::log(x == y ? keep_prob_ : 1.0 - keep_prob_);
+}
+
+int BinaryRandomizedResponse::Sample(int x, Rng& rng) const {
+  return rng.Bernoulli(keep_prob_) ? x : 1 - x;
+}
+
+KaryRandomizedResponse::KaryRandomizedResponse(int k, double epsilon)
+    : k_(k), epsilon_(epsilon) {
+  LDPHH_CHECK(k >= 2, "KaryRandomizedResponse: k >= 2");
+  LDPHH_CHECK(epsilon > 0.0, "KaryRandomizedResponse: epsilon must be > 0");
+  const double e = std::exp(epsilon);
+  keep_prob_ = e / (e + static_cast<double>(k) - 1.0);
+  other_prob_ = 1.0 / (e + static_cast<double>(k) - 1.0);
+}
+
+double KaryRandomizedResponse::LogProb(int x, int y) const {
+  LDPHH_DCHECK(x >= 0 && x < k_ && y >= 0 && y < k_, "k-ary-rr: out of range");
+  return std::log(x == y ? keep_prob_ : other_prob_);
+}
+
+int KaryRandomizedResponse::Sample(int x, Rng& rng) const {
+  if (rng.Bernoulli(keep_prob_)) return x;
+  int other = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(k_ - 1)));
+  if (other >= x) ++other;
+  return other;
+}
+
+LeakyRandomizedResponse::LeakyRandomizedResponse(double epsilon, double delta)
+    : epsilon_(epsilon), delta_(delta) {
+  LDPHH_CHECK(epsilon > 0.0, "LeakyRandomizedResponse: epsilon must be > 0");
+  LDPHH_CHECK(delta >= 0.0 && delta < 1.0, "LeakyRandomizedResponse: delta");
+  keep_prob_ = std::exp(epsilon) / (std::exp(epsilon) + 1.0);
+}
+
+double LeakyRandomizedResponse::LogProb(int x, int y) const {
+  LDPHH_DCHECK(x >= 0 && x < 2 && y >= 0 && y < 4, "leaky-rr: out of range");
+  if (y >= 2) {
+    // Clear-channel symbol: emitted only on the delta-failure, and only for
+    // the matching input bit.
+    return (y - 2 == x) ? std::log(delta_)
+                        : -std::numeric_limits<double>::infinity();
+  }
+  const double rr = (x == y) ? keep_prob_ : 1.0 - keep_prob_;
+  return std::log((1.0 - delta_) * rr);
+}
+
+int LeakyRandomizedResponse::Sample(int x, Rng& rng) const {
+  if (rng.Bernoulli(delta_)) return 2 + x;
+  return rng.Bernoulli(keep_prob_) ? x : 1 - x;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,124 @@
+/// \file randomizer.h
+/// \brief Discrete local randomizers with exact output distributions.
+///
+/// A `LocalRandomizer` is the object of Definition 2.2: a randomized map
+/// from a finite input set to a finite output set. Exposing exact log
+/// probabilities lets the library *verify* differential privacy claims
+/// numerically (Definition 1.1 / 2.1), build privacy-loss distributions
+/// (Section 4), and compute the density ratios GenProt needs (Section 6).
+
+#ifndef LDPHH_LDP_RANDOMIZER_H_
+#define LDPHH_LDP_RANDOMIZER_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// \brief A finite-domain local randomizer with exact probabilities.
+class LocalRandomizer {
+ public:
+  virtual ~LocalRandomizer() = default;
+
+  /// Number of distinct inputs.
+  virtual int num_inputs() const = 0;
+  /// Number of distinct outputs.
+  virtual int num_outputs() const = 0;
+  /// Short diagnostic name.
+  virtual std::string Name() const = 0;
+
+  /// log Pr[A(x) = y]; -inf allowed.
+  virtual double LogProb(int x, int y) const = 0;
+
+  /// Samples an output for input \p x. The default implementation inverts
+  /// the cdf; subclasses may override with a faster sampler.
+  virtual int Sample(int x, Rng& rng) const;
+
+  /// Pr[A(x) = y].
+  double Prob(int x, int y) const { return std::exp(LogProb(x, y)); }
+
+  /// \brief Exact pure-DP parameter: max over x, x', y of |log ratio|.
+  ///
+  /// Infinite if some output has positive probability under one input and
+  /// zero under another.
+  double ExactEpsilon() const;
+
+  /// \brief Exact hockey-stick divergence delta(eps) =
+  /// max_{x,x'} sum_y max(0, Pr[A(x)=y] - e^eps Pr[A(x')=y]).
+  double ExactDelta(double eps) const;
+
+  /// Verifies that every row is a probability distribution (sums to 1
+  /// within tolerance). For tests.
+  Status CheckStochastic(double tol = 1e-9) const;
+};
+
+/// \brief Binary randomized response (Warner): keep the bit w.p.
+/// e^eps/(e^eps+1). The canonical eps-LDP randomizer (Section 5's M_i).
+class BinaryRandomizedResponse final : public LocalRandomizer {
+ public:
+  explicit BinaryRandomizedResponse(double epsilon);
+
+  int num_inputs() const override { return 2; }
+  int num_outputs() const override { return 2; }
+  std::string Name() const override { return "binary-rr"; }
+  double LogProb(int x, int y) const override;
+  int Sample(int x, Rng& rng) const override;
+
+  double epsilon() const { return epsilon_; }
+  double keep_prob() const { return keep_prob_; }
+
+ private:
+  double epsilon_;
+  double keep_prob_;
+};
+
+/// \brief k-ary randomized response over [K].
+class KaryRandomizedResponse final : public LocalRandomizer {
+ public:
+  KaryRandomizedResponse(int k, double epsilon);
+
+  int num_inputs() const override { return k_; }
+  int num_outputs() const override { return k_; }
+  std::string Name() const override { return "k-ary-rr"; }
+  double LogProb(int x, int y) const override;
+  int Sample(int x, Rng& rng) const override;
+
+ private:
+  int k_;
+  double epsilon_;
+  double keep_prob_;
+  double other_prob_;
+};
+
+/// \brief The canonical (eps, delta)-LDP randomizer: with probability delta
+/// output the input in the clear (a "privacy catastrophe"), otherwise run
+/// eps-randomized response. Its hockey-stick divergence at eps is exactly
+/// delta, making it the worst-case test input for GenProt (Section 6).
+class LeakyRandomizedResponse final : public LocalRandomizer {
+ public:
+  LeakyRandomizedResponse(double epsilon, double delta);
+
+  int num_inputs() const override { return 2; }
+  /// Outputs: 0/1 = RR bit; 2/3 = leaked clear bit (distinct symbols so the
+  /// failure event is visible, as in the worst-case construction).
+  int num_outputs() const override { return 4; }
+  std::string Name() const override { return "leaky-rr"; }
+  double LogProb(int x, int y) const override;
+  int Sample(int x, Rng& rng) const override;
+
+  double epsilon() const { return epsilon_; }
+  double delta() const { return delta_; }
+
+ private:
+  double epsilon_;
+  double delta_;
+  double keep_prob_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_LDP_RANDOMIZER_H_

@@ -1,0 +1,180 @@
+#include "src/protocols/bitstogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/math_util.h"
+#include "src/common/timer.h"
+#include "src/freq/hadamard_response.h"
+#include "src/hashing/kwise_hash.h"
+
+namespace ldphh {
+
+StatusOr<Bitstogram> Bitstogram::Create(const BitstogramParams& params) {
+  BitstogramParams p = params;
+  if (p.domain_bits < 8 || p.domain_bits > 256) {
+    return Status::InvalidArgument("Bitstogram: domain_bits must be in [8, 256]");
+  }
+  if (p.epsilon <= 0.0) {
+    return Status::InvalidArgument("Bitstogram: epsilon must be positive");
+  }
+  if (p.beta <= 0.0 || p.beta >= 1.0) {
+    return Status::InvalidArgument("Bitstogram: beta must be in (0, 1)");
+  }
+  if (p.cohorts == 0) {
+    p.cohorts = std::max(1, static_cast<int>(std::ceil(std::log2(1.0 / p.beta))));
+  }
+  return Bitstogram(p);
+}
+
+double Bitstogram::DetectionThreshold(uint64_t n) const {
+  const double e = std::exp(params_.epsilon / 2.0);
+  const double c = (e + 1.0) / (e - 1.0);
+  const double groups = static_cast<double>(params_.cohorts) *
+                        static_cast<double>(params_.domain_bits);
+  return 4.5 * c * std::sqrt(static_cast<double>(n) * groups);
+}
+
+StatusOr<HeavyHitterResult> Bitstogram::Run(
+    const std::vector<DomainItem>& database, uint64_t seed) {
+  const uint64_t n = database.size();
+  if (n < 16) return Status::InvalidArgument("Bitstogram: need >= 16 users");
+
+  const int d_bits = params_.domain_bits;
+  const int rho = params_.cohorts;
+  const double eps_half = params_.epsilon / 2.0;
+
+  int y_range = params_.hash_range;
+  if (y_range == 0) {
+    y_range = static_cast<int>(
+        NextPow2(static_cast<uint64_t>(2.0 * std::sqrt(static_cast<double>(n)))));
+  }
+
+  Rng master(seed);
+  const uint64_t hash_seed = master();
+  const uint64_t group_seed = master();
+  const uint64_t global_seed = master();
+  Rng user_coins(master());
+
+  // Public randomness: one pairwise hash per cohort.
+  HashFamily cohort_hash(rho, /*k=*/2, static_cast<uint64_t>(y_range), hash_seed);
+
+  // One small-domain oracle per (cohort, bit position) over [Yb] x {0,1}.
+  const int num_groups = rho * d_bits;
+  std::vector<HadamardResponseFO> cell_fo;
+  cell_fo.reserve(static_cast<size_t>(num_groups));
+  for (int q = 0; q < num_groups; ++q) {
+    cell_fo.emplace_back(static_cast<uint64_t>(y_range) * 2, eps_half);
+  }
+
+  HashtogramParams ht_params = params_.global_fo;
+  if (ht_params.beta <= 0.0) ht_params.beta = params_.beta;
+  Hashtogram global_fo(n, eps_half, ht_params, global_seed);
+
+  HeavyHitterResult result;
+  result.metrics.num_users = n;
+
+  struct UserReport {
+    int group;
+    FoReport cell;
+    FoReport global;
+  };
+  std::vector<UserReport> reports(static_cast<size_t>(n));
+
+  Timer user_timer;
+  for (uint64_t i = 0; i < n; ++i) {
+    const DomainItem& x = database[i];
+    const int q = static_cast<int>(Mix64(group_seed ^ i) %
+                                   static_cast<uint64_t>(num_groups));
+    const int c = q / d_bits;
+    const int j = q % d_bits;
+    const uint64_t y = cohort_hash.at(c)(x);
+    const uint64_t cell = y * 2 + static_cast<uint64_t>(x.Bit(j));
+    UserReport& r = reports[static_cast<size_t>(i)];
+    r.group = q;
+    r.cell = cell_fo[static_cast<size_t>(q)].Encode(cell, user_coins);
+    r.global = global_fo.Encode(i, x, user_coins);
+  }
+  result.metrics.user_seconds_total = user_timer.Seconds();
+  for (const auto& r : reports) {
+    const uint64_t bits =
+        static_cast<uint64_t>(r.cell.num_bits + r.global.num_bits);
+    result.metrics.comm_bits_total += bits;
+    result.metrics.comm_bits_max_user =
+        std::max(result.metrics.comm_bits_max_user, bits);
+  }
+
+  Timer server_timer;
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto& r = reports[static_cast<size_t>(i)];
+    cell_fo[static_cast<size_t>(r.group)].Aggregate(r.cell);
+    global_fo.Aggregate(i, r.global);
+  }
+  for (auto& fo : cell_fo) fo.Finalize();
+  global_fo.Finalize();
+
+  // Candidate reconstruction: per cohort, per hash value, majority bit at
+  // every position; keep hash values whose support count stands out.
+  const double e = std::exp(eps_half);
+  const double c_eps = (e + 1.0) / (e - 1.0);
+  const double count_sd = c_eps * std::sqrt(2.0 * static_cast<double>(n) /
+                                            static_cast<double>(rho));
+  const double tau = params_.threshold_sigmas * count_sd;
+
+  struct Candidate {
+    DomainItem item;
+    double count;
+    int y;
+  };
+  std::unordered_set<DomainItem, DomainItemHash> recovered;
+  std::vector<Candidate> cands;
+  for (int c = 0; c < rho; ++c) {
+    cands.clear();
+    for (int y = 0; y < y_range; ++y) {
+      double count = 0.0;
+      DomainItem item;
+      for (int j = 0; j < d_bits; ++j) {
+        const auto& fo = cell_fo[static_cast<size_t>(c * d_bits + j)];
+        const double e0 = fo.Estimate(static_cast<uint64_t>(y) * 2);
+        const double e1 = fo.Estimate(static_cast<uint64_t>(y) * 2 + 1);
+        count += e0 + e1;
+        if (e1 > e0) item.SetBit(j, 1);
+      }
+      if (count >= tau) cands.push_back(Candidate{item, count, y});
+    }
+    if (static_cast<int>(cands.size()) > params_.list_cap_per_cohort) {
+      std::partial_sort(cands.begin(),
+                        cands.begin() + params_.list_cap_per_cohort, cands.end(),
+                        [](const Candidate& a, const Candidate& b) {
+                          return a.count > b.count;
+                        });
+      cands.resize(static_cast<size_t>(params_.list_cap_per_cohort));
+    }
+    for (const Candidate& cand : cands) {
+      // A candidate is plausible only if it hashes back to its own cell.
+      if (static_cast<int>(cohort_hash.at(c)(cand.item)) != cand.y) continue;
+      recovered.insert(cand.item);
+    }
+  }
+
+  result.entries.reserve(recovered.size());
+  for (const DomainItem& x : recovered) {
+    result.entries.push_back(HeavyHitterEntry{x, global_fo.Estimate(x)});
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const HeavyHitterEntry& a, const HeavyHitterEntry& b) {
+              return a.estimate > b.estimate;
+            });
+  result.metrics.server_seconds = server_timer.Seconds();
+
+  size_t mem = global_fo.MemoryBytes();
+  for (const auto& fo : cell_fo) mem += fo.MemoryBytes();
+  result.metrics.server_memory_bytes = mem;
+  result.metrics.public_random_bits_per_user =
+      (static_cast<uint64_t>(2 * rho + 4) + 6 * global_fo.rows() + 1) * 61;
+
+  return result;
+}
+
+}  // namespace ldphh

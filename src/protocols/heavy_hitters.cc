@@ -1,0 +1,56 @@
+#include "src/protocols/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ldphh {
+
+std::vector<std::pair<DomainItem, uint64_t>> ExactFrequencies(
+    const std::vector<DomainItem>& database) {
+  std::unordered_map<DomainItem, uint64_t, DomainItemHash> freq;
+  freq.reserve(database.size());
+  for (const DomainItem& x : database) ++freq[x];
+  std::vector<std::pair<DomainItem, uint64_t>> out(freq.begin(), freq.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+HeavyHitterEval EvaluateHeavyHitters(const std::vector<DomainItem>& database,
+                                     const HeavyHitterResult& result,
+                                     uint64_t threshold) {
+  std::unordered_map<DomainItem, uint64_t, DomainItemHash> freq;
+  freq.reserve(database.size());
+  for (const DomainItem& x : database) ++freq[x];
+
+  HeavyHitterEval eval;
+  eval.list_size = result.entries.size();
+
+  std::unordered_map<DomainItem, double, DomainItemHash> listed;
+  listed.reserve(result.entries.size());
+  for (const auto& entry : result.entries) {
+    listed[entry.item] = entry.estimate;
+    const auto it = freq.find(entry.item);
+    const double truth =
+        it == freq.end() ? 0.0 : static_cast<double>(it->second);
+    eval.max_estimate_error =
+        std::max(eval.max_estimate_error, std::abs(entry.estimate - truth));
+  }
+
+  for (const auto& [item, count] : freq) {
+    const bool found = listed.count(item) > 0;
+    if (count >= threshold) {
+      ++eval.true_hitters_total;
+      if (found) ++eval.true_hitters_found;
+    }
+    if (!found) {
+      eval.max_missed_frequency = std::max(eval.max_missed_frequency, count);
+    }
+  }
+  return eval;
+}
+
+}  // namespace ldphh

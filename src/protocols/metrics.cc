@@ -1,0 +1,19 @@
+#include "src/protocols/metrics.h"
+
+#include <cstdio>
+
+namespace ldphh {
+
+std::string ProtocolMetrics::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "server=%.3fs user_avg=%.2fus comm_avg=%.1fb comm_max=%llub "
+                "pub_rand=%llub mem=%zuB n=%llu",
+                server_seconds, UserSecondsAvg() * 1e6, CommBitsAvg(),
+                static_cast<unsigned long long>(comm_bits_max_user),
+                static_cast<unsigned long long>(public_random_bits_per_user),
+                server_memory_bytes, static_cast<unsigned long long>(num_users));
+  return std::string(buf);
+}
+
+}  // namespace ldphh

@@ -1,0 +1,184 @@
+#include "src/protocols/treehist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/math_util.h"
+#include "src/common/timer.h"
+
+namespace ldphh {
+
+namespace {
+
+// The l-bit prefix of x (low-order bits), as a fresh domain item. Distinct
+// levels use distinct oracle instances, so identical masked values at
+// different levels never mix.
+DomainItem Prefix(const DomainItem& x, int l) {
+  DomainItem p = x;
+  p.Truncate(l);
+  return p;
+}
+
+}  // namespace
+
+StatusOr<TreeHist> TreeHist::Create(const TreeHistParams& params) {
+  if (params.domain_bits < 8 || params.domain_bits > 256) {
+    return Status::InvalidArgument("TreeHist: domain_bits must be in [8, 256]");
+  }
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("TreeHist: epsilon must be positive");
+  }
+  if (params.beta <= 0.0 || params.beta >= 1.0) {
+    return Status::InvalidArgument("TreeHist: beta must be in (0, 1)");
+  }
+  if (params.frontier_cap < 2) {
+    return Status::InvalidArgument("TreeHist: frontier_cap must be >= 2");
+  }
+  return TreeHist(params);
+}
+
+double TreeHist::DetectionThreshold(uint64_t n) const {
+  const double e = std::exp(params_.epsilon / 2.0);
+  const double c = (e + 1.0) / (e - 1.0);
+  HashtogramParams probe = params_.level_fo;
+  if (probe.beta <= 0.0) probe.beta = params_.beta;
+  Hashtogram rows_probe(std::max<uint64_t>(n / params_.domain_bits, 16),
+                        params_.epsilon / 2.0, probe, 1);
+  return params_.threshold_sigmas * c *
+         std::sqrt(static_cast<double>(n) *
+                   static_cast<double>(params_.domain_bits) *
+                   static_cast<double>(rows_probe.rows()));
+}
+
+StatusOr<HeavyHitterResult> TreeHist::Run(const std::vector<DomainItem>& database,
+                                          uint64_t seed) {
+  const uint64_t n = database.size();
+  const int d_bits = params_.domain_bits;
+  if (n < static_cast<uint64_t>(4 * d_bits)) {
+    return Status::InvalidArgument("TreeHist: need at least 4 log|X| users");
+  }
+  const double eps_half = params_.epsilon / 2.0;
+
+  Rng master(seed);
+  const uint64_t level_assign_seed = master();
+  Rng user_coins(master());
+
+  // One Hashtogram per tree level (levels are 1-based prefixes), eps/2,
+  // plus the global oracle, eps/2.
+  HashtogramParams lp = params_.level_fo;
+  if (lp.beta <= 0.0) lp.beta = params_.beta;
+  std::vector<Hashtogram> level_fo;
+  level_fo.reserve(static_cast<size_t>(d_bits));
+  for (int l = 0; l < d_bits; ++l) {
+    level_fo.emplace_back(std::max<uint64_t>(n / d_bits, 16), eps_half, lp,
+                          master());
+  }
+  HashtogramParams gp = params_.global_fo;
+  if (gp.beta <= 0.0) gp.beta = params_.beta;
+  Hashtogram global_fo(n, eps_half, gp, master());
+
+  HeavyHitterResult result;
+  result.metrics.num_users = n;
+
+  // Per-level user indices: each level's oracle sees its own dense index
+  // stream so its row balancing is unaffected by the level split.
+  std::vector<uint64_t> level_next(static_cast<size_t>(d_bits), 0);
+  struct UserReport {
+    int level;
+    uint64_t level_index;
+    FoReport level_report;
+    FoReport global_report;
+  };
+  std::vector<UserReport> reports(static_cast<size_t>(n));
+
+  Timer user_timer;
+  for (uint64_t i = 0; i < n; ++i) {
+    const DomainItem& x = database[i];
+    const int level = static_cast<int>(Mix64(level_assign_seed ^ i) %
+                                       static_cast<uint64_t>(d_bits));
+    UserReport& r = reports[static_cast<size_t>(i)];
+    r.level = level;
+    r.level_index = level_next[static_cast<size_t>(level)]++;
+    r.level_report = level_fo[static_cast<size_t>(level)].Encode(
+        r.level_index, Prefix(x, level + 1), user_coins);
+    r.global_report = global_fo.Encode(i, x, user_coins);
+  }
+  result.metrics.user_seconds_total = user_timer.Seconds();
+  for (const auto& r : reports) {
+    const uint64_t bits =
+        static_cast<uint64_t>(r.level_report.num_bits + r.global_report.num_bits);
+    result.metrics.comm_bits_total += bits;
+    result.metrics.comm_bits_max_user =
+        std::max(result.metrics.comm_bits_max_user, bits);
+  }
+
+  Timer server_timer;
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto& r = reports[static_cast<size_t>(i)];
+    level_fo[static_cast<size_t>(r.level)].Aggregate(r.level_index,
+                                                     r.level_report);
+    global_fo.Aggregate(i, r.global_report);
+  }
+  for (auto& fo : level_fo) fo.Finalize();
+  global_fo.Finalize();
+
+  // Breadth-first frontier growth. A level-l oracle saw ~n/D users, so its
+  // estimate of a heavy prefix is ~f/D; the survival threshold is set from
+  // the oracle's own noise scale c sqrt(n_l R).
+  const double e = std::exp(eps_half);
+  const double c_eps = (e + 1.0) / (e - 1.0);
+
+  struct Scored {
+    DomainItem prefix;
+    double score;
+  };
+  std::vector<Scored> frontier = {{DomainItem(), 0.0}};
+  for (int l = 0; l < d_bits; ++l) {
+    const auto& fo = level_fo[static_cast<size_t>(l)];
+    const double n_l = static_cast<double>(level_next[static_cast<size_t>(l)]);
+    const double tau = params_.threshold_sigmas * c_eps *
+                       std::sqrt(std::max(1.0, n_l) *
+                                 static_cast<double>(fo.rows()));
+    std::vector<Scored> next;
+    next.reserve(frontier.size() * 2);
+    for (const auto& cand : frontier) {
+      for (int bit = 0; bit < 2; ++bit) {
+        DomainItem child = cand.prefix;
+        child.SetBit(l, bit);
+        const double est = fo.Estimate(child);
+        if (est >= tau) next.push_back({child, est});
+      }
+    }
+    if (static_cast<int>(next.size()) > params_.frontier_cap) {
+      std::partial_sort(next.begin(), next.begin() + params_.frontier_cap,
+                        next.end(), [](const Scored& a, const Scored& b) {
+                          return a.score > b.score;
+                        });
+      next.resize(static_cast<size_t>(params_.frontier_cap));
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  result.entries.reserve(frontier.size());
+  for (const auto& cand : frontier) {
+    result.entries.push_back(
+        HeavyHitterEntry{cand.prefix, global_fo.Estimate(cand.prefix)});
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const HeavyHitterEntry& a, const HeavyHitterEntry& b) {
+              return a.estimate > b.estimate;
+            });
+  result.metrics.server_seconds = server_timer.Seconds();
+
+  size_t mem = global_fo.MemoryBytes();
+  for (const auto& fo : level_fo) mem += fo.MemoryBytes();
+  result.metrics.server_memory_bytes = mem;
+  result.metrics.public_random_bits_per_user =
+      (static_cast<uint64_t>(6 * level_fo[0].rows()) + 6 * global_fo.rows() + 2) *
+      61;
+  return result;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,114 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace ldphh {
+
+namespace {
+
+DomainItem RandomItem(int domain_bits, Rng& rng) {
+  DomainItem x;
+  for (int i = 0; i < 4; ++i) x.limbs[static_cast<size_t>(i)] = rng();
+  x.Truncate(domain_bits);
+  return x;
+}
+
+void Shuffle(std::vector<DomainItem>& v, Rng& rng) {
+  for (size_t i = v.size(); i > 1; --i) {
+    const size_t j = rng.UniformU64(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+void SortHeavyDesc(Workload& w) {
+  std::sort(w.heavy.begin(), w.heavy.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+}
+
+}  // namespace
+
+Workload MakePlantedWorkload(uint64_t n, int domain_bits,
+                             const std::vector<double>& heavy_fractions,
+                             uint64_t seed) {
+  LDPHH_CHECK(n >= 1, "MakePlantedWorkload: n >= 1");
+  Rng rng(seed);
+  Workload w;
+  w.database.reserve(static_cast<size_t>(n));
+
+  uint64_t used = 0;
+  for (double frac : heavy_fractions) {
+    LDPHH_CHECK(frac > 0.0 && frac < 1.0, "heavy fraction in (0,1)");
+    const uint64_t count = static_cast<uint64_t>(frac * static_cast<double>(n));
+    if (count == 0 || used + count > n) continue;
+    const DomainItem item = RandomItem(domain_bits, rng);
+    for (uint64_t i = 0; i < count; ++i) w.database.push_back(item);
+    w.heavy.emplace_back(item, count);
+    used += count;
+  }
+  while (w.database.size() < n) {
+    w.database.push_back(RandomItem(domain_bits, rng));
+  }
+  Shuffle(w.database, rng);
+  SortHeavyDesc(w);
+  return w;
+}
+
+Workload MakeZipfWorkload(uint64_t n, int domain_bits, uint64_t num_items,
+                          double s, uint64_t seed) {
+  LDPHH_CHECK(num_items >= 1, "MakeZipfWorkload: num_items >= 1");
+  Rng rng(seed);
+  Workload w;
+  w.database.reserve(static_cast<size_t>(n));
+
+  std::vector<DomainItem> items(static_cast<size_t>(num_items));
+  for (auto& item : items) item = RandomItem(domain_bits, rng);
+
+  // Cumulative Zipf weights.
+  std::vector<double> cdf(static_cast<size_t>(num_items));
+  double acc = 0.0;
+  for (uint64_t r = 0; r < num_items; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -s);
+    cdf[static_cast<size_t>(r)] = acc;
+  }
+  std::vector<uint64_t> counts(static_cast<size_t>(num_items), 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const size_t r = static_cast<size_t>(it - cdf.begin());
+    const size_t idx = std::min(r, items.size() - 1);
+    w.database.push_back(items[idx]);
+    ++counts[idx];
+  }
+  for (uint64_t r = 0; r < num_items; ++r) {
+    if (counts[static_cast<size_t>(r)] > 0) {
+      w.heavy.emplace_back(items[static_cast<size_t>(r)],
+                           counts[static_cast<size_t>(r)]);
+    }
+  }
+  Shuffle(w.database, rng);
+  SortHeavyDesc(w);
+  return w;
+}
+
+Workload MakeStringWorkload(
+    const std::vector<std::pair<std::string, uint64_t>>& rows, int domain_bits,
+    uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  for (const auto& [str, count] : rows) {
+    const DomainItem item = DomainItem::FromString(str, domain_bits);
+    for (uint64_t i = 0; i < count; ++i) w.database.push_back(item);
+    w.heavy.emplace_back(item, count);
+  }
+  Shuffle(w.database, rng);
+  SortHeavyDesc(w);
+  return w;
+}
+
+}  // namespace ldphh

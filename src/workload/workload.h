@@ -1,0 +1,52 @@
+/// \file workload.h
+/// \brief Workload generators for tests, examples, and benchmarks.
+///
+/// The paper's evaluation is parameterized by (n, |X|, eps, beta); the
+/// generators here produce the distributed databases the experiments run
+/// on: planted heavy hitters over random backgrounds (the worst-case shape
+/// the theorems are stated for), Zipf-distributed populations (the shape of
+/// real telemetry), and string workloads (URLs / words) for the examples.
+
+#ifndef LDPHH_WORKLOAD_WORKLOAD_H_
+#define LDPHH_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bit_util.h"
+
+namespace ldphh {
+
+/// A generated workload: the database plus the ground-truth heavy items.
+struct Workload {
+  std::vector<DomainItem> database;
+  /// Planted/true heavy items with their exact counts, descending.
+  std::vector<std::pair<DomainItem, uint64_t>> heavy;
+};
+
+/// \brief Plants heavy hitters over a background of (almost surely) unique
+/// random items.
+///
+/// \param n             number of users.
+/// \param domain_bits   item width.
+/// \param heavy_fractions  one entry per heavy item: its share of n.
+/// \param seed          determinism.
+/// The database is shuffled, so heavy users are interleaved.
+Workload MakePlantedWorkload(uint64_t n, int domain_bits,
+                             const std::vector<double>& heavy_fractions,
+                             uint64_t seed);
+
+/// \brief Zipf(s) workload over \p num_items random distinct items: item of
+/// rank r receives weight r^{-s}.
+Workload MakeZipfWorkload(uint64_t n, int domain_bits, uint64_t num_items,
+                          double s, uint64_t seed);
+
+/// \brief String workload: each (string, count) pair contributes count
+/// users holding the string's fixed-width encoding. Shuffled.
+Workload MakeStringWorkload(const std::vector<std::pair<std::string, uint64_t>>& rows,
+                            int domain_bits, uint64_t seed);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_WORKLOAD_WORKLOAD_H_

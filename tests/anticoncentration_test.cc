@@ -1,0 +1,120 @@
+// Tests for src/ldp/anticoncentration: the Section 7 / Appendix A toolkit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+#include "src/ldp/anticoncentration.h"
+
+namespace ldphh {
+namespace {
+
+TEST(BinomialMinExit, WholeSupportIntervalHasZeroExit) {
+  EXPECT_EQ(BinomialMinExitProbability(100, 0.5, 100), 0.0);
+}
+
+TEST(BinomialMinExit, PointIntervalExitsAlmostSurely) {
+  const double exit = BinomialMinExitProbability(1000, 0.5, 0);
+  EXPECT_GT(exit, 0.95);  // Best single point carries only ~1/sqrt(n) mass.
+}
+
+TEST(BinomialMinExit, MonotoneDecreasingInLength) {
+  double prev = 1.0;
+  for (uint64_t len : {0ull, 10ull, 30ull, 60ull, 120ull}) {
+    const double e = BinomialMinExitProbability(1000, 0.5, len);
+    EXPECT_LE(e, prev + 1e-12);
+    prev = e;
+  }
+}
+
+TEST(BinomialMinExit, TheoremA5ShapeHolds) {
+  // Theorem A.5: for |I| <= c sqrt(n log(1/beta)), Pr[X outside I] >= beta.
+  // Empirically locate a safe c for Bin(n, 1/2) and check it is Theta(1)
+  // and stable across n — the structural claim the lower bound needs.
+  for (uint64_t n : {400ull, 1600ull, 6400ull}) {
+    for (double beta : {0.2, 0.05, 0.01}) {
+      const double len = 0.5 * std::sqrt(n * std::log(1.0 / beta));
+      const double exit =
+          BinomialMinExitProbability(n, 0.5, static_cast<uint64_t>(len));
+      EXPECT_GE(exit, beta) << "n=" << n << " beta=" << beta;
+    }
+  }
+}
+
+TEST(BinomialMinExit, BiasedCoinAlsoAntiConcentrates) {
+  // The Appendix A reduction handles p in [1/10, 9/10].
+  for (double p : {0.1, 0.3, 0.9}) {
+    const uint64_t n = 2000;
+    const double beta = 0.05;
+    const double len = 0.4 * std::sqrt(n * p * (1 - p) * std::log(1.0 / beta) * 4);
+    const double exit =
+        BinomialMinExitProbability(n, p, static_cast<uint64_t>(len));
+    EXPECT_GE(exit, beta) << p;
+  }
+}
+
+TEST(LowerBoundExperiment, BlocksAndErrorsPopulated) {
+  const auto exp = RunLowerBoundExperiment(1 << 12, 0.5, 1.0, 50, 7);
+  EXPECT_EQ(exp.n, 1u << 12);
+  EXPECT_EQ(exp.m, static_cast<uint64_t>(1.0 * 0.25 * (1 << 12)));
+  EXPECT_EQ(exp.abs_errors.size(), 50u);
+  for (double e : exp.abs_errors) EXPECT_GE(e, 0.0);
+}
+
+TEST(LowerBoundExperiment, ErrorsScaleWithSqrtN) {
+  // Median counting error of the RR protocol ~ sqrt(n)/eps.
+  const auto small = RunLowerBoundExperiment(1 << 10, 1.0, 1.0, 60, 11);
+  const auto large = RunLowerBoundExperiment(1 << 14, 1.0, 1.0, 60, 13);
+  const double ratio = ErrorQuantile(large, 0.5) / ErrorQuantile(small, 0.5);
+  EXPECT_GT(ratio, 2.0);  // sqrt(16) = 4 expected.
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(LowerBoundExperiment, ErrorsScaleInverselyWithEps) {
+  const auto tight = RunLowerBoundExperiment(1 << 12, 0.25, 1.0, 60, 17);
+  const auto loose = RunLowerBoundExperiment(1 << 12, 2.0, 1.0, 60, 19);
+  EXPECT_GT(ErrorQuantile(tight, 0.5), 2.0 * ErrorQuantile(loose, 0.5));
+}
+
+TEST(LowerBoundExperiment, QuantilesMonotoneInBeta) {
+  const auto exp = RunLowerBoundExperiment(1 << 12, 1.0, 1.0, 200, 23);
+  EXPECT_LE(ErrorQuantile(exp, 0.5), ErrorQuantile(exp, 0.1));
+  EXPECT_LE(ErrorQuantile(exp, 0.1), ErrorQuantile(exp, 0.01));
+}
+
+TEST(LowerBoundExperiment, TailErrorExceedsLowerBoundShape) {
+  // The realized protocol (a legitimate eps-LDP counter) must exhibit the
+  // error the lower bound forces: at failure prob beta, error >=
+  // Omega((1/eps) sqrt(n log(1/beta))). Check with a small constant.
+  const uint64_t n = 1 << 14;
+  const double eps = 0.5;
+  const auto exp = RunLowerBoundExperiment(n, eps, 1.0, 400, 29);
+  for (double beta : {0.5, 0.1}) {
+    const double measured = ErrorQuantile(exp, beta);
+    const double shape = LowerBoundShape(exp.m, eps, beta) / eps;  // In m scale.
+    // Errors are measured in D-scale (users); renormalizing to S-scale by
+    // m/n as in the proof of Theorem 7.2: the measured D-error at quantile
+    // beta should be at least a constant times sqrt(n log(1/beta))/eps.
+    EXPECT_GE(measured, 0.1 * std::sqrt(n * std::log(1.0 / beta)) / eps)
+        << beta << " shape=" << shape;
+  }
+}
+
+TEST(LowerBoundShape, Formula) {
+  EXPECT_NEAR(LowerBoundShape(10000, 0.5, 0.01),
+              std::sqrt(10000 * std::log(100.0)) / 0.5, 1e-9);
+}
+
+TEST(LowerBoundExperiment, RejectsBadParameters) {
+  EXPECT_DEATH(RunLowerBoundExperiment(4, 1.0, 1.0, 10, 1), "");
+  EXPECT_DEATH(RunLowerBoundExperiment(100, 0.0, 1.0, 10, 1), "");
+}
+
+TEST(ErrorQuantile, EmptyExperimentDies) {
+  LowerBoundExperiment exp;
+  EXPECT_DEATH(ErrorQuantile(exp, 0.5), "");
+}
+
+}  // namespace
+}  // namespace ldphh

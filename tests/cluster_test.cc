@@ -1,0 +1,162 @@
+// Tests for src/graphs/cluster: the Theorem B.3 style spectral clustering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/graphs/cluster.h"
+#include "src/graphs/expander.h"
+#include "src/graphs/graph.h"
+
+namespace ldphh {
+namespace {
+
+// Builds a graph with `count` disjoint copies of a d-regular expander on m
+// vertices, plus `noise_edges` uniformly random extra edges.
+Graph PlantedClusters(int count, int m, int d, int noise_edges, uint64_t seed,
+                      std::vector<std::vector<int>>* truth) {
+  Rng rng(seed);
+  Graph g(count * m);
+  truth->clear();
+  for (int c = 0; c < count; ++c) {
+    auto e = std::move(Expander::Sample(m, d, 1.0, seed * 31 + c)).value();
+    std::vector<int> members;
+    for (int v = 0; v < m; ++v) {
+      members.push_back(c * m + v);
+      for (int s = 0; s < d; ++s) {
+        const int w = e.Neighbor(v, s);
+        if (w > v || (w == v && e.PairedSlot(v, s) > s)) {
+          g.AddEdge(c * m + v, c * m + w);
+        }
+      }
+    }
+    truth->push_back(members);
+  }
+  for (int i = 0; i < noise_edges; ++i) {
+    const int u = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(count * m)));
+    const int v = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(count * m)));
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+// Fraction of `truth` vertices recovered in the best-matching found cluster.
+double BestRecovery(const std::vector<int>& truth,
+                    const std::vector<std::vector<int>>& found) {
+  double best = 0.0;
+  std::set<int> t(truth.begin(), truth.end());
+  for (const auto& f : found) {
+    int hit = 0;
+    for (int v : f) hit += t.count(v) > 0;
+    best = std::max(best, static_cast<double>(hit) / static_cast<double>(t.size()));
+  }
+  return best;
+}
+
+TEST(Cluster, DisjointCleanClustersRecoveredExactly) {
+  std::vector<std::vector<int>> truth;
+  Graph g = PlantedClusters(4, 16, 6, 0, 11, &truth);
+  Rng rng(1);
+  ClusterOptions opts;
+  const auto found = FindSpectralClusters(g, opts, rng);
+  // Each planted expander is a connected component; clean recovery.
+  for (const auto& t : truth) {
+    EXPECT_EQ(BestRecovery(t, found), 1.0);
+  }
+}
+
+TEST(Cluster, SingletonVerticesAreSingletonClusters) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  Rng rng(2);
+  const auto found = FindSpectralClusters(g, ClusterOptions{}, rng);
+  int singletons = 0;
+  for (const auto& f : found) singletons += (f.size() == 1);
+  EXPECT_EQ(singletons, 3);
+}
+
+TEST(Cluster, BridgedClustersAreSplit) {
+  // Two expanders joined by a single edge: one component, but the sweep cut
+  // has conductance ~1/vol and must split it.
+  std::vector<std::vector<int>> truth;
+  Graph g = PlantedClusters(2, 16, 6, 0, 13, &truth);
+  g.AddEdge(3, 16 + 5);
+  Rng rng(3);
+  ClusterOptions opts;
+  const auto found = FindSpectralClusters(g, opts, rng);
+  EXPECT_GE(found.size(), 2u);
+  EXPECT_GE(BestRecovery(truth[0], found), 15.0 / 16.0);
+  EXPECT_GE(BestRecovery(truth[1], found), 15.0 / 16.0);
+}
+
+TEST(Cluster, ExpanderIsNotSplit) {
+  // A single good expander must come back as one cluster, not shards
+  // (this was the first implementation bug the URL decoder hit).
+  std::vector<std::vector<int>> truth;
+  Graph g = PlantedClusters(1, 32, 8, 0, 17, &truth);
+  Rng rng(4);
+  ClusterOptions opts;
+  const auto found = FindSpectralClusters(g, opts, rng);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].size(), 32u);
+}
+
+class ClusterNoiseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterNoiseSweep, RecoveryDegradesGracefullyWithNoise) {
+  const int noise = GetParam();
+  std::vector<std::vector<int>> truth;
+  Graph g = PlantedClusters(4, 16, 6, noise, 101 + noise, &truth);
+  Rng rng(5);
+  ClusterOptions opts;
+  const auto found = FindSpectralClusters(g, opts, rng);
+  double avg = 0.0;
+  for (const auto& t : truth) avg += BestRecovery(t, found);
+  avg /= static_cast<double>(truth.size());
+  // The clustering contract: eta-spectral clusters survive up to O(eta)
+  // volume loss. A handful of noise edges on 4x16 d=6 clusters is eta
+  // around noise/(16*6); recovery should stay high.
+  EXPECT_GE(avg, 0.8) << "noise=" << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, ClusterNoiseSweep, ::testing::Values(0, 2, 4, 8));
+
+TEST(Cluster, EmptyGraph) {
+  Graph g(0);
+  Rng rng(6);
+  EXPECT_TRUE(FindSpectralClusters(g, ClusterOptions{}, rng).empty());
+}
+
+TEST(Cluster, DepthCapPreventsRunaway) {
+  // A path graph invites many recursive splits; the depth cap must hold.
+  Graph g(64);
+  for (int i = 0; i + 1 < 64; ++i) g.AddEdge(i, i + 1);
+  Rng rng(7);
+  ClusterOptions opts;
+  opts.max_depth = 3;
+  const auto found = FindSpectralClusters(g, opts, rng);
+  EXPECT_GE(found.size(), 1u);
+  size_t total = 0;
+  for (const auto& f : found) total += f.size();
+  EXPECT_EQ(total, 64u);  // Partition property: no vertex lost or duplicated.
+}
+
+TEST(Cluster, OutputIsAPartition) {
+  std::vector<std::vector<int>> truth;
+  Graph g = PlantedClusters(3, 16, 4, 10, 23, &truth);
+  Rng rng(8);
+  const auto found = FindSpectralClusters(g, ClusterOptions{}, rng);
+  std::set<int> seen;
+  size_t total = 0;
+  for (const auto& f : found) {
+    for (int v : f) seen.insert(v);
+    total += f.size();
+  }
+  EXPECT_EQ(total, seen.size());           // Disjoint.
+  EXPECT_EQ(seen.size(), 48u);             // Covering.
+}
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,421 @@
+// Tests for src/common: Status/StatusOr, Rng, math_util, bit_util, timer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "src/common/bit_util.h"
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/timer.h"
+
+namespace ldphh {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryMethodsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::DecodeFailure("y").code(), StatusCode::kDecodeFailure);
+  EXPECT_EQ(Status::Internal("z").message(), "z");
+  EXPECT_EQ(Status::ResourceExhausted("r").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::OutOfRange("o").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("f").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(Status::InvalidArgument("x").ok());
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("bad").ToString(), "InvalidArgument: bad");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::DecodeFailure("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kDecodeFailure);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformU64(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64CoversSmallRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformU64RoughlyUniform) {
+  Rng rng(99);
+  const int buckets = 8;
+  const int draws = 80000;
+  int counts[8] = {0};
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformU64(buckets)];
+  for (int b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], draws / buckets, 5 * std::sqrt(draws / buckets));
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMean) {
+  Rng rng(13);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int ones = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) ones += rng.Bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(ones) / trials, p, 0.02);
+  }
+}
+
+TEST(Rng, SignIsBalanced) {
+  Rng rng(17);
+  int sum = 0;
+  for (int i = 0; i < 40000; ++i) sum += rng.Sign();
+  EXPECT_LT(std::abs(sum), 1200);
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  Rng parent(3);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent(), child());
+}
+
+TEST(Rng, Mix64IsInjectiveOnSample) {
+  std::set<uint64_t> outs;
+  for (uint64_t i = 0; i < 4096; ++i) outs.insert(Mix64(i));
+  EXPECT_EQ(outs.size(), 4096u);
+}
+
+// ------------------------------------------------------------- math_util --
+
+TEST(MathUtil, LogFactorialMatchesSmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(MathUtil, LogBinomialMatchesPascal) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 5)), 252.0, 1e-6);
+  EXPECT_EQ(LogBinomial(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathUtil, BinomialPmfSumsToOne) {
+  for (double p : {0.1, 0.5, 0.7}) {
+    double acc = 0;
+    for (uint64_t k = 0; k <= 30; ++k) acc += std::exp(LogBinomialPmf(30, k, p));
+    EXPECT_NEAR(acc, 1.0, 1e-9);
+  }
+}
+
+TEST(MathUtil, BinomialTailsComplement) {
+  // Pr[X >= k] + Pr[X <= k-1] = 1.
+  for (uint64_t k : {1ull, 5ull, 15ull}) {
+    EXPECT_NEAR(BinomialUpperTail(20, k, 0.3) + BinomialLowerTail(20, k - 1, 0.3),
+                1.0, 1e-9);
+  }
+}
+
+TEST(MathUtil, BinomialTailEdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 11, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(10, 10, 0.5), 1.0);
+}
+
+TEST(MathUtil, ChernoffBoundsExactTails) {
+  // The Chernoff bound must upper-bound the exact binomial tail.
+  const uint64_t n = 200;
+  const double p = 0.4;
+  const double mu = n * p;
+  for (double alpha : {0.1, 0.2, 0.5}) {
+    const double exact_upper =
+        BinomialUpperTail(n, static_cast<uint64_t>(std::ceil(mu * (1 + alpha))), p);
+    EXPECT_LE(exact_upper, ChernoffUpper(mu, alpha) + 1e-12);
+    const double exact_lower = BinomialLowerTail(
+        n, static_cast<uint64_t>(std::floor(mu * (1 - alpha))), p);
+    EXPECT_LE(exact_lower, ChernoffLower(mu, alpha) + 1e-12);
+  }
+}
+
+TEST(MathUtil, PoissonPmfSumsToOne) {
+  for (double mu : {0.5, 3.0, 20.0}) {
+    double acc = 0;
+    for (uint64_t k = 0; k < 200; ++k) acc += std::exp(LogPoissonPmf(mu, k));
+    EXPECT_NEAR(acc, 1.0, 1e-9);
+  }
+}
+
+TEST(MathUtil, PoissonTailBoundsExact) {
+  // Theorem 3.10 bound vs exact Poisson lower tail.
+  const double mu = 50.0;
+  for (double alpha : {0.2, 0.4}) {
+    double exact = 0;
+    for (uint64_t k = 0; k <= static_cast<uint64_t>(mu * (1 - alpha)); ++k) {
+      exact += std::exp(LogPoissonPmf(mu, k));
+    }
+    EXPECT_LE(exact, PoissonTailBound(mu, alpha) + 1e-12);
+  }
+}
+
+TEST(MathUtil, BinaryEntropyProperties) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+  EXPECT_NEAR(BinaryEntropy(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(BinaryEntropy(0.3), BinaryEntropy(0.7), 1e-12);  // Symmetry.
+  EXPECT_GT(BinaryEntropy(0.5), BinaryEntropy(0.2));           // Peak at 1/2.
+}
+
+TEST(MathUtil, LogSumExpPair) {
+  EXPECT_NEAR(LogSumExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(LogSumExp(ninf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(LogSumExp(1.5, ninf), 1.5);
+  // Extreme magnitudes do not overflow.
+  EXPECT_NEAR(LogSumExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathUtil, LogSumExpVector) {
+  std::vector<double> xs = {std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(xs), std::log(6.0), 1e-12);
+}
+
+TEST(MathUtil, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(MathUtil, TotalVariationBasics) {
+  EXPECT_DOUBLE_EQ(TotalVariation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_NEAR(TotalVariation({0.6, 0.4}, {0.4, 0.6}), 0.2, 1e-12);
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(17), 32u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(17), 5);
+  EXPECT_EQ(CeilLog2(uint64_t{1} << 40), 40);
+}
+
+TEST(MathUtil, BinomialAntiConcentrationValidityWindow) {
+  // Returns 0 outside the validity window, positive inside.
+  EXPECT_EQ(BinomialAntiConcentrationLower(1000, 0.5, 1.0), 0.0);   // t too small.
+  EXPECT_EQ(BinomialAntiConcentrationLower(1000, 0.5, 400.0), 0.0);  // Too big.
+  EXPECT_GT(BinomialAntiConcentrationLower(1000, 0.5, 100.0), 0.0);
+}
+
+TEST(MathUtil, BinomialAntiConcentrationIsLowerBound) {
+  // Theorem A.4 shape: exp(-9t^2/np) <= exact Pr[X <= np - t].
+  const uint64_t n = 400;
+  const double p = 0.5;
+  const double np = n * p;
+  for (double t : {30.0, 50.0, 80.0}) {
+    const double bound = BinomialAntiConcentrationLower(n, p, t);
+    const double exact = BinomialLowerTail(n, static_cast<uint64_t>(np - t), p);
+    EXPECT_LE(bound, exact + 1e-12) << "t=" << t;
+  }
+}
+
+// -------------------------------------------------------------- bit_util --
+
+TEST(BitUtil, HadamardEntryBasics) {
+  EXPECT_EQ(HadamardEntry(0, 0), 1);
+  EXPECT_EQ(HadamardEntry(1, 1), -1);
+  EXPECT_EQ(HadamardEntry(1, 2), 1);
+  EXPECT_EQ(HadamardEntry(3, 3), 1);  // popcount(3&3)=2 even.
+}
+
+TEST(BitUtil, HadamardRowsOrthogonal) {
+  // For a, b distinct in [T], sum_l H[l,a] H[l,b] = 0 when T is a power of 2.
+  const uint64_t T = 16;
+  for (uint64_t a = 0; a < T; ++a) {
+    for (uint64_t b = 0; b < T; ++b) {
+      int acc = 0;
+      for (uint64_t l = 0; l < T; ++l) {
+        acc += HadamardEntry(l, a) * HadamardEntry(l, b);
+      }
+      EXPECT_EQ(acc, a == b ? static_cast<int>(T) : 0);
+    }
+  }
+}
+
+TEST(DomainItem, BitSetGet) {
+  DomainItem x;
+  x.SetBit(0, 1);
+  x.SetBit(63, 1);
+  x.SetBit(64, 1);
+  x.SetBit(255, 1);
+  EXPECT_EQ(x.Bit(0), 1);
+  EXPECT_EQ(x.Bit(1), 0);
+  EXPECT_EQ(x.Bit(63), 1);
+  EXPECT_EQ(x.Bit(64), 1);
+  EXPECT_EQ(x.Bit(255), 1);
+  x.SetBit(63, 0);
+  EXPECT_EQ(x.Bit(63), 0);
+}
+
+TEST(DomainItem, ByteSetGet) {
+  DomainItem x;
+  x.SetByte(0, 0xab);
+  x.SetByte(7, 0xcd);
+  x.SetByte(8, 0xef);
+  x.SetByte(31, 0x12);
+  EXPECT_EQ(x.Byte(0), 0xab);
+  EXPECT_EQ(x.Byte(7), 0xcd);
+  EXPECT_EQ(x.Byte(8), 0xef);
+  EXPECT_EQ(x.Byte(31), 0x12);
+  EXPECT_EQ(x.Byte(1), 0);
+}
+
+TEST(DomainItem, TruncateZeroesHighBits) {
+  DomainItem x;
+  for (int i = 0; i < 4; ++i) x.limbs[i] = ~uint64_t{0};
+  x.Truncate(20);
+  EXPECT_EQ(x.limbs[0], (uint64_t{1} << 20) - 1);
+  EXPECT_EQ(x.limbs[1], 0u);
+  x = DomainItem();
+  for (int i = 0; i < 4; ++i) x.limbs[i] = ~uint64_t{0};
+  x.Truncate(130);
+  EXPECT_EQ(x.limbs[2], uint64_t{3});
+  EXPECT_EQ(x.limbs[3], 0u);
+}
+
+TEST(DomainItem, BytesRoundtrip) {
+  Rng rng(21);
+  for (int width : {8, 16, 20, 64, 100, 128, 256}) {
+    DomainItem x;
+    for (auto& l : x.limbs) l = rng();
+    x.Truncate(width);
+    const DomainItem y = DomainItem::FromBytes(x.ToBytes(width), width);
+    EXPECT_EQ(x, y) << "width=" << width;
+  }
+}
+
+TEST(DomainItem, StringRoundtrip) {
+  const std::string s = "www.example.com";
+  const DomainItem x = DomainItem::FromString(s, 160);
+  EXPECT_EQ(x.ToString(160), s);
+}
+
+TEST(DomainItem, StringTruncatesToWidth) {
+  const DomainItem x = DomainItem::FromString("abcdefgh", 32);
+  EXPECT_EQ(x.ToString(32), "abcd");
+}
+
+TEST(DomainItem, ComparisonOperators) {
+  DomainItem a(1), b(2);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a != b);
+  DomainItem hi;
+  hi.limbs[3] = 1;
+  EXPECT_TRUE(a < hi);  // High limb dominates.
+}
+
+TEST(DomainItem, FingerprintDistinguishes) {
+  std::set<uint64_t> fps;
+  for (uint64_t i = 0; i < 1000; ++i) fps.insert(DomainItem(i).Fingerprint());
+  EXPECT_EQ(fps.size(), 1000u);
+}
+
+TEST(DomainItem, ToHexFormat) {
+  EXPECT_EQ(DomainItem(0xabc).ToHex(),
+            std::string(48, '0') + "0000000000000abc");
+}
+
+// ----------------------------------------------------------------- timer --
+
+TEST(Timer, MeasuresNonNegativeElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink += i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Nanos(), 0);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,219 @@
+// Tests for src/ldp/composition: Theorem 5.1 — the shell-composed M~ is
+// pure eps~-LDP with eps~ = 6 eps sqrt(k ln(1/beta)) and beta-close to the
+// plain k-fold randomized response M.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/ldp/composition.h"
+
+namespace ldphh {
+namespace {
+
+int Hamming(const std::vector<uint8_t>& a, const std::vector<uint8_t>& b) {
+  int d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]);
+  return d;
+}
+
+TEST(ShellComposedRR, ShellIsWhereTheoremSaysItIs) {
+  const double eps = 0.1;
+  const int k = 100;
+  const double beta = 0.01;
+  ShellComposedRR m(eps, k, beta);
+  const double center = k / (std::exp(eps) + 1.0);
+  const double radius = std::sqrt(k * std::log(2.0 / beta) / 2.0);
+  EXPECT_EQ(m.shell_lo(), static_cast<int>(std::ceil(center - radius)));
+  EXPECT_EQ(m.shell_hi(), static_cast<int>(std::floor(center + radius)));
+}
+
+TEST(ShellComposedRR, OutOfShellProbBoundedByBeta) {
+  // Hoeffding gives Pr[M(x) outside the shell] <= beta; the exact value
+  // must respect the bound.
+  for (double eps : {0.05, 0.1, 0.2}) {
+    for (int k : {50, 200, 800}) {
+      ShellComposedRR m(eps, k, 0.01);
+      EXPECT_LE(m.OutOfShellProb(), 0.01) << eps << " " << k;
+      EXPECT_GT(m.OutOfShellProb(), 0.0);
+    }
+  }
+}
+
+TEST(ShellComposedRR, TvEqualsHalfOutMassDifference) {
+  // TV(M~, M) <= Pr[out of shell] (they agree inside).
+  ShellComposedRR m(0.1, 100, 0.01);
+  EXPECT_LE(m.TvToPlainComposition(), m.OutOfShellProb() + 1e-12);
+  EXPECT_GT(m.TvToPlainComposition(), 0.0);
+}
+
+TEST(ShellComposedRR, ExactEpsilonWithinTheoremBound) {
+  // The crux of Theorem 5.1.
+  for (double eps : {0.05, 0.1}) {
+    for (int k : {64, 256, 1024}) {
+      for (double beta : {0.05, 0.01}) {
+        ShellComposedRR m(eps, k, beta);
+        EXPECT_LE(m.ExactEpsilon(), m.EpsilonBound() + 1e-9)
+            << "eps=" << eps << " k=" << k << " beta=" << beta;
+      }
+    }
+  }
+}
+
+TEST(ShellComposedRR, BeatsNaiveCompositionForLargeK) {
+  // The whole point: eps~ = O(eps sqrt(k log 1/beta)) << k eps.
+  const double eps = 0.05;
+  const double beta = 0.01;
+  for (int k : {256, 1024, 4096}) {
+    ShellComposedRR m(eps, k, beta);
+    EXPECT_LT(m.ExactEpsilon(), m.NaiveEpsilon()) << k;
+    EXPECT_LT(m.EpsilonBound(), m.NaiveEpsilon()) << k;
+  }
+}
+
+TEST(ShellComposedRR, ExactEpsilonGrowsLikeSqrtK) {
+  const double eps = 0.05;
+  const double beta = 0.01;
+  ShellComposedRR m1(eps, 256, beta);
+  ShellComposedRR m4(eps, 1024, beta);
+  const double ratio = m4.ExactEpsilon() / m1.ExactEpsilon();
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 3.0);  // Far from the naive factor 4.
+}
+
+TEST(ShellComposedRR, ApplyPlainIsPerBitRR) {
+  ShellComposedRR m(1.0, 50, 0.01);
+  Rng rng(3);
+  std::vector<uint8_t> x(50, 1);
+  int flips = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    flips += Hamming(m.ApplyPlain(x, rng), x);
+  }
+  const double flip_prob = 1.0 / (std::exp(1.0) + 1.0);
+  EXPECT_NEAR(static_cast<double>(flips) / (trials * 50.0), flip_prob, 0.01);
+}
+
+TEST(ShellComposedRR, ApplyOutputsConsistentWithShellReRouting) {
+  // Every output of Apply is either in the shell around x, or (rarely)
+  // out-of-shell via the uniform re-route; both are valid outputs of M~.
+  ShellComposedRR m(0.2, 64, 0.05);
+  Rng rng(5);
+  std::vector<uint8_t> x(64, 0);
+  int in_shell = 0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    const auto y = m.Apply(x, rng);
+    const int d = Hamming(y, x);
+    in_shell += (d >= m.shell_lo() && d <= m.shell_hi());
+  }
+  // Out-of-shell probability of M~ equals that of M (the re-route keeps
+  // the total mass outside); expect ~ (1 - OutOfShellProb()).
+  EXPECT_NEAR(static_cast<double>(in_shell) / trials, 1.0 - m.OutOfShellProb(),
+              0.02);
+}
+
+TEST(ShellComposedRR, ConditionedOnShellMatchesPlainDistribution) {
+  // Theorem 5.1 condition (2): conditioned on the good event, M~(x) is
+  // identically distributed to M(x). Empirically compare per-distance
+  // histograms inside the shell.
+  const double eps = 0.3;
+  const int k = 32;
+  ShellComposedRR m(eps, k, 0.02);
+  Rng rng(7);
+  std::vector<uint8_t> x(k, 0);
+  std::vector<double> h_tilde(k + 1, 0), h_plain(k + 1, 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    ++h_tilde[static_cast<size_t>(Hamming(m.Apply(x, rng), x))];
+    ++h_plain[static_cast<size_t>(Hamming(m.ApplyPlain(x, rng), x))];
+  }
+  for (int d = m.shell_lo(); d <= m.shell_hi(); ++d) {
+    const double pt = h_tilde[static_cast<size_t>(d)] / trials;
+    const double pp = h_plain[static_cast<size_t>(d)] / trials;
+    EXPECT_NEAR(pt, pp, 0.015) << "d=" << d;
+  }
+}
+
+TEST(ShellComposedRR, LogProbsAreConsistentDistribution) {
+  // Sum over the cube of Pr[M~(x)=y] must be 1: sum_d C(k,d) P(d).
+  const int k = 40;
+  ShellComposedRR m(0.2, k, 0.05);
+  double total = 0;
+  for (int d = 0; d <= k; ++d) {
+    total += std::exp(LogBinomial(static_cast<uint64_t>(k),
+                                  static_cast<uint64_t>(d)) +
+                      m.LogProbAtDistance(d));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ShellComposedRR, PlainLogProbsAreConsistentDistribution) {
+  const int k = 40;
+  ShellComposedRR m(0.2, k, 0.05);
+  double total = 0;
+  for (int d = 0; d <= k; ++d) {
+    total += std::exp(LogBinomial(static_cast<uint64_t>(k),
+                                  static_cast<uint64_t>(d)) +
+                      m.LogPlainProbAtDistance(d));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ShellComposedRR, BruteForceEpsilonMatchesOnTinyK) {
+  // For small k, enumerate the whole cube and compute the true epsilon of
+  // M~ from LogProbAtDistance; must match ExactEpsilon().
+  const int k = 10;
+  ShellComposedRR m(0.3, k, 0.2);
+  double worst = 0;
+  for (int x = 0; x < (1 << k); ++x) {
+    for (int xp = 0; xp < (1 << k); ++xp) {
+      if (x == xp) continue;
+      for (int y = 0; y < (1 << k); ++y) {
+        const int da = __builtin_popcount(static_cast<unsigned>(x ^ y));
+        const int db = __builtin_popcount(static_cast<unsigned>(xp ^ y));
+        worst = std::max(worst, m.LogProbAtDistance(da) - m.LogProbAtDistance(db));
+      }
+    }
+  }
+  EXPECT_NEAR(m.ExactEpsilon(), worst, 1e-9);
+}
+
+TEST(ShellComposedRR, RejectsBadParameters) {
+  EXPECT_DEATH(ShellComposedRR(0.0, 10, 0.01), "");
+  EXPECT_DEATH(ShellComposedRR(1.0, 0, 0.01), "");
+  EXPECT_DEATH(ShellComposedRR(1.0, 10, 0.0), "");
+  EXPECT_DEATH(ShellComposedRR(1.0, 10, 1.0), "");
+}
+
+TEST(ShellComposedRR, ApplyRejectsWrongLength) {
+  ShellComposedRR m(0.5, 16, 0.05);
+  Rng rng(9);
+  std::vector<uint8_t> x(15, 0);
+  EXPECT_DEATH(m.Apply(x, rng), "");
+}
+
+class CompositionSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, double>> {};
+
+TEST_P(CompositionSweep, TheoremHoldsAcrossGrid) {
+  const auto [eps, k, beta] = GetParam();
+  // Theorem 5.1 precondition: eps~ <= 1 (approximately; we allow slack and
+  // simply assert the exact epsilon respects the bound).
+  ShellComposedRR m(eps, k, beta);
+  EXPECT_LE(m.ExactEpsilon(), m.EpsilonBound() + 1e-9);
+  EXPECT_LE(m.TvToPlainComposition(), beta + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompositionSweep,
+    ::testing::Combine(::testing::Values(0.02, 0.05, 0.1),
+                       ::testing::Values(32, 128, 512),
+                       ::testing::Values(0.1, 0.02, 0.005)));
+
+}  // namespace
+}  // namespace ldphh

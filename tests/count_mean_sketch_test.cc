@@ -1,0 +1,132 @@
+// Tests for src/freq/count_mean_sketch: the Apple-style CMS oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/freq/count_mean_sketch.h"
+#include "src/workload/workload.h"
+
+namespace ldphh {
+namespace {
+
+void RunCms(CountMeanSketch& cms, const std::vector<DomainItem>& db,
+            uint64_t seed) {
+  Rng rng(seed);
+  for (const DomainItem& x : db) cms.Aggregate(cms.Encode(x, rng));
+  cms.Finalize();
+}
+
+TEST(Cms, AutoParameters) {
+  CmsParams p;
+  CountMeanSketch cms(1 << 20, 2.0, p, 3);
+  EXPECT_EQ(cms.rows(), 16);
+  EXPECT_EQ(cms.width(), 2048u);  // next_pow2(2 * 1024).
+  EXPECT_EQ(cms.ReportBits(), 2048 + 4);
+}
+
+TEST(Cms, EstimatesPlantedFrequencies) {
+  const uint64_t n = 60000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.3, 0.1}, 5);
+  CmsParams p;
+  CountMeanSketch cms(n, 2.0, p, 7);
+  RunCms(cms, w.database, 11);
+  const double tol = 25.0 * std::sqrt(static_cast<double>(n));
+  for (const auto& [item, count] : w.heavy) {
+    EXPECT_NEAR(cms.Estimate(item), static_cast<double>(count), tol);
+  }
+}
+
+TEST(Cms, AbsentItemNearZero) {
+  const uint64_t n = 60000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.5}, 13);
+  CmsParams p;
+  CountMeanSketch cms(n, 2.0, p, 17);
+  RunCms(cms, w.database, 19);
+  EXPECT_NEAR(cms.Estimate(DomainItem(0xdeadbeefcafeULL)), 0.0,
+              25.0 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST(Cms, ReportCarriesWidthBits) {
+  CmsParams p;
+  p.rows = 8;
+  p.width = 128;
+  CountMeanSketch cms(1000, 1.0, p, 23);
+  Rng rng(29);
+  const auto r = cms.Encode(DomainItem(42), rng);
+  EXPECT_LT(r.row, 8u);
+  EXPECT_EQ(r.bits.size(), 2u);  // 128 bits = 2 words.
+  EXPECT_EQ(r.num_bits, 128 + 3);
+}
+
+TEST(Cms, PerBitFlipRateMatchesEpsilon) {
+  const double eps = 2.0;
+  CmsParams p;
+  p.rows = 1;
+  p.width = 64;
+  CountMeanSketch cms(1000, eps, p, 31);
+  Rng rng(37);
+  // Count ones across reports: expected (W-1) * flip + (1 - flip).
+  const double flip = 1.0 / (std::exp(eps / 2) + 1.0);
+  double ones = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const auto r = cms.Encode(DomainItem(7), rng);
+    ones += __builtin_popcountll(r.bits[0]);
+  }
+  EXPECT_NEAR(ones / trials, 63 * flip + (1 - flip), 0.2);
+}
+
+TEST(Cms, ErrorImprovesWithEpsilon) {
+  const uint64_t n = 50000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.25}, 41);
+  double errs[2];
+  int i = 0;
+  for (double eps : {0.5, 4.0}) {
+    CmsParams p;
+    CountMeanSketch cms(n, eps, p, 43);
+    RunCms(cms, w.database, 47);
+    errs[i++] = std::abs(cms.Estimate(w.heavy[0].first) -
+                         static_cast<double>(w.heavy[0].second));
+  }
+  EXPECT_GT(errs[0], errs[1]);
+}
+
+TEST(Cms, MemorySublinear) {
+  CmsParams p;
+  CountMeanSketch small(1 << 14, 1.0, p, 53);
+  CountMeanSketch large(1 << 22, 1.0, p, 53);
+  EXPECT_LE(large.MemoryBytes(), 20 * small.MemoryBytes());
+}
+
+TEST(Cms, BadRowRejected) {
+  CmsParams p;
+  p.rows = 4;
+  p.width = 64;
+  CountMeanSketch cms(1000, 1.0, p, 59);
+  CmsReport r;
+  r.row = 9;
+  r.bits.assign(1, 0);
+  EXPECT_DEATH(cms.Aggregate(r), "");
+}
+
+class CmsEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CmsEpsSweep, TotalMassTracksN) {
+  const double eps = GetParam();
+  const uint64_t n = 30000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.4, 0.2, 0.1}, 61);
+  CmsParams p;
+  CountMeanSketch cms(n, eps, p, 67);
+  RunCms(cms, w.database, 71);
+  // The three heavy estimates sum to ~0.7 n.
+  double acc = 0;
+  for (const auto& [item, count] : w.heavy) acc += cms.Estimate(item);
+  EXPECT_NEAR(acc, 0.7 * static_cast<double>(n),
+              60.0 * std::sqrt(static_cast<double>(n)) / eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, CmsEpsSweep, ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,335 @@
+// Tests for src/freq small-domain oracles: Hadamard response (Thm 3.8),
+// direct encoding (k-RR), unary encoding (RAPPOR), OLH — plus FWHT.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/math_util.h"
+#include "src/common/random.h"
+#include "src/freq/direct_encoding.h"
+#include "src/freq/fwht.h"
+#include "src/freq/hadamard_response.h"
+#include "src/freq/olh.h"
+#include "src/freq/unary_encoding.h"
+
+namespace ldphh {
+namespace {
+
+// ------------------------------------------------------------------ FWHT --
+
+TEST(Fwht, InvolutionUpToScale) {
+  Rng rng(1);
+  std::vector<double> v(16);
+  for (auto& x : v) x = rng.UniformDouble() - 0.5;
+  auto w = v;
+  Fwht(w);
+  Fwht(w);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(w[i], 16.0 * v[i], 1e-9);
+}
+
+TEST(Fwht, MatchesDirectHadamardTransform) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  Fwht(w);
+  for (uint64_t r = 0; r < 8; ++r) {
+    double direct = 0;
+    for (uint64_t c = 0; c < 8; ++c) direct += v[c] * HadamardEntry(c, r);
+    EXPECT_NEAR(w[r], direct, 1e-9);
+  }
+}
+
+TEST(Fwht, RejectsNonPowerOfTwo) {
+  std::vector<double> v(6, 0.0);
+  EXPECT_DEATH(Fwht(v), "");
+}
+
+// ------------------------------------------ helpers for oracle testing --
+
+// Runs an oracle over a database of small-domain values and finalizes.
+void RunOracle(SmallDomainFO& fo, const std::vector<uint64_t>& values,
+               uint64_t seed) {
+  Rng rng(seed);
+  for (uint64_t v : values) fo.Aggregate(fo.Encode(v, rng));
+  fo.Finalize();
+}
+
+std::vector<uint64_t> SmallWorkload(uint64_t domain, uint64_t n, Rng& rng,
+                                    std::vector<uint64_t>* truth) {
+  truth->assign(static_cast<size_t>(domain), 0);
+  std::vector<uint64_t> values;
+  values.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    // Skewed: value v with weight ~ 1/(v+1).
+    uint64_t v = 0;
+    const double u = rng.UniformDouble();
+    double acc = 0, z = 0;
+    for (uint64_t j = 0; j < domain; ++j) z += 1.0 / (j + 1.0);
+    for (uint64_t j = 0; j < domain; ++j) {
+      acc += 1.0 / ((j + 1.0) * z);
+      if (u < acc) {
+        v = j;
+        break;
+      }
+    }
+    values.push_back(v);
+    ++(*truth)[static_cast<size_t>(v)];
+  }
+  return values;
+}
+
+// Exact per-report privacy check: for every pair of inputs and every
+// possible report, the probability ratio must be <= e^eps. Estimated by
+// massive sampling of the (finite) report distribution.
+void CheckReportPrivacyBySampling(const SmallDomainFO& fo, double eps,
+                                  uint64_t seed, int samples = 200000) {
+  const uint64_t domain = fo.domain_size();
+  // Sample report histograms for inputs 0 and 1 (symmetry covers the rest
+  // for the symmetric mechanisms under test).
+  std::map<uint64_t, double> h0, h1;
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) h0[fo.Encode(0, rng).bits] += 1.0;
+  for (int i = 0; i < samples; ++i) h1[fo.Encode(1 % domain, rng).bits] += 1.0;
+  // Only check reports with enough mass for the empirical ratio to be
+  // meaningful; tolerance covers sampling noise.
+  for (const auto& [r, c0] : h0) {
+    const auto it = h1.find(r);
+    if (c0 < 500 || it == h1.end() || it->second < 500) continue;
+    const double ratio = c0 / it->second;
+    EXPECT_LE(ratio, std::exp(eps) * 1.25) << "report " << r;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.25) << "report " << r;
+  }
+}
+
+// ------------------------------------------------------- HadamardResponse --
+
+TEST(HadamardResponse, UnbiasedEstimates) {
+  const uint64_t domain = 16;
+  const uint64_t n = 60000;
+  Rng rng(2);
+  std::vector<uint64_t> truth;
+  const auto values = SmallWorkload(domain, n, rng, &truth);
+  HadamardResponseFO fo(domain, 1.0);
+  RunOracle(fo, values, 3);
+  const double tol = 6.0 * ((std::exp(1.0) + 1) / (std::exp(1.0) - 1)) *
+                     std::sqrt(static_cast<double>(n));
+  for (uint64_t v = 0; v < domain; ++v) {
+    EXPECT_NEAR(fo.Estimate(v), static_cast<double>(truth[v]), tol) << v;
+  }
+}
+
+TEST(HadamardResponse, ErrorShrinksWithEpsilon) {
+  const uint64_t domain = 8;
+  const uint64_t n = 40000;
+  Rng rng(4);
+  std::vector<uint64_t> truth;
+  const auto values = SmallWorkload(domain, n, rng, &truth);
+  double err_lo = 0, err_hi = 0;
+  {
+    HadamardResponseFO fo(domain, 0.5);
+    RunOracle(fo, values, 5);
+    for (uint64_t v = 0; v < domain; ++v) {
+      err_lo = std::max(err_lo, std::abs(fo.Estimate(v) - double(truth[v])));
+    }
+  }
+  {
+    HadamardResponseFO fo(domain, 4.0);
+    RunOracle(fo, values, 5);
+    for (uint64_t v = 0; v < domain; ++v) {
+      err_hi = std::max(err_hi, std::abs(fo.Estimate(v) - double(truth[v])));
+    }
+  }
+  EXPECT_LT(err_hi, err_lo);
+}
+
+TEST(HadamardResponse, ReportIsOneIndexPlusOneBit) {
+  HadamardResponseFO fo(100, 1.0);
+  EXPECT_EQ(fo.table_size(), 128u);
+  Rng rng(6);
+  const auto r = fo.Encode(42, rng);
+  EXPECT_EQ(r.num_bits, 7 + 1);
+  EXPECT_LT(r.bits, 256u);
+}
+
+TEST(HadamardResponse, ReportDistributionIsEpsLdp) {
+  HadamardResponseFO fo(8, 0.8);
+  CheckReportPrivacyBySampling(fo, 0.8, 7);
+}
+
+TEST(HadamardResponse, MemoryIsTableSized) {
+  HadamardResponseFO fo(1000, 1.0);
+  EXPECT_EQ(fo.MemoryBytes(), 1024 * sizeof(double));
+}
+
+TEST(HadamardResponse, DomainSizeOne) {
+  HadamardResponseFO fo(1, 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) fo.Aggregate(fo.Encode(0, rng));
+  fo.Finalize();
+  EXPECT_NEAR(fo.Estimate(0), 100.0, 60.0);
+}
+
+// --------------------------------------------------------- DirectEncoding --
+
+TEST(DirectEncoding, UnbiasedEstimates) {
+  const uint64_t domain = 10;
+  const uint64_t n = 50000;
+  Rng rng(9);
+  std::vector<uint64_t> truth;
+  const auto values = SmallWorkload(domain, n, rng, &truth);
+  DirectEncodingFO fo(domain, 1.5);
+  RunOracle(fo, values, 10);
+  for (uint64_t v = 0; v < domain; ++v) {
+    EXPECT_NEAR(fo.Estimate(v), static_cast<double>(truth[v]),
+                8.0 * std::sqrt(static_cast<double>(n))) << v;
+  }
+}
+
+TEST(DirectEncoding, ReportsAreDomainValues) {
+  DirectEncodingFO fo(10, 1.0);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(fo.Encode(3, rng).bits, 10u);
+}
+
+TEST(DirectEncoding, ExactPrivacyOfKeepProbability) {
+  // k-RR ratio: p/q = e^eps exactly.
+  const double eps = 1.3;
+  DirectEncodingFO fo(6, eps);
+  Rng rng(12);
+  int kept = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) kept += (fo.Encode(2, rng).bits == 2);
+  const double p = static_cast<double>(kept) / trials;
+  const double expect = std::exp(eps) / (std::exp(eps) + 5.0);
+  EXPECT_NEAR(p, expect, 0.01);
+}
+
+TEST(DirectEncoding, ReportDistributionIsEpsLdp) {
+  DirectEncodingFO fo(6, 1.0);
+  CheckReportPrivacyBySampling(fo, 1.0, 13);
+}
+
+// ---------------------------------------------------------- UnaryEncoding --
+
+TEST(UnaryEncoding, UnbiasedEstimates) {
+  const uint64_t domain = 12;
+  const uint64_t n = 50000;
+  Rng rng(14);
+  std::vector<uint64_t> truth;
+  const auto values = SmallWorkload(domain, n, rng, &truth);
+  UnaryEncodingFO fo(domain, 2.0);
+  RunOracle(fo, values, 15);
+  for (uint64_t v = 0; v < domain; ++v) {
+    EXPECT_NEAR(fo.Estimate(v), static_cast<double>(truth[v]),
+                8.0 * std::sqrt(static_cast<double>(n))) << v;
+  }
+}
+
+TEST(UnaryEncoding, ReportWidthIsDomainSize) {
+  UnaryEncodingFO fo(20, 1.0);
+  Rng rng(16);
+  EXPECT_EQ(fo.Encode(5, rng).num_bits, 20);
+}
+
+TEST(UnaryEncoding, RejectsOversizedDomain) {
+  EXPECT_DEATH(UnaryEncodingFO(57, 1.0), "");
+}
+
+TEST(UnaryEncoding, PerBitFlipProbability) {
+  const double eps = 2.0;
+  UnaryEncodingFO fo(8, eps);
+  Rng rng(17);
+  int one_bit_set = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    one_bit_set += (fo.Encode(3, rng).bits >> 3) & 1;
+  }
+  const double p = std::exp(eps / 2) / (std::exp(eps / 2) + 1);
+  EXPECT_NEAR(static_cast<double>(one_bit_set) / trials, p, 0.01);
+}
+
+// --------------------------------------------------------------------- OLH --
+
+TEST(Olh, UnbiasedEstimates) {
+  const uint64_t domain = 64;
+  const uint64_t n = 40000;
+  Rng rng(18);
+  std::vector<uint64_t> truth;
+  const auto values = SmallWorkload(domain, n, rng, &truth);
+  OlhFO fo(domain, 1.5, /*seed=*/77);
+  RunOracle(fo, values, 19);
+  for (uint64_t v = 0; v < 8; ++v) {  // Spot-check the head.
+    EXPECT_NEAR(fo.Estimate(v), static_cast<double>(truth[v]),
+                8.0 * std::sqrt(static_cast<double>(n))) << v;
+  }
+}
+
+TEST(Olh, HashRangeIsExpEpsPlusOne) {
+  OlhFO fo(100, 1.0, 1);
+  EXPECT_EQ(fo.hash_range(), static_cast<uint64_t>(std::llround(std::exp(1.0))) + 1);
+}
+
+TEST(Olh, ReportsAreInHashRange) {
+  OlhFO fo(1000, 2.0, 2);
+  Rng rng(20);
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_LT(fo.EncodeForUser(i, i % 1000, rng).bits, fo.hash_range());
+  }
+}
+
+TEST(Olh, MemoryGrowsWithUsers) {
+  OlhFO fo(100, 1.0, 3);
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) fo.Aggregate(fo.Encode(5, rng));
+  EXPECT_EQ(fo.MemoryBytes(), 100 * sizeof(uint32_t));
+}
+
+// --------------------------------------------- cross-oracle sanity sweep --
+
+enum class Kind { kHadamard, kDirect, kUnary, kOlh };
+
+class OracleSweep : public ::testing::TestWithParam<std::tuple<Kind, double>> {};
+
+TEST_P(OracleSweep, TotalMassMatchesN) {
+  // Summing estimates over the whole domain ~ n for every oracle (the
+  // estimates are unbiased and the one-hot loadings sum to 1).
+  const auto [kind, eps] = GetParam();
+  const uint64_t domain = 16;
+  const uint64_t n = 30000;
+  Rng rng(22);
+  std::vector<uint64_t> truth;
+  const auto values = SmallWorkload(domain, n, rng, &truth);
+  std::unique_ptr<SmallDomainFO> fo;
+  switch (kind) {
+    case Kind::kHadamard:
+      fo = std::make_unique<HadamardResponseFO>(domain, eps);
+      break;
+    case Kind::kDirect:
+      fo = std::make_unique<DirectEncodingFO>(domain, eps);
+      break;
+    case Kind::kUnary:
+      fo = std::make_unique<UnaryEncodingFO>(domain, eps);
+      break;
+    case Kind::kOlh:
+      fo = std::make_unique<OlhFO>(domain, eps, 5);
+      break;
+  }
+  RunOracle(*fo, values, 23);
+  double total = 0;
+  for (uint64_t v = 0; v < domain; ++v) total += fo->Estimate(v);
+  EXPECT_NEAR(total, static_cast<double>(n),
+              25.0 * std::sqrt(static_cast<double>(n) * domain) / eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOracles, OracleSweep,
+    ::testing::Combine(::testing::Values(Kind::kHadamard, Kind::kDirect,
+                                         Kind::kUnary, Kind::kOlh),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,219 @@
+// Tests for src/ldp/genprot: Theorem 6.1 — the generic approximate-to-pure
+// transformation. Pure DP is verified *exactly* via the Poisson-binomial
+// output distribution, and utility via sampled total variation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/ldp/genprot.h"
+#include "src/ldp/randomizer.h"
+
+namespace ldphh {
+namespace {
+
+TEST(GenProt, MinTMatchesTheorem) {
+  EXPECT_EQ(GenProt::MinT(0.1), static_cast<int>(std::ceil(5 * std::log(10.0))));
+  EXPECT_EQ(GenProt::MinT(0.25), static_cast<int>(std::ceil(5 * std::log(4.0))));
+}
+
+TEST(GenProt, UtilityBoundFormula) {
+  const double b = GenProt::UtilityTvBound(0.1, 1e-9, 20, 1000);
+  const double expect =
+      1000.0 * (std::pow(0.6, 20) + 6.0 * 20 * 1e-9 * std::exp(0.1) /
+                                        (1.0 - std::exp(-0.1)));
+  EXPECT_NEAR(b, expect, 1e-12);
+}
+
+TEST(GenProt, ClampedProbStaysInGoodBand) {
+  const double eps = 0.2;
+  LeakyRandomizedResponse rr(eps, 0.01);
+  GenProt gp(&rr, eps, 16, /*default_input=*/0);
+  const double lo = std::exp(-2 * eps) / 2;
+  const double hi = std::exp(2 * eps) / 2;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      const double p = gp.ClampedProb(x, y);
+      EXPECT_TRUE((p >= lo && p <= hi) || p == 0.5) << x << " " << y;
+    }
+  }
+}
+
+TEST(GenProt, ClampCatchesLeakedSymbols) {
+  // The clear-channel symbols have unbounded ratio; they must clamp to 1/2.
+  const double eps = 0.2;
+  LeakyRandomizedResponse rr(eps, 0.01);
+  GenProt gp(&rr, eps, 16, 0);
+  EXPECT_DOUBLE_EQ(gp.ClampedProb(0, 2), 0.5);  // Pr[A(0)=2]/Pr[A(bot)=2] = 1... clamps.
+  EXPECT_DOUBLE_EQ(gp.ClampedProb(1, 2), 0.5);  // Ratio 0: outside band.
+}
+
+TEST(GenProt, UserOutputDistributionIsStochastic) {
+  const double eps = 0.25;
+  LeakyRandomizedResponse rr(eps, 0.05);
+  const int t_count = 12;
+  GenProt gp(&rr, eps, t_count, 0);
+  Rng rng(3);
+  std::vector<int> ys;
+  for (int t = 0; t < t_count; ++t) ys.push_back(rr.Sample(0, rng));
+  for (int x = 0; x < 2; ++x) {
+    const auto dist = gp.UserOutputDistribution(ys, x);
+    double total = 0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << x;
+  }
+}
+
+TEST(GenProt, UserOutputDistributionMatchesSampling) {
+  const double eps = 0.25;
+  BinaryRandomizedResponse rr(eps);
+  const int t_count = 8;
+  GenProt gp(&rr, eps, t_count, 0);
+  // Fixed public samples.
+  std::vector<int> ys = {0, 1, 0, 0, 1, 1, 0, 1};
+  const auto dist = gp.UserOutputDistribution(ys, 1);
+  // Reimplement the user's selection by sampling and compare histograms.
+  Rng rng(5);
+  std::vector<double> hist(t_count, 0);
+  const int trials = 300000;
+  std::vector<int> successes;
+  for (int i = 0; i < trials; ++i) {
+    successes.clear();
+    for (int t = 0; t < t_count; ++t) {
+      if (rng.Bernoulli(gp.ClampedProb(1, ys[static_cast<size_t>(t)]))) {
+        successes.push_back(t);
+      }
+    }
+    int g;
+    if (successes.empty()) {
+      g = static_cast<int>(rng.UniformU64(t_count));
+    } else {
+      g = successes[rng.UniformU64(successes.size())];
+    }
+    ++hist[static_cast<size_t>(g)];
+  }
+  for (int t = 0; t < t_count; ++t) {
+    EXPECT_NEAR(hist[static_cast<size_t>(t)] / trials, dist[static_cast<size_t>(t)],
+                0.005) << t;
+  }
+}
+
+TEST(GenProt, ExactEpsilonWithinTenEps) {
+  // Theorem 6.1: GenProt is 10 eps-LDP for every fixed public randomness.
+  const double eps = 0.2;
+  LeakyRandomizedResponse rr(eps, 0.02);
+  const int t_count = std::max(GenProt::MinT(eps), 10);
+  GenProt gp(&rr, eps, t_count, 0);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> ys;
+    for (int t = 0; t < t_count; ++t) ys.push_back(rr.Sample(0, rng));
+    EXPECT_LE(gp.ExactEpsilonForPublicRandomness(ys),
+              GenProt::PrivacyBound(eps) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+class GenProtEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GenProtEpsSweep, PureDpAcrossEps) {
+  const double eps = GetParam();
+  LeakyRandomizedResponse rr(eps, 0.01);
+  const int t_count = std::max(GenProt::MinT(eps), 8);
+  GenProt gp(&rr, eps, t_count, 0);
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> ys;
+    for (int t = 0; t < t_count; ++t) ys.push_back(rr.Sample(0, rng));
+    EXPECT_LE(gp.ExactEpsilonForPublicRandomness(ys), 10 * eps + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, GenProtEpsSweep,
+                         ::testing::Values(0.05, 0.1, 0.15, 0.2, 0.25));
+
+TEST(GenProt, RunProducesResolvedOutputs) {
+  const double eps = 0.2;
+  LeakyRandomizedResponse rr(eps, 0.001);
+  const int t_count = 16;
+  GenProt gp(&rr, eps, t_count, 0);
+  std::vector<int> inputs(500);
+  for (size_t i = 0; i < inputs.size(); ++i) inputs[i] = i % 2;
+  const auto run = gp.Run(inputs, 13);
+  EXPECT_EQ(run.chosen_index.size(), inputs.size());
+  EXPECT_EQ(run.resolved_output.size(), inputs.size());
+  EXPECT_EQ(run.report_bits, 4);  // ceil(log2 16).
+  for (int g : run.chosen_index) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, t_count);
+  }
+  for (int y : run.resolved_output) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, rr.num_outputs());
+  }
+}
+
+TEST(GenProt, UtilityResolvedOutputsTrackOriginalProtocol) {
+  // Count the RR-decoded ones through GenProt vs directly; the debiased
+  // estimates must agree within sampling noise (the TV bound's content).
+  const double eps = 0.25;
+  BinaryRandomizedResponse rr(eps);
+  const int t_count = std::max(GenProt::MinT(eps), 24);
+  GenProt gp(&rr, eps, t_count, 0);
+  const uint64_t n = 40000;
+  std::vector<int> inputs(n);
+  uint64_t true_ones = 0;
+  Rng wl(17);
+  for (auto& x : inputs) {
+    x = wl.Bernoulli(0.3);
+    true_ones += x;
+  }
+  const auto run = gp.Run(inputs, 19);
+  double est = 0;
+  const double e = std::exp(eps);
+  for (int y : run.resolved_output) {
+    // Symbols 0/1: RR channel. (Leak channel absent for plain RR.)
+    est += ((e + 1) / (e - 1)) * (static_cast<double>(y) - 1.0 / (e + 1));
+  }
+  EXPECT_NEAR(est, static_cast<double>(true_ones),
+              12.0 * std::sqrt(static_cast<double>(n)) / (eps / 2));
+}
+
+TEST(GenProt, ReportLengthIsLogLogScale) {
+  // With T = 2 ln(2n/beta), the report is O(log log n) bits.
+  const uint64_t n = 1 << 20;
+  const double beta = 1e-3;
+  const int t_count = static_cast<int>(std::ceil(2 * std::log(2 * n / beta)));
+  BinaryRandomizedResponse rr(0.1);
+  GenProt gp(&rr, 0.1, t_count, 0);
+  std::vector<int> inputs(10, 0);
+  const auto run = gp.Run(inputs, 23);
+  EXPECT_LE(run.report_bits, 7);  // ~ log2(44) = 6 bits.
+}
+
+TEST(GenProt, RejectsBadParameters) {
+  BinaryRandomizedResponse rr(0.1);
+  EXPECT_DEATH(GenProt(&rr, 0.3, 8, 0), "");   // eps > 1/4.
+  EXPECT_DEATH(GenProt(&rr, 0.1, 0, 0), "");   // T < 1.
+  EXPECT_DEATH(GenProt(&rr, 0.1, 8, 5), "");   // Bad default input.
+}
+
+TEST(GenProt, DeterministicGivenSeed) {
+  BinaryRandomizedResponse rr(0.2);
+  GenProt gp(&rr, 0.2, 12, 0);
+  std::vector<int> inputs(100, 1);
+  const auto a = gp.Run(inputs, 29);
+  const auto b = gp.Run(inputs, 29);
+  EXPECT_EQ(a.chosen_index, b.chosen_index);
+  EXPECT_EQ(a.resolved_output, b.resolved_output);
+}
+
+}  // namespace
+}  // namespace ldphh

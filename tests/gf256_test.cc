@@ -1,0 +1,120 @@
+// Tests for src/codes/gf256: field axioms, exhaustively where cheap.
+
+#include <gtest/gtest.h>
+
+#include "src/codes/gf256.h"
+#include "src/common/random.h"
+
+namespace ldphh {
+namespace {
+
+TEST(GF256, AddIsXor) {
+  EXPECT_EQ(GF256::Add(0x00, 0x00), 0x00);
+  EXPECT_EQ(GF256::Add(0xff, 0xff), 0x00);
+  EXPECT_EQ(GF256::Add(0xa5, 0x5a), 0xff);
+}
+
+TEST(GF256, MulZeroAnnihilates) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::Mul(static_cast<uint8_t>(a), 0), 0);
+    EXPECT_EQ(GF256::Mul(0, static_cast<uint8_t>(a)), 0);
+  }
+}
+
+TEST(GF256, MulOneIsIdentity) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::Mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::Mul(1, static_cast<uint8_t>(a)), a);
+  }
+}
+
+TEST(GF256, MulCommutativeExhaustive) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(GF256::Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                GF256::Mul(static_cast<uint8_t>(b), static_cast<uint8_t>(a)));
+    }
+  }
+}
+
+TEST(GF256, MulAssociativeSampled) {
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const uint8_t b = static_cast<uint8_t>(rng());
+    const uint8_t c = static_cast<uint8_t>(rng());
+    EXPECT_EQ(GF256::Mul(GF256::Mul(a, b), c), GF256::Mul(a, GF256::Mul(b, c)));
+  }
+}
+
+TEST(GF256, MulDistributesOverAddSampled) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const uint8_t b = static_cast<uint8_t>(rng());
+    const uint8_t c = static_cast<uint8_t>(rng());
+    EXPECT_EQ(GF256::Mul(a, GF256::Add(b, c)),
+              GF256::Add(GF256::Mul(a, b), GF256::Mul(a, c)));
+  }
+}
+
+TEST(GF256, InverseExhaustive) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t inv = GF256::Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(GF256::Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivConsistentWithMulInv) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    uint8_t b = static_cast<uint8_t>(rng());
+    if (b == 0) b = 1;
+    EXPECT_EQ(GF256::Div(a, b), GF256::Mul(a, GF256::Inv(b)));
+  }
+}
+
+TEST(GF256, LogExpInverse) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(GF256::Exp(GF256::Log(static_cast<uint8_t>(a))), a);
+  }
+}
+
+TEST(GF256, AlphaGeneratesWholeGroup) {
+  // alpha = 0x02 must have multiplicative order 255.
+  std::array<bool, 256> seen{};
+  uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]) << "cycle shorter than 255 at i=" << i;
+    seen[x] = true;
+    x = GF256::Mul(x, 2);
+  }
+  EXPECT_EQ(x, 1);  // Order exactly 255.
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const uint8_t a = static_cast<uint8_t>(1 + rng() % 255);
+    const int e = static_cast<int>(rng() % 20);
+    uint8_t expect = 1;
+    for (int j = 0; j < e; ++j) expect = GF256::Mul(expect, a);
+    EXPECT_EQ(GF256::Pow(a, e), expect) << "a=" << int(a) << " e=" << e;
+  }
+}
+
+TEST(GF256, PowZeroBase) {
+  EXPECT_EQ(GF256::Pow(0, 0), 1);
+  EXPECT_EQ(GF256::Pow(0, 3), 0);
+}
+
+TEST(GF256, AlphaPowWrapsMod255) {
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_EQ(GF256::AlphaPow(i), GF256::AlphaPow(i + 255));
+    EXPECT_EQ(GF256::AlphaPow(-i), GF256::AlphaPow(255 - i));
+  }
+}
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,249 @@
+// Tests for src/graphs: Graph, spectral primitives, Expander.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/graphs/expander.h"
+#include "src/graphs/graph.h"
+#include "src/graphs/spectral.h"
+
+namespace ldphh {
+namespace {
+
+Graph Cycle(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+Graph Complete(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+// ------------------------------------------------------------------ Graph --
+
+TEST(Graph, DegreesAndEdgeCount) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);  // Parallel edge.
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 3);
+  EXPECT_EQ(g.Degree(2), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+}
+
+TEST(Graph, SelfLoopCountsTwice) {
+  Graph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(Graph, VolumeSumsDegrees) {
+  Graph g = Cycle(6);
+  EXPECT_EQ(g.Volume({0, 1, 2}), 6);
+  EXPECT_EQ(g.Volume({}), 0);
+}
+
+TEST(Graph, ConnectedComponentsOfDisjointCycles) {
+  Graph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(3, 4);
+  // 5, 6 isolated.
+  const auto comps = g.ConnectedComponents();
+  ASSERT_EQ(comps.size(), 4u);
+  std::set<size_t> sizes;
+  for (const auto& c : comps) sizes.insert(c.size());
+  EXPECT_TRUE(sizes.count(3));
+  EXPECT_TRUE(sizes.count(2));
+  EXPECT_TRUE(sizes.count(1));
+}
+
+TEST(Graph, ConnectedComponentsRespectAliveMask) {
+  Graph g = Cycle(6);
+  std::vector<bool> alive(6, true);
+  alive[0] = false;  // Break the cycle into a path 1..5.
+  const auto comps = g.ConnectedComponents(alive);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 5u);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges) {
+  Graph g = Complete(5);
+  std::vector<int> old_to_new;
+  Graph sub = g.InducedSubgraph({1, 2, 4}, &old_to_new);
+  EXPECT_EQ(sub.NumVertices(), 3);
+  EXPECT_EQ(sub.NumEdges(), 3);  // Triangle.
+  EXPECT_EQ(old_to_new[1], 0);
+  EXPECT_EQ(old_to_new[2], 1);
+  EXPECT_EQ(old_to_new[4], 2);
+  EXPECT_EQ(old_to_new[0], -1);
+}
+
+TEST(Graph, InducedSubgraphPreservesSelfLoops) {
+  Graph g(3);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  Graph sub = g.InducedSubgraph({0});
+  EXPECT_EQ(sub.NumVertices(), 1);
+  EXPECT_EQ(sub.Degree(0), 2);  // The loop survived; the cross edge did not.
+}
+
+// --------------------------------------------------------------- spectral --
+
+TEST(Spectral, CompleteGraphSecondEigenvalue) {
+  // K_n adjacency eigenvalues: n-1 (once) and -1.
+  Rng rng(1);
+  const double lam = SecondAdjacencyEigenvalue(Complete(8), 300, rng);
+  EXPECT_NEAR(lam, 1.0, 0.05);
+}
+
+TEST(Spectral, CycleSecondEigenvalue) {
+  // Odd cycle C_n: eigenvalues 2 cos(2 pi k / n); the second-largest in
+  // magnitude is 2 cos(pi / n) (the most negative one). Even cycles are
+  // bipartite with -2 in the spectrum, tested separately below.
+  Rng rng(2);
+  const int n = 13;
+  const double lam = SecondAdjacencyEigenvalue(Cycle(n), 4000, rng);
+  EXPECT_NEAR(lam, 2.0 * std::cos(M_PI / n), 0.05);
+}
+
+TEST(Spectral, BipartiteNegativeEigenvalueCaptured) {
+  // C_4 eigenvalues {2, 0, 0, -2}: second in magnitude is 2 (the -2).
+  Rng rng(3);
+  const double lam = SecondAdjacencyEigenvalue(Cycle(4), 500, rng);
+  EXPECT_NEAR(lam, 2.0, 0.05);
+}
+
+TEST(Spectral, FiedlerVectorSeparatesBarbell) {
+  // Two K_5s joined by one edge: the Fiedler vector signs split the bells.
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      g.AddEdge(i, j);
+      g.AddEdge(5 + i, 5 + j);
+    }
+  }
+  g.AddEdge(4, 5);
+  Rng rng(4);
+  const auto f = ApproximateFiedlerVector(g, 300, rng);
+  // All of 0..4 on one side, 5..9 on the other.
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_GT(f[static_cast<size_t>(i)] * f[0], 0.0) << i;
+    EXPECT_GT(f[static_cast<size_t>(5 + i)] * f[5], 0.0) << i;
+  }
+  EXPECT_LT(f[0] * f[5], 0.0);
+}
+
+TEST(Spectral, BestSweepCutFindsBridge) {
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      g.AddEdge(i, j);
+      g.AddEdge(5 + i, 5 + j);
+    }
+  }
+  g.AddEdge(4, 5);
+  Rng rng(5);
+  const auto f = ApproximateFiedlerVector(g, 300, rng);
+  const SweepCut cut = BestSweepCut(g, f);
+  EXPECT_EQ(cut.side_a.size(), 5u);
+  EXPECT_EQ(cut.side_b.size(), 5u);
+  // One crossing edge over volume 21 per side.
+  EXPECT_NEAR(cut.conductance, 1.0 / 21.0, 1e-9);
+}
+
+TEST(Spectral, SweepCutSingleVertexGraph) {
+  Graph g(1);
+  const SweepCut cut = BestSweepCut(g, {0.0});
+  EXPECT_EQ(cut.side_a.size(), 1u);
+  EXPECT_TRUE(cut.side_b.empty());
+}
+
+TEST(Spectral, SweepCutOnCompleteGraphHasHighConductance) {
+  Rng rng(6);
+  Graph g = Complete(10);
+  const auto f = ApproximateFiedlerVector(g, 200, rng);
+  const SweepCut cut = BestSweepCut(g, f);
+  EXPECT_GT(cut.conductance, 0.4);
+}
+
+// --------------------------------------------------------------- Expander --
+
+class ExpanderSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExpanderSweep, RegularConnectedCertified) {
+  const auto [m, d] = GetParam();
+  auto e_or = Expander::Sample(m, d, /*lambda_target_fraction=*/0.97,
+                               /*seed=*/uint64_t(m * 131 + d));
+  ASSERT_TRUE(e_or.ok()) << e_or.status().ToString();
+  const Expander& e = e_or.value();
+  EXPECT_EQ(e.num_vertices(), m);
+  EXPECT_EQ(e.degree(), d);
+  for (int v = 0; v < m; ++v) EXPECT_EQ(e.graph().Degree(v), d);
+  EXPECT_EQ(e.graph().ConnectedComponents().size(), 1u);
+  EXPECT_LE(e.lambda2(), 0.97 * d + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ExpanderSweep,
+                         ::testing::Values(std::tuple{4, 4}, std::tuple{8, 4},
+                                           std::tuple{8, 6}, std::tuple{16, 4},
+                                           std::tuple{16, 6}, std::tuple{32, 6},
+                                           std::tuple{32, 8}, std::tuple{64, 8},
+                                           std::tuple{17, 4}, std::tuple{63, 6}));
+
+TEST(Expander, SlotPairingIsInvolution) {
+  auto e = std::move(Expander::Sample(16, 6, 1.0, 7)).value();
+  for (int m = 0; m < 16; ++m) {
+    for (int s = 0; s < 6; ++s) {
+      const int m2 = e.Neighbor(m, s);
+      const int s2 = e.PairedSlot(m, s);
+      EXPECT_EQ(e.Neighbor(m2, s2), m);
+      EXPECT_EQ(e.PairedSlot(m2, s2), s);
+    }
+  }
+}
+
+TEST(Expander, DeterministicBySeed) {
+  auto a = std::move(Expander::Sample(12, 4, 1.0, 99)).value();
+  auto b = std::move(Expander::Sample(12, 4, 1.0, 99)).value();
+  for (int m = 0; m < 12; ++m) {
+    for (int s = 0; s < 4; ++s) EXPECT_EQ(a.Neighbor(m, s), b.Neighbor(m, s));
+  }
+}
+
+TEST(Expander, RejectsInvalidParameters) {
+  EXPECT_FALSE(Expander::Sample(1, 4, 1.0, 1).ok());
+  EXPECT_FALSE(Expander::Sample(8, 3, 1.0, 1).ok());  // Odd degree.
+  EXPECT_FALSE(Expander::Sample(8, 0, 1.0, 1).ok());
+}
+
+TEST(Expander, InfeasibleCertificateExhaustsRetries) {
+  // lambda <= 0 is impossible for a connected regular graph.
+  const auto e = Expander::Sample(16, 4, 0.0, 1, /*max_attempts=*/3);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Expander, RandomRegularBeatsRamanujanSlack) {
+  // Random 8-regular graphs on 64 vertices should certify well below d:
+  // expect lambda2 within ~1.6x of the Ramanujan bound 2 sqrt(d-1).
+  auto e = std::move(Expander::Sample(64, 8, 1.0, 5)).value();
+  EXPECT_LE(e.lambda2(), 1.6 * 2.0 * std::sqrt(7.0));
+}
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,138 @@
+// Tests for src/ldp/grouposition: Theorems 4.2, 4.3, 4.5 — advanced
+// grouposition bounds vs exact group-privacy curves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ldp/grouposition.h"
+#include "src/ldp/randomizer.h"
+
+namespace ldphh {
+namespace {
+
+TEST(Grouposition, FormulaMatchesTheorem42) {
+  // eps' = k eps^2/2 + eps sqrt(2 k ln(1/delta)).
+  const double eps = 0.2;
+  const int k = 100;
+  const double delta = 1e-6;
+  const double expect =
+      k * eps * eps / 2.0 + eps * std::sqrt(2.0 * k * std::log(1.0 / delta));
+  EXPECT_NEAR(AdvancedGroupositionEpsilon(eps, k, delta), expect, 1e-12);
+}
+
+TEST(Grouposition, BeatsNaiveForLargeGroups) {
+  // The sqrt(k) regime: for small eps and large k, advanced << naive.
+  const double eps = 0.05;
+  const double delta = 1e-9;
+  for (int k : {100, 1000, 10000}) {
+    EXPECT_LT(AdvancedGroupositionEpsilon(eps, k, delta),
+              NaiveGroupEpsilon(eps, k))
+        << k;
+  }
+}
+
+TEST(Grouposition, NaiveWinsForTinyGroups) {
+  // For k = 1 the concentration overhead makes the bound worse than eps.
+  EXPECT_GT(AdvancedGroupositionEpsilon(0.1, 1, 1e-9), NaiveGroupEpsilon(0.1, 1));
+}
+
+TEST(Grouposition, SqrtKScaling) {
+  // Quadrupling k should roughly double eps' in the sqrt-dominated regime.
+  const double eps = 0.01;
+  const double delta = 1e-6;
+  const double e1 = AdvancedGroupositionEpsilon(eps, 1000, delta);
+  const double e4 = AdvancedGroupositionEpsilon(eps, 4000, delta);
+  EXPECT_NEAR(e4 / e1, 2.0, 0.1);
+}
+
+TEST(Grouposition, ExactGroupEpsilonIsBelowTheorem42Bound) {
+  // The theorem is an upper bound on the exact (PLD-derived) group epsilon
+  // whenever delta' absorbs the tail. Sweep k and eps.
+  for (double eps : {0.1, 0.2, 0.4}) {
+    BinaryRandomizedResponse rr(eps);
+    for (int k : {4, 16, 64, 256}) {
+      const double delta = 1e-6;
+      const double bound = AdvancedGroupositionEpsilon(eps, k, delta);
+      const double exact = ExactGroupEpsilon(rr, 0, 1, k, delta);
+      EXPECT_LE(exact, bound + 1e-9) << "eps=" << eps << " k=" << k;
+    }
+  }
+}
+
+TEST(Grouposition, ExactGroupEpsilonIsBelowNaiveToo) {
+  BinaryRandomizedResponse rr(0.3);
+  for (int k : {2, 8, 32}) {
+    EXPECT_LE(ExactGroupEpsilon(rr, 0, 1, k, 1e-9),
+              NaiveGroupEpsilon(0.3, k) + 1e-9);
+  }
+}
+
+TEST(Grouposition, ExactDeltaAtTheoremEpsilonIsSmall) {
+  // Plugging the Theorem 4.2 eps' back into the exact delta gives <= delta.
+  const double eps = 0.25;
+  BinaryRandomizedResponse rr(eps);
+  for (int k : {16, 64}) {
+    for (double delta : {1e-3, 1e-6}) {
+      const double ep = AdvancedGroupositionEpsilon(eps, k, delta);
+      EXPECT_LE(ExactGroupDelta(rr, 0, 1, k, ep), delta + 1e-12)
+          << "k=" << k << " delta=" << delta;
+    }
+  }
+}
+
+TEST(Grouposition, ApproxVariantAccumulatesDelta) {
+  // Theorem 4.3: total delta = delta + k delta'.
+  const auto g = AdvancedGroupositionApprox(0.2, 1e-6, 50, 1e-8);
+  EXPECT_NEAR(g.delta_total, 1e-6 + 50 * 1e-8, 1e-15);
+  EXPECT_NEAR(g.eps_prime, AdvancedGroupositionEpsilon(0.2, 50, 1e-8), 1e-12);
+}
+
+TEST(MaxInformation, FormulaMatchesTheorem45) {
+  const double eps = 0.1;
+  const uint64_t n = 10000;
+  const double beta = 1e-4;
+  EXPECT_NEAR(MaxInformationBound(eps, n, beta),
+              n * eps * eps / 2.0 + eps * std::sqrt(2.0 * n * std::log(1.0 / beta)),
+              1e-9);
+}
+
+TEST(MaxInformation, BeatsCentralBoundInSmallEpsRegime) {
+  // The paper's point: nε²/2 + ε sqrt(2n ln 1/β) << εn for eps << 1 at
+  // fixed beta — the local model gives better max-information than the
+  // central-model pure-DP bound without the product-distribution caveat.
+  const uint64_t n = 1000000;
+  const double beta = 1e-6;
+  for (double eps : {0.001, 0.01}) {
+    EXPECT_LT(MaxInformationBound(eps, n, beta),
+              CentralMaxInformationBound(eps, n))
+        << eps;
+  }
+}
+
+TEST(MaxInformation, MonotoneInNAndBeta) {
+  EXPECT_LT(MaxInformationBound(0.1, 1000, 1e-3),
+            MaxInformationBound(0.1, 4000, 1e-3));
+  EXPECT_LT(MaxInformationBound(0.1, 1000, 1e-2),
+            MaxInformationBound(0.1, 1000, 1e-6));
+}
+
+TEST(Grouposition, ExactCurveShowsSqrtKBehaviour) {
+  // Fix target delta; the exact group epsilon of k-fold RR should grow
+  // sublinearly: eps'(4k) < 2.5 * eps'(k) in the concentration regime.
+  const double eps = 0.1;
+  BinaryRandomizedResponse rr(eps);
+  const double delta = 1e-6;
+  const double e16 = ExactGroupEpsilon(rr, 0, 1, 16, delta);
+  const double e64 = ExactGroupEpsilon(rr, 0, 1, 64, delta);
+  EXPECT_LT(e64, 2.5 * e16);
+  EXPECT_GT(e64, e16);  // Still increasing.
+}
+
+TEST(Grouposition, DegenerateKZero) {
+  EXPECT_NEAR(AdvancedGroupositionEpsilon(1.0, 0, 1e-6), 0.0, 1e-12);
+  EXPECT_EQ(NaiveGroupEpsilon(1.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,219 @@
+// Tests for src/hashing: Mersenne-61 field arithmetic and k-wise hashing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/common/bit_util.h"
+#include "src/common/random.h"
+#include "src/hashing/kwise_hash.h"
+#include "src/hashing/mersenne61.h"
+
+namespace ldphh {
+namespace {
+
+// ------------------------------------------------------------ mersenne61 --
+
+TEST(Mersenne61, ReduceIdentityBelowP) {
+  EXPECT_EQ(Mersenne61Reduce(0), 0u);
+  EXPECT_EQ(Mersenne61Reduce(kMersenne61 - 1), kMersenne61 - 1);
+  EXPECT_EQ(Mersenne61Reduce(kMersenne61), 0u);
+  EXPECT_EQ(Mersenne61Reduce(kMersenne61 + 5), 5u);
+}
+
+TEST(Mersenne61, ReduceMatchesNaiveModOnRandom) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const __uint128_t x =
+        (static_cast<__uint128_t>(rng() % (uint64_t{1} << 60)) << 61) | rng();
+    EXPECT_EQ(Mersenne61Reduce(x), static_cast<uint64_t>(x % kMersenne61));
+  }
+}
+
+TEST(Mersenne61, AddStaysInField) {
+  Rng rng(43);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.UniformU64(kMersenne61);
+    const uint64_t b = rng.UniformU64(kMersenne61);
+    const uint64_t s = Mersenne61Add(a, b);
+    EXPECT_LT(s, kMersenne61);
+    EXPECT_EQ(s, (a + b) % kMersenne61);
+  }
+}
+
+TEST(Mersenne61, MulMatchesWideMod) {
+  Rng rng(44);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.UniformU64(kMersenne61);
+    const uint64_t b = rng.UniformU64(kMersenne61);
+    const uint64_t m = Mersenne61Mul(a, b);
+    EXPECT_EQ(m, static_cast<uint64_t>(
+                     (static_cast<__uint128_t>(a) * b) % kMersenne61));
+  }
+}
+
+TEST(Mersenne61, MulAssociativeAndDistributive) {
+  Rng rng(45);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.UniformU64(kMersenne61);
+    const uint64_t b = rng.UniformU64(kMersenne61);
+    const uint64_t c = rng.UniformU64(kMersenne61);
+    EXPECT_EQ(Mersenne61Mul(Mersenne61Mul(a, b), c),
+              Mersenne61Mul(a, Mersenne61Mul(b, c)));
+    EXPECT_EQ(Mersenne61Mul(a, Mersenne61Add(b, c)),
+              Mersenne61Add(Mersenne61Mul(a, b), Mersenne61Mul(a, c)));
+  }
+}
+
+TEST(Mersenne61, FromU64MapsIntoField) {
+  EXPECT_LT(Mersenne61FromU64(~uint64_t{0}), kMersenne61);
+  EXPECT_EQ(Mersenne61FromU64(5), 5u);
+  EXPECT_EQ(Mersenne61FromU64(kMersenne61), 0u);
+}
+
+// -------------------------------------------------------------- KWiseHash --
+
+TEST(KWiseHash, RangeRespected) {
+  Rng rng(1);
+  for (uint64_t range : {1ull, 2ull, 7ull, 256ull, 100000ull}) {
+    KWiseHash h(4, range, rng);
+    for (uint64_t x = 0; x < 500; ++x) EXPECT_LT(h(x), range);
+  }
+}
+
+TEST(KWiseHash, DeterministicAcrossIdenticalConstruction) {
+  Rng a(77), b(77);
+  KWiseHash ha(3, 1000, a);
+  KWiseHash hb(3, 1000, b);
+  for (uint64_t x = 0; x < 200; ++x) EXPECT_EQ(ha(x), hb(x));
+}
+
+TEST(KWiseHash, DifferentSeedsGiveDifferentFunctions) {
+  Rng a(1), b(2);
+  KWiseHash ha(2, 1 << 20, a);
+  KWiseHash hb(2, 1 << 20, b);
+  int same = 0;
+  for (uint64_t x = 0; x < 200; ++x) same += (ha(x) == hb(x));
+  EXPECT_LT(same, 5);
+}
+
+TEST(KWiseHash, PairwiseCollisionRate) {
+  // Empirical collision probability of a pairwise family ~ 1/range.
+  Rng rng(5);
+  const uint64_t range = 128;
+  const int fns = 400;
+  const int pairs = 32;
+  int collisions = 0;
+  int total = 0;
+  for (int f = 0; f < fns; ++f) {
+    KWiseHash h(2, range, rng);
+    for (int p = 0; p < pairs; ++p) {
+      ++total;
+      collisions += (h(static_cast<uint64_t>(2 * p)) ==
+                     h(static_cast<uint64_t>(2 * p + 1)));
+    }
+  }
+  const double rate = static_cast<double>(collisions) / total;
+  EXPECT_NEAR(rate, 1.0 / range, 3.0 * std::sqrt(1.0 / range / total));
+}
+
+TEST(KWiseHash, OutputRoughlyUniform) {
+  Rng rng(6);
+  KWiseHash h(2, 16, rng);
+  int counts[16] = {0};
+  const int draws = 32000;
+  for (int x = 0; x < draws; ++x) ++counts[h(static_cast<uint64_t>(x))];
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_NEAR(counts[b], draws / 16, 6 * std::sqrt(draws / 16.0));
+  }
+}
+
+TEST(KWiseHash, SignBalanced) {
+  Rng rng(7);
+  KWiseHash h(4, 2, rng);
+  int sum = 0;
+  for (uint64_t x = 0; x < 20000; ++x) {
+    DomainItem item(x);
+    sum += h.Sign(item);
+  }
+  EXPECT_LT(std::abs(sum), 900);
+}
+
+TEST(KWiseHash, DomainItemWideInputsDistinguished) {
+  // Items differing only in high limbs must hash differently (usually).
+  Rng rng(8);
+  KWiseHash h(2, uint64_t{1} << 40, rng);
+  DomainItem a, b;
+  a.limbs[3] = 123;
+  b.limbs[3] = 124;
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(KWiseHash, FullEvalConsistentWithRangeReduction) {
+  Rng rng(9);
+  KWiseHash h(3, 97, rng);
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(h(x), h.FullEval(x) % 97);
+  }
+}
+
+TEST(KWiseHash, IndependenceParameterStored) {
+  Rng rng(10);
+  KWiseHash h(6, 10, rng);
+  EXPECT_EQ(h.independence(), 6);
+  EXPECT_EQ(h.range(), 10u);
+}
+
+// Statistical check of 2-wise independence: for a pairwise family, the
+// joint distribution of (h(x1), h(x2)) over the family should be uniform on
+// pairs. Chi-square-ish tolerance test on a tiny range.
+TEST(KWiseHash, PairwiseJointUniformity) {
+  const uint64_t range = 4;
+  const int fns = 20000;
+  std::map<std::pair<uint64_t, uint64_t>, int> joint;
+  Rng rng(11);
+  for (int f = 0; f < fns; ++f) {
+    KWiseHash h(2, range, rng);
+    ++joint[{h(uint64_t{3}), h(uint64_t{900001})}];
+  }
+  const double expect = static_cast<double>(fns) / (range * range);
+  for (uint64_t a = 0; a < range; ++a) {
+    for (uint64_t b = 0; b < range; ++b) {
+      const auto it = joint.find({a, b});
+      const int count = it == joint.end() ? 0 : it->second;
+      EXPECT_NEAR(count, expect, 6 * std::sqrt(expect)) << a << "," << b;
+    }
+  }
+}
+
+// ------------------------------------------------------------- HashFamily --
+
+TEST(HashFamily, SizeAndDeterminism) {
+  HashFamily f1(10, 2, 256, 1234);
+  HashFamily f2(10, 2, 256, 1234);
+  EXPECT_EQ(f1.size(), 10);
+  for (int i = 0; i < 10; ++i) {
+    for (uint64_t x = 0; x < 50; ++x) EXPECT_EQ(f1.at(i)(x), f2.at(i)(x));
+  }
+}
+
+TEST(HashFamily, MembersAreIndependentFunctions) {
+  HashFamily f(4, 2, 1 << 16, 99);
+  int same01 = 0;
+  for (uint64_t x = 0; x < 200; ++x) same01 += (f.at(0)(x) == f.at(1)(x));
+  EXPECT_LT(same01, 5);
+}
+
+TEST(HashFamily, DifferentSeedsDifferentFamilies) {
+  HashFamily f1(2, 2, 1 << 16, 1);
+  HashFamily f2(2, 2, 1 << 16, 2);
+  int same = 0;
+  for (uint64_t x = 0; x < 200; ++x) same += (f1.at(0)(x) == f2.at(0)(x));
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,196 @@
+// Tests for src/freq/hashtogram: the Theorem 3.7 frequency oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/freq/hashtogram.h"
+#include "src/workload/workload.h"
+
+namespace ldphh {
+namespace {
+
+// Runs the full Hashtogram protocol over a database.
+void RunHashtogram(Hashtogram& ht, const std::vector<DomainItem>& db,
+                   uint64_t seed) {
+  Rng rng(seed);
+  for (uint64_t i = 0; i < db.size(); ++i) {
+    ht.Aggregate(i, ht.Encode(i, db[static_cast<size_t>(i)], rng));
+  }
+  ht.Finalize();
+}
+
+TEST(Hashtogram, AutoParametersReasonable) {
+  HashtogramParams p;
+  p.beta = 1e-3;
+  Hashtogram ht(1 << 20, 1.0, p, 7);
+  EXPECT_GE(ht.rows(), 8);
+  EXPECT_LE(ht.rows(), 64);
+  // T = next_pow2(4 sqrt(n)) = 4096 for n = 2^20.
+  EXPECT_EQ(ht.table_size(), 4096u);
+  EXPECT_EQ(ht.ReportBits(), 12 + 1);
+}
+
+TEST(Hashtogram, EstimatesPlantedFrequencies) {
+  const uint64_t n = 100000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.3, 0.1, 0.05}, 11);
+  HashtogramParams p;
+  p.beta = 1e-3;
+  Hashtogram ht(n, 1.0, p, 13);
+  RunHashtogram(ht, w.database, 17);
+  const double tol = 20.0 * std::sqrt(static_cast<double>(n));
+  for (const auto& [item, count] : w.heavy) {
+    EXPECT_NEAR(ht.Estimate(item), static_cast<double>(count), tol);
+  }
+}
+
+TEST(Hashtogram, AbsentItemsEstimateNearZero) {
+  const uint64_t n = 100000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.5}, 19);
+  HashtogramParams p;
+  Hashtogram ht(n, 1.0, p, 23);
+  RunHashtogram(ht, w.database, 29);
+  Rng rng(31);
+  const double tol = 20.0 * std::sqrt(static_cast<double>(n));
+  for (int i = 0; i < 20; ++i) {
+    DomainItem absent;
+    for (auto& l : absent.limbs) l = rng();
+    absent.Truncate(64);
+    EXPECT_NEAR(ht.Estimate(absent), 0.0, tol);
+  }
+}
+
+TEST(Hashtogram, MedianRobustToSingleHugeItem) {
+  // One item holds 90% of the mass; estimates of OTHER items must not be
+  // dragged by collisions with it (the median's job).
+  const uint64_t n = 80000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.9, 0.05}, 37);
+  HashtogramParams p;
+  Hashtogram ht(n, 1.0, p, 41);
+  RunHashtogram(ht, w.database, 43);
+  const double tol = 20.0 * std::sqrt(static_cast<double>(n));
+  EXPECT_NEAR(ht.Estimate(w.heavy[1].first),
+              static_cast<double>(w.heavy[1].second), tol);
+}
+
+TEST(Hashtogram, SumEstimatorAlsoAccurate) {
+  const uint64_t n = 60000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.25}, 47);
+  HashtogramParams p;
+  Hashtogram ht(n, 1.0, p, 53);
+  RunHashtogram(ht, w.database, 59);
+  EXPECT_NEAR(ht.EstimateSum(w.heavy[0].first),
+              static_cast<double>(w.heavy[0].second),
+              25.0 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST(Hashtogram, ErrorScalesInverselyWithEpsilon) {
+  const uint64_t n = 60000;
+  const Workload w = MakePlantedWorkload(n, 64, {0.2}, 61);
+  double errs[2];
+  int idx = 0;
+  for (double eps : {0.3, 3.0}) {
+    HashtogramParams p;
+    Hashtogram ht(n, eps, p, 67);
+    RunHashtogram(ht, w.database, 71);
+    errs[idx++] = std::abs(ht.Estimate(w.heavy[0].first) -
+                           static_cast<double>(w.heavy[0].second));
+  }
+  // Not a strict inequality pointwise, but with these seeds and a 10x eps
+  // gap the low-eps error dominates.
+  EXPECT_GT(errs[0], errs[1]);
+}
+
+TEST(Hashtogram, MemoryIsRowsTimesTable) {
+  HashtogramParams p;
+  p.rows = 10;
+  p.table_size = 1024;
+  Hashtogram ht(100000, 1.0, p, 73);
+  EXPECT_EQ(ht.MemoryBytes(), 10 * 1024 * sizeof(double));
+}
+
+TEST(Hashtogram, MemorySublinearInN) {
+  // O~(sqrt(n)) server memory: growing n 16x grows memory ~4x.
+  HashtogramParams p;
+  Hashtogram small(1 << 16, 1.0, p, 79);
+  Hashtogram large(1 << 24, 1.0, p, 79);
+  EXPECT_LE(large.MemoryBytes(), 20 * small.MemoryBytes());
+}
+
+TEST(Hashtogram, RowAssignmentIsDeterministicAndBalanced) {
+  HashtogramParams p;
+  p.rows = 16;
+  Hashtogram ht(10000, 1.0, p, 83);
+  std::vector<int> counts(16, 0);
+  for (uint64_t i = 0; i < 16000; ++i) {
+    const int r = ht.RowOf(i);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 16);
+    ++counts[static_cast<size_t>(r)];
+    EXPECT_EQ(r, ht.RowOf(i));
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(Hashtogram, ReportPrivacyRatioBounded) {
+  // The report is (uniform index, RR bit): for any two items the report
+  // probability ratio is exactly the RR ratio e^eps. Verify by sampling.
+  const double eps = 0.7;
+  HashtogramParams p;
+  p.rows = 4;
+  p.table_size = 8;
+  Hashtogram ht(1000, eps, p, 89);
+  DomainItem a(123), b(456);
+  std::map<uint64_t, double> ha, hb;
+  Rng rng(97);
+  const int samples = 400000;
+  for (int i = 0; i < samples; ++i) ha[ht.Encode(0, a, rng).bits] += 1;
+  for (int i = 0; i < samples; ++i) hb[ht.Encode(0, b, rng).bits] += 1;
+  for (const auto& [r, ca] : ha) {
+    const auto it = hb.find(r);
+    if (ca < 2000 || it == hb.end() || it->second < 2000) continue;
+    EXPECT_LE(ca / it->second, std::exp(eps) * 1.2);
+    EXPECT_GE(ca / it->second, std::exp(-eps) / 1.2);
+  }
+}
+
+TEST(Hashtogram, DeterministicGivenSeeds) {
+  const Workload w = MakePlantedWorkload(20000, 64, {0.3}, 101);
+  HashtogramParams p;
+  double est[2];
+  for (int t = 0; t < 2; ++t) {
+    Hashtogram ht(w.database.size(), 1.0, p, 103);
+    RunHashtogram(ht, w.database, 107);
+    est[t] = ht.Estimate(w.heavy[0].first);
+  }
+  EXPECT_DOUBLE_EQ(est[0], est[1]);
+}
+
+class HashtogramEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HashtogramEpsSweep, ErrorWithinTheoremEnvelope) {
+  // |f^ - f| <= C (1/eps) sqrt(n log(1/beta)) with C covering constants.
+  const double eps = GetParam();
+  const uint64_t n = 50000;
+  const double beta = 1e-3;
+  const Workload w = MakePlantedWorkload(n, 64, {0.4, 0.1}, 109);
+  HashtogramParams p;
+  p.beta = beta;
+  Hashtogram ht(n, eps, p, 113);
+  RunHashtogram(ht, w.database, 127);
+  const double envelope =
+      10.0 / eps * std::sqrt(static_cast<double>(n) * std::log(1.0 / beta));
+  for (const auto& [item, count] : w.heavy) {
+    EXPECT_LE(std::abs(ht.Estimate(item) - static_cast<double>(count)), envelope)
+        << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, HashtogramEpsSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace ldphh

@@ -1,0 +1,162 @@
+// Tests for src/ldp/privacy_loss: PLD construction, composition, and the
+// hockey-stick divergence against closed forms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/math_util.h"
+#include "src/ldp/privacy_loss.h"
+#include "src/ldp/randomizer.h"
+
+namespace ldphh {
+namespace {
+
+TEST(Pld, IdentityHasZeroLossAndDelta) {
+  const auto pld = PrivacyLossDistribution::Identity();
+  EXPECT_NEAR(pld.ExpectedLoss(), 0.0, 1e-12);
+  EXPECT_NEAR(pld.DeltaForEpsilon(0.0), 0.0, 1e-12);
+  EXPECT_EQ(pld.infinity_mass(), 0.0);
+}
+
+TEST(Pld, SingleRRLossSupport) {
+  // RR loss takes values +-eps: +eps w.p. p, -eps w.p. 1-p.
+  BinaryRandomizedResponse rr(1.0);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+  EXPECT_EQ(pld.SupportSize(), 2u);
+  EXPECT_NEAR(pld.MaxLoss(), 1.0, 1e-9);
+  const double p = std::exp(1.0) / (std::exp(1.0) + 1.0);
+  // E[L] = p eps - (1-p) eps = (2p - 1) eps.
+  EXPECT_NEAR(pld.ExpectedLoss(), (2 * p - 1) * 1.0, 1e-9);
+}
+
+TEST(Pld, ExpectedLossBoundedByEpsSquaredOverTwo) {
+  // Proposition 3.3 of Bun-Steinke (used in the Theorem 4.2 proof):
+  // E[L] <= eps^2 / 2 for an eps-DP randomizer. Check RR across eps.
+  for (double eps : {0.1, 0.25, 0.5, 1.0}) {
+    BinaryRandomizedResponse rr(eps);
+    const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+    EXPECT_LE(pld.ExpectedLoss(), eps * eps / 2.0 + 1e-9) << eps;
+  }
+}
+
+TEST(Pld, DeltaClosedFormForSingleRR) {
+  // For RR at level eps, delta(eps') for eps' < eps is
+  // p - e^{eps'} (1 - p) where only the +eps atom violates.
+  const double eps = 1.0;
+  BinaryRandomizedResponse rr(eps);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+  const double p = std::exp(eps) / (std::exp(eps) + 1.0);
+  for (double ep : {0.0, 0.3, 0.7}) {
+    EXPECT_NEAR(pld.DeltaForEpsilon(ep), p - std::exp(ep) * (1 - p), 1e-9) << ep;
+  }
+  EXPECT_NEAR(pld.DeltaForEpsilon(eps), 0.0, 1e-12);
+}
+
+TEST(Pld, ComposeIsConvolution) {
+  BinaryRandomizedResponse rr(0.8);
+  const auto one = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+  const auto two = one.Compose(one);
+  // Support {+2eps, 0, -2eps}: 3 atoms (the two +-eps atoms merge at 0).
+  EXPECT_EQ(two.SupportSize(), 3u);
+  EXPECT_NEAR(two.MaxLoss(), 1.6, 1e-9);
+  EXPECT_NEAR(two.ExpectedLoss(), 2.0 * one.ExpectedLoss(), 1e-9);
+}
+
+TEST(Pld, SelfComposeMatchesIteratedCompose) {
+  BinaryRandomizedResponse rr(0.6);
+  const auto one = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+  auto iterated = PrivacyLossDistribution::Identity();
+  for (int i = 0; i < 5; ++i) iterated = iterated.Compose(one);
+  const auto fast = one.SelfCompose(5);
+  EXPECT_EQ(fast.SupportSize(), iterated.SupportSize());
+  for (double ep : {0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(fast.DeltaForEpsilon(ep), iterated.DeltaForEpsilon(ep), 1e-9);
+  }
+}
+
+TEST(Pld, KFoldRRDeltaMatchesBinomialClosedForm) {
+  // k-fold RR, all coordinates flipped: loss = (2 J - k) eps with
+  // J ~ Bin(k, p). delta(eps') = E[(1 - e^{eps' - L})^+].
+  const double eps = 0.5;
+  const int k = 12;
+  BinaryRandomizedResponse rr(eps);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1).SelfCompose(k);
+  const double p = std::exp(eps) / (std::exp(eps) + 1.0);
+  for (double ep : {0.0, 1.0, 2.0, 4.0}) {
+    double expect = 0.0;
+    for (int j = 0; j <= k; ++j) {
+      const double loss = (2.0 * j - k) * eps;
+      if (loss > ep) {
+        expect += std::exp(LogBinomialPmf(k, j, p)) * (1.0 - std::exp(ep - loss));
+      }
+    }
+    EXPECT_NEAR(pld.DeltaForEpsilon(ep), expect, 1e-9) << ep;
+  }
+}
+
+TEST(Pld, SupportStaysLinearUnderSelfCompose) {
+  // Identical +-eps atoms must merge on the quantized grid: k-fold support
+  // is k+1 atoms, not 2^k.
+  BinaryRandomizedResponse rr(0.4);
+  const auto pld =
+      PrivacyLossDistribution::FromRandomizer(rr, 0, 1).SelfCompose(64);
+  EXPECT_EQ(pld.SupportSize(), 65u);
+}
+
+TEST(Pld, EpsilonForDeltaInvertsDelta) {
+  BinaryRandomizedResponse rr(0.7);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1).SelfCompose(10);
+  for (double delta : {1e-2, 1e-4, 1e-6}) {
+    const double ep = pld.EpsilonForDelta(delta);
+    EXPECT_LE(pld.DeltaForEpsilon(ep), delta * (1 + 1e-6));
+    // One grid step tighter must violate (unless ep == 0).
+    if (ep > 1e-9) {
+      EXPECT_GE(pld.DeltaForEpsilon(ep * 0.99), delta * (1 - 1e-6));
+    }
+  }
+}
+
+TEST(Pld, EpsilonForDeltaCappedByMaxLoss) {
+  BinaryRandomizedResponse rr(1.0);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+  // delta(eps) = 0 at eps = max loss; the inversion must return <= that.
+  EXPECT_LE(pld.EpsilonForDelta(1e-12), 1.0 + 1e-6);
+}
+
+TEST(Pld, InfinityMassFromLeakyRandomizer) {
+  LeakyRandomizedResponse rr(0.5, 0.02);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+  EXPECT_NEAR(pld.infinity_mass(), 0.02, 1e-12);
+  // Any finite eps keeps delta >= infinity mass.
+  EXPECT_GE(pld.DeltaForEpsilon(100.0), 0.02 - 1e-12);
+  EXPECT_EQ(pld.EpsilonForDelta(0.01), std::numeric_limits<double>::infinity());
+}
+
+TEST(Pld, InfinityMassComposes) {
+  LeakyRandomizedResponse rr(0.5, 0.1);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1).SelfCompose(2);
+  // 1 - (1 - 0.1)^2 = 0.19.
+  EXPECT_NEAR(pld.infinity_mass(), 0.19, 1e-12);
+}
+
+TEST(Pld, AsymmetryOfDirections) {
+  // PLD(x -> x') and PLD(x' -> x) are mirror images for RR; deltas match.
+  BinaryRandomizedResponse rr(1.2);
+  const auto fwd = PrivacyLossDistribution::FromRandomizer(rr, 0, 1);
+  const auto bwd = PrivacyLossDistribution::FromRandomizer(rr, 1, 0);
+  for (double ep : {0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(fwd.DeltaForEpsilon(ep), bwd.DeltaForEpsilon(ep), 1e-12);
+  }
+}
+
+TEST(Pld, SelfComposeZeroIsIdentity) {
+  BinaryRandomizedResponse rr(1.0);
+  const auto pld = PrivacyLossDistribution::FromRandomizer(rr, 0, 1).SelfCompose(0);
+  EXPECT_NEAR(pld.DeltaForEpsilon(0.0), 0.0, 1e-12);
+  EXPECT_EQ(pld.SupportSize(), 1u);
+}
+
+}  // namespace
+}  // namespace ldphh

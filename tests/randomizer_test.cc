@@ -1,0 +1,145 @@
+// Tests for src/ldp/randomizer: exact DP verification of the randomizers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/ldp/randomizer.h"
+
+namespace ldphh {
+namespace {
+
+TEST(BinaryRR, RowsAreStochastic) {
+  BinaryRandomizedResponse rr(1.0);
+  EXPECT_TRUE(rr.CheckStochastic().ok());
+}
+
+TEST(BinaryRR, ExactEpsilonMatchesConstruction) {
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    BinaryRandomizedResponse rr(eps);
+    EXPECT_NEAR(rr.ExactEpsilon(), eps, 1e-9) << eps;
+  }
+}
+
+TEST(BinaryRR, DeltaZeroAtEps) {
+  BinaryRandomizedResponse rr(1.0);
+  EXPECT_NEAR(rr.ExactDelta(1.0), 0.0, 1e-12);
+  EXPECT_GT(rr.ExactDelta(0.5), 0.0);
+  EXPECT_NEAR(rr.ExactDelta(2.0), 0.0, 1e-12);
+}
+
+TEST(BinaryRR, DeltaAtZeroEpsIsTvDistance) {
+  // delta(0) = TV(A(0), A(1)) = p - q = (e^eps - 1)/(e^eps + 1).
+  const double eps = 1.0;
+  BinaryRandomizedResponse rr(eps);
+  const double expect = (std::exp(eps) - 1.0) / (std::exp(eps) + 1.0);
+  EXPECT_NEAR(rr.ExactDelta(0.0), expect, 1e-12);
+}
+
+TEST(BinaryRR, SampleMatchesDistribution) {
+  BinaryRandomizedResponse rr(1.5);
+  Rng rng(3);
+  int kept = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) kept += (rr.Sample(1, rng) == 1);
+  EXPECT_NEAR(static_cast<double>(kept) / trials, rr.keep_prob(), 0.005);
+}
+
+TEST(KaryRR, RowsAreStochastic) {
+  for (int k : {2, 3, 10, 100}) {
+    KaryRandomizedResponse rr(k, 1.0);
+    EXPECT_TRUE(rr.CheckStochastic().ok()) << k;
+  }
+}
+
+TEST(KaryRR, ExactEpsilonMatchesConstruction) {
+  for (int k : {2, 5, 17}) {
+    for (double eps : {0.5, 1.0, 3.0}) {
+      KaryRandomizedResponse rr(k, eps);
+      EXPECT_NEAR(rr.ExactEpsilon(), eps, 1e-9) << k << " " << eps;
+    }
+  }
+}
+
+TEST(KaryRR, SampleCoversDomainAndKeeps) {
+  KaryRandomizedResponse rr(5, 1.0);
+  Rng rng(5);
+  int counts[5] = {0};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rr.Sample(2, rng)];
+  const double p = std::exp(1.0) / (std::exp(1.0) + 4.0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / trials, p, 0.01);
+  for (int y : {0, 1, 3, 4}) {
+    EXPECT_NEAR(static_cast<double>(counts[y]) / trials, (1 - p) / 4, 0.01);
+  }
+}
+
+TEST(LeakyRR, RowsAreStochastic) {
+  LeakyRandomizedResponse rr(0.5, 0.01);
+  EXPECT_TRUE(rr.CheckStochastic().ok());
+}
+
+TEST(LeakyRR, PureEpsilonIsInfinite) {
+  // The clear channel makes pure DP impossible.
+  LeakyRandomizedResponse rr(0.5, 0.01);
+  EXPECT_EQ(rr.ExactEpsilon(), std::numeric_limits<double>::infinity());
+}
+
+TEST(LeakyRR, HockeyStickDeltaEqualsLeakProbability) {
+  // At eps' = eps the only violating outputs are the clear symbols: the
+  // hockey-stick divergence is exactly delta.
+  const double eps = 0.5;
+  const double delta = 0.01;
+  LeakyRandomizedResponse rr(eps, delta);
+  EXPECT_NEAR(rr.ExactDelta(eps), delta, 1e-12);
+}
+
+TEST(LeakyRR, DeltaZeroDegeneratesToPlainRR) {
+  LeakyRandomizedResponse rr(1.0, 0.0);
+  EXPECT_NEAR(rr.ExactEpsilon(), 1.0, 1e-9);
+}
+
+TEST(LeakyRR, SampleLeaksAtRateDelta) {
+  LeakyRandomizedResponse rr(0.5, 0.05);
+  Rng rng(7);
+  int leaks = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) leaks += (rr.Sample(1, rng) >= 2);
+  EXPECT_NEAR(static_cast<double>(leaks) / trials, 0.05, 0.005);
+}
+
+TEST(LeakyRR, LeakedSymbolRevealsInput) {
+  LeakyRandomizedResponse rr(0.5, 0.5);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int y = rr.Sample(0, rng);
+    if (y >= 2) EXPECT_EQ(y, 2);  // Input 0 leaks symbol 2 only.
+  }
+}
+
+TEST(Randomizer, DefaultSamplerMatchesLogProb) {
+  // The base-class cdf sampler must agree with the overridden fast paths.
+  KaryRandomizedResponse rr(4, 1.0);
+  Rng rng(11);
+  int hist[4] = {0};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++hist[rr.LocalRandomizer::Sample(1, rng)];
+  for (int y = 0; y < 4; ++y) {
+    EXPECT_NEAR(static_cast<double>(hist[y]) / trials, rr.Prob(1, y), 0.01);
+  }
+}
+
+TEST(Randomizer, ExactDeltaMonotoneInEps) {
+  LeakyRandomizedResponse rr(1.0, 0.02);
+  double prev = 1.0;
+  for (double eps : {0.0, 0.5, 1.0, 2.0}) {
+    const double d = rr.ExactDelta(eps);
+    EXPECT_LE(d, prev + 1e-12);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace ldphh

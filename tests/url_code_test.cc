@@ -1,0 +1,248 @@
+// Tests for src/codes/url_code: the Theorem 3.6 unique-list-recoverable code.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "src/codes/url_code.h"
+#include "src/common/random.h"
+
+namespace ldphh {
+namespace {
+
+DomainItem RandomItem(int bits, Rng& rng) {
+  DomainItem x;
+  for (auto& l : x.limbs) l = rng();
+  x.Truncate(bits);
+  return x;
+}
+
+UrlCodeParams MakeParams(int domain_bits, int m, int y, int d) {
+  UrlCodeParams p;
+  p.domain_bits = domain_bits;
+  p.num_coords = m;
+  p.hash_range = y;
+  p.expander_degree = d;
+  return p;
+}
+
+// Builds clean decoder lists for a set of items.
+std::vector<std::vector<UrlCode::ListEntry>> CleanLists(
+    const UrlCode& code, const std::vector<DomainItem>& items) {
+  std::vector<std::vector<UrlCode::ListEntry>> lists(
+      static_cast<size_t>(code.params().num_coords));
+  for (const DomainItem& x : items) {
+    const auto cw = code.Encode(x);
+    for (int m = 0; m < code.params().num_coords; ++m) {
+      lists[static_cast<size_t>(m)].push_back(
+          {cw.y[static_cast<size_t>(m)],
+           code.PackPayload(cw.symbols[static_cast<size_t>(m)])});
+    }
+  }
+  return lists;
+}
+
+bool Contains(const std::vector<DomainItem>& v, const DomainItem& x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(UrlCode, CreateRejectsBadParameters) {
+  EXPECT_FALSE(UrlCode::Create(MakeParams(4, 8, 32, 4), 1).ok());    // Width.
+  EXPECT_FALSE(UrlCode::Create(MakeParams(64, 7, 32, 4), 1).ok());   // Odd M.
+  EXPECT_FALSE(UrlCode::Create(MakeParams(64, 16, 33, 4), 1).ok());  // Y not 2^k.
+  EXPECT_FALSE(UrlCode::Create(MakeParams(64, 16, 32, 3), 1).ok());  // Odd d.
+  // Payload overflow: large chunk + many neighbor hashes.
+  EXPECT_FALSE(UrlCode::Create(MakeParams(256, 8, 65536, 8), 1).ok());
+}
+
+TEST(UrlCode, EncodeShapes) {
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 7)).value();
+  Rng rng(1);
+  const auto cw = code.Encode(RandomItem(64, rng));
+  EXPECT_EQ(cw.y.size(), 16u);
+  EXPECT_EQ(cw.symbols.size(), 16u);
+  for (const auto& y : cw.y) EXPECT_LT(y, 32);
+  for (const auto& s : cw.symbols) {
+    EXPECT_EQ(static_cast<int>(s.chunk.size()), code.chunk_symbols());
+    EXPECT_EQ(s.nbr_hash.size(), 4u);
+  }
+}
+
+TEST(UrlCode, TheoremStructureEncIsHashPlusTildeEnc) {
+  // Enc(x)_m = (h_m(x), E~nc(x)_m): the hash component must equal the
+  // standalone coordinate hash.
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 7)).value();
+  Rng rng(2);
+  const auto x = RandomItem(64, rng);
+  const auto cw = code.Encode(x);
+  for (int m = 0; m < 16; ++m) {
+    EXPECT_EQ(cw.y[static_cast<size_t>(m)], code.CoordHash(x, m));
+  }
+}
+
+TEST(UrlCode, NeighborHashesMatchExpander) {
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 7)).value();
+  Rng rng(3);
+  const auto x = RandomItem(64, rng);
+  const auto cw = code.Encode(x);
+  const Expander& e = code.expander();
+  for (int m = 0; m < 16; ++m) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(cw.symbols[static_cast<size_t>(m)].nbr_hash[static_cast<size_t>(s)],
+                cw.y[static_cast<size_t>(e.Neighbor(m, s))]);
+    }
+  }
+}
+
+TEST(UrlCode, PayloadPackUnpackRoundtrip) {
+  auto code = std::move(UrlCode::Create(MakeParams(128, 32, 64, 6), 9)).value();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto cw = code.Encode(RandomItem(128, rng));
+    for (const auto& s : cw.symbols) {
+      const auto round = code.UnpackPayload(code.PackPayload(s));
+      EXPECT_EQ(round.chunk, s.chunk);
+      EXPECT_EQ(round.nbr_hash, s.nbr_hash);
+    }
+  }
+}
+
+TEST(UrlCode, PayloadBitsWithinWord) {
+  auto code = std::move(UrlCode::Create(MakeParams(256, 32, 32, 4), 9)).value();
+  EXPECT_LE(code.PayloadBits(), 64);
+  EXPECT_EQ(code.PayloadBits(), 8 * code.chunk_symbols() + 4 * 5);
+}
+
+class UrlCodeShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(UrlCodeShapeSweep, CleanDecodeRecoversAll) {
+  const auto [bits, m, y, d] = GetParam();
+  auto code_or = UrlCode::Create(MakeParams(bits, m, y, d),
+                                 static_cast<uint64_t>(bits * 1000 + m));
+  ASSERT_TRUE(code_or.ok()) << code_or.status().ToString();
+  const auto code = std::move(code_or).value();
+  Rng rng(static_cast<uint64_t>(bits + m + y + d));
+  // Load factor: Y must stay polylog-larger than the list size (Event E5);
+  // crowding Y=32 with many items makes per-coordinate collisions routine.
+  const int item_count = y >= 64 ? 6 : 3;
+  std::vector<DomainItem> items;
+  for (int i = 0; i < item_count; ++i) items.push_back(RandomItem(bits, rng));
+  const auto out = code.Decode(CleanLists(code, items), rng);
+  for (const auto& x : items) {
+    EXPECT_TRUE(Contains(out, x)) << "bits=" << bits << " M=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UrlCodeShapeSweep,
+    ::testing::Values(std::tuple{16, 8, 16, 4}, std::tuple{16, 8, 32, 4},
+                      std::tuple{32, 8, 32, 4}, std::tuple{64, 16, 32, 4},
+                      std::tuple{64, 16, 64, 6}, std::tuple{128, 32, 32, 4},
+                      std::tuple{128, 32, 64, 6}, std::tuple{256, 32, 32, 4},
+                      std::tuple{64, 32, 32, 4}, std::tuple{96, 16, 32, 4}));
+
+TEST(UrlCode, DecodeToleratesCorruptedCoordinates) {
+  // Theorem 3.6 contract: x is recovered whenever its encoding appears in
+  // (1 - alpha) M of the lists. Drop/replace coordinates up to the margin.
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 21)).value();
+  Rng rng(5);
+  const auto x = RandomItem(64, rng);
+  for (int bad = 0; bad <= 3; ++bad) {
+    auto lists = CleanLists(code, {x});
+    for (int b = 0; b < bad; ++b) {
+      lists[static_cast<size_t>(b)].clear();  // Coordinate entirely missing.
+    }
+    const auto out = code.Decode(lists, rng);
+    EXPECT_TRUE(Contains(out, x)) << "bad=" << bad;
+  }
+}
+
+TEST(UrlCode, DecodeToleratesGarbageEntries) {
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 22)).value();
+  Rng rng(6);
+  std::vector<DomainItem> items;
+  for (int i = 0; i < 4; ++i) items.push_back(RandomItem(64, rng));
+  auto lists = CleanLists(code, items);
+  // Add junk entries with fresh hash values and random payloads.
+  for (int m = 0; m < 16; ++m) {
+    for (int j = 0; j < 6; ++j) {
+      lists[static_cast<size_t>(m)].push_back(
+          {static_cast<uint16_t>(rng.UniformU64(32)),
+           rng() & ((uint64_t{1} << code.PayloadBits()) - 1)});
+    }
+  }
+  const auto out = code.Decode(lists, rng);
+  for (const auto& x : items) EXPECT_TRUE(Contains(out, x));
+}
+
+TEST(UrlCode, UniquenessDuplicateYDropped) {
+  // Definition 3.5 requires distinct y per list; the decoder keeps the
+  // first entry. Planting a duplicate y with junk payload must not break
+  // recovery of the legitimate first entry.
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 23)).value();
+  Rng rng(7);
+  const auto x = RandomItem(64, rng);
+  auto lists = CleanLists(code, {x});
+  for (int m = 0; m < 16; ++m) {
+    const auto first = lists[static_cast<size_t>(m)][0];
+    lists[static_cast<size_t>(m)].push_back({first.y, ~first.payload});
+  }
+  const auto out = code.Decode(lists, rng);
+  EXPECT_TRUE(Contains(out, x));
+}
+
+TEST(UrlCode, NoFalsePositivesFromPureNoise) {
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 24)).value();
+  Rng rng(8);
+  std::vector<std::vector<UrlCode::ListEntry>> lists(16);
+  for (int m = 0; m < 16; ++m) {
+    for (int j = 0; j < 10; ++j) {
+      lists[static_cast<size_t>(m)].push_back(
+          {static_cast<uint16_t>(rng.UniformU64(32)),
+           rng() & ((uint64_t{1} << code.PayloadBits()) - 1)});
+    }
+  }
+  const auto out = code.Decode(lists, rng);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(UrlCode, ManyCodewordsListRecovery) {
+  // L codewords in the lists (the "list" in list-recovery): all recovered.
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 256, 4), 25)).value();
+  Rng rng(9);
+  std::vector<DomainItem> items;
+  for (int i = 0; i < 24; ++i) items.push_back(RandomItem(64, rng));
+  const auto out = code.Decode(CleanLists(code, items), rng);
+  int found = 0;
+  for (const auto& x : items) found += Contains(out, x);
+  // Hash collisions among 24 items in Y=256 can erase a coordinate or two;
+  // the code margin absorbs them for nearly all items.
+  EXPECT_GE(found, 22);
+}
+
+TEST(UrlCode, DeterministicGivenSeed) {
+  auto a = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 77)).value();
+  auto b = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 77)).value();
+  Rng rng(10);
+  const auto x = RandomItem(64, rng);
+  const auto ca = a.Encode(x);
+  const auto cb = b.Encode(x);
+  EXPECT_EQ(ca.y, cb.y);
+  for (int m = 0; m < 16; ++m) {
+    EXPECT_EQ(a.PackPayload(ca.symbols[static_cast<size_t>(m)]),
+              b.PackPayload(cb.symbols[static_cast<size_t>(m)]));
+  }
+}
+
+TEST(UrlCode, DecodeRequiresOneListPerCoordinate) {
+  auto code = std::move(UrlCode::Create(MakeParams(64, 16, 32, 4), 26)).value();
+  Rng rng(11);
+  std::vector<std::vector<UrlCode::ListEntry>> short_lists(15);
+  EXPECT_DEATH(code.Decode(short_lists, rng), "");
+}
+
+}  // namespace
+}  // namespace ldphh

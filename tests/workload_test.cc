@@ -1,0 +1,109 @@
+// Tests for src/workload: generators used by benches and examples.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "src/workload/workload.h"
+
+namespace ldphh {
+namespace {
+
+uint64_t CountOf(const Workload& w, const DomainItem& x) {
+  uint64_t c = 0;
+  for (const auto& item : w.database) c += (item == x);
+  return c;
+}
+
+TEST(Planted, SizesAndCounts) {
+  const Workload w = MakePlantedWorkload(10000, 64, {0.2, 0.1}, 1);
+  EXPECT_EQ(w.database.size(), 10000u);
+  ASSERT_EQ(w.heavy.size(), 2u);
+  EXPECT_EQ(w.heavy[0].second, 2000u);
+  EXPECT_EQ(w.heavy[1].second, 1000u);
+  EXPECT_EQ(CountOf(w, w.heavy[0].first), 2000u);
+  EXPECT_EQ(CountOf(w, w.heavy[1].first), 1000u);
+}
+
+TEST(Planted, HeavySortedDescending) {
+  const Workload w = MakePlantedWorkload(10000, 64, {0.05, 0.3, 0.1}, 2);
+  for (size_t i = 1; i < w.heavy.size(); ++i) {
+    EXPECT_GE(w.heavy[i - 1].second, w.heavy[i].second);
+  }
+}
+
+TEST(Planted, BackgroundIsMostlyUnique) {
+  const Workload w = MakePlantedWorkload(5000, 64, {}, 3);
+  std::set<DomainItem> uniq(w.database.begin(), w.database.end());
+  EXPECT_GT(uniq.size(), 4990u);  // 64-bit randoms essentially never collide.
+}
+
+TEST(Planted, RespectsDomainWidth) {
+  const Workload w = MakePlantedWorkload(1000, 16, {0.1}, 4);
+  for (const auto& x : w.database) {
+    EXPECT_EQ(x.limbs[0] >> 16, 0u);
+    EXPECT_EQ(x.limbs[1], 0u);
+  }
+}
+
+TEST(Planted, DeterministicBySeed) {
+  const Workload a = MakePlantedWorkload(1000, 64, {0.2}, 5);
+  const Workload b = MakePlantedWorkload(1000, 64, {0.2}, 5);
+  EXPECT_TRUE(a.database == b.database);
+}
+
+TEST(Planted, ShuffledNotBlocked) {
+  // Heavy copies must not sit contiguously.
+  const Workload w = MakePlantedWorkload(10000, 64, {0.5}, 6);
+  const DomainItem h = w.heavy[0].first;
+  int runs = 0;
+  for (size_t i = 1; i < w.database.size(); ++i) {
+    runs += (w.database[i] == h) != (w.database[i - 1] == h);
+  }
+  EXPECT_GT(runs, 100);
+}
+
+TEST(Zipf, CountsFollowPowerLaw) {
+  const Workload w = MakeZipfWorkload(100000, 64, 100, 1.0, 7);
+  EXPECT_EQ(w.database.size(), 100000u);
+  // Rank 1 over rank 10 should be ~10x under s=1 (loose factor-2 check).
+  ASSERT_GE(w.heavy.size(), 10u);
+  const double ratio = static_cast<double>(w.heavy[0].second) /
+                       static_cast<double>(w.heavy[9].second);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST(Zipf, HeavyCountsSumToN) {
+  const Workload w = MakeZipfWorkload(20000, 64, 50, 1.2, 8);
+  uint64_t total = 0;
+  for (const auto& [item, count] : w.heavy) total += count;
+  EXPECT_EQ(total, 20000u);
+}
+
+TEST(Zipf, SkewParameterSharpensHead) {
+  const Workload flat = MakeZipfWorkload(50000, 64, 100, 0.5, 9);
+  const Workload sharp = MakeZipfWorkload(50000, 64, 100, 2.0, 9);
+  EXPECT_GT(sharp.heavy[0].second, flat.heavy[0].second);
+}
+
+TEST(Strings, RoundTripThroughWorkload) {
+  const std::vector<std::pair<std::string, uint64_t>> rows = {
+      {"www.google.com", 500}, {"www.wikipedia.org", 300}, {"rare.site", 7}};
+  const Workload w = MakeStringWorkload(rows, 160, 10);
+  EXPECT_EQ(w.database.size(), 807u);
+  ASSERT_EQ(w.heavy.size(), 3u);
+  EXPECT_EQ(w.heavy[0].first.ToString(160), "www.google.com");
+  EXPECT_EQ(w.heavy[0].second, 500u);
+  EXPECT_EQ(CountOf(w, DomainItem::FromString("rare.site", 160)), 7u);
+}
+
+TEST(Strings, EmptyRowsGiveEmptyWorkload) {
+  const Workload w = MakeStringWorkload({}, 64, 11);
+  EXPECT_TRUE(w.database.empty());
+  EXPECT_TRUE(w.heavy.empty());
+}
+
+}  // namespace
+}  // namespace ldphh
