@@ -1,0 +1,98 @@
+// Ingestion-service throughput: reports/sec through ShardedAggregator as a
+// function of shard count, plus the wire-codec encode/decode rates.
+//
+//   ./bench_ingest --benchmark_counters_tabular=true
+//
+// The acceptance metric for the server subsystem is BM_ShardedIngest at
+// shard counts {1, 2, 4, 8}: items_per_second is ingested reports/sec.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/freq/unary_encoding.h"
+#include "src/server/report_codec.h"
+#include "src/server/sharded_aggregator.h"
+
+namespace ldphh {
+namespace {
+
+// RAPPOR-style unary encoding: Aggregate walks all K histogram bits per
+// report, so per-report server work is substantial enough for sharding to
+// matter (Hadamard response at one add per report is producer-bound).
+constexpr uint64_t kDomain = 56;
+constexpr double kEpsilon = 1.0;
+constexpr uint64_t kNumReports = 1 << 18;
+
+std::unique_ptr<SmallDomainFO> MakeOracle() {
+  return std::make_unique<UnaryEncodingFO>(kDomain, kEpsilon);
+}
+
+// Client-side encodes are expensive relative to aggregation, so the report
+// stream is produced once and replayed by every benchmark iteration.
+const std::vector<WireReport>& Reports() {
+  static const std::vector<WireReport>* reports = [] {
+    auto client = MakeOracle();
+    Rng rng(2024);
+    auto* r = new std::vector<WireReport>(kNumReports);
+    for (uint64_t i = 0; i < kNumReports; ++i) {
+      const uint64_t value = rng.Bernoulli(0.25) ? 42 : rng.UniformU64(kDomain);
+      (*r)[i].user_index = i;
+      (*r)[i].report = client->Encode(value, rng);
+    }
+    return r;
+  }();
+  return *reports;
+}
+
+void BM_ShardedIngest(benchmark::State& state) {
+  const auto& reports = Reports();
+  ShardedAggregatorOptions opts;
+  opts.num_shards = static_cast<int>(state.range(0));
+  opts.queue_capacity = 1 << 14;
+  opts.batch_size = 512;
+  for (auto _ : state) {
+    ShardedAggregator agg(MakeOracle, opts);
+    if (!agg.Start().ok()) state.SkipWithError("Start failed");
+    if (!agg.SubmitBatch(reports).ok()) state.SkipWithError("Submit failed");
+    auto merged = agg.Finish();
+    if (!merged.ok()) state.SkipWithError("Finish failed");
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kNumReports));
+  state.counters["shards"] = static_cast<double>(opts.num_shards);
+}
+BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EncodeBatch(benchmark::State& state) {
+  const auto& reports = Reports();
+  for (auto _ : state) {
+    std::string wire = EncodeReportBatch(reports);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kNumReports));
+}
+BENCHMARK(BM_EncodeBatch)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeBatch(benchmark::State& state) {
+  const std::string wire = EncodeReportBatch(Reports());
+  for (auto _ : state) {
+    std::vector<WireReport> out;
+    out.reserve(kNumReports);
+    if (!DecodeReportBatch(wire, &out).ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kNumReports));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodeBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ldphh

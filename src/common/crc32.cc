@@ -1,0 +1,34 @@
+#include "src/common/crc32.h"
+
+namespace ldphh {
+
+namespace {
+
+// CRC-32C (polynomial 0x1EDC6F41, reflected 0x82F63B78) byte table,
+// generated once at first use.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+  static const Crc32cTable table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~init;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,33 @@
+/// \file crc32.h
+/// \brief CRC-32C (Castagnoli) over byte buffers.
+///
+/// Guards the server wire format and checkpoint records against bit rot and
+/// torn writes (the leveldb record-format idiom). Software slice-by-one
+/// table implementation; fast enough for the record sizes involved, and
+/// portable (no SSE4.2 requirement).
+
+#ifndef LDPHH_COMMON_CRC32_H_
+#define LDPHH_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldphh {
+
+/// CRC-32C of `data[0, n)`, seeded with `init` (pass a previous crc to
+/// extend over concatenated buffers).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+/// Masked crc per the leveldb convention: storing a crc of data that itself
+/// contains crcs is safer when the stored value is not a fixed point.
+inline uint32_t MaskCrc32(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc32(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_CRC32_H_

@@ -102,6 +102,18 @@ class Rng {
   /// Forks an independent child generator (for per-party randomness).
   Rng Fork() { return Rng((*this)()); }
 
+  /// Forks a deterministic child for a numbered stream without advancing
+  /// this generator: the child seed is a splitmix64 expansion of
+  /// (state fingerprint, stream_id), so distinct stream ids yield
+  /// statistically independent streams and shard workers can each take
+  /// `rng.Fork(shard_id)` from one master Rng in any order.
+  Rng Fork(uint64_t stream_id) const {
+    uint64_t sm = s_[0] ^ Rotl(s_[2], 29) ^ Mix64(stream_id);
+    uint64_t seed = SplitMix64(sm);
+    seed ^= SplitMix64(sm);
+    return Rng(seed);
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -1,0 +1,157 @@
+/// \file serde.h
+/// \brief Little-endian binary put/get helpers for the wire formats.
+///
+/// `Put*` appends to a std::string buffer; `ByteReader` consumes a
+/// std::string_view with bounds-checked, Status-returning reads so corrupt
+/// or truncated input surfaces as `kDecodeFailure` instead of UB. Shared by
+/// the report codec, the mergeable-oracle state snapshots, and the
+/// checkpoint log.
+
+#ifndef LDPHH_COMMON_SERDE_H_
+#define LDPHH_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU16(std::string* out, uint16_t v) {
+  char buf[2];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>(v >> 8);
+  out->append(buf, 2);
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+/// Doubles travel as their IEEE-754 bit pattern: state snapshots must be
+/// bit-exact across save/restore for the merge-equivalence guarantees.
+inline void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+/// LEB128-style varint (user indices are usually small; reports stay compact).
+inline void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutVarint64(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+/// \brief Bounds-checked sequential reader over a byte buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  size_t position() const { return pos_; }
+
+  Status ReadU8(uint8_t* v) {
+    if (remaining() < 1) return Truncated("u8");
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU16(uint16_t* v) {
+    if (remaining() < 2) return Truncated("u16");
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 2;
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (remaining() < 4) return Truncated("u32");
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (remaining() < 8) return Truncated("u64");
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* v) {
+    uint64_t bits = 0;
+    LDPHH_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(v, &bits, 8);
+    return Status::OK();
+  }
+
+  Status ReadVarint64(uint64_t* v) {
+    *v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) return Truncated("varint");
+      const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      *v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) return Status::OK();
+    }
+    return Status::DecodeFailure("serde: varint exceeds 64 bits");
+  }
+
+  Status ReadBytes(size_t n, std::string_view* out) {
+    if (remaining() < n) return Truncated("bytes");
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadLengthPrefixed(std::string_view* out) {
+    uint64_t n = 0;
+    LDPHH_RETURN_IF_ERROR(ReadVarint64(&n));
+    if (n > remaining()) return Truncated("length-prefixed bytes");
+    return ReadBytes(static_cast<size_t>(n), out);
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::DecodeFailure(std::string("serde: truncated input reading ") +
+                                 what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_SERDE_H_

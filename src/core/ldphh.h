@@ -45,6 +45,9 @@
 #include "src/protocols/private_expander_sketch.h"  // IWYU pragma: export
 #include "src/protocols/succinct_hist.h"    // IWYU pragma: export
 #include "src/protocols/treehist.h"         // IWYU pragma: export
+#include "src/server/checkpoint_log.h"      // IWYU pragma: export
+#include "src/server/report_codec.h"        // IWYU pragma: export
+#include "src/server/sharded_aggregator.h"  // IWYU pragma: export
 #include "src/workload/workload.h"          // IWYU pragma: export
 
 namespace ldphh {

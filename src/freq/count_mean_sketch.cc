@@ -3,13 +3,15 @@
 #include <cmath>
 
 #include "src/common/math_util.h"
+#include "src/common/serde.h"
 #include "src/common/status.h"
+#include "src/freq/freq_oracle.h"
 
 namespace ldphh {
 
 CountMeanSketch::CountMeanSketch(uint64_t n_hint, double epsilon,
                                  const CmsParams& params, uint64_t seed)
-    : epsilon_(epsilon) {
+    : epsilon_(epsilon), seed_(seed) {
   LDPHH_CHECK(epsilon > 0.0, "CountMeanSketch: epsilon must be positive");
   rows_ = params.rows > 0 ? params.rows : 16;
   width_ = params.width;
@@ -90,6 +92,84 @@ double CountMeanSketch::Estimate(const DomainItem& x) const {
 size_t CountMeanSketch::MemoryBytes() const {
   return static_cast<size_t>(rows_) * static_cast<size_t>(width_) *
          sizeof(double);
+}
+
+Status CountMeanSketch::Merge(const CountMeanSketch& other) {
+  if (rows_ != other.rows_ || width_ != other.width_ ||
+      epsilon_ != other.epsilon_ || seed_ != other.seed_) {
+    return Status::InvalidArgument("count-mean-sketch: Merge configuration mismatch");
+  }
+  if (finalized_ || other.finalized_) {
+    return Status::FailedPrecondition("count-mean-sketch: Merge after Finalize");
+  }
+  count_ += other.count_;
+  for (int r = 0; r < rows_; ++r) {
+    row_count_[static_cast<size_t>(r)] += other.row_count_[static_cast<size_t>(r)];
+    auto& row = acc_[static_cast<size_t>(r)];
+    const auto& orow = other.acc_[static_cast<size_t>(r)];
+    for (size_t w = 0; w < row.size(); ++w) row[w] += orow[w];
+  }
+  return Status::OK();
+}
+
+Status CountMeanSketch::SerializeState(std::string* out) const {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "count-mean-sketch: SerializeState after Finalize");
+  }
+  PutU32(out, kFoStateMagic);
+  PutU16(out, kFoStateVersion);
+  PutLengthPrefixed(out, "count-mean-sketch");
+  PutU32(out, static_cast<uint32_t>(rows_));
+  PutU64(out, width_);
+  PutU64(out, seed_);
+  PutU64(out, count_);
+  for (uint64_t rc : row_count_) PutU64(out, rc);
+  for (const auto& row : acc_) {
+    for (double v : row) PutDouble(out, v);
+  }
+  return Status::OK();
+}
+
+Status CountMeanSketch::RestoreState(std::string_view in) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "count-mean-sketch: RestoreState after Finalize");
+  }
+  ByteReader reader(in);
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  std::string_view name;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU16(&version));
+  LDPHH_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&name));
+  if (magic != kFoStateMagic || version != kFoStateVersion ||
+      name != "count-mean-sketch") {
+    return Status::DecodeFailure("count-mean-sketch state: bad header");
+  }
+  uint32_t rows = 0;
+  uint64_t width = 0, seed = 0, count = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU32(&rows));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&width));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&seed));
+  if (rows != static_cast<uint32_t>(rows_) || width != width_ ||
+      seed != seed_) {
+    return Status::InvalidArgument(
+        "count-mean-sketch state: configuration mismatch");
+  }
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+  std::vector<uint64_t> row_count(static_cast<size_t>(rows_));
+  for (uint64_t& rc : row_count) LDPHH_RETURN_IF_ERROR(reader.ReadU64(&rc));
+  std::vector<std::vector<double>> acc(
+      static_cast<size_t>(rows_),
+      std::vector<double>(static_cast<size_t>(width_)));
+  for (auto& row : acc) {
+    for (double& v : row) LDPHH_RETURN_IF_ERROR(reader.ReadDouble(&v));
+  }
+  count_ = count;
+  row_count_ = std::move(row_count);
+  acc_ = std::move(acc);
+  return Status::OK();
 }
 
 int CountMeanSketch::ReportBits() const {

@@ -18,10 +18,13 @@
 #define LDPHH_FREQ_COUNT_MEAN_SKETCH_H_
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/bit_util.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/hashing/kwise_hash.h"
 
 namespace ldphh {
@@ -61,10 +64,21 @@ class CountMeanSketch {
   size_t MemoryBytes() const;
   int ReportBits() const;
 
+  /// Folds \p other's (same-configuration, un-finalized) tallies into this
+  /// sketch; equivalent to having aggregated both report streams here.
+  Status Merge(const CountMeanSketch& other);
+  /// Binary snapshot of the aggregation state (tallies only — the hash
+  /// family is reconstructed from the constructor seed).
+  Status SerializeState(std::string* out) const;
+  /// Restores a SerializeState snapshot into this (same-configuration,
+  /// un-finalized) sketch.
+  Status RestoreState(std::string_view in);
+
  private:
   int rows_;
   uint64_t width_;
   double epsilon_;
+  uint64_t seed_;      ///< Hash-family seed; pins Merge/Restore compatibility.
   double flip_prob_;   ///< Per-bit flip probability 1/(e^{eps/2}+1).
   bool finalized_ = false;
   uint64_t count_ = 0;

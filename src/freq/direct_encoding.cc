@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/math_util.h"
+#include "src/common/serde.h"
 #include "src/common/status.h"
 
 namespace ldphh {
@@ -48,6 +49,38 @@ double DirectEncodingFO::Estimate(uint64_t value) const {
 
 size_t DirectEncodingFO::MemoryBytes() const {
   return hist_.size() * sizeof(double);
+}
+
+Status DirectEncodingFO::Merge(const SmallDomainFO& other) {
+  LDPHH_RETURN_IF_ERROR(CheckMergeCompatible(*this, other));
+  const auto& o = static_cast<const DirectEncodingFO&>(other);
+  count_ += o.count_;
+  for (size_t i = 0; i < hist_.size(); ++i) hist_[i] += o.hist_[i];
+  return Status::OK();
+}
+
+Status DirectEncodingFO::SerializeState(std::string* out) const {
+  WriteFoStateHeader(*this, out);
+  PutU64(out, count_);
+  PutU64(out, hist_.size());
+  for (double v : hist_) PutDouble(out, v);
+  return Status::OK();
+}
+
+Status DirectEncodingFO::RestoreState(std::string_view in) {
+  ByteReader reader(in);
+  LDPHH_RETURN_IF_ERROR(CheckFoStateHeader(*this, reader));
+  uint64_t count = 0, size = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&size));
+  if (size != hist_.size()) {
+    return Status::DecodeFailure("k-rr state: histogram size mismatch");
+  }
+  std::vector<double> hist(static_cast<size_t>(size));
+  for (double& v : hist) LDPHH_RETURN_IF_ERROR(reader.ReadDouble(&v));
+  count_ = count;
+  hist_ = std::move(hist);
+  return Status::OK();
 }
 
 }  // namespace ldphh

@@ -30,6 +30,11 @@ class DirectEncodingFO final : public SmallDomainFO {
   double Estimate(uint64_t value) const override;
   size_t MemoryBytes() const override;
 
+  bool Mergeable() const override { return true; }
+  Status Merge(const SmallDomainFO& other) override;
+  Status SerializeState(std::string* out) const override;
+  Status RestoreState(std::string_view in) override;
+
  private:
   uint64_t domain_size_;
   int value_bits_;

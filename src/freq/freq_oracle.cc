@@ -1,0 +1,70 @@
+#include "src/freq/freq_oracle.h"
+
+#include <cstring>
+
+#include "src/common/serde.h"
+
+namespace ldphh {
+
+namespace {
+
+uint64_t EpsilonBits(const SmallDomainFO& fo) {
+  const double eps = fo.epsilon();
+  uint64_t bits;
+  std::memcpy(&bits, &eps, 8);
+  return bits;
+}
+
+}  // namespace
+
+void WriteFoStateHeader(const SmallDomainFO& fo, std::string* out) {
+  PutU32(out, kFoStateMagic);
+  PutU16(out, kFoStateVersion);
+  PutLengthPrefixed(out, fo.Name());
+  PutU64(out, fo.domain_size());
+  PutU64(out, EpsilonBits(fo));
+}
+
+Status CheckFoStateHeader(const SmallDomainFO& fo, ByteReader& reader) {
+  uint32_t magic = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kFoStateMagic) {
+    return Status::DecodeFailure("oracle state: bad magic");
+  }
+  uint16_t version = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU16(&version));
+  if (version != kFoStateVersion) {
+    return Status::DecodeFailure("oracle state: unsupported version");
+  }
+  std::string_view name;
+  LDPHH_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&name));
+  if (name != fo.Name()) {
+    return Status::InvalidArgument("oracle state: snapshot is for oracle '" +
+                                   std::string(name) + "', restoring into '" +
+                                   fo.Name() + "'");
+  }
+  uint64_t domain = 0, eps_bits = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&domain));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&eps_bits));
+  if (domain != fo.domain_size() || eps_bits != EpsilonBits(fo)) {
+    return Status::InvalidArgument(
+        fo.Name() + ": snapshot configuration (domain, epsilon) mismatch");
+  }
+  return Status::OK();
+}
+
+Status CheckMergeCompatible(const SmallDomainFO& self,
+                            const SmallDomainFO& other) {
+  if (self.Name() != other.Name()) {
+    return Status::InvalidArgument("Merge: oracle type mismatch (" +
+                                   self.Name() + " vs " + other.Name() + ")");
+  }
+  if (self.domain_size() != other.domain_size() ||
+      EpsilonBits(self) != EpsilonBits(other)) {
+    return Status::InvalidArgument(self.Name() +
+                                   ": Merge configuration mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ldphh

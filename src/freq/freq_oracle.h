@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/common/random.h"
+#include "src/common/status.h"
 
 namespace ldphh {
 
@@ -45,6 +47,15 @@ class SmallDomainFO {
 
   /// Server: absorbs one report.
   virtual void Aggregate(const FoReport& report) = 0;
+  /// Server: absorbs one report attributed to an explicit user index.
+  /// Oracles whose estimator depends on user identity (OLH's personal
+  /// hashes) override this; for the rest the index is irrelevant. The
+  /// sharded ingestion path always calls this form so reports may arrive in
+  /// any order and on any shard.
+  virtual void AggregateIndexed(uint64_t user_index, const FoReport& report) {
+    (void)user_index;
+    Aggregate(report);
+  }
   /// Server: closes aggregation; must be called before Estimate.
   virtual void Finalize() = 0;
   /// Server: unbiased frequency estimate for \p value.
@@ -52,7 +63,57 @@ class SmallDomainFO {
 
   /// Server-side memory footprint in bytes (for the Table-1 rows).
   virtual size_t MemoryBytes() const = 0;
+
+  // ----------------------------------------------------- mergeable state --
+  // Sharded aggregation splits one logical oracle across N workers; the
+  // contract is exact: merging the shard states and finalizing must produce
+  // bit-for-bit the estimates of a single oracle that aggregated every
+  // report itself. (All built-in oracles accumulate integer-valued tallies
+  // in doubles, so addition order cannot perturb the result.)
+
+  /// True iff Merge / SerializeState / RestoreState are implemented.
+  virtual bool Mergeable() const { return false; }
+
+  /// Folds \p other's aggregation state into this oracle. Both must be
+  /// un-finalized and identically configured (same concrete type, domain,
+  /// epsilon). \p other is left in an unspecified aggregation state.
+  virtual Status Merge(const SmallDomainFO& other) {
+    (void)other;
+    return Status::FailedPrecondition(Name() + ": Merge not implemented");
+  }
+
+  /// Appends a versioned binary snapshot of the aggregation state to \p out
+  /// (see WriteFoStateHeader in the .h's of the implementing oracles).
+  virtual Status SerializeState(std::string* out) const {
+    (void)out;
+    return Status::FailedPrecondition(Name() + ": SerializeState not implemented");
+  }
+
+  /// Replaces the aggregation state with a SerializeState snapshot taken
+  /// from an identically configured oracle.
+  virtual Status RestoreState(std::string_view in) {
+    (void)in;
+    return Status::FailedPrecondition(Name() + ": RestoreState not implemented");
+  }
 };
+
+/// Shared envelope for oracle state snapshots:
+///   [u32 magic "FOST"][u16 version][name (length-prefixed)]
+///   [u64 domain_size][u64 epsilon bits][oracle payload...]
+/// The header pins the snapshot to a concrete oracle configuration so a
+/// restore into a mismatched instance fails cleanly.
+inline constexpr uint32_t kFoStateMagic = 0x54534f46u;  // "FOST" LE.
+inline constexpr uint16_t kFoStateVersion = 1;
+
+void WriteFoStateHeader(const SmallDomainFO& fo, std::string* out);
+
+/// Validates the envelope against \p fo; on success the reader is positioned
+/// at the oracle payload.
+class ByteReader;
+Status CheckFoStateHeader(const SmallDomainFO& fo, ByteReader& reader);
+
+/// Configuration-compatibility check shared by the Merge implementations.
+Status CheckMergeCompatible(const SmallDomainFO& self, const SmallDomainFO& other);
 
 }  // namespace ldphh
 

@@ -4,6 +4,7 @@
 
 #include "src/common/bit_util.h"
 #include "src/common/math_util.h"
+#include "src/common/serde.h"
 #include "src/common/status.h"
 #include "src/freq/fwht.h"
 
@@ -55,6 +56,45 @@ double HadamardResponseFO::Estimate(uint64_t value) const {
 
 size_t HadamardResponseFO::MemoryBytes() const {
   return acc_.size() * sizeof(double);
+}
+
+Status HadamardResponseFO::Merge(const SmallDomainFO& other) {
+  LDPHH_RETURN_IF_ERROR(CheckMergeCompatible(*this, other));
+  const auto& o = static_cast<const HadamardResponseFO&>(other);
+  if (finalized_ || o.finalized_) {
+    return Status::FailedPrecondition("hadamard-response: Merge after Finalize");
+  }
+  for (size_t i = 0; i < acc_.size(); ++i) acc_[i] += o.acc_[i];
+  return Status::OK();
+}
+
+Status HadamardResponseFO::SerializeState(std::string* out) const {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "hadamard-response: SerializeState after Finalize");
+  }
+  WriteFoStateHeader(*this, out);
+  PutU64(out, acc_.size());
+  for (double v : acc_) PutDouble(out, v);
+  return Status::OK();
+}
+
+Status HadamardResponseFO::RestoreState(std::string_view in) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "hadamard-response: RestoreState after Finalize");
+  }
+  ByteReader reader(in);
+  LDPHH_RETURN_IF_ERROR(CheckFoStateHeader(*this, reader));
+  uint64_t size = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&size));
+  if (size != acc_.size()) {
+    return Status::DecodeFailure("hadamard-response state: table size mismatch");
+  }
+  std::vector<double> acc(static_cast<size_t>(size));
+  for (double& v : acc) LDPHH_RETURN_IF_ERROR(reader.ReadDouble(&v));
+  acc_ = std::move(acc);
+  return Status::OK();
 }
 
 }  // namespace ldphh

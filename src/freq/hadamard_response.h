@@ -35,6 +35,11 @@ class HadamardResponseFO final : public SmallDomainFO {
   double Estimate(uint64_t value) const override;
   size_t MemoryBytes() const override;
 
+  bool Mergeable() const override { return true; }
+  Status Merge(const SmallDomainFO& other) override;
+  Status SerializeState(std::string* out) const override;
+  Status RestoreState(std::string_view in) override;
+
   /// Hadamard index range T (power of two >= K).
   uint64_t table_size() const { return table_size_; }
 

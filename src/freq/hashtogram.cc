@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/math_util.h"
+#include "src/common/serde.h"
 #include "src/common/status.h"
 #include "src/freq/fwht.h"
 
@@ -94,6 +95,72 @@ double Hashtogram::EstimateSum(const DomainItem& x) const {
   double acc = 0.0;
   for (int r = 0; r < rows_; ++r) acc += RowEstimate(r, x);
   return acc;
+}
+
+Status Hashtogram::Merge(const Hashtogram& other) {
+  if (rows_ != other.rows_ || table_size_ != other.table_size_ ||
+      epsilon_ != other.epsilon_ || row_seed_ != other.row_seed_) {
+    return Status::InvalidArgument("hashtogram: Merge configuration mismatch");
+  }
+  if (finalized_ || other.finalized_) {
+    return Status::FailedPrecondition("hashtogram: Merge after Finalize");
+  }
+  for (size_t r = 0; r < acc_.size(); ++r) {
+    auto& row = acc_[r];
+    const auto& orow = other.acc_[r];
+    for (size_t t = 0; t < row.size(); ++t) row[t] += orow[t];
+  }
+  return Status::OK();
+}
+
+Status Hashtogram::SerializeState(std::string* out) const {
+  if (finalized_) {
+    return Status::FailedPrecondition("hashtogram: SerializeState after Finalize");
+  }
+  PutU32(out, kFoStateMagic);
+  PutU16(out, kFoStateVersion);
+  PutLengthPrefixed(out, "hashtogram");
+  PutU32(out, static_cast<uint32_t>(rows_));
+  PutU64(out, table_size_);
+  PutU64(out, row_seed_);
+  for (const auto& row : acc_) {
+    for (double v : row) PutDouble(out, v);
+  }
+  return Status::OK();
+}
+
+Status Hashtogram::RestoreState(std::string_view in) {
+  if (finalized_) {
+    return Status::FailedPrecondition("hashtogram: RestoreState after Finalize");
+  }
+  ByteReader reader(in);
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  std::string_view name;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU16(&version));
+  LDPHH_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&name));
+  if (magic != kFoStateMagic || version != kFoStateVersion ||
+      name != "hashtogram") {
+    return Status::DecodeFailure("hashtogram state: bad header");
+  }
+  uint32_t rows = 0;
+  uint64_t table = 0, row_seed = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU32(&rows));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&table));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&row_seed));
+  if (rows != static_cast<uint32_t>(rows_) || table != table_size_ ||
+      row_seed != row_seed_) {
+    return Status::InvalidArgument("hashtogram state: configuration mismatch");
+  }
+  std::vector<std::vector<double>> acc(
+      static_cast<size_t>(rows_),
+      std::vector<double>(static_cast<size_t>(table_size_)));
+  for (auto& row : acc) {
+    for (double& v : row) LDPHH_RETURN_IF_ERROR(reader.ReadDouble(&v));
+  }
+  acc_ = std::move(acc);
+  return Status::OK();
 }
 
 size_t Hashtogram::MemoryBytes() const {

@@ -21,10 +21,13 @@
 #define LDPHH_FREQ_HASHTOGRAM_H_
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/bit_util.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/freq/freq_oracle.h"
 #include "src/hashing/kwise_hash.h"
 
@@ -66,6 +69,16 @@ class Hashtogram {
   double Estimate(const DomainItem& x) const;
   /// Sum-of-rows estimate (unbiased; larger tail).
   double EstimateSum(const DomainItem& x) const;
+
+  /// Folds \p other's (same-configuration, un-finalized) row histograms
+  /// into this oracle; exact — equivalent to one oracle seeing all reports.
+  Status Merge(const Hashtogram& other);
+  /// Binary snapshot of the aggregation state (row histograms only — the
+  /// hash families are reconstructed from the constructor seed).
+  Status SerializeState(std::string* out) const;
+  /// Restores a SerializeState snapshot into this (same-configuration,
+  /// un-finalized) oracle.
+  Status RestoreState(std::string_view in);
 
   double epsilon() const { return epsilon_; }
   int rows() const { return rows_; }

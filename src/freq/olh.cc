@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/math_util.h"
+#include "src/common/serde.h"
 #include "src/common/status.h"
 #include "src/hashing/mersenne61.h"
 
@@ -48,23 +49,80 @@ FoReport OlhFO::Encode(uint64_t value, Rng& rng) const {
 }
 
 void OlhFO::Aggregate(const FoReport& report) {
-  reports_.push_back(static_cast<uint32_t>(report.bits));
+  AggregateIndexed(next_agg_index_, report);
+}
+
+void OlhFO::AggregateIndexed(uint64_t user_index, const FoReport& report) {
+  reports_.emplace_back(user_index, static_cast<uint32_t>(report.bits));
+  if (user_index >= next_agg_index_) next_agg_index_ = user_index + 1;
 }
 
 double OlhFO::Estimate(uint64_t value) const {
   LDPHH_DCHECK(value < domain_size_, "Estimate: value out of domain");
   // Support count: users whose report equals their personal hash of value.
   double support = 0.0;
-  for (size_t i = 0; i < reports_.size(); ++i) {
-    if (reports_[i] == PersonalHash(static_cast<uint64_t>(i), value)) {
-      support += 1.0;
-    }
+  for (const auto& [user_index, bits] : reports_) {
+    if (bits == PersonalHash(user_index, value)) support += 1.0;
   }
   const double n = static_cast<double>(reports_.size());
   const double inv_g = 1.0 / static_cast<double>(g_);
   return (support - n * inv_g) / (keep_prob_ - inv_g);
 }
 
-size_t OlhFO::MemoryBytes() const { return reports_.size() * sizeof(uint32_t); }
+size_t OlhFO::MemoryBytes() const {
+  return reports_.size() * sizeof(reports_[0]);
+}
+
+Status OlhFO::Merge(const SmallDomainFO& other) {
+  LDPHH_RETURN_IF_ERROR(CheckMergeCompatible(*this, other));
+  const auto& o = static_cast<const OlhFO&>(other);
+  if (seed_ != o.seed_) {
+    return Status::InvalidArgument("olh: Merge with different hash seed");
+  }
+  reports_.insert(reports_.end(), o.reports_.begin(), o.reports_.end());
+  if (o.next_agg_index_ > next_agg_index_) next_agg_index_ = o.next_agg_index_;
+  return Status::OK();
+}
+
+Status OlhFO::SerializeState(std::string* out) const {
+  WriteFoStateHeader(*this, out);
+  PutU64(out, seed_);
+  PutU64(out, next_agg_index_);
+  PutU64(out, reports_.size());
+  for (const auto& [user_index, bits] : reports_) {
+    PutVarint64(out, user_index);
+    PutU32(out, bits);
+  }
+  return Status::OK();
+}
+
+Status OlhFO::RestoreState(std::string_view in) {
+  ByteReader reader(in);
+  LDPHH_RETURN_IF_ERROR(CheckFoStateHeader(*this, reader));
+  uint64_t seed = 0, next_index = 0, count = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&seed));
+  if (seed != seed_) {
+    return Status::InvalidArgument("olh state: hash seed mismatch");
+  }
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&next_index));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+  // Each record is >= 5 bytes, so a count beyond that bound is corruption
+  // (and guarding it keeps a bad header from driving a huge reserve).
+  if (count > reader.remaining() / 5 + 1) {
+    return Status::DecodeFailure("olh state: report count exceeds payload");
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> reports;
+  reports.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t user_index = 0;
+    uint32_t bits = 0;
+    LDPHH_RETURN_IF_ERROR(reader.ReadVarint64(&user_index));
+    LDPHH_RETURN_IF_ERROR(reader.ReadU32(&bits));
+    reports.emplace_back(user_index, bits);
+  }
+  next_agg_index_ = next_index;
+  reports_ = std::move(reports);
+  return Status::OK();
+}
 
 }  // namespace ldphh

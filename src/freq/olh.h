@@ -36,9 +36,23 @@ class OlhFO final : public SmallDomainFO {
 
   FoReport Encode(uint64_t value, Rng& rng) const override;
   void Aggregate(const FoReport& report) override;
+  void AggregateIndexed(uint64_t user_index, const FoReport& report) override;
   void Finalize() override {}
   double Estimate(uint64_t value) const override;
   size_t MemoryBytes() const override;
+
+  bool Mergeable() const override { return true; }
+  /// Merge contract: the two oracles must have aggregated reports for
+  /// *disjoint user-index sets* (the sharded path guarantees this by
+  /// routing each user to exactly one shard). Merging two streams fed via
+  /// the un-indexed Aggregate() overload violates this — both number their
+  /// users from 0 — and silently biases estimates; always use
+  /// AggregateIndexed when states will be merged. Disjointness is not
+  /// checked: shard index sets interleave, so range checks would false-
+  /// positive and a full set would cost O(n) memory.
+  Status Merge(const SmallDomainFO& other) override;
+  Status SerializeState(std::string* out) const override;
+  Status RestoreState(std::string_view in) override;
 
   /// The hash range g.
   uint64_t hash_range() const { return g_; }
@@ -53,7 +67,11 @@ class OlhFO final : public SmallDomainFO {
   double keep_prob_;  ///< e^eps / (e^eps + g - 1).
   uint64_t seed_;
   mutable uint64_t next_user_ = 0;
-  std::vector<uint32_t> reports_;  ///< Stored hashed reports per user.
+  uint64_t next_agg_index_ = 0;  ///< Arrival counter for un-indexed Aggregate.
+  /// Stored (user_index, hashed report) pairs. The index selects the user's
+  /// personal hash at query time, so reports may arrive in any order and
+  /// from any shard.
+  std::vector<std::pair<uint64_t, uint32_t>> reports_;
 };
 
 }  // namespace ldphh

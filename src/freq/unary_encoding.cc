@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/serde.h"
 #include "src/common/status.h"
 
 namespace ldphh {
@@ -43,6 +44,38 @@ double UnaryEncodingFO::Estimate(uint64_t value) const {
 
 size_t UnaryEncodingFO::MemoryBytes() const {
   return ones_.size() * sizeof(double);
+}
+
+Status UnaryEncodingFO::Merge(const SmallDomainFO& other) {
+  LDPHH_RETURN_IF_ERROR(CheckMergeCompatible(*this, other));
+  const auto& o = static_cast<const UnaryEncodingFO&>(other);
+  count_ += o.count_;
+  for (size_t i = 0; i < ones_.size(); ++i) ones_[i] += o.ones_[i];
+  return Status::OK();
+}
+
+Status UnaryEncodingFO::SerializeState(std::string* out) const {
+  WriteFoStateHeader(*this, out);
+  PutU64(out, count_);
+  PutU64(out, ones_.size());
+  for (double v : ones_) PutDouble(out, v);
+  return Status::OK();
+}
+
+Status UnaryEncodingFO::RestoreState(std::string_view in) {
+  ByteReader reader(in);
+  LDPHH_RETURN_IF_ERROR(CheckFoStateHeader(*this, reader));
+  uint64_t count = 0, size = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU64(&size));
+  if (size != ones_.size()) {
+    return Status::DecodeFailure("rappor-unary state: histogram size mismatch");
+  }
+  std::vector<double> ones(static_cast<size_t>(size));
+  for (double& v : ones) LDPHH_RETURN_IF_ERROR(reader.ReadDouble(&v));
+  count_ = count;
+  ones_ = std::move(ones);
+  return Status::OK();
 }
 
 }  // namespace ldphh

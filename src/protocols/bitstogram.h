@@ -32,6 +32,11 @@ struct BitstogramParams {
   double threshold_sigmas = 4.0;
   int list_cap_per_cohort = 64;
 
+  /// Server aggregation shards (>= 1). With S > 1 the server aggregates
+  /// reports on S threads over per-shard oracle replicas and merges them;
+  /// the result is bit-for-bit identical to the single-threaded run.
+  int num_shards = 1;
+
   HashtogramParams global_fo;
 };
 

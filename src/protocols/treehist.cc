@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <unordered_set>
 
 #include "src/common/math_util.h"
@@ -35,6 +36,9 @@ StatusOr<TreeHist> TreeHist::Create(const TreeHistParams& params) {
   if (params.frontier_cap < 2) {
     return Status::InvalidArgument("TreeHist: frontier_cap must be >= 2");
   }
+  if (params.num_shards < 1 || params.num_shards > 256) {
+    return Status::InvalidArgument("TreeHist: num_shards must be in [1, 256]");
+  }
   return TreeHist(params);
 }
 
@@ -65,18 +69,28 @@ StatusOr<HeavyHitterResult> TreeHist::Run(const std::vector<DomainItem>& databas
   Rng user_coins(master());
 
   // One Hashtogram per tree level (levels are 1-based prefixes), eps/2,
-  // plus the global oracle, eps/2.
+  // plus the global oracle, eps/2. Seeds are drawn up front so sharded
+  // aggregation can construct identical oracle replicas per worker.
   HashtogramParams lp = params_.level_fo;
   if (lp.beta <= 0.0) lp.beta = params_.beta;
-  std::vector<Hashtogram> level_fo;
-  level_fo.reserve(static_cast<size_t>(d_bits));
-  for (int l = 0; l < d_bits; ++l) {
-    level_fo.emplace_back(std::max<uint64_t>(n / d_bits, 16), eps_half, lp,
-                          master());
-  }
+  const uint64_t level_n_hint = std::max<uint64_t>(n / d_bits, 16);
+  std::vector<uint64_t> level_seeds(static_cast<size_t>(d_bits));
+  for (auto& s : level_seeds) s = master();
   HashtogramParams gp = params_.global_fo;
   if (gp.beta <= 0.0) gp.beta = params_.beta;
-  Hashtogram global_fo(n, eps_half, gp, master());
+  const uint64_t global_seed = master();
+
+  auto make_level_fos = [&] {
+    std::vector<Hashtogram> fos;
+    fos.reserve(static_cast<size_t>(d_bits));
+    for (int l = 0; l < d_bits; ++l) {
+      fos.emplace_back(level_n_hint, eps_half, lp,
+                       level_seeds[static_cast<size_t>(l)]);
+    }
+    return fos;
+  };
+  std::vector<Hashtogram> level_fo = make_level_fos();
+  Hashtogram global_fo(n, eps_half, gp, global_seed);
 
   HeavyHitterResult result;
   result.metrics.num_users = n;
@@ -114,11 +128,52 @@ StatusOr<HeavyHitterResult> TreeHist::Run(const std::vector<DomainItem>& databas
   }
 
   Timer server_timer;
-  for (uint64_t i = 0; i < n; ++i) {
-    const auto& r = reports[static_cast<size_t>(i)];
-    level_fo[static_cast<size_t>(r.level)].Aggregate(r.level_index,
+  const int num_shards = params_.num_shards;
+  if (num_shards <= 1) {
+    for (uint64_t i = 0; i < n; ++i) {
+      const auto& r = reports[static_cast<size_t>(i)];
+      level_fo[static_cast<size_t>(r.level)].Aggregate(r.level_index,
+                                                       r.level_report);
+      global_fo.Aggregate(i, r.global_report);
+    }
+  } else {
+    // Sharded server: each worker aggregates a strided slice of the report
+    // stream into its own oracle replicas (identical seeds), merged at the
+    // end. All tallies are integer-valued doubles, so the merged state is
+    // bit-for-bit the single-threaded state.
+    struct Replica {
+      std::vector<Hashtogram> level;
+      Hashtogram global;
+    };
+    std::vector<Replica> replicas;
+    replicas.reserve(static_cast<size_t>(num_shards - 1));
+    for (int s = 1; s < num_shards; ++s) {
+      replicas.push_back(Replica{make_level_fos(),
+                                 Hashtogram(n, eps_half, gp, global_seed)});
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      workers.emplace_back([&, s] {
+        auto& lf = (s == 0) ? level_fo : replicas[static_cast<size_t>(s - 1)].level;
+        auto& gf = (s == 0) ? global_fo : replicas[static_cast<size_t>(s - 1)].global;
+        for (uint64_t i = static_cast<uint64_t>(s); i < n;
+             i += static_cast<uint64_t>(num_shards)) {
+          const auto& r = reports[static_cast<size_t>(i)];
+          lf[static_cast<size_t>(r.level)].Aggregate(r.level_index,
                                                      r.level_report);
-    global_fo.Aggregate(i, r.global_report);
+          gf.Aggregate(i, r.global_report);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (auto& rep : replicas) {
+      for (int l = 0; l < d_bits; ++l) {
+        LDPHH_RETURN_IF_ERROR(level_fo[static_cast<size_t>(l)].Merge(
+            rep.level[static_cast<size_t>(l)]));
+      }
+      LDPHH_RETURN_IF_ERROR(global_fo.Merge(rep.global));
+    }
   }
   for (auto& fo : level_fo) fo.Finalize();
   global_fo.Finalize();

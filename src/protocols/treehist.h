@@ -33,6 +33,11 @@ struct TreeHistParams {
   double threshold_sigmas = 3.0;  ///< Survival test on per-level estimates.
   int frontier_cap = 64;          ///< Max surviving prefixes per level.
 
+  /// Server aggregation shards (>= 1). With S > 1 the server aggregates
+  /// reports on S threads over per-shard oracle replicas and merges them;
+  /// the result is bit-for-bit identical to the single-threaded run.
+  int num_shards = 1;
+
   HashtogramParams level_fo;   ///< Per-level oracle tuning (beta auto-fill).
   HashtogramParams global_fo;  ///< Final estimation oracle tuning.
 };

@@ -1,0 +1,136 @@
+#include "src/server/checkpoint_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/common/serde.h"
+
+namespace ldphh {
+
+namespace {
+
+Status IoError(const char* op, const std::string& path) {
+  return Status::Internal(std::string("checkpoint log: ") + op + " failed for " +
+                          path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ writer --
+
+Status CheckpointWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("checkpoint log: writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return IoError("open", path);
+  return Status::OK();
+}
+
+Status CheckpointWriter::Append(CheckpointRecordType type,
+                                std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("checkpoint log: Append on closed writer");
+  }
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("checkpoint log: record too large");
+  }
+  // CRC covers type + payload so a record can't be replayed under a
+  // different tag.
+  uint32_t crc = Crc32c(&type, 1);
+  crc = Crc32c(payload.data(), payload.size(), crc);
+
+  std::string header;
+  PutU32(&header, MaskCrc32(crc));
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU8(&header, static_cast<uint8_t>(type));
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return IoError("write", "<record>");
+  }
+  return Status::OK();
+}
+
+Status CheckpointWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("checkpoint log: Sync on closed writer");
+  }
+  if (std::fflush(file_) != 0) return IoError("flush", "<log>");
+  return Status::OK();
+}
+
+Status CheckpointWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return IoError("close", "<log>");
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ reader --
+
+Status CheckpointReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("checkpoint log: reader already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return IoError("open", path);
+  return Status::OK();
+}
+
+Status CheckpointReader::Read(CheckpointRecordType* type, std::string* payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("checkpoint log: Read on closed reader");
+  }
+  char header[kCheckpointRecordHeaderSize];
+  const size_t got = std::fread(header, 1, sizeof(header), file_);
+  if (got == 0) return Status::OutOfRange("checkpoint log: end of log");
+  if (got < sizeof(header)) {
+    return Status::OutOfRange("checkpoint log: truncated record header (tail)");
+  }
+  ByteReader reader(std::string_view(header, sizeof(header)));
+  uint32_t masked_crc = 0, length = 0;
+  uint8_t raw_type = 0;
+  LDPHH_RETURN_IF_ERROR(reader.ReadU32(&masked_crc));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU32(&length));
+  LDPHH_RETURN_IF_ERROR(reader.ReadU8(&raw_type));
+
+  // Bound the length against the bytes actually left in the file before
+  // allocating: the length field is not covered by the record CRC, and a
+  // corrupt (or torn) value must not drive a multi-GB resize. A too-large
+  // length is indistinguishable from a torn tail, so it ends the log.
+  const long pos = std::ftell(file_);
+  if (pos >= 0) {
+    if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek", "<log>");
+    const long end = std::ftell(file_);
+    if (std::fseek(file_, pos, SEEK_SET) != 0) return IoError("seek", "<log>");
+    if (end >= 0 && static_cast<uint64_t>(length) >
+                        static_cast<uint64_t>(end - pos)) {
+      return Status::OutOfRange(
+          "checkpoint log: record length exceeds file size (torn or corrupt "
+          "tail)");
+    }
+  }
+  payload->resize(length);
+  if (length > 0 && std::fread(payload->data(), 1, length, file_) != length) {
+    return Status::OutOfRange("checkpoint log: truncated record payload (tail)");
+  }
+  uint32_t crc = Crc32c(&raw_type, 1);
+  crc = Crc32c(payload->data(), payload->size(), crc);
+  if (crc != UnmaskCrc32(masked_crc)) {
+    return Status::DecodeFailure("checkpoint log: record CRC mismatch");
+  }
+  *type = static_cast<CheckpointRecordType>(raw_type);
+  return Status::OK();
+}
+
+Status CheckpointReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace ldphh

@@ -1,0 +1,85 @@
+/// \file checkpoint_log.h
+/// \brief Append-only checkpoint log with CRC-guarded records.
+///
+/// The leveldb log-format idiom, simplified to whole records (aggregator
+/// state snapshots are small enough not to need block fragmentation):
+///
+///   record := masked_crc32c(u32, over type+payload) length(u32) type(u8)
+///             payload(length bytes)
+///
+/// A crash mid-append leaves a truncated tail; the reader reports it as a
+/// clean end-of-log (`kOutOfRange`), so recovery replays every fully
+/// written record. A CRC mismatch on a complete record is real corruption
+/// and surfaces as `kDecodeFailure`.
+
+#ifndef LDPHH_SERVER_CHECKPOINT_LOG_H_
+#define LDPHH_SERVER_CHECKPOINT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// Record type tags; the log itself is type-agnostic.
+enum class CheckpointRecordType : uint8_t {
+  kManifest = 1,    ///< Aggregator-level metadata.
+  kShardState = 2,  ///< One shard's serialized oracle state.
+  kCustom = 128,    ///< First tag free for other subsystems.
+};
+
+/// Fixed byte size of the per-record header.
+inline constexpr size_t kCheckpointRecordHeaderSize = 4 + 4 + 1;
+
+/// \brief Appends CRC-guarded records to a log file.
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter() { Close(); }
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Opens \p path for appending (creates the file if absent).
+  Status Open(const std::string& path);
+
+  /// Appends one record; durable after Sync().
+  Status Append(CheckpointRecordType type, std::string_view payload);
+
+  /// Flushes buffered writes to the OS.
+  Status Sync();
+
+  /// Flushes and closes; further Append calls fail.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// \brief Sequentially reads records written by CheckpointWriter.
+class CheckpointReader {
+ public:
+  CheckpointReader() = default;
+  ~CheckpointReader() { Close(); }
+  CheckpointReader(const CheckpointReader&) = delete;
+  CheckpointReader& operator=(const CheckpointReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// Reads the next record. Returns kOutOfRange at end of log (including a
+  /// crash-truncated tail) and kDecodeFailure on CRC corruption.
+  Status Read(CheckpointRecordType* type, std::string* payload);
+
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_SERVER_CHECKPOINT_LOG_H_

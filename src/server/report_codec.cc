@@ -1,0 +1,110 @@
+#include "src/server/report_codec.h"
+
+#include "src/common/crc32.h"
+#include "src/common/serde.h"
+
+namespace ldphh {
+
+FoReport ClampFoReport(const FoReport& report) {
+  FoReport r = report;
+  if (r.num_bits < 0) r.num_bits = 0;
+  if (r.num_bits > 64) r.num_bits = 64;
+  if (r.num_bits < 64) r.bits &= (uint64_t{1} << r.num_bits) - 1;
+  return r;
+}
+
+void AppendWireReport(const WireReport& report, std::string* out) {
+  LDPHH_CHECK(report.report.num_bits >= 0 && report.report.num_bits <= 64,
+              "AppendWireReport: num_bits outside [0, 64]");
+  const int num_bits = report.report.num_bits;
+  uint64_t bits = report.report.bits;
+  if (num_bits < 64) bits &= (uint64_t{1} << num_bits) - 1;
+  PutVarint64(out, report.user_index);
+  PutU8(out, static_cast<uint8_t>(num_bits));
+  const int num_bytes = (num_bits + 7) / 8;
+  for (int i = 0; i < num_bytes; ++i) {
+    PutU8(out, static_cast<uint8_t>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+std::string EncodeReportBatch(const std::vector<WireReport>& reports) {
+  std::string payload;
+  payload.reserve(reports.size() * 8);
+  for (const WireReport& r : reports) AppendWireReport(r, &payload);
+
+  std::string out;
+  out.reserve(kReportBatchHeaderSize + payload.size());
+  PutU32(&out, kReportBatchMagic);
+  PutU16(&out, kReportBatchVersion);
+  PutU16(&out, 0);  // flags, reserved.
+  PutU32(&out, static_cast<uint32_t>(reports.size()));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, MaskCrc32(Crc32c(payload.data(), payload.size())));
+  out += payload;
+  return out;
+}
+
+Status DecodeReportBatch(std::string_view data, std::vector<WireReport>* out,
+                         size_t* consumed) {
+  ByteReader header(data);
+  uint32_t magic = 0;
+  LDPHH_RETURN_IF_ERROR(header.ReadU32(&magic));
+  if (magic != kReportBatchMagic) {
+    return Status::DecodeFailure("report batch: bad magic");
+  }
+  uint16_t version = 0, flags = 0;
+  LDPHH_RETURN_IF_ERROR(header.ReadU16(&version));
+  LDPHH_RETURN_IF_ERROR(header.ReadU16(&flags));
+  if (version != kReportBatchVersion) {
+    return Status::DecodeFailure("report batch: unsupported version");
+  }
+  uint32_t count = 0, payload_len = 0, masked_crc = 0;
+  LDPHH_RETURN_IF_ERROR(header.ReadU32(&count));
+  LDPHH_RETURN_IF_ERROR(header.ReadU32(&payload_len));
+  LDPHH_RETURN_IF_ERROR(header.ReadU32(&masked_crc));
+  std::string_view payload;
+  LDPHH_RETURN_IF_ERROR(header.ReadBytes(payload_len, &payload));
+  if (UnmaskCrc32(masked_crc) != Crc32c(payload.data(), payload.size())) {
+    return Status::DecodeFailure("report batch: CRC mismatch");
+  }
+
+  // Each record is >= 2 bytes (1-byte varint + num_bits), so a larger count
+  // is corruption — and bounding it here keeps a bad header from driving a
+  // huge reserve before any record parsing runs.
+  if (count > payload.size() / 2 + 1) {
+    return Status::DecodeFailure("report batch: count exceeds payload size");
+  }
+  std::vector<WireReport> decoded;
+  decoded.reserve(count);
+  ByteReader body(payload);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireReport r;
+    LDPHH_RETURN_IF_ERROR(body.ReadVarint64(&r.user_index));
+    uint8_t num_bits = 0;
+    LDPHH_RETURN_IF_ERROR(body.ReadU8(&num_bits));
+    if (num_bits > 64) {
+      return Status::DecodeFailure("report record: num_bits > 64");
+    }
+    r.report.num_bits = num_bits;
+    const int num_bytes = (num_bits + 7) / 8;
+    uint64_t bits = 0;
+    for (int b = 0; b < num_bytes; ++b) {
+      uint8_t byte = 0;
+      LDPHH_RETURN_IF_ERROR(body.ReadU8(&byte));
+      bits |= static_cast<uint64_t>(byte) << (8 * b);
+    }
+    if (num_bits < 64 && (bits >> num_bits) != 0) {
+      return Status::DecodeFailure("report record: payload bits beyond num_bits");
+    }
+    r.report.bits = bits;
+    decoded.push_back(r);
+  }
+  if (!body.empty()) {
+    return Status::DecodeFailure("report batch: trailing bytes after records");
+  }
+  out->insert(out->end(), decoded.begin(), decoded.end());
+  if (consumed != nullptr) *consumed = header.position();
+  return Status::OK();
+}
+
+}  // namespace ldphh

@@ -1,0 +1,63 @@
+/// \file report_codec.h
+/// \brief Compact binary wire format for client reports.
+///
+/// Clients of the ingestion service ship `FoReport`-style reports in framed
+/// batches:
+///
+///   batch   := header record*
+///   header  := magic(u32 "LDPB") version(u16) flags(u16)
+///              count(u32) payload_len(u32) masked_crc32c(u32 of payload)
+///   record  := user_index(varint) num_bits(u8) payload(ceil(num_bits/8) B)
+///
+/// All integers are little-endian. The record payload carries exactly the
+/// low `num_bits` of `FoReport::bits` (encode masks, so a report can never
+/// smuggle more entropy than its declared wire cost). Decode validates the
+/// magic, version, lengths, CRC, and `num_bits <= 64` and returns `Status`
+/// on any corruption — never UB.
+
+#ifndef LDPHH_SERVER_REPORT_CODEC_H_
+#define LDPHH_SERVER_REPORT_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/freq/freq_oracle.h"
+
+namespace ldphh {
+
+/// A report as it travels to the ingestion service: the oracle report plus
+/// the public user index (needed for row/hash assignment by some oracles).
+struct WireReport {
+  uint64_t user_index = 0;
+  FoReport report;
+};
+
+inline constexpr uint32_t kReportBatchMagic = 0x4250444cu;  // "LDPB" LE.
+inline constexpr uint16_t kReportBatchVersion = 1;
+/// Fixed byte size of the batch header.
+inline constexpr size_t kReportBatchHeaderSize = 4 + 2 + 2 + 4 + 4 + 4;
+
+/// Clamps a report to its declared width: `num_bits` into [0, 64], payload
+/// bits above `num_bits` dropped. Call on untrusted `FoReport`s.
+FoReport ClampFoReport(const FoReport& report);
+
+/// Appends one record to \p out. CHECK-fails on num_bits outside [0, 64]
+/// (a malformed report here is a library bug, not bad input); payload bits
+/// beyond num_bits are masked off.
+void AppendWireReport(const WireReport& report, std::string* out);
+
+/// Encodes a whole batch (header + records).
+std::string EncodeReportBatch(const std::vector<WireReport>& reports);
+
+/// Decodes a batch produced by EncodeReportBatch, validating structure and
+/// CRC. Appends to \p out. On success \p consumed (if non-null) receives the
+/// total encoded size, so batches can be streamed back-to-back.
+Status DecodeReportBatch(std::string_view data, std::vector<WireReport>* out,
+                         size_t* consumed = nullptr);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_SERVER_REPORT_CODEC_H_

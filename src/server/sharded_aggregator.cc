@@ -1,0 +1,322 @@
+#include "src/server/sharded_aggregator.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/common/serde.h"
+
+namespace ldphh {
+
+namespace {
+
+constexpr uint16_t kCheckpointVersion = 1;
+
+}  // namespace
+
+ShardedAggregator::ShardedAggregator(OracleFactory factory,
+                                     ShardedAggregatorOptions options)
+    : factory_(std::move(factory)), options_(options) {
+  LDPHH_CHECK(options_.num_shards >= 1, "ShardedAggregator: need >= 1 shard");
+  LDPHH_CHECK(options_.queue_capacity >= 1,
+              "ShardedAggregator: queue capacity must be >= 1");
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->oracle = factory_();
+    LDPHH_CHECK(shard->oracle != nullptr,
+                "ShardedAggregator: factory returned null oracle");
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedAggregator::~ShardedAggregator() {
+  stop_.store(true);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lk(shard->mu);
+    }
+    shard->not_empty.notify_all();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+Status ShardedAggregator::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("ShardedAggregator: already started");
+  }
+  started_ = true;
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, &shard_ref = *shard] { WorkerLoop(shard_ref); });
+  }
+  return Status::OK();
+}
+
+void ShardedAggregator::WorkerLoop(Shard& shard) {
+  std::vector<WireReport> batch;
+  batch.reserve(options_.batch_size);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(shard.mu);
+      shard.not_empty.wait(lk, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               (!paused_.load(std::memory_order_relaxed) &&
+                !shard.queue.empty());
+      });
+      if (shard.queue.empty() || paused_.load(std::memory_order_relaxed)) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      batch.clear();
+      while (!shard.queue.empty() && batch.size() < options_.batch_size) {
+        batch.push_back(shard.queue.front());
+        shard.queue.pop_front();
+      }
+      shard.busy = true;
+    }
+    shard.not_full.notify_all();
+    // Aggregation happens outside the queue lock: the oracle is only ever
+    // touched by this worker (or by the main thread once quiesced).
+    for (const WireReport& r : batch) {
+      shard.oracle->AggregateIndexed(r.user_index, r.report);
+    }
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      shard.busy = false;
+      shard.ingested += batch.size();
+    }
+    shard.idle.notify_all();
+  }
+}
+
+Status ShardedAggregator::Submit(const WireReport& report) {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: Submit outside Start()..Finish()");
+  }
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(report.user_index))];
+  {
+    std::unique_lock<std::mutex> lk(shard.mu);
+    shard.not_full.wait(
+        lk, [&] { return shard.queue.size() < options_.queue_capacity; });
+    shard.queue.push_back(report);
+  }
+  shard.not_empty.notify_one();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedAggregator::SubmitBatch(const std::vector<WireReport>& reports) {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: Submit outside Start()..Finish()");
+  }
+  // Partition once, then append each shard's slice under a single lock
+  // acquisition (per-report locking would dominate the cheap oracles).
+  std::vector<std::vector<WireReport>> buckets(shards_.size());
+  for (auto& b : buckets) b.reserve(reports.size() / shards_.size() + 1);
+  for (const WireReport& r : reports) {
+    buckets[static_cast<size_t>(ShardOf(r.user_index))].push_back(r);
+  }
+  // Feed the shards in round-robin passes so every worker gets fed before
+  // the producer ever blocks on one full queue (feeding shard-by-shard
+  // would serialize the whole batch behind a single worker).
+  std::vector<size_t> offsets(shards_.size(), 0);
+  size_t pending = 0;
+  for (const auto& b : buckets) pending += b.size();
+  while (pending > 0) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const auto& bucket = buckets[s];
+      size_t& offset = offsets[s];
+      if (offset == bucket.size()) continue;
+      Shard& shard = *shards_[s];
+      size_t take;
+      {
+        std::unique_lock<std::mutex> lk(shard.mu);
+        shard.not_full.wait(
+            lk, [&] { return shard.queue.size() < options_.queue_capacity; });
+        take = std::min(options_.queue_capacity - shard.queue.size(),
+                        bucket.size() - offset);
+        shard.queue.insert(shard.queue.end(),
+                           bucket.begin() + static_cast<ptrdiff_t>(offset),
+                           bucket.begin() + static_cast<ptrdiff_t>(offset + take));
+      }
+      shard.not_empty.notify_one();
+      offset += take;
+      pending -= take;
+    }
+  }
+  submitted_.fetch_add(reports.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedAggregator::SubmitWire(std::string_view batch) {
+  std::vector<WireReport> reports;
+  LDPHH_RETURN_IF_ERROR(DecodeReportBatch(batch, &reports));
+  return SubmitBatch(reports);
+}
+
+Status ShardedAggregator::Drain() {
+  if (!started_) {
+    return Status::FailedPrecondition("ShardedAggregator: Drain before Start");
+  }
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lk(shard->mu);
+    shard->idle.wait(lk, [&] { return shard->queue.empty() && !shard->busy; });
+  }
+  return Status::OK();
+}
+
+Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
+  LDPHH_RETURN_IF_ERROR(Drain());
+  // Pause the workers for the duration of the snapshot: Drain() alone is
+  // not enough when producers keep submitting concurrently, since a worker
+  // could wake and mutate an oracle while it is being serialized. Paused
+  // workers park in their wait loop; producers may continue to enqueue
+  // (bounded queues give backpressure) and nothing submitted after this
+  // point is captured.
+  paused_.store(true);
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lk(shard->mu);
+    shard->idle.wait(lk, [&] { return !shard->busy; });
+  }
+  const Status result = [&]() -> Status {
+    std::string manifest;
+    PutU16(&manifest, kCheckpointVersion);
+    PutU32(&manifest, static_cast<uint32_t>(options_.num_shards));
+    PutU64(&manifest, submitted_.load() + restored_);
+    LDPHH_RETURN_IF_ERROR(log.Append(CheckpointRecordType::kManifest, manifest));
+
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      std::string record;
+      PutU32(&record, static_cast<uint32_t>(s));
+      uint64_t ingested;
+      {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        ingested = shard.ingested;
+      }
+      PutU64(&record, ingested);
+      LDPHH_RETURN_IF_ERROR(shard.oracle->SerializeState(&record));
+      LDPHH_RETURN_IF_ERROR(
+          log.Append(CheckpointRecordType::kShardState, record));
+    }
+    return log.Sync();
+  }();
+  paused_.store(false);
+  for (auto& shard : shards_) shard->not_empty.notify_all();
+  return result;
+}
+
+Status ShardedAggregator::RestoreCheckpoint(CheckpointReader& log) {
+  if (started_) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: RestoreCheckpoint after Start");
+  }
+  // Scan the whole log; recovery applies the last *complete* checkpoint
+  // (a crash while checkpointing leaves a partial set of shard records,
+  // which is simply superseded or ignored).
+  struct Candidate {
+    uint64_t total = 0;
+    std::map<uint32_t, std::pair<uint64_t, std::string>> shard_states;
+  };
+  Candidate current, last_complete;
+  bool have_current = false, have_complete = false;
+
+  for (;;) {
+    CheckpointRecordType type;
+    std::string payload;
+    Status st = log.Read(&type, &payload);
+    if (st.code() == StatusCode::kOutOfRange) break;
+    LDPHH_RETURN_IF_ERROR(st);
+
+    ByteReader reader(payload);
+    if (type == CheckpointRecordType::kManifest) {
+      uint16_t version = 0;
+      uint32_t num_shards = 0;
+      uint64_t total = 0;
+      LDPHH_RETURN_IF_ERROR(reader.ReadU16(&version));
+      if (version != kCheckpointVersion) {
+        return Status::DecodeFailure("checkpoint: unsupported manifest version");
+      }
+      LDPHH_RETURN_IF_ERROR(reader.ReadU32(&num_shards));
+      LDPHH_RETURN_IF_ERROR(reader.ReadU64(&total));
+      if (num_shards != static_cast<uint32_t>(options_.num_shards)) {
+        return Status::InvalidArgument(
+            "checkpoint: shard count mismatch (log has " +
+            std::to_string(num_shards) + ", aggregator has " +
+            std::to_string(options_.num_shards) + ")");
+      }
+      current = Candidate{};
+      current.total = total;
+      have_current = true;
+    } else if (type == CheckpointRecordType::kShardState) {
+      if (!have_current) continue;  // Orphan shard record; skip.
+      uint32_t shard_id = 0;
+      uint64_t ingested = 0;
+      LDPHH_RETURN_IF_ERROR(reader.ReadU32(&shard_id));
+      LDPHH_RETURN_IF_ERROR(reader.ReadU64(&ingested));
+      if (shard_id >= static_cast<uint32_t>(options_.num_shards)) {
+        return Status::DecodeFailure("checkpoint: shard id out of range");
+      }
+      current.shard_states[shard_id] = {
+          ingested, std::string(payload.substr(reader.position()))};
+      if (current.shard_states.size() == shards_.size()) {
+        last_complete = current;
+        have_complete = true;
+      }
+    }
+    // Unknown record types are skipped for forward compatibility.
+  }
+
+  if (!have_complete) {
+    return Status::OutOfRange("checkpoint: no complete checkpoint in log");
+  }
+  uint64_t restored = 0;
+  for (const auto& [shard_id, state] : last_complete.shard_states) {
+    Shard& shard = *shards_[shard_id];
+    LDPHH_RETURN_IF_ERROR(shard.oracle->RestoreState(state.second));
+    shard.ingested = state.first;
+    restored += state.first;
+  }
+  restored_ = restored;
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<SmallDomainFO>> ShardedAggregator::Finish() {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: Finish outside Start()..Finish()");
+  }
+  LDPHH_RETURN_IF_ERROR(Drain());
+  finished_ = true;
+  stop_.store(true);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lk(shard->mu);
+    }
+    shard->not_empty.notify_all();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  std::unique_ptr<SmallDomainFO> merged = std::move(shards_[0]->oracle);
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    LDPHH_RETURN_IF_ERROR(merged->Merge(*shards_[s]->oracle));
+    shards_[s]->oracle.reset();
+  }
+  return merged;
+}
+
+IngestStats ShardedAggregator::Stats() const {
+  IngestStats stats;
+  stats.submitted = submitted_.load();
+  stats.restored = restored_;
+  stats.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    stats.per_shard.push_back(shard->ingested);
+  }
+  return stats;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,136 @@
+/// \file sharded_aggregator.h
+/// \brief Multi-threaded sharded report-ingestion service.
+///
+/// Simulates the server side of an LDP deployment under heavy traffic:
+/// incoming `WireReport`s are partitioned across N worker shards by a hash
+/// of the user index. Each shard owns a bounded MPSC queue and an
+/// independent frequency-oracle instance (built by a caller-supplied
+/// factory, so all shards are identically configured); a worker thread
+/// drains its queue in batches and aggregates locally with no cross-shard
+/// synchronization on the hot path. `Finish()` merges the shard states with
+/// `SmallDomainFO::Merge` into one oracle whose estimates are bit-for-bit
+/// those of a single-threaded aggregation of the same reports.
+///
+/// Durability: `WriteCheckpoint` quiesces ingestion and appends a manifest
+/// plus every shard's serialized oracle state to a checkpoint log; a fresh
+/// aggregator can `RestoreCheckpoint` and resume ingesting mid-stream after
+/// a crash, replaying only the reports submitted after the checkpoint.
+
+#ifndef LDPHH_SERVER_SHARDED_AGGREGATOR_H_
+#define LDPHH_SERVER_SHARDED_AGGREGATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/freq/freq_oracle.h"
+#include "src/server/checkpoint_log.h"
+#include "src/server/report_codec.h"
+
+namespace ldphh {
+
+/// Tuning for ShardedAggregator.
+struct ShardedAggregatorOptions {
+  int num_shards = 4;           ///< Worker shard count (>= 1).
+  size_t queue_capacity = 4096; ///< Per-shard queue bound; Submit blocks when full.
+  size_t batch_size = 256;      ///< Max reports a worker drains per lock acquisition.
+};
+
+/// Ingestion counters (read after Drain/Finish for a consistent view).
+struct IngestStats {
+  uint64_t submitted = 0;               ///< Reports accepted by Submit*.
+  uint64_t restored = 0;                ///< Reports carried in via RestoreCheckpoint.
+  std::vector<uint64_t> per_shard;      ///< Reports aggregated per shard.
+};
+
+/// \brief The sharded ingestion service.
+class ShardedAggregator {
+ public:
+  /// Builds one shard's oracle; must return identically configured
+  /// instances on every call (same type, domain, epsilon, seeds).
+  using OracleFactory = std::function<std::unique_ptr<SmallDomainFO>()>;
+
+  ShardedAggregator(OracleFactory factory, ShardedAggregatorOptions options);
+  ~ShardedAggregator();
+  ShardedAggregator(const ShardedAggregator&) = delete;
+  ShardedAggregator& operator=(const ShardedAggregator&) = delete;
+
+  /// Spawns the worker threads. Call once, after any RestoreCheckpoint.
+  Status Start();
+
+  /// Enqueues one report (thread-safe; blocks while the target queue is
+  /// full). Reports are routed by a hash of the user index.
+  Status Submit(const WireReport& report);
+
+  /// Enqueues a batch.
+  Status SubmitBatch(const std::vector<WireReport>& reports);
+
+  /// Decodes a wire-format batch (see report_codec.h) and enqueues it.
+  /// Corrupt input is rejected whole, with no partial ingestion.
+  Status SubmitWire(std::string_view batch);
+
+  /// Blocks until every queue is empty and every worker is idle.
+  Status Drain();
+
+  /// Quiesces ingestion and appends [manifest, shard states] to \p log.
+  /// Ingestion may continue afterwards; the checkpoint captures everything
+  /// submitted before the call.
+  Status WriteCheckpoint(CheckpointWriter& log);
+
+  /// Loads the last complete checkpoint from \p log into the shard oracles.
+  /// Must be called before Start(), on an aggregator built with the same
+  /// factory configuration and shard count.
+  Status RestoreCheckpoint(CheckpointReader& log);
+
+  /// Stops the workers and merges all shard states into one oracle, which
+  /// is returned (un-finalized, so the caller may checkpoint or merge
+  /// further before calling Finalize()). The aggregator is spent afterwards.
+  StatusOr<std::unique_ptr<SmallDomainFO>> Finish();
+
+  /// Counters; call Drain() first for a consistent snapshot.
+  IngestStats Stats() const;
+
+  int num_shards() const { return options_.num_shards; }
+  /// Shard a user index routes to.
+  int ShardOf(uint64_t user_index) const {
+    return static_cast<int>(Mix64(user_index) %
+                            static_cast<uint64_t>(options_.num_shards));
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::condition_variable idle;    ///< Signaled when queue empty and worker idle.
+    std::deque<WireReport> queue;
+    bool busy = false;               ///< Worker is aggregating a batch.
+    uint64_t ingested = 0;
+    std::unique_ptr<SmallDomainFO> oracle;
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard& shard);
+
+  OracleFactory factory_;
+  ShardedAggregatorOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};  ///< Workers park while a checkpoint runs.
+  bool started_ = false;
+  bool finished_ = false;
+  std::atomic<uint64_t> submitted_{0};
+  uint64_t restored_ = 0;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_SERVER_SHARDED_AGGREGATOR_H_

@@ -1,0 +1,172 @@
+// Tests for src/server/checkpoint_log: CRC-guarded append-only records.
+
+#include "src/server/checkpoint_log.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ldphh {
+namespace {
+
+std::string TempLogPath(const std::string& name) {
+  return testing::TempDir() + "/ldphh_" + name + "_" +
+         std::to_string(::getpid()) + ".log";
+}
+
+class CheckpointLogTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(CheckpointLogTest, RoundTripsRecords) {
+  path_ = TempLogPath("roundtrip");
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "manifest").ok());
+  ASSERT_TRUE(writer.Append(CheckpointRecordType::kShardState, "").ok());
+  std::string big(100000, 'x');
+  big[5] = '\0';  // Binary-safe.
+  ASSERT_TRUE(writer.Append(CheckpointRecordType::kCustom, big).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  CheckpointRecordType type;
+  std::string payload;
+  ASSERT_TRUE(reader.Read(&type, &payload).ok());
+  EXPECT_EQ(type, CheckpointRecordType::kManifest);
+  EXPECT_EQ(payload, "manifest");
+  ASSERT_TRUE(reader.Read(&type, &payload).ok());
+  EXPECT_EQ(type, CheckpointRecordType::kShardState);
+  EXPECT_TRUE(payload.empty());
+  ASSERT_TRUE(reader.Read(&type, &payload).ok());
+  EXPECT_EQ(type, CheckpointRecordType::kCustom);
+  EXPECT_EQ(payload, big);
+  EXPECT_EQ(reader.Read(&type, &payload).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CheckpointLogTest, ReopenAppends) {
+  path_ = TempLogPath("reopen");
+  {
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "one").ok());
+  }
+  {
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "two").ok());
+  }
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  CheckpointRecordType type;
+  std::string payload;
+  ASSERT_TRUE(reader.Read(&type, &payload).ok());
+  EXPECT_EQ(payload, "one");
+  ASSERT_TRUE(reader.Read(&type, &payload).ok());
+  EXPECT_EQ(payload, "two");
+}
+
+TEST_F(CheckpointLogTest, TruncatedTailReadsAsEndOfLog) {
+  path_ = TempLogPath("truncated");
+  {
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "full").ok());
+    ASSERT_TRUE(
+        writer.Append(CheckpointRecordType::kShardState, "will be torn").ok());
+  }
+  // Simulate a crash mid-append: chop bytes off the end. Every truncation
+  // point must still yield the first record and then a clean end-of-log.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const size_t first_record_size = kCheckpointRecordHeaderSize + 4;
+  for (size_t cut = first_record_size; cut < bytes.size(); ++cut) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+
+    CheckpointReader reader;
+    ASSERT_TRUE(reader.Open(path_).ok());
+    CheckpointRecordType type;
+    std::string payload;
+    ASSERT_TRUE(reader.Read(&type, &payload).ok()) << "cut at " << cut;
+    EXPECT_EQ(payload, "full");
+    EXPECT_EQ(reader.Read(&type, &payload).code(), StatusCode::kOutOfRange)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(CheckpointLogTest, CorruptRecordFailsWithDecodeFailure) {
+  path_ = TempLogPath("corrupt");
+  {
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "payload").ok());
+  }
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip a payload byte (and separately the type byte): CRC must object.
+  for (size_t pos : {kCheckpointRecordHeaderSize - 1, kCheckpointRecordHeaderSize}) {
+    std::string bad = bytes;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x20);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    out.close();
+
+    CheckpointReader reader;
+    ASSERT_TRUE(reader.Open(path_).ok());
+    CheckpointRecordType type;
+    std::string payload;
+    EXPECT_EQ(reader.Read(&type, &payload).code(), StatusCode::kDecodeFailure)
+        << "flipped byte " << pos;
+  }
+}
+
+TEST_F(CheckpointLogTest, HugeCorruptLengthReadsAsEndOfLogWithoutAllocating) {
+  path_ = TempLogPath("hugelen");
+  {
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "ok").ok());
+    ASSERT_TRUE(writer.Append(CheckpointRecordType::kCustom, "victim").ok());
+  }
+  // Corrupt the second record's length field (bytes 4..7 of its header) to
+  // 0xfffffff0: the reader must not attempt a ~4 GB resize, and must stop
+  // cleanly after the first record.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  const std::streamoff second_header =
+      static_cast<std::streamoff>(kCheckpointRecordHeaderSize + 2);
+  f.seekp(second_header + 4);
+  const char huge[4] = {'\xf0', '\xff', '\xff', '\xff'};
+  f.write(huge, 4);
+  f.close();
+
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  CheckpointRecordType type;
+  std::string payload;
+  ASSERT_TRUE(reader.Read(&type, &payload).ok());
+  EXPECT_EQ(payload, "ok");
+  EXPECT_EQ(reader.Read(&type, &payload).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CheckpointLogTest, OpenMissingFileFails) {
+  CheckpointReader reader;
+  EXPECT_FALSE(reader.Open("/nonexistent/dir/nothing.log").ok());
+}
+
+}  // namespace
+}  // namespace ldphh

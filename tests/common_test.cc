@@ -150,6 +150,32 @@ TEST(Rng, ForkIsIndependentStream) {
   EXPECT_NE(parent(), child());
 }
 
+TEST(Rng, ForkByStreamIdIsDeterministic) {
+  Rng a(3), b(3);
+  // Same parent state + same stream id => identical child stream; the
+  // parent is not advanced by the fork.
+  Rng child_a = a.Fork(7);
+  Rng child_b = b.Fork(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child_a(), child_b());
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkByStreamIdYieldsDistinctStreams) {
+  Rng parent(11);
+  std::set<uint64_t> firsts;
+  for (uint64_t stream = 0; stream < 256; ++stream) {
+    firsts.insert(parent.Fork(stream)());
+  }
+  EXPECT_EQ(firsts.size(), 256u);
+  // Fork(id) must not collide with the parent's own next output.
+  EXPECT_NE(parent.Fork(0)(), parent());
+}
+
+TEST(Rng, ForkByStreamIdDiffersAfterReseed) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.Fork(5)(), b.Fork(5)());
+}
+
 TEST(Rng, Mix64IsInjectiveOnSample) {
   std::set<uint64_t> outs;
   for (uint64_t i = 0; i < 4096; ++i) outs.insert(Mix64(i));

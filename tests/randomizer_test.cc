@@ -115,7 +115,9 @@ TEST(LeakyRR, LeakedSymbolRevealsInput) {
   Rng rng(9);
   for (int i = 0; i < 1000; ++i) {
     const int y = rr.Sample(0, rng);
-    if (y >= 2) EXPECT_EQ(y, 2);  // Input 0 leaks symbol 2 only.
+    if (y >= 2) {
+      EXPECT_EQ(y, 2);  // Input 0 leaks symbol 2 only.
+    }
   }
 }
 

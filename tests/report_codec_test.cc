@@ -1,0 +1,177 @@
+// Tests for src/server/report_codec: the client-report wire format.
+
+#include "src/server/report_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/common/random.h"
+
+namespace ldphh {
+namespace {
+
+std::vector<WireReport> SampleReports(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WireReport> reports(n);
+  for (size_t i = 0; i < n; ++i) {
+    reports[i].user_index = (i % 7 == 0) ? rng() : i;  // Mix small and huge.
+    const int num_bits = static_cast<int>(rng.UniformU64(65));  // [0, 64].
+    reports[i].report.num_bits = num_bits;
+    reports[i].report.bits =
+        num_bits == 64 ? rng() : (rng() & ((uint64_t{1} << num_bits) - 1));
+  }
+  return reports;
+}
+
+TEST(ReportCodec, RoundTripsEmptyBatch) {
+  const std::string wire = EncodeReportBatch({});
+  EXPECT_EQ(wire.size(), kReportBatchHeaderSize);
+  std::vector<WireReport> out;
+  ASSERT_TRUE(DecodeReportBatch(wire, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ReportCodec, RoundTripsMixedWidths) {
+  const auto reports = SampleReports(1000, 17);
+  const std::string wire = EncodeReportBatch(reports);
+  std::vector<WireReport> out;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeReportBatch(wire, &out, &consumed).ok());
+  EXPECT_EQ(consumed, wire.size());
+  ASSERT_EQ(out.size(), reports.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(out[i].user_index, reports[i].user_index);
+    EXPECT_EQ(out[i].report.bits, reports[i].report.bits);
+    EXPECT_EQ(out[i].report.num_bits, reports[i].report.num_bits);
+  }
+}
+
+TEST(ReportCodec, StreamsBackToBackBatches) {
+  const auto a = SampleReports(40, 1);
+  const auto b = SampleReports(17, 2);
+  const std::string wire = EncodeReportBatch(a) + EncodeReportBatch(b);
+  std::vector<WireReport> out;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeReportBatch(wire, &out, &consumed).ok());
+  EXPECT_EQ(out.size(), a.size());
+  ASSERT_TRUE(
+      DecodeReportBatch(std::string_view(wire).substr(consumed), &out).ok());
+  EXPECT_EQ(out.size(), a.size() + b.size());
+}
+
+TEST(ReportCodec, EncodeMasksBitsAboveDeclaredWidth) {
+  WireReport r;
+  r.user_index = 3;
+  r.report.bits = ~uint64_t{0};
+  r.report.num_bits = 4;
+  const std::string wire = EncodeReportBatch({r});
+  std::vector<WireReport> out;
+  ASSERT_TRUE(DecodeReportBatch(wire, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].report.bits, uint64_t{0xf});
+}
+
+TEST(ReportCodec, ClampFoReportBoundsNumBits) {
+  FoReport bad;
+  bad.bits = ~uint64_t{0};
+  bad.num_bits = 200;
+  const FoReport clamped = ClampFoReport(bad);
+  EXPECT_EQ(clamped.num_bits, 64);
+  EXPECT_EQ(clamped.bits, ~uint64_t{0});
+  bad.num_bits = -3;
+  EXPECT_EQ(ClampFoReport(bad).num_bits, 0);
+  EXPECT_EQ(ClampFoReport(bad).bits, 0u);
+  bad.num_bits = 7;
+  EXPECT_EQ(ClampFoReport(bad).bits, uint64_t{0x7f});
+}
+
+TEST(ReportCodec, RejectsBadMagic) {
+  std::string wire = EncodeReportBatch(SampleReports(3, 5));
+  wire[0] ^= 0x55;
+  std::vector<WireReport> out;
+  const Status st = DecodeReportBatch(wire, &out);
+  EXPECT_EQ(st.code(), StatusCode::kDecodeFailure);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ReportCodec, RejectsTruncatedBuffers) {
+  const std::string wire = EncodeReportBatch(SampleReports(20, 6));
+  // Every proper prefix must fail cleanly, never crash or partially decode.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    std::vector<WireReport> out;
+    const Status st =
+        DecodeReportBatch(std::string_view(wire.data(), len), &out);
+    EXPECT_FALSE(st.ok()) << "prefix length " << len;
+    EXPECT_TRUE(out.empty()) << "prefix length " << len;
+  }
+}
+
+TEST(ReportCodec, RejectsCorruptPayload) {
+  const std::string wire = EncodeReportBatch(SampleReports(50, 7));
+  // Flip each payload byte in turn: the CRC must catch every one.
+  for (size_t pos = kReportBatchHeaderSize; pos < wire.size(); ++pos) {
+    std::string bad = wire;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x01);
+    std::vector<WireReport> out;
+    const Status st = DecodeReportBatch(bad, &out);
+    EXPECT_EQ(st.code(), StatusCode::kDecodeFailure) << "flipped byte " << pos;
+  }
+}
+
+TEST(ReportCodec, RejectsCountExceedingPayload) {
+  // A batch whose header claims 2^32-1 records over an empty (CRC-valid)
+  // payload must be rejected before any allocation sized by the count.
+  std::string wire;
+  const uint32_t magic = kReportBatchMagic;
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>((magic >> (8 * i)) & 0xff));
+  wire.push_back('\x01');  // version.
+  wire.push_back('\x00');
+  wire.push_back('\x00');  // flags.
+  wire.push_back('\x00');
+  for (int i = 0; i < 4; ++i) wire.push_back('\xff');  // count = 0xffffffff.
+  for (int i = 0; i < 4; ++i) wire.push_back('\x00');  // payload_len = 0.
+  const uint32_t crc = MaskCrc32(Crc32c(nullptr, 0));
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+
+  std::vector<WireReport> out;
+  const Status st = DecodeReportBatch(wire, &out);
+  EXPECT_EQ(st.code(), StatusCode::kDecodeFailure);
+  EXPECT_NE(st.message().find("count"), std::string::npos);
+}
+
+TEST(ReportCodec, RejectsOversizedNumBits) {
+  // Hand-craft a record claiming 65 bits; the batch CRC is recomputed so
+  // only the num_bits validation can reject it.
+  std::string payload;
+  payload.push_back('\x00');  // user_index = 0.
+  payload.push_back('\x41');  // num_bits = 65.
+  for (int i = 0; i < 9; ++i) payload.push_back('\xff');
+  std::string wire;
+  wire.reserve(kReportBatchHeaderSize + payload.size());
+  const uint32_t magic = kReportBatchMagic;
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>((magic >> (8 * i)) & 0xff));
+  wire.push_back('\x01');  // version = 1.
+  wire.push_back('\x00');
+  wire.push_back('\x00');  // flags.
+  wire.push_back('\x00');
+  wire.push_back('\x01');  // count = 1.
+  wire.push_back('\x00');
+  wire.push_back('\x00');
+  wire.push_back('\x00');
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  const uint32_t crc = MaskCrc32(Crc32c(payload.data(), payload.size()));
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  wire += payload;
+
+  std::vector<WireReport> out;
+  const Status st = DecodeReportBatch(wire, &out);
+  EXPECT_EQ(st.code(), StatusCode::kDecodeFailure);
+  EXPECT_NE(st.message().find("num_bits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldphh

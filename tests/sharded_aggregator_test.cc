@@ -1,0 +1,448 @@
+// Tests for src/server/sharded_aggregator: merge-equivalence of sharded
+// ingestion against the single-threaded baseline, durable checkpoints, and
+// the mergeable-state layer of every frequency oracle.
+
+#include "src/server/sharded_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/freq/count_mean_sketch.h"
+#include "src/freq/direct_encoding.h"
+#include "src/freq/hadamard_response.h"
+#include "src/freq/hashtogram.h"
+#include "src/freq/olh.h"
+#include "src/freq/unary_encoding.h"
+#include "src/protocols/bitstogram.h"
+#include "src/protocols/treehist.h"
+#include "src/server/report_codec.h"
+#include "src/workload/workload.h"
+
+namespace ldphh {
+namespace {
+
+std::string TempLogPath(const std::string& name) {
+  return testing::TempDir() + "/ldphh_" + name + "_" +
+         std::to_string(::getpid()) + ".ckpt";
+}
+
+// Encodes n reports with sequential user indices through a fresh client-side
+// oracle instance (so OLH's implicit user numbering matches the index).
+std::vector<WireReport> EncodeReports(
+    const ShardedAggregator::OracleFactory& factory, uint64_t n,
+    uint64_t seed) {
+  auto client = factory();
+  const uint64_t domain = client->domain_size();
+  Rng rng(seed);
+  std::vector<WireReport> reports(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    // Skewed input so estimates are far from uniform.
+    const uint64_t value =
+        rng.Bernoulli(0.3) ? 0 : rng.UniformU64(domain);
+    reports[i].user_index = i;
+    reports[i].report = client->Encode(value, rng);
+  }
+  return reports;
+}
+
+// The acceptance-criterion test: an 8-shard ingest must produce estimates
+// identical (==, not near) to the single-threaded aggregation.
+void CheckMergeEquivalence(const ShardedAggregator::OracleFactory& factory,
+                           uint64_t n) {
+  const auto reports = EncodeReports(factory, n, 1234);
+
+  auto baseline = factory();
+  for (const WireReport& r : reports) {
+    baseline->AggregateIndexed(r.user_index, r.report);
+  }
+  baseline->Finalize();
+
+  ShardedAggregatorOptions opts;
+  opts.num_shards = 8;
+  opts.queue_capacity = 1024;
+  opts.batch_size = 128;
+  ShardedAggregator agg(factory, opts);
+  ASSERT_TRUE(agg.Start().ok());
+  // Route everything through the wire codec in chunks, as a client would.
+  const size_t chunk = 4096;
+  for (size_t lo = 0; lo < reports.size(); lo += chunk) {
+    const size_t hi = std::min(lo + chunk, reports.size());
+    const std::vector<WireReport> slice(reports.begin() + lo,
+                                        reports.begin() + hi);
+    ASSERT_TRUE(agg.SubmitWire(EncodeReportBatch(slice)).ok());
+  }
+  auto merged_or = agg.Finish();
+  ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
+  auto merged = std::move(merged_or).value();
+  merged->Finalize();
+
+  const IngestStats stats = agg.Stats();
+  EXPECT_EQ(stats.submitted, n);
+  uint64_t per_shard_total = 0;
+  for (uint64_t c : stats.per_shard) per_shard_total += c;
+  EXPECT_EQ(per_shard_total, n);
+
+  for (uint64_t v = 0; v < baseline->domain_size(); ++v) {
+    EXPECT_EQ(merged->Estimate(v), baseline->Estimate(v)) << "value " << v;
+  }
+}
+
+constexpr uint64_t kNumReports = 100000;
+
+TEST(ShardedAggregator, MergeEquivalenceDirectEncoding) {
+  CheckMergeEquivalence(
+      [] { return std::make_unique<DirectEncodingFO>(64, 1.0); }, kNumReports);
+}
+
+TEST(ShardedAggregator, MergeEquivalenceHadamardResponse) {
+  CheckMergeEquivalence(
+      [] { return std::make_unique<HadamardResponseFO>(64, 1.0); },
+      kNumReports);
+}
+
+TEST(ShardedAggregator, MergeEquivalenceUnaryEncoding) {
+  CheckMergeEquivalence(
+      [] { return std::make_unique<UnaryEncodingFO>(32, 1.0); }, kNumReports);
+}
+
+TEST(ShardedAggregator, MergeEquivalenceOlh) {
+  CheckMergeEquivalence(
+      [] { return std::make_unique<OlhFO>(16, 1.0, /*seed=*/77); },
+      kNumReports);
+}
+
+TEST(ShardedAggregator, CheckpointRestoreResumesMidIngest) {
+  const auto factory = [] {
+    return std::make_unique<HadamardResponseFO>(128, 1.5);
+  };
+  const uint64_t n = 100000;
+  const auto reports = EncodeReports(factory, n, 99);
+
+  auto baseline = factory();
+  for (const WireReport& r : reports) {
+    baseline->AggregateIndexed(r.user_index, r.report);
+  }
+  baseline->Finalize();
+
+  const std::string path = TempLogPath("resume");
+  std::remove(path.c_str());
+  ShardedAggregatorOptions opts;
+  opts.num_shards = 8;
+
+  // Phase 1: ingest the first 60%, checkpoint, then "crash" (the oracle
+  // state is simply dropped on the floor).
+  const size_t cut = 60000;
+  {
+    ShardedAggregator agg(factory, opts);
+    ASSERT_TRUE(agg.Start().ok());
+    for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
+    CheckpointWriter log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
+  }
+
+  // Phase 2: recover and replay only the post-checkpoint reports.
+  {
+    ShardedAggregator agg(factory, opts);
+    CheckpointReader log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(agg.RestoreCheckpoint(log).ok());
+    ASSERT_TRUE(agg.Start().ok());
+    for (size_t i = cut; i < n; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
+    auto merged_or = agg.Finish();
+    ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
+    auto merged = std::move(merged_or).value();
+    merged->Finalize();
+
+    const IngestStats stats = agg.Stats();
+    EXPECT_EQ(stats.restored, cut);
+    EXPECT_EQ(stats.submitted, n - cut);
+
+    for (uint64_t v = 0; v < baseline->domain_size(); ++v) {
+      EXPECT_EQ(merged->Estimate(v), baseline->Estimate(v)) << "value " << v;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedAggregator, CheckpointDuringConcurrentIngestLosesNothing) {
+  // The API allows producers to keep submitting while WriteCheckpoint runs;
+  // the snapshot pause must neither lose nor double-count reports.
+  const auto factory = [] {
+    return std::make_unique<DirectEncodingFO>(32, 1.0);
+  };
+  const uint64_t n = 50000;
+  const auto reports = EncodeReports(factory, n, 33);
+
+  auto baseline = factory();
+  for (const WireReport& r : reports) {
+    baseline->AggregateIndexed(r.user_index, r.report);
+  }
+  baseline->Finalize();
+
+  const std::string path = TempLogPath("concurrent");
+  std::remove(path.c_str());
+  ShardedAggregatorOptions opts;
+  opts.num_shards = 4;
+  opts.queue_capacity = 256;
+  ShardedAggregator agg(factory, opts);
+  ASSERT_TRUE(agg.Start().ok());
+
+  CheckpointWriter log;
+  ASSERT_TRUE(log.Open(path).ok());
+  std::thread producer([&] {
+    for (const WireReport& r : reports) ASSERT_TRUE(agg.Submit(r).ok());
+  });
+  for (int c = 0; c < 5; ++c) ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
+  producer.join();
+
+  auto merged_or = agg.Finish();
+  ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
+  auto merged = std::move(merged_or).value();
+  merged->Finalize();
+  for (uint64_t v = 0; v < baseline->domain_size(); ++v) {
+    EXPECT_EQ(merged->Estimate(v), baseline->Estimate(v)) << "value " << v;
+  }
+  // Every checkpoint in the log must itself be restorable.
+  ShardedAggregator fresh(factory, opts);
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_TRUE(fresh.RestoreCheckpoint(reader).ok());
+  EXPECT_LE(fresh.Stats().restored, n);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedAggregator, RestorePicksLastCompleteCheckpoint) {
+  const auto factory = [] { return std::make_unique<DirectEncodingFO>(16, 1.0); };
+  const auto reports = EncodeReports(factory, 2000, 5);
+  const std::string path = TempLogPath("last");
+  std::remove(path.c_str());
+  ShardedAggregatorOptions opts;
+  opts.num_shards = 4;
+  {
+    ShardedAggregator agg(factory, opts);
+    ASSERT_TRUE(agg.Start().ok());
+    CheckpointWriter log;
+    ASSERT_TRUE(log.Open(path).ok());
+    for (size_t i = 0; i < 1000; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
+    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
+    for (size_t i = 1000; i < 1500; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
+    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());  // Supersedes the first.
+  }
+  ShardedAggregator agg(factory, opts);
+  CheckpointReader log;
+  ASSERT_TRUE(log.Open(path).ok());
+  ASSERT_TRUE(agg.RestoreCheckpoint(log).ok());
+  EXPECT_EQ(agg.Stats().restored, 1500u);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedAggregator, RestoreRejectsShardCountMismatch) {
+  const auto factory = [] { return std::make_unique<DirectEncodingFO>(16, 1.0); };
+  const std::string path = TempLogPath("mismatch");
+  std::remove(path.c_str());
+  {
+    ShardedAggregatorOptions opts;
+    opts.num_shards = 4;
+    ShardedAggregator agg(factory, opts);
+    ASSERT_TRUE(agg.Start().ok());
+    CheckpointWriter log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
+  }
+  ShardedAggregatorOptions opts;
+  opts.num_shards = 2;
+  ShardedAggregator agg(factory, opts);
+  CheckpointReader log;
+  ASSERT_TRUE(log.Open(path).ok());
+  EXPECT_EQ(agg.RestoreCheckpoint(log).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ShardedAggregator, SubmitWireRejectsCorruptBatchWhole) {
+  const auto factory = [] { return std::make_unique<DirectEncodingFO>(16, 1.0); };
+  const auto reports = EncodeReports(factory, 100, 8);
+  ShardedAggregator agg(factory, ShardedAggregatorOptions{});
+  ASSERT_TRUE(agg.Start().ok());
+  std::string wire = EncodeReportBatch(reports);
+  wire[wire.size() - 1] ^= 0x1;
+  EXPECT_EQ(agg.SubmitWire(wire).code(), StatusCode::kDecodeFailure);
+  ASSERT_TRUE(agg.Drain().ok());
+  EXPECT_EQ(agg.Stats().submitted, 0u);
+}
+
+// ------------------------------------------------ oracle state snapshots --
+
+TEST(MergeableState, SerializeRestoreRoundTripsEveryOracle) {
+  const std::vector<ShardedAggregator::OracleFactory> factories = {
+      [] { return std::make_unique<DirectEncodingFO>(32, 1.0); },
+      [] { return std::make_unique<HadamardResponseFO>(32, 1.0); },
+      [] { return std::make_unique<UnaryEncodingFO>(24, 1.0); },
+      [] { return std::make_unique<OlhFO>(24, 1.0, 13); },
+  };
+  for (const auto& factory : factories) {
+    const auto reports = EncodeReports(factory, 5000, 21);
+    auto a = factory();
+    ASSERT_TRUE(a->Mergeable());
+    for (size_t i = 0; i < 2500; ++i) {
+      a->AggregateIndexed(reports[i].user_index, reports[i].report);
+    }
+    std::string snapshot;
+    ASSERT_TRUE(a->SerializeState(&snapshot).ok());
+
+    auto b = factory();
+    ASSERT_TRUE(b->RestoreState(snapshot).ok());
+    for (size_t i = 2500; i < 5000; ++i) {
+      a->AggregateIndexed(reports[i].user_index, reports[i].report);
+      b->AggregateIndexed(reports[i].user_index, reports[i].report);
+    }
+    a->Finalize();
+    b->Finalize();
+    for (uint64_t v = 0; v < a->domain_size(); ++v) {
+      EXPECT_EQ(a->Estimate(v), b->Estimate(v))
+          << a->Name() << " value " << v;
+    }
+  }
+}
+
+TEST(MergeableState, RestoreRejectsWrongOracleAndTruncation) {
+  DirectEncodingFO de(32, 1.0);
+  UnaryEncodingFO ue(32, 1.0);
+  std::string snapshot;
+  ASSERT_TRUE(de.SerializeState(&snapshot).ok());
+  EXPECT_FALSE(ue.RestoreState(snapshot).ok());
+  for (size_t len = 0; len < snapshot.size(); ++len) {
+    EXPECT_FALSE(de.RestoreState(std::string_view(snapshot.data(), len)).ok())
+        << "prefix " << len;
+  }
+}
+
+TEST(MergeableState, MergeRejectsConfigMismatch) {
+  DirectEncodingFO a(32, 1.0);
+  DirectEncodingFO b(32, 2.0);
+  DirectEncodingFO c(16, 1.0);
+  UnaryEncodingFO u(32, 1.0);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+  EXPECT_FALSE(a.Merge(u).ok());
+  DirectEncodingFO d(32, 1.0);
+  EXPECT_TRUE(a.Merge(d).ok());
+}
+
+TEST(MergeableState, HashtogramMergeAndSnapshotMatchSequential) {
+  HashtogramParams params;
+  params.rows = 8;
+  params.table_size = 256;
+  const uint64_t n = 20000;
+  Hashtogram seq(n, 1.0, params, 4242);
+  Hashtogram left(n, 1.0, params, 4242);
+  Hashtogram right(n, 1.0, params, 4242);
+
+  Rng rng(7);
+  std::vector<std::pair<uint64_t, FoReport>> reports;
+  reports.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const DomainItem x(rng.Bernoulli(0.4) ? 3 : rng.UniformU64(1000));
+    reports.emplace_back(i, seq.Encode(i, x, rng));
+  }
+  for (const auto& [i, r] : reports) {
+    seq.Aggregate(i, r);
+    (i % 2 ? left : right).Aggregate(i, r);
+  }
+  // Snapshot-restore `right` into a fresh instance before merging, so the
+  // durable path is exercised too.
+  std::string snapshot;
+  ASSERT_TRUE(right.SerializeState(&snapshot).ok());
+  Hashtogram restored(n, 1.0, params, 4242);
+  ASSERT_TRUE(restored.RestoreState(snapshot).ok());
+  ASSERT_TRUE(left.Merge(restored).ok());
+  seq.Finalize();
+  left.Finalize();
+  for (uint64_t v = 0; v < 1000; v += 37) {
+    EXPECT_EQ(left.Estimate(DomainItem(v)), seq.Estimate(DomainItem(v)));
+  }
+}
+
+TEST(MergeableState, CountMeanSketchMergeAndSnapshotMatchSequential) {
+  CmsParams params;
+  params.rows = 8;
+  params.width = 64;
+  const uint64_t n = 20000;
+  CountMeanSketch seq(n, 1.0, params, 99);
+  CountMeanSketch left(n, 1.0, params, 99);
+  CountMeanSketch right(n, 1.0, params, 99);
+
+  Rng rng(8);
+  for (uint64_t i = 0; i < n; ++i) {
+    const DomainItem x(rng.Bernoulli(0.4) ? 5 : rng.UniformU64(500));
+    const CmsReport r = seq.Encode(x, rng);
+    seq.Aggregate(r);
+    (i % 2 ? left : right).Aggregate(r);
+  }
+  std::string snapshot;
+  ASSERT_TRUE(right.SerializeState(&snapshot).ok());
+  CountMeanSketch restored(n, 1.0, params, 99);
+  ASSERT_TRUE(restored.RestoreState(snapshot).ok());
+  ASSERT_TRUE(left.Merge(restored).ok());
+  seq.Finalize();
+  left.Finalize();
+  for (uint64_t v = 0; v < 500; v += 17) {
+    EXPECT_EQ(left.Estimate(DomainItem(v)), seq.Estimate(DomainItem(v)));
+  }
+}
+
+// --------------------------------------------- sharded protocol end-to-end --
+
+TEST(ShardedProtocols, TreeHistShardedRunMatchesSequential) {
+  TreeHistParams p;
+  p.domain_bits = 16;
+  p.epsilon = 4.0;
+  p.beta = 1e-2;
+  const uint64_t n = 1 << 16;
+  const Workload w = MakePlantedWorkload(n, 16, {0.3, 0.2}, 91);
+
+  auto sequential = std::move(TreeHist::Create(p)).value();
+  const auto seq_res = std::move(sequential.Run(w.database, 7)).value();
+
+  p.num_shards = 4;
+  auto sharded = std::move(TreeHist::Create(p)).value();
+  const auto shard_res = std::move(sharded.Run(w.database, 7)).value();
+
+  ASSERT_EQ(shard_res.entries.size(), seq_res.entries.size());
+  for (size_t i = 0; i < seq_res.entries.size(); ++i) {
+    EXPECT_EQ(shard_res.entries[i].item, seq_res.entries[i].item);
+    EXPECT_EQ(shard_res.entries[i].estimate, seq_res.entries[i].estimate);
+  }
+}
+
+TEST(ShardedProtocols, BitstogramShardedRunMatchesSequential) {
+  BitstogramParams p;
+  p.domain_bits = 16;
+  p.epsilon = 4.0;
+  p.beta = 1e-2;
+  const uint64_t n = 1 << 15;
+  const Workload w = MakePlantedWorkload(n, 16, {0.3, 0.2}, 47);
+
+  auto sequential = std::move(Bitstogram::Create(p)).value();
+  const auto seq_res = std::move(sequential.Run(w.database, 3)).value();
+
+  p.num_shards = 4;
+  auto sharded = std::move(Bitstogram::Create(p)).value();
+  const auto shard_res = std::move(sharded.Run(w.database, 3)).value();
+
+  ASSERT_EQ(shard_res.entries.size(), seq_res.entries.size());
+  for (size_t i = 0; i < seq_res.entries.size(); ++i) {
+    EXPECT_EQ(shard_res.entries[i].item, seq_res.entries[i].item);
+    EXPECT_EQ(shard_res.entries[i].estimate, seq_res.entries[i].estimate);
+  }
+}
+
+}  // namespace
+}  // namespace ldphh
