@@ -1,5 +1,22 @@
 #include "src/common/crc32.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define LDPHH_CRC32_X86 1
+#include <cpuid.h>
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__linux__) && defined(__GNUC__)
+// getauxval is Linux-only; other aarch64 hosts (e.g. macOS) take the
+// table path rather than growing per-OS detection code.
+#define LDPHH_CRC32_ARM 1
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+#include <cstring>
+
 namespace ldphh {
 
 namespace {
@@ -19,9 +36,82 @@ struct Crc32cTable {
   }
 };
 
+using CrcFn = uint32_t (*)(const void*, size_t, uint32_t);
+
+#if defined(LDPHH_CRC32_X86)
+
+// SSE4.2 path: the CRC32 instruction implements exactly the Castagnoli
+// polynomial over 1/8-byte chunks. The target attribute scopes the ISA
+// extension to this function, so the library still builds for and runs on
+// pre-Nehalem CPUs (the table path is chosen at runtime instead).
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t n,
+                                                          uint32_t init) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~init;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);  // Unaligned-safe.
+    c = static_cast<uint32_t>(_mm_crc32_u64(c, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+
+bool DetectHardwareCrc() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+#elif defined(LDPHH_CRC32_ARM)
+
+__attribute__((target("+crc"))) uint32_t Crc32cHardware(const void* data,
+                                                        size_t n,
+                                                        uint32_t init) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~init;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    c = __crc32cd(c, chunk);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = __crc32cb(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+
+bool DetectHardwareCrc() {
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+}
+
+#else
+
+bool DetectHardwareCrc() { return false; }
+
+#endif
+
+CrcFn ResolveCrcFn() {
+#if defined(LDPHH_CRC32_X86) || defined(LDPHH_CRC32_ARM)
+  if (DetectHardwareCrc()) return &Crc32cHardware;
+#endif
+  return &internal::Crc32cSoftware;
+}
+
 }  // namespace
 
-uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+namespace internal {
+
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t init) {
   static const Crc32cTable table;
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint32_t c = ~init;
@@ -29,6 +119,15 @@ uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
     c = table.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
   }
   return ~c;
+}
+
+bool Crc32cHardwareAvailable() { return DetectHardwareCrc(); }
+
+}  // namespace internal
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+  static const CrcFn fn = ResolveCrcFn();
+  return fn(data, n, init);
 }
 
 }  // namespace ldphh

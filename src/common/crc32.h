@@ -1,10 +1,12 @@
 /// \file crc32.h
 /// \brief CRC-32C (Castagnoli) over byte buffers.
 ///
-/// Guards the server wire format and checkpoint records against bit rot and
-/// torn writes (the leveldb record-format idiom). Software slice-by-one
-/// table implementation; fast enough for the record sizes involved, and
-/// portable (no SSE4.2 requirement).
+/// Guards the server wire format, checkpoint records, and the segment store
+/// against bit rot and torn writes (the leveldb record-format idiom). The
+/// public entry point dispatches once, at first use, to the fastest
+/// implementation the CPU offers: the SSE4.2 CRC32 instruction on x86-64,
+/// the ARMv8 CRC32C instructions on aarch64, or the portable table fallback
+/// everywhere else. All three compute the identical function.
 
 #ifndef LDPHH_COMMON_CRC32_H_
 #define LDPHH_COMMON_CRC32_H_
@@ -27,6 +29,18 @@ inline uint32_t UnmaskCrc32(uint32_t masked) {
   const uint32_t rot = masked - 0xa282ead8u;
   return (rot << 15) | (rot >> 17);
 }
+
+namespace internal {
+
+/// The portable table implementation, exported so tests and benchmarks can
+/// cross-check the hardware path against it on the same inputs.
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t init = 0);
+
+/// True iff Crc32c() dispatches to a hardware CRC32C instruction on this
+/// machine (SSE4.2 or ARMv8 CRC, detected at runtime).
+bool Crc32cHardwareAvailable();
+
+}  // namespace internal
 
 }  // namespace ldphh
 

@@ -46,8 +46,10 @@
 #include "src/protocols/succinct_hist.h"    // IWYU pragma: export
 #include "src/protocols/treehist.h"         // IWYU pragma: export
 #include "src/server/checkpoint_log.h"      // IWYU pragma: export
+#include "src/server/epoch_manager.h"       // IWYU pragma: export
 #include "src/server/report_codec.h"        // IWYU pragma: export
 #include "src/server/sharded_aggregator.h"  // IWYU pragma: export
+#include "src/store/checkpoint_store.h"     // IWYU pragma: export
 #include "src/workload/workload.h"          // IWYU pragma: export
 
 namespace ldphh {

@@ -69,7 +69,11 @@ class SmallDomainFO {
   // contract is exact: merging the shard states and finalizing must produce
   // bit-for-bit the estimates of a single oracle that aggregated every
   // report itself. (All built-in oracles accumulate integer-valued tallies
-  // in doubles, so addition order cannot perturb the result.)
+  // in doubles, so addition order cannot perturb the result.) The epoch
+  // layer (src/server/epoch_manager.h) leans on the same contract across
+  // *time*: it restores the persisted snapshots of consecutive epochs and
+  // merges them, so Merge must also be associative over restored states —
+  // which integer tallies (and report-list concatenation) are.
 
   /// True iff Merge / SerializeState / RestoreState are implemented.
   virtual bool Mergeable() const { return false; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <unordered_set>
 
 #include "src/common/math_util.h"
@@ -41,6 +42,9 @@ StatusOr<PrivateExpanderSketch> PrivateExpanderSketch::Create(
   }
   if (p.num_coords == 0) p.num_coords = AutoNumCoords(p.domain_bits);
   if (p.list_cap == 0) p.list_cap = 4 * p.domain_bits;
+  if (p.num_shards < 1 || p.num_shards > 256) {
+    return Status::InvalidArgument("PES: num_shards must be in [1, 256]");
+  }
 
   UrlCodeParams cp;
   cp.domain_bits = p.domain_bits;
@@ -107,11 +111,15 @@ StatusOr<HeavyHitterResult> PrivateExpanderSketch::Run(
   // Per-(m, j) small-domain oracles (Theorem 3.8) over [B] x [Y] x {0,1}.
   const uint64_t cell_domain =
       static_cast<uint64_t>(b_count) * static_cast<uint64_t>(y_range) * 2;
-  std::vector<HadamardResponseFO> cell_fo;
-  cell_fo.reserve(static_cast<size_t>(num_groups));
-  for (int q = 0; q < num_groups; ++q) {
-    cell_fo.emplace_back(cell_domain, eps_half);
-  }
+  auto make_cell_fos = [&] {
+    std::vector<HadamardResponseFO> fos;
+    fos.reserve(static_cast<size_t>(num_groups));
+    for (int q = 0; q < num_groups; ++q) {
+      fos.emplace_back(cell_domain, eps_half);
+    }
+    return fos;
+  };
+  std::vector<HadamardResponseFO> cell_fo = make_cell_fos();
 
   // Global Hashtogram (Theorem 3.7) for step 5.
   HashtogramParams ht_params = params_.global_fo;
@@ -163,10 +171,48 @@ StatusOr<HeavyHitterResult> PrivateExpanderSketch::Run(
 
   // --- Server side ---------------------------------------------------------
   Timer server_timer;
-  for (uint64_t i = 0; i < n; ++i) {
-    const auto& r = reports[static_cast<size_t>(i)];
-    cell_fo[static_cast<size_t>(r.group)].Aggregate(r.cell);
-    global_fo.Aggregate(i, r.global);
+  const int num_shards = params_.num_shards;
+  if (num_shards <= 1) {
+    for (uint64_t i = 0; i < n; ++i) {
+      const auto& r = reports[static_cast<size_t>(i)];
+      cell_fo[static_cast<size_t>(r.group)].Aggregate(r.cell);
+      global_fo.Aggregate(i, r.global);
+    }
+  } else {
+    // Sharded server: strided slices into per-worker oracle replicas,
+    // merged exactly afterwards (see treehist.cc for the argument).
+    struct Replica {
+      std::vector<HadamardResponseFO> cell;
+      Hashtogram global;
+    };
+    std::vector<Replica> replicas;
+    replicas.reserve(static_cast<size_t>(num_shards - 1));
+    for (int s = 1; s < num_shards; ++s) {
+      replicas.push_back(Replica{make_cell_fos(),
+                                 Hashtogram(n, eps_half, ht_params, global_seed)});
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      workers.emplace_back([&, s] {
+        auto& cf = (s == 0) ? cell_fo : replicas[static_cast<size_t>(s - 1)].cell;
+        auto& gf = (s == 0) ? global_fo : replicas[static_cast<size_t>(s - 1)].global;
+        for (uint64_t i = static_cast<uint64_t>(s); i < n;
+             i += static_cast<uint64_t>(num_shards)) {
+          const auto& r = reports[static_cast<size_t>(i)];
+          cf[static_cast<size_t>(r.group)].Aggregate(r.cell);
+          gf.Aggregate(i, r.global);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (auto& rep : replicas) {
+      for (int q = 0; q < num_groups; ++q) {
+        LDPHH_RETURN_IF_ERROR(cell_fo[static_cast<size_t>(q)].Merge(
+            rep.cell[static_cast<size_t>(q)]));
+      }
+      LDPHH_RETURN_IF_ERROR(global_fo.Merge(rep.global));
+    }
   }
   for (auto& fo : cell_fo) fo.Finalize();
   global_fo.Finalize();

@@ -50,6 +50,12 @@ struct PesParams {
   int list_cap = 0;          ///< ell; 0 = auto 4 ceil(log2 |X|).
   double alpha = 0.25;       ///< Code's tolerated bad-coordinate fraction.
 
+  /// Server aggregation shards (>= 1). With S > 1 the server aggregates
+  /// reports on S threads over per-shard oracle replicas and merges them;
+  /// the result is bit-for-bit identical to the single-threaded run (the
+  /// same contract as bitstogram/treehist).
+  int num_shards = 1;
+
   HashtogramParams global_fo;  ///< Step 5 oracle tuning (beta auto-filled).
 };
 

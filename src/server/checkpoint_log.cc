@@ -126,6 +126,11 @@ Status CheckpointReader::Read(CheckpointRecordType* type, std::string* payload) 
   return Status::OK();
 }
 
+long CheckpointReader::Tell() const {
+  if (file_ == nullptr) return -1;
+  return std::ftell(file_);
+}
+
 Status CheckpointReader::Close() {
   if (file_ == nullptr) return Status::OK();
   std::fclose(file_);

@@ -74,6 +74,11 @@ class CheckpointReader {
   /// crash-truncated tail) and kDecodeFailure on CRC corruption.
   Status Read(CheckpointRecordType* type, std::string* payload);
 
+  /// Byte offset of the read cursor — after a successful Read, the end of
+  /// that record. Recovery uses this to truncate a damaged tail at the last
+  /// clean record boundary. Returns -1 on a closed reader or ftell failure.
+  long Tell() const;
+
   Status Close();
 
  private:

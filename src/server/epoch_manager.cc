@@ -1,0 +1,178 @@
+#include "src/server/epoch_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/serde.h"
+#include "src/server/report_codec.h"
+
+namespace ldphh {
+
+EpochManager::EpochManager(OracleFactory factory, CheckpointStore* store,
+                           EpochManagerOptions options)
+    : factory_(std::move(factory)), store_(store), options_(options) {
+  LDPHH_CHECK(store_ != nullptr, "EpochManager: null store");
+  if (options_.reports_per_epoch == 0) options_.reports_per_epoch = 1;
+}
+
+EpochManager::~EpochManager() = default;
+
+Status EpochManager::RollAggregator() {
+  aggregator_ =
+      std::make_unique<ShardedAggregator>(factory_, options_.aggregator);
+  reports_in_epoch_ = 0;
+  return aggregator_->Start();
+}
+
+Status EpochManager::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("EpochManager: already started");
+  }
+  // The epoch clock resumes after the last durable epoch; the open epoch's
+  // reports at crash time were never acknowledged as closed, so clients
+  // replay them into the new open epoch. The durable clock record carries
+  // the high-water mark past retention: with every epoch pruned, the ids
+  // already issued must still never be reused.
+  current_epoch_ = 0;
+  const std::vector<uint64_t> persisted = PersistedEpochs();
+  if (!persisted.empty()) current_epoch_ = persisted.back() + 1;
+  std::string clock_blob;
+  const Status clock = store_->Get(kEpochClockKey, &clock_blob);
+  if (clock.ok()) {
+    ByteReader reader(clock_blob);
+    uint64_t next = 0;
+    LDPHH_RETURN_IF_ERROR(reader.ReadU64(&next));
+    current_epoch_ = std::max(current_epoch_, next);
+  } else if (clock.code() != StatusCode::kOutOfRange) {
+    return clock;
+  }
+  started_ = true;
+  return RollAggregator();
+}
+
+Status EpochManager::Submit(const WireReport& report) {
+  if (!started_ || closed_) {
+    return Status::FailedPrecondition(
+        "EpochManager: Submit outside Start()..Close()");
+  }
+  LDPHH_RETURN_IF_ERROR(aggregator_->Submit(report));
+  if (++reports_in_epoch_ >= options_.reports_per_epoch) {
+    return CloseEpoch();
+  }
+  return Status::OK();
+}
+
+Status EpochManager::SubmitWire(std::string_view batch) {
+  std::vector<WireReport> reports;
+  LDPHH_RETURN_IF_ERROR(DecodeReportBatch(batch, &reports));
+  for (const WireReport& r : reports) {
+    LDPHH_RETURN_IF_ERROR(Submit(r));
+  }
+  return Status::OK();
+}
+
+Status EpochManager::CloseEpoch() {
+  if (!started_ || closed_) {
+    return Status::FailedPrecondition(
+        "EpochManager: CloseEpoch outside Start()..Close()");
+  }
+  const uint64_t count = reports_in_epoch_;
+  auto merged_or = aggregator_->Finish();
+  LDPHH_RETURN_IF_ERROR(merged_or.status());
+  const std::unique_ptr<SmallDomainFO> merged = std::move(merged_or).value();
+
+  std::string blob;
+  PutU32(&blob, kEpochBlobMagic);
+  PutU16(&blob, kEpochBlobVersion);
+  PutU64(&blob, current_epoch_);
+  PutU64(&blob, count);
+  LDPHH_RETURN_IF_ERROR(merged->SerializeState(&blob));
+  LDPHH_RETURN_IF_ERROR(store_->Put(current_epoch_, blob));
+  std::string clock_blob;
+  PutU64(&clock_blob, current_epoch_ + 1);
+  LDPHH_RETURN_IF_ERROR(store_->Put(kEpochClockKey, clock_blob));
+
+  ++current_epoch_;
+  return RollAggregator();
+}
+
+Status EpochManager::Close() {
+  if (!started_ || closed_) {
+    return Status::FailedPrecondition("EpochManager: Close outside Start()..");
+  }
+  if (reports_in_epoch_ > 0) {
+    LDPHH_RETURN_IF_ERROR(CloseEpoch());
+  }
+  closed_ = true;
+  aggregator_.reset();  // Joins the idle workers of the open epoch.
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<SmallDomainFO>> EpochManager::WindowedQuery(
+    uint64_t first_epoch, uint64_t last_epoch) const {
+  if (first_epoch > last_epoch) {
+    return Status::InvalidArgument("EpochManager: first_epoch > last_epoch");
+  }
+  if (last_epoch >= kEpochClockKey) {
+    return Status::InvalidArgument("EpochManager: epoch id out of range");
+  }
+  std::unique_ptr<SmallDomainFO> merged;
+  for (uint64_t e = first_epoch; e <= last_epoch; ++e) {
+    std::string blob;
+    Status st = store_->Get(e, &blob);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kOutOfRange) {
+        return Status::OutOfRange("EpochManager: epoch " + std::to_string(e) +
+                                  " is not persisted (open, never closed, or "
+                                  "pruned)");
+      }
+      return st;
+    }
+    ByteReader reader(blob);
+    uint32_t magic = 0;
+    uint16_t version = 0;
+    uint64_t epoch_id = 0, count = 0;
+    LDPHH_RETURN_IF_ERROR(reader.ReadU32(&magic));
+    if (magic != kEpochBlobMagic) {
+      return Status::DecodeFailure("EpochManager: bad epoch blob magic");
+    }
+    LDPHH_RETURN_IF_ERROR(reader.ReadU16(&version));
+    if (version != kEpochBlobVersion) {
+      return Status::DecodeFailure("EpochManager: unsupported epoch blob version");
+    }
+    LDPHH_RETURN_IF_ERROR(reader.ReadU64(&epoch_id));
+    if (epoch_id != e) {
+      return Status::DecodeFailure("EpochManager: epoch blob id mismatch");
+    }
+    LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+
+    std::unique_ptr<SmallDomainFO> oracle = factory_();
+    if (oracle == nullptr) {
+      return Status::Internal("EpochManager: factory returned null oracle");
+    }
+    LDPHH_RETURN_IF_ERROR(
+        oracle->RestoreState(std::string_view(blob).substr(reader.position())));
+    if (merged == nullptr) {
+      merged = std::move(oracle);
+    } else {
+      LDPHH_RETURN_IF_ERROR(merged->Merge(*oracle));
+    }
+  }
+  return merged;
+}
+
+Status EpochManager::PruneEpochsBefore(uint64_t first_kept) {
+  for (uint64_t epoch : PersistedEpochs()) {
+    if (epoch >= first_kept) break;
+    LDPHH_RETURN_IF_ERROR(store_->Delete(epoch));
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> EpochManager::PersistedEpochs() const {
+  std::vector<uint64_t> epochs = store_->Keys();
+  while (!epochs.empty() && epochs.back() >= kEpochClockKey) epochs.pop_back();
+  return epochs;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,130 @@
+/// \file epoch_manager.h
+/// \brief Epoch-windowed continuous aggregation on top of ShardedAggregator
+/// and the segment store (src/store/checkpoint_store.h).
+///
+/// The paper's protocols are one-shot: n reports in, one estimate set out.
+/// A production service ingests forever and is asked "what are the heavy
+/// hitters over the last k epochs?". The EpochManager makes that query
+/// exact: it rolls the sharded aggregator over fixed-size report epochs,
+/// and each CloseEpoch() persists the epoch's *merged* oracle state — the
+/// mergeable-state snapshot of PR 1, bit-for-bit equal to a single-threaded
+/// aggregation of the epoch's reports — into the store keyed by epoch id.
+/// WindowedQuery(first, last) then merges the persisted states back into
+/// one oracle whose estimates are bit-for-bit identical to re-aggregating
+/// those epochs' reports from scratch, because every built-in oracle's
+/// state is an integer-valued tally (or a report list scanned with
+/// integer-valued support counts), so Merge is exact and associative.
+///
+/// Durability contract: a closed epoch survives any crash (the store's
+/// Put is flushed before CloseEpoch returns). Reports of the *open* epoch
+/// follow the PR 1 recovery model: clients replay anything submitted after
+/// the last CloseEpoch.
+///
+/// Thread-safety: the control surface (Submit/CloseEpoch/Close) is
+/// single-threaded, like ShardedAggregator's Start/Finish; aggregation
+/// itself fans out across the shard workers. WindowedQuery only touches
+/// the store (thread-safe) and may run concurrently with ingestion.
+
+#ifndef LDPHH_SERVER_EPOCH_MANAGER_H_
+#define LDPHH_SERVER_EPOCH_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/freq/freq_oracle.h"
+#include "src/server/sharded_aggregator.h"
+#include "src/store/checkpoint_store.h"
+
+namespace ldphh {
+
+/// Tuning for EpochManager.
+struct EpochManagerOptions {
+  /// Reports per epoch; Submit auto-closes the epoch at this count.
+  uint64_t reports_per_epoch = 1 << 16;
+  /// Shard configuration for the per-epoch aggregator.
+  ShardedAggregatorOptions aggregator;
+};
+
+/// \brief Continuous ingestion with durable, queryable epochs.
+class EpochManager {
+ public:
+  using OracleFactory = ShardedAggregator::OracleFactory;
+
+  /// \p store must outlive the manager; the manager owns its key space
+  /// (keys are epoch ids).
+  EpochManager(OracleFactory factory, CheckpointStore* store,
+               EpochManagerOptions options);
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Recovers the epoch clock from the store (next epoch = last persisted
+  /// + 1) and starts the aggregator for the open epoch. Call once.
+  Status Start();
+
+  /// Ingests one report into the open epoch; closes the epoch when it
+  /// reaches reports_per_epoch.
+  Status Submit(const WireReport& report);
+
+  /// Decodes a wire-format batch (report_codec.h) and submits each report.
+  Status SubmitWire(std::string_view batch);
+
+  /// Snapshots the open epoch's merged oracle state into the store under
+  /// the current epoch id (durable on return), then opens the next epoch.
+  /// Closing an epoch with zero reports is allowed (a quiet period).
+  Status CloseEpoch();
+
+  /// Closes the open epoch if it holds any reports, then stops ingestion.
+  /// Further Submit/CloseEpoch calls fail.
+  Status Close();
+
+  /// Merges the persisted states of epochs [first, last] (inclusive) into
+  /// one un-finalized oracle: call Finalize() on it, then Estimate().
+  /// Bit-for-bit identical to a fresh single-threaded aggregation of those
+  /// epochs' reports. Fails with kOutOfRange if any epoch in the window is
+  /// not persisted (never closed, or pruned).
+  StatusOr<std::unique_ptr<SmallDomainFO>> WindowedQuery(uint64_t first_epoch,
+                                                         uint64_t last_epoch) const;
+
+  /// Drops persisted epochs with id < \p first_kept (durable tombstones;
+  /// segment compaction reclaims the space).
+  Status PruneEpochsBefore(uint64_t first_kept);
+
+  /// Epoch ids currently persisted, ascending.
+  std::vector<uint64_t> PersistedEpochs() const;
+
+  /// Id of the open epoch.
+  uint64_t current_epoch() const { return current_epoch_; }
+  /// Reports ingested into the open epoch so far.
+  uint64_t reports_in_current_epoch() const { return reports_in_epoch_; }
+
+ private:
+  Status RollAggregator();
+
+  OracleFactory factory_;
+  CheckpointStore* store_;
+  EpochManagerOptions options_;
+  std::unique_ptr<ShardedAggregator> aggregator_;
+  uint64_t current_epoch_ = 0;
+  uint64_t reports_in_epoch_ = 0;
+  bool started_ = false;
+  bool closed_ = false;
+};
+
+/// Epoch snapshot blob layout (the value stored under an epoch id):
+///   [u32 magic "EPCH"][u16 version][u64 epoch_id][u64 report_count]
+///   [FOST oracle state (freq_oracle.h envelope)]
+inline constexpr uint32_t kEpochBlobMagic = 0x48435045u;  // "EPCH" LE.
+inline constexpr uint16_t kEpochBlobVersion = 1;
+
+/// Reserved store key holding the durable epoch clock ([u64 next epoch]):
+/// the high-water mark survives even when retention prunes every epoch, so
+/// a restart never re-issues an epoch id. Epoch ids must stay below it.
+inline constexpr uint64_t kEpochClockKey = UINT64_MAX;
+
+}  // namespace ldphh
+
+#endif  // LDPHH_SERVER_EPOCH_MANAGER_H_

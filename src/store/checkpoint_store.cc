@@ -1,0 +1,553 @@
+#include "src/store/checkpoint_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/serde.h"
+
+namespace fs = std::filesystem;
+
+namespace ldphh {
+
+namespace {
+
+constexpr uint16_t kStoreFormatVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kTempSuffix[] = ".tmp";
+
+// Parses "NNNNNN.seg" into a segment number; returns false for anything
+// else (foreign files in the directory are left alone).
+bool ParseSegmentFileName(const std::string& name, uint64_t* number) {
+  const size_t dot = name.rfind(".seg");
+  if (dot == std::string::npos || dot + 4 != name.size() || dot == 0) {
+    return false;
+  }
+  uint64_t n = 0;
+  for (size_t i = 0; i < dot; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    n = n * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *number = n;
+  return true;
+}
+
+Status FsError(const char* op, const fs::path& path, const std::error_code& ec) {
+  return Status::Internal(std::string("checkpoint store: ") + op +
+                          " failed for " + path.string() + ": " + ec.message());
+}
+
+}  // namespace
+
+std::string CheckpointStore::SegmentFileName(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.seg",
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string CheckpointStore::PathOf(uint64_t segment) const {
+  return dir_ + "/" + SegmentFileName(segment);
+}
+
+CheckpointStore::CheckpointStore(std::string dir, CheckpointStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
+    const std::string& dir, const CheckpointStoreOptions& options) {
+  if (options.segment_max_bytes < 1) {
+    return Status::InvalidArgument("checkpoint store: segment_max_bytes < 1");
+  }
+  std::unique_ptr<CheckpointStore> store(
+      new CheckpointStore(dir, options));
+  LDPHH_RETURN_IF_ERROR(store->Recover());
+  if (options.background_compaction && options.compaction_trigger > 0) {
+    store->compactor_ = std::thread([s = store.get()] { s->BackgroundLoop(); });
+  }
+  return store;
+}
+
+CheckpointStore::~CheckpointStore() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
+  active_writer_.Close();
+}
+
+// ---------------------------------------------------------------- recovery --
+
+Status CheckpointStore::Recover() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return FsError("create_directories", dir_, ec);
+
+  // Phase 1: sweep crash debris — a temp MANIFEST whose rename never
+  // happened is simply an uninstalled proposal.
+  fs::directory_iterator temp_scan(dir_, ec);
+  if (ec) return FsError("scan", dir_, ec);
+  for (const auto& entry : temp_scan) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, kTempSuffix) == 0) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+      if (remove_ec) return FsError("remove temp", entry.path(), remove_ec);
+    }
+  }
+
+  // Phase 2: the MANIFEST names the live segment set.
+  const fs::path manifest_path = fs::path(dir_) / kManifestName;
+  const bool have_manifest = fs::exists(manifest_path, ec);
+  if (have_manifest) {
+    CheckpointReader reader;
+    LDPHH_RETURN_IF_ERROR(reader.Open(manifest_path.string()));
+    CheckpointRecordType type;
+    std::string payload;
+    LDPHH_RETURN_IF_ERROR(reader.Read(&type, &payload));
+    if (type != kStoreManifestRecord) {
+      return Status::DecodeFailure("checkpoint store: MANIFEST record type");
+    }
+    ByteReader br(payload);
+    uint16_t version = 0;
+    uint32_t count = 0;
+    LDPHH_RETURN_IF_ERROR(br.ReadU16(&version));
+    if (version != kStoreFormatVersion) {
+      return Status::DecodeFailure("checkpoint store: unsupported MANIFEST version");
+    }
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&manifest_sequence_));
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&next_segment_));
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&active_segment_));
+    LDPHH_RETURN_IF_ERROR(br.ReadU32(&count));
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t seg = 0;
+      LDPHH_RETURN_IF_ERROR(br.ReadU64(&seg));
+      live_.insert(seg);
+    }
+    LDPHH_RETURN_IF_ERROR(reader.Close());
+    if (live_.count(active_segment_) == 0 ||
+        (!live_.empty() && next_segment_ <= *live_.rbegin())) {
+      return Status::DecodeFailure("checkpoint store: inconsistent MANIFEST");
+    }
+  }
+
+  // Phase 3: any segment file the MANIFEST does not list is garbage — an
+  // uninstalled compaction output or a superseded input whose deletion did
+  // not finish (invariant I3). Without a MANIFEST the directory must hold
+  // no segments at all: refuse to guess (and to delete) otherwise.
+  fs::directory_iterator orphan_scan(dir_, ec);
+  if (ec) return FsError("scan", dir_, ec);
+  for (const auto& entry : orphan_scan) {
+    uint64_t seg = 0;
+    if (!ParseSegmentFileName(entry.path().filename().string(), &seg)) continue;
+    if (!have_manifest) {
+      return Status::FailedPrecondition(
+          "checkpoint store: segment files present but no MANIFEST in " + dir_);
+    }
+    if (live_.count(seg) == 0) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+      if (remove_ec) return FsError("remove orphan", entry.path(), remove_ec);
+    }
+  }
+
+  if (!have_manifest) {
+    // Fresh store: install the first MANIFEST before the active segment
+    // receives any record (invariant I2).
+    active_segment_ = 1;
+    next_segment_ = 2;
+    live_.insert(active_segment_);
+    LDPHH_RETURN_IF_ERROR(
+        InstallManifestLocked(live_, next_segment_, active_segment_));
+    return active_writer_.Open(PathOf(active_segment_));
+  }
+
+  // Phase 4: replay every live segment. Order does not matter for
+  // correctness — the per-record sequence number decides the winner per key
+  // — but ascending order keeps the scan cache-friendly.
+  std::map<uint64_t, KeyState> entries;
+  std::map<uint64_t, uint64_t> tombstones;
+  for (uint64_t seg : live_) {
+    LDPHH_RETURN_IF_ERROR(
+        ReplaySegment(seg, seg == active_segment_, &entries, &tombstones));
+  }
+  for (auto& [key, state] : entries) {
+    const auto tomb = tombstones.find(key);
+    if (tomb != tombstones.end() && tomb->second > state.sequence) continue;
+    next_sequence_ = std::max(next_sequence_, state.sequence + 1);
+    entries_.emplace(key, std::move(state));
+  }
+  for (const auto& [key, seq] : tombstones) {
+    next_sequence_ = std::max(next_sequence_, seq + 1);
+  }
+
+  // Phase 5: never append after recovered bytes — if the old active segment
+  // holds data, seal it and roll a fresh one (invariant I4).
+  uint64_t active_size = 0;
+  if (fs::exists(PathOf(active_segment_), ec)) {
+    active_size = static_cast<uint64_t>(fs::file_size(PathOf(active_segment_), ec));
+  }
+  if (active_size > 0) {
+    active_segment_ = next_segment_++;
+    live_.insert(active_segment_);
+    LDPHH_RETURN_IF_ERROR(
+        InstallManifestLocked(live_, next_segment_, active_segment_));
+  }
+  return active_writer_.Open(PathOf(active_segment_));
+}
+
+Status CheckpointStore::ReplaySegment(uint64_t segment, bool is_active,
+                                      std::map<uint64_t, KeyState>* entries,
+                                      std::map<uint64_t, uint64_t>* tombstones) {
+  const std::string path = PathOf(segment);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    // Only the active segment may legitimately not exist yet: it is listed
+    // in the MANIFEST before its first byte is written.
+    if (is_active) return Status::OK();
+    return Status::Internal("checkpoint store: live segment missing: " + path);
+  }
+
+  CheckpointReader reader;
+  LDPHH_RETURN_IF_ERROR(reader.Open(path));
+  long clean_end = 0;
+  for (;;) {
+    CheckpointRecordType type;
+    std::string payload;
+    const Status st = reader.Read(&type, &payload);
+    if (st.code() == StatusCode::kOutOfRange) break;  // Clean end / torn tail.
+    if (!st.ok()) {
+      // A complete-but-corrupt record. In the active segment this is the
+      // debris of a crash mid-append and everything from here on was never
+      // acknowledged: drop the tail. Anywhere else it is real corruption.
+      if (is_active) {
+        ++stats_.dropped_tail_records;
+        break;
+      }
+      return Status::DecodeFailure("checkpoint store: corrupt record in " +
+                                   path + ": " + st.message());
+    }
+    ByteReader br(payload);
+    uint64_t key = 0, sequence = 0;
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&key));
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&sequence));
+    if (type == kStoreEntryRecord) {
+      auto it = entries->find(key);
+      if (it == entries->end() || sequence > it->second.sequence) {
+        KeyState state;
+        state.sequence = sequence;
+        state.segment = segment;
+        state.blob = std::string(payload.substr(br.position()));
+        (*entries)[key] = std::move(state);
+      }
+    } else if (type == kStoreTombstoneRecord) {
+      uint64_t& tomb = (*tombstones)[key];
+      tomb = std::max(tomb, sequence);
+    } else {
+      return Status::DecodeFailure("checkpoint store: unknown record type in " +
+                                   path);
+    }
+    clean_end = reader.Tell();
+    ++stats_.recovered_records;
+  }
+  LDPHH_RETURN_IF_ERROR(reader.Close());
+  stats_.recovered_bytes += static_cast<uint64_t>(clean_end);
+
+  // Truncate the active segment at the last clean record so the damaged
+  // region cannot shadow future appends (it is sealed right after anyway;
+  // the truncation keeps every later replay deterministic).
+  if (is_active) {
+    const uint64_t size = static_cast<uint64_t>(fs::file_size(path, ec));
+    if (!ec && size > static_cast<uint64_t>(clean_end)) {
+      fs::resize_file(path, static_cast<uint64_t>(clean_end), ec);
+      if (ec) return FsError("resize_file", path, ec);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- manifest --
+
+Status CheckpointStore::InstallManifestLocked(const std::set<uint64_t>& live,
+                                              uint64_t next_segment,
+                                              uint64_t active_segment,
+                                              bool abandon_before_rename) {
+  const fs::path manifest_path = fs::path(dir_) / kManifestName;
+  const fs::path tmp_path = manifest_path.string() + kTempSuffix;
+  std::error_code ec;
+  fs::remove(tmp_path, ec);
+
+  std::string payload;
+  PutU16(&payload, kStoreFormatVersion);
+  PutU64(&payload, manifest_sequence_ + 1);
+  PutU64(&payload, next_segment);
+  PutU64(&payload, active_segment);
+  PutU32(&payload, static_cast<uint32_t>(live.size()));
+  for (uint64_t seg : live) PutU64(&payload, seg);
+
+  CheckpointWriter writer;
+  LDPHH_RETURN_IF_ERROR(writer.Open(tmp_path.string()));
+  LDPHH_RETURN_IF_ERROR(writer.Append(kStoreManifestRecord, payload));
+  LDPHH_RETURN_IF_ERROR(writer.Sync());
+  LDPHH_RETURN_IF_ERROR(writer.Close());
+  if (abandon_before_rename) return Status::OK();
+
+  fs::rename(tmp_path, manifest_path, ec);  // Atomic install (invariant I1).
+  if (ec) return FsError("rename", manifest_path, ec);
+  ++manifest_sequence_;
+  ++stats_.manifest_installs;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ writes --
+
+Status CheckpointStore::AppendRecordLocked(CheckpointRecordType type,
+                                           uint64_t key, std::string_view blob) {
+  const uint64_t sequence = next_sequence_++;
+  std::string payload;
+  payload.reserve(16 + blob.size());
+  PutU64(&payload, key);
+  PutU64(&payload, sequence);
+  payload.append(blob.data(), blob.size());
+  LDPHH_RETURN_IF_ERROR(active_writer_.Append(type, payload));
+  LDPHH_RETURN_IF_ERROR(active_writer_.Sync());
+  active_bytes_ += kCheckpointRecordHeaderSize + payload.size();
+
+  if (type == kStoreEntryRecord) {
+    KeyState state;
+    state.sequence = sequence;
+    state.segment = active_segment_;
+    state.blob = std::string(blob);
+    entries_[key] = std::move(state);
+  } else {
+    entries_.erase(key);
+  }
+
+  if (active_bytes_ >= options_.segment_max_bytes) {
+    LDPHH_RETURN_IF_ERROR(RollActiveLocked());
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::RollActiveLocked() {
+  LDPHH_RETURN_IF_ERROR(active_writer_.Close());
+  active_segment_ = next_segment_++;
+  live_.insert(active_segment_);
+  // Listed-then-written (invariant I2): the MANIFEST names the new active
+  // segment before the segment file exists.
+  LDPHH_RETURN_IF_ERROR(
+      InstallManifestLocked(live_, next_segment_, active_segment_));
+  LDPHH_RETURN_IF_ERROR(active_writer_.Open(PathOf(active_segment_)));
+  active_bytes_ = 0;
+  return Status::OK();
+}
+
+Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!active_writer_.is_open()) {
+      return Status::FailedPrecondition("checkpoint store: not open");
+    }
+    LDPHH_RETURN_IF_ERROR(AppendRecordLocked(kStoreEntryRecord, key, blob));
+    wake = options_.compaction_trigger > 0 &&
+           SealedCountLocked() >= std::max(options_.compaction_trigger, 2);
+  }
+  if (wake) work_cv_.notify_one();
+  return Status::OK();
+}
+
+Status CheckpointStore::Delete(uint64_t key) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!active_writer_.is_open()) {
+      return Status::FailedPrecondition("checkpoint store: not open");
+    }
+    LDPHH_RETURN_IF_ERROR(AppendRecordLocked(kStoreTombstoneRecord, key, {}));
+    wake = options_.compaction_trigger > 0 &&
+           SealedCountLocked() >= std::max(options_.compaction_trigger, 2);
+  }
+  if (wake) work_cv_.notify_one();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- reads --
+
+Status CheckpointStore::Get(uint64_t key, std::string* blob) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::OutOfRange("checkpoint store: no entry for key " +
+                              std::to_string(key));
+  }
+  *blob = it->second.blob;
+  return Status::OK();
+}
+
+bool CheckpointStore::Contains(uint64_t key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.count(key) != 0;
+}
+
+std::vector<uint64_t> CheckpointStore::Keys() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<uint64_t> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, state] : entries_) keys.push_back(key);
+  return keys;
+}
+
+CheckpointStoreStats CheckpointStore::Stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CheckpointStoreStats s = stats_;
+  s.live_segments = live_.size();
+  s.sealed_segments = static_cast<uint64_t>(SealedCountLocked());
+  s.entries = entries_.size();
+  return s;
+}
+
+// -------------------------------------------------------------- compaction --
+
+Status CheckpointStore::Compact() { return CompactPass(/*respect_trigger=*/false); }
+
+Status CheckpointStore::CompactPass(bool respect_trigger) {
+  std::lock_guard<std::mutex> pass_lk(compaction_mu_);
+
+  const CompactionCrashPoint crash = crash_point_.load();
+  std::set<uint64_t> inputs;
+  struct Record {
+    uint64_t key;
+    uint64_t sequence;
+    std::string blob;
+  };
+  std::vector<Record> records;
+  uint64_t out_segment = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return Status::OK();
+    for (uint64_t seg : live_) {
+      if (seg != active_segment_) inputs.insert(seg);
+    }
+    const size_t min_inputs =
+        respect_trigger
+            ? static_cast<size_t>(std::max(options_.compaction_trigger, 2))
+            : 1;
+    if (inputs.size() < min_inputs) return Status::OK();
+    for (const auto& [key, state] : entries_) {
+      if (inputs.count(state.segment) != 0) {
+        records.push_back(Record{key, state.sequence, state.blob});
+      }
+    }
+    // Reserve the output number now; if the pass dies before the MANIFEST
+    // install, the numbered file is an unlisted orphan that the next Open
+    // deletes before this number could ever be reused.
+    out_segment = next_segment_++;
+    compacting_ = true;
+  }
+
+  // Phase A: write the consolidated snapshot segment — complete, flushed —
+  // while the store stays fully available (inputs are immutable and new
+  // writes land in the active segment, which is not an input).
+  auto done = [&](Status st) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      compacting_ = false;
+    }
+    idle_cv_.notify_all();
+    return st;
+  };
+  const bool have_output = !records.empty();
+  if (have_output) {
+    CheckpointWriter writer;
+    Status st = writer.Open(PathOf(out_segment));
+    for (const Record& r : records) {
+      if (!st.ok()) break;
+      std::string payload;
+      payload.reserve(16 + r.blob.size());
+      PutU64(&payload, r.key);
+      PutU64(&payload, r.sequence);
+      payload.append(r.blob);
+      st = writer.Append(kStoreEntryRecord, payload);
+    }
+    if (st.ok()) st = writer.Sync();
+    if (st.ok()) st = writer.Close();
+    if (!st.ok()) return done(st);
+  }
+  if (crash == CompactionCrashPoint::kAfterConsolidatedSegment) {
+    return done(Status::OK());
+  }
+
+  // Phase B: atomically install the MANIFEST that swaps the inputs for the
+  // consolidated segment. Split around the rename so the crash tests can
+  // observe both halves.
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    std::set<uint64_t> new_live;
+    for (uint64_t seg : live_) {
+      if (inputs.count(seg) == 0) new_live.insert(seg);
+    }
+    if (have_output) new_live.insert(out_segment);
+
+    const bool abandon = crash == CompactionCrashPoint::kAfterTempManifest;
+    const Status st = InstallManifestLocked(new_live, next_segment_,
+                                            active_segment_, abandon);
+    if (!st.ok() || abandon) {
+      lk.unlock();  // done() re-locks mu_ to clear the compacting flag.
+      return done(st);
+    }
+
+    live_ = std::move(new_live);
+    for (auto& [key, state] : entries_) {
+      if (inputs.count(state.segment) != 0) state.segment = out_segment;
+    }
+    ++stats_.compactions;
+  }
+  if (crash == CompactionCrashPoint::kAfterManifestInstall) {
+    return done(Status::OK());
+  }
+
+  // Phase C: the superseded inputs are now unlisted; delete them. A crash
+  // here leaves orphans for the next Open to sweep (invariant I3).
+  for (uint64_t seg : inputs) {
+    std::error_code ec;
+    fs::remove(PathOf(seg), ec);
+  }
+  return done(Status::OK());
+}
+
+void CheckpointStore::BackgroundLoop() {
+  const int trigger = std::max(options_.compaction_trigger, 2);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (SealedCountLocked() >= trigger && !compacting_) {
+      lk.unlock();
+      const Status st = CompactPass(/*respect_trigger=*/true);
+      lk.lock();
+      // On success, re-check immediately (a roll may have raced past the
+      // trigger again). A failed pass parks until the next write wakes the
+      // thread, so a persistent I/O error cannot busy-spin; the failure
+      // itself surfaces via Stats().compactions staying put.
+      if (st.ok()) continue;
+    }
+    work_cv_.wait(lk);
+  }
+}
+
+Status CheckpointStore::WaitForCompaction() {
+  const int trigger = std::max(options_.compaction_trigger, 2);
+  const bool background =
+      options_.background_compaction && options_.compaction_trigger > 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] {
+    if (compacting_) return false;
+    if (!background) return true;
+    return stop_ || SealedCountLocked() < trigger;
+  });
+  return Status::OK();
+}
+
+}  // namespace ldphh

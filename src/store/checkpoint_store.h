@@ -1,0 +1,215 @@
+/// \file checkpoint_store.h
+/// \brief Durable, compacting store of checkpoint blobs keyed by u64.
+///
+/// The storage engine under the epoch layer (src/server/epoch_manager.h):
+/// a directory of numbered segment files of CRC-guarded records (the
+/// checkpoint_log format) governed by a MANIFEST, in the leveldb idiom
+/// scaled down to whole-blob values:
+///
+///   <dir>/MANIFEST       one kStoreManifest record: format version,
+///                        install sequence, next segment number, the
+///                        active segment, and the live segment list
+///   <dir>/NNNNNN.seg     segment: a run of kStoreEntry / kStoreTombstone
+///                        records, each carrying (key, sequence, blob)
+///
+/// Writes go to the single *active* segment; when it exceeds
+/// `segment_max_bytes` it is sealed and a fresh active segment is opened.
+/// A background (or foreground) compaction merges every sealed segment
+/// into one consolidated snapshot segment — last write per key wins, by
+/// global sequence number; deleted keys vanish — then atomically installs
+/// a MANIFEST listing the new segment set and deletes the superseded files.
+///
+/// Crash-safety invariants (docs/storage.md derives them in full):
+///   I1. The MANIFEST is only ever replaced atomically: written complete to
+///       MANIFEST.tmp, then rename(2)d over MANIFEST.
+///   I2. An *active* segment is listed in the MANIFEST before its first
+///       record is written; a *consolidated* segment is written complete
+///       before the MANIFEST listing it is installed.
+///   I3. Therefore any .seg file not listed in the current MANIFEST is
+///       garbage (an uninstalled compaction output, or a compaction input
+///       whose deletion did not finish) and is deleted at Open.
+///   I4. Only the active segment may have a damaged tail (a crash
+///       mid-append); Open truncates it at the last clean record and never
+///       appends after recovered bytes (the recovered segment is sealed and
+///       a fresh active segment rolled). Damage in any other live segment
+///       is real corruption and fails Open.
+///
+/// Durability is to the OS (fflush on every Put), matching the
+/// checkpoint_log contract: crash-of-process safe, not power-loss safe.
+
+#ifndef LDPHH_STORE_CHECKPOINT_STORE_H_
+#define LDPHH_STORE_CHECKPOINT_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/checkpoint_log.h"
+
+namespace ldphh {
+
+/// Record tags the store writes into its segment and MANIFEST files, in the
+/// checkpoint_log "first tag free for other subsystems" range.
+inline constexpr CheckpointRecordType kStoreEntryRecord =
+    static_cast<CheckpointRecordType>(128);
+inline constexpr CheckpointRecordType kStoreTombstoneRecord =
+    static_cast<CheckpointRecordType>(129);
+inline constexpr CheckpointRecordType kStoreManifestRecord =
+    static_cast<CheckpointRecordType>(130);
+
+/// Tuning for CheckpointStore.
+struct CheckpointStoreOptions {
+  /// Seal the active segment once it exceeds this many bytes.
+  size_t segment_max_bytes = 1 << 20;
+  /// Background compaction runs when this many sealed segments are live.
+  /// Foreground Compact() ignores the trigger.
+  int compaction_trigger = 4;
+  /// Spawn the background compaction thread. Off, compaction only happens
+  /// via explicit Compact() calls.
+  bool background_compaction = true;
+};
+
+/// Counters for tests, benchmarks, and operators (a consistent snapshot).
+struct CheckpointStoreStats {
+  uint64_t live_segments = 0;    ///< Segments in the current MANIFEST.
+  uint64_t sealed_segments = 0;  ///< Live segments no longer written to.
+  uint64_t entries = 0;          ///< Distinct live keys.
+  uint64_t compactions = 0;      ///< Compactions completed since Open.
+  uint64_t manifest_installs = 0;///< MANIFEST replacements since Open.
+  uint64_t recovered_records = 0;///< Records replayed by Open.
+  uint64_t recovered_bytes = 0;  ///< Segment bytes scanned by Open.
+  uint64_t dropped_tail_records = 0;  ///< Torn/corrupt active-tail records
+                                      ///< discarded by Open.
+};
+
+/// \brief The durable keyed blob store.
+///
+/// Thread-safe: Put/Delete/Get/Keys/Compact may be called concurrently.
+/// Blobs are cached in memory (they are the epoch working set the windowed
+/// queries read); the segment files are the durable copy replayed at Open.
+class CheckpointStore {
+ public:
+  /// Crash-injection points for the compaction test suite: when set,
+  /// Compact() abandons the pass right after the named phase exactly as a
+  /// kill would — files are left as-is and the in-memory store must be
+  /// discarded (reopen the directory to observe recovery).
+  enum class CompactionCrashPoint {
+    kNone = 0,
+    kAfterConsolidatedSegment,  ///< Output fully written; MANIFEST untouched.
+    kAfterTempManifest,         ///< MANIFEST.tmp written; rename not done.
+    kAfterManifestInstall,      ///< New MANIFEST live; inputs not yet deleted.
+  };
+
+  /// Opens (creating if needed) the store at \p dir and recovers its state
+  /// from the MANIFEST and live segments. Fails on real corruption, never
+  /// on the debris of a crash.
+  static StatusOr<std::unique_ptr<CheckpointStore>> Open(
+      const std::string& dir, const CheckpointStoreOptions& options);
+
+  ~CheckpointStore();
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Stores \p blob under \p key (replacing any previous value); flushed to
+  /// the OS before returning. May seal the active segment.
+  Status Put(uint64_t key, std::string_view blob);
+
+  /// Removes \p key (a durable tombstone; compaction reclaims the space).
+  /// Deleting an absent key is OK.
+  Status Delete(uint64_t key);
+
+  /// Fetches the blob stored under \p key; kOutOfRange if absent.
+  Status Get(uint64_t key, std::string* blob) const;
+
+  bool Contains(uint64_t key) const;
+
+  /// All live keys, ascending.
+  std::vector<uint64_t> Keys() const;
+
+  /// Merges every sealed segment into one consolidated snapshot segment and
+  /// deletes the inputs. No-op with fewer than two sealed segments (unless
+  /// they hold superseded or deleted data worth dropping).
+  Status Compact();
+
+  /// Blocks until no compaction is running and, if the background thread is
+  /// enabled, the trigger condition is not met. For tests and benchmarks.
+  Status WaitForCompaction();
+
+  CheckpointStoreStats Stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Arms the crash injection for the next Compact() pass (test-only).
+  void set_crash_point_for_testing(CompactionCrashPoint p) {
+    crash_point_.store(p);
+  }
+
+  /// Segment file name for segment number \p n ("NNNNNN.seg").
+  static std::string SegmentFileName(uint64_t n);
+
+ private:
+  struct KeyState {
+    uint64_t sequence = 0;  ///< Global write sequence; highest wins.
+    uint64_t segment = 0;   ///< Segment holding the winning record.
+    std::string blob;
+  };
+
+  CheckpointStore(std::string dir, CheckpointStoreOptions options);
+
+  Status Recover();
+  Status ReplaySegment(uint64_t segment, bool is_active,
+                       std::map<uint64_t, KeyState>* entries,
+                       std::map<uint64_t, uint64_t>* tombstones);
+  /// Writes the MANIFEST describing the given state to MANIFEST.tmp and
+  /// renames it into place. Caller holds mu_. With \p abandon_before_rename
+  /// the tmp file is left uninstalled — the kAfterTempManifest kill.
+  Status InstallManifestLocked(const std::set<uint64_t>& live,
+                               uint64_t next_segment, uint64_t active_segment,
+                               bool abandon_before_rename = false);
+  /// Seals the active segment and opens a fresh one. Caller holds mu_.
+  Status RollActiveLocked();
+  Status AppendRecordLocked(CheckpointRecordType type, uint64_t key,
+                            std::string_view blob);
+  Status CompactPass(bool respect_trigger);
+  void BackgroundLoop();
+  int SealedCountLocked() const {
+    return static_cast<int>(live_.size()) - 1;  // All live but the active.
+  }
+  std::string PathOf(uint64_t segment) const;
+
+  const std::string dir_;
+  const CheckpointStoreOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, KeyState> entries_;
+  std::set<uint64_t> live_;        ///< Live segment numbers (incl. active).
+  uint64_t active_segment_ = 0;
+  size_t active_bytes_ = 0;
+  uint64_t next_segment_ = 1;
+  uint64_t next_sequence_ = 1;
+  uint64_t manifest_sequence_ = 0;
+  CheckpointWriter active_writer_;
+  CheckpointStoreStats stats_;
+
+  std::mutex compaction_mu_;       ///< Serializes compaction passes.
+  std::condition_variable work_cv_;   ///< Wakes the background thread.
+  std::condition_variable idle_cv_;   ///< Signals WaitForCompaction.
+  bool compacting_ = false;
+  bool stop_ = false;
+  std::thread compactor_;
+
+  std::atomic<CompactionCrashPoint> crash_point_{CompactionCrashPoint::kNone};
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_STORE_CHECKPOINT_STORE_H_

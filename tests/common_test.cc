@@ -1,4 +1,5 @@
-// Tests for src/common: Status/StatusOr, Rng, math_util, bit_util, timer.
+// Tests for src/common: Status/StatusOr, Rng, math_util, bit_util, crc32,
+// timer.
 
 #include <gtest/gtest.h>
 
@@ -6,8 +7,10 @@
 #include <limits>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/common/bit_util.h"
+#include "src/common/crc32.h"
 #include "src/common/math_util.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
@@ -441,6 +444,55 @@ TEST(Timer, MeasuresNonNegativeElapsed) {
   EXPECT_GE(t.Nanos(), 0);
   t.Reset();
   EXPECT_LT(t.Seconds(), 1.0);
+}
+
+// ----------------------------------------------------------------- crc32 --
+
+TEST(Crc32, MatchesKnownVectors) {
+  // RFC 3720 / iSCSI CRC-32C test vectors.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62a8ab43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46dd794eu);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32, HardwareAndSoftwarePathsAgree) {
+  // The dispatched implementation (hardware where the CPU offers it) must
+  // equal the table implementation on every length, alignment, and seed.
+  Rng rng(2026);
+  std::vector<uint8_t> buf(4096 + 16);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.UniformU64(256));
+  for (size_t len : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{8},
+                     size_t{9}, size_t{63}, size_t{64}, size_t{1000},
+                     size_t{4096}}) {
+    for (size_t offset : {size_t{0}, size_t{1}, size_t{5}}) {
+      const uint32_t sw = internal::Crc32cSoftware(buf.data() + offset, len);
+      EXPECT_EQ(Crc32c(buf.data() + offset, len), sw)
+          << "len " << len << " offset " << offset;
+      const uint32_t seeded_sw =
+          internal::Crc32cSoftware(buf.data() + offset, len, 0xdeadbeefu);
+      EXPECT_EQ(Crc32c(buf.data() + offset, len, 0xdeadbeefu), seeded_sw)
+          << "seeded, len " << len << " offset " << offset;
+    }
+  }
+}
+
+TEST(Crc32, ExtendOverConcatenationMatchesWhole) {
+  const std::string a = "checkpoint ", b = "record";
+  const std::string whole = a + b;
+  const uint32_t split = Crc32c(b.data(), b.size(), Crc32c(a.data(), a.size()));
+  EXPECT_EQ(split, Crc32c(whole.data(), whole.size()));
+}
+
+TEST(Crc32, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(UnmaskCrc32(MaskCrc32(crc)), crc);
+    EXPECT_NE(MaskCrc32(crc), crc);
+  }
 }
 
 }  // namespace

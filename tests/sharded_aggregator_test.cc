@@ -21,6 +21,7 @@
 #include "src/freq/olh.h"
 #include "src/freq/unary_encoding.h"
 #include "src/protocols/bitstogram.h"
+#include "src/protocols/private_expander_sketch.h"
 #include "src/protocols/treehist.h"
 #include "src/server/report_codec.h"
 #include "src/workload/workload.h"
@@ -420,6 +421,40 @@ TEST(ShardedProtocols, TreeHistShardedRunMatchesSequential) {
     EXPECT_EQ(shard_res.entries[i].item, seq_res.entries[i].item);
     EXPECT_EQ(shard_res.entries[i].estimate, seq_res.entries[i].estimate);
   }
+}
+
+TEST(ShardedProtocols, PrivateExpanderSketchShardedRunMatchesSequential) {
+  PesParams p;
+  p.domain_bits = 16;
+  p.epsilon = 4.0;
+  p.beta = 1e-3;
+  p.num_coords = 8;
+  p.hash_range = 16;
+  p.expander_degree = 4;
+  const uint64_t n = 1 << 15;
+  const Workload w = MakePlantedWorkload(n, 16, {0.3, 0.2}, 23);
+
+  auto sequential = std::move(PrivateExpanderSketch::Create(p)).value();
+  const auto seq_res = std::move(sequential.Run(w.database, 9)).value();
+
+  p.num_shards = 4;
+  auto sharded = std::move(PrivateExpanderSketch::Create(p)).value();
+  const auto shard_res = std::move(sharded.Run(w.database, 9)).value();
+
+  ASSERT_EQ(shard_res.entries.size(), seq_res.entries.size());
+  for (size_t i = 0; i < seq_res.entries.size(); ++i) {
+    EXPECT_EQ(shard_res.entries[i].item, seq_res.entries[i].item);
+    EXPECT_EQ(shard_res.entries[i].estimate, seq_res.entries[i].estimate);
+  }
+}
+
+TEST(ShardedProtocols, PesCreateValidatesNumShards) {
+  PesParams p;
+  p.domain_bits = 16;
+  p.num_shards = 0;
+  EXPECT_FALSE(PrivateExpanderSketch::Create(p).ok());
+  p.num_shards = 257;
+  EXPECT_FALSE(PrivateExpanderSketch::Create(p).ok());
 }
 
 TEST(ShardedProtocols, BitstogramShardedRunMatchesSequential) {
