@@ -6,7 +6,9 @@
 //
 // The acceptance metrics are BM_StorePut (epochs/s = items_per_second,
 // MB/s = bytes_per_second), BM_StoreRecovery (replayed epochs/s), and
-// BM_StoreCompaction (consolidated MB/s).
+// BM_StoreCompaction (consolidated MB/s). BM_StorePut runs one column per
+// SyncMode (none/data/full) so the fsync cost of power-loss durability is
+// on the record — see docs/storage.md for reference numbers.
 
 #include <benchmark/benchmark.h>
 
@@ -43,21 +45,27 @@ std::string BenchDir(const char* name) {
          "_" + std::to_string(::getpid());
 }
 
-CheckpointStoreOptions BenchOptions() {
+CheckpointStoreOptions BenchOptions(SyncMode sync_mode = SyncMode::kNone) {
   CheckpointStoreOptions o;
   o.segment_max_bytes = 1 << 20;
   o.background_compaction = false;  // Measured explicitly below.
+  o.sync_mode = sync_mode;
   return o;
 }
 
+// Checkpoint-write throughput per SyncMode: none (flush-to-OS, the pre-
+// fsync contract), data (fdatasync per Put), full (fsync per Put). The
+// none→full gap is the price of power-loss durability.
 void BM_StorePut(benchmark::State& state) {
   const size_t blob_size = static_cast<size_t>(state.range(0));
+  const SyncMode sync_mode = static_cast<SyncMode>(state.range(1));
   const std::string dir = BenchDir("put");
   uint64_t epoch = 0;
   for (auto _ : state) {
     state.PauseTiming();
     fs::remove_all(dir);
-    auto store = std::move(CheckpointStore::Open(dir, BenchOptions())).value();
+    auto store =
+        std::move(CheckpointStore::Open(dir, BenchOptions(sync_mode))).value();
     state.ResumeTiming();
     for (int e = 0; e < 256; ++e) {
       if (!store->Put(epoch, EpochBlob(epoch, blob_size)).ok()) {
@@ -71,8 +79,11 @@ void BM_StorePut(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
   state.SetBytesProcessed(state.iterations() * 256 *
                           static_cast<int64_t>(blob_size));
+  state.SetLabel(std::string("sync=") + SyncModeName(sync_mode));
 }
-BENCHMARK(BM_StorePut)->Arg(1 << 10)->Arg(1 << 14)
+BENCHMARK(BM_StorePut)
+    ->Args({1 << 10, 0})->Args({1 << 10, 1})->Args({1 << 10, 2})
+    ->Args({1 << 14, 0})->Args({1 << 14, 1})->Args({1 << 14, 2})
     ->Unit(benchmark::kMillisecond);
 
 void BM_StoreRecovery(benchmark::State& state) {

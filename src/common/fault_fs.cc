@@ -1,0 +1,222 @@
+#include "src/common/fault_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ldphh {
+
+namespace {
+
+Status NotFound(const char* op, const std::string& path) {
+  return Status::Internal(std::string("fault fs: ") + op +
+                          " failed for " + path + ": no such file");
+}
+
+}  // namespace
+
+/// \brief WritableFile over a fault-fs inode. Append grows the volatile
+/// content; Sync copies it to the durable image. Flush is a no-op: the
+/// volatile content *is* the OS view (process crashes are modelled by
+/// simply dropping the store object, which loses nothing here — only
+/// SimulatePowerLoss destroys state).
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingFileSystem* fs,
+                    std::shared_ptr<FaultInjectingFileSystem::Inode> inode)
+      : fs_(fs), inode_(std::move(inode)) {}
+
+  Status Append(std::string_view data) override {
+    if (inode_ == nullptr) {
+      return Status::FailedPrecondition("fault fs: Append on closed file");
+    }
+    std::lock_guard<std::mutex> lk(fs_->mu_);
+    inode_->content.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (inode_ == nullptr) {
+      return Status::FailedPrecondition("fault fs: Flush on closed file");
+    }
+    return Status::OK();
+  }
+
+  Status Sync(SyncMode mode) override {
+    LDPHH_RETURN_IF_ERROR(Flush());
+    if (mode == SyncMode::kNone) return Status::OK();
+    std::lock_guard<std::mutex> lk(fs_->mu_);
+    inode_->durable = inode_->content;
+    ++fs_->file_syncs_;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    inode_.reset();
+    return Status::OK();
+  }
+
+ private:
+  FaultInjectingFileSystem* const fs_;
+  std::shared_ptr<FaultInjectingFileSystem::Inode> inode_;
+};
+
+class FaultSequentialFile : public SequentialFile {
+ public:
+  FaultSequentialFile(FaultInjectingFileSystem* fs,
+                      std::shared_ptr<FaultInjectingFileSystem::Inode> inode,
+                      uint64_t size)
+      : fs_(fs), inode_(std::move(inode)), size_(size) {}
+
+  Status Read(char* buf, size_t n, size_t* bytes_read) override {
+    std::lock_guard<std::mutex> lk(fs_->mu_);
+    const std::string& content = inode_->content;
+    const size_t avail =
+        offset_ < content.size() ? content.size() - offset_ : 0;
+    const size_t got = std::min(n, avail);
+    std::memcpy(buf, content.data() + offset_, got);
+    offset_ += got;
+    *bytes_read = got;
+    return Status::OK();
+  }
+
+  uint64_t Tell() const override { return offset_; }
+  uint64_t size() const override { return size_; }
+
+ private:
+  FaultInjectingFileSystem* const fs_;
+  const std::shared_ptr<FaultInjectingFileSystem::Inode> inode_;
+  const uint64_t size_;
+  size_t offset_ = 0;
+};
+
+StatusOr<std::unique_ptr<WritableFile>>
+FaultInjectingFileSystem::NewWritableFile(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(path);
+  std::shared_ptr<Inode> inode;
+  if (it == live_.end()) {
+    inode = std::make_shared<Inode>();
+    live_[path] = inode;  // A volatile entry until the directory syncs.
+  } else {
+    inode = it->second;
+  }
+  return std::unique_ptr<WritableFile>(new FaultWritableFile(this, inode));
+}
+
+StatusOr<std::unique_ptr<SequentialFile>>
+FaultInjectingFileSystem::NewSequentialFile(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = live_.find(path);
+  if (it == live_.end()) return NotFound("open", path);
+  return std::unique_ptr<SequentialFile>(new FaultSequentialFile(
+      this, it->second, it->second->content.size()));
+}
+
+StatusOr<bool> FaultInjectingFileSystem::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.count(path) != 0;
+}
+
+StatusOr<uint64_t> FaultInjectingFileSystem::FileSize(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = live_.find(path);
+  if (it == live_.end()) return NotFound("stat", path);
+  return static_cast<uint64_t>(it->second->content.size());
+}
+
+Status FaultInjectingFileSystem::Truncate(const std::string& path,
+                                          uint64_t size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = live_.find(path);
+  if (it == live_.end()) return NotFound("truncate", path);
+  if (size < it->second->content.size()) it->second->content.resize(size);
+  // The durable image is left alone: an unsynced truncate can un-happen
+  // on power loss, exactly like the real thing. Recovery re-truncates.
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  live_.erase(path);  // Absent is OK; durable entry dies at SyncDirectory.
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::RenameFile(const std::string& from,
+                                            const std::string& to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = live_.find(from);
+  if (it == live_.end()) return NotFound("rename", from);
+  live_[to] = it->second;  // Replaces any existing target, like rename(2).
+  live_.erase(from);
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::CreateDirectories(const std::string&) {
+  // Directory creation is modelled as durable and always succeeding; the
+  // namespace is flat path->inode maps, so there is nothing to record.
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::SyncDirectory(const std::string& dir) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++dir_syncs_;
+  // The durable namespace under `dir` becomes the live namespace: entries
+  // created/renamed-in become durable, deleted/renamed-away entries die.
+  for (auto it = durable_ns_.begin(); it != durable_ns_.end();) {
+    if (ParentDirectory(it->first) == dir && live_.count(it->first) == 0) {
+      it = durable_ns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, inode] : live_) {
+    if (ParentDirectory(path) == dir) durable_ns_[path] = inode;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::ListDirectory(
+    const std::string& dir, std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lk(mu_);
+  names->clear();
+  for (const auto& [path, inode] : live_) {
+    if (ParentDirectory(path) == dir) {
+      names->push_back(path.substr(dir.size() + 1));
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjectingFileSystem::SimulatePowerLoss(
+    size_t unsynced_tail_bytes_kept) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [path, inode] : durable_ns_) {
+    std::string survives = inode->durable;
+    // If the volatile content extends the durable image, a torn prefix of
+    // the unsynced tail may have reached a sector before the lights went
+    // out.
+    if (unsynced_tail_bytes_kept > 0 &&
+        inode->content.size() > survives.size() &&
+        inode->content.compare(0, survives.size(), survives) == 0) {
+      const size_t extra = std::min(unsynced_tail_bytes_kept,
+                                    inode->content.size() - survives.size());
+      survives.append(inode->content, survives.size(), extra);
+    }
+    inode->content = survives;
+    inode->durable = std::move(survives);
+  }
+  live_ = durable_ns_;
+}
+
+uint64_t FaultInjectingFileSystem::file_sync_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return file_syncs_;
+}
+
+uint64_t FaultInjectingFileSystem::dir_sync_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dir_syncs_;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,88 @@
+/// \file fault_fs.h
+/// \brief In-memory FileSystem with power-loss fault injection.
+///
+/// The test double behind the durability suite (tests/power_loss_test.cc):
+/// a fully in-memory FileSystem that models exactly what POSIX promises —
+/// and nothing more:
+///
+///   - Appended bytes live in the file's volatile content; only
+///     `WritableFile::Sync(kData|kFull)` copies them to the durable image.
+///   - A created, deleted, or renamed directory *entry* is volatile until
+///     `SyncDirectory(parent)` runs; an fsynced file whose entry was never
+///     synced is unreachable after power loss, and a deleted-but-unsynced
+///     entry resurrects.
+///   - `SimulatePowerLoss()` discards every volatile byte and entry,
+///     leaving the directory tree exactly as a machine would find it after
+///     the power came back. Optionally a prefix of each file's unsynced
+///     tail survives (sector-granularity writes), which is how the torn
+///     tails the recovery paths must tolerate are produced.
+///
+/// Deterministic, thread-safe, no real I/O — a store opened against this
+/// filesystem must touch no actual disk (asserted in the tests: routing
+/// any write path around the file layer shows up as a real file).
+
+#ifndef LDPHH_COMMON_FAULT_FS_H_
+#define LDPHH_COMMON_FAULT_FS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/common/file.h"
+
+namespace ldphh {
+
+/// \brief The fault-injecting in-memory FileSystem.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  FaultInjectingFileSystem() = default;
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  StatusOr<bool> FileExists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDirectories(const std::string& dir) override;
+  Status SyncDirectory(const std::string& dir) override;
+  Status ListDirectory(const std::string& dir,
+                       std::vector<std::string>* names) override;
+
+  /// Power loss: every file reverts to its last-synced content and the
+  /// namespace reverts to its last-synced entries. Files created but never
+  /// directory-synced vanish; deletes and renames never directory-synced
+  /// un-happen. Per file, up to \p unsynced_tail_bytes_kept bytes of the
+  /// unsynced tail survive (0 = drop everything unsynced), modelling the
+  /// torn sector-granularity tail a real disk can leave.
+  void SimulatePowerLoss(size_t unsynced_tail_bytes_kept = 0);
+
+  /// Counters for asserting the store actually syncs where it claims to.
+  uint64_t file_sync_count() const;
+  uint64_t dir_sync_count() const;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultSequentialFile;
+
+  struct Inode {
+    std::string content;  ///< Volatile view (what reads observe).
+    std::string durable;  ///< Survives power loss (if the entry does too).
+  };
+
+  mutable std::mutex mu_;
+  /// Current namespace: what Open/List/Exists observe.
+  std::map<std::string, std::shared_ptr<Inode>> live_;
+  /// Durable namespace: what survives power loss.
+  std::map<std::string, std::shared_ptr<Inode>> durable_ns_;
+  uint64_t file_syncs_ = 0;
+  uint64_t dir_syncs_ = 0;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_FAULT_FS_H_

@@ -1,0 +1,278 @@
+#include "src/common/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace ldphh {
+
+namespace {
+
+constexpr size_t kWriteBufferSize = 1 << 16;
+constexpr size_t kReadBufferSize = 1 << 16;
+
+Status PosixError(const char* op, const std::string& path) {
+  return Status::Internal(std::string("file: ") + op + " failed for " + path +
+                          ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {
+    buffer_.reserve(kWriteBufferSize);
+  }
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      FlushBuffer();  // Best effort; durability needed an explicit Sync.
+      ::close(fd_);
+    }
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("file: Append on closed file");
+    }
+    if (buffer_.size() + data.size() <= kWriteBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    LDPHH_RETURN_IF_ERROR(FlushBuffer());
+    if (data.size() <= kWriteBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    return WriteRaw(data.data(), data.size());
+  }
+
+  Status Flush() override {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("file: Flush on closed file");
+    }
+    return FlushBuffer();
+  }
+
+  Status Sync(SyncMode mode) override {
+    LDPHH_RETURN_IF_ERROR(Flush());
+    if (mode == SyncMode::kNone) return Status::OK();
+    const int rc =
+        mode == SyncMode::kData ? ::fdatasync(fd_) : ::fsync(fd_);
+    if (rc != 0) return PosixError("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    Status st = FlushBuffer();
+    if (::close(fd_) != 0 && st.ok()) st = PosixError("close", path_);
+    fd_ = -1;
+    return st;
+  }
+
+ private:
+  Status FlushBuffer() {
+    if (buffer_.empty()) return Status::OK();
+    LDPHH_RETURN_IF_ERROR(WriteRaw(buffer_.data(), buffer_.size()));
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  Status WriteRaw(const char* data, size_t n) {
+    while (n > 0) {
+      const ssize_t written = ::write(fd_, data, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write", path_);
+      }
+      data += written;
+      n -= static_cast<size_t>(written);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  const std::string path_;
+  std::string buffer_;
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {
+    buffer_.resize(kReadBufferSize);
+  }
+
+  ~PosixSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(char* buf, size_t n, size_t* bytes_read) override {
+    size_t got = 0;
+    while (got < n) {
+      if (buffer_pos_ < buffer_len_) {
+        const size_t chunk = std::min(n - got, buffer_len_ - buffer_pos_);
+        std::memcpy(buf + got, buffer_.data() + buffer_pos_, chunk);
+        buffer_pos_ += chunk;
+        got += chunk;
+        continue;
+      }
+      const ssize_t r = ::read(fd_, buffer_.data(), buffer_.size());
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("read", path_);
+      }
+      if (r == 0) break;  // EOF.
+      buffer_len_ = static_cast<size_t>(r);
+      buffer_pos_ = 0;
+    }
+    offset_ += got;
+    *bytes_read = got;
+    return Status::OK();
+  }
+
+  uint64_t Tell() const override { return offset_; }
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  const uint64_t size_;
+  const std::string path_;
+  uint64_t offset_ = 0;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) return PosixError("open", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixError("open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return PosixError("fstat", path);
+    }
+    return std::unique_ptr<SequentialFile>(new PosixSequentialFile(
+        fd, static_cast<uint64_t>(st.st_size), path));
+  }
+
+  StatusOr<bool> FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT || errno == ENOTDIR) return false;
+    return PosixError("stat", path);
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return PosixError("stat", path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return PosixError("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename", to);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirectories(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("file: create_directories failed for " + dir +
+                              ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status SyncDirectory(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return PosixError("open dir", dir);
+    Status st;
+    if (::fsync(fd) != 0) {
+      // Some filesystems refuse fsync on a directory fd; the entries are
+      // then as durable as that filesystem can make them.
+      if (errno != EINVAL && errno != ENOTSUP && errno != EBADF) {
+        st = PosixError("fsync dir", dir);
+      }
+    }
+    ::close(fd);
+    return st;
+  }
+
+  Status ListDirectory(const std::string& dir,
+                       std::vector<std::string>* names) override {
+    names->clear();
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      return Status::Internal("file: list failed for " + dir + ": " +
+                              ec.message());
+    }
+    for (const auto& entry : it) {
+      names->push_back(entry.path().filename().string());
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const char* SyncModeName(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kNone: return "none";
+    case SyncMode::kData: return "data";
+    case SyncMode::kFull: return "full";
+  }
+  return "unknown";
+}
+
+Status FileSystem::RenameAndSync(const std::string& from,
+                                 const std::string& to) {
+  LDPHH_RETURN_IF_ERROR(RenameFile(from, to));
+  return SyncDirectory(ParentDirectory(to));
+}
+
+FileSystem* FileSystem::Default() {
+  static PosixFileSystem* const kDefault = new PosixFileSystem();
+  return kDefault;
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace ldphh

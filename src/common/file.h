@@ -1,0 +1,138 @@
+/// \file file.h
+/// \brief Power-loss-grade file abstraction under every byte-to-disk path.
+///
+/// The repo's storage stack (checkpoint_log, checkpoint_store, epoch
+/// manager) used to write through stdio: `fflush` made data visible to the
+/// OS, which survives a process crash but not an OS crash or power loss —
+/// segment data, a renamed MANIFEST, and directory entries can all vanish
+/// or reorder. This layer gives every writer the discipline a production
+/// store uses (the leveldb/rocksdb Env idiom, scaled down):
+///
+///   - `WritableFile` over a POSIX fd: `Append` buffers in user space,
+///     `Flush` hands bytes to the OS (`write(2)`), `Sync(data|full)`
+///     makes them power-loss durable (`fdatasync(2)` / `fsync(2)`).
+///   - `SyncDirectory(path)`: `fsync` on the directory fd, the only way a
+///     created, deleted, or renamed *entry* becomes durable.
+///   - `RenameAndSync(tmp, final)`: the write-temp + rename + parent-dir
+///     sync install step every MANIFEST-style pointer swap needs.
+///   - An injectable `FileSystem` factory so tests can substitute a
+///     fault-injecting implementation (src/common/fault_fs.h) that drops
+///     all unsynced bytes and unsynced directory entries on simulated
+///     power loss.
+///
+/// Contract: data is durable only after `Sync` with `kData`/`kFull` *and*
+/// (for a newly created file) a sync of its parent directory. `Sync` with
+/// `kNone` degrades to `Flush` — the old crash-of-process-only contract —
+/// so callers can expose the knob without branching.
+
+#ifndef LDPHH_COMMON_FILE_H_
+#define LDPHH_COMMON_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// How far a Sync pushes bytes toward the platter.
+enum class SyncMode : int {
+  kNone = 0,  ///< Flush to the OS only: process-crash safe, power-loss unsafe.
+  kData = 1,  ///< fdatasync: data + the metadata needed to read it back.
+  kFull = 2,  ///< fsync: data + all file metadata.
+};
+
+/// Human-readable name ("none" / "data" / "full") for logs and benchmarks.
+const char* SyncModeName(SyncMode mode);
+
+/// \brief Append-only writable file over a POSIX fd (or a test double).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Buffers \p data for writing; no durability implied.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes buffered bytes to the OS (write(2)): survives a process crash.
+  virtual Status Flush() = 0;
+
+  /// Flushes, then makes the file's bytes power-loss durable per \p mode
+  /// (kNone degrades to Flush). Does NOT sync the parent directory entry.
+  virtual Status Sync(SyncMode mode) = 0;
+
+  /// Flushes and closes. Does not sync: callers that need durability must
+  /// Sync first.
+  virtual Status Close() = 0;
+};
+
+/// \brief Sequentially readable file.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to \p n bytes into \p buf; \p *bytes_read < n means EOF.
+  virtual Status Read(char* buf, size_t n, size_t* bytes_read) = 0;
+
+  /// Byte offset of the read cursor.
+  virtual uint64_t Tell() const = 0;
+
+  /// File size observed at Open (the files replayed here are not
+  /// concurrently appended).
+  virtual uint64_t size() const = 0;
+};
+
+/// \brief Factory + namespace operations; inject a fault-injecting one in
+/// tests (src/common/fault_fs.h), use Default() in production.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens \p path for appending (creating it if absent) — the layer is
+  /// append-only; fresh-content callers remove the file first.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  virtual StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  virtual StatusOr<bool> FileExists(const std::string& path) = 0;
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Truncates \p path to \p size bytes (recovery chops damaged tails).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Unlinks \p path; an absent file is OK (sweeps are idempotent).
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// rename(2): atomic replace, durable only after SyncDirectory.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status CreateDirectories(const std::string& dir) = 0;
+
+  /// Makes \p dir's entries (creations, deletions, renames) durable.
+  virtual Status SyncDirectory(const std::string& dir) = 0;
+
+  /// File names (not paths) in \p dir, unordered.
+  virtual Status ListDirectory(const std::string& dir,
+                               std::vector<std::string>* names) = 0;
+
+  /// The MANIFEST install step: rename \p from over \p to, then sync the
+  /// parent directory so a crash cannot resurrect the old pointee or
+  /// leave the new entry dangling.
+  Status RenameAndSync(const std::string& from, const std::string& to);
+
+  /// The production POSIX filesystem (a process-lifetime singleton).
+  static FileSystem* Default();
+};
+
+/// Directory part of \p path ("." when there is none).
+std::string ParentDirectory(const std::string& path);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_COMMON_FILE_H_

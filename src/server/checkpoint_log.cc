@@ -1,31 +1,32 @@
 #include "src/server/checkpoint_log.h"
 
-#include <cerrno>
-#include <cstring>
-#include <vector>
+#include <cstdint>
 
 #include "src/common/crc32.h"
 #include "src/common/serde.h"
 
 namespace ldphh {
 
-namespace {
-
-Status IoError(const char* op, const std::string& path) {
-  return Status::Internal(std::string("checkpoint log: ") + op + " failed for " +
-                          path + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
 // ------------------------------------------------------------------ writer --
 
-Status CheckpointWriter::Open(const std::string& path) {
+Status CheckpointWriter::Open(const std::string& path, FileSystem* fs,
+                              SyncMode sync_mode) {
   if (file_ != nullptr) {
     return Status::FailedPrecondition("checkpoint log: writer already open");
   }
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) return IoError("open", path);
+  fs_ = fs != nullptr ? fs : FileSystem::Default();
+  auto existed_or = fs_->FileExists(path);
+  LDPHH_RETURN_IF_ERROR(existed_or.status());
+  auto file_or = fs_->NewWritableFile(path);
+  LDPHH_RETURN_IF_ERROR(file_or.status());
+  file_ = std::move(file_or).value();
+  path_ = path;
+  sync_mode_ = sync_mode;
+  // A newly created file's directory entry is volatile until the parent
+  // directory is synced; deferring that to the first Sync() keeps Open
+  // cheap and still ensures the entry is durable before any record is
+  // acknowledged.
+  dir_sync_pending_ = !existed_or.value() && sync_mode != SyncMode::kNone;
   return Status::OK();
 }
 
@@ -46,37 +47,46 @@ Status CheckpointWriter::Append(CheckpointRecordType type,
   PutU32(&header, MaskCrc32(crc));
   PutU32(&header, static_cast<uint32_t>(payload.size()));
   PutU8(&header, static_cast<uint8_t>(type));
-  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
-    return IoError("write", "<record>");
+  LDPHH_RETURN_IF_ERROR(file_->Append(header));
+  return file_->Append(payload);
+}
+
+Status CheckpointWriter::Flush() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("checkpoint log: Flush on closed writer");
   }
-  return Status::OK();
+  return file_->Flush();
 }
 
 Status CheckpointWriter::Sync() {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("checkpoint log: Sync on closed writer");
   }
-  if (std::fflush(file_) != 0) return IoError("flush", "<log>");
+  LDPHH_RETURN_IF_ERROR(file_->Sync(sync_mode_));
+  if (dir_sync_pending_) {
+    LDPHH_RETURN_IF_ERROR(fs_->SyncDirectory(ParentDirectory(path_)));
+    dir_sync_pending_ = false;
+  }
   return Status::OK();
 }
 
 Status CheckpointWriter::Close() {
   if (file_ == nullptr) return Status::OK();
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return IoError("close", "<log>");
-  return Status::OK();
+  const Status st = file_->Close();
+  file_.reset();
+  return st;
 }
 
 // ------------------------------------------------------------------ reader --
 
-Status CheckpointReader::Open(const std::string& path) {
+Status CheckpointReader::Open(const std::string& path, FileSystem* fs) {
   if (file_ != nullptr) {
     return Status::FailedPrecondition("checkpoint log: reader already open");
   }
-  file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) return IoError("open", path);
+  FileSystem* const resolved = fs != nullptr ? fs : FileSystem::Default();
+  auto file_or = resolved->NewSequentialFile(path);
+  LDPHH_RETURN_IF_ERROR(file_or.status());
+  file_ = std::move(file_or).value();
   return Status::OK();
 }
 
@@ -85,7 +95,8 @@ Status CheckpointReader::Read(CheckpointRecordType* type, std::string* payload) 
     return Status::FailedPrecondition("checkpoint log: Read on closed reader");
   }
   char header[kCheckpointRecordHeaderSize];
-  const size_t got = std::fread(header, 1, sizeof(header), file_);
+  size_t got = 0;
+  LDPHH_RETURN_IF_ERROR(file_->Read(header, sizeof(header), &got));
   if (got == 0) return Status::OutOfRange("checkpoint log: end of log");
   if (got < sizeof(header)) {
     return Status::OutOfRange("checkpoint log: truncated record header (tail)");
@@ -101,21 +112,19 @@ Status CheckpointReader::Read(CheckpointRecordType* type, std::string* payload) 
   // allocating: the length field is not covered by the record CRC, and a
   // corrupt (or torn) value must not drive a multi-GB resize. A too-large
   // length is indistinguishable from a torn tail, so it ends the log.
-  const long pos = std::ftell(file_);
-  if (pos >= 0) {
-    if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek", "<log>");
-    const long end = std::ftell(file_);
-    if (std::fseek(file_, pos, SEEK_SET) != 0) return IoError("seek", "<log>");
-    if (end >= 0 && static_cast<uint64_t>(length) >
-                        static_cast<uint64_t>(end - pos)) {
-      return Status::OutOfRange(
-          "checkpoint log: record length exceeds file size (torn or corrupt "
-          "tail)");
-    }
+  const uint64_t remaining = file_->size() - file_->Tell();
+  if (static_cast<uint64_t>(length) > remaining) {
+    return Status::OutOfRange(
+        "checkpoint log: record length exceeds file size (torn or corrupt "
+        "tail)");
   }
   payload->resize(length);
-  if (length > 0 && std::fread(payload->data(), 1, length, file_) != length) {
-    return Status::OutOfRange("checkpoint log: truncated record payload (tail)");
+  if (length > 0) {
+    LDPHH_RETURN_IF_ERROR(file_->Read(payload->data(), length, &got));
+    if (got != length) {
+      return Status::OutOfRange(
+          "checkpoint log: truncated record payload (tail)");
+    }
   }
   uint32_t crc = Crc32c(&raw_type, 1);
   crc = Crc32c(payload->data(), payload->size(), crc);
@@ -128,13 +137,11 @@ Status CheckpointReader::Read(CheckpointRecordType* type, std::string* payload) 
 
 long CheckpointReader::Tell() const {
   if (file_ == nullptr) return -1;
-  return std::ftell(file_);
+  return static_cast<long>(file_->Tell());
 }
 
 Status CheckpointReader::Close() {
-  if (file_ == nullptr) return Status::OK();
-  std::fclose(file_);
-  file_ = nullptr;
+  file_.reset();
   return Status::OK();
 }
 

@@ -11,15 +11,23 @@
 /// clean end-of-log (`kOutOfRange`), so recovery replays every fully
 /// written record. A CRC mismatch on a complete record is real corruption
 /// and surfaces as `kDecodeFailure`.
+///
+/// All I/O goes through the file layer (src/common/file.h): `Sync()` makes
+/// acknowledged records power-loss durable per the writer's SyncMode
+/// (default kFull — fsync before a checkpoint is declared durable; kNone
+/// restores the old flush-to-OS, process-crash-only contract). The first
+/// Sync of a newly created log also syncs the parent directory, so the
+/// file itself survives the power loss its records do.
 
 #ifndef LDPHH_SERVER_CHECKPOINT_LOG_H_
 #define LDPHH_SERVER_CHECKPOINT_LOG_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "src/common/file.h"
 #include "src/common/status.h"
 
 namespace ldphh {
@@ -42,22 +50,34 @@ class CheckpointWriter {
   CheckpointWriter(const CheckpointWriter&) = delete;
   CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
-  /// Opens \p path for appending (creates the file if absent).
-  Status Open(const std::string& path);
+  /// Opens \p path for appending (creates the file if absent) on \p fs
+  /// (null = FileSystem::Default()). \p sync_mode is what Sync() applies.
+  Status Open(const std::string& path, FileSystem* fs = nullptr,
+              SyncMode sync_mode = SyncMode::kFull);
 
-  /// Appends one record; durable after Sync().
+  /// Appends one record; durable only after Sync().
   Status Append(CheckpointRecordType type, std::string_view payload);
 
-  /// Flushes buffered writes to the OS.
+  /// Pushes buffered writes to the OS (process-crash safe only).
+  Status Flush();
+
+  /// Flushes, then makes every appended record power-loss durable per the
+  /// writer's SyncMode (kNone degrades to Flush). The first Sync of a
+  /// created file also syncs the parent directory entry.
   Status Sync();
 
-  /// Flushes and closes; further Append calls fail.
+  /// Flushes and closes; further Append calls fail. Durability still
+  /// requires a Sync() before the records are acknowledged.
   Status Close();
 
   bool is_open() const { return file_ != nullptr; }
 
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
+  FileSystem* fs_ = nullptr;
+  std::string path_;
+  SyncMode sync_mode_ = SyncMode::kFull;
+  bool dir_sync_pending_ = false;
 };
 
 /// \brief Sequentially reads records written by CheckpointWriter.
@@ -68,7 +88,8 @@ class CheckpointReader {
   CheckpointReader(const CheckpointReader&) = delete;
   CheckpointReader& operator=(const CheckpointReader&) = delete;
 
-  Status Open(const std::string& path);
+  /// Opens \p path on \p fs (null = FileSystem::Default()).
+  Status Open(const std::string& path, FileSystem* fs = nullptr);
 
   /// Reads the next record. Returns kOutOfRange at end of log (including a
   /// crash-truncated tail) and kDecodeFailure on CRC corruption.
@@ -76,13 +97,13 @@ class CheckpointReader {
 
   /// Byte offset of the read cursor — after a successful Read, the end of
   /// that record. Recovery uses this to truncate a damaged tail at the last
-  /// clean record boundary. Returns -1 on a closed reader or ftell failure.
+  /// clean record boundary. Returns -1 on a closed reader.
   long Tell() const;
 
   Status Close();
 
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<SequentialFile> file_;
 };
 
 }  // namespace ldphh

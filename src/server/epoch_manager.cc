@@ -21,7 +21,17 @@ Status EpochManager::RollAggregator() {
   aggregator_ =
       std::make_unique<ShardedAggregator>(factory_, options_.aggregator);
   reports_in_epoch_ = 0;
+  epoch_opened_at_ = Now();
   return aggregator_->Start();
+}
+
+std::chrono::steady_clock::time_point EpochManager::Now() const {
+  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+}
+
+bool EpochManager::EpochTimeUp() const {
+  return options_.epoch_max_duration.count() > 0 &&
+         Now() - epoch_opened_at_ >= options_.epoch_max_duration;
 }
 
 Status EpochManager::Start() {
@@ -56,10 +66,20 @@ Status EpochManager::Submit(const WireReport& report) {
         "EpochManager: Submit outside Start()..Close()");
   }
   LDPHH_RETURN_IF_ERROR(aggregator_->Submit(report));
-  if (++reports_in_epoch_ >= options_.reports_per_epoch) {
+  if (++reports_in_epoch_ >= options_.reports_per_epoch || EpochTimeUp()) {
     return CloseEpoch();
   }
   return Status::OK();
+}
+
+StatusOr<bool> EpochManager::PollClock() {
+  if (!started_ || closed_) {
+    return Status::FailedPrecondition(
+        "EpochManager: PollClock outside Start()..Close()");
+  }
+  if (!EpochTimeUp()) return false;
+  LDPHH_RETURN_IF_ERROR(CloseEpoch());
+  return true;
 }
 
 Status EpochManager::SubmitWire(std::string_view batch) {

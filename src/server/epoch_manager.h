@@ -15,10 +15,13 @@
 /// state is an integer-valued tally (or a report list scanned with
 /// integer-valued support counts), so Merge is exact and associative.
 ///
-/// Durability contract: a closed epoch survives any crash (the store's
-/// Put is flushed before CloseEpoch returns). Reports of the *open* epoch
-/// follow the PR 1 recovery model: clients replay anything submitted after
-/// the last CloseEpoch.
+/// Durability contract: a closed epoch survives any crash — including OS
+/// crash and power loss when the store runs with SyncMode::kFull/kData
+/// (the default): CloseEpoch's store Puts are fsync'd through the file
+/// layer before it returns. Under SyncMode::kNone the epoch is only
+/// process-crash safe. Reports of the *open* epoch follow the PR 1
+/// recovery model: clients replay anything submitted after the last
+/// CloseEpoch.
 ///
 /// Thread-safety: the control surface (Submit/CloseEpoch/Close) is
 /// single-threaded, like ShardedAggregator's Start/Finish; aggregation
@@ -28,7 +31,9 @@
 #ifndef LDPHH_SERVER_EPOCH_MANAGER_H_
 #define LDPHH_SERVER_EPOCH_MANAGER_H_
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -44,6 +49,15 @@ namespace ldphh {
 struct EpochManagerOptions {
   /// Reports per epoch; Submit auto-closes the epoch at this count.
   uint64_t reports_per_epoch = 1 << 16;
+  /// Wall-clock roll policy, alongside the count-based one: close the open
+  /// epoch once it has been open at least this long. Zero disables. The
+  /// elapsed time is checked after every Submit and by PollClock() — a
+  /// quiet stream needs the caller's PollClock cadence (e.g. a timer) to
+  /// roll on time.
+  std::chrono::milliseconds epoch_max_duration{0};
+  /// Injectable time source for the wall-clock policy (tests substitute a
+  /// fake); null means std::chrono::steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> clock;
   /// Shard configuration for the per-epoch aggregator.
   ShardedAggregatorOptions aggregator;
 };
@@ -77,6 +91,11 @@ class EpochManager {
   /// Closing an epoch with zero reports is allowed (a quiet period).
   Status CloseEpoch();
 
+  /// Wall-clock roll for quiet streams: closes the open epoch iff
+  /// epoch_max_duration is set and has elapsed (even with zero reports —
+  /// a quiet period is still an epoch). Returns whether it rolled.
+  StatusOr<bool> PollClock();
+
   /// Closes the open epoch if it holds any reports, then stops ingestion.
   /// Further Submit/CloseEpoch calls fail.
   Status Close();
@@ -103,6 +122,8 @@ class EpochManager {
 
  private:
   Status RollAggregator();
+  std::chrono::steady_clock::time_point Now() const;
+  bool EpochTimeUp() const;
 
   OracleFactory factory_;
   CheckpointStore* store_;
@@ -110,6 +131,7 @@ class EpochManager {
   std::unique_ptr<ShardedAggregator> aggregator_;
   uint64_t current_epoch_ = 0;
   uint64_t reports_in_epoch_ = 0;
+  std::chrono::steady_clock::time_point epoch_opened_at_{};
   bool started_ = false;
   bool closed_ = false;
 };

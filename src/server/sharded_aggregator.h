@@ -80,9 +80,11 @@ class ShardedAggregator {
   /// Blocks until every queue is empty and every worker is idle.
   Status Drain();
 
-  /// Quiesces ingestion and appends [manifest, shard states] to \p log.
-  /// Ingestion may continue afterwards; the checkpoint captures everything
-  /// submitted before the call.
+  /// Quiesces ingestion and appends [manifest, shard states] to \p log,
+  /// finishing with the writer's Sync() — the checkpoint is durable per
+  /// the writer's SyncMode (power-loss durable at the default kFull)
+  /// before this returns success. Ingestion may continue afterwards; the
+  /// checkpoint captures everything submitted before the call.
   Status WriteCheckpoint(CheckpointWriter& log);
 
   /// Loads the last complete checkpoint from \p log into the shard oracles.

@@ -3,12 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <filesystem>
 #include <utility>
 
 #include "src/common/serde.h"
-
-namespace fs = std::filesystem;
 
 namespace ldphh {
 
@@ -34,11 +31,6 @@ bool ParseSegmentFileName(const std::string& name, uint64_t* number) {
   return true;
 }
 
-Status FsError(const char* op, const fs::path& path, const std::error_code& ec) {
-  return Status::Internal(std::string("checkpoint store: ") + op +
-                          " failed for " + path.string() + ": " + ec.message());
-}
-
 }  // namespace
 
 std::string CheckpointStore::SegmentFileName(uint64_t n) {
@@ -52,8 +44,16 @@ std::string CheckpointStore::PathOf(uint64_t segment) const {
   return dir_ + "/" + SegmentFileName(segment);
 }
 
+Status CheckpointStore::SyncDirIfDurable() {
+  if (options_.sync_mode == SyncMode::kNone) return Status::OK();
+  return fs_->SyncDirectory(dir_);
+}
+
 CheckpointStore::CheckpointStore(std::string dir, CheckpointStoreOptions options)
-    : dir_(std::move(dir)), options_(options) {}
+    : dir_(std::move(dir)),
+      options_(options),
+      fs_(options.file_system != nullptr ? options.file_system
+                                         : FileSystem::Default()) {}
 
 StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
     const std::string& dir, const CheckpointStoreOptions& options) {
@@ -82,29 +82,28 @@ CheckpointStore::~CheckpointStore() {
 // ---------------------------------------------------------------- recovery --
 
 Status CheckpointStore::Recover() {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) return FsError("create_directories", dir_, ec);
+  LDPHH_RETURN_IF_ERROR(fs_->CreateDirectories(dir_));
 
   // Phase 1: sweep crash debris — a temp MANIFEST whose rename never
   // happened is simply an uninstalled proposal.
-  fs::directory_iterator temp_scan(dir_, ec);
-  if (ec) return FsError("scan", dir_, ec);
-  for (const auto& entry : temp_scan) {
-    const std::string name = entry.path().filename().string();
+  std::vector<std::string> names;
+  LDPHH_RETURN_IF_ERROR(fs_->ListDirectory(dir_, &names));
+  bool swept = false;
+  for (const std::string& name : names) {
     if (name.size() > 4 && name.compare(name.size() - 4, 4, kTempSuffix) == 0) {
-      std::error_code remove_ec;
-      fs::remove(entry.path(), remove_ec);
-      if (remove_ec) return FsError("remove temp", entry.path(), remove_ec);
+      LDPHH_RETURN_IF_ERROR(fs_->RemoveFile(dir_ + "/" + name));
+      swept = true;
     }
   }
 
   // Phase 2: the MANIFEST names the live segment set.
-  const fs::path manifest_path = fs::path(dir_) / kManifestName;
-  const bool have_manifest = fs::exists(manifest_path, ec);
+  const std::string manifest_path = dir_ + "/" + kManifestName;
+  auto have_manifest_or = fs_->FileExists(manifest_path);
+  LDPHH_RETURN_IF_ERROR(have_manifest_or.status());
+  const bool have_manifest = have_manifest_or.value();
   if (have_manifest) {
     CheckpointReader reader;
-    LDPHH_RETURN_IF_ERROR(reader.Open(manifest_path.string()));
+    LDPHH_RETURN_IF_ERROR(reader.Open(manifest_path, fs_));
     CheckpointRecordType type;
     std::string payload;
     LDPHH_RETURN_IF_ERROR(reader.Read(&type, &payload));
@@ -138,21 +137,19 @@ Status CheckpointStore::Recover() {
   // uninstalled compaction output or a superseded input whose deletion did
   // not finish (invariant I3). Without a MANIFEST the directory must hold
   // no segments at all: refuse to guess (and to delete) otherwise.
-  fs::directory_iterator orphan_scan(dir_, ec);
-  if (ec) return FsError("scan", dir_, ec);
-  for (const auto& entry : orphan_scan) {
+  for (const std::string& name : names) {
     uint64_t seg = 0;
-    if (!ParseSegmentFileName(entry.path().filename().string(), &seg)) continue;
+    if (!ParseSegmentFileName(name, &seg)) continue;
     if (!have_manifest) {
       return Status::FailedPrecondition(
           "checkpoint store: segment files present but no MANIFEST in " + dir_);
     }
     if (live_.count(seg) == 0) {
-      std::error_code remove_ec;
-      fs::remove(entry.path(), remove_ec);
-      if (remove_ec) return FsError("remove orphan", entry.path(), remove_ec);
+      LDPHH_RETURN_IF_ERROR(fs_->RemoveFile(dir_ + "/" + name));
+      swept = true;
     }
   }
+  if (swept) LDPHH_RETURN_IF_ERROR(SyncDirIfDurable());
 
   if (!have_manifest) {
     // Fresh store: install the first MANIFEST before the active segment
@@ -162,7 +159,8 @@ Status CheckpointStore::Recover() {
     live_.insert(active_segment_);
     LDPHH_RETURN_IF_ERROR(
         InstallManifestLocked(live_, next_segment_, active_segment_));
-    return active_writer_.Open(PathOf(active_segment_));
+    return active_writer_.Open(PathOf(active_segment_), fs_,
+                               options_.sync_mode);
   }
 
   // Phase 4: replay every live segment. Order does not matter for
@@ -187,8 +185,12 @@ Status CheckpointStore::Recover() {
   // Phase 5: never append after recovered bytes — if the old active segment
   // holds data, seal it and roll a fresh one (invariant I4).
   uint64_t active_size = 0;
-  if (fs::exists(PathOf(active_segment_), ec)) {
-    active_size = static_cast<uint64_t>(fs::file_size(PathOf(active_segment_), ec));
+  auto active_exists_or = fs_->FileExists(PathOf(active_segment_));
+  LDPHH_RETURN_IF_ERROR(active_exists_or.status());
+  if (active_exists_or.value()) {
+    auto size_or = fs_->FileSize(PathOf(active_segment_));
+    LDPHH_RETURN_IF_ERROR(size_or.status());
+    active_size = size_or.value();
   }
   if (active_size > 0) {
     active_segment_ = next_segment_++;
@@ -196,23 +198,26 @@ Status CheckpointStore::Recover() {
     LDPHH_RETURN_IF_ERROR(
         InstallManifestLocked(live_, next_segment_, active_segment_));
   }
-  return active_writer_.Open(PathOf(active_segment_));
+  return active_writer_.Open(PathOf(active_segment_), fs_, options_.sync_mode);
 }
 
 Status CheckpointStore::ReplaySegment(uint64_t segment, bool is_active,
                                       std::map<uint64_t, KeyState>* entries,
                                       std::map<uint64_t, uint64_t>* tombstones) {
   const std::string path = PathOf(segment);
-  std::error_code ec;
-  if (!fs::exists(path, ec)) {
+  auto exists_or = fs_->FileExists(path);
+  LDPHH_RETURN_IF_ERROR(exists_or.status());
+  if (!exists_or.value()) {
     // Only the active segment may legitimately not exist yet: it is listed
-    // in the MANIFEST before its first byte is written.
+    // in the MANIFEST before its first byte is written. (A power loss can
+    // also drop a created-but-never-synced segment file whole — only ever
+    // the active one, whose records were then never acknowledged.)
     if (is_active) return Status::OK();
     return Status::Internal("checkpoint store: live segment missing: " + path);
   }
 
   CheckpointReader reader;
-  LDPHH_RETURN_IF_ERROR(reader.Open(path));
+  LDPHH_RETURN_IF_ERROR(reader.Open(path, fs_));
   long clean_end = 0;
   for (;;) {
     CheckpointRecordType type;
@@ -258,12 +263,23 @@ Status CheckpointStore::ReplaySegment(uint64_t segment, bool is_active,
 
   // Truncate the active segment at the last clean record so the damaged
   // region cannot shadow future appends (it is sealed right after anyway;
-  // the truncation keeps every later replay deterministic).
+  // the truncation keeps every later replay deterministic — and is
+  // idempotent, so a power loss that undoes it is re-handled next Open).
   if (is_active) {
-    const uint64_t size = static_cast<uint64_t>(fs::file_size(path, ec));
-    if (!ec && size > static_cast<uint64_t>(clean_end)) {
-      fs::resize_file(path, static_cast<uint64_t>(clean_end), ec);
-      if (ec) return FsError("resize_file", path, ec);
+    auto size_or = fs_->FileSize(path);
+    if (size_or.ok() && size_or.value() > static_cast<uint64_t>(clean_end)) {
+      LDPHH_RETURN_IF_ERROR(
+          fs_->Truncate(path, static_cast<uint64_t>(clean_end)));
+      if (options_.sync_mode != SyncMode::kNone) {
+        // Make the truncation stick: the segment is sealed right after,
+        // and a resurrected torn tail in a *sealed* segment would read as
+        // real corruption on the Open after the next power loss.
+        auto file_or = fs_->NewWritableFile(path);
+        LDPHH_RETURN_IF_ERROR(file_or.status());
+        std::unique_ptr<WritableFile> file = std::move(file_or).value();
+        LDPHH_RETURN_IF_ERROR(file->Sync(SyncMode::kFull));
+        LDPHH_RETURN_IF_ERROR(file->Close());
+      }
     }
   }
   return Status::OK();
@@ -275,10 +291,9 @@ Status CheckpointStore::InstallManifestLocked(const std::set<uint64_t>& live,
                                               uint64_t next_segment,
                                               uint64_t active_segment,
                                               bool abandon_before_rename) {
-  const fs::path manifest_path = fs::path(dir_) / kManifestName;
-  const fs::path tmp_path = manifest_path.string() + kTempSuffix;
-  std::error_code ec;
-  fs::remove(tmp_path, ec);
+  const std::string manifest_path = dir_ + "/" + kManifestName;
+  const std::string tmp_path = manifest_path + kTempSuffix;
+  LDPHH_RETURN_IF_ERROR(fs_->RemoveFile(tmp_path));
 
   std::string payload;
   PutU16(&payload, kStoreFormatVersion);
@@ -288,15 +303,27 @@ Status CheckpointStore::InstallManifestLocked(const std::set<uint64_t>& live,
   PutU32(&payload, static_cast<uint32_t>(live.size()));
   for (uint64_t seg : live) PutU64(&payload, seg);
 
+  // The MANIFEST is tiny and installed rarely: always full-sync it (unless
+  // the store as a whole opted out of durability). The temp file is synced
+  // before the rename so the bytes the new MANIFEST entry points at cannot
+  // be lost while the entry survives; the parent directory is synced after
+  // the rename so the entry itself cannot be lost (or un-renamed) either.
+  const SyncMode manifest_mode = options_.sync_mode == SyncMode::kNone
+                                     ? SyncMode::kNone
+                                     : SyncMode::kFull;
   CheckpointWriter writer;
-  LDPHH_RETURN_IF_ERROR(writer.Open(tmp_path.string()));
+  LDPHH_RETURN_IF_ERROR(writer.Open(tmp_path, fs_, manifest_mode));
   LDPHH_RETURN_IF_ERROR(writer.Append(kStoreManifestRecord, payload));
   LDPHH_RETURN_IF_ERROR(writer.Sync());
   LDPHH_RETURN_IF_ERROR(writer.Close());
   if (abandon_before_rename) return Status::OK();
 
-  fs::rename(tmp_path, manifest_path, ec);  // Atomic install (invariant I1).
-  if (ec) return FsError("rename", manifest_path, ec);
+  // Atomic install (invariant I1).
+  if (options_.sync_mode == SyncMode::kNone) {
+    LDPHH_RETURN_IF_ERROR(fs_->RenameFile(tmp_path, manifest_path));
+  } else {
+    LDPHH_RETURN_IF_ERROR(fs_->RenameAndSync(tmp_path, manifest_path));
+  }
   ++manifest_sequence_;
   ++stats_.manifest_installs;
   return Status::OK();
@@ -313,6 +340,8 @@ Status CheckpointStore::AppendRecordLocked(CheckpointRecordType type,
   PutU64(&payload, sequence);
   payload.append(blob.data(), blob.size());
   LDPHH_RETURN_IF_ERROR(active_writer_.Append(type, payload));
+  // Durable before the caller is acknowledged (per sync_mode; the first
+  // sync of a freshly rolled segment also syncs its directory entry).
   LDPHH_RETURN_IF_ERROR(active_writer_.Sync());
   active_bytes_ += kCheckpointRecordHeaderSize + payload.size();
 
@@ -340,7 +369,8 @@ Status CheckpointStore::RollActiveLocked() {
   // segment before the segment file exists.
   LDPHH_RETURN_IF_ERROR(
       InstallManifestLocked(live_, next_segment_, active_segment_));
-  LDPHH_RETURN_IF_ERROR(active_writer_.Open(PathOf(active_segment_)));
+  LDPHH_RETURN_IF_ERROR(
+      active_writer_.Open(PathOf(active_segment_), fs_, options_.sync_mode));
   active_bytes_ = 0;
   return Status::OK();
 }
@@ -449,9 +479,11 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
     compacting_ = true;
   }
 
-  // Phase A: write the consolidated snapshot segment — complete, flushed —
-  // while the store stays fully available (inputs are immutable and new
-  // writes land in the active segment, which is not an input).
+  // Phase A: write the consolidated snapshot segment — complete and synced
+  // (data and directory entry, per sync_mode) — while the store stays fully
+  // available (inputs are immutable and new writes land in the active
+  // segment, which is not an input). Written-then-listed (invariant I2):
+  // nothing may reference this segment until all of it is durable.
   auto done = [&](Status st) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -463,7 +495,7 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
   const bool have_output = !records.empty();
   if (have_output) {
     CheckpointWriter writer;
-    Status st = writer.Open(PathOf(out_segment));
+    Status st = writer.Open(PathOf(out_segment), fs_, options_.sync_mode);
     for (const Record& r : records) {
       if (!st.ok()) break;
       std::string payload;
@@ -510,11 +542,17 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
     return done(Status::OK());
   }
 
-  // Phase C: the superseded inputs are now unlisted; delete them. A crash
-  // here leaves orphans for the next Open to sweep (invariant I3).
+  // Phase C: the superseded inputs are now unlisted; delete them, then sync
+  // the directory so the deletions stick. A crash (or power loss) here
+  // leaves orphans — or resurrects them — for the next Open to sweep
+  // (invariant I3).
   for (uint64_t seg : inputs) {
-    std::error_code ec;
-    fs::remove(PathOf(seg), ec);
+    const Status st = fs_->RemoveFile(PathOf(seg));
+    if (!st.ok()) return done(st);
+  }
+  if (!inputs.empty()) {
+    const Status st = SyncDirIfDurable();
+    if (!st.ok()) return done(st);
   }
   return done(Status::OK());
 }

@@ -21,7 +21,8 @@
 ///
 /// Crash-safety invariants (docs/storage.md derives them in full):
 ///   I1. The MANIFEST is only ever replaced atomically: written complete to
-///       MANIFEST.tmp, then rename(2)d over MANIFEST.
+///       MANIFEST.tmp, synced, then rename(2)d over MANIFEST with the
+///       parent directory synced after the rename.
 ///   I2. An *active* segment is listed in the MANIFEST before its first
 ///       record is written; a *consolidated* segment is written complete
 ///       before the MANIFEST listing it is installed.
@@ -34,8 +35,18 @@
 ///       a fresh active segment rolled). Damage in any other live segment
 ///       is real corruption and fails Open.
 ///
-/// Durability is to the OS (fflush on every Put), matching the
-/// checkpoint_log contract: crash-of-process safe, not power-loss safe.
+/// Durability (docs/storage.md has the full derivation): every byte goes
+/// through the file layer (src/common/file.h) and `CheckpointStoreOptions::
+/// sync_mode` picks the contract. Under kFull (default) / kData an acked
+/// Put/Delete is power-loss durable: each append is fsync/fdatasync'd, a
+/// created segment's directory entry is synced before its first record is
+/// acknowledged, the MANIFEST temp file is synced before the rename and the
+/// parent directory after it, and a consolidated compaction segment is
+/// fully synced (data + entry) before the MANIFEST naming it installs.
+/// Under kNone writes only reach the OS (fflush-grade): crash-of-process
+/// safe, not power-loss safe — the pre-fsync contract, kept as a knob
+/// because an fsync per Put is the price of the guarantee (bench_store
+/// measures it).
 
 #ifndef LDPHH_STORE_CHECKPOINT_STORE_H_
 #define LDPHH_STORE_CHECKPOINT_STORE_H_
@@ -52,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/file.h"
 #include "src/common/status.h"
 #include "src/server/checkpoint_log.h"
 
@@ -76,6 +88,14 @@ struct CheckpointStoreOptions {
   /// Spawn the background compaction thread. Off, compaction only happens
   /// via explicit Compact() calls.
   bool background_compaction = true;
+  /// How far an acknowledged write is pushed toward the platter before
+  /// Put/Delete/CloseEpoch return. kFull/kData: power-loss durable (fsync /
+  /// fdatasync plus the directory syncs). kNone: flushed to the OS only —
+  /// process-crash safe, the pre-fsync contract.
+  SyncMode sync_mode = SyncMode::kFull;
+  /// File layer to write through; null = FileSystem::Default() (POSIX).
+  /// Tests inject a FaultInjectingFileSystem to simulate power loss.
+  FileSystem* file_system = nullptr;
 };
 
 /// Counters for tests, benchmarks, and operators (a consistent snapshot).
@@ -185,9 +205,12 @@ class CheckpointStore {
     return static_cast<int>(live_.size()) - 1;  // All live but the active.
   }
   std::string PathOf(uint64_t segment) const;
+  /// Directory-entry sync, skipped under SyncMode::kNone.
+  Status SyncDirIfDurable();
 
   const std::string dir_;
   const CheckpointStoreOptions options_;
+  FileSystem* const fs_;
 
   mutable std::mutex mu_;
   std::map<uint64_t, KeyState> entries_;

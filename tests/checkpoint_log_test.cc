@@ -10,6 +10,8 @@
 #include <fstream>
 #include <string>
 
+#include "src/common/fault_fs.h"
+
 namespace ldphh {
 namespace {
 
@@ -166,6 +168,63 @@ TEST_F(CheckpointLogTest, HugeCorruptLengthReadsAsEndOfLogWithoutAllocating) {
 TEST_F(CheckpointLogTest, OpenMissingFileFails) {
   CheckpointReader reader;
   EXPECT_FALSE(reader.Open("/nonexistent/dir/nothing.log").ok());
+}
+
+// Regression (ISSUE 3): a record acked by Sync() must survive power loss —
+// before the fix, Sync was only fflush, so an OS crash could lose a
+// checkpoint the caller had already declared durable. The unsynced tail
+// may vanish *or* tear at any byte; recovery must be exact on acked
+// records and clean about the rest.
+TEST_F(CheckpointLogTest, SyncedRecordSurvivesPowerLossWithTornUnsyncedTail) {
+  const std::string path = "/faultfs/checkpoint.log";
+  // Size of the unsynced second record, swept over all torn-tail lengths.
+  const std::string in_flight = "in flight!!";
+  const size_t torn_size = kCheckpointRecordHeaderSize + in_flight.size();
+  for (size_t keep = 0; keep <= torn_size; ++keep) {
+    FaultInjectingFileSystem fs;
+    {
+      CheckpointWriter writer;
+      ASSERT_TRUE(writer.Open(path, &fs, SyncMode::kFull).ok());
+      ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "acked").ok());
+      ASSERT_TRUE(writer.Sync().ok());  // Acknowledged: durable from here.
+      ASSERT_TRUE(
+          writer.Append(CheckpointRecordType::kShardState, in_flight).ok());
+      ASSERT_TRUE(writer.Flush().ok());  // To the OS — NOT durable.
+    }
+    EXPECT_GE(fs.file_sync_count(), 1u) << "keep " << keep;
+    EXPECT_GE(fs.dir_sync_count(), 1u)  // Created file's entry synced too.
+        << "keep " << keep;
+    fs.SimulatePowerLoss(keep);
+
+    CheckpointReader reader;
+    ASSERT_TRUE(reader.Open(path, &fs).ok()) << "keep " << keep;
+    CheckpointRecordType type;
+    std::string payload;
+    ASSERT_TRUE(reader.Read(&type, &payload).ok()) << "keep " << keep;
+    EXPECT_EQ(payload, "acked");
+    const Status tail = reader.Read(&type, &payload);
+    if (keep == torn_size) {
+      // The whole in-flight record happened to reach the platter: reading
+      // it back complete is fine (it was simply never acknowledged).
+      EXPECT_TRUE(tail.ok()) << tail.ToString();
+      EXPECT_EQ(payload, in_flight);
+    } else {
+      EXPECT_EQ(tail.code(), StatusCode::kOutOfRange) << "keep " << keep;
+    }
+  }
+}
+
+// Under SyncMode::kNone, Sync degrades to Flush: the old process-crash
+// contract, with zero fsyncs issued.
+TEST_F(CheckpointLogTest, SyncModeNoneNeverSyncs) {
+  FaultInjectingFileSystem fs;
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open("/faultfs/nosync.log", &fs, SyncMode::kNone).ok());
+  ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "x").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(fs.file_sync_count(), 0u);
+  EXPECT_EQ(fs.dir_sync_count(), 0u);
 }
 
 }  // namespace

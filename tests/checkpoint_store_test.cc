@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/fault_fs.h"
+
 namespace fs = std::filesystem;
 
 namespace ldphh {
@@ -257,6 +259,56 @@ TEST_F(CheckpointStoreTest, CorruptSealedSegmentFailsOpen) {
   auto store_or = CheckpointStore::Open(dir_, SmallSegments(128));
   EXPECT_FALSE(store_or.ok());
   EXPECT_EQ(store_or.status().code(), StatusCode::kDecodeFailure);
+}
+
+// Every disk write must route through the injected FileSystem: a store
+// opened over the in-memory fault filesystem works end to end while the
+// real directory never materializes. Any write path still on stdio or
+// std::filesystem would show up as a real file here.
+TEST_F(CheckpointStoreTest, AllIoRoutesThroughInjectedFileSystem) {
+  FaultInjectingFileSystem ffs;
+  CheckpointStoreOptions o = SmallSegments();
+  o.file_system = &ffs;
+  auto store = MustOpen(o);
+  for (uint64_t k = 0; k < 30; ++k) ASSERT_TRUE(store->Put(k, Blob(k)).ok());
+  ASSERT_TRUE(store->Delete(7).ok());
+  ASSERT_TRUE(store->Compact().ok());
+  std::string blob;
+  ASSERT_TRUE(store->Get(3, &blob).ok());
+  EXPECT_EQ(blob, Blob(3));
+  store.reset();
+
+  EXPECT_FALSE(fs::exists(dir_));  // No real I/O happened.
+
+  auto reopened = MustOpen(o);
+  EXPECT_EQ(reopened->Keys().size(), 29u);
+  EXPECT_FALSE(reopened->Contains(7));
+}
+
+// The sync_mode knob is honored: kFull syncs on every acked mutation (and
+// the MANIFEST installs sync the directory); kNone never syncs anything.
+TEST_F(CheckpointStoreTest, SyncModeKnobControlsFsyncs) {
+  FaultInjectingFileSystem full_fs;
+  {
+    CheckpointStoreOptions o = SmallSegments();
+    o.file_system = &full_fs;
+    o.sync_mode = SyncMode::kFull;
+    auto store = MustOpen(o);
+    for (uint64_t k = 0; k < 10; ++k) ASSERT_TRUE(store->Put(k, Blob(k)).ok());
+  }
+  EXPECT_GE(full_fs.file_sync_count(), 10u);  // At least one per acked Put.
+  EXPECT_GE(full_fs.dir_sync_count(), 1u);
+
+  FaultInjectingFileSystem none_fs;
+  {
+    CheckpointStoreOptions o = SmallSegments();
+    o.file_system = &none_fs;
+    o.sync_mode = SyncMode::kNone;
+    auto store = MustOpen(o);
+    for (uint64_t k = 0; k < 10; ++k) ASSERT_TRUE(store->Put(k, Blob(k)).ok());
+  }
+  EXPECT_EQ(none_fs.file_sync_count(), 0u);
+  EXPECT_EQ(none_fs.dir_sync_count(), 0u);
 }
 
 TEST_F(CheckpointStoreTest, SegmentsWithoutManifestRefused) {

@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -232,6 +233,91 @@ TEST_F(EpochManagerTest, RecoveryResumesEpochClockAndKeepsClosedEpochs) {
   all->Finalize();
   auto want = Baseline(factory, reports, 0, reports.size());
   ExpectIdentical(*all, *want);
+  ASSERT_TRUE(mgr.Close().ok());
+}
+
+// The wall-clock roll policy (alongside the count-based one), driven by an
+// injected fake clock: an epoch open longer than epoch_max_duration closes
+// on the next Submit, and the persisted partial epoch is still exact.
+TEST_F(EpochManagerTest, WallClockRollClosesEpochMidCount) {
+  const auto factory = [] {
+    return std::make_unique<HadamardResponseFO>(32, 1.0);
+  };
+  const auto reports = EncodeReports(factory, 200, 17);
+
+  auto fake_now = std::make_shared<std::chrono::steady_clock::time_point>();
+  auto store = OpenStore();
+  EpochManagerOptions opts;
+  opts.reports_per_epoch = 1 << 20;  // Count policy never fires here.
+  opts.epoch_max_duration = std::chrono::milliseconds(1000);
+  opts.clock = [fake_now] { return *fake_now; };
+  EpochManager mgr(factory, store.get(), opts);
+  ASSERT_TRUE(mgr.Start().ok());
+
+  for (size_t i = 0; i < 10; ++i) ASSERT_TRUE(mgr.Submit(reports[i]).ok());
+  EXPECT_EQ(mgr.current_epoch(), 0u);  // Not enough time has passed.
+
+  *fake_now += std::chrono::milliseconds(1500);
+  ASSERT_TRUE(mgr.Submit(reports[10]).ok());  // The straw that rolls it.
+  EXPECT_EQ(mgr.current_epoch(), 1u);
+  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{0}));
+
+  auto window_or = mgr.WindowedQuery(0, 0);
+  ASSERT_TRUE(window_or.ok());
+  auto window = std::move(window_or).value();
+  window->Finalize();
+  auto want = Baseline(factory, reports, 0, 11);
+  ExpectIdentical(*window, *want);
+
+  // The clock restarts with the new epoch: no immediate re-roll.
+  ASSERT_TRUE(mgr.Submit(reports[11]).ok());
+  EXPECT_EQ(mgr.current_epoch(), 1u);
+  ASSERT_TRUE(mgr.Close().ok());
+}
+
+// PollClock rolls quiet epochs without any Submit traffic — including a
+// zero-report epoch (a quiet period is still an epoch).
+TEST_F(EpochManagerTest, PollClockRollsQuietEpochs) {
+  const auto factory = [] {
+    return std::make_unique<HadamardResponseFO>(32, 1.0);
+  };
+  const auto reports = EncodeReports(factory, 20, 23);
+
+  auto fake_now = std::make_shared<std::chrono::steady_clock::time_point>();
+  auto store = OpenStore();
+  EpochManagerOptions opts;
+  opts.reports_per_epoch = 1 << 20;
+  opts.epoch_max_duration = std::chrono::milliseconds(1000);
+  opts.clock = [fake_now] { return *fake_now; };
+  EpochManager mgr(factory, store.get(), opts);
+  ASSERT_TRUE(mgr.Start().ok());
+
+  for (size_t i = 0; i < 5; ++i) ASSERT_TRUE(mgr.Submit(reports[i]).ok());
+  auto rolled_or = mgr.PollClock();
+  ASSERT_TRUE(rolled_or.ok());
+  EXPECT_FALSE(rolled_or.value());  // Too early.
+  EXPECT_EQ(mgr.current_epoch(), 0u);
+
+  *fake_now += std::chrono::milliseconds(1001);
+  rolled_or = mgr.PollClock();
+  ASSERT_TRUE(rolled_or.ok());
+  EXPECT_TRUE(rolled_or.value());
+  EXPECT_EQ(mgr.current_epoch(), 1u);
+  EXPECT_EQ(mgr.reports_in_current_epoch(), 0u);
+
+  // A fully quiet period closes as an empty epoch and merges as identity.
+  *fake_now += std::chrono::milliseconds(1001);
+  rolled_or = mgr.PollClock();
+  ASSERT_TRUE(rolled_or.ok());
+  EXPECT_TRUE(rolled_or.value());
+  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{0, 1}));
+
+  auto window_or = mgr.WindowedQuery(0, 1);
+  ASSERT_TRUE(window_or.ok());
+  auto window = std::move(window_or).value();
+  window->Finalize();
+  auto want = Baseline(factory, reports, 0, 5);
+  ExpectIdentical(*window, *want);
   ASSERT_TRUE(mgr.Close().ok());
 }
 
