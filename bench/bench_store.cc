@@ -8,7 +8,10 @@
 // MB/s = bytes_per_second), BM_StoreRecovery (replayed epochs/s), and
 // BM_StoreCompaction (consolidated MB/s). BM_StorePut runs one column per
 // SyncMode (none/data/full) so the fsync cost of power-loss durability is
-// on the record — see docs/storage.md for reference numbers.
+// on the record — see docs/storage.md for reference numbers. The replica
+// columns (BM_ReplicaTailCatchup / BM_ReplicaIdlePoll / BM_ReplicaGet)
+// measure the read-only follower: tail-lag absorption per poll, the idle
+// poll floor, and snapshot read throughput.
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +24,7 @@
 #include "src/common/crc32.h"
 #include "src/common/random.h"
 #include "src/store/checkpoint_store.h"
+#include "src/store/replica_store.h"
 
 namespace fs = std::filesystem;
 
@@ -151,6 +155,108 @@ void BM_StoreCompaction(benchmark::State& state) {
                           static_cast<int64_t>(consolidated_bytes));
 }
 BENCHMARK(BM_StoreCompaction)->Unit(benchmark::kMillisecond);
+
+// Replica tail catch-up: one Refresh() after the primary wrote `batch`
+// 1 KB puts. items_per_second is the write rate a tailing replica can
+// absorb; the batch column maps to poll cadence (how much lag one poll
+// swallows). Sealed segments come from the replica's cache, so the pass
+// replays only what the primary appended since the last poll.
+void BM_ReplicaTailCatchup(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  constexpr size_t kBlob = 1 << 10;
+  const std::string dir = BenchDir("replica_tail");
+  fs::remove_all(dir);
+  auto store = std::move(CheckpointStore::Open(dir, BenchOptions())).value();
+  auto replica =
+      std::move(ReplicaStore::Open(dir, ReplicaStoreOptions())).value();
+  uint64_t key = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < batch; ++i) {
+      if (!store->Put(key % 4096, EpochBlob(key, kBlob)).ok()) {
+        state.SkipWithError("Put failed");
+        return;  // Resume/PauseTiming after a skip aborts the binary.
+      }
+      ++key;
+    }
+    state.ResumeTiming();
+    auto advanced_or = replica->Refresh();
+    if (!advanced_or.ok()) {
+      state.SkipWithError("Refresh failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetBytesProcessed(state.iterations() * batch *
+                          static_cast<int64_t>(kBlob));
+  store.reset();
+  replica.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ReplicaTailCatchup)->Arg(1)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// The steady-state idle poll — nothing new since the last refresh. This is
+// the floor a tight poll_interval costs: one MANIFEST read plus one stat.
+void BM_ReplicaIdlePoll(benchmark::State& state) {
+  const std::string dir = BenchDir("replica_idle");
+  fs::remove_all(dir);
+  auto store = std::move(CheckpointStore::Open(dir, BenchOptions())).value();
+  for (uint64_t e = 0; e < 64; ++e) {
+    if (!store->Put(e, EpochBlob(e, 1 << 10)).ok()) {
+      state.SkipWithError("Put failed");
+      return;
+    }
+  }
+  auto replica =
+      std::move(ReplicaStore::Open(dir, ReplicaStoreOptions())).value();
+  for (auto _ : state) {
+    auto advanced_or = replica->Refresh();
+    if (!advanced_or.ok() || advanced_or.value()) {
+      state.SkipWithError("idle poll observed a change");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  store.reset();
+  replica.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ReplicaIdlePoll);
+
+// Replica snapshot read throughput: Gets against the immutable snapshot
+// (pointer chase + blob copy, no lock shared with the tail).
+void BM_ReplicaGet(benchmark::State& state) {
+  constexpr uint64_t kEntries = 1024;
+  constexpr size_t kBlob = 1 << 10;
+  const std::string dir = BenchDir("replica_get");
+  fs::remove_all(dir);
+  auto store = std::move(CheckpointStore::Open(dir, BenchOptions())).value();
+  for (uint64_t e = 0; e < kEntries; ++e) {
+    if (!store->Put(e, EpochBlob(e, kBlob)).ok()) {
+      state.SkipWithError("Put failed");
+      return;
+    }
+  }
+  auto replica =
+      std::move(ReplicaStore::Open(dir, ReplicaStoreOptions())).value();
+  uint64_t key = 0;
+  std::string blob;
+  for (auto _ : state) {
+    if (!replica->Get(key, &blob).ok()) {
+      state.SkipWithError("Get failed");
+      return;
+    }
+    benchmark::DoNotOptimize(blob);
+    key = (key + 1) % kEntries;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(kBlob));
+  store.reset();
+  replica.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ReplicaGet);
 
 void BM_Crc32c(benchmark::State& state) {
   const bool hardware = state.range(0) != 0;

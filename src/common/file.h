@@ -19,6 +19,11 @@
 ///     fault-injecting implementation (src/common/fault_fs.h) that drops
 ///     all unsynced bytes and unsynced directory entries on simulated
 ///     power loss.
+///   - A `ReadableFileSystem` slice (open/stat/list, no mutation) — the
+///     view a read-only replica tailing another process's store directory
+///     is allowed to hold, enforced by the type system rather than by
+///     convention. `FileSystem` extends it with the write side, so the
+///     fault-injecting test filesystem drives replica tests unchanged.
 ///
 /// Contract: data is durable only after `Sync` with `kData`/`kFull` *and*
 /// (for a newly created file) a sync of its parent directory. `Sync` with
@@ -84,16 +89,13 @@ class SequentialFile {
   virtual uint64_t size() const = 0;
 };
 
-/// \brief Factory + namespace operations; inject a fault-injecting one in
-/// tests (src/common/fault_fs.h), use Default() in production.
-class FileSystem {
+/// \brief The read-only slice of a filesystem: open, stat, list — no
+/// mutation. A read-only replica (src/store/replica_store.h) holds this
+/// view of the primary's store directory, so the compiler enforces that a
+/// follower can never write, truncate, or delete what it tails.
+class ReadableFileSystem {
  public:
-  virtual ~FileSystem() = default;
-
-  /// Opens \p path for appending (creating it if absent) — the layer is
-  /// append-only; fresh-content callers remove the file first.
-  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
-      const std::string& path) = 0;
+  virtual ~ReadableFileSystem() = default;
 
   virtual StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
       const std::string& path) = 0;
@@ -101,6 +103,20 @@ class FileSystem {
   virtual StatusOr<bool> FileExists(const std::string& path) = 0;
 
   virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// File names (not paths) in \p dir, unordered.
+  virtual Status ListDirectory(const std::string& dir,
+                               std::vector<std::string>* names) = 0;
+};
+
+/// \brief Factory + namespace operations; inject a fault-injecting one in
+/// tests (src/common/fault_fs.h), use Default() in production.
+class FileSystem : public ReadableFileSystem {
+ public:
+  /// Opens \p path for appending (creating it if absent) — the layer is
+  /// append-only; fresh-content callers remove the file first.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
 
   /// Truncates \p path to \p size bytes (recovery chops damaged tails).
   virtual Status Truncate(const std::string& path, uint64_t size) = 0;
@@ -116,10 +132,6 @@ class FileSystem {
 
   /// Makes \p dir's entries (creations, deletions, renames) durable.
   virtual Status SyncDirectory(const std::string& dir) = 0;
-
-  /// File names (not paths) in \p dir, unordered.
-  virtual Status ListDirectory(const std::string& dir,
-                               std::vector<std::string>* names) = 0;
 
   /// The MANIFEST install step: rename \p from over \p to, then sync the
   /// parent directory so a crash cannot resurrect the old pointee or

@@ -15,18 +15,21 @@ Status CheckpointWriter::Open(const std::string& path, FileSystem* fs,
     return Status::FailedPrecondition("checkpoint log: writer already open");
   }
   fs_ = fs != nullptr ? fs : FileSystem::Default();
-  auto existed_or = fs_->FileExists(path);
-  LDPHH_RETURN_IF_ERROR(existed_or.status());
   auto file_or = fs_->NewWritableFile(path);
   LDPHH_RETURN_IF_ERROR(file_or.status());
   file_ = std::move(file_or).value();
   path_ = path;
   sync_mode_ = sync_mode;
-  // A newly created file's directory entry is volatile until the parent
-  // directory is synced; deferring that to the first Sync() keeps Open
-  // cheap and still ensures the entry is durable before any record is
-  // acknowledged.
-  dir_sync_pending_ = !existed_or.value() && sync_mode != SyncMode::kNone;
+  // A created file's directory entry is volatile until the parent directory
+  // is synced; deferring that to the first Sync() keeps Open cheap and
+  // still ensures the entry is durable before any record is acknowledged.
+  // The entry is synced even when the file already exists: existing in the
+  // (volatile) namespace proves nothing — a previous incarnation may have
+  // created the file and died before ever syncing the entry, and appending
+  // fsync'd records to such a file loses them whole with it on power loss.
+  // (The storage-stack model test found exactly that: restart with an
+  // empty, entry-unsynced active segment, write, lose power.)
+  dir_sync_pending_ = sync_mode != SyncMode::kNone;
   return Status::OK();
 }
 
@@ -79,14 +82,26 @@ Status CheckpointWriter::Close() {
 
 // ------------------------------------------------------------------ reader --
 
-Status CheckpointReader::Open(const std::string& path, FileSystem* fs) {
+Status CheckpointReader::Open(const std::string& path, ReadableFileSystem* fs) {
   if (file_ != nullptr) {
     return Status::FailedPrecondition("checkpoint log: reader already open");
   }
-  FileSystem* const resolved = fs != nullptr ? fs : FileSystem::Default();
+  ReadableFileSystem* const resolved =
+      fs != nullptr ? fs : FileSystem::Default();
   auto file_or = resolved->NewSequentialFile(path);
   LDPHH_RETURN_IF_ERROR(file_or.status());
   file_ = std::move(file_or).value();
+  return Status::OK();
+}
+
+Status CheckpointReader::Open(std::unique_ptr<SequentialFile> file) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("checkpoint log: reader already open");
+  }
+  if (file == nullptr) {
+    return Status::InvalidArgument("checkpoint log: null file");
+  }
+  file_ = std::move(file);
   return Status::OK();
 }
 
@@ -112,7 +127,12 @@ Status CheckpointReader::Read(CheckpointRecordType* type, std::string* payload) 
   // allocating: the length field is not covered by the record CRC, and a
   // corrupt (or torn) value must not drive a multi-GB resize. A too-large
   // length is indistinguishable from a torn tail, so it ends the log.
-  const uint64_t remaining = file_->size() - file_->Tell();
+  // The cursor can pass size() when a replica reads a segment the writer
+  // is still appending (read(2) sees past the open-time size); clamping
+  // ends the scan at the open-time boundary, keeping a tailing reader's
+  // cut record-aligned and bounded.
+  const uint64_t remaining =
+      file_->Tell() < file_->size() ? file_->size() - file_->Tell() : 0;
   if (static_cast<uint64_t>(length) > remaining) {
     return Status::OutOfRange(
         "checkpoint log: record length exceeds file size (torn or corrupt "

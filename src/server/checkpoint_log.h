@@ -88,8 +88,14 @@ class CheckpointReader {
   CheckpointReader(const CheckpointReader&) = delete;
   CheckpointReader& operator=(const CheckpointReader&) = delete;
 
-  /// Opens \p path on \p fs (null = FileSystem::Default()).
-  Status Open(const std::string& path, FileSystem* fs = nullptr);
+  /// Opens \p path on \p fs (null = FileSystem::Default()). The reader only
+  /// needs the read slice, so a replica's ReadableFileSystem works too.
+  Status Open(const std::string& path, ReadableFileSystem* fs = nullptr);
+
+  /// Adopts an already-open file. A replica pins every segment of a
+  /// MANIFEST generation by opening them all up front (an open handle
+  /// survives the primary deleting the file), then replays at leisure.
+  Status Open(std::unique_ptr<SequentialFile> file);
 
   /// Reads the next record. Returns kOutOfRange at end of log (including a
   /// crash-truncated tail) and kDecodeFailure on CRC corruption.

@@ -34,6 +34,11 @@ bool EpochManager::EpochTimeUp() const {
          Now() - epoch_opened_at_ >= options_.epoch_max_duration;
 }
 
+Status ParseEpochClock(std::string_view blob, uint64_t* next_epoch) {
+  ByteReader reader(blob);
+  return reader.ReadU64(next_epoch);
+}
+
 Status EpochManager::Start() {
   if (started_) {
     return Status::FailedPrecondition("EpochManager: already started");
@@ -49,9 +54,8 @@ Status EpochManager::Start() {
   std::string clock_blob;
   const Status clock = store_->Get(kEpochClockKey, &clock_blob);
   if (clock.ok()) {
-    ByteReader reader(clock_blob);
     uint64_t next = 0;
-    LDPHH_RETURN_IF_ERROR(reader.ReadU64(&next));
+    LDPHH_RETURN_IF_ERROR(ParseEpochClock(clock_blob, &next));
     current_epoch_ = std::max(current_epoch_, next);
   } else if (clock.code() != StatusCode::kOutOfRange) {
     return clock;
@@ -128,23 +132,25 @@ Status EpochManager::Close() {
   return Status::OK();
 }
 
-StatusOr<std::unique_ptr<SmallDomainFO>> EpochManager::WindowedQuery(
-    uint64_t first_epoch, uint64_t last_epoch) const {
+StatusOr<std::unique_ptr<SmallDomainFO>> MergeEpochWindow(
+    const std::function<Status(uint64_t epoch, std::string* blob)>& get,
+    const ShardedAggregator::OracleFactory& factory, uint64_t first_epoch,
+    uint64_t last_epoch) {
   if (first_epoch > last_epoch) {
-    return Status::InvalidArgument("EpochManager: first_epoch > last_epoch");
+    return Status::InvalidArgument("epoch window: first_epoch > last_epoch");
   }
   if (last_epoch >= kEpochClockKey) {
-    return Status::InvalidArgument("EpochManager: epoch id out of range");
+    return Status::InvalidArgument("epoch window: epoch id out of range");
   }
   std::unique_ptr<SmallDomainFO> merged;
   for (uint64_t e = first_epoch; e <= last_epoch; ++e) {
     std::string blob;
-    Status st = store_->Get(e, &blob);
+    Status st = get(e, &blob);
     if (!st.ok()) {
       if (st.code() == StatusCode::kOutOfRange) {
-        return Status::OutOfRange("EpochManager: epoch " + std::to_string(e) +
-                                  " is not persisted (open, never closed, or "
-                                  "pruned)");
+        return Status::OutOfRange("epoch window: epoch " + std::to_string(e) +
+                                  " is not persisted (open, never closed, "
+                                  "pruned, or not yet tailed)");
       }
       return st;
     }
@@ -154,21 +160,22 @@ StatusOr<std::unique_ptr<SmallDomainFO>> EpochManager::WindowedQuery(
     uint64_t epoch_id = 0, count = 0;
     LDPHH_RETURN_IF_ERROR(reader.ReadU32(&magic));
     if (magic != kEpochBlobMagic) {
-      return Status::DecodeFailure("EpochManager: bad epoch blob magic");
+      return Status::DecodeFailure("epoch window: bad epoch blob magic");
     }
     LDPHH_RETURN_IF_ERROR(reader.ReadU16(&version));
     if (version != kEpochBlobVersion) {
-      return Status::DecodeFailure("EpochManager: unsupported epoch blob version");
+      return Status::DecodeFailure(
+          "epoch window: unsupported epoch blob version");
     }
     LDPHH_RETURN_IF_ERROR(reader.ReadU64(&epoch_id));
     if (epoch_id != e) {
-      return Status::DecodeFailure("EpochManager: epoch blob id mismatch");
+      return Status::DecodeFailure("epoch window: epoch blob id mismatch");
     }
     LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
 
-    std::unique_ptr<SmallDomainFO> oracle = factory_();
+    std::unique_ptr<SmallDomainFO> oracle = factory();
     if (oracle == nullptr) {
-      return Status::Internal("EpochManager: factory returned null oracle");
+      return Status::Internal("epoch window: factory returned null oracle");
     }
     LDPHH_RETURN_IF_ERROR(
         oracle->RestoreState(std::string_view(blob).substr(reader.position())));
@@ -179,6 +186,15 @@ StatusOr<std::unique_ptr<SmallDomainFO>> EpochManager::WindowedQuery(
     }
   }
   return merged;
+}
+
+StatusOr<std::unique_ptr<SmallDomainFO>> EpochManager::WindowedQuery(
+    uint64_t first_epoch, uint64_t last_epoch) const {
+  return MergeEpochWindow(
+      [this](uint64_t epoch, std::string* blob) {
+        return store_->Get(epoch, blob);
+      },
+      factory_, first_epoch, last_epoch);
 }
 
 Status EpochManager::PruneEpochsBefore(uint64_t first_kept) {

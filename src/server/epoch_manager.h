@@ -147,6 +147,22 @@ inline constexpr uint16_t kEpochBlobVersion = 1;
 /// a restart never re-issues an epoch id. Epoch ids must stay below it.
 inline constexpr uint64_t kEpochClockKey = UINT64_MAX;
 
+/// Decodes the kEpochClockKey blob ([u64 next epoch]).
+Status ParseEpochClock(std::string_view blob, uint64_t* next_epoch);
+
+/// Merges the persisted states of epochs [first, last] (inclusive), each
+/// fetched through \p get (a CheckpointStore::Get on the primary, a
+/// ReplicaStore::Get on a follower — src/server/replica_view.h), into one
+/// un-finalized oracle. The shared read path under EpochManager::
+/// WindowedQuery and ReplicaView::WindowedQuery, so both sides decode and
+/// merge identically — bit for bit. \p get returning kOutOfRange for any
+/// epoch in the window (never closed, pruned, or not yet tailed) maps to
+/// kOutOfRange here.
+StatusOr<std::unique_ptr<SmallDomainFO>> MergeEpochWindow(
+    const std::function<Status(uint64_t epoch, std::string* blob)>& get,
+    const ShardedAggregator::OracleFactory& factory, uint64_t first_epoch,
+    uint64_t last_epoch);
+
 }  // namespace ldphh
 
 #endif  // LDPHH_SERVER_EPOCH_MANAGER_H_

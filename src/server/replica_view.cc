@@ -1,0 +1,42 @@
+#include "src/server/replica_view.h"
+
+#include <utility>
+
+namespace ldphh {
+
+ReplicaView::ReplicaView(EpochManager::OracleFactory factory,
+                         ReplicaStore* replica)
+    : factory_(std::move(factory)), replica_(replica) {
+  LDPHH_CHECK(replica_ != nullptr, "ReplicaView: null replica");
+}
+
+StatusOr<bool> ReplicaView::Refresh() { return replica_->Refresh(); }
+
+StatusOr<std::unique_ptr<SmallDomainFO>> ReplicaView::WindowedQuery(
+    uint64_t first_epoch, uint64_t last_epoch) const {
+  // One pinned snapshot serves the whole window: a refresh landing
+  // mid-merge (the background tailer, a concurrent prune on the primary)
+  // cannot make a window that was present at query start fail halfway.
+  const ReplicaStore::PinnedView pinned = replica_->Pin();
+  return MergeEpochWindow(
+      [&pinned](uint64_t epoch, std::string* blob) {
+        return pinned.Get(epoch, blob);
+      },
+      factory_, first_epoch, last_epoch);
+}
+
+std::vector<uint64_t> ReplicaView::PersistedEpochs() const {
+  std::vector<uint64_t> epochs = replica_->Pin().Keys();
+  while (!epochs.empty() && epochs.back() >= kEpochClockKey) epochs.pop_back();
+  return epochs;
+}
+
+uint64_t ReplicaView::next_epoch() const {
+  std::string blob;
+  uint64_t next = 0;
+  if (!replica_->Pin().Get(kEpochClockKey, &blob).ok()) return 0;
+  if (!ParseEpochClock(blob, &next).ok()) return 0;
+  return next;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,77 @@
+/// \file replica_view.h
+/// \brief Epoch-level read serving from a read-only replica.
+///
+/// EpochManager owns the write side of continuous aggregation: it ingests
+/// reports, closes epochs, and persists each closed epoch's merged oracle
+/// state into the segment store. ReplicaView is the read side at scale-out:
+/// it sits on a ReplicaStore (src/store/replica_store.h) tailing the
+/// primary's store directory and answers WindowedQuery for the epochs the
+/// tail has caught — through the exact same decode-and-merge path the
+/// primary uses (MergeEpochWindow), so a replica's answer over any
+/// persisted window is bit-for-bit the primary's answer once the tail has
+/// caught up to the epoch's Put.
+///
+/// Staleness model: a replica serves the epochs visible in its current
+/// snapshot. An epoch closed by the primary becomes visible after the next
+/// Refresh() that reads past its store Put — under the replica's polling
+/// cadence that bounds the lag to one poll interval plus one refresh. The
+/// epoch clock (`next_epoch()`, from the kEpochClockKey record the primary
+/// maintains) tells an operator how far the primary had advanced as of the
+/// snapshot, so lag is observable: primary clock vs. last tailed epoch.
+///
+/// Thread-safety: WindowedQuery/PersistedEpochs/next_epoch only read the
+/// replica's immutable snapshot and may run concurrently with each other
+/// and with Refresh.
+
+#ifndef LDPHH_SERVER_REPLICA_VIEW_H_
+#define LDPHH_SERVER_REPLICA_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/epoch_manager.h"
+#include "src/store/replica_store.h"
+
+namespace ldphh {
+
+/// \brief Windowed heavy-hitter queries served from a replica's snapshot.
+class ReplicaView {
+ public:
+  /// \p replica must outlive the view. \p factory must construct oracles
+  /// with the same configuration as the primary's EpochManager (it is the
+  /// deserialization target for the persisted epoch states).
+  ReplicaView(EpochManager::OracleFactory factory, ReplicaStore* replica);
+
+  /// One tail poll on the underlying replica; returns whether the visible
+  /// snapshot advanced. (With a background-polling replica this is rarely
+  /// needed — the snapshot advances on its own.)
+  StatusOr<bool> Refresh();
+
+  /// Merges the persisted states of epochs [first, last] (inclusive) from
+  /// the replica's current snapshot into one un-finalized oracle: call
+  /// Finalize() on it, then Estimate(). Bit-for-bit identical to the
+  /// primary's WindowedQuery over the same window. Fails with kOutOfRange
+  /// if any epoch in the window is not in the snapshot (never closed,
+  /// pruned, or the tail has not caught it yet).
+  StatusOr<std::unique_ptr<SmallDomainFO>> WindowedQuery(
+      uint64_t first_epoch, uint64_t last_epoch) const;
+
+  /// Epoch ids persisted in the current snapshot, ascending.
+  std::vector<uint64_t> PersistedEpochs() const;
+
+  /// The primary's epoch clock as of the snapshot: the id the next closed
+  /// epoch will take. 0 before the primary ever closed an epoch.
+  uint64_t next_epoch() const;
+
+  ReplicaStore* replica() const { return replica_; }
+
+ private:
+  EpochManager::OracleFactory factory_;
+  ReplicaStore* replica_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_SERVER_REPLICA_VIEW_H_

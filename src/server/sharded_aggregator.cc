@@ -59,12 +59,17 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(shard.mu);
+      // The paused_ loads must be seq_cst (not relaxed): WriteCheckpoint
+      // serializes the oracle without holding shard.mu, so the only thing
+      // ordering a resumed worker's Aggregate writes after the serializer's
+      // reads is the paused_ store/load pair itself (paired with the mutex
+      // for the pause direction). A relaxed load synchronizes with nothing
+      // and lets the worker race the snapshot (found by TSan).
       shard.not_empty.wait(lk, [&] {
         return stop_.load(std::memory_order_relaxed) ||
-               (!paused_.load(std::memory_order_relaxed) &&
-                !shard.queue.empty());
+               (!paused_.load() && !shard.queue.empty());
       });
-      if (shard.queue.empty() || paused_.load(std::memory_order_relaxed)) {
+      if (shard.queue.empty() || paused_.load()) {
         if (stop_.load(std::memory_order_relaxed)) return;
         continue;
       }

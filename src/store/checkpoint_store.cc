@@ -1,8 +1,8 @@
 #include "src/store/checkpoint_store.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
+#include <chrono>
+#include <random>
 #include <utility>
 
 #include "src/common/serde.h"
@@ -11,37 +11,24 @@ namespace ldphh {
 
 namespace {
 
-constexpr uint16_t kStoreFormatVersion = 1;
-constexpr char kManifestName[] = "MANIFEST";
-constexpr char kTempSuffix[] = ".tmp";
-
-// Parses "NNNNNN.seg" into a segment number; returns false for anything
-// else (foreign files in the directory are left alone).
-bool ParseSegmentFileName(const std::string& name, uint64_t* number) {
-  const size_t dot = name.rfind(".seg");
-  if (dot == std::string::npos || dot + 4 != name.size() || dot == 0) {
-    return false;
-  }
-  uint64_t n = 0;
-  for (size_t i = 0; i < dot; ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
-    n = n * 10 + static_cast<uint64_t>(name[i] - '0');
-  }
-  *number = n;
-  return true;
+// A fresh id per Open. Entropy from random_device, mixed with the clock in
+// case the device is deterministic on some platform: two incarnations
+// colliding would let a replica trust a rolled-back-and-reissued MANIFEST
+// generation.
+uint64_t DrawIncarnation() {
+  std::random_device rd;
+  uint64_t id = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  id ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // 0 is reserved: it marks a v1 MANIFEST (no incarnation field), which
+  // replicas refuse to tail.
+  return id != 0 ? id : 1;
 }
 
 }  // namespace
 
-std::string CheckpointStore::SegmentFileName(uint64_t n) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%06llu.seg",
-                static_cast<unsigned long long>(n));
-  return buf;
-}
-
 std::string CheckpointStore::PathOf(uint64_t segment) const {
-  return dir_ + "/" + SegmentFileName(segment);
+  return dir_ + "/" + StoreSegmentFileName(segment);
 }
 
 Status CheckpointStore::SyncDirIfDurable() {
@@ -53,7 +40,8 @@ CheckpointStore::CheckpointStore(std::string dir, CheckpointStoreOptions options
     : dir_(std::move(dir)),
       options_(options),
       fs_(options.file_system != nullptr ? options.file_system
-                                         : FileSystem::Default()) {}
+                                         : FileSystem::Default()),
+      incarnation_(DrawIncarnation()) {}
 
 StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
     const std::string& dir, const CheckpointStoreOptions& options) {
@@ -90,47 +78,25 @@ Status CheckpointStore::Recover() {
   LDPHH_RETURN_IF_ERROR(fs_->ListDirectory(dir_, &names));
   bool swept = false;
   for (const std::string& name : names) {
-    if (name.size() > 4 && name.compare(name.size() - 4, 4, kTempSuffix) == 0) {
+    if (name.size() > 4 &&
+        name.compare(name.size() - 4, 4, kStoreTempSuffix) == 0) {
       LDPHH_RETURN_IF_ERROR(fs_->RemoveFile(dir_ + "/" + name));
       swept = true;
     }
   }
 
   // Phase 2: the MANIFEST names the live segment set.
-  const std::string manifest_path = dir_ + "/" + kManifestName;
+  const std::string manifest_path = dir_ + "/" + kStoreManifestName;
   auto have_manifest_or = fs_->FileExists(manifest_path);
   LDPHH_RETURN_IF_ERROR(have_manifest_or.status());
   const bool have_manifest = have_manifest_or.value();
   if (have_manifest) {
-    CheckpointReader reader;
-    LDPHH_RETURN_IF_ERROR(reader.Open(manifest_path, fs_));
-    CheckpointRecordType type;
-    std::string payload;
-    LDPHH_RETURN_IF_ERROR(reader.Read(&type, &payload));
-    if (type != kStoreManifestRecord) {
-      return Status::DecodeFailure("checkpoint store: MANIFEST record type");
-    }
-    ByteReader br(payload);
-    uint16_t version = 0;
-    uint32_t count = 0;
-    LDPHH_RETURN_IF_ERROR(br.ReadU16(&version));
-    if (version != kStoreFormatVersion) {
-      return Status::DecodeFailure("checkpoint store: unsupported MANIFEST version");
-    }
-    LDPHH_RETURN_IF_ERROR(br.ReadU64(&manifest_sequence_));
-    LDPHH_RETURN_IF_ERROR(br.ReadU64(&next_segment_));
-    LDPHH_RETURN_IF_ERROR(br.ReadU64(&active_segment_));
-    LDPHH_RETURN_IF_ERROR(br.ReadU32(&count));
-    for (uint32_t i = 0; i < count; ++i) {
-      uint64_t seg = 0;
-      LDPHH_RETURN_IF_ERROR(br.ReadU64(&seg));
-      live_.insert(seg);
-    }
-    LDPHH_RETURN_IF_ERROR(reader.Close());
-    if (live_.count(active_segment_) == 0 ||
-        (!live_.empty() && next_segment_ <= *live_.rbegin())) {
-      return Status::DecodeFailure("checkpoint store: inconsistent MANIFEST");
-    }
+    StoreManifest manifest;
+    LDPHH_RETURN_IF_ERROR(ReadStoreManifest(fs_, manifest_path, &manifest));
+    manifest_sequence_ = manifest.sequence;
+    next_segment_ = manifest.next_segment;
+    active_segment_ = manifest.active_segment;
+    live_ = std::move(manifest.live);
   }
 
   // Phase 3: any segment file the MANIFEST does not list is garbage — an
@@ -139,7 +105,7 @@ Status CheckpointStore::Recover() {
   // no segments at all: refuse to guess (and to delete) otherwise.
   for (const std::string& name : names) {
     uint64_t seg = 0;
-    if (!ParseSegmentFileName(name, &seg)) continue;
+    if (!ParseStoreSegmentFileName(name, &seg)) continue;
     if (!have_manifest) {
       return Status::FailedPrecondition(
           "checkpoint store: segment files present but no MANIFEST in " + dir_);
@@ -166,21 +132,15 @@ Status CheckpointStore::Recover() {
   // Phase 4: replay every live segment. Order does not matter for
   // correctness — the per-record sequence number decides the winner per key
   // — but ascending order keeps the scan cache-friendly.
-  std::map<uint64_t, KeyState> entries;
+  std::map<uint64_t, StoreSegmentEntry> entries;
   std::map<uint64_t, uint64_t> tombstones;
   for (uint64_t seg : live_) {
     LDPHH_RETURN_IF_ERROR(
         ReplaySegment(seg, seg == active_segment_, &entries, &tombstones));
   }
-  for (auto& [key, state] : entries) {
-    const auto tomb = tombstones.find(key);
-    if (tomb != tombstones.end() && tomb->second > state.sequence) continue;
-    next_sequence_ = std::max(next_sequence_, state.sequence + 1);
-    entries_.emplace(key, std::move(state));
-  }
-  for (const auto& [key, seq] : tombstones) {
-    next_sequence_ = std::max(next_sequence_, seq + 1);
-  }
+  const uint64_t max_sequence =
+      ResolveReplayedEntries(&entries, tombstones, &entries_);
+  next_sequence_ = std::max(next_sequence_, max_sequence + 1);
 
   // Phase 5: never append after recovered bytes — if the old active segment
   // holds data, seal it and roll a fresh one (invariant I4).
@@ -195,14 +155,21 @@ Status CheckpointStore::Recover() {
   if (active_size > 0) {
     active_segment_ = next_segment_++;
     live_.insert(active_segment_);
-    LDPHH_RETURN_IF_ERROR(
-        InstallManifestLocked(live_, next_segment_, active_segment_));
   }
+  // Install a MANIFEST on every recovery, even when nothing rolled (an
+  // empty active segment is kept as-is): the bumped install generation
+  // tells a tailing replica that a new incarnation owns the directory. A
+  // power loss can shrink the active file (dropping unsynced bytes) and a
+  // later write regrow it to a size a replica already saw — only the
+  // generation bump keeps its "same generation + same size = same content"
+  // fast path sound.
+  LDPHH_RETURN_IF_ERROR(
+      InstallManifestLocked(live_, next_segment_, active_segment_));
   return active_writer_.Open(PathOf(active_segment_), fs_, options_.sync_mode);
 }
 
 Status CheckpointStore::ReplaySegment(uint64_t segment, bool is_active,
-                                      std::map<uint64_t, KeyState>* entries,
+                                      std::map<uint64_t, StoreSegmentEntry>* entries,
                                       std::map<uint64_t, uint64_t>* tombstones) {
   const std::string path = PathOf(segment);
   auto exists_or = fs_->FileExists(path);
@@ -216,50 +183,14 @@ Status CheckpointStore::ReplaySegment(uint64_t segment, bool is_active,
     return Status::Internal("checkpoint store: live segment missing: " + path);
   }
 
-  CheckpointReader reader;
-  LDPHH_RETURN_IF_ERROR(reader.Open(path, fs_));
-  long clean_end = 0;
-  for (;;) {
-    CheckpointRecordType type;
-    std::string payload;
-    const Status st = reader.Read(&type, &payload);
-    if (st.code() == StatusCode::kOutOfRange) break;  // Clean end / torn tail.
-    if (!st.ok()) {
-      // A complete-but-corrupt record. In the active segment this is the
-      // debris of a crash mid-append and everything from here on was never
-      // acknowledged: drop the tail. Anywhere else it is real corruption.
-      if (is_active) {
-        ++stats_.dropped_tail_records;
-        break;
-      }
-      return Status::DecodeFailure("checkpoint store: corrupt record in " +
-                                   path + ": " + st.message());
-    }
-    ByteReader br(payload);
-    uint64_t key = 0, sequence = 0;
-    LDPHH_RETURN_IF_ERROR(br.ReadU64(&key));
-    LDPHH_RETURN_IF_ERROR(br.ReadU64(&sequence));
-    if (type == kStoreEntryRecord) {
-      auto it = entries->find(key);
-      if (it == entries->end() || sequence > it->second.sequence) {
-        KeyState state;
-        state.sequence = sequence;
-        state.segment = segment;
-        state.blob = std::string(payload.substr(br.position()));
-        (*entries)[key] = std::move(state);
-      }
-    } else if (type == kStoreTombstoneRecord) {
-      uint64_t& tomb = (*tombstones)[key];
-      tomb = std::max(tomb, sequence);
-    } else {
-      return Status::DecodeFailure("checkpoint store: unknown record type in " +
-                                   path);
-    }
-    clean_end = reader.Tell();
-    ++stats_.recovered_records;
-  }
-  LDPHH_RETURN_IF_ERROR(reader.Close());
-  stats_.recovered_bytes += static_cast<uint64_t>(clean_end);
+  StoreSegmentReplayResult replay;
+  LDPHH_RETURN_IF_ERROR(ReplayStoreSegment(fs_, path, segment,
+                                           /*tolerate_damaged_tail=*/is_active,
+                                           entries, tombstones, &replay));
+  stats_.recovered_records += replay.records;
+  stats_.recovered_bytes += replay.clean_end;
+  stats_.dropped_tail_records += replay.dropped_tail_records;
+  const uint64_t clean_end = replay.clean_end;
 
   // Truncate the active segment at the last clean record so the damaged
   // region cannot shadow future appends (it is sealed right after anyway;
@@ -267,9 +198,8 @@ Status CheckpointStore::ReplaySegment(uint64_t segment, bool is_active,
   // idempotent, so a power loss that undoes it is re-handled next Open).
   if (is_active) {
     auto size_or = fs_->FileSize(path);
-    if (size_or.ok() && size_or.value() > static_cast<uint64_t>(clean_end)) {
-      LDPHH_RETURN_IF_ERROR(
-          fs_->Truncate(path, static_cast<uint64_t>(clean_end)));
+    if (size_or.ok() && size_or.value() > clean_end) {
+      LDPHH_RETURN_IF_ERROR(fs_->Truncate(path, clean_end));
       if (options_.sync_mode != SyncMode::kNone) {
         // Make the truncation stick: the segment is sealed right after,
         // and a resurrected torn tail in a *sealed* segment would read as
@@ -291,17 +221,17 @@ Status CheckpointStore::InstallManifestLocked(const std::set<uint64_t>& live,
                                               uint64_t next_segment,
                                               uint64_t active_segment,
                                               bool abandon_before_rename) {
-  const std::string manifest_path = dir_ + "/" + kManifestName;
-  const std::string tmp_path = manifest_path + kTempSuffix;
+  const std::string manifest_path = dir_ + "/" + kStoreManifestName;
+  const std::string tmp_path = manifest_path + kStoreTempSuffix;
   LDPHH_RETURN_IF_ERROR(fs_->RemoveFile(tmp_path));
 
-  std::string payload;
-  PutU16(&payload, kStoreFormatVersion);
-  PutU64(&payload, manifest_sequence_ + 1);
-  PutU64(&payload, next_segment);
-  PutU64(&payload, active_segment);
-  PutU32(&payload, static_cast<uint32_t>(live.size()));
-  for (uint64_t seg : live) PutU64(&payload, seg);
+  StoreManifest manifest;
+  manifest.sequence = manifest_sequence_ + 1;
+  manifest.incarnation = incarnation_;
+  manifest.next_segment = next_segment;
+  manifest.active_segment = active_segment;
+  manifest.live = live;
+  const std::string payload = EncodeStoreManifest(manifest);
 
   // The MANIFEST is tiny and installed rarely: always full-sync it (unless
   // the store as a whole opted out of durability). The temp file is synced
@@ -346,11 +276,11 @@ Status CheckpointStore::AppendRecordLocked(CheckpointRecordType type,
   active_bytes_ += kCheckpointRecordHeaderSize + payload.size();
 
   if (type == kStoreEntryRecord) {
-    KeyState state;
-    state.sequence = sequence;
-    state.segment = active_segment_;
-    state.blob = std::string(blob);
-    entries_[key] = std::move(state);
+    StoreSegmentEntry entry;
+    entry.sequence = sequence;
+    entry.segment = active_segment_;
+    entry.blob = std::string(blob);
+    entries_[key] = std::move(entry);
   } else {
     entries_.erase(key);
   }
@@ -437,6 +367,7 @@ CheckpointStoreStats CheckpointStore::Stats() const {
   s.live_segments = live_.size();
   s.sealed_segments = static_cast<uint64_t>(SealedCountLocked());
   s.entries = entries_.size();
+  s.manifest_sequence = manifest_sequence_;
   return s;
 }
 

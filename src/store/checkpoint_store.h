@@ -7,10 +7,14 @@
 /// scaled down to whole-blob values:
 ///
 ///   <dir>/MANIFEST       one kStoreManifest record: format version,
-///                        install sequence, next segment number, the
-///                        active segment, and the live segment list
+///                        install sequence, incarnation id, next segment
+///                        number, the active segment, and the live list
 ///   <dir>/NNNNNN.seg     segment: a run of kStoreEntry / kStoreTombstone
 ///                        records, each carrying (key, sequence, blob)
+///
+/// The file names, MANIFEST codec, and segment replay live in
+/// store_format.h, shared with the read-only follower (replica_store.h)
+/// that tails a live store directory by polling its MANIFEST.
 ///
 /// Writes go to the single *active* segment; when it exceeds
 /// `segment_max_bytes` it is sealed and a fresh active segment is opened.
@@ -66,17 +70,9 @@
 #include "src/common/file.h"
 #include "src/common/status.h"
 #include "src/server/checkpoint_log.h"
+#include "src/store/store_format.h"
 
 namespace ldphh {
-
-/// Record tags the store writes into its segment and MANIFEST files, in the
-/// checkpoint_log "first tag free for other subsystems" range.
-inline constexpr CheckpointRecordType kStoreEntryRecord =
-    static_cast<CheckpointRecordType>(128);
-inline constexpr CheckpointRecordType kStoreTombstoneRecord =
-    static_cast<CheckpointRecordType>(129);
-inline constexpr CheckpointRecordType kStoreManifestRecord =
-    static_cast<CheckpointRecordType>(130);
 
 /// Tuning for CheckpointStore.
 struct CheckpointStoreOptions {
@@ -109,6 +105,8 @@ struct CheckpointStoreStats {
   uint64_t recovered_bytes = 0;  ///< Segment bytes scanned by Open.
   uint64_t dropped_tail_records = 0;  ///< Torn/corrupt active-tail records
                                       ///< discarded by Open.
+  uint64_t manifest_sequence = 0;///< Install generation of the current
+                                 ///< MANIFEST (what a replica tails).
 };
 
 /// \brief The durable keyed blob store.
@@ -174,20 +172,16 @@ class CheckpointStore {
   }
 
   /// Segment file name for segment number \p n ("NNNNNN.seg").
-  static std::string SegmentFileName(uint64_t n);
+  static std::string SegmentFileName(uint64_t n) {
+    return StoreSegmentFileName(n);
+  }
 
  private:
-  struct KeyState {
-    uint64_t sequence = 0;  ///< Global write sequence; highest wins.
-    uint64_t segment = 0;   ///< Segment holding the winning record.
-    std::string blob;
-  };
-
   CheckpointStore(std::string dir, CheckpointStoreOptions options);
 
   Status Recover();
   Status ReplaySegment(uint64_t segment, bool is_active,
-                       std::map<uint64_t, KeyState>* entries,
+                       std::map<uint64_t, StoreSegmentEntry>* entries,
                        std::map<uint64_t, uint64_t>* tombstones);
   /// Writes the MANIFEST describing the given state to MANIFEST.tmp and
   /// renames it into place. Caller holds mu_. With \p abandon_before_rename
@@ -213,13 +207,17 @@ class CheckpointStore {
   FileSystem* const fs_;
 
   mutable std::mutex mu_;
-  std::map<uint64_t, KeyState> entries_;
+  std::map<uint64_t, StoreSegmentEntry> entries_;
   std::set<uint64_t> live_;        ///< Live segment numbers (incl. active).
   uint64_t active_segment_ = 0;
   size_t active_bytes_ = 0;
   uint64_t next_segment_ = 1;
   uint64_t next_sequence_ = 1;
   uint64_t manifest_sequence_ = 0;
+  /// Random id of this Open, stamped into every MANIFEST this instance
+  /// installs (see StoreManifest::incarnation). The recovery-time install
+  /// puts it on disk before any record is acknowledged.
+  uint64_t incarnation_ = 0;
   CheckpointWriter active_writer_;
   CheckpointStoreStats stats_;
 

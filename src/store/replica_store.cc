@@ -1,0 +1,364 @@
+#include "src/store/replica_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ldphh {
+
+ReplicaStore::ReplicaStore(std::string dir, ReplicaStoreOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      fs_(options.file_system != nullptr ? options.file_system
+                                         : FileSystem::Default()) {}
+
+StatusOr<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
+    const std::string& dir, const ReplicaStoreOptions& options) {
+  std::unique_ptr<ReplicaStore> replica(new ReplicaStore(dir, options));
+  const std::string manifest_path = dir + "/" + kStoreManifestName;
+  auto have_manifest_or = replica->fs_->FileExists(manifest_path);
+  LDPHH_RETURN_IF_ERROR(have_manifest_or.status());
+  if (!have_manifest_or.value()) {
+    return Status::FailedPrecondition(
+        "replica store: no MANIFEST in " + dir +
+        " (primary not started yet?) — retry once the store exists");
+  }
+  auto refreshed_or = replica->Refresh();
+  LDPHH_RETURN_IF_ERROR(refreshed_or.status());
+  if (options.poll_interval.count() > 0) {
+    replica->tailer_ = std::thread([r = replica.get()] { r->TailLoop(); });
+  }
+  return replica;
+}
+
+ReplicaStore::~ReplicaStore() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (tailer_.joinable()) tailer_.join();
+}
+
+void ReplicaStore::TailLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lk, options_.poll_interval, [this] { return stop_; });
+    if (stop_) break;
+    lk.unlock();
+    const auto refreshed_or = Refresh();
+    lk.lock();
+    // A transient race already retried inside Refresh; what reaches here is
+    // an I/O error (or the primary's directory vanishing). The tailer keeps
+    // polling — the condition may heal — and the failure is on the record.
+    if (!refreshed_or.ok()) ++stats_.failed_refreshes;
+  }
+}
+
+std::shared_ptr<const ReplicaStore::Snapshot> ReplicaStore::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snapshot_;
+}
+
+StatusOr<bool> ReplicaStore::Refresh() {
+  std::lock_guard<std::mutex> pass_lk(refresh_mu_);
+  return RefreshLocked();
+}
+
+StatusOr<bool> ReplicaStore::RefreshLocked() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.refreshes;
+  }
+  const std::string manifest_path = dir_ + "/" + kStoreManifestName;
+  uint64_t failed_sequence = 0;
+  uint64_t failed_incarnation = 0;
+  bool have_failed_sequence = false;
+  for (int attempt = 0; attempt <= options_.max_refresh_retries; ++attempt) {
+    StoreManifest manifest;
+    LDPHH_RETURN_IF_ERROR(
+        ReadStoreManifest(fs_, manifest_path, &manifest));
+    if (manifest.incarnation == 0) {
+      // A v1 MANIFEST (pre-incarnation primary). Without the incarnation
+      // id the replica cannot detect a rolled-back-and-reissued generation,
+      // so tailing would be subtly unsafe — refuse loudly instead. Opening
+      // the store once with the current binary installs a v2 MANIFEST
+      // (recovery always installs one).
+      return Status::FailedPrecondition(
+          "replica store: MANIFEST in " + dir_ +
+          " predates the incarnation id (v1) — open the store with the "
+          "current binary once before tailing it");
+    }
+    if (have_failed_sequence && manifest.sequence == failed_sequence &&
+        manifest.incarnation == failed_incarnation) {
+      // The segment that vanished was listed by this very generation: that
+      // is not a compaction race (deletion happens strictly after the next
+      // install), it is a live segment missing — real corruption.
+      return Status::Internal(
+          "replica store: live segment missing under unchanged MANIFEST "
+          "generation " +
+          std::to_string(manifest.sequence) + " in " + dir_);
+    }
+
+    // A new incarnation (the primary re-opened — possibly after a power
+    // loss rolled back MANIFESTs this replica observed) voids the cache:
+    // recovery sweeps orphans and may reallocate their segment numbers.
+    if (manifest.incarnation != cache_incarnation_) {
+      sealed_cache_.clear();
+      cache_incarnation_ = manifest.incarnation;
+    }
+
+    const std::shared_ptr<const Snapshot> prev = CurrentSnapshot();
+    // The fast path is only sound when the previous replay consumed the
+    // whole active file it saw: a cut short of the raw size (a torn
+    // in-flight record, or a stale read on a laggy shared filesystem)
+    // must keep rebuilding until the tail reads clean.
+    if (prev != nullptr && manifest.sequence == prev->manifest_sequence &&
+        manifest.incarnation == prev->incarnation &&
+        prev->active_clean_bytes == prev->active_raw_bytes) {
+      // Same generation: only the active segment can have moved. Two cheap
+      // stats make the steady-state idle poll nearly free. Any stat
+      // failure — absence (listed-before-written, or the writer creating
+      // the file under us) or a real error — skips the shortcut and falls
+      // through to the full rebuild, which disambiguates robustly; a
+      // quiet "no change" is only ever reported off a successful stat.
+      auto size_or = fs_->FileSize(
+          dir_ + "/" + StoreSegmentFileName(manifest.active_segment));
+      if (size_or.ok() && size_or.value() == prev->active_raw_bytes) {
+        return false;
+      }
+      if (!size_or.ok() && prev->active_raw_bytes == 0) {
+        auto exists_or = fs_->FileExists(
+            dir_ + "/" + StoreSegmentFileName(manifest.active_segment));
+        if (exists_or.ok() && !exists_or.value()) return false;
+      }
+    }
+
+    std::shared_ptr<const Snapshot> next;
+    bool active_was_missing = false;
+    const Status st = LoadSnapshot(manifest, &next, &active_was_missing);
+    if (st.code() == StatusCode::kOutOfRange) {
+      // A listed segment vanished before it could be pinned: the primary
+      // compacted past us. The MANIFEST installed before that deletion
+      // names the replacement — re-read it and retry on the next
+      // generation.
+      failed_sequence = manifest.sequence;
+      failed_incarnation = manifest.incarnation;
+      have_failed_sequence = true;
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.segment_races;
+      continue;
+    }
+    LDPHH_RETURN_IF_ERROR(st);
+
+    if (active_was_missing) {
+      // An un-openable active segment is ambiguous: listed-before-written
+      // (fine — the snapshot is simply empty of it) or sealed-and-compacted
+      // under a stale manifest (the snapshot would silently miss its
+      // records). Deletions happen strictly after the next generation's
+      // install, so re-reading the MANIFEST decides: unchanged generation
+      // proves the segment was never written; a moved one means go around.
+      StoreManifest check;
+      LDPHH_RETURN_IF_ERROR(ReadStoreManifest(fs_, manifest_path, &check));
+      if (check.sequence != manifest.sequence ||
+          check.incarnation != manifest.incarnation) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.segment_races;
+        continue;
+      }
+    }
+
+    // Evict cached segments the new manifest no longer lists; pinned
+    // snapshots keep serving the parsed data until their readers let go.
+    for (auto it = sealed_cache_.begin(); it != sealed_cache_.end();) {
+      if (manifest.live.count(it->first) == 0) {
+        it = sealed_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    snapshot_ = std::move(next);
+    ++stats_.snapshots_installed;
+    stats_.manifest_sequence = manifest.sequence;
+    return true;
+  }
+  return Status::ResourceExhausted(
+      "replica store: " + std::to_string(options_.max_refresh_retries) +
+      " refresh retries exhausted by compaction churn in " + dir_);
+}
+
+Status ReplicaStore::LoadSnapshot(const StoreManifest& manifest,
+                                  std::shared_ptr<const Snapshot>* out,
+                                  bool* active_was_missing) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->manifest_sequence = manifest.sequence;
+  snap->incarnation = manifest.incarnation;
+  snap->active_segment = manifest.active_segment;
+  *active_was_missing = false;
+
+  // Phase 1: pin every segment of this generation by opening it — an open
+  // handle keeps serving after the primary's compaction unlinks the file,
+  // so the only race window left is MANIFEST-read to here (microseconds),
+  // not the whole replay.
+  struct Pinned {
+    uint64_t segment = 0;
+    bool is_active = false;
+    std::string path;
+    std::unique_ptr<SequentialFile> file;
+  };
+  std::vector<Pinned> to_replay;
+  for (uint64_t seg : manifest.live) {
+    const bool is_active = seg == manifest.active_segment;
+    if (!is_active) {
+      const auto cached = sealed_cache_.find(seg);
+      if (cached != sealed_cache_.end()) {
+        snap->pinned.push_back(cached->second);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.segment_cache_hits;
+        continue;
+      }
+    }
+    std::string path = dir_ + "/" + StoreSegmentFileName(seg);
+    auto file_or = fs_->NewSequentialFile(path);
+    for (int attempt = 0; !file_or.ok(); ++attempt) {
+      // Only genuine absence may take the lenient paths below; an open
+      // that keeps failing with the file present (fd exhaustion,
+      // permissions) must surface, not silently publish a snapshot
+      // missing records.
+      auto exists_or = fs_->FileExists(path);
+      LDPHH_RETURN_IF_ERROR(exists_or.status());
+      if (!exists_or.value()) break;
+      if (attempt >= 3) return file_or.status();
+      // The file exists *now* but the open missed it: the writer created
+      // it between our MANIFEST read and the open (a fresh active segment
+      // is listed before it is written, invariant I2). Re-open.
+      file_or = fs_->NewSequentialFile(path);
+    }
+    if (!file_or.ok()) {
+      if (is_active) {
+        // Either listed-before-written (invariant I2: a legitimately empty
+        // active segment) or a stale manifest whose active was sealed and
+        // compacted away behind us — the caller's post-build MANIFEST
+        // re-read tells the two apart.
+        *active_was_missing = true;
+        continue;
+      }
+      // A sealed segment that vanished went to compaction: the generation
+      // that replaced it is already installed — retry there.
+      return Status::OutOfRange("replica store: segment vanished: " + path);
+    }
+    to_replay.push_back(
+        Pinned{seg, is_active, std::move(path), std::move(file_or).value()});
+  }
+
+  // Phase 2: replay the pinned handles. No deletion race is possible now;
+  // any failure is real corruption (or I/O trouble), not the primary
+  // moving on.
+  for (Pinned& p : to_replay) {
+    // The open-time size is the snapshot's active cut: if the writer
+    // appends while we scan, the next refresh sees a grown file and
+    // rebuilds — erring toward one spurious rebuild, never toward a
+    // missed record.
+    if (p.is_active) snap->active_raw_bytes = p.file->size();
+    auto data = std::make_shared<SegmentData>();
+    StoreSegmentReplayResult replay;
+    LDPHH_RETURN_IF_ERROR(ReplayStoreSegment(
+        std::move(p.file), p.path, p.segment,
+        /*tolerate_damaged_tail=*/p.is_active, &data->entries,
+        &data->tombstones, &replay));
+    data->clean_bytes = replay.clean_end;
+    if (p.is_active) snap->active_clean_bytes = replay.clean_end;
+    snap->pinned.push_back(data);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.segments_replayed;
+    }
+    // A segment read while active may be a prefix of its sealed form;
+    // cache only what is provably complete (sealed when listed).
+    if (!p.is_active) sealed_cache_[p.segment] = std::move(data);
+  }
+
+  // Merge the pinned segments: per key the highest sequence wins, exactly
+  // the primary's replay rule; a tombstone with a higher sequence shadows
+  // the entry. Pointers into the pinned data — no blob is copied.
+  std::map<uint64_t, uint64_t> tombstones;
+  for (const auto& data : snap->pinned) {
+    for (const auto& [key, entry] : data->entries) {
+      const auto it = snap->entries.find(key);
+      if (it == snap->entries.end() || entry.sequence > it->second->sequence) {
+        snap->entries[key] = &entry;
+      }
+    }
+    for (const auto& [key, seq] : data->tombstones) {
+      uint64_t& tomb = tombstones[key];
+      tomb = std::max(tomb, seq);
+    }
+  }
+  for (const auto& [key, seq] : tombstones) {
+    const auto it = snap->entries.find(key);
+    if (it != snap->entries.end() && seq > it->second->sequence) {
+      snap->entries.erase(it);
+    }
+  }
+
+  *out = std::move(snap);
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- reads --
+
+ReplicaStore::PinnedView ReplicaStore::Pin() const {
+  return PinnedView(CurrentSnapshot());
+}
+
+Status ReplicaStore::PinnedView::Get(uint64_t key, std::string* blob) const {
+  if (snap_ == nullptr) {
+    return Status::FailedPrecondition("replica store: no snapshot yet");
+  }
+  const auto it = snap_->entries.find(key);
+  if (it == snap_->entries.end()) {
+    return Status::OutOfRange("replica store: no entry for key " +
+                              std::to_string(key));
+  }
+  *blob = it->second->blob;
+  return Status::OK();
+}
+
+bool ReplicaStore::PinnedView::Contains(uint64_t key) const {
+  return snap_ != nullptr && snap_->entries.count(key) != 0;
+}
+
+std::vector<uint64_t> ReplicaStore::PinnedView::Keys() const {
+  std::vector<uint64_t> keys;
+  if (snap_ == nullptr) return keys;
+  keys.reserve(snap_->entries.size());
+  for (const auto& [key, entry] : snap_->entries) keys.push_back(key);
+  return keys;
+}
+
+uint64_t ReplicaStore::PinnedView::manifest_sequence() const {
+  return snap_ != nullptr ? snap_->manifest_sequence : 0;
+}
+
+Status ReplicaStore::Get(uint64_t key, std::string* blob) const {
+  return Pin().Get(key, blob);
+}
+
+bool ReplicaStore::Contains(uint64_t key) const {
+  return Pin().Contains(key);
+}
+
+std::vector<uint64_t> ReplicaStore::Keys() const { return Pin().Keys(); }
+
+uint64_t ReplicaStore::manifest_sequence() const {
+  return Pin().manifest_sequence();
+}
+
+ReplicaStoreStats ReplicaStore::Stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace ldphh

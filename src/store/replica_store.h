@@ -1,0 +1,232 @@
+/// \file replica_store.h
+/// \brief Read-only replica that tails a live CheckpointStore directory.
+///
+/// The scale-out read path: one primary owns the directory and its write
+/// lock; any number of ReplicaStores (other threads, other processes, a
+/// machine on the other end of a shared filesystem) open the same directory
+/// read-only and serve Get/Keys — and, through ReplicaView
+/// (src/server/replica_view.h), epoch-level WindowedQuery — without ever
+/// touching the primary. The same separation LevelDB-family stores get from
+/// immutable sorted runs under a single writer, scaled down to this store's
+/// whole-blob segments.
+///
+/// Tail protocol (pull-based; Refresh() is one poll):
+///
+///   1. Read the MANIFEST. Its install `sequence` is a generation number:
+///      unchanged generation + unchanged active-segment size means nothing
+///      new, and the poll is two stat-grade operations.
+///   2. Otherwise map the manifest's segment set into a fresh snapshot:
+///      sealed segments are immutable once listed, so their parsed form is
+///      cached across refreshes and a steady-state refresh replays only the
+///      active segment's clean prefix.
+///   3. Publish the snapshot atomically: readers hold a shared_ptr to an
+///      immutable Snapshot, so Get/Keys never block on a refresh and a
+///      snapshot handed out keeps serving (pinned parsed segments) while
+///      the primary compacts and deletes the files it came from.
+///
+/// Safety against the live writer (the PR 3 install protocol does the
+/// heavy lifting):
+///
+///   - The MANIFEST is only ever replaced via tmp-sync + rename + dir-sync,
+///     so a reader observes a complete old or complete new MANIFEST, never
+///     a torn one: any MANIFEST decode failure is real corruption.
+///   - A segment listed as non-active is complete before the MANIFEST
+///     naming it installs (invariant I2), so a damaged record there is real
+///     corruption too. Only the active segment may have a torn tail — the
+///     writer caught mid-append — which ends the replay at the last clean
+///     record, exactly like the primary's own recovery.
+///   - Compaction may delete a sealed segment between the replica's
+///     MANIFEST read and its segment open. The deletion happens strictly
+///     after the next MANIFEST install, so the failed open means a newer
+///     generation exists: Refresh re-reads the MANIFEST and retries
+///     (`max_refresh_retries` bounds the loop; a miss with an *unchanged*
+///     generation is real corruption, not a race).
+///
+/// Staleness model (docs/storage.md spells it out): a snapshot is the
+/// primary's state as of the moment the refresh finished reading the
+/// active segment's clean prefix — all earlier acknowledged writes
+/// included, nothing reordered. Because the primary appends and syncs under
+/// its write lock, a refresh can run at most one record ahead of the
+/// acknowledgement the primary is about to issue; it can never observe a
+/// write the primary did not at least start to commit.
+
+#ifndef LDPHH_STORE_REPLICA_STORE_H_
+#define LDPHH_STORE_REPLICA_STORE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/status.h"
+#include "src/store/store_format.h"
+
+namespace ldphh {
+
+/// Tuning for ReplicaStore.
+struct ReplicaStoreOptions {
+  /// Read slice of the file layer; null = FileSystem::Default() (POSIX).
+  /// Tests inject a FaultInjectingFileSystem so the replica tails the same
+  /// in-memory directory a fault-injected primary writes.
+  ReadableFileSystem* file_system = nullptr;
+  /// How many times one Refresh() may re-read the MANIFEST when a segment
+  /// vanishes mid-pass (a compaction race). Each retry requires the
+  /// generation to have advanced, so this bounds pathological churn, not
+  /// correctness.
+  int max_refresh_retries = 8;
+  /// When positive, a background thread calls Refresh() at this cadence —
+  /// the hands-off tail mode. Zero (default): the owner polls explicitly.
+  std::chrono::milliseconds poll_interval{0};
+};
+
+/// Counters for tests, benchmarks, and operators (a consistent snapshot).
+struct ReplicaStoreStats {
+  uint64_t refreshes = 0;           ///< Refresh passes (manual + background).
+  uint64_t snapshots_installed = 0; ///< Refreshes that advanced the snapshot.
+  uint64_t segment_races = 0;       ///< MANIFEST re-reads forced by a segment
+                                    ///< deleted mid-refresh.
+  uint64_t segments_replayed = 0;   ///< Segment files parsed end to end.
+  uint64_t segment_cache_hits = 0;  ///< Sealed segments served from cache.
+  uint64_t failed_refreshes = 0;    ///< Background refreshes that errored.
+  uint64_t manifest_sequence = 0;   ///< Generation of the current snapshot.
+};
+
+/// \brief The read-only follower.
+///
+/// Thread-safe: Get/Contains/Keys/Stats may be called concurrently with
+/// each other and with Refresh; Refresh passes serialize among themselves
+/// (manual calls and the background tailer share the same pass lock).
+class ReplicaStore {
+ public:
+  class PinnedView;
+
+  /// Opens the store directory at \p dir and performs the first Refresh.
+  /// Fails (kFailedPrecondition) if there is no MANIFEST yet — the primary
+  /// has not created the store; the caller retries once it has.
+  static StatusOr<std::unique_ptr<ReplicaStore>> Open(
+      const std::string& dir, const ReplicaStoreOptions& options);
+
+  ~ReplicaStore();
+  ReplicaStore(const ReplicaStore&) = delete;
+  ReplicaStore& operator=(const ReplicaStore&) = delete;
+
+  /// One tail poll: re-reads the MANIFEST, rebuilds the snapshot if the
+  /// generation or the active segment advanced. Returns whether the
+  /// visible snapshot changed.
+  StatusOr<bool> Refresh();
+
+  /// Pins the current snapshot for a multi-key read: every Get/Keys on the
+  /// returned view answers from the same point-in-time state even while
+  /// the tail (or a background poller) installs newer snapshots. The view
+  /// keeps its parsed segments alive for as long as it is held.
+  PinnedView Pin() const;
+
+  /// Fetches the blob stored under \p key in the current snapshot;
+  /// kOutOfRange if absent. Bit-for-bit what the primary's Get returned
+  /// for the state the snapshot captured. (Single-key convenience; pin a
+  /// view for multi-key consistency.)
+  Status Get(uint64_t key, std::string* blob) const;
+
+  bool Contains(uint64_t key) const;
+
+  /// All live keys of the current snapshot, ascending.
+  std::vector<uint64_t> Keys() const;
+
+  /// MANIFEST install generation of the current snapshot — compare against
+  /// the primary's Stats().manifest_sequence for replication lag.
+  uint64_t manifest_sequence() const;
+
+  ReplicaStoreStats Stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  /// Parsed form of one segment file — immutable once built.
+  struct SegmentData {
+    std::map<uint64_t, StoreSegmentEntry> entries;
+    std::map<uint64_t, uint64_t> tombstones;
+    uint64_t clean_bytes = 0;  ///< Offset after the last clean record.
+  };
+
+  /// An immutable point-in-time view. `entries` points into the pinned
+  /// SegmentData objects, so building a snapshot moves no blob bytes and
+  /// an old snapshot outlives the deletion of the files it was parsed from.
+  struct Snapshot {
+    uint64_t manifest_sequence = 0;
+    uint64_t incarnation = 0;       ///< Writing store's Open id.
+    uint64_t active_segment = 0;
+    uint64_t active_raw_bytes = 0;  ///< Active file size when replayed.
+    uint64_t active_clean_bytes = 0;///< Bytes of it the replay consumed; a
+                                    ///< cut short of the raw size disables
+                                    ///< the no-change fast path until the
+                                    ///< tail reads clean.
+    std::vector<std::shared_ptr<const SegmentData>> pinned;
+    std::map<uint64_t, const StoreSegmentEntry*> entries;
+  };
+
+  ReplicaStore(std::string dir, ReplicaStoreOptions options);
+
+  /// The refresh pass body; caller holds refresh_mu_.
+  StatusOr<bool> RefreshLocked();
+  /// Loads (or serves from cache) every segment of \p manifest, pinning
+  /// files open before replaying so the primary's compaction cannot delete
+  /// them mid-pass; fails with kOutOfRange when a segment vanished before
+  /// it could be pinned (a stale manifest). \p active_was_missing reports
+  /// an un-openable active segment — the caller disambiguates
+  /// never-written from compacted-away by re-reading the MANIFEST.
+  Status LoadSnapshot(const StoreManifest& manifest,
+                      std::shared_ptr<const Snapshot>* out,
+                      bool* active_was_missing);
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const;
+  void TailLoop();
+
+  const std::string dir_;
+  const ReplicaStoreOptions options_;
+  ReadableFileSystem* const fs_;
+
+  mutable std::mutex mu_;  ///< Guards snapshot_ swap and stats_.
+  std::shared_ptr<const Snapshot> snapshot_;
+  ReplicaStoreStats stats_;
+
+  std::mutex refresh_mu_;  ///< Serializes refresh passes.
+  /// Parsed sealed segments, keyed by segment number; guarded by
+  /// refresh_mu_. Only segments that were non-active when read are cached
+  /// (a segment read while active may be a prefix). Entries are evicted
+  /// when no longer live — and the whole cache is flushed when the
+  /// primary's incarnation changes, because a recovery may have swept and
+  /// reallocated segment numbers a rolled-back MANIFEST once listed.
+  std::map<uint64_t, std::shared_ptr<const SegmentData>> sealed_cache_;
+  uint64_t cache_incarnation_ = 0;  ///< Incarnation the cache belongs to.
+
+  std::condition_variable stop_cv_;  ///< Wakes the tailer to exit (uses mu_).
+  bool stop_ = false;
+  std::thread tailer_;
+};
+
+/// \brief An immutable point-in-time read handle (see ReplicaStore::Pin).
+class ReplicaStore::PinnedView {
+ public:
+  /// kOutOfRange if \p key is absent from the pinned state.
+  Status Get(uint64_t key, std::string* blob) const;
+  bool Contains(uint64_t key) const;
+  /// All live keys of the pinned state, ascending.
+  std::vector<uint64_t> Keys() const;
+  /// MANIFEST install generation of the pinned state.
+  uint64_t manifest_sequence() const;
+
+ private:
+  friend class ReplicaStore;
+  explicit PinnedView(std::shared_ptr<const Snapshot> snap)
+      : snap_(std::move(snap)) {}
+  std::shared_ptr<const Snapshot> snap_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_STORE_REPLICA_STORE_H_

@@ -1,0 +1,169 @@
+#include "src/store/store_format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/serde.h"
+
+namespace ldphh {
+
+std::string StoreSegmentFileName(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.seg",
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+
+bool ParseStoreSegmentFileName(const std::string& name, uint64_t* number) {
+  const size_t dot = name.rfind(".seg");
+  if (dot == std::string::npos || dot + 4 != name.size() || dot == 0) {
+    return false;
+  }
+  uint64_t n = 0;
+  for (size_t i = 0; i < dot; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    n = n * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *number = n;
+  return true;
+}
+
+std::string EncodeStoreManifest(const StoreManifest& manifest) {
+  std::string payload;
+  PutU16(&payload, kStoreFormatVersion);
+  PutU64(&payload, manifest.sequence);
+  PutU64(&payload, manifest.incarnation);
+  PutU64(&payload, manifest.next_segment);
+  PutU64(&payload, manifest.active_segment);
+  PutU32(&payload, static_cast<uint32_t>(manifest.live.size()));
+  for (uint64_t seg : manifest.live) PutU64(&payload, seg);
+  return payload;
+}
+
+Status ReadStoreManifest(ReadableFileSystem* fs, const std::string& path,
+                         StoreManifest* manifest) {
+  *manifest = StoreManifest();
+  CheckpointReader reader;
+  LDPHH_RETURN_IF_ERROR(reader.Open(path, fs));
+  CheckpointRecordType type;
+  std::string payload;
+  LDPHH_RETURN_IF_ERROR(reader.Read(&type, &payload));
+  if (type != kStoreManifestRecord) {
+    return Status::DecodeFailure("checkpoint store: MANIFEST record type");
+  }
+  ByteReader br(payload);
+  uint16_t version = 0;
+  uint32_t count = 0;
+  LDPHH_RETURN_IF_ERROR(br.ReadU16(&version));
+  if (version != 1 && version != kStoreFormatVersion) {
+    return Status::DecodeFailure(
+        "checkpoint store: unsupported MANIFEST version");
+  }
+  LDPHH_RETURN_IF_ERROR(br.ReadU64(&manifest->sequence));
+  // v1 predates the incarnation id; 0 reads as "unknown incarnation" and
+  // the first v2 install (every Open writes one) flushes replica caches.
+  if (version >= 2) {
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&manifest->incarnation));
+  }
+  LDPHH_RETURN_IF_ERROR(br.ReadU64(&manifest->next_segment));
+  LDPHH_RETURN_IF_ERROR(br.ReadU64(&manifest->active_segment));
+  LDPHH_RETURN_IF_ERROR(br.ReadU32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t seg = 0;
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&seg));
+    manifest->live.insert(seg);
+  }
+  LDPHH_RETURN_IF_ERROR(reader.Close());
+  if (manifest->live.count(manifest->active_segment) == 0 ||
+      (!manifest->live.empty() &&
+       manifest->next_segment <= *manifest->live.rbegin())) {
+    return Status::DecodeFailure("checkpoint store: inconsistent MANIFEST");
+  }
+  return Status::OK();
+}
+
+Status ReplayStoreSegment(ReadableFileSystem* fs, const std::string& path,
+                          uint64_t segment, bool tolerate_damaged_tail,
+                          std::map<uint64_t, StoreSegmentEntry>* entries,
+                          std::map<uint64_t, uint64_t>* tombstones,
+                          StoreSegmentReplayResult* result) {
+  auto file_or = fs->NewSequentialFile(path);
+  LDPHH_RETURN_IF_ERROR(file_or.status());
+  return ReplayStoreSegment(std::move(file_or).value(), path, segment,
+                            tolerate_damaged_tail, entries, tombstones,
+                            result);
+}
+
+Status ReplayStoreSegment(std::unique_ptr<SequentialFile> file,
+                          const std::string& path, uint64_t segment,
+                          bool tolerate_damaged_tail,
+                          std::map<uint64_t, StoreSegmentEntry>* entries,
+                          std::map<uint64_t, uint64_t>* tombstones,
+                          StoreSegmentReplayResult* result) {
+  *result = StoreSegmentReplayResult();
+  CheckpointReader reader;
+  LDPHH_RETURN_IF_ERROR(reader.Open(std::move(file)));
+  for (;;) {
+    CheckpointRecordType type;
+    std::string payload;
+    const Status st = reader.Read(&type, &payload);
+    if (st.code() == StatusCode::kOutOfRange) break;  // Clean end / torn tail.
+    if (!st.ok()) {
+      // A complete-but-corrupt record. In a tolerated (active) tail this is
+      // the debris of a crash mid-append — or the writer caught mid-record
+      // by a concurrent replica — and everything from here on was never
+      // acknowledged: drop the tail. Anywhere else it is real corruption.
+      if (tolerate_damaged_tail) {
+        ++result->dropped_tail_records;
+        break;
+      }
+      return Status::DecodeFailure("checkpoint store: corrupt record in " +
+                                   path + ": " + st.message());
+    }
+    ByteReader br(payload);
+    uint64_t key = 0, sequence = 0;
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&key));
+    LDPHH_RETURN_IF_ERROR(br.ReadU64(&sequence));
+    if (type == kStoreEntryRecord) {
+      auto it = entries->find(key);
+      if (it == entries->end() || sequence > it->second.sequence) {
+        StoreSegmentEntry entry;
+        entry.sequence = sequence;
+        entry.segment = segment;
+        entry.blob = std::string(payload.substr(br.position()));
+        (*entries)[key] = std::move(entry);
+      }
+    } else if (type == kStoreTombstoneRecord) {
+      uint64_t& tomb = (*tombstones)[key];
+      tomb = std::max(tomb, sequence);
+    } else {
+      return Status::DecodeFailure("checkpoint store: unknown record type in " +
+                                   path);
+    }
+    result->clean_end = static_cast<uint64_t>(reader.Tell());
+    ++result->records;
+  }
+  return reader.Close();
+}
+
+uint64_t ResolveReplayedEntries(
+    std::map<uint64_t, StoreSegmentEntry>* entries,
+    const std::map<uint64_t, uint64_t>& tombstones,
+    std::map<uint64_t, StoreSegmentEntry>* resolved) {
+  uint64_t max_sequence = 0;
+  for (auto& [key, entry] : *entries) {
+    max_sequence = std::max(max_sequence, entry.sequence);
+    const auto tomb = tombstones.find(key);
+    if (tomb != tombstones.end() && tomb->second > entry.sequence) continue;
+    resolved->emplace(key, std::move(entry));
+  }
+  entries->clear();
+  for (const auto& [key, seq] : tombstones) {
+    max_sequence = std::max(max_sequence, seq);
+  }
+  return max_sequence;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,136 @@
+/// \file store_format.h
+/// \brief The on-disk format shared by the store's writer and its replicas.
+///
+/// PR 2/3 built CheckpointStore around a MANIFEST + numbered segment files
+/// of CRC-guarded records; a read-only replica (replica_store.h) reads the
+/// same directory while the primary writes it. Everything both sides must
+/// agree on byte-for-byte lives here:
+///
+///   - the record tags the store writes into segments and the MANIFEST,
+///   - the file names ("MANIFEST", "NNNNNN.seg", the ".tmp" install suffix),
+///   - the MANIFEST payload codec (`StoreManifest` encode/read), and
+///   - segment replay (`ReplayStoreSegment`): last-write-wins by global
+///     sequence number, tombstones collected separately, with the
+///     active-segment tolerance for a torn tail.
+///
+/// Every reader-side entry point takes a `ReadableFileSystem` — the replica
+/// holds only the read slice of the file layer, so these functions cannot
+/// grow a write dependency by accident.
+
+#ifndef LDPHH_STORE_STORE_FORMAT_H_
+#define LDPHH_STORE_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/file.h"
+#include "src/common/status.h"
+#include "src/server/checkpoint_log.h"
+
+namespace ldphh {
+
+/// Record tags the store writes into its segment and MANIFEST files, in the
+/// checkpoint_log "first tag free for other subsystems" range.
+inline constexpr CheckpointRecordType kStoreEntryRecord =
+    static_cast<CheckpointRecordType>(128);
+inline constexpr CheckpointRecordType kStoreTombstoneRecord =
+    static_cast<CheckpointRecordType>(129);
+inline constexpr CheckpointRecordType kStoreManifestRecord =
+    static_cast<CheckpointRecordType>(130);
+
+/// MANIFEST payload format version. v2 added the incarnation id.
+inline constexpr uint16_t kStoreFormatVersion = 2;
+
+/// File names inside a store directory.
+inline constexpr char kStoreManifestName[] = "MANIFEST";
+inline constexpr char kStoreTempSuffix[] = ".tmp";
+
+/// Segment file name for segment number \p n ("NNNNNN.seg").
+std::string StoreSegmentFileName(uint64_t n);
+
+/// Parses "NNNNNN.seg" into a segment number; returns false for anything
+/// else (foreign files in the directory are left alone).
+bool ParseStoreSegmentFileName(const std::string& name, uint64_t* number);
+
+/// \brief The decoded MANIFEST: one kStoreManifestRecord naming the live
+/// segment set. `sequence` is the install generation — it increments on
+/// every install, so a replica can tell "nothing changed" from "changed
+/// and changed back" and can order the manifests it observes.
+/// `incarnation` is a random id drawn at every store Open: a power loss
+/// can roll back an installed-but-not-yet-directory-synced MANIFEST, after
+/// which recovery re-issues the *same* sequence number (and may reallocate
+/// swept orphan segment numbers) with different content — only the
+/// incarnation change tells a replica that its cached world is void.
+struct StoreManifest {
+  uint64_t sequence = 0;        ///< Install generation (monotonic within
+                                ///< one incarnation).
+  uint64_t incarnation = 0;     ///< Random id of the writing store's Open.
+  uint64_t next_segment = 1;    ///< Next segment number to allocate.
+  uint64_t active_segment = 0;  ///< The segment receiving appends.
+  std::set<uint64_t> live;      ///< Live segment numbers (incl. active).
+};
+
+/// Encodes \p manifest into the kStoreManifestRecord payload.
+std::string EncodeStoreManifest(const StoreManifest& manifest);
+
+/// Reads and validates the MANIFEST at \p path: record tag, format version,
+/// and internal consistency (the active segment is listed, next_segment is
+/// past every live segment). Thanks to the tmp-sync+rename+dir-sync install
+/// protocol a reader can never observe a torn MANIFEST, so any failure here
+/// is real corruption (or a missing file), never a benign race.
+Status ReadStoreManifest(ReadableFileSystem* fs, const std::string& path,
+                         StoreManifest* manifest);
+
+/// \brief One live key's winning record during replay.
+struct StoreSegmentEntry {
+  uint64_t sequence = 0;  ///< Global write sequence; highest wins.
+  uint64_t segment = 0;   ///< Segment holding the winning record.
+  std::string blob;
+};
+
+/// Counters from one segment replay.
+struct StoreSegmentReplayResult {
+  uint64_t records = 0;             ///< Clean records decoded.
+  uint64_t clean_end = 0;           ///< Byte offset after the last clean record.
+  uint64_t dropped_tail_records = 0;///< Complete-but-corrupt records skipped at
+                                    ///< the tail (only with a tolerated tail).
+};
+
+/// Replays the segment file at \p path into \p entries / \p tombstones,
+/// last write per key winning by sequence number; \p segment stamps each
+/// winning entry's origin. With \p tolerate_damaged_tail (the active
+/// segment, which a crash — or a concurrent reader catching the writer
+/// mid-append — may leave with a torn final record) a complete-but-corrupt
+/// record ends the replay at the last clean boundary; otherwise it is real
+/// corruption and fails. A truncated tail (kOutOfRange from the log reader)
+/// is always a clean end.
+Status ReplayStoreSegment(ReadableFileSystem* fs, const std::string& path,
+                          uint64_t segment, bool tolerate_damaged_tail,
+                          std::map<uint64_t, StoreSegmentEntry>* entries,
+                          std::map<uint64_t, uint64_t>* tombstones,
+                          StoreSegmentReplayResult* result);
+
+/// Same, over an already-open file (\p path only labels errors). A replica
+/// opens every segment of a generation first — pinning them against the
+/// primary's compaction deleting the files — and replays from the handles.
+Status ReplayStoreSegment(std::unique_ptr<SequentialFile> file,
+                          const std::string& path, uint64_t segment,
+                          bool tolerate_damaged_tail,
+                          std::map<uint64_t, StoreSegmentEntry>* entries,
+                          std::map<uint64_t, uint64_t>* tombstones,
+                          StoreSegmentReplayResult* result);
+
+/// Resolves replayed entries against tombstones into the live key set: an
+/// entry survives unless a tombstone with a higher sequence shadows it.
+/// Consumes \p entries (blobs are moved, not copied). Returns the highest
+/// sequence number seen (entries and tombstones both), 0 when empty.
+uint64_t ResolveReplayedEntries(
+    std::map<uint64_t, StoreSegmentEntry>* entries,
+    const std::map<uint64_t, uint64_t>& tombstones,
+    std::map<uint64_t, StoreSegmentEntry>* resolved);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_STORE_STORE_FORMAT_H_

@@ -18,8 +18,10 @@
 #include "src/common/random.h"
 #include "src/freq/hadamard_response.h"
 #include "src/server/epoch_manager.h"
+#include "src/server/replica_view.h"
 #include "src/server/sharded_aggregator.h"
 #include "src/store/checkpoint_store.h"
+#include "src/store/replica_store.h"
 
 namespace ldphh {
 namespace {
@@ -218,6 +220,40 @@ TEST(StorePowerLossTest, TornUnsyncedTailNeverCostsAckedPuts) {
   }
 }
 
+// Regression (found by the store model suite, tests/store_model_test.cc):
+// a process restart leaves an empty active segment whose directory entry
+// was created by the previous incarnation but never synced (no record was
+// ever written to it). The re-opened writer must still sync the entry
+// before acknowledging records — "the file exists" in the volatile
+// namespace proves nothing — or every fsync'd record vanishes with the
+// file on power loss.
+TEST(StorePowerLossTest, RestartWithEmptyActiveSegmentThenPowerLoss) {
+  FaultInjectingFileSystem fs;
+  std::map<uint64_t, std::string> model;
+  {
+    auto store = MustOpen(FaultOptions(&fs));
+    for (uint64_t k = 0; k < 3; ++k) {
+      ASSERT_TRUE(store->Put(k, Blob(k)).ok());
+      model[k] = Blob(k);
+    }
+  }
+  // Restart twice with no writes in between: the second Open keeps the
+  // first restart's rolled-but-empty active segment (created, entry never
+  // synced). No power loss yet — the volatile namespace carries the entry.
+  { auto store = MustOpen(FaultOptions(&fs)); }
+  {
+    auto store = MustOpen(FaultOptions(&fs));
+    ASSERT_TRUE(store->Put(50, "post-restart").ok());
+    ASSERT_TRUE(store->Delete(0).ok());
+    model[50] = "post-restart";
+    model.erase(0);
+  }
+  fs.SimulatePowerLoss();
+  auto recovered = MustOpen(FaultOptions(&fs));
+  ExpectMatchesModel(recovered.get(), model,
+                     "restart + empty active + power loss");
+}
+
 // Negative control: under SyncMode::kNone nothing is ever synced, so a
 // power loss may take everything — but recovery must still come up clean
 // (an empty store, not a corrupt one), and no fsync may have been issued.
@@ -344,6 +380,209 @@ TEST(EpochPowerLossTest, ClosedEpochsSurviveBitForBit) {
     EXPECT_EQ(window->Estimate(v), want->Estimate(v)) << "value " << v;
   }
   ASSERT_TRUE(mgr.Close().ok());
+}
+
+// --------------------------------------------------------------- replica ----
+
+ReplicaStoreOptions FaultReplicaOptions(FaultInjectingFileSystem* fs) {
+  ReplicaStoreOptions o;
+  o.file_system = fs;
+  return o;
+}
+
+void ExpectReplicaMatchesModel(ReplicaStore* replica,
+                               const std::map<uint64_t, std::string>& model,
+                               const std::string& context) {
+  std::vector<uint64_t> want_keys;
+  for (const auto& [key, blob] : model) want_keys.push_back(key);
+  EXPECT_EQ(replica->Keys(), want_keys) << context;
+  for (const auto& [key, blob] : model) {
+    std::string got;
+    ASSERT_TRUE(replica->Get(key, &got).ok()) << context << " key " << key;
+    EXPECT_EQ(got, blob) << context << " key " << key;
+  }
+}
+
+// Kill the primary after every single acknowledged mutation — crossing
+// segment rolls and MANIFEST installs — while a replica is mid-tail, then
+// lose power on top. The replica (both the survivor re-polling the
+// post-loss directory and a fresh one opened on the crash debris, before
+// any primary recovery) must land on exactly the acknowledged state: it
+// can never observe a state the primary never durably committed, and every
+// mid-tail snapshot it served along the way was one of the committed
+// prefixes.
+TEST(ReplicaPowerLossTest, TailNeverObservesUncommittedState) {
+  const std::vector<Op> ops = MutationScript(48);
+  for (size_t upto = 1; upto <= ops.size(); upto += 3) {
+    FaultInjectingFileSystem fs;
+    std::map<uint64_t, std::string> model;
+    std::unique_ptr<ReplicaStore> replica;
+    {
+      auto store = MustOpen(FaultOptions(&fs));
+      auto replica_or = ReplicaStore::Open(kDir, FaultReplicaOptions(&fs));
+      ASSERT_TRUE(replica_or.ok()) << replica_or.status().ToString();
+      replica = std::move(replica_or).value();
+      for (size_t j = 0; j < upto; ++j) {
+        ApplyTo(store.get(), &model, ops[j]);
+        if (j % 5 == 2) {
+          // Mid-tail poll between acknowledged ops: the snapshot must be
+          // exactly the committed state at this point.
+          ASSERT_TRUE(replica->Refresh().ok());
+          ExpectReplicaMatchesModel(
+              replica.get(), model,
+              "mid-tail op " + std::to_string(j) + "/" + std::to_string(upto));
+        }
+      }
+    }  // Kill the primary with files as-is...
+    fs.SimulatePowerLoss();  // ...then the power goes too.
+
+    // The surviving replica re-polls the post-loss directory.
+    auto refreshed_or = replica->Refresh();
+    ASSERT_TRUE(refreshed_or.ok()) << refreshed_or.status().ToString();
+    ExpectReplicaMatchesModel(replica.get(), model,
+                              "survivor after op " + std::to_string(upto));
+
+    // A fresh replica serves straight off the crash debris — torn active
+    // tails, uninstalled MANIFEST.tmp, orphan segments and all — with no
+    // primary recovery having run.
+    auto fresh_or = ReplicaStore::Open(kDir, FaultReplicaOptions(&fs));
+    ASSERT_TRUE(fresh_or.ok()) << fresh_or.status().ToString();
+    ExpectReplicaMatchesModel(fresh_or.value().get(), model,
+                              "fresh on debris after op " +
+                                  std::to_string(upto));
+
+    // The primary recovers (sweeps, seals, rolls) and keeps writing; both
+    // replicas follow.
+    auto recovered = MustOpen(FaultOptions(&fs));
+    ASSERT_TRUE(recovered->Put(999, "post-loss").ok());
+    model[999] = "post-loss";
+    ASSERT_TRUE(replica->Refresh().ok());
+    ExpectReplicaMatchesModel(replica.get(), model,
+                              "survivor after recovery");
+  }
+}
+
+// Crash-phase matrix × power loss with a replica mid-tail: kill the
+// primary at each compaction phase while the replica tails, lose power,
+// and check the replica (survivor and fresh-on-debris) against the model
+// at every stage — including after the primary recovers and converges.
+class ReplicaCompactionPowerLossTest
+    : public testing::TestWithParam<CheckpointStore::CompactionCrashPoint> {};
+
+TEST_P(ReplicaCompactionPowerLossTest, ReplicaRidesEveryPhase) {
+  FaultInjectingFileSystem fs;
+  std::map<uint64_t, std::string> model;
+  std::unique_ptr<ReplicaStore> replica;
+  {
+    auto store = MustOpen(FaultOptions(&fs));
+    auto replica_or = ReplicaStore::Open(kDir, FaultReplicaOptions(&fs));
+    ASSERT_TRUE(replica_or.ok());
+    replica = std::move(replica_or).value();
+    for (uint64_t k = 0; k < 40; ++k) {
+      ASSERT_TRUE(store->Put(k, Blob(k)).ok());
+      model[k] = Blob(k);
+      if (k % 10 == 5) {
+        ASSERT_TRUE(replica->Refresh().ok());
+      }
+    }
+    for (uint64_t k = 0; k < 40; k += 4) {
+      ASSERT_TRUE(store->Put(k, Blob(k + 500)).ok());
+      model[k] = Blob(k + 500);
+    }
+    ASSERT_TRUE(store->Delete(39).ok());
+    model.erase(39);
+    ASSERT_GT(store->Stats().sealed_segments, 2u);
+
+    store->set_crash_point_for_testing(GetParam());
+    ASSERT_TRUE(store->Compact().ok());
+    // The replica polls the directory the interrupted compaction left.
+    ASSERT_TRUE(replica->Refresh().ok());
+    ExpectReplicaMatchesModel(replica.get(), model, "post-crash-point tail");
+  }  // Kill the primary...
+  fs.SimulatePowerLoss();  // ...and the power.
+
+  ASSERT_TRUE(replica->Refresh().ok());
+  ExpectReplicaMatchesModel(replica.get(), model, "survivor post-loss");
+  auto fresh_or = ReplicaStore::Open(kDir, FaultReplicaOptions(&fs));
+  ASSERT_TRUE(fresh_or.ok()) << fresh_or.status().ToString();
+  ExpectReplicaMatchesModel(fresh_or.value().get(), model, "fresh on debris");
+
+  // Primary recovery converges the directory; the replicas follow through
+  // the recovery-installed MANIFEST and the completed re-compaction.
+  auto recovered = MustOpen(FaultOptions(&fs));
+  ASSERT_TRUE(recovered->Compact().ok());
+  ASSERT_TRUE(recovered->Put(1000, "after").ok());
+  model[1000] = "after";
+  ASSERT_TRUE(replica->Refresh().ok());
+  ExpectReplicaMatchesModel(replica.get(), model, "survivor post-recovery");
+  ASSERT_TRUE(fresh_or.value()->Refresh().ok());
+  ExpectReplicaMatchesModel(fresh_or.value().get(), model,
+                            "fresh post-recovery");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, ReplicaCompactionPowerLossTest,
+    testing::Values(
+        CheckpointStore::CompactionCrashPoint::kNone,
+        CheckpointStore::CompactionCrashPoint::kAfterConsolidatedSegment,
+        CheckpointStore::CompactionCrashPoint::kAfterTempManifest,
+        CheckpointStore::CompactionCrashPoint::kAfterManifestInstall));
+
+// Epoch-level: a ReplicaView keeps serving closed epochs bit-for-bit across
+// the primary's death and a power loss — the windowed answer over the
+// post-loss directory equals a crash-free single-threaded aggregation.
+TEST(EpochPowerLossTest, ReplicaViewServesClosedEpochsAcrossPowerLoss) {
+  const auto factory = [] {
+    return std::make_unique<HadamardResponseFO>(64, 1.0);
+  };
+  const uint64_t kEpochSize = 500;
+  Rng rng(21);
+  std::vector<WireReport> reports(3 * kEpochSize);
+  {
+    auto client = factory();
+    for (size_t i = 0; i < reports.size(); ++i) {
+      reports[i].user_index = i;
+      reports[i].report = client->Encode(rng.UniformU64(64), rng);
+    }
+  }
+
+  FaultInjectingFileSystem fs;
+  EpochManagerOptions opts;
+  opts.reports_per_epoch = kEpochSize;
+  opts.aggregator.num_shards = 2;
+  std::unique_ptr<ReplicaStore> replica;
+  {
+    auto store = MustOpen(FaultOptions(&fs, SyncMode::kFull, 1 << 10));
+    EpochManager mgr(factory, store.get(), opts);
+    ASSERT_TRUE(mgr.Start().ok());
+    for (size_t i = 0; i < reports.size(); ++i) {
+      ASSERT_TRUE(mgr.Submit(reports[i]).ok());
+      if (i == kEpochSize + 3) {
+        // Tail up mid-stream, one closed epoch in.
+        auto replica_or = ReplicaStore::Open(kDir, FaultReplicaOptions(&fs));
+        ASSERT_TRUE(replica_or.ok());
+        replica = std::move(replica_or).value();
+      }
+    }
+  }
+  fs.SimulatePowerLoss();
+
+  ReplicaView view(factory, replica.get());
+  ASSERT_TRUE(view.Refresh().ok());
+  EXPECT_EQ(view.PersistedEpochs(), (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(view.next_epoch(), 3u);
+  auto window_or = view.WindowedQuery(0, 2);
+  ASSERT_TRUE(window_or.ok()) << window_or.status().ToString();
+  auto window = std::move(window_or).value();
+  window->Finalize();
+  auto want = factory();
+  for (const WireReport& r : reports) {
+    want->AggregateIndexed(r.user_index, r.report);
+  }
+  want->Finalize();
+  for (uint64_t v = 0; v < want->domain_size(); ++v) {
+    EXPECT_EQ(window->Estimate(v), want->Estimate(v)) << "value " << v;
+  }
 }
 
 }  // namespace

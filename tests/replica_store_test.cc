@@ -1,0 +1,381 @@
+// Tests for src/store/replica_store: a read-only follower tailing a live
+// CheckpointStore directory — snapshot equality with the primary, tail lag
+// semantics, pinned snapshots surviving compaction, the sealed-segment
+// cache, background polling, and a concurrent primary/replica hammer (the
+// TSan target for the replica read path).
+
+#include "src/store/replica_store.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_fs.h"
+#include "src/common/random.h"
+#include "src/common/serde.h"
+#include "src/store/checkpoint_store.h"
+
+namespace fs = std::filesystem;
+
+namespace ldphh {
+namespace {
+
+class ReplicaStoreTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/ldphh_replica_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+           std::to_string(::getpid());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Small segments so a handful of Puts crosses rolls and MANIFEST
+  // installs; no background compaction — tests drive it explicitly.
+  CheckpointStoreOptions PrimaryOptions(size_t segment_max_bytes = 256) {
+    CheckpointStoreOptions o;
+    o.segment_max_bytes = segment_max_bytes;
+    o.background_compaction = false;
+    o.sync_mode = SyncMode::kNone;  // Process-level tests; speed over fsync.
+    return o;
+  }
+
+  std::unique_ptr<CheckpointStore> MustOpenPrimary(
+      const CheckpointStoreOptions& o) {
+    auto store_or = CheckpointStore::Open(dir_, o);
+    EXPECT_TRUE(store_or.ok()) << store_or.status().ToString();
+    return std::move(store_or).value();
+  }
+
+  std::unique_ptr<ReplicaStore> MustOpenReplica(
+      ReplicaStoreOptions o = ReplicaStoreOptions()) {
+    auto replica_or = ReplicaStore::Open(dir_, o);
+    EXPECT_TRUE(replica_or.ok()) << replica_or.status().ToString();
+    return std::move(replica_or).value();
+  }
+
+  std::string dir_;
+};
+
+std::string Blob(uint64_t key, size_t size = 48) {
+  std::string b = "blob-" + std::to_string(key) + "-";
+  while (b.size() < size) b.push_back(static_cast<char>('a' + key % 26));
+  return b;
+}
+
+void ExpectReplicaMatches(ReplicaStore* replica,
+                          const std::map<uint64_t, std::string>& model,
+                          const std::string& context) {
+  std::vector<uint64_t> want_keys;
+  for (const auto& [key, blob] : model) want_keys.push_back(key);
+  EXPECT_EQ(replica->Keys(), want_keys) << context;
+  for (const auto& [key, blob] : model) {
+    std::string got;
+    ASSERT_TRUE(replica->Get(key, &got).ok()) << context << " key " << key;
+    EXPECT_EQ(got, blob) << context << " key " << key;
+    EXPECT_TRUE(replica->Contains(key)) << context << " key " << key;
+  }
+}
+
+// A v1 MANIFEST (written before the incarnation id existed) must still
+// decode — incarnation reads as 0, "unknown" — so stores from the previous
+// release stay openable.
+TEST(StoreFormatTest, ReadsVersion1ManifestWithoutIncarnation) {
+  FaultInjectingFileSystem ffs;
+  std::string payload;
+  PutU16(&payload, 1);   // version 1: no incarnation field
+  PutU64(&payload, 7);   // sequence
+  PutU64(&payload, 4);   // next_segment
+  PutU64(&payload, 3);   // active_segment
+  PutU32(&payload, 2);   // live count
+  PutU64(&payload, 2);
+  PutU64(&payload, 3);
+  const std::string path = "/faultfs/v1/MANIFEST";
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open(path, &ffs, SyncMode::kNone).ok());
+  ASSERT_TRUE(writer.Append(kStoreManifestRecord, payload).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  StoreManifest manifest;
+  ASSERT_TRUE(ReadStoreManifest(&ffs, path, &manifest).ok());
+  EXPECT_EQ(manifest.sequence, 7u);
+  EXPECT_EQ(manifest.incarnation, 0u);
+  EXPECT_EQ(manifest.next_segment, 4u);
+  EXPECT_EQ(manifest.active_segment, 3u);
+  EXPECT_EQ(manifest.live, (std::set<uint64_t>{2, 3}));
+
+  // A replica refuses to tail a v1 primary: without the incarnation id it
+  // cannot detect a rolled-back-and-reissued generation. (A v1 store
+  // upgrades by opening it once with the current binary — recovery always
+  // installs a fresh v2 MANIFEST.)
+  ReplicaStoreOptions ro;
+  ro.file_system = &ffs;
+  auto replica_or = ReplicaStore::Open("/faultfs/v1", ro);
+  ASSERT_FALSE(replica_or.ok());
+  EXPECT_EQ(replica_or.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicaStoreTest, OpenWithoutManifestFails) {
+  fs::create_directories(dir_);
+  auto replica_or = ReplicaStore::Open(dir_, ReplicaStoreOptions());
+  ASSERT_FALSE(replica_or.ok());
+  EXPECT_EQ(replica_or.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicaStoreTest, TailsPutsDeletesAndOverwrites) {
+  auto primary = MustOpenPrimary(PrimaryOptions());
+  std::map<uint64_t, std::string> model;
+  auto replica = MustOpenReplica();
+  ExpectReplicaMatches(replica.get(), model, "empty store");
+
+  for (uint64_t k = 0; k < 30; ++k) {
+    ASSERT_TRUE(primary->Put(k, Blob(k)).ok());
+    model[k] = Blob(k);
+  }
+  for (uint64_t k = 0; k < 30; k += 3) {
+    ASSERT_TRUE(primary->Put(k, Blob(k + 100)).ok());
+    model[k] = Blob(k + 100);
+  }
+  ASSERT_TRUE(primary->Delete(7).ok());
+  ASSERT_TRUE(primary->Delete(28).ok());
+  model.erase(7);
+  model.erase(28);
+
+  auto advanced_or = replica->Refresh();
+  ASSERT_TRUE(advanced_or.ok()) << advanced_or.status().ToString();
+  EXPECT_TRUE(advanced_or.value());
+  ExpectReplicaMatches(replica.get(), model, "after tail");
+  EXPECT_EQ(replica->manifest_sequence(),
+            primary->Stats().manifest_sequence);
+
+  // Nothing new: the poll is a no-op and says so.
+  auto idle_or = replica->Refresh();
+  ASSERT_TRUE(idle_or.ok());
+  EXPECT_FALSE(idle_or.value());
+}
+
+TEST_F(ReplicaStoreTest, SnapshotIsStaleUntilRefresh) {
+  auto primary = MustOpenPrimary(PrimaryOptions());
+  ASSERT_TRUE(primary->Put(1, "one").ok());
+  auto replica = MustOpenReplica();
+  std::string got;
+  ASSERT_TRUE(replica->Get(1, &got).ok());
+
+  ASSERT_TRUE(primary->Put(2, "two").ok());
+  // The snapshot is immutable: key 2 is invisible until the next poll.
+  EXPECT_FALSE(replica->Contains(2));
+  ASSERT_TRUE(replica->Refresh().ok());
+  EXPECT_TRUE(replica->Contains(2));
+}
+
+TEST_F(ReplicaStoreTest, PinnedSnapshotServesAcrossCompactionAndPrune) {
+  auto primary = MustOpenPrimary(PrimaryOptions());
+  std::map<uint64_t, std::string> old_model;
+  for (uint64_t k = 0; k < 24; ++k) {
+    ASSERT_TRUE(primary->Put(k, Blob(k)).ok());
+    old_model[k] = Blob(k);
+  }
+  auto replica = MustOpenReplica();
+  ExpectReplicaMatches(replica.get(), old_model, "before compaction");
+
+  // The primary compacts (deleting the segment files the snapshot was
+  // parsed from), prunes old keys, and keeps writing.
+  std::map<uint64_t, std::string> new_model = old_model;
+  for (uint64_t k = 0; k < 12; ++k) {
+    ASSERT_TRUE(primary->Delete(k).ok());
+    new_model.erase(k);
+  }
+  ASSERT_TRUE(primary->Compact().ok());
+  ASSERT_TRUE(primary->Put(100, "fresh").ok());
+  new_model[100] = "fresh";
+
+  // The un-refreshed snapshot still serves the old state whole — parsed
+  // segment data is pinned, files on disk be damned.
+  ExpectReplicaMatches(replica.get(), old_model, "pinned old snapshot");
+
+  ASSERT_TRUE(replica->Refresh().ok());
+  ExpectReplicaMatches(replica.get(), new_model, "after refresh");
+}
+
+TEST_F(ReplicaStoreTest, PinnedViewIsImmuneToConcurrentRefresh) {
+  auto primary = MustOpenPrimary(PrimaryOptions());
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(primary->Put(k, Blob(k)).ok());
+  }
+  auto replica = MustOpenReplica();
+  const ReplicaStore::PinnedView pinned = replica->Pin();
+
+  // The primary prunes and the replica's *current* snapshot follows...
+  for (uint64_t k = 0; k < 5; ++k) ASSERT_TRUE(primary->Delete(k).ok());
+  ASSERT_TRUE(primary->Compact().ok());
+  ASSERT_TRUE(replica->Refresh().ok());
+  EXPECT_FALSE(replica->Contains(2));
+
+  // ...while the pinned view keeps answering from its point in time — a
+  // multi-key read (e.g. a windowed query) can never tear mid-way.
+  for (uint64_t k = 0; k < 10; ++k) {
+    std::string got;
+    ASSERT_TRUE(pinned.Get(k, &got).ok()) << "key " << k;
+    EXPECT_EQ(got, Blob(k)) << "key " << k;
+  }
+  EXPECT_LT(pinned.manifest_sequence(), replica->manifest_sequence());
+}
+
+TEST_F(ReplicaStoreTest, SealedSegmentCacheServesSteadyStateRefreshes) {
+  auto primary = MustOpenPrimary(PrimaryOptions());
+  auto replica = MustOpenReplica();
+  // Cross several segment rolls, refreshing after each batch: the sealed
+  // segments parsed by earlier refreshes must come from cache, not disk.
+  for (uint64_t batch = 0; batch < 6; ++batch) {
+    for (uint64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE(primary->Put(batch * 10 + k, Blob(k)).ok());
+    }
+    ASSERT_TRUE(replica->Refresh().ok());
+  }
+  const ReplicaStoreStats stats = replica->Stats();
+  EXPECT_GT(stats.segment_cache_hits, 0u);
+  EXPECT_GT(stats.snapshots_installed, 1u);
+  // Steady state: each refresh replays at most the active segment plus the
+  // segments sealed since the last poll — far fewer than live * refreshes.
+  EXPECT_LT(stats.segments_replayed,
+            primary->Stats().live_segments * stats.snapshots_installed);
+}
+
+TEST_F(ReplicaStoreTest, TailsAcrossPrimaryRestartAndRecovery) {
+  std::map<uint64_t, std::string> model;
+  {
+    auto primary = MustOpenPrimary(PrimaryOptions());
+    for (uint64_t k = 0; k < 20; ++k) {
+      ASSERT_TRUE(primary->Put(k, Blob(k)).ok());
+      model[k] = Blob(k);
+    }
+  }
+  auto replica = MustOpenReplica();
+  ExpectReplicaMatches(replica.get(), model, "primary closed");
+
+  // The primary restarts (recovery sweeps, seals, rolls) and writes more;
+  // the replica follows through the recovery-installed MANIFESTs.
+  auto primary = MustOpenPrimary(PrimaryOptions());
+  ASSERT_TRUE(primary->Put(50, "post-restart").ok());
+  model[50] = "post-restart";
+  ASSERT_TRUE(replica->Refresh().ok());
+  ExpectReplicaMatches(replica.get(), model, "after primary restart");
+}
+
+TEST_F(ReplicaStoreTest, WorksOnFaultInjectingFileSystem) {
+  FaultInjectingFileSystem ffs;
+  CheckpointStoreOptions po;
+  po.segment_max_bytes = 256;
+  po.background_compaction = false;
+  po.file_system = &ffs;
+  const std::string dir = "/faultfs/replica_basic";
+  auto primary_or = CheckpointStore::Open(dir, po);
+  ASSERT_TRUE(primary_or.ok());
+  auto primary = std::move(primary_or).value();
+  std::map<uint64_t, std::string> model;
+  for (uint64_t k = 0; k < 15; ++k) {
+    ASSERT_TRUE(primary->Put(k, Blob(k)).ok());
+    model[k] = Blob(k);
+  }
+  ReplicaStoreOptions ro;
+  ro.file_system = &ffs;
+  auto replica_or = ReplicaStore::Open(dir, ro);
+  ASSERT_TRUE(replica_or.ok()) << replica_or.status().ToString();
+  ExpectReplicaMatches(replica_or.value().get(), model, "fault fs");
+}
+
+TEST_F(ReplicaStoreTest, BackgroundTailerCatchesUpWithoutManualPolls) {
+  auto primary = MustOpenPrimary(PrimaryOptions());
+  ASSERT_TRUE(primary->Put(1, "one").ok());
+  ReplicaStoreOptions ro;
+  ro.poll_interval = std::chrono::milliseconds(1);
+  auto replica = MustOpenReplica(ro);
+
+  std::map<uint64_t, std::string> model{{1, "one"}};
+  for (uint64_t k = 2; k < 40; ++k) {
+    ASSERT_TRUE(primary->Put(k, Blob(k)).ok());
+    model[k] = Blob(k);
+  }
+  // No manual Refresh: the tailer must converge on its own.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (replica->Keys().size() != model.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ExpectReplicaMatches(replica.get(), model, "background tail");
+  EXPECT_GT(replica->Stats().refreshes, 1u);
+}
+
+// The TSan target: a primary mutating (puts, deletes, compactions, segment
+// rolls) at full speed while a replica refreshes and reads concurrently.
+// Every mid-flight read must be well-formed (a Get either misses or
+// returns a value the primary wrote for that key); at the end the tail
+// must converge to exact equality.
+TEST_F(ReplicaStoreTest, ConcurrentTailHammer) {
+  auto primary = MustOpenPrimary(PrimaryOptions(512));
+  ASSERT_TRUE(primary->Put(0, Blob(0)).ok());
+  auto replica = MustOpenReplica();
+
+  constexpr uint64_t kKeys = 16;
+  constexpr int kOps = 1500;
+  std::atomic<bool> done{false};
+  std::atomic<int> refreshes{0};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      auto advanced_or = replica->Refresh();
+      ASSERT_TRUE(advanced_or.ok()) << advanced_or.status().ToString();
+      refreshes.fetch_add(1, std::memory_order_relaxed);
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        std::string got;
+        const Status st = replica->Get(k, &got);
+        if (st.ok()) {
+          // Any served value must be one the primary wrote for this key.
+          EXPECT_EQ(got.compare(0, 5, "blob-"), 0) << "key " << k;
+        } else {
+          EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+        }
+      }
+      (void)replica->Keys();
+    }
+  });
+
+  Rng rng(2024);
+  std::map<uint64_t, std::string> model;
+  model[0] = Blob(0);
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t key = rng.UniformU64(kKeys);
+    if (rng.Bernoulli(0.15)) {
+      ASSERT_TRUE(primary->Delete(key).ok());
+      model.erase(key);
+    } else if (rng.Bernoulli(0.05)) {
+      ASSERT_TRUE(primary->Compact().ok());
+    } else {
+      const std::string blob = Blob(key, 32 + rng.UniformU64(64));
+      ASSERT_TRUE(primary->Put(key, blob).ok());
+      model[key] = blob;
+    }
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_GT(refreshes.load(), 0);
+
+  auto final_or = replica->Refresh();
+  ASSERT_TRUE(final_or.ok()) << final_or.status().ToString();
+  ExpectReplicaMatches(replica.get(), model, "after hammer");
+  // Compaction may have raced refreshes; the retry path resolving on the
+  // next generation is expected, failure is not.
+  EXPECT_EQ(replica->Stats().failed_refreshes, 0u);
+}
+
+}  // namespace
+}  // namespace ldphh
