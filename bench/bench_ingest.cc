@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/freq/unary_encoding.h"
+#include "src/protocols/registry.h"
 #include "src/server/report_codec.h"
 #include "src/server/sharded_aggregator.h"
 
@@ -23,24 +23,25 @@ namespace {
 // report, so per-report server work is substantial enough for sharding to
 // matter (Hadamard response at one add per report is producer-bound).
 constexpr uint64_t kDomain = 56;
-constexpr double kEpsilon = 1.0;
 constexpr uint64_t kNumReports = 1 << 18;
 
-std::unique_ptr<SmallDomainFO> MakeOracle() {
-  return std::make_unique<UnaryEncodingFO>(kDomain, kEpsilon);
+ProtocolConfig Config() {
+  ProtocolConfig config("rappor_unary");
+  config.SetUint("domain", kDomain).SetDouble("eps", 1.0);
+  return config;
 }
 
 // Client-side encodes are expensive relative to aggregation, so the report
 // stream is produced once and replayed by every benchmark iteration.
 const std::vector<WireReport>& Reports() {
   static const std::vector<WireReport>* reports = [] {
-    auto client = MakeOracle();
+    auto client = std::move(CreateAggregator(Config())).value();
     Rng rng(2024);
-    auto* r = new std::vector<WireReport>(kNumReports);
+    auto* r = new std::vector<WireReport>();
+    r->reserve(kNumReports);
     for (uint64_t i = 0; i < kNumReports; ++i) {
       const uint64_t value = rng.Bernoulli(0.25) ? 42 : rng.UniformU64(kDomain);
-      (*r)[i].user_index = i;
-      (*r)[i].report = client->Encode(value, rng);
+      r->push_back(client->Encode(i, DomainItem(value), rng).value());
     }
     return r;
   }();
@@ -54,10 +55,17 @@ void BM_ShardedIngest(benchmark::State& state) {
   opts.queue_capacity = 1 << 14;
   opts.batch_size = 512;
   for (auto _ : state) {
-    ShardedAggregator agg(MakeOracle, opts);
-    if (!agg.Start().ok()) state.SkipWithError("Start failed");
-    if (!agg.SubmitBatch(reports).ok()) state.SkipWithError("Submit failed");
-    auto merged = agg.Finish();
+    auto agg_or = ShardedAggregator::Create(Config(), opts);
+    if (!agg_or.ok()) {
+      // SkipWithError only marks the run; falling through to .value() on an
+      // error would abort the whole bench job.
+      state.SkipWithError("Create failed");
+      return;
+    }
+    auto agg = std::move(agg_or).value();
+    if (!agg->Start().ok()) state.SkipWithError("Start failed");
+    if (!agg->SubmitBatch(reports).ok()) state.SkipWithError("Submit failed");
+    auto merged = agg->Finish();
     if (!merged.ok()) state.SkipWithError("Finish failed");
     benchmark::DoNotOptimize(merged);
   }

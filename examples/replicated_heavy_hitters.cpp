@@ -1,13 +1,15 @@
 // Replicated heavy-hitter serving — scale-out reads for the epoch layer.
 //
 // One primary owns the store directory and the write lock: it ingests LDP
-// reports, rolls epochs, persists each closed epoch's mergeable oracle
-// state, prunes and compacts. A read-only replica opens the SAME directory
-// with nothing but the read slice of the file layer, tails the MANIFEST on
-// a background poll thread, and serves WindowedQuery from its immutable
-// snapshots — never taking the primary's lock, never writing a byte. This
-// is how the continuous-query service scales to millions of read users:
-// add replicas, not locks.
+// reports, rolls epochs, persists each closed epoch's mergeable aggregator
+// state — with its ProtocolConfig embedded, so every record names its own
+// protocol — prunes and compacts. A read-only replica opens the SAME
+// directory with nothing but the read slice of the file layer, tails the
+// MANIFEST on a background poll thread, and serves WindowedQuery from its
+// immutable snapshots — never taking the primary's lock, never writing a
+// byte, and never being told what protocol it serves: the epoch records
+// are self-describing. This is how the continuous-query service scales to
+// millions of read users: add replicas, not locks.
 //
 // The demo runs primary-writes/replica-queries end to end and concurrently:
 // an ingest thread streams half a million reports through an EpochManager
@@ -29,31 +31,43 @@
 #include "src/server/replica_view.h"
 #include "src/store/replica_store.h"
 
+namespace {
+
+double EstimateOf(const std::vector<ldphh::HeavyHitterEntry>& entries,
+                  uint64_t value) {
+  for (const auto& e : entries) {
+    if (e.item == ldphh::DomainItem(value)) return e.estimate;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 int main() {
   using namespace ldphh;
   const uint64_t kDomain = 512;
-  const double kEpsilon = 1.0;
   const uint64_t kEpochSize = 1 << 15;  // Reports per epoch.
   const uint64_t kEpochs = 16;
   const std::string dir = "/tmp/ldphh_replicated_hh_store";
   std::filesystem::remove_all(dir);
 
-  auto factory = [&] {
-    return std::unique_ptr<SmallDomainFO>(
-        std::make_unique<HadamardResponseFO>(kDomain, kEpsilon));
-  };
+  const ProtocolConfig config =
+      std::move(ProtocolConfig::FromText("hadamard_response(domain=512,eps=1)"))
+          .value();
 
   // --- client fleet -------------------------------------------------------
   std::printf("encoding %llu reports across %llu epochs...\n",
               static_cast<unsigned long long>(kEpochs * kEpochSize),
               static_cast<unsigned long long>(kEpochs));
-  auto client = factory();
+  auto client = std::move(CreateAggregator(config)).value();
   Rng rng(23);
   std::vector<WireReport> reports(kEpochs * kEpochSize);
   for (uint64_t i = 0; i < reports.size(); ++i) {
     const uint64_t hot = i / kEpochSize < kEpochs / 2 ? 42 : 311;
     const uint64_t value = rng.Bernoulli(0.25) ? hot : rng.UniformU64(kDomain);
-    reports[i] = WireReport{i, client->Encode(value, rng)};
+    auto report_or = client->Encode(i, DomainItem(value), rng);
+    if (!report_or.ok()) return 1;
+    reports[i] = report_or.value();
   }
 
   // --- primary: the single writer -----------------------------------------
@@ -68,13 +82,15 @@ int main() {
   auto store_or = CheckpointStore::Open(dir, store_opts);
   if (!store_or.ok()) return 1;
   auto store = std::move(store_or).value();
-  EpochManager primary(factory, store.get(), epoch_opts);
-  if (!primary.Start().ok()) return 1;
+  auto primary_or = EpochManager::Create(config, store.get(), epoch_opts);
+  if (!primary_or.ok()) return 1;
+  auto primary = std::move(primary_or).value();
+  if (!primary->Start().ok()) return 1;
 
   std::atomic<bool> ingest_failed{false};
   std::thread ingest([&] {
     for (const WireReport& r : reports) {
-      if (!primary.Submit(r).ok()) {
+      if (!primary->Submit(r).ok()) {
         ingest_failed.store(true);
         return;
       }
@@ -100,7 +116,9 @@ int main() {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
-  ReplicaView view(factory, replica.get());
+  // No protocol config handed to the replica: the records describe
+  // themselves.
+  ReplicaView view(replica.get());
 
   // --- watch the tail catch epochs while ingestion runs -------------------
   std::printf("replica tailing %s (2 ms poll):\n", dir.c_str());
@@ -117,14 +135,14 @@ int main() {
         return 1;
       }
       auto window = std::move(window_or).value();
-      window->Finalize();
+      const auto entries = std::move(window->EstimateTopK(kDomain)).value();
       std::printf(
           "  tail at %2llu/%llu epochs (gen %3llu)   f(42) = %8.0f   "
           "f(311) = %8.0f\n",
           static_cast<unsigned long long>(seen),
           static_cast<unsigned long long>(kEpochs),
           static_cast<unsigned long long>(replica->manifest_sequence()),
-          window->Estimate(42), window->Estimate(311));
+          EstimateOf(entries, 42), EstimateOf(entries, 311));
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -133,11 +151,10 @@ int main() {
 
   // --- verify: replica == primary == crash-free baseline, bit for bit ----
   auto baseline = [&](uint64_t first, uint64_t last) {
-    auto oracle = factory();
+    auto oracle = std::move(CreateAggregator(config)).value();
     for (uint64_t i = first * kEpochSize; i < (last + 1) * kEpochSize; ++i) {
-      oracle->AggregateIndexed(reports[i].user_index, reports[i].report);
+      if (!oracle->Aggregate(reports[i]).ok()) std::abort();
     }
-    oracle->Finalize();
     return oracle;
   };
   bool identical = true;
@@ -150,7 +167,7 @@ int main() {
                          Window{kEpochs / 2 - 3, kEpochs / 2 + 2, "transition "},
                          Window{0, kEpochs - 1, "all history"}}) {
     auto from_replica_or = view.WindowedQuery(w.first, w.last);
-    auto from_primary_or = primary.WindowedQuery(w.first, w.last);
+    auto from_primary_or = primary->WindowedQuery(w.first, w.last);
     if (!from_replica_or.ok() || !from_primary_or.ok()) return 1;
     std::string replica_state, primary_state;
     if (!from_replica_or.value()->SerializeState(&replica_state).ok() ||
@@ -159,30 +176,36 @@ int main() {
     }
     if (replica_state != primary_state) identical = false;
     auto got = std::move(from_replica_or).value();
-    got->Finalize();
     auto want = baseline(w.first, w.last);
-    for (uint64_t v = 0; v < kDomain; ++v) {
-      if (got->Estimate(v) != want->Estimate(v)) identical = false;
+    const auto got_entries = std::move(got->EstimateTopK(kDomain)).value();
+    const auto want_entries = std::move(want->EstimateTopK(kDomain)).value();
+    if (got_entries.size() != want_entries.size()) identical = false;
+    for (size_t i = 0; identical && i < got_entries.size(); ++i) {
+      if (got_entries[i].item != want_entries[i].item ||
+          got_entries[i].estimate != want_entries[i].estimate) {
+        identical = false;
+      }
     }
     std::printf("  epochs [%2llu, %2llu] (%s): f(42) = %8.0f   f(311) = %8.0f\n",
                 static_cast<unsigned long long>(w.first),
                 static_cast<unsigned long long>(w.last), w.label,
-                got->Estimate(42), got->Estimate(311));
+                EstimateOf(got_entries, 42), EstimateOf(got_entries, 311));
   }
 
   const ReplicaStoreStats stats = replica->Stats();
   std::printf(
-      "replica: %llu polls, %llu snapshots, %llu segment replays, "
-      "%llu cache hits, %llu races retried\n",
+      "replica: %llu polls, %llu snapshots, %llu segment replays "
+      "(%llu incremental), %llu cache hits, %llu races retried\n",
       static_cast<unsigned long long>(stats.refreshes),
       static_cast<unsigned long long>(stats.snapshots_installed),
       static_cast<unsigned long long>(stats.segments_replayed),
+      static_cast<unsigned long long>(stats.incremental_replays),
       static_cast<unsigned long long>(stats.segment_cache_hits),
       static_cast<unsigned long long>(stats.segment_races));
   std::printf("replica == primary == crash-free baseline: %s\n",
               identical ? "bit-for-bit identical" : "MISMATCH");
 
-  if (!primary.Close().ok()) return 1;
+  if (!primary->Close().ok()) return 1;
   replica.reset();
   store.reset();
   std::filesystem::remove_all(dir);

@@ -1,14 +1,18 @@
 // Sharded telemetry ingestion — the server-side story at production scale.
 //
-// A telemetry backend serves millions of LDP clients. Each client privatizes
-// its value locally (Hadamard response over a 1024-value domain) and ships
-// the report in the compact wire format; the ingestion service decodes the
-// framed batches, fans the reports out across worker shards, and
-// periodically checkpoints every shard's oracle state to an append-only
-// CRC-guarded log. Mid-stream, this demo kills the service outright and
-// recovers from the checkpoint, replaying only the reports that arrived
-// after it — the final estimates are bit-for-bit what a single-threaded,
-// crash-free server would have produced.
+// A telemetry backend serves millions of LDP clients. The protocol is named
+// by a self-describing ProtocolConfig ("hadamard_response(domain=1024,
+// eps=1)"); the registry builds identical client encoders and server shards
+// from that one string. Each client privatizes its value locally and ships
+// the report in the compact wire format, stamped with the protocol's wire
+// id; the ingestion service rejects batches for the wrong protocol at
+// decode time, fans accepted reports out across worker shards, and
+// periodically checkpoints every shard's state — with the config embedded,
+// so the log is self-describing — to an append-only CRC-guarded log.
+// Mid-stream, this demo kills the service outright and recovers from the
+// checkpoint, replaying only the reports that arrived after it: the final
+// estimates are bit-for-bit what a single-threaded, crash-free server would
+// have produced.
 
 #include <cstdio>
 #include <memory>
@@ -18,22 +22,39 @@
 #include "src/common/timer.h"
 #include "src/core/ldphh.h"
 
+namespace {
+
+double EstimateOf(const std::vector<ldphh::HeavyHitterEntry>& entries,
+                  uint64_t value) {
+  for (const auto& e : entries) {
+    if (e.item == ldphh::DomainItem(value)) return e.estimate;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 int main() {
   using namespace ldphh;
   const uint64_t kDomain = 1024;
-  const double kEpsilon = 1.0;
   const uint64_t n = 1 << 20;  // ~1M clients.
   const int kShards = 8;
 
-  auto factory = [&] {
-    return std::unique_ptr<SmallDomainFO>(
-        std::make_unique<HadamardResponseFO>(kDomain, kEpsilon));
-  };
+  // The whole deployment is configured by one parseable line.
+  const auto config_or =
+      ProtocolConfig::FromText("hadamard_response(domain=1024,eps=1)");
+  if (!config_or.ok()) return 1;
+  const ProtocolConfig config = config_or.value();
+  std::printf("serving protocol: %s\n", config.ToText().c_str());
 
   // --- client fleet: encode and frame reports in batches of 64k ----------
   std::printf("encoding %llu client reports...\n",
               static_cast<unsigned long long>(n));
-  auto client = factory();
+  auto client_or = CreateAggregator(config);
+  if (!client_or.ok()) return 1;
+  auto client = std::move(client_or).value();
+  const uint16_t wire_id =
+      ProtocolRegistry::Global().WireIdOf(config.protocol()).value();
   Rng rng(7);
   std::vector<std::string> wire_batches;
   {
@@ -42,9 +63,11 @@ int main() {
     for (uint64_t i = 0; i < n; ++i) {
       // A quarter of the fleet shares value 42; the rest is uniform noise.
       const uint64_t value = rng.Bernoulli(0.25) ? 42 : rng.UniformU64(kDomain);
-      batch.push_back(WireReport{i, client->Encode(value, rng)});
+      auto report_or = client->Encode(i, DomainItem(value), rng);
+      if (!report_or.ok()) return 1;
+      batch.push_back(report_or.value());
       if (batch.size() == (1 << 16) || i + 1 == n) {
-        wire_batches.push_back(EncodeReportBatch(batch));
+        wire_batches.push_back(EncodeReportBatch(batch, wire_id));
         batch.clear();
       }
     }
@@ -65,62 +88,83 @@ int main() {
   // --- phase 1: the service ingests 60% of the traffic, checkpoints, dies -
   const size_t cut = wire_batches.size() * 6 / 10;
   {
-    ShardedAggregator service(factory, opts);
-    if (!service.Start().ok()) return 1;
+    auto service_or = ShardedAggregator::Create(config, opts);
+    if (!service_or.ok()) return 1;
+    auto service = std::move(service_or).value();
+    if (!service->Start().ok()) return 1;
+
+    // A batch stamped for a different protocol bounces at the front door.
+    const uint16_t foreign_id =
+        ProtocolRegistry::Global().WireIdOf("k_rr").value();
+    std::vector<WireReport> dummy(1);
+    const Status bounced =
+        service->SubmitWire(EncodeReportBatch(dummy, foreign_id));
+    std::printf("wrong-protocol batch rejected: %s\n",
+                bounced.ToString().c_str());
+
     Timer t;
     for (size_t b = 0; b < cut; ++b) {
-      if (!service.SubmitWire(wire_batches[b]).ok()) return 1;
+      if (!service->SubmitWire(wire_batches[b]).ok()) return 1;
     }
-    service.Drain();
-    const IngestStats stats = service.Stats();
+    service->Drain();
+    const IngestStats stats = service->Stats();
     std::printf("phase 1: ingested %llu reports on %d shards (%.2fM reports/s)\n",
                 static_cast<unsigned long long>(stats.submitted), kShards,
                 static_cast<double>(stats.submitted) / t.Seconds() / 1e6);
     CheckpointWriter log;
     if (!log.Open(ckpt_path).ok()) return 1;
-    if (!service.WriteCheckpoint(log).ok()) return 1;
-    std::printf("phase 1: checkpoint written, then the server crashes.\n");
+    if (!service->WriteCheckpoint(log).ok()) return 1;
+    std::printf("phase 1: self-describing checkpoint written, then the "
+                "server crashes.\n");
     // `service` is destroyed here with all in-memory state lost.
   }
 
   // --- phase 2: recover from the log and ingest the remaining traffic -----
   {
-    ShardedAggregator service(factory, opts);
+    auto service_or = ShardedAggregator::Create(config, opts);
+    if (!service_or.ok()) return 1;
+    auto service = std::move(service_or).value();
     CheckpointReader log;
     if (!log.Open(ckpt_path).ok()) return 1;
-    const Status restored = service.RestoreCheckpoint(log);
+    const Status restored = service->RestoreCheckpoint(log);
     if (!restored.ok()) {
       std::printf("recovery failed: %s\n", restored.ToString().c_str());
       return 1;
     }
     std::printf("phase 2: recovered %llu reports from the checkpoint\n",
-                static_cast<unsigned long long>(service.Stats().restored));
-    if (!service.Start().ok()) return 1;
+                static_cast<unsigned long long>(service->Stats().restored));
+    if (!service->Start().ok()) return 1;
     for (size_t b = cut; b < wire_batches.size(); ++b) {
-      if (!service.SubmitWire(wire_batches[b]).ok()) return 1;
+      if (!service->SubmitWire(wire_batches[b]).ok()) return 1;
     }
-    auto merged_or = service.Finish();
+    auto merged_or = service->Finish();
     if (!merged_or.ok()) return 1;
     auto merged = std::move(merged_or).value();
-    merged->Finalize();
 
     // --- compare against a crash-free single-threaded server --------------
-    auto baseline = factory();
+    auto baseline_or = CreateAggregator(config);
+    if (!baseline_or.ok()) return 1;
+    auto baseline = std::move(baseline_or).value();
     for (const auto& wire : wire_batches) {
       std::vector<WireReport> reports;
       if (!DecodeReportBatch(wire, &reports).ok()) return 1;
       for (const auto& r : reports) {
-        baseline->AggregateIndexed(r.user_index, r.report);
+        if (!baseline->Aggregate(r).ok()) return 1;
       }
     }
-    baseline->Finalize();
 
-    bool identical = true;
-    for (uint64_t v = 0; v < kDomain; ++v) {
-      if (merged->Estimate(v) != baseline->Estimate(v)) identical = false;
+    auto got_or = merged->EstimateTopK(kDomain);
+    auto want_or = baseline->EstimateTopK(kDomain);
+    if (!got_or.ok() || !want_or.ok()) return 1;
+    const auto& got = got_or.value();
+    const auto& want = want_or.value();
+    bool identical = got.size() == want.size();
+    for (size_t i = 0; identical && i < got.size(); ++i) {
+      identical = got[i].item == want[i].item &&
+                  got[i].estimate == want[i].estimate;
     }
     std::printf("estimate for the planted value 42: %.0f (true %.0f)\n",
-                merged->Estimate(42), 0.25 * static_cast<double>(n));
+                EstimateOf(got, 42), 0.25 * static_cast<double>(n));
     std::printf("sharded+recovered == sequential baseline: %s\n",
                 identical ? "bit-for-bit identical" : "MISMATCH");
     std::remove(ckpt_path.c_str());

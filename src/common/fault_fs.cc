@@ -79,6 +79,11 @@ class FaultSequentialFile : public SequentialFile {
     return Status::OK();
   }
 
+  Status Skip(uint64_t n) override {
+    offset_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
   uint64_t Tell() const override { return offset_; }
   uint64_t size() const override { return size_; }
 

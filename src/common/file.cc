@@ -135,6 +135,24 @@ class PosixSequentialFile : public SequentialFile {
     return Status::OK();
   }
 
+  Status Skip(uint64_t n) override {
+    // Consume from the read-ahead buffer first, then lseek past the rest —
+    // no byte of the skipped range is transferred from the kernel.
+    const uint64_t buffered =
+        std::min<uint64_t>(n, buffer_len_ - buffer_pos_);
+    buffer_pos_ += static_cast<size_t>(buffered);
+    const uint64_t remaining = n - buffered;
+    if (remaining > 0) {
+      if (::lseek(fd_, static_cast<off_t>(remaining), SEEK_CUR) < 0) {
+        return PosixError("lseek", path_);
+      }
+      buffer_pos_ = 0;
+      buffer_len_ = 0;
+    }
+    offset_ += n;
+    return Status::OK();
+  }
+
   uint64_t Tell() const override { return offset_; }
   uint64_t size() const override { return size_; }
 

@@ -81,6 +81,12 @@ class SequentialFile {
   /// Reads up to \p n bytes into \p buf; \p *bytes_read < n means EOF.
   virtual Status Read(char* buf, size_t n, size_t* bytes_read) = 0;
 
+  /// Advances the read cursor \p n bytes without reading them (lseek on
+  /// POSIX — no data transfer). Tell() reflects the skip, so a replay that
+  /// skips a verified prefix reports absolute offsets. Skipping past EOF
+  /// is allowed; subsequent Reads simply return 0 bytes.
+  virtual Status Skip(uint64_t n) = 0;
+
   /// Byte offset of the read cursor.
   virtual uint64_t Tell() const = 0;
 

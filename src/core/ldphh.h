@@ -39,10 +39,13 @@
 #include "src/ldp/grouposition.h"           // IWYU pragma: export
 #include "src/ldp/privacy_loss.h"           // IWYU pragma: export
 #include "src/ldp/randomizer.h"             // IWYU pragma: export
+#include "src/protocols/aggregator.h"       // IWYU pragma: export
 #include "src/protocols/bitstogram.h"       // IWYU pragma: export
 #include "src/protocols/freq_scan.h"        // IWYU pragma: export
 #include "src/protocols/heavy_hitters.h"    // IWYU pragma: export
 #include "src/protocols/private_expander_sketch.h"  // IWYU pragma: export
+#include "src/protocols/protocol_config.h"  // IWYU pragma: export
+#include "src/protocols/registry.h"         // IWYU pragma: export
 #include "src/protocols/succinct_hist.h"    // IWYU pragma: export
 #include "src/protocols/treehist.h"         // IWYU pragma: export
 #include "src/server/checkpoint_log.h"      // IWYU pragma: export

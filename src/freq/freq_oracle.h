@@ -27,6 +27,16 @@ struct FoReport {
   int num_bits = 0;
 };
 
+/// A report as it travels to the ingestion service: the oracle report plus
+/// the public user index (needed for row/hash/group assignment by some
+/// protocols). The wire framing lives in src/server/report_codec.h; the
+/// struct lives here so the protocol-layer `Aggregator` interface
+/// (src/protocols/aggregator.h) can consume it without a server dependency.
+struct WireReport {
+  uint64_t user_index = 0;
+  FoReport report;
+};
+
 /// \brief LDP frequency oracle over a small integer domain [0, K).
 ///
 /// Usage: users call Encode (client side, stateless w.r.t. the server);

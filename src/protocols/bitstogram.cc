@@ -167,42 +167,9 @@ StatusOr<HeavyHitterResult> Bitstogram::Run(
   const double count_sd = c_eps * std::sqrt(2.0 * static_cast<double>(n) /
                                             static_cast<double>(rho));
   const double tau = params_.threshold_sigmas * count_sd;
-
-  struct Candidate {
-    DomainItem item;
-    double count;
-    int y;
-  };
-  std::unordered_set<DomainItem, DomainItemHash> recovered;
-  std::vector<Candidate> cands;
-  for (int c = 0; c < rho; ++c) {
-    cands.clear();
-    for (int y = 0; y < y_range; ++y) {
-      double count = 0.0;
-      DomainItem item;
-      for (int j = 0; j < d_bits; ++j) {
-        const auto& fo = cell_fo[static_cast<size_t>(c * d_bits + j)];
-        const double e0 = fo.Estimate(static_cast<uint64_t>(y) * 2);
-        const double e1 = fo.Estimate(static_cast<uint64_t>(y) * 2 + 1);
-        count += e0 + e1;
-        if (e1 > e0) item.SetBit(j, 1);
-      }
-      if (count >= tau) cands.push_back(Candidate{item, count, y});
-    }
-    if (static_cast<int>(cands.size()) > params_.list_cap_per_cohort) {
-      std::partial_sort(cands.begin(),
-                        cands.begin() + params_.list_cap_per_cohort, cands.end(),
-                        [](const Candidate& a, const Candidate& b) {
-                          return a.count > b.count;
-                        });
-      cands.resize(static_cast<size_t>(params_.list_cap_per_cohort));
-    }
-    for (const Candidate& cand : cands) {
-      // A candidate is plausible only if it hashes back to its own cell.
-      if (static_cast<int>(cohort_hash.at(c)(cand.item)) != cand.y) continue;
-      recovered.insert(cand.item);
-    }
-  }
+  const std::vector<DomainItem> recovered = BitstogramRecoverCandidates(
+      cell_fo, cohort_hash, rho, d_bits, y_range, params_.list_cap_per_cohort,
+      tau);
 
   result.entries.reserve(recovered.size());
   for (const DomainItem& x : recovered) {
@@ -221,6 +188,48 @@ StatusOr<HeavyHitterResult> Bitstogram::Run(
       (static_cast<uint64_t>(2 * rho + 4) + 6 * global_fo.rows() + 1) * 61;
 
   return result;
+}
+
+std::vector<DomainItem> BitstogramRecoverCandidates(
+    const std::vector<HadamardResponseFO>& cell_fo,
+    const HashFamily& cohort_hash, int cohorts, int domain_bits,
+    int hash_range, int list_cap_per_cohort, double tau) {
+  struct Candidate {
+    DomainItem item;
+    double count;
+    int y;
+  };
+  std::unordered_set<DomainItem, DomainItemHash> recovered;
+  std::vector<DomainItem> ordered;
+  std::vector<Candidate> cands;
+  for (int c = 0; c < cohorts; ++c) {
+    cands.clear();
+    for (int y = 0; y < hash_range; ++y) {
+      double count = 0.0;
+      DomainItem item;
+      for (int j = 0; j < domain_bits; ++j) {
+        const auto& fo = cell_fo[static_cast<size_t>(c * domain_bits + j)];
+        const double e0 = fo.Estimate(static_cast<uint64_t>(y) * 2);
+        const double e1 = fo.Estimate(static_cast<uint64_t>(y) * 2 + 1);
+        count += e0 + e1;
+        if (e1 > e0) item.SetBit(j, 1);
+      }
+      if (count >= tau) cands.push_back(Candidate{item, count, y});
+    }
+    if (static_cast<int>(cands.size()) > list_cap_per_cohort) {
+      std::partial_sort(cands.begin(), cands.begin() + list_cap_per_cohort,
+                        cands.end(), [](const Candidate& a, const Candidate& b) {
+                          return a.count > b.count;
+                        });
+      cands.resize(static_cast<size_t>(list_cap_per_cohort));
+    }
+    for (const Candidate& cand : cands) {
+      // A candidate is plausible only if it hashes back to its own cell.
+      if (static_cast<int>(cohort_hash.at(c)(cand.item)) != cand.y) continue;
+      if (recovered.insert(cand.item).second) ordered.push_back(cand.item);
+    }
+  }
+  return ordered;
 }
 
 }  // namespace ldphh

@@ -15,7 +15,9 @@
 #define LDPHH_PROTOCOLS_BITSTOGRAM_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/freq/hadamard_response.h"
 #include "src/freq/hashtogram.h"
 #include "src/protocols/heavy_hitters.h"
 
@@ -63,6 +65,18 @@ class Bitstogram final : public HeavyHitterProtocol {
 
   BitstogramParams params_;
 };
+
+/// Candidate reconstruction (the server decode step), shared by Run and the
+/// streaming serving aggregator (src/protocols/hh_serving.h): per cohort,
+/// per hash value, majority bit at every position; keep hash values whose
+/// support count clears \p tau and whose reconstructed item hashes back to
+/// its own cell. \p cell_fo must be finalized, laid out
+/// [cohort * domain_bits + bit_position]. Candidates return in recovery
+/// order, deduplicated.
+std::vector<DomainItem> BitstogramRecoverCandidates(
+    const std::vector<HadamardResponseFO>& cell_fo,
+    const HashFamily& cohort_hash, int cohorts, int domain_bits,
+    int hash_range, int list_cap_per_cohort, double tau);
 
 }  // namespace ldphh
 

@@ -1,0 +1,463 @@
+#include "src/protocols/fo_serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/math_util.h"
+#include "src/common/serde.h"
+#include "src/freq/count_mean_sketch.h"
+#include "src/freq/direct_encoding.h"
+#include "src/freq/hadamard_response.h"
+#include "src/freq/hashtogram.h"
+#include "src/freq/olh.h"
+#include "src/freq/unary_encoding.h"
+#include "src/protocols/serving_util.h"
+
+namespace ldphh {
+
+namespace {
+
+using serving::CheckItemWidth;
+using serving::CheckReportShape;
+using serving::TopKAccumulator;
+
+// EstimateTopK enumerates the whole domain; past this it is a config error.
+constexpr uint64_t kMaxScanDomain = uint64_t{1} << 24;
+
+// ---------------------------------------------------- small-domain adapter --
+
+/// Adapter over any mergeable SmallDomainFO. The underlying oracle is built
+/// by the factory; Merge requires the peer to be the same adapter (enforced
+/// by the config-equality check plus the FOST state envelope).
+class SmallDomainFoAggregator final : public ConfiguredAggregator {
+ public:
+  SmallDomainFoAggregator(ProtocolConfig config,
+                          std::unique_ptr<SmallDomainFO> fo, OlhFO* olh)
+      : ConfiguredAggregator(std::move(config), fo->epsilon()),
+        fo_(std::move(fo)),
+        olh_(olh) {
+    // Every built-in small-domain oracle emits fixed-width reports; probe
+    // once with a throwaway generator to learn the width for validation.
+    Rng probe(1);
+    expected_bits_ = (olh_ != nullptr ? olh_->EncodeForUser(0, 0, probe)
+                                      : fo_->Encode(0, probe))
+                         .num_bits;
+  }
+
+  StatusOr<WireReport> Encode(uint64_t user_index, const DomainItem& value,
+                              Rng& rng) const override {
+    if (value.limbs[1] != 0 || value.limbs[2] != 0 || value.limbs[3] != 0 ||
+        value.limbs[0] >= fo_->domain_size()) {
+      return Status::InvalidArgument(Name() + ": value outside domain [0, " +
+                                     std::to_string(fo_->domain_size()) + ")");
+    }
+    WireReport r;
+    r.user_index = user_index;
+    r.report = olh_ != nullptr
+                   ? olh_->EncodeForUser(user_index, value.limbs[0], rng)
+                   : fo_->Encode(value.limbs[0], rng);
+    return r;
+  }
+
+  Status Aggregate(const WireReport& report) override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("Aggregate"));
+    LDPHH_RETURN_IF_ERROR(
+        CheckReportShape(report.report, expected_bits_, Name()));
+    fo_->AggregateIndexed(report.user_index, report.report);
+    ++count_;
+    return Status::OK();
+  }
+
+  Status Merge(Aggregator& other) override {
+    LDPHH_RETURN_IF_ERROR(CheckMergeCompatible(other));
+    auto* peer = dynamic_cast<SmallDomainFoAggregator*>(&other);
+    if (peer == nullptr) {
+      return Status::InvalidArgument(Name() + ": Merge with foreign aggregator");
+    }
+    LDPHH_RETURN_IF_ERROR(fo_->Merge(*peer->fo_));
+    count_ += peer->count_;
+    return Status::OK();
+  }
+
+  Status SerializeState(std::string* out) const override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("SerializeState"));
+    PutU64(out, count_);
+    return fo_->SerializeState(out);
+  }
+
+  Status RestoreState(std::string_view in) override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("RestoreState"));
+    ByteReader reader(in);
+    uint64_t count = 0;
+    LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+    LDPHH_RETURN_IF_ERROR(fo_->RestoreState(in.substr(reader.position())));
+    count_ = count;
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<HeavyHitterEntry>> EstimateTopK(size_t k) override {
+    if (!finalized_) {
+      fo_->Finalize();
+      finalized_ = true;
+    }
+    TopKAccumulator top(k);
+    for (uint64_t v = 0; v < fo_->domain_size(); ++v) {
+      top.Add(DomainItem(v), fo_->Estimate(v));
+    }
+    return top.Take();
+  }
+
+ private:
+  std::unique_ptr<SmallDomainFO> fo_;
+  OlhFO* olh_;  ///< Non-null when the oracle needs indexed client encodes.
+  int expected_bits_ = 0;
+};
+
+StatusOr<std::pair<uint64_t, double>> ParseDomainEps(
+    const ProtocolConfig& config, uint64_t min_domain, uint64_t max_domain) {
+  uint64_t domain = 0;
+  double eps = 0.0;
+  LDPHH_RETURN_IF_ERROR(config.GetUint("domain", &domain));
+  LDPHH_RETURN_IF_ERROR(config.GetDouble("eps", &eps));
+  if (domain < min_domain || domain > max_domain) {
+    return Status::InvalidArgument(
+        config.protocol() + ": domain must be in [" +
+        std::to_string(min_domain) + ", " + std::to_string(max_domain) + "]");
+  }
+  // !(eps > 0) rather than eps <= 0: NaN must fail, not slip through; the
+  // 64 cap keeps every exp(eps)-derived constant finite.
+  if (!(eps > 0.0) || !(eps <= 64.0)) {
+    return Status::InvalidArgument(config.protocol() +
+                                   ": eps must be in (0, 64]");
+  }
+  return std::make_pair(domain, eps);
+}
+
+// --------------------------------------------------------- sketch adapters --
+
+/// Adapter over the large-domain Hashtogram (Theorem 3.7).
+class HashtogramAggregator final : public ConfiguredAggregator {
+ public:
+  HashtogramAggregator(ProtocolConfig config, double eps, int domain_bits,
+                       Hashtogram ht)
+      : ConfiguredAggregator(std::move(config), eps),
+        domain_bits_(domain_bits),
+        ht_(std::move(ht)) {}
+
+  StatusOr<WireReport> Encode(uint64_t user_index, const DomainItem& value,
+                              Rng& rng) const override {
+    LDPHH_RETURN_IF_ERROR(CheckItemWidth(value, domain_bits_, Name()));
+    WireReport r;
+    r.user_index = user_index;
+    r.report = ht_.Encode(user_index, value, rng);
+    return r;
+  }
+
+  Status Aggregate(const WireReport& report) override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("Aggregate"));
+    LDPHH_RETURN_IF_ERROR(
+        CheckReportShape(report.report, ht_.ReportBits(), Name()));
+    ht_.Aggregate(report.user_index, report.report);
+    ++count_;
+    return Status::OK();
+  }
+
+  Status Merge(Aggregator& other) override {
+    LDPHH_RETURN_IF_ERROR(CheckMergeCompatible(other));
+    auto* peer = dynamic_cast<HashtogramAggregator*>(&other);
+    if (peer == nullptr) {
+      return Status::InvalidArgument(Name() + ": Merge with foreign aggregator");
+    }
+    LDPHH_RETURN_IF_ERROR(ht_.Merge(peer->ht_));
+    count_ += peer->count_;
+    return Status::OK();
+  }
+
+  Status SerializeState(std::string* out) const override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("SerializeState"));
+    PutU64(out, count_);
+    return ht_.SerializeState(out);
+  }
+
+  Status RestoreState(std::string_view in) override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("RestoreState"));
+    ByteReader reader(in);
+    uint64_t count = 0;
+    LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+    LDPHH_RETURN_IF_ERROR(ht_.RestoreState(in.substr(reader.position())));
+    count_ = count;
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<HeavyHitterEntry>> EstimateTopK(size_t k) override {
+    if (!finalized_) {
+      ht_.Finalize();
+      finalized_ = true;
+    }
+    const uint64_t domain = uint64_t{1} << domain_bits_;
+    TopKAccumulator top(k);
+    for (uint64_t v = 0; v < domain; ++v) {
+      const DomainItem item(v);
+      top.Add(item, ht_.Estimate(item));
+    }
+    return top.Take();
+  }
+
+ private:
+  int domain_bits_;
+  Hashtogram ht_;
+};
+
+/// Adapter over the Apple-style CountMeanSketch. The wire report packs
+/// [width one-hot bits][row index] little-endian; width is capped at 56 so
+/// the packed report fits the 64-bit wire payload.
+class CmsAggregator final : public ConfiguredAggregator {
+ public:
+  CmsAggregator(ProtocolConfig config, double eps, int domain_bits,
+                int row_bits, CountMeanSketch cms)
+      : ConfiguredAggregator(std::move(config), eps),
+        domain_bits_(domain_bits),
+        row_bits_(row_bits),
+        cms_(std::move(cms)) {}
+
+  int wire_bits() const { return static_cast<int>(cms_.width()) + row_bits_; }
+
+  StatusOr<WireReport> Encode(uint64_t user_index, const DomainItem& value,
+                              Rng& rng) const override {
+    LDPHH_RETURN_IF_ERROR(CheckItemWidth(value, domain_bits_, Name()));
+    const CmsReport raw = cms_.Encode(value, rng);
+    WireReport r;
+    r.user_index = user_index;
+    r.report.bits = raw.bits[0] | (static_cast<uint64_t>(raw.row)
+                                   << cms_.width());
+    r.report.num_bits = wire_bits();
+    return r;
+  }
+
+  Status Aggregate(const WireReport& report) override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("Aggregate"));
+    LDPHH_RETURN_IF_ERROR(CheckReportShape(report.report, wire_bits(), Name()));
+    CmsReport raw;
+    raw.row = static_cast<uint32_t>(report.report.bits >> cms_.width());
+    if (raw.row >= static_cast<uint32_t>(cms_.rows())) {
+      return Status::InvalidArgument(Name() + ": report row out of range");
+    }
+    raw.bits = {report.report.bits &
+                ((uint64_t{1} << cms_.width()) - 1)};
+    raw.num_bits = report.report.num_bits;
+    cms_.Aggregate(raw);
+    ++count_;
+    return Status::OK();
+  }
+
+  Status Merge(Aggregator& other) override {
+    LDPHH_RETURN_IF_ERROR(CheckMergeCompatible(other));
+    auto* peer = dynamic_cast<CmsAggregator*>(&other);
+    if (peer == nullptr) {
+      return Status::InvalidArgument(Name() + ": Merge with foreign aggregator");
+    }
+    LDPHH_RETURN_IF_ERROR(cms_.Merge(peer->cms_));
+    count_ += peer->count_;
+    return Status::OK();
+  }
+
+  Status SerializeState(std::string* out) const override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("SerializeState"));
+    PutU64(out, count_);
+    return cms_.SerializeState(out);
+  }
+
+  Status RestoreState(std::string_view in) override {
+    LDPHH_RETURN_IF_ERROR(CheckMutable("RestoreState"));
+    ByteReader reader(in);
+    uint64_t count = 0;
+    LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
+    LDPHH_RETURN_IF_ERROR(cms_.RestoreState(in.substr(reader.position())));
+    count_ = count;
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<HeavyHitterEntry>> EstimateTopK(size_t k) override {
+    if (!finalized_) {
+      cms_.Finalize();
+      finalized_ = true;
+    }
+    const uint64_t domain = uint64_t{1} << domain_bits_;
+    TopKAccumulator top(k);
+    for (uint64_t v = 0; v < domain; ++v) {
+      const DomainItem item(v);
+      top.Add(item, cms_.Estimate(item));
+    }
+    return top.Take();
+  }
+
+ private:
+  int domain_bits_;
+  int row_bits_;
+  CountMeanSketch cms_;
+};
+
+/// Shared parse of the sketch-family keys (domain_bits / eps / n_hint /
+/// seed); domain_bits bounds the EstimateTopK scan.
+struct SketchCommon {
+  int domain_bits = 0;
+  double eps = 0.0;
+  uint64_t n_hint = 0;
+  uint64_t seed = 0;
+};
+
+StatusOr<SketchCommon> ParseSketchCommon(const ProtocolConfig& config) {
+  SketchCommon c;
+  uint64_t domain_bits = 0;
+  LDPHH_RETURN_IF_ERROR(config.GetUint("domain_bits", &domain_bits));
+  LDPHH_RETURN_IF_ERROR(config.GetDouble("eps", &c.eps));
+  if (domain_bits < 4 || domain_bits > 24) {
+    return Status::InvalidArgument(
+        config.protocol() +
+        ": domain_bits must be in [4, 24] (EstimateTopK scans the domain)");
+  }
+  if (!(c.eps > 0.0) || !(c.eps <= 64.0)) {
+    return Status::InvalidArgument(config.protocol() +
+                                   ": eps must be in (0, 64]");
+  }
+  c.domain_bits = static_cast<int>(domain_bits);
+  LDPHH_RETURN_IF_ERROR(config.GetUintIn("n_hint", uint64_t{1} << 16, 1,
+                                         uint64_t{1} << 40, &c.n_hint));
+  c.seed = config.GetUintOr("seed", 1);
+  return c;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- factories --
+
+StatusOr<std::unique_ptr<Aggregator>> MakeKRrAggregator(
+    const ProtocolConfig& config) {
+  LDPHH_RETURN_IF_ERROR(config.ExpectKeys({"domain", "eps"}));
+  auto parsed = ParseDomainEps(config, 2, kMaxScanDomain);
+  LDPHH_RETURN_IF_ERROR(parsed.status());
+  const auto [domain, eps] = parsed.value();
+  ProtocolConfig resolved(config.protocol());
+  resolved.SetUint("domain", domain).SetDouble("eps", eps);
+  return std::unique_ptr<Aggregator>(new SmallDomainFoAggregator(
+      std::move(resolved), std::make_unique<DirectEncodingFO>(domain, eps),
+      nullptr));
+}
+
+StatusOr<std::unique_ptr<Aggregator>> MakeRapporUnaryAggregator(
+    const ProtocolConfig& config) {
+  LDPHH_RETURN_IF_ERROR(config.ExpectKeys({"domain", "eps"}));
+  auto parsed = ParseDomainEps(config, 2, 56);
+  LDPHH_RETURN_IF_ERROR(parsed.status());
+  const auto [domain, eps] = parsed.value();
+  ProtocolConfig resolved(config.protocol());
+  resolved.SetUint("domain", domain).SetDouble("eps", eps);
+  return std::unique_ptr<Aggregator>(new SmallDomainFoAggregator(
+      std::move(resolved), std::make_unique<UnaryEncodingFO>(domain, eps),
+      nullptr));
+}
+
+StatusOr<std::unique_ptr<Aggregator>> MakeOlhAggregator(
+    const ProtocolConfig& config) {
+  LDPHH_RETURN_IF_ERROR(config.ExpectKeys({"domain", "eps", "seed"}));
+  auto parsed = ParseDomainEps(config, 2, kMaxScanDomain);
+  LDPHH_RETURN_IF_ERROR(parsed.status());
+  const auto [domain, eps] = parsed.value();
+  const uint64_t seed = config.GetUintOr("seed", 1);
+  ProtocolConfig resolved(config.protocol());
+  resolved.SetUint("domain", domain).SetDouble("eps", eps).SetUint("seed",
+                                                                   seed);
+  auto olh = std::make_unique<OlhFO>(domain, eps, seed);
+  OlhFO* raw = olh.get();
+  return std::unique_ptr<Aggregator>(
+      new SmallDomainFoAggregator(std::move(resolved), std::move(olh), raw));
+}
+
+StatusOr<std::unique_ptr<Aggregator>> MakeHadamardResponseAggregator(
+    const ProtocolConfig& config) {
+  LDPHH_RETURN_IF_ERROR(config.ExpectKeys({"domain", "eps"}));
+  auto parsed = ParseDomainEps(config, 1, kMaxScanDomain);
+  LDPHH_RETURN_IF_ERROR(parsed.status());
+  const auto [domain, eps] = parsed.value();
+  ProtocolConfig resolved(config.protocol());
+  resolved.SetUint("domain", domain).SetDouble("eps", eps);
+  return std::unique_ptr<Aggregator>(new SmallDomainFoAggregator(
+      std::move(resolved), std::make_unique<HadamardResponseFO>(domain, eps),
+      nullptr));
+}
+
+StatusOr<std::unique_ptr<Aggregator>> MakeCountMeanSketchAggregator(
+    const ProtocolConfig& config) {
+  LDPHH_RETURN_IF_ERROR(config.ExpectKeys(
+      {"domain_bits", "eps", "n_hint", "seed", "rows", "width"}));
+  auto common_or = ParseSketchCommon(config);
+  LDPHH_RETURN_IF_ERROR(common_or.status());
+  const SketchCommon c = common_or.value();
+  CmsParams params;
+  uint64_t rows = 0;
+  LDPHH_RETURN_IF_ERROR(config.GetUintIn("rows", 16, 1, 4096, &rows));
+  params.rows = static_cast<int>(rows);
+  // The wire payload is 64 bits, so the packed report (width one-hot bits
+  // plus the row index) caps the sketch width at 56 — the auto rule from
+  // count_mean_sketch.h clipped to the wire.
+  LDPHH_RETURN_IF_ERROR(config.GetUintIn("width", 0, 0, 56, &params.width));
+  if (params.width == 0) {
+    params.width = std::min<uint64_t>(
+        32, NextPow2(static_cast<uint64_t>(
+                2.0 * std::sqrt(static_cast<double>(c.n_hint)))));
+  }
+  const int row_bits =
+      CeilLog2(NextPow2(static_cast<uint64_t>(params.rows)));
+  // The 56 cap (not 64) also keeps every width shift in Encode/Aggregate
+  // strictly below 64 — width=64 with rows=1 would be shift UB.
+  if (params.width < 2 || params.width > 56 ||
+      params.width + static_cast<uint64_t>(row_bits) > 64) {
+    return Status::InvalidArgument(
+        "count_mean_sketch: width + row bits must fit 64 wire bits (width in "
+        "[2, 56])");
+  }
+  CountMeanSketch cms(c.n_hint, c.eps, params, c.seed);
+  ProtocolConfig resolved(config.protocol());
+  resolved.SetUint("domain_bits", static_cast<uint64_t>(c.domain_bits))
+      .SetDouble("eps", c.eps)
+      .SetUint("n_hint", c.n_hint)
+      .SetUint("seed", c.seed)
+      .SetUint("rows", static_cast<uint64_t>(cms.rows()))
+      .SetUint("width", cms.width());
+  return std::unique_ptr<Aggregator>(new CmsAggregator(
+      std::move(resolved), c.eps, c.domain_bits, row_bits, std::move(cms)));
+}
+
+StatusOr<std::unique_ptr<Aggregator>> MakeHashtogramAggregator(
+    const ProtocolConfig& config) {
+  LDPHH_RETURN_IF_ERROR(config.ExpectKeys(
+      {"domain_bits", "eps", "n_hint", "seed", "rows", "table_size", "beta"}));
+  auto common_or = ParseSketchCommon(config);
+  LDPHH_RETURN_IF_ERROR(common_or.status());
+  const SketchCommon c = common_or.value();
+  HashtogramParams params;
+  uint64_t rows = 0;
+  LDPHH_RETURN_IF_ERROR(config.GetUintIn("rows", 0, 0, 4096, &rows));
+  params.rows = static_cast<int>(rows);
+  LDPHH_RETURN_IF_ERROR(config.GetUintIn("table_size", 0, 0,
+                                         uint64_t{1} << 24,
+                                         &params.table_size));
+  params.beta = config.GetDoubleOr("beta", 1e-3);
+  if (!(params.beta > 0.0 && params.beta < 1.0)) {
+    return Status::InvalidArgument("hashtogram: beta must be in (0, 1)");
+  }
+  Hashtogram ht(c.n_hint, c.eps, params, c.seed);
+  ProtocolConfig resolved(config.protocol());
+  resolved.SetUint("domain_bits", static_cast<uint64_t>(c.domain_bits))
+      .SetDouble("eps", c.eps)
+      .SetUint("n_hint", c.n_hint)
+      .SetUint("seed", c.seed)
+      .SetUint("rows", static_cast<uint64_t>(ht.rows()))
+      .SetUint("table_size", ht.table_size())
+      .SetDouble("beta", params.beta);
+  return std::unique_ptr<Aggregator>(new HashtogramAggregator(
+      std::move(resolved), c.eps, c.domain_bits, std::move(ht)));
+}
+
+}  // namespace ldphh

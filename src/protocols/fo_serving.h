@@ -1,0 +1,47 @@
+/// \file fo_serving.h
+/// \brief `Aggregator` adapters over the frequency oracles, so every oracle
+/// is servable through the registry (src/protocols/registry.h).
+///
+/// Config grammars (defaults in brackets; every factory resolves the auto
+/// fields and echoes the resolved values into `config()`):
+///
+///   k_rr(domain, eps)                      — k-ary randomized response
+///   rappor_unary(domain, eps)              — basic RAPPOR, domain in [2,56]
+///   olh(domain, eps, seed[1])              — optimized local hashing
+///   hadamard_response(domain, eps)         — Theorem 3.8 one-bit reports
+///   count_mean_sketch(domain_bits, eps, n_hint[65536], seed[1],
+///                     rows[16], width[auto; wire cap 56])
+///   hashtogram(domain_bits, eps, n_hint[65536], seed[1],
+///              rows[auto], table_size[auto], beta[1e-3])
+///
+/// The sketch oracles (count_mean_sketch, hashtogram) estimate arbitrary
+/// items, so their EstimateTopK scans [0, 2^domain_bits); domain_bits is
+/// capped at 24 to keep the scan honest. Small-domain oracles scan their
+/// domain directly (capped at 2^24 likewise).
+
+#ifndef LDPHH_PROTOCOLS_FO_SERVING_H_
+#define LDPHH_PROTOCOLS_FO_SERVING_H_
+
+#include <memory>
+
+#include "src/protocols/aggregator.h"
+#include "src/protocols/protocol_config.h"
+
+namespace ldphh {
+
+StatusOr<std::unique_ptr<Aggregator>> MakeKRrAggregator(
+    const ProtocolConfig& config);
+StatusOr<std::unique_ptr<Aggregator>> MakeRapporUnaryAggregator(
+    const ProtocolConfig& config);
+StatusOr<std::unique_ptr<Aggregator>> MakeOlhAggregator(
+    const ProtocolConfig& config);
+StatusOr<std::unique_ptr<Aggregator>> MakeHadamardResponseAggregator(
+    const ProtocolConfig& config);
+StatusOr<std::unique_ptr<Aggregator>> MakeCountMeanSketchAggregator(
+    const ProtocolConfig& config);
+StatusOr<std::unique_ptr<Aggregator>> MakeHashtogramAggregator(
+    const ProtocolConfig& config);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_PROTOCOLS_FO_SERVING_H_

@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "src/codes/url_code.h"
+#include "src/freq/hadamard_response.h"
 #include "src/freq/hashtogram.h"
+#include "src/hashing/kwise_hash.h"
 #include "src/protocols/heavy_hitters.h"
 
 namespace ldphh {
@@ -95,6 +97,18 @@ class PrivateExpanderSketch final : public HeavyHitterProtocol {
   UrlCodeParams code_params_;
   int payload_bits_;
 };
+
+/// Steps 3-4 of the server decode (candidate-list reconstruction + the
+/// Theorem 3.6 per-bucket decoder + bucket-hash verification), shared by
+/// Run and the streaming serving aggregator (src/protocols/hh_serving.h).
+/// \p cell_fo must be finalized, laid out [m * payload_bits + j] over the
+/// cell domain [num_buckets] x [hash_range] x {0,1}. Returns verified
+/// candidates in recovery order, deduplicated.
+std::vector<DomainItem> PesRecoverCandidates(
+    const std::vector<HadamardResponseFO>& cell_fo, const UrlCode& code,
+    const KWiseHash& bucket_hash, int num_coords, int num_buckets,
+    int hash_range, int payload_bits, int list_cap, double tau,
+    Rng& decode_rng);
 
 }  // namespace ldphh
 

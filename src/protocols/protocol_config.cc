@@ -1,0 +1,259 @@
+#include "src/protocols/protocol_config.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/serde.h"
+
+namespace ldphh {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool IsValueChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '+' || c == '-' ||
+         c == '.';
+}
+
+bool ValidName(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+bool ValidValue(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsValueChar(c)) return false;
+  }
+  return true;
+}
+
+Status BadKey(std::string_view key, const char* what) {
+  return Status::InvalidArgument("protocol config: param '" +
+                                 std::string(key) + "' " + what);
+}
+
+}  // namespace
+
+ProtocolConfig& ProtocolConfig::Set(std::string_view key,
+                                    std::string_view value) {
+  LDPHH_CHECK(ValidName(key), "protocol config: malformed param key");
+  LDPHH_CHECK(ValidValue(value), "protocol config: malformed param value");
+  params_[std::string(key)] = std::string(value);
+  return *this;
+}
+
+ProtocolConfig& ProtocolConfig::SetUint(std::string_view key, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return Set(key, buf);
+}
+
+ProtocolConfig& ProtocolConfig::SetInt(std::string_view key, int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return Set(key, buf);
+}
+
+ProtocolConfig& ProtocolConfig::SetDouble(std::string_view key, double value) {
+  // Shortest decimal form that parses back to the same double: try
+  // increasing precision until the round-trip is exact ("1" instead of
+  // "1.0000000000000000e+00" keeps configs readable).
+  char buf[40];
+  for (int precision = 0; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return Set(key, buf);
+}
+
+Status ProtocolConfig::GetUint(std::string_view key, uint64_t* out) const {
+  const auto it = params_.find(std::string(key));
+  if (it == params_.end()) return BadKey(key, "is required");
+  const std::string& v = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size() || v[0] == '-') {
+    return BadKey(key, ("is not an unsigned integer: '" + v + "'").c_str());
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status ProtocolConfig::GetUintIn(std::string_view key, uint64_t fallback,
+                                 uint64_t min_value, uint64_t max_value,
+                                 uint64_t* out) const {
+  if (!Has(key)) {
+    *out = fallback;
+    return Status::OK();
+  }
+  uint64_t value = 0;
+  LDPHH_RETURN_IF_ERROR(GetUint(key, &value));
+  if (value < min_value || value > max_value) {
+    return BadKey(key, ("must be in [" + std::to_string(min_value) + ", " +
+                        std::to_string(max_value) + "]")
+                           .c_str());
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ProtocolConfig::GetInt(std::string_view key, int64_t* out) const {
+  const auto it = params_.find(std::string(key));
+  if (it == params_.end()) return BadKey(key, "is required");
+  const std::string& v = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size()) {
+    return BadKey(key, ("is not an integer: '" + v + "'").c_str());
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+Status ProtocolConfig::GetDouble(std::string_view key, double* out) const {
+  const auto it = params_.find(std::string(key));
+  if (it == params_.end()) return BadKey(key, "is required");
+  const std::string& v = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end != v.c_str() + v.size()) {
+    return BadKey(key, ("is not a number: '" + v + "'").c_str());
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+uint64_t ProtocolConfig::GetUintOr(std::string_view key,
+                                   uint64_t fallback) const {
+  uint64_t v = 0;
+  return GetUint(key, &v).ok() ? v : fallback;
+}
+
+int64_t ProtocolConfig::GetIntOr(std::string_view key, int64_t fallback) const {
+  int64_t v = 0;
+  return GetInt(key, &v).ok() ? v : fallback;
+}
+
+double ProtocolConfig::GetDoubleOr(std::string_view key,
+                                   double fallback) const {
+  double v = 0.0;
+  return GetDouble(key, &v).ok() ? v : fallback;
+}
+
+Status ProtocolConfig::ExpectKeys(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [key, value] : params_) {
+    bool known = false;
+    for (std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("protocol config: " + protocol_ +
+                                     " does not take param '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ProtocolConfig::ToText() const {
+  std::string out = protocol_;
+  out += '(';
+  bool first = true;
+  for (const auto& [key, value] : params_) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += ')';
+  return out;
+}
+
+StatusOr<ProtocolConfig> ProtocolConfig::FromText(std::string_view text) {
+  const size_t open = text.find('(');
+  if (open == std::string_view::npos || text.empty() ||
+      text.back() != ')') {
+    return Status::InvalidArgument(
+        "protocol config: expected 'name(k=v,...)', got '" +
+        std::string(text) + "'");
+  }
+  ProtocolConfig config;
+  config.protocol_ = std::string(text.substr(0, open));
+  if (!ValidName(config.protocol_)) {
+    return Status::InvalidArgument("protocol config: malformed name '" +
+                                   config.protocol_ + "'");
+  }
+  std::string_view body = text.substr(open + 1, text.size() - open - 2);
+  while (!body.empty()) {
+    const size_t comma = body.find(',');
+    const bool had_comma = comma != std::string_view::npos;
+    const std::string_view param = had_comma ? body.substr(0, comma) : body;
+    body = had_comma ? body.substr(comma + 1) : std::string_view();
+    if (param.empty() || (had_comma && body.empty())) {
+      // Rejects a leading/doubled comma (empty param) and a trailing comma
+      // (a comma with nothing after it): the grammar has no empty param,
+      // and accepting one would break serialize(parse(s)) == s.
+      return Status::InvalidArgument(
+          "protocol config: empty param (stray comma) in '" +
+          std::string(text) + "'");
+    }
+    const size_t eq = param.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "protocol config: param without '=': '" + std::string(param) + "'");
+    }
+    const std::string_view key = param.substr(0, eq);
+    const std::string_view value = param.substr(eq + 1);
+    if (!ValidName(key)) {
+      return Status::InvalidArgument("protocol config: malformed param key '" +
+                                     std::string(key) + "'");
+    }
+    if (!ValidValue(value)) {
+      return Status::InvalidArgument(
+          "protocol config: malformed value for '" + std::string(key) +
+          "': '" + std::string(value) + "'");
+    }
+    if (!config.params_.emplace(std::string(key), std::string(value)).second) {
+      return Status::InvalidArgument("protocol config: duplicate param '" +
+                                     std::string(key) + "'");
+    }
+  }
+  return config;
+}
+
+void ProtocolConfig::AppendTo(std::string* out) const {
+  PutLengthPrefixed(out, ToText());
+}
+
+Status ProtocolConfig::ReadFrom(ByteReader& reader, ProtocolConfig* out) {
+  std::string_view text;
+  LDPHH_RETURN_IF_ERROR(reader.ReadLengthPrefixed(&text));
+  auto config_or = FromText(text);
+  LDPHH_RETURN_IF_ERROR(config_or.status());
+  *out = std::move(config_or).value();
+  return Status::OK();
+}
+
+bool ProtocolConfig::operator==(const ProtocolConfig& other) const {
+  return protocol_ == other.protocol_ && params_ == other.params_;
+}
+
+}  // namespace ldphh

@@ -1,0 +1,114 @@
+/// \file protocol_config.h
+/// \brief Self-describing protocol configuration: a protocol name plus typed
+/// parameters, with a canonical text/binary serialization.
+///
+/// The serving stack (ShardedAggregator, EpochManager, ReplicaView) used to
+/// be wired to one oracle type through an opaque factory closure, so nothing
+/// on disk said *what* was being aggregated. A `ProtocolConfig` is the
+/// closure made explicit and durable: `ProtocolRegistry::Create(config)`
+/// builds an identically configured `Aggregator` anywhere — another process,
+/// another machine, a replica, a restart — and every checkpoint header and
+/// epoch record embeds the serialized config so restores are self-describing
+/// and a mismatch fails with a clean `Status` instead of silently merging
+/// incompatible state.
+///
+/// Canonical text grammar (docs/protocols.md):
+///
+///   config := name '(' [param (',' param)*] ')'
+///   param  := key '=' value
+///   name, key := [a-z0-9_]+
+///   value  := [A-Za-z0-9_+.-]+        (integers, decimals, scientifics)
+///
+/// Keys are unique and serialized in ascending order, and values round-trip
+/// as the exact string that was set, so serialize(parse(s)) == s for any
+/// canonical s — the property the config-equality checks lean on. The binary
+/// form is the length-prefixed canonical text (varint length), embeddable in
+/// any record.
+
+#ifndef LDPHH_PROTOCOLS_PROTOCOL_CONFIG_H_
+#define LDPHH_PROTOCOLS_PROTOCOL_CONFIG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+class ByteReader;
+
+/// \brief A named protocol plus its parameter map (see file comment).
+class ProtocolConfig {
+ public:
+  ProtocolConfig() = default;
+  explicit ProtocolConfig(std::string protocol)
+      : protocol_(std::move(protocol)) {}
+
+  const std::string& protocol() const { return protocol_; }
+  const std::map<std::string, std::string>& params() const { return params_; }
+  bool Has(std::string_view key) const {
+    return params_.count(std::string(key)) != 0;
+  }
+
+  // ------------------------------------------------------------- setters --
+  // Setters normalize values into the canonical charset; CHECK-fails on a
+  // malformed key or value (a bad literal here is a library bug, not input).
+  ProtocolConfig& Set(std::string_view key, std::string_view value);
+  ProtocolConfig& SetUint(std::string_view key, uint64_t value);
+  ProtocolConfig& SetInt(std::string_view key, int64_t value);
+  /// Doubles serialize with enough digits to round-trip bit-exactly.
+  ProtocolConfig& SetDouble(std::string_view key, double value);
+
+  // ------------------------------------------------------------- getters --
+  // Typed parses with validation; a missing key or an unparseable value is
+  // a kInvalidArgument naming the key.
+  Status GetUint(std::string_view key, uint64_t* out) const;
+  Status GetInt(std::string_view key, int64_t* out) const;
+  Status GetDouble(std::string_view key, double* out) const;
+  /// Missing-key-tolerant variants used for optional params with defaults.
+  uint64_t GetUintOr(std::string_view key, uint64_t fallback) const;
+  /// GetUintOr plus range validation: a present value outside
+  /// [min_value, max_value] is a kInvalidArgument naming the key — the
+  /// factory-side guard that keeps a parseable config (configs arrive from
+  /// disk: epoch blobs, checkpoint manifests) from smuggling a magnitude
+  /// whose downstream int cast would wrap or whose allocation would be
+  /// absurd. The fallback is not range-checked (an auto sentinel like 0
+  /// may sit outside the user-facing range).
+  Status GetUintIn(std::string_view key, uint64_t fallback, uint64_t min_value,
+                   uint64_t max_value, uint64_t* out) const;
+  int64_t GetIntOr(std::string_view key, int64_t fallback) const;
+  double GetDoubleOr(std::string_view key, double fallback) const;
+
+  /// Rejects (kInvalidArgument, naming the offender) any key outside
+  /// \p allowed — so a factory catches typos like "epsilonn=2" instead of
+  /// silently applying a default.
+  Status ExpectKeys(std::initializer_list<std::string_view> allowed) const;
+
+  // --------------------------------------------------------------- serde --
+  /// Canonical text form, e.g. "k_rr(domain=64,eps=1)".
+  std::string ToText() const;
+  /// Parses and validates the grammar (charset, balanced parens, unique
+  /// keys). The result re-serializes to the identical string.
+  static StatusOr<ProtocolConfig> FromText(std::string_view text);
+
+  /// Binary form: varint length + canonical text.
+  void AppendTo(std::string* out) const;
+  static Status ReadFrom(ByteReader& reader, ProtocolConfig* out);
+
+  /// Configs compare by canonical text.
+  bool operator==(const ProtocolConfig& other) const;
+  bool operator!=(const ProtocolConfig& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::string protocol_;
+  std::map<std::string, std::string> params_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_PROTOCOLS_PROTOCOL_CONFIG_H_

@@ -1,0 +1,140 @@
+#include "src/protocols/registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "src/protocols/fo_serving.h"
+#include "src/protocols/hh_serving.h"
+
+namespace ldphh {
+
+Status ProtocolRegistry::Register(const std::string& name, uint16_t wire_id,
+                                  Factory factory) {
+  if (name.empty() || factory == nullptr) {
+    return Status::InvalidArgument("protocol registry: empty name or factory");
+  }
+  if (wire_id == 0) {
+    // 0 means "unstamped" on the wire, accepted by every server — a
+    // protocol registered under it would silently lose the cross-protocol
+    // batch rejection.
+    return Status::InvalidArgument(
+        "protocol registry: wire id 0 is reserved for unstamped batches");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, entry] : entries_) {
+    if (entry.wire_id == wire_id) {
+      return Status::InvalidArgument("protocol registry: wire id " +
+                                     std::to_string(wire_id) +
+                                     " already taken by " + existing);
+    }
+  }
+  if (!entries_.emplace(name, Entry{wire_id, std::move(factory)}).second) {
+    return Status::InvalidArgument("protocol registry: duplicate name " + name);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Aggregator>> ProtocolRegistry::Create(
+    const ProtocolConfig& config) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(config.protocol());
+    if (it == entries_.end()) {
+      std::string known;
+      for (const auto& [name, entry] : entries_) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      return Status::InvalidArgument("protocol registry: unknown protocol '" +
+                                     config.protocol() + "' (known: " + known +
+                                     ")");
+    }
+    factory = it->second.factory;
+  }
+  auto created_or = factory(config);
+  LDPHH_RETURN_IF_ERROR(created_or.status());
+  auto created = std::move(created_or).value();
+  if (created == nullptr) {
+    return Status::Internal("protocol registry: factory for " +
+                            config.protocol() + " returned null");
+  }
+  return created;
+}
+
+StatusOr<uint16_t> ProtocolRegistry::WireIdOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::InvalidArgument("protocol registry: unknown protocol '" +
+                                   name + "'");
+  }
+  return it->second.wire_id;
+}
+
+std::vector<std::string> ProtocolRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+ProtocolRegistry& ProtocolRegistry::Global() {
+  static ProtocolRegistry* registry = [] {
+    auto* r = new ProtocolRegistry();
+    const auto id = [](ProtocolWireId w) { return static_cast<uint16_t>(w); };
+    // Registration of a built-in cannot fail (names and ids are distinct by
+    // construction); CHECK rather than silently dropping a protocol.
+    LDPHH_CHECK(
+        r->Register("k_rr", id(ProtocolWireId::kKRr), MakeKRrAggregator).ok(),
+        "registry: k_rr");
+    LDPHH_CHECK(r->Register("rappor_unary", id(ProtocolWireId::kRapporUnary),
+                            MakeRapporUnaryAggregator)
+                    .ok(),
+                "registry: rappor_unary");
+    LDPHH_CHECK(
+        r->Register("olh", id(ProtocolWireId::kOlh), MakeOlhAggregator).ok(),
+        "registry: olh");
+    LDPHH_CHECK(r->Register("hadamard_response",
+                            id(ProtocolWireId::kHadamardResponse),
+                            MakeHadamardResponseAggregator)
+                    .ok(),
+                "registry: hadamard_response");
+    LDPHH_CHECK(r->Register("count_mean_sketch",
+                            id(ProtocolWireId::kCountMeanSketch),
+                            MakeCountMeanSketchAggregator)
+                    .ok(),
+                "registry: count_mean_sketch");
+    LDPHH_CHECK(r->Register("hashtogram", id(ProtocolWireId::kHashtogram),
+                            MakeHashtogramAggregator)
+                    .ok(),
+                "registry: hashtogram");
+    LDPHH_CHECK(r->Register("bitstogram", id(ProtocolWireId::kBitstogram),
+                            MakeBitstogramAggregator)
+                    .ok(),
+                "registry: bitstogram");
+    LDPHH_CHECK(r->Register("treehist", id(ProtocolWireId::kTreeHist),
+                            MakeTreeHistAggregator)
+                    .ok(),
+                "registry: treehist");
+    LDPHH_CHECK(r->Register("private_expander_sketch",
+                            id(ProtocolWireId::kPrivateExpanderSketch),
+                            MakePesAggregator)
+                    .ok(),
+                "registry: private_expander_sketch");
+    LDPHH_CHECK(r->Register("succinct_hist", id(ProtocolWireId::kSuccinctHist),
+                            MakeSuccinctHistAggregator)
+                    .ok(),
+                "registry: succinct_hist");
+    return r;
+  }();
+  return *registry;
+}
+
+StatusOr<std::unique_ptr<Aggregator>> CreateAggregator(
+    const ProtocolConfig& config) {
+  return ProtocolRegistry::Global().Create(config);
+}
+
+}  // namespace ldphh

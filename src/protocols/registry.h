@@ -1,0 +1,92 @@
+/// \file registry.h
+/// \brief Process-wide registry mapping protocol names to factories.
+///
+/// `ProtocolRegistry::Global()` knows every servable protocol: the six
+/// frequency oracles (k_rr, rappor_unary, olh, hadamard_response,
+/// count_mean_sketch, hashtogram) and the four heavy-hitter protocols
+/// (bitstogram, treehist, private_expander_sketch, succinct_hist). The
+/// serving stack never names a concrete class: it calls
+/// `Create(ProtocolConfig)` and gets a validated `Aggregator`, so adding a
+/// protocol is one `Register` call (docs/protocols.md walks through it).
+///
+/// Every protocol also owns a stable 16-bit wire id, stamped into the
+/// report-batch header's flags space (src/server/report_codec.h) so a
+/// front-end can reject a batch encoded for the wrong protocol at decode
+/// time, before any report reaches an aggregator.
+
+#ifndef LDPHH_PROTOCOLS_REGISTRY_H_
+#define LDPHH_PROTOCOLS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/protocols/aggregator.h"
+#include "src/protocols/protocol_config.h"
+
+namespace ldphh {
+
+/// Stable wire ids of the built-in protocols (never renumber — they are
+/// persisted in batch headers). 0 means "unstamped" and is accepted by any
+/// server for backward compatibility.
+enum class ProtocolWireId : uint16_t {
+  kUnstamped = 0,
+  kKRr = 1,
+  kRapporUnary = 2,
+  kOlh = 3,
+  kHadamardResponse = 4,
+  kCountMeanSketch = 5,
+  kHashtogram = 6,
+  kBitstogram = 7,
+  kTreeHist = 8,
+  kPrivateExpanderSketch = 9,
+  kSuccinctHist = 10,
+};
+
+/// \brief Name -> factory (+ wire id) map; see file comment.
+class ProtocolRegistry {
+ public:
+  /// Builds a validated aggregator from \p config; the factory resolves
+  /// every auto parameter, so the result's config() is fully pinned.
+  using Factory =
+      std::function<StatusOr<std::unique_ptr<Aggregator>>(const ProtocolConfig&)>;
+
+  /// The process-wide registry, with every built-in protocol registered.
+  static ProtocolRegistry& Global();
+
+  /// Registers \p name; fails on a duplicate name or wire id.
+  Status Register(const std::string& name, uint16_t wire_id, Factory factory);
+
+  /// Unknown names fail with kInvalidArgument listing the known protocols.
+  StatusOr<std::unique_ptr<Aggregator>> Create(
+      const ProtocolConfig& config) const;
+
+  /// Wire id for \p name (kInvalidArgument when unknown).
+  StatusOr<uint16_t> WireIdOf(const std::string& name) const;
+
+  /// Registered protocol names, ascending.
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    uint16_t wire_id = 0;
+    Factory factory;
+  };
+  /// Guards entries_: Register may run concurrently with Create/WireIdOf on
+  /// the process-wide Global() (factories are invoked outside the lock).
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Convenience: Global().Create(config).
+StatusOr<std::unique_ptr<Aggregator>> CreateAggregator(
+    const ProtocolConfig& config);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_PROTOCOLS_REGISTRY_H_

@@ -1,0 +1,98 @@
+/// \file serving_util.h
+/// \brief Helpers shared by the fo_serving / hh_serving adapter files:
+/// report-shape validation, item-width validation, and canonical top-k
+/// selection. One copy, so the validators and the EstimateTopK ordering
+/// cannot drift between the oracle and heavy-hitter adapters.
+
+#ifndef LDPHH_PROTOCOLS_SERVING_UTIL_H_
+#define LDPHH_PROTOCOLS_SERVING_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/status.h"
+#include "src/freq/freq_oracle.h"
+#include "src/protocols/aggregator.h"
+
+namespace ldphh {
+namespace serving {
+
+/// A structurally valid report for this config: exactly the expected width,
+/// no payload bits above it.
+inline Status CheckReportShape(const FoReport& r, int expected_bits,
+                               const std::string& name) {
+  if (r.num_bits != expected_bits) {
+    return Status::InvalidArgument(
+        name + ": report has " + std::to_string(r.num_bits) +
+        " bits, config requires " + std::to_string(expected_bits));
+  }
+  if (r.num_bits < 64 && (r.bits >> r.num_bits) != 0) {
+    return Status::InvalidArgument(name + ": payload bits beyond num_bits");
+  }
+  return Status::OK();
+}
+
+/// Rejects an item wider than the config's domain_bits (the Encode-side
+/// domain check for the bitstring-domain protocols).
+inline Status CheckItemWidth(const DomainItem& x, int domain_bits,
+                             const std::string& name) {
+  DomainItem t = x;
+  t.Truncate(domain_bits);
+  if (t != x) {
+    return Status::InvalidArgument(name + ": value wider than domain_bits=" +
+                                   std::to_string(domain_bits));
+  }
+  return Status::OK();
+}
+
+/// Sorts canonically (HeavyHitterEntryOrder) and truncates to k. For
+/// already-small candidate lists (the heavy-hitter decodes).
+inline std::vector<HeavyHitterEntry> SortTopK(
+    std::vector<HeavyHitterEntry> entries, size_t k) {
+  std::sort(entries.begin(), entries.end(), HeavyHitterEntryOrder);
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+/// \brief Streaming bounded top-k selection for full-domain scans.
+///
+/// Keeps the k best entries under HeavyHitterEntryOrder in O(log k) per Add
+/// and O(k) memory, and Take() returns them canonically sorted — the list is
+/// bit-for-bit what materializing every entry and SortTopK-ing it would
+/// produce (the ordering is total: items are unique), without the O(domain)
+/// vector a 2^24-element scan would otherwise allocate.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(size_t k) : k_(k) {}
+
+  void Add(const DomainItem& item, double estimate) {
+    if (k_ == 0) return;
+    const HeavyHitterEntry e{item, estimate};
+    // Heap ordered by HeavyHitterEntryOrder-as-less ("better is smaller"),
+    // so the top is the worst kept entry — the eviction candidate.
+    if (heap_.size() < k_) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), HeavyHitterEntryOrder);
+    } else if (HeavyHitterEntryOrder(e, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeavyHitterEntryOrder);
+      heap_.back() = e;
+      std::push_heap(heap_.begin(), heap_.end(), HeavyHitterEntryOrder);
+    }
+  }
+
+  std::vector<HeavyHitterEntry> Take() {
+    std::sort(heap_.begin(), heap_.end(), HeavyHitterEntryOrder);
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<HeavyHitterEntry> heap_;
+};
+
+}  // namespace serving
+}  // namespace ldphh
+
+#endif  // LDPHH_PROTOCOLS_SERVING_UTIL_H_

@@ -37,27 +37,21 @@ StatusOr<HeavyHitterResult> SuccinctHist::Run(
 
   const double e = std::exp(params_.epsilon);
   const double keep = e / (e + 1.0);
-  const double c_eps = (e + 1.0) / (e - 1.0);
 
   Rng master(seed);
   const uint64_t sign_seed = master();
   Rng user_coins(master());
 
-  // Personal sign projections phi_i(x) = +-1, derived from (seed, i, x).
-  auto sign_of = [sign_seed](uint64_t user, const DomainItem& x) {
-    const uint64_t h = Mix64(sign_seed ^ Mix64(user + 1) ^ x.Fingerprint());
-    return (h & 1) ? 1 : -1;
-  };
-
   HeavyHitterResult result;
   result.metrics.num_users = n;
 
-  std::vector<int8_t> reports(static_cast<size_t>(n));
+  std::vector<std::pair<uint64_t, int8_t>> reports;
+  reports.reserve(static_cast<size_t>(n));
   Timer user_timer;
   for (uint64_t i = 0; i < n; ++i) {
-    int bit = sign_of(i, database[i]);
+    int bit = SuccinctHistSign(sign_seed, i, database[i]);
     if (!user_coins.Bernoulli(keep)) bit = -bit;
-    reports[static_cast<size_t>(i)] = static_cast<int8_t>(bit);
+    reports.emplace_back(i, static_cast<int8_t>(bit));
   }
   result.metrics.user_seconds_total = user_timer.Seconds();
   result.metrics.comm_bits_total = n;  // One bit each.
@@ -66,6 +60,23 @@ StatusOr<HeavyHitterResult> SuccinctHist::Run(
   // Server: full-domain scan, Theta(n) work per domain element.
   Timer server_timer;
   const double tau = DetectionThreshold(n);
+  result.entries = SuccinctHistScan(sign_seed, reports, params_.domain_bits,
+                                    params_.epsilon, tau, params_.list_cap);
+  result.metrics.server_seconds = server_timer.Seconds();
+  result.metrics.server_memory_bytes =
+      reports.size() * sizeof(decltype(reports)::value_type);
+  // Without random access, a user materializes the sign table over X
+  // (Table 1's O~(n^1.5) with |X| = n^1.5): account, do not simulate.
+  result.metrics.public_random_bits_per_user = domain;
+  return result;
+}
+
+std::vector<HeavyHitterEntry> SuccinctHistScan(
+    uint64_t sign_seed, const std::vector<std::pair<uint64_t, int8_t>>& reports,
+    int domain_bits, double epsilon, double tau, int list_cap) {
+  const uint64_t domain = uint64_t{1} << domain_bits;
+  const double e = std::exp(epsilon);
+  const double c_eps = (e + 1.0) / (e - 1.0);
   struct Scored {
     uint64_t value;
     double estimate;
@@ -73,34 +84,32 @@ StatusOr<HeavyHitterResult> SuccinctHist::Run(
   std::vector<Scored> hits;
   for (uint64_t v = 0; v < domain; ++v) {
     const DomainItem item(v);
+    // The summands are +-1, so the accumulator is integer-valued and the
+    // sum is exact in any order — the merge-equivalence guarantee.
     double acc = 0.0;
-    for (uint64_t i = 0; i < n; ++i) {
-      acc += static_cast<double>(reports[static_cast<size_t>(i)]) *
-             static_cast<double>(sign_of(i, item));
+    for (const auto& [user, bit] : reports) {
+      acc += static_cast<double>(bit) *
+             static_cast<double>(SuccinctHistSign(sign_seed, user, item));
     }
     const double estimate = c_eps * acc;
     if (estimate >= tau) hits.push_back(Scored{v, estimate});
   }
-  if (static_cast<int>(hits.size()) > params_.list_cap) {
-    std::partial_sort(hits.begin(), hits.begin() + params_.list_cap, hits.end(),
-                      [](const Scored& a, const Scored& b) {
-                        return a.estimate > b.estimate;
-                      });
-    hits.resize(static_cast<size_t>(params_.list_cap));
+  // Canonical order (estimate descending, ties value ascending — a total
+  // order), applied whether or not the cap truncates, so the documented
+  // sorted-ness holds on every path and equal state scans byte-identically.
+  std::sort(hits.begin(), hits.end(), [](const Scored& a, const Scored& b) {
+    if (a.estimate != b.estimate) return a.estimate > b.estimate;
+    return a.value < b.value;
+  });
+  if (static_cast<int>(hits.size()) > list_cap) {
+    hits.resize(static_cast<size_t>(list_cap));
   }
+  std::vector<HeavyHitterEntry> entries;
+  entries.reserve(hits.size());
   for (const Scored& s : hits) {
-    result.entries.push_back(HeavyHitterEntry{DomainItem(s.value), s.estimate});
+    entries.push_back(HeavyHitterEntry{DomainItem(s.value), s.estimate});
   }
-  std::sort(result.entries.begin(), result.entries.end(),
-            [](const HeavyHitterEntry& a, const HeavyHitterEntry& b) {
-              return a.estimate > b.estimate;
-            });
-  result.metrics.server_seconds = server_timer.Seconds();
-  result.metrics.server_memory_bytes = reports.size() * sizeof(int8_t);
-  // Without random access, a user materializes the sign table over X
-  // (Table 1's O~(n^1.5) with |X| = n^1.5): account, do not simulate.
-  result.metrics.public_random_bits_per_user = domain;
-  return result;
+  return entries;
 }
 
 }  // namespace ldphh

@@ -17,7 +17,10 @@
 #define LDPHH_PROTOCOLS_SUCCINCT_HIST_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
+#include "src/common/random.h"
 #include "src/protocols/heavy_hitters.h"
 
 namespace ldphh {
@@ -51,6 +54,23 @@ class SuccinctHist final : public HeavyHitterProtocol {
 
   SuccinctHistParams params_;
 };
+
+/// The personal +-1 projection phi_i(x), derived from (seed, user, item).
+/// Public randomness: both the client encode and the server scan evaluate
+/// it, so it is shared by Run and the streaming serving aggregator.
+inline int SuccinctHistSign(uint64_t sign_seed, uint64_t user,
+                            const DomainItem& x) {
+  const uint64_t h = Mix64(sign_seed ^ Mix64(user + 1) ^ x.Fingerprint());
+  return (h & 1) ? 1 : -1;
+}
+
+/// The server decode: full-domain scan of f^(x) = c_eps sum_i b~_i phi_i(x)
+/// over the (user, report-bit) pairs, keeping estimates >= tau, capped at
+/// \p list_cap by estimate. Entries return sorted by estimate descending
+/// (ties: value ascending). Shared by Run and the serving aggregator.
+std::vector<HeavyHitterEntry> SuccinctHistScan(
+    uint64_t sign_seed, const std::vector<std::pair<uint64_t, int8_t>>& reports,
+    int domain_bits, double epsilon, double tau, int list_cap);
 
 }  // namespace ldphh
 

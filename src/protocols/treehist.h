@@ -18,6 +18,7 @@
 #define LDPHH_PROTOCOLS_TREEHIST_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/freq/hashtogram.h"
 #include "src/protocols/heavy_hitters.h"
@@ -63,6 +64,18 @@ class TreeHist final : public HeavyHitterProtocol {
 
   TreeHistParams params_;
 };
+
+/// Breadth-first frontier growth (the server decode step), shared by Run
+/// and the streaming serving aggregator (src/protocols/hh_serving.h). A
+/// level-l prefix survives iff its level oracle's estimate clears
+/// threshold_sigmas * c_eps * sqrt(n_l * rows); survivors spawn two
+/// children, capped at \p frontier_cap per level. \p level_fo must be
+/// finalized; \p level_counts[l] is the number of users assigned to level l.
+/// Returns the surviving leaves in frontier order.
+std::vector<DomainItem> TreeHistGrowFrontier(
+    const std::vector<Hashtogram>& level_fo,
+    const std::vector<uint64_t>& level_counts, int domain_bits, double c_eps,
+    double threshold_sigmas, int frontier_cap);
 
 }  // namespace ldphh
 

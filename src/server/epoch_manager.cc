@@ -4,22 +4,42 @@
 #include <utility>
 
 #include "src/common/serde.h"
+#include "src/protocols/registry.h"
 #include "src/server/report_codec.h"
 
 namespace ldphh {
 
-EpochManager::EpochManager(OracleFactory factory, CheckpointStore* store,
-                           EpochManagerOptions options)
-    : factory_(std::move(factory)), store_(store), options_(options) {
-  LDPHH_CHECK(store_ != nullptr, "EpochManager: null store");
-  if (options_.reports_per_epoch == 0) options_.reports_per_epoch = 1;
+EpochManager::EpochManager(ProtocolConfig config, uint16_t wire_id,
+                           CheckpointStore* store, EpochManagerOptions options)
+    : config_(std::move(config)),
+      wire_id_(wire_id),
+      store_(store),
+      options_(options) {}
+
+StatusOr<std::unique_ptr<EpochManager>> EpochManager::Create(
+    const ProtocolConfig& config, CheckpointStore* store,
+    EpochManagerOptions options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("EpochManager: null store");
+  }
+  if (options.reports_per_epoch == 0) options.reports_per_epoch = 1;
+  // Resolve (and validate) the config once through the registry; every
+  // epoch's sharded aggregator is then built from the resolved form.
+  auto probe_or = CreateAggregator(config);
+  LDPHH_RETURN_IF_ERROR(probe_or.status());
+  ProtocolConfig resolved = probe_or.value()->config();
+  auto wire_id_or = ProtocolRegistry::Global().WireIdOf(resolved.protocol());
+  LDPHH_RETURN_IF_ERROR(wire_id_or.status());
+  return std::unique_ptr<EpochManager>(new EpochManager(
+      std::move(resolved), wire_id_or.value(), store, options));
 }
 
 EpochManager::~EpochManager() = default;
 
 Status EpochManager::RollAggregator() {
-  aggregator_ =
-      std::make_unique<ShardedAggregator>(factory_, options_.aggregator);
+  auto aggregator_or = ShardedAggregator::Create(config_, options_.aggregator);
+  LDPHH_RETURN_IF_ERROR(aggregator_or.status());
+  aggregator_ = std::move(aggregator_or).value();
   reports_in_epoch_ = 0;
   epoch_opened_at_ = Now();
   return aggregator_->Start();
@@ -88,7 +108,8 @@ StatusOr<bool> EpochManager::PollClock() {
 
 Status EpochManager::SubmitWire(std::string_view batch) {
   std::vector<WireReport> reports;
-  LDPHH_RETURN_IF_ERROR(DecodeReportBatch(batch, &reports));
+  LDPHH_RETURN_IF_ERROR(
+      DecodeReportBatchFor(batch, wire_id_, config_.protocol(), &reports));
   for (const WireReport& r : reports) {
     LDPHH_RETURN_IF_ERROR(Submit(r));
   }
@@ -103,13 +124,14 @@ Status EpochManager::CloseEpoch() {
   const uint64_t count = reports_in_epoch_;
   auto merged_or = aggregator_->Finish();
   LDPHH_RETURN_IF_ERROR(merged_or.status());
-  const std::unique_ptr<SmallDomainFO> merged = std::move(merged_or).value();
+  const std::unique_ptr<Aggregator> merged = std::move(merged_or).value();
 
   std::string blob;
   PutU32(&blob, kEpochBlobMagic);
   PutU16(&blob, kEpochBlobVersion);
   PutU64(&blob, current_epoch_);
   PutU64(&blob, count);
+  config_.AppendTo(&blob);
   LDPHH_RETURN_IF_ERROR(merged->SerializeState(&blob));
   LDPHH_RETURN_IF_ERROR(store_->Put(current_epoch_, blob));
   std::string clock_blob;
@@ -132,17 +154,17 @@ Status EpochManager::Close() {
   return Status::OK();
 }
 
-StatusOr<std::unique_ptr<SmallDomainFO>> MergeEpochWindow(
+StatusOr<std::unique_ptr<Aggregator>> MergeEpochWindow(
     const std::function<Status(uint64_t epoch, std::string* blob)>& get,
-    const ShardedAggregator::OracleFactory& factory, uint64_t first_epoch,
-    uint64_t last_epoch) {
+    uint64_t first_epoch, uint64_t last_epoch,
+    const ProtocolConfig* expected_config) {
   if (first_epoch > last_epoch) {
     return Status::InvalidArgument("epoch window: first_epoch > last_epoch");
   }
   if (last_epoch >= kEpochClockKey) {
     return Status::InvalidArgument("epoch window: epoch id out of range");
   }
-  std::unique_ptr<SmallDomainFO> merged;
+  std::unique_ptr<Aggregator> merged;
   for (uint64_t e = first_epoch; e <= last_epoch; ++e) {
     std::string blob;
     Status st = get(e, &blob);
@@ -173,10 +195,26 @@ StatusOr<std::unique_ptr<SmallDomainFO>> MergeEpochWindow(
     }
     LDPHH_RETURN_IF_ERROR(reader.ReadU64(&count));
 
-    std::unique_ptr<SmallDomainFO> oracle = factory();
-    if (oracle == nullptr) {
-      return Status::Internal("epoch window: factory returned null oracle");
+    // The blob names its own config; the aggregator that decodes it is
+    // built from exactly that config by the registry. Nothing upstream
+    // chooses the type — a reader cannot mis-merge by misconfiguration.
+    ProtocolConfig config;
+    LDPHH_RETURN_IF_ERROR(ProtocolConfig::ReadFrom(reader, &config));
+    if (expected_config != nullptr && config != *expected_config) {
+      return Status::FailedPrecondition(
+          "epoch window: epoch " + std::to_string(e) + " was written under " +
+          config.ToText() + ", expected " + expected_config->ToText());
     }
+    if (merged != nullptr && config != merged->config()) {
+      return Status::FailedPrecondition(
+          "epoch window: mixed configs (epoch " + std::to_string(e) +
+          " was written under " + config.ToText() + ", earlier epochs under " +
+          merged->config().ToText() + ")");
+    }
+
+    auto oracle_or = CreateAggregator(config);
+    LDPHH_RETURN_IF_ERROR(oracle_or.status());
+    std::unique_ptr<Aggregator> oracle = std::move(oracle_or).value();
     LDPHH_RETURN_IF_ERROR(
         oracle->RestoreState(std::string_view(blob).substr(reader.position())));
     if (merged == nullptr) {
@@ -188,13 +226,13 @@ StatusOr<std::unique_ptr<SmallDomainFO>> MergeEpochWindow(
   return merged;
 }
 
-StatusOr<std::unique_ptr<SmallDomainFO>> EpochManager::WindowedQuery(
+StatusOr<std::unique_ptr<Aggregator>> EpochManager::WindowedQuery(
     uint64_t first_epoch, uint64_t last_epoch) const {
   return MergeEpochWindow(
       [this](uint64_t epoch, std::string* blob) {
         return store_->Get(epoch, blob);
       },
-      factory_, first_epoch, last_epoch);
+      first_epoch, last_epoch, &config_);
 }
 
 Status EpochManager::PruneEpochsBefore(uint64_t first_kept) {

@@ -6,14 +6,22 @@
 /// A production service ingests forever and is asked "what are the heavy
 /// hitters over the last k epochs?". The EpochManager makes that query
 /// exact: it rolls the sharded aggregator over fixed-size report epochs,
-/// and each CloseEpoch() persists the epoch's *merged* oracle state — the
-/// mergeable-state snapshot of PR 1, bit-for-bit equal to a single-threaded
-/// aggregation of the epoch's reports — into the store keyed by epoch id.
-/// WindowedQuery(first, last) then merges the persisted states back into
-/// one oracle whose estimates are bit-for-bit identical to re-aggregating
-/// those epochs' reports from scratch, because every built-in oracle's
-/// state is an integer-valued tally (or a report list scanned with
-/// integer-valued support counts), so Merge is exact and associative.
+/// and each CloseEpoch() persists the epoch's *merged* aggregator state —
+/// bit-for-bit equal to a single-threaded aggregation of the epoch's
+/// reports — into the store keyed by epoch id. WindowedQuery(first, last)
+/// then merges the persisted states back into one aggregator whose
+/// estimates are bit-for-bit identical to re-aggregating those epochs'
+/// reports from scratch, because every registered protocol's state is an
+/// integer-valued tally (or a report list), so Merge is exact and
+/// associative.
+///
+/// Self-describing records: every epoch blob embeds the serialized
+/// `ProtocolConfig` it was aggregated under. The read path
+/// (`MergeEpochWindow`, shared with the replica) reconstructs the
+/// aggregator from the embedded config via the registry — no caller-
+/// supplied factory anywhere — and a window mixing configs, or a primary
+/// querying epochs written under a different config, fails with a clean
+/// `Status` instead of silently merging incompatible state.
 ///
 /// Durability contract: a closed epoch survives any crash — including OS
 /// crash and power loss when the store runs with SyncMode::kFull/kData
@@ -39,7 +47,8 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/freq/freq_oracle.h"
+#include "src/protocols/aggregator.h"
+#include "src/protocols/protocol_config.h"
 #include "src/server/sharded_aggregator.h"
 #include "src/store/checkpoint_store.h"
 
@@ -65,12 +74,13 @@ struct EpochManagerOptions {
 /// \brief Continuous ingestion with durable, queryable epochs.
 class EpochManager {
  public:
-  using OracleFactory = ShardedAggregator::OracleFactory;
-
   /// \p store must outlive the manager; the manager owns its key space
-  /// (keys are epoch ids).
-  EpochManager(OracleFactory factory, CheckpointStore* store,
-               EpochManagerOptions options);
+  /// (keys are epoch ids). The \p config is resolved through the registry
+  /// once here; every epoch's aggregator is built from the resolved form.
+  static StatusOr<std::unique_ptr<EpochManager>> Create(
+      const ProtocolConfig& config, CheckpointStore* store,
+      EpochManagerOptions options);
+
   ~EpochManager();
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
@@ -84,11 +94,13 @@ class EpochManager {
   Status Submit(const WireReport& report);
 
   /// Decodes a wire-format batch (report_codec.h) and submits each report.
+  /// A batch stamped for a different protocol is rejected whole.
   Status SubmitWire(std::string_view batch);
 
-  /// Snapshots the open epoch's merged oracle state into the store under
-  /// the current epoch id (durable on return), then opens the next epoch.
-  /// Closing an epoch with zero reports is allowed (a quiet period).
+  /// Snapshots the open epoch's merged aggregator state into the store
+  /// under the current epoch id (durable on return, config embedded), then
+  /// opens the next epoch. Closing an epoch with zero reports is allowed
+  /// (a quiet period).
   Status CloseEpoch();
 
   /// Wall-clock roll for quiet streams: closes the open epoch iff
@@ -101,12 +113,13 @@ class EpochManager {
   Status Close();
 
   /// Merges the persisted states of epochs [first, last] (inclusive) into
-  /// one un-finalized oracle: call Finalize() on it, then Estimate().
-  /// Bit-for-bit identical to a fresh single-threaded aggregation of those
-  /// epochs' reports. Fails with kOutOfRange if any epoch in the window is
-  /// not persisted (never closed, or pruned).
-  StatusOr<std::unique_ptr<SmallDomainFO>> WindowedQuery(uint64_t first_epoch,
-                                                         uint64_t last_epoch) const;
+  /// one un-finalized aggregator: call EstimateTopK() on it. Bit-for-bit
+  /// identical to a fresh single-threaded aggregation of those epochs'
+  /// reports. Fails with kOutOfRange if any epoch in the window is not
+  /// persisted (never closed, or pruned), and with kFailedPrecondition if
+  /// a persisted epoch was written under a different config.
+  StatusOr<std::unique_ptr<Aggregator>> WindowedQuery(
+      uint64_t first_epoch, uint64_t last_epoch) const;
 
   /// Drops persisted epochs with id < \p first_kept (durable tombstones;
   /// segment compaction reclaims the space).
@@ -115,17 +128,24 @@ class EpochManager {
   /// Epoch ids currently persisted, ascending.
   std::vector<uint64_t> PersistedEpochs() const;
 
+  /// The resolved protocol config every epoch aggregates under.
+  const ProtocolConfig& config() const { return config_; }
+
   /// Id of the open epoch.
   uint64_t current_epoch() const { return current_epoch_; }
   /// Reports ingested into the open epoch so far.
   uint64_t reports_in_current_epoch() const { return reports_in_epoch_; }
 
  private:
+  EpochManager(ProtocolConfig config, uint16_t wire_id, CheckpointStore* store,
+               EpochManagerOptions options);
+
   Status RollAggregator();
   std::chrono::steady_clock::time_point Now() const;
   bool EpochTimeUp() const;
 
-  OracleFactory factory_;
+  ProtocolConfig config_;
+  uint16_t wire_id_ = 0;
   CheckpointStore* store_;
   EpochManagerOptions options_;
   std::unique_ptr<ShardedAggregator> aggregator_;
@@ -138,9 +158,11 @@ class EpochManager {
 
 /// Epoch snapshot blob layout (the value stored under an epoch id):
 ///   [u32 magic "EPCH"][u16 version][u64 epoch_id][u64 report_count]
-///   [FOST oracle state (freq_oracle.h envelope)]
+///   [protocol config (varint length + canonical text)]
+///   [aggregator state]
+/// v2 added the embedded config, making every epoch record self-describing.
 inline constexpr uint32_t kEpochBlobMagic = 0x48435045u;  // "EPCH" LE.
-inline constexpr uint16_t kEpochBlobVersion = 1;
+inline constexpr uint16_t kEpochBlobVersion = 2;
 
 /// Reserved store key holding the durable epoch clock ([u64 next epoch]):
 /// the high-water mark survives even when retention prunes every epoch, so
@@ -153,15 +175,17 @@ Status ParseEpochClock(std::string_view blob, uint64_t* next_epoch);
 /// Merges the persisted states of epochs [first, last] (inclusive), each
 /// fetched through \p get (a CheckpointStore::Get on the primary, a
 /// ReplicaStore::Get on a follower — src/server/replica_view.h), into one
-/// un-finalized oracle. The shared read path under EpochManager::
-/// WindowedQuery and ReplicaView::WindowedQuery, so both sides decode and
-/// merge identically — bit for bit. \p get returning kOutOfRange for any
-/// epoch in the window (never closed, pruned, or not yet tailed) maps to
-/// kOutOfRange here.
-StatusOr<std::unique_ptr<SmallDomainFO>> MergeEpochWindow(
+/// un-finalized aggregator. The blobs are self-describing: each aggregator
+/// is built by the registry from the config embedded in the blob, so the
+/// shared read path needs no factory and both sides decode and merge
+/// identically — bit for bit. Every epoch in the window must carry the
+/// same config (and match \p expected_config when non-null); a mismatch is
+/// kFailedPrecondition. \p get returning kOutOfRange for any epoch in the
+/// window (never closed, pruned, or not yet tailed) maps to kOutOfRange.
+StatusOr<std::unique_ptr<Aggregator>> MergeEpochWindow(
     const std::function<Status(uint64_t epoch, std::string* blob)>& get,
-    const ShardedAggregator::OracleFactory& factory, uint64_t first_epoch,
-    uint64_t last_epoch);
+    uint64_t first_epoch, uint64_t last_epoch,
+    const ProtocolConfig* expected_config);
 
 }  // namespace ldphh
 

@@ -1,28 +1,26 @@
 #include "src/server/replica_view.h"
 
-#include <utility>
-
 namespace ldphh {
 
-ReplicaView::ReplicaView(EpochManager::OracleFactory factory,
-                         ReplicaStore* replica)
-    : factory_(std::move(factory)), replica_(replica) {
+ReplicaView::ReplicaView(ReplicaStore* replica) : replica_(replica) {
   LDPHH_CHECK(replica_ != nullptr, "ReplicaView: null replica");
 }
 
 StatusOr<bool> ReplicaView::Refresh() { return replica_->Refresh(); }
 
-StatusOr<std::unique_ptr<SmallDomainFO>> ReplicaView::WindowedQuery(
+StatusOr<std::unique_ptr<Aggregator>> ReplicaView::WindowedQuery(
     uint64_t first_epoch, uint64_t last_epoch) const {
   // One pinned snapshot serves the whole window: a refresh landing
   // mid-merge (the background tailer, a concurrent prune on the primary)
   // cannot make a window that was present at query start fail halfway.
+  // No expected config: the blobs are self-describing, and the uniformity
+  // check inside MergeEpochWindow still rejects a mixed window.
   const ReplicaStore::PinnedView pinned = replica_->Pin();
   return MergeEpochWindow(
       [&pinned](uint64_t epoch, std::string* blob) {
         return pinned.Get(epoch, blob);
       },
-      factory_, first_epoch, last_epoch);
+      first_epoch, last_epoch, /*expected_config=*/nullptr);
 }
 
 std::vector<uint64_t> ReplicaView::PersistedEpochs() const {

@@ -2,14 +2,21 @@
 /// \brief Epoch-level read serving from a read-only replica.
 ///
 /// EpochManager owns the write side of continuous aggregation: it ingests
-/// reports, closes epochs, and persists each closed epoch's merged oracle
-/// state into the segment store. ReplicaView is the read side at scale-out:
-/// it sits on a ReplicaStore (src/store/replica_store.h) tailing the
-/// primary's store directory and answers WindowedQuery for the epochs the
-/// tail has caught — through the exact same decode-and-merge path the
+/// reports, closes epochs, and persists each closed epoch's merged
+/// aggregator state into the segment store. ReplicaView is the read side at
+/// scale-out: it sits on a ReplicaStore (src/store/replica_store.h) tailing
+/// the primary's store directory and answers WindowedQuery for the epochs
+/// the tail has caught — through the exact same decode-and-merge path the
 /// primary uses (MergeEpochWindow), so a replica's answer over any
 /// persisted window is bit-for-bit the primary's answer once the tail has
 /// caught up to the epoch's Put.
+///
+/// Self-describing opens: the replica needs no protocol knowledge up front.
+/// Every persisted epoch embeds its `ProtocolConfig`, and the merge path
+/// builds the decoding aggregator from that embedded config through the
+/// registry — a replica can tail a store directory without being told what
+/// protocol the primary serves, and a window mixing configs fails with a
+/// clean `Status` rather than silently merging incompatible state.
 ///
 /// Staleness model: a replica serves the epochs visible in its current
 /// snapshot. An epoch closed by the primary becomes visible after the next
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/protocols/aggregator.h"
 #include "src/server/epoch_manager.h"
 #include "src/store/replica_store.h"
 
@@ -39,10 +47,9 @@ namespace ldphh {
 /// \brief Windowed heavy-hitter queries served from a replica's snapshot.
 class ReplicaView {
  public:
-  /// \p replica must outlive the view. \p factory must construct oracles
-  /// with the same configuration as the primary's EpochManager (it is the
-  /// deserialization target for the persisted epoch states).
-  ReplicaView(EpochManager::OracleFactory factory, ReplicaStore* replica);
+  /// \p replica must outlive the view. No protocol configuration is needed:
+  /// the persisted epoch records are self-describing.
+  explicit ReplicaView(ReplicaStore* replica);
 
   /// One tail poll on the underlying replica; returns whether the visible
   /// snapshot advanced. (With a background-polling replica this is rarely
@@ -50,12 +57,13 @@ class ReplicaView {
   StatusOr<bool> Refresh();
 
   /// Merges the persisted states of epochs [first, last] (inclusive) from
-  /// the replica's current snapshot into one un-finalized oracle: call
-  /// Finalize() on it, then Estimate(). Bit-for-bit identical to the
-  /// primary's WindowedQuery over the same window. Fails with kOutOfRange
-  /// if any epoch in the window is not in the snapshot (never closed,
-  /// pruned, or the tail has not caught it yet).
-  StatusOr<std::unique_ptr<SmallDomainFO>> WindowedQuery(
+  /// the replica's current snapshot into one un-finalized aggregator: call
+  /// EstimateTopK() on it. Bit-for-bit identical to the primary's
+  /// WindowedQuery over the same window. Fails with kOutOfRange if any
+  /// epoch in the window is not in the snapshot (never closed, pruned, or
+  /// the tail has not caught it yet), and with kFailedPrecondition on a
+  /// window mixing configs.
+  StatusOr<std::unique_ptr<Aggregator>> WindowedQuery(
       uint64_t first_epoch, uint64_t last_epoch) const;
 
   /// Epoch ids persisted in the current snapshot, ascending.
@@ -68,7 +76,6 @@ class ReplicaView {
   ReplicaStore* replica() const { return replica_; }
 
  private:
-  EpochManager::OracleFactory factory_;
   ReplicaStore* replica_;
 };
 

@@ -27,7 +27,8 @@ void AppendWireReport(const WireReport& report, std::string* out) {
   }
 }
 
-std::string EncodeReportBatch(const std::vector<WireReport>& reports) {
+std::string EncodeReportBatch(const std::vector<WireReport>& reports,
+                              uint16_t protocol_id) {
   std::string payload;
   payload.reserve(reports.size() * 8);
   for (const WireReport& r : reports) AppendWireReport(r, &payload);
@@ -36,7 +37,7 @@ std::string EncodeReportBatch(const std::vector<WireReport>& reports) {
   out.reserve(kReportBatchHeaderSize + payload.size());
   PutU32(&out, kReportBatchMagic);
   PutU16(&out, kReportBatchVersion);
-  PutU16(&out, 0);  // flags, reserved.
+  PutU16(&out, protocol_id);
   PutU32(&out, static_cast<uint32_t>(reports.size()));
   PutU32(&out, static_cast<uint32_t>(payload.size()));
   PutU32(&out, MaskCrc32(Crc32c(payload.data(), payload.size())));
@@ -45,16 +46,16 @@ std::string EncodeReportBatch(const std::vector<WireReport>& reports) {
 }
 
 Status DecodeReportBatch(std::string_view data, std::vector<WireReport>* out,
-                         size_t* consumed) {
+                         size_t* consumed, uint16_t* protocol_id) {
   ByteReader header(data);
   uint32_t magic = 0;
   LDPHH_RETURN_IF_ERROR(header.ReadU32(&magic));
   if (magic != kReportBatchMagic) {
     return Status::DecodeFailure("report batch: bad magic");
   }
-  uint16_t version = 0, flags = 0;
+  uint16_t version = 0, stamped_protocol = 0;
   LDPHH_RETURN_IF_ERROR(header.ReadU16(&version));
-  LDPHH_RETURN_IF_ERROR(header.ReadU16(&flags));
+  LDPHH_RETURN_IF_ERROR(header.ReadU16(&stamped_protocol));
   if (version != kReportBatchVersion) {
     return Status::DecodeFailure("report batch: unsupported version");
   }
@@ -104,7 +105,32 @@ Status DecodeReportBatch(std::string_view data, std::vector<WireReport>* out,
   }
   out->insert(out->end(), decoded.begin(), decoded.end());
   if (consumed != nullptr) *consumed = header.position();
+  if (protocol_id != nullptr) *protocol_id = stamped_protocol;
   return Status::OK();
+}
+
+Status DecodeReportBatchFor(std::string_view data, uint16_t wire_id,
+                            std::string_view protocol_name,
+                            std::vector<WireReport>* out) {
+  // Peek the stamp straight from the fixed header (magic u32, version u16,
+  // protocol_id u16) so a mis-stamped batch is rejected before a single
+  // record is decoded or CRC-checked. Only a valid magic makes the peeked
+  // bytes meaningful; anything else falls through to DecodeReportBatch for
+  // the proper structural error.
+  ByteReader header(data);
+  uint32_t magic = 0;
+  uint16_t version = 0, stamped = 0;
+  if (header.ReadU32(&magic).ok() && magic == kReportBatchMagic &&
+      header.ReadU16(&version).ok() && header.ReadU16(&stamped).ok() &&
+      stamped != 0 && stamped != wire_id) {
+    return Status::InvalidArgument(
+        "report batch stamped for protocol id " + std::to_string(stamped) +
+        ", this server serves " + std::string(protocol_name) + " (id " +
+        std::to_string(wire_id) + ")");
+  }
+  // DecodeReportBatch appends to out only on success, so decoding straight
+  // into the caller's vector is safe and copy-free.
+  return DecodeReportBatch(data, out);
 }
 
 }  // namespace ldphh

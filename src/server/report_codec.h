@@ -5,7 +5,7 @@
 /// batches:
 ///
 ///   batch   := header record*
-///   header  := magic(u32 "LDPB") version(u16) flags(u16)
+///   header  := magic(u32 "LDPB") version(u16) protocol_id(u16)
 ///              count(u32) payload_len(u32) masked_crc32c(u32 of payload)
 ///   record  := user_index(varint) num_bits(u8) payload(ceil(num_bits/8) B)
 ///
@@ -14,6 +14,13 @@
 /// smuggle more entropy than its declared wire cost). Decode validates the
 /// magic, version, lengths, CRC, and `num_bits <= 64` and returns `Status`
 /// on any corruption — never UB.
+///
+/// `protocol_id` (the previously reserved flags space) stamps the batch
+/// with the wire id of the protocol the reports were encoded for (see
+/// ProtocolWireId in src/protocols/registry.h). 0 means unstamped — the
+/// pre-stamp wire format, accepted by every server — and any other value
+/// lets a front-end reject a batch for the wrong protocol at decode time,
+/// before a single report reaches an aggregator.
 
 #ifndef LDPHH_SERVER_REPORT_CODEC_H_
 #define LDPHH_SERVER_REPORT_CODEC_H_
@@ -28,12 +35,8 @@
 
 namespace ldphh {
 
-/// A report as it travels to the ingestion service: the oracle report plus
-/// the public user index (needed for row/hash assignment by some oracles).
-struct WireReport {
-  uint64_t user_index = 0;
-  FoReport report;
-};
+// WireReport (the decoded record type) lives in src/freq/freq_oracle.h so
+// the protocol layer can consume it without a server dependency.
 
 inline constexpr uint32_t kReportBatchMagic = 0x4250444cu;  // "LDPB" LE.
 inline constexpr uint16_t kReportBatchVersion = 1;
@@ -49,14 +52,27 @@ FoReport ClampFoReport(const FoReport& report);
 /// beyond num_bits are masked off.
 void AppendWireReport(const WireReport& report, std::string* out);
 
-/// Encodes a whole batch (header + records).
-std::string EncodeReportBatch(const std::vector<WireReport>& reports);
+/// Encodes a whole batch (header + records), stamped with \p protocol_id
+/// (0 = unstamped).
+std::string EncodeReportBatch(const std::vector<WireReport>& reports,
+                              uint16_t protocol_id = 0);
 
 /// Decodes a batch produced by EncodeReportBatch, validating structure and
 /// CRC. Appends to \p out. On success \p consumed (if non-null) receives the
-/// total encoded size, so batches can be streamed back-to-back.
+/// total encoded size, so batches can be streamed back-to-back, and
+/// \p protocol_id (if non-null) receives the batch's protocol stamp.
 Status DecodeReportBatch(std::string_view data, std::vector<WireReport>* out,
-                         size_t* consumed = nullptr);
+                         size_t* consumed = nullptr,
+                         uint16_t* protocol_id = nullptr);
+
+/// DecodeReportBatch plus the serving-side stamp check: a batch stamped for
+/// a protocol other than \p wire_id is rejected whole (the error names
+/// \p protocol_name, the serving protocol) before any report is returned;
+/// an unstamped batch (id 0) is accepted. The one decode path both
+/// ShardedAggregator::SubmitWire and EpochManager::SubmitWire use.
+Status DecodeReportBatchFor(std::string_view data, uint16_t wire_id,
+                            std::string_view protocol_name,
+                            std::vector<WireReport>* out);
 
 }  // namespace ldphh
 

@@ -5,30 +5,56 @@
 #include <utility>
 
 #include "src/common/serde.h"
+#include "src/protocols/registry.h"
 
 namespace ldphh {
 
 namespace {
 
-constexpr uint16_t kCheckpointVersion = 1;
+// v2 embeds the protocol config (v1 carried only the shard count, so a log
+// said nothing about *what* was checkpointed).
+constexpr uint16_t kCheckpointVersion = 2;
 
 }  // namespace
 
-ShardedAggregator::ShardedAggregator(OracleFactory factory,
-                                     ShardedAggregatorOptions options)
-    : factory_(std::move(factory)), options_(options) {
-  LDPHH_CHECK(options_.num_shards >= 1, "ShardedAggregator: need >= 1 shard");
-  LDPHH_CHECK(options_.queue_capacity >= 1,
-              "ShardedAggregator: queue capacity must be >= 1");
-  if (options_.batch_size == 0) options_.batch_size = 1;
-  shards_.reserve(static_cast<size_t>(options_.num_shards));
-  for (int s = 0; s < options_.num_shards; ++s) {
+ShardedAggregator::ShardedAggregator(
+    ProtocolConfig config, uint16_t wire_id,
+    std::vector<std::unique_ptr<Aggregator>> oracles,
+    ShardedAggregatorOptions options)
+    : config_(std::move(config)), wire_id_(wire_id), options_(options) {
+  shards_.reserve(oracles.size());
+  for (auto& oracle : oracles) {
     auto shard = std::make_unique<Shard>();
-    shard->oracle = factory_();
-    LDPHH_CHECK(shard->oracle != nullptr,
-                "ShardedAggregator: factory returned null oracle");
+    shard->oracle = std::move(oracle);
     shards_.push_back(std::move(shard));
   }
+}
+
+StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
+    const ProtocolConfig& config, ShardedAggregatorOptions options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("ShardedAggregator: need >= 1 shard");
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "ShardedAggregator: queue capacity must be >= 1");
+  }
+  if (options.batch_size == 0) options.batch_size = 1;
+  std::vector<std::unique_ptr<Aggregator>> oracles;
+  oracles.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    auto oracle_or = CreateAggregator(config);
+    LDPHH_RETURN_IF_ERROR(oracle_or.status());
+    oracles.push_back(std::move(oracle_or).value());
+  }
+  // Every shard resolved the same input config, so shard 0's resolved
+  // config describes them all.
+  ProtocolConfig resolved = oracles[0]->config();
+  auto wire_id_or = ProtocolRegistry::Global().WireIdOf(resolved.protocol());
+  LDPHH_RETURN_IF_ERROR(wire_id_or.status());
+  return std::unique_ptr<ShardedAggregator>(
+      new ShardedAggregator(std::move(resolved), wire_id_or.value(),
+                            std::move(oracles), options));
 }
 
 ShardedAggregator::~ShardedAggregator() {
@@ -83,13 +109,22 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
     shard.not_full.notify_all();
     // Aggregation happens outside the queue lock: the oracle is only ever
     // touched by this worker (or by the main thread once quiesced).
+    uint64_t ok = 0, bad = 0;
     for (const WireReport& r : batch) {
-      shard.oracle->AggregateIndexed(r.user_index, r.report);
+      if (shard.oracle->Aggregate(r).ok()) {
+        ++ok;
+      } else {
+        // A structurally invalid report for this config (e.g. a client on
+        // the wrong protocol whose batch dodged the wire stamp). The report
+        // is dropped and counted; the stream keeps flowing.
+        ++bad;
+      }
     }
     {
       std::lock_guard<std::mutex> lk(shard.mu);
       shard.busy = false;
-      shard.ingested += batch.size();
+      shard.ingested += ok;
+      shard.rejected += bad;
     }
     shard.idle.notify_all();
   }
@@ -158,7 +193,8 @@ Status ShardedAggregator::SubmitBatch(const std::vector<WireReport>& reports) {
 
 Status ShardedAggregator::SubmitWire(std::string_view batch) {
   std::vector<WireReport> reports;
-  LDPHH_RETURN_IF_ERROR(DecodeReportBatch(batch, &reports));
+  LDPHH_RETURN_IF_ERROR(
+      DecodeReportBatchFor(batch, wire_id_, config_.protocol(), &reports));
   return SubmitBatch(reports);
 }
 
@@ -189,6 +225,7 @@ Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
   const Status result = [&]() -> Status {
     std::string manifest;
     PutU16(&manifest, kCheckpointVersion);
+    config_.AppendTo(&manifest);
     PutU32(&manifest, static_cast<uint32_t>(options_.num_shards));
     PutU64(&manifest, submitted_.load() + restored_);
     LDPHH_RETURN_IF_ERROR(log.Append(CheckpointRecordType::kManifest, manifest));
@@ -245,6 +282,18 @@ Status ShardedAggregator::RestoreCheckpoint(CheckpointReader& log) {
       if (version != kCheckpointVersion) {
         return Status::DecodeFailure("checkpoint: unsupported manifest version");
       }
+      // The config the checkpoint was taken under is embedded in the
+      // manifest: the log is self-describing, and restoring it into a
+      // differently configured service is a hard error, not a silent
+      // mis-merge.
+      ProtocolConfig config;
+      LDPHH_RETURN_IF_ERROR(ProtocolConfig::ReadFrom(reader, &config));
+      if (config != config_) {
+        return Status::InvalidArgument(
+            "checkpoint: config mismatch (log was written by " +
+            config.ToText() + ", this aggregator serves " + config_.ToText() +
+            ")");
+      }
       LDPHH_RETURN_IF_ERROR(reader.ReadU32(&num_shards));
       LDPHH_RETURN_IF_ERROR(reader.ReadU64(&total));
       if (num_shards != static_cast<uint32_t>(options_.num_shards)) {
@@ -289,7 +338,7 @@ Status ShardedAggregator::RestoreCheckpoint(CheckpointReader& log) {
   return Status::OK();
 }
 
-StatusOr<std::unique_ptr<SmallDomainFO>> ShardedAggregator::Finish() {
+StatusOr<std::unique_ptr<Aggregator>> ShardedAggregator::Finish() {
   if (!started_ || finished_) {
     return Status::FailedPrecondition(
         "ShardedAggregator: Finish outside Start()..Finish()");
@@ -304,7 +353,7 @@ StatusOr<std::unique_ptr<SmallDomainFO>> ShardedAggregator::Finish() {
     shard->not_empty.notify_all();
     if (shard->worker.joinable()) shard->worker.join();
   }
-  std::unique_ptr<SmallDomainFO> merged = std::move(shards_[0]->oracle);
+  std::unique_ptr<Aggregator> merged = std::move(shards_[0]->oracle);
   for (size_t s = 1; s < shards_.size(); ++s) {
     LDPHH_RETURN_IF_ERROR(merged->Merge(*shards_[s]->oracle));
     shards_[s]->oracle.reset();
@@ -320,6 +369,7 @@ IngestStats ShardedAggregator::Stats() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->mu);
     stats.per_shard.push_back(shard->ingested);
+    stats.rejected += shard->rejected;
   }
   return stats;
 }

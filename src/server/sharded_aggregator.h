@@ -4,17 +4,28 @@
 /// Simulates the server side of an LDP deployment under heavy traffic:
 /// incoming `WireReport`s are partitioned across N worker shards by a hash
 /// of the user index. Each shard owns a bounded MPSC queue and an
-/// independent frequency-oracle instance (built by a caller-supplied
-/// factory, so all shards are identically configured); a worker thread
-/// drains its queue in batches and aggregates locally with no cross-shard
-/// synchronization on the hot path. `Finish()` merges the shard states with
-/// `SmallDomainFO::Merge` into one oracle whose estimates are bit-for-bit
-/// those of a single-threaded aggregation of the same reports.
+/// independent `Aggregator` instance built by the protocol registry from
+/// one `ProtocolConfig` — so every registered protocol (frequency oracles
+/// and heavy-hitter protocols alike) serves through the same machinery,
+/// and all shards are identically configured by construction. A worker
+/// thread drains its queue in batches and aggregates locally with no
+/// cross-shard synchronization on the hot path. `Finish()` merges the
+/// shard states with `Aggregator::Merge` into one instance whose
+/// estimates are bit-for-bit those of a single-threaded aggregation of
+/// the same reports.
 ///
 /// Durability: `WriteCheckpoint` quiesces ingestion and appends a manifest
-/// plus every shard's serialized oracle state to a checkpoint log; a fresh
-/// aggregator can `RestoreCheckpoint` and resume ingesting mid-stream after
-/// a crash, replaying only the reports submitted after the checkpoint.
+/// — which embeds the serialized protocol config, making the checkpoint
+/// self-describing — plus every shard's serialized state to a checkpoint
+/// log; a fresh aggregator can `RestoreCheckpoint` and resume ingesting
+/// mid-stream after a crash, replaying only the reports submitted after
+/// the checkpoint. A restore into an aggregator with a different config or
+/// shard count fails with a descriptive `Status` instead of silently
+/// merging incompatible state.
+///
+/// Wire safety: `SubmitWire` rejects a batch stamped with a different
+/// protocol's wire id (see report_codec.h) before decoding a single
+/// report into the shards.
 
 #ifndef LDPHH_SERVER_SHARDED_AGGREGATOR_H_
 #define LDPHH_SERVER_SHARDED_AGGREGATOR_H_
@@ -23,7 +34,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string_view>
@@ -31,7 +41,8 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/freq/freq_oracle.h"
+#include "src/protocols/aggregator.h"
+#include "src/protocols/protocol_config.h"
 #include "src/server/checkpoint_log.h"
 #include "src/server/report_codec.h"
 
@@ -48,17 +59,20 @@ struct ShardedAggregatorOptions {
 struct IngestStats {
   uint64_t submitted = 0;               ///< Reports accepted by Submit*.
   uint64_t restored = 0;                ///< Reports carried in via RestoreCheckpoint.
+  uint64_t rejected = 0;                ///< Reports the protocol refused
+                                        ///< (wrong shape for the config).
   std::vector<uint64_t> per_shard;      ///< Reports aggregated per shard.
 };
 
 /// \brief The sharded ingestion service.
 class ShardedAggregator {
  public:
-  /// Builds one shard's oracle; must return identically configured
-  /// instances on every call (same type, domain, epsilon, seeds).
-  using OracleFactory = std::function<std::unique_ptr<SmallDomainFO>()>;
+  /// Builds the service: one registry-created `Aggregator` per shard, all
+  /// from \p config (auto parameters resolve identically on every shard).
+  /// Fails on an unknown protocol or invalid config/options.
+  static StatusOr<std::unique_ptr<ShardedAggregator>> Create(
+      const ProtocolConfig& config, ShardedAggregatorOptions options);
 
-  ShardedAggregator(OracleFactory factory, ShardedAggregatorOptions options);
   ~ShardedAggregator();
   ShardedAggregator(const ShardedAggregator&) = delete;
   ShardedAggregator& operator=(const ShardedAggregator&) = delete;
@@ -74,7 +88,8 @@ class ShardedAggregator {
   Status SubmitBatch(const std::vector<WireReport>& reports);
 
   /// Decodes a wire-format batch (see report_codec.h) and enqueues it.
-  /// Corrupt input is rejected whole, with no partial ingestion.
+  /// Corrupt input is rejected whole, with no partial ingestion; a batch
+  /// stamped for a different protocol is rejected before decode.
   Status SubmitWire(std::string_view batch);
 
   /// Blocks until every queue is empty and every worker is idle.
@@ -83,22 +98,30 @@ class ShardedAggregator {
   /// Quiesces ingestion and appends [manifest, shard states] to \p log,
   /// finishing with the writer's Sync() — the checkpoint is durable per
   /// the writer's SyncMode (power-loss durable at the default kFull)
-  /// before this returns success. Ingestion may continue afterwards; the
-  /// checkpoint captures everything submitted before the call.
+  /// before this returns success. The manifest embeds the serialized
+  /// protocol config. Ingestion may continue afterwards; the checkpoint
+  /// captures everything submitted before the call.
   Status WriteCheckpoint(CheckpointWriter& log);
 
-  /// Loads the last complete checkpoint from \p log into the shard oracles.
-  /// Must be called before Start(), on an aggregator built with the same
-  /// factory configuration and shard count.
+  /// Loads the last complete checkpoint from \p log into the shard
+  /// aggregators. Must be called before Start(). The checkpoint's embedded
+  /// config and shard count are verified against this aggregator's; any
+  /// mismatch fails with a descriptive Status (kInvalidArgument) instead
+  /// of silently mis-merging.
   Status RestoreCheckpoint(CheckpointReader& log);
 
-  /// Stops the workers and merges all shard states into one oracle, which
-  /// is returned (un-finalized, so the caller may checkpoint or merge
-  /// further before calling Finalize()). The aggregator is spent afterwards.
-  StatusOr<std::unique_ptr<SmallDomainFO>> Finish();
+  /// Stops the workers and merges all shard states into one aggregator,
+  /// which is returned un-finalized, so the caller may checkpoint or merge
+  /// further before calling EstimateTopK(). The service is spent afterwards.
+  StatusOr<std::unique_ptr<Aggregator>> Finish();
 
   /// Counters; call Drain() first for a consistent snapshot.
   IngestStats Stats() const;
+
+  /// The resolved protocol config every shard was built from.
+  const ProtocolConfig& config() const { return config_; }
+  /// The served protocol's wire id (stamped on batches by clients).
+  uint16_t wire_id() const { return wire_id_; }
 
   int num_shards() const { return options_.num_shards; }
   /// Shard a user index routes to.
@@ -116,13 +139,19 @@ class ShardedAggregator {
     std::deque<WireReport> queue;
     bool busy = false;               ///< Worker is aggregating a batch.
     uint64_t ingested = 0;
-    std::unique_ptr<SmallDomainFO> oracle;
+    uint64_t rejected = 0;
+    std::unique_ptr<Aggregator> oracle;
     std::thread worker;
   };
 
+  ShardedAggregator(ProtocolConfig config, uint16_t wire_id,
+                    std::vector<std::unique_ptr<Aggregator>> oracles,
+                    ShardedAggregatorOptions options);
+
   void WorkerLoop(Shard& shard);
 
-  OracleFactory factory_;
+  ProtocolConfig config_;
+  uint16_t wire_id_ = 0;
   ShardedAggregatorOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};

@@ -5,6 +5,33 @@
 
 namespace ldphh {
 
+namespace {
+
+/// Active-prefix parts kept before folding the chain into one (each part
+/// adds one map walk to every snapshot merge).
+constexpr size_t kMaxActiveParts = 8;
+
+}  // namespace
+
+std::shared_ptr<const ReplicaStore::SegmentData> ReplicaStore::ConsolidateParts(
+    const std::vector<std::shared_ptr<const SegmentData>>& parts) {
+  auto merged = std::make_shared<SegmentData>();
+  for (const auto& part : parts) {
+    for (const auto& [key, entry] : part->entries) {
+      const auto it = merged->entries.find(key);
+      if (it == merged->entries.end() || entry.sequence > it->second.sequence) {
+        merged->entries[key] = entry;
+      }
+    }
+    for (const auto& [key, seq] : part->tombstones) {
+      uint64_t& tomb = merged->tombstones[key];
+      tomb = std::max(tomb, seq);
+    }
+  }
+  merged->clean_bytes = parts.back()->clean_bytes;
+  return merged;
+}
+
 ReplicaStore::ReplicaStore(std::string dir, ReplicaStoreOptions options)
     : dir_(std::move(dir)),
       options_(options),
@@ -105,6 +132,7 @@ StatusOr<bool> ReplicaStore::RefreshLocked() {
     // recovery sweeps orphans and may reallocate their segment numbers.
     if (manifest.incarnation != cache_incarnation_) {
       sealed_cache_.clear();
+      active_parts_.clear();
       cache_incarnation_ = manifest.incarnation;
     }
 
@@ -264,20 +292,61 @@ Status ReplicaStore::LoadSnapshot(const StoreManifest& manifest,
     if (p.is_active) snap->active_raw_bytes = p.file->size();
     auto data = std::make_shared<SegmentData>();
     StoreSegmentReplayResult replay;
+    uint64_t resumed_from = 0;
+    bool resumed = false;
+    if (p.is_active && !active_parts_.empty() &&
+        active_parts_segment_ == p.segment &&
+        p.file->size() >= active_parts_.back()->clean_bytes) {
+      // Incremental resume: within one incarnation the active segment is
+      // append-only (only recovery truncates, and recovery changes the
+      // incarnation, which voided this cache above), so the parts parsed
+      // so far are still exact — share them into the snapshot untouched
+      // and Skip the verified bytes, parsing only what the writer appended
+      // since the previous pass into a fresh delta part. Duplicate keys
+      // across parts resolve by sequence in the snapshot merge below,
+      // exactly as across segments. A torn record seen last pass sits at
+      // clean_bytes and is re-read here, now complete.
+      resumed_from = active_parts_.back()->clean_bytes;
+      resumed = true;
+      LDPHH_RETURN_IF_ERROR(p.file->Skip(resumed_from));
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.incremental_replays;
+    }
     LDPHH_RETURN_IF_ERROR(ReplayStoreSegment(
         std::move(p.file), p.path, p.segment,
         /*tolerate_damaged_tail=*/p.is_active, &data->entries,
         &data->tombstones, &replay));
-    data->clean_bytes = replay.clean_end;
-    if (p.is_active) snap->active_clean_bytes = replay.clean_end;
-    snap->pinned.push_back(data);
+    // clean_end counts from the (absolute) cursor, so an empty tail keeps
+    // the resumed offset.
+    data->clean_bytes = std::max(resumed_from, replay.clean_end);
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.segments_replayed;
     }
     // A segment read while active may be a prefix of its sealed form;
-    // cache only what is provably complete (sealed when listed).
-    if (!p.is_active) sealed_cache_[p.segment] = std::move(data);
+    // cache only what is provably complete (sealed when listed). The
+    // active prefix is kept as the parts chain for the incremental resume.
+    if (p.is_active) {
+      active_parts_segment_ = p.segment;
+      if (!resumed) active_parts_.clear();
+      // An advanced-nothing poll (manifest churn without appends) adds no
+      // part; the existing chain already covers the clean prefix.
+      if (!resumed || data->clean_bytes > resumed_from) {
+        active_parts_.push_back(std::move(data));
+      }
+      // Bound the chain so snapshot merges stay O(segments): past the cap,
+      // fold into one part — a fresh object (published snapshots keep the
+      // old parts pinned), amortized one prefix copy per cap-many polls.
+      if (active_parts_.size() > kMaxActiveParts) {
+        active_parts_ = {ConsolidateParts(active_parts_)};
+      }
+      for (const auto& part : active_parts_) snap->pinned.push_back(part);
+      snap->active_clean_bytes =
+          active_parts_.empty() ? 0 : active_parts_.back()->clean_bytes;
+    } else {
+      snap->pinned.push_back(data);
+      sealed_cache_[p.segment] = std::move(data);
+    }
   }
 
   // Merge the pinned segments: per key the highest sequence wins, exactly

@@ -17,8 +17,15 @@
 ///      new, and the poll is two stat-grade operations.
 ///   2. Otherwise map the manifest's segment set into a fresh snapshot:
 ///      sealed segments are immutable once listed, so their parsed form is
-///      cached across refreshes and a steady-state refresh replays only the
-///      active segment's clean prefix.
+///      cached across refreshes — and the active segment resumes
+///      *incrementally*: within one primary incarnation the file is
+///      append-only (recovery truncation re-opens the store, changing the
+///      incarnation), so the replica keeps the parsed clean prefix as a
+///      chain of immutable parts shared into every snapshot and replays
+///      only the bytes appended since into a fresh delta part, skipping
+///      the verified prefix without reading it (SequentialFile::Skip). A
+///      steady-state tail poll therefore reads *and parses and copies*
+///      O(new bytes), not O(file).
 ///   3. Publish the snapshot atomically: readers hold a shared_ptr to an
 ///      immutable Snapshot, so Get/Keys never block on a refresh and a
 ///      snapshot handed out keeps serving (pinned parsed segments) while
@@ -93,6 +100,9 @@ struct ReplicaStoreStats {
                                     ///< deleted mid-refresh.
   uint64_t segments_replayed = 0;   ///< Segment files parsed end to end.
   uint64_t segment_cache_hits = 0;  ///< Sealed segments served from cache.
+  uint64_t incremental_replays = 0; ///< Active-segment replays resumed from
+                                    ///< the last clean offset (prefix
+                                    ///< skipped, not re-read).
   uint64_t failed_refreshes = 0;    ///< Background refreshes that errored.
   uint64_t manifest_sequence = 0;   ///< Generation of the current snapshot.
 };
@@ -203,6 +213,26 @@ class ReplicaStore {
   /// reallocated segment numbers a rolled-back MANIFEST once listed.
   std::map<uint64_t, std::shared_ptr<const SegmentData>> sealed_cache_;
   uint64_t cache_incarnation_ = 0;  ///< Incarnation the cache belongs to.
+  /// Parsed parts of the active segment's clean prefix, in replay order,
+  /// for the incremental resume. Each advancing poll parses only the newly
+  /// appended bytes into a fresh immutable delta part; the already-parsed
+  /// parts are *shared* into every snapshot (no map or blob is copied per
+  /// poll — the snapshot merge resolves duplicate keys across parts by
+  /// sequence, exactly as it does across segments), and the chain is
+  /// consolidated into one part when it grows past a small bound. Guarded
+  /// by refresh_mu_ and voided with the cache on an incarnation change
+  /// (only recovery — a new incarnation — may truncate the file, so within
+  /// one incarnation the prefix is immutable). The covered clean offset is
+  /// the last part's clean_bytes.
+  std::vector<std::shared_ptr<const SegmentData>> active_parts_;
+  uint64_t active_parts_segment_ = 0;
+
+  /// Folds an active-parts chain into one fresh part: per key the highest
+  /// sequence wins and tombstone sequences max-combine — the same rule the
+  /// snapshot merge applies, so the fold is observationally identical.
+  /// (A new object: published snapshots keep the old parts pinned.)
+  static std::shared_ptr<const SegmentData> ConsolidateParts(
+      const std::vector<std::shared_ptr<const SegmentData>>& parts);
 
   std::condition_variable stop_cv_;  ///< Wakes the tailer to exit (uses mu_).
   bool stop_ = false;

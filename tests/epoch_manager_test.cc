@@ -17,14 +17,20 @@
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/freq/hadamard_response.h"
-#include "src/freq/olh.h"
-#include "src/freq/unary_encoding.h"
+#include "src/protocols/registry.h"
+#include "tests/serving_test_util.h"
 
 namespace fs = std::filesystem;
 
 namespace ldphh {
 namespace {
+
+using testutil::AllEstimates;
+using testutil::DirectAggregate;
+using testutil::EncodeSkewedReports;
+using testutil::ExpectSameEstimates;
+using testutil::OlhConfig;
+using testutil::OracleConfig;
 
 class EpochManagerTest : public testing::Test {
  protected:
@@ -46,160 +52,133 @@ class EpochManagerTest : public testing::Test {
     return std::move(store_or).value();
   }
 
+  std::unique_ptr<EpochManager> OpenManager(const ProtocolConfig& config,
+                                            CheckpointStore* store,
+                                            const EpochManagerOptions& opts) {
+    auto mgr_or = EpochManager::Create(config, store, opts);
+    EXPECT_TRUE(mgr_or.ok()) << mgr_or.status().ToString();
+    LDPHH_CHECK(mgr_or.ok(), "test: EpochManager::Create failed");
+    return std::move(mgr_or).value();
+  }
+
   std::string dir_;
 };
 
-std::vector<WireReport> EncodeReports(
-    const EpochManager::OracleFactory& factory, uint64_t n, uint64_t seed) {
-  auto client = factory();
-  const uint64_t domain = client->domain_size();
-  Rng rng(seed);
-  std::vector<WireReport> reports(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t value = rng.Bernoulli(0.3) ? 0 : rng.UniformU64(domain);
-    reports[i].user_index = i;
-    reports[i].report = client->Encode(value, rng);
-  }
-  return reports;
+// Domain size of an oracle config (the value range reports draw from).
+uint64_t DomainOf(const ProtocolConfig& config) {
+  return config.GetUintOr("domain", 0);
 }
 
-// Single-threaded aggregation of reports [lo, hi) — the ground truth every
-// windowed query is compared against, estimate by estimate, with ==.
-std::unique_ptr<SmallDomainFO> Baseline(
-    const EpochManager::OracleFactory& factory,
-    const std::vector<WireReport>& reports, size_t lo, size_t hi) {
-  auto oracle = factory();
-  for (size_t i = lo; i < hi; ++i) {
-    oracle->AggregateIndexed(reports[i].user_index, reports[i].report);
-  }
-  oracle->Finalize();
-  return oracle;
-}
-
-void ExpectIdentical(SmallDomainFO& got, SmallDomainFO& want) {
-  for (uint64_t v = 0; v < want.domain_size(); ++v) {
-    EXPECT_EQ(got.Estimate(v), want.Estimate(v)) << "value " << v;
-  }
+std::vector<WireReport> EncodeReports(const ProtocolConfig& config, uint64_t n,
+                                      uint64_t seed) {
+  return EncodeSkewedReports(config, n, seed, DomainOf(config));
 }
 
 TEST_F(EpochManagerTest, WindowedQueryMatchesFreshAggregation) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(64, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 64, 1.0);
   const uint64_t kEpochSize = 5000;
-  const auto reports = EncodeReports(factory, 6 * kEpochSize, 404);
+  const auto reports = EncodeReports(config, 6 * kEpochSize, 404);
 
   auto store = OpenStore();
   EpochManagerOptions opts;
   opts.reports_per_epoch = kEpochSize;
   opts.aggregator.num_shards = 4;
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  for (const WireReport& r : reports) ASSERT_TRUE(mgr.Submit(r).ok());
-  EXPECT_EQ(mgr.current_epoch(), 6u);
-  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
+  EXPECT_EQ(mgr->current_epoch(), 6u);
+  EXPECT_EQ(mgr->PersistedEpochs(), (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
 
   // Sliding window [2, 4] and the full range [0, 5].
-  auto window_or = mgr.WindowedQuery(2, 4);
+  auto window_or = mgr->WindowedQuery(2, 4);
   ASSERT_TRUE(window_or.ok()) << window_or.status().ToString();
   auto window = std::move(window_or).value();
-  window->Finalize();
-  auto want = Baseline(factory, reports, 2 * kEpochSize, 5 * kEpochSize);
-  ExpectIdentical(*window, *want);
+  auto want = DirectAggregate(config, reports, 2 * kEpochSize, 5 * kEpochSize);
+  ExpectSameEstimates(*window, *want);
 
-  auto all_or = mgr.WindowedQuery(0, 5);
+  auto all_or = mgr->WindowedQuery(0, 5);
   ASSERT_TRUE(all_or.ok());
   auto all = std::move(all_or).value();
-  all->Finalize();
-  auto want_all = Baseline(factory, reports, 0, reports.size());
-  ExpectIdentical(*all, *want_all);
+  auto want_all = DirectAggregate(config, reports, 0, reports.size());
+  ExpectSameEstimates(*all, *want_all);
 
   // A single-epoch window too.
-  auto one_or = mgr.WindowedQuery(5, 5);
+  auto one_or = mgr->WindowedQuery(5, 5);
   ASSERT_TRUE(one_or.ok());
   auto one = std::move(one_or).value();
-  one->Finalize();
   auto want_one =
-      Baseline(factory, reports, 5 * kEpochSize, 6 * kEpochSize);
-  ExpectIdentical(*one, *want_one);
+      DirectAggregate(config, reports, 5 * kEpochSize, 6 * kEpochSize);
+  ExpectSameEstimates(*one, *want_one);
 
-  ASSERT_TRUE(mgr.Close().ok());
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 TEST_F(EpochManagerTest, WindowedQueryExactForUserIndexSensitiveOracle) {
   // OLH's estimator depends on user identity, and the epoch layer merges
   // states across time: the composition must still be exact.
-  const auto factory = [] { return std::make_unique<OlhFO>(16, 1.0, 77); };
+  const ProtocolConfig config = OlhConfig(16, 1.0, 77);
   const uint64_t kEpochSize = 2000;
-  const auto reports = EncodeReports(factory, 4 * kEpochSize, 11);
+  const auto reports = EncodeReports(config, 4 * kEpochSize, 11);
 
   auto store = OpenStore();
   EpochManagerOptions opts;
   opts.reports_per_epoch = kEpochSize;
   opts.aggregator.num_shards = 4;
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  for (const WireReport& r : reports) ASSERT_TRUE(mgr.Submit(r).ok());
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
 
-  auto window_or = mgr.WindowedQuery(1, 3);
+  auto window_or = mgr->WindowedQuery(1, 3);
   ASSERT_TRUE(window_or.ok());
   auto window = std::move(window_or).value();
-  window->Finalize();
-  auto want = Baseline(factory, reports, kEpochSize, 4 * kEpochSize);
-  ExpectIdentical(*window, *want);
-  ASSERT_TRUE(mgr.Close().ok());
+  auto want = DirectAggregate(config, reports, kEpochSize, 4 * kEpochSize);
+  ExpectSameEstimates(*window, *want);
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 TEST_F(EpochManagerTest, QueryingOpenOrMissingEpochFails) {
-  const auto factory = [] {
-    return std::make_unique<UnaryEncodingFO>(24, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("rappor_unary", 24, 1.0);
   auto store = OpenStore();
   EpochManagerOptions opts;
   opts.reports_per_epoch = 100;
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  const auto reports = EncodeReports(factory, 150, 5);
-  for (const WireReport& r : reports) ASSERT_TRUE(mgr.Submit(r).ok());
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  const auto reports = EncodeReports(config, 150, 5);
+  for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
   // Epoch 0 closed; epoch 1 open with 50 reports.
-  EXPECT_EQ(mgr.current_epoch(), 1u);
-  EXPECT_EQ(mgr.reports_in_current_epoch(), 50u);
-  EXPECT_TRUE(mgr.WindowedQuery(0, 0).ok());
-  EXPECT_EQ(mgr.WindowedQuery(0, 1).status().code(), StatusCode::kOutOfRange);
-  EXPECT_EQ(mgr.WindowedQuery(3, 2).status().code(),
+  EXPECT_EQ(mgr->current_epoch(), 1u);
+  EXPECT_EQ(mgr->reports_in_current_epoch(), 50u);
+  EXPECT_TRUE(mgr->WindowedQuery(0, 0).ok());
+  EXPECT_EQ(mgr->WindowedQuery(0, 1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr->WindowedQuery(3, 2).status().code(),
             StatusCode::kInvalidArgument);
-  ASSERT_TRUE(mgr.Close().ok());
+  ASSERT_TRUE(mgr->Close().ok());
   // Close() persisted the 50-report partial epoch as epoch 1.
-  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(mgr->PersistedEpochs(), (std::vector<uint64_t>{0, 1}));
 }
 
 TEST_F(EpochManagerTest, EmptyEpochMergesAsIdentity) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(32, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 32, 1.0);
   auto store = OpenStore();
   EpochManagerOptions opts;
   opts.reports_per_epoch = 1000;
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  const auto reports = EncodeReports(factory, 1000, 21);
-  for (const WireReport& r : reports) ASSERT_TRUE(mgr.Submit(r).ok());
-  ASSERT_TRUE(mgr.CloseEpoch().ok());  // Epoch 1: zero reports.
-  auto window_or = mgr.WindowedQuery(0, 1);
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  const auto reports = EncodeReports(config, 1000, 21);
+  for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
+  ASSERT_TRUE(mgr->CloseEpoch().ok());  // Epoch 1: zero reports.
+  auto window_or = mgr->WindowedQuery(0, 1);
   ASSERT_TRUE(window_or.ok());
   auto window = std::move(window_or).value();
-  window->Finalize();
-  auto want = Baseline(factory, reports, 0, reports.size());
-  ExpectIdentical(*window, *want);
-  ASSERT_TRUE(mgr.Close().ok());
+  auto want = DirectAggregate(config, reports, 0, reports.size());
+  ExpectSameEstimates(*window, *want);
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 TEST_F(EpochManagerTest, RecoveryResumesEpochClockAndKeepsClosedEpochs) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(64, 1.5);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 64, 1.5);
   const uint64_t kEpochSize = 1500;
-  const auto reports = EncodeReports(factory, 6 * kEpochSize, 99);
+  const auto reports = EncodeReports(config, 6 * kEpochSize, 99);
 
   EpochManagerOptions opts;
   opts.reports_per_epoch = kEpochSize;
@@ -209,41 +188,66 @@ TEST_F(EpochManagerTest, RecoveryResumesEpochClockAndKeepsClosedEpochs) {
   // closed epochs are durable, the half-open epoch's reports are not.
   {
     auto store = OpenStore();
-    EpochManager mgr(factory, store.get(), opts);
-    ASSERT_TRUE(mgr.Start().ok());
+    auto mgr = OpenManager(config, store.get(), opts);
+    ASSERT_TRUE(mgr->Start().ok());
     for (size_t i = 0; i < 3 * kEpochSize + kEpochSize / 2; ++i) {
-      ASSERT_TRUE(mgr.Submit(reports[i]).ok());
+      ASSERT_TRUE(mgr->Submit(reports[i]).ok());
     }
   }
 
   // Recover: the epoch clock resumes at 3; clients replay everything after
   // the last closed epoch (reports from index 3 * kEpochSize on).
   auto store = OpenStore();
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  EXPECT_EQ(mgr.current_epoch(), 3u);
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  EXPECT_EQ(mgr->current_epoch(), 3u);
   for (size_t i = 3 * kEpochSize; i < reports.size(); ++i) {
-    ASSERT_TRUE(mgr.Submit(reports[i]).ok());
+    ASSERT_TRUE(mgr->Submit(reports[i]).ok());
   }
-  EXPECT_EQ(mgr.current_epoch(), 6u);
+  EXPECT_EQ(mgr->current_epoch(), 6u);
 
-  auto all_or = mgr.WindowedQuery(0, 5);
+  auto all_or = mgr->WindowedQuery(0, 5);
   ASSERT_TRUE(all_or.ok());
   auto all = std::move(all_or).value();
-  all->Finalize();
-  auto want = Baseline(factory, reports, 0, reports.size());
-  ExpectIdentical(*all, *want);
-  ASSERT_TRUE(mgr.Close().ok());
+  auto want = DirectAggregate(config, reports, 0, reports.size());
+  ExpectSameEstimates(*all, *want);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+// A manager configured differently from the persisted epochs must refuse
+// the window with a descriptive error instead of silently merging: the
+// config embedded in each epoch blob is the guard.
+TEST_F(EpochManagerTest, WindowedQueryRejectsConfigMismatch) {
+  const ProtocolConfig config = OracleConfig("hadamard_response", 32, 1.0);
+  EpochManagerOptions opts;
+  opts.reports_per_epoch = 100;
+  {
+    auto store = OpenStore();
+    auto mgr = OpenManager(config, store.get(), opts);
+    ASSERT_TRUE(mgr->Start().ok());
+    const auto reports = EncodeReports(config, 100, 9);
+    for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  // Same store, different epsilon: the persisted epoch 0 does not belong
+  // to this manager's protocol.
+  auto store = OpenStore();
+  const ProtocolConfig other = OracleConfig("hadamard_response", 32, 2.0);
+  auto mgr = OpenManager(other, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  const Status st = mgr->WindowedQuery(0, 0).status();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("written under"), std::string::npos)
+      << st.ToString();
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 // The wall-clock roll policy (alongside the count-based one), driven by an
 // injected fake clock: an epoch open longer than epoch_max_duration closes
 // on the next Submit, and the persisted partial epoch is still exact.
 TEST_F(EpochManagerTest, WallClockRollClosesEpochMidCount) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(32, 1.0);
-  };
-  const auto reports = EncodeReports(factory, 200, 17);
+  const ProtocolConfig config = OracleConfig("hadamard_response", 32, 1.0);
+  const auto reports = EncodeReports(config, 200, 17);
 
   auto fake_now = std::make_shared<std::chrono::steady_clock::time_point>();
   auto store = OpenStore();
@@ -251,37 +255,34 @@ TEST_F(EpochManagerTest, WallClockRollClosesEpochMidCount) {
   opts.reports_per_epoch = 1 << 20;  // Count policy never fires here.
   opts.epoch_max_duration = std::chrono::milliseconds(1000);
   opts.clock = [fake_now] { return *fake_now; };
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
 
-  for (size_t i = 0; i < 10; ++i) ASSERT_TRUE(mgr.Submit(reports[i]).ok());
-  EXPECT_EQ(mgr.current_epoch(), 0u);  // Not enough time has passed.
+  for (size_t i = 0; i < 10; ++i) ASSERT_TRUE(mgr->Submit(reports[i]).ok());
+  EXPECT_EQ(mgr->current_epoch(), 0u);  // Not enough time has passed.
 
   *fake_now += std::chrono::milliseconds(1500);
-  ASSERT_TRUE(mgr.Submit(reports[10]).ok());  // The straw that rolls it.
-  EXPECT_EQ(mgr.current_epoch(), 1u);
-  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{0}));
+  ASSERT_TRUE(mgr->Submit(reports[10]).ok());  // The straw that rolls it.
+  EXPECT_EQ(mgr->current_epoch(), 1u);
+  EXPECT_EQ(mgr->PersistedEpochs(), (std::vector<uint64_t>{0}));
 
-  auto window_or = mgr.WindowedQuery(0, 0);
+  auto window_or = mgr->WindowedQuery(0, 0);
   ASSERT_TRUE(window_or.ok());
   auto window = std::move(window_or).value();
-  window->Finalize();
-  auto want = Baseline(factory, reports, 0, 11);
-  ExpectIdentical(*window, *want);
+  auto want = DirectAggregate(config, reports, 0, 11);
+  ExpectSameEstimates(*window, *want);
 
   // The clock restarts with the new epoch: no immediate re-roll.
-  ASSERT_TRUE(mgr.Submit(reports[11]).ok());
-  EXPECT_EQ(mgr.current_epoch(), 1u);
-  ASSERT_TRUE(mgr.Close().ok());
+  ASSERT_TRUE(mgr->Submit(reports[11]).ok());
+  EXPECT_EQ(mgr->current_epoch(), 1u);
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 // PollClock rolls quiet epochs without any Submit traffic — including a
 // zero-report epoch (a quiet period is still an epoch).
 TEST_F(EpochManagerTest, PollClockRollsQuietEpochs) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(32, 1.0);
-  };
-  const auto reports = EncodeReports(factory, 20, 23);
+  const ProtocolConfig config = OracleConfig("hadamard_response", 32, 1.0);
+  const auto reports = EncodeReports(config, 20, 23);
 
   auto fake_now = std::make_shared<std::chrono::steady_clock::time_point>();
   auto store = OpenStore();
@@ -289,98 +290,92 @@ TEST_F(EpochManagerTest, PollClockRollsQuietEpochs) {
   opts.reports_per_epoch = 1 << 20;
   opts.epoch_max_duration = std::chrono::milliseconds(1000);
   opts.clock = [fake_now] { return *fake_now; };
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
 
-  for (size_t i = 0; i < 5; ++i) ASSERT_TRUE(mgr.Submit(reports[i]).ok());
-  auto rolled_or = mgr.PollClock();
+  for (size_t i = 0; i < 5; ++i) ASSERT_TRUE(mgr->Submit(reports[i]).ok());
+  auto rolled_or = mgr->PollClock();
   ASSERT_TRUE(rolled_or.ok());
   EXPECT_FALSE(rolled_or.value());  // Too early.
-  EXPECT_EQ(mgr.current_epoch(), 0u);
+  EXPECT_EQ(mgr->current_epoch(), 0u);
 
   *fake_now += std::chrono::milliseconds(1001);
-  rolled_or = mgr.PollClock();
+  rolled_or = mgr->PollClock();
   ASSERT_TRUE(rolled_or.ok());
   EXPECT_TRUE(rolled_or.value());
-  EXPECT_EQ(mgr.current_epoch(), 1u);
-  EXPECT_EQ(mgr.reports_in_current_epoch(), 0u);
+  EXPECT_EQ(mgr->current_epoch(), 1u);
+  EXPECT_EQ(mgr->reports_in_current_epoch(), 0u);
 
   // A fully quiet period closes as an empty epoch and merges as identity.
   *fake_now += std::chrono::milliseconds(1001);
-  rolled_or = mgr.PollClock();
+  rolled_or = mgr->PollClock();
   ASSERT_TRUE(rolled_or.ok());
   EXPECT_TRUE(rolled_or.value());
-  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(mgr->PersistedEpochs(), (std::vector<uint64_t>{0, 1}));
 
-  auto window_or = mgr.WindowedQuery(0, 1);
+  auto window_or = mgr->WindowedQuery(0, 1);
   ASSERT_TRUE(window_or.ok());
   auto window = std::move(window_or).value();
-  window->Finalize();
-  auto want = Baseline(factory, reports, 0, 5);
-  ExpectIdentical(*window, *want);
-  ASSERT_TRUE(mgr.Close().ok());
+  auto want = DirectAggregate(config, reports, 0, 5);
+  ExpectSameEstimates(*window, *want);
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 TEST_F(EpochManagerTest, PruneDropsOldEpochsDurably) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(32, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 32, 1.0);
   const uint64_t kEpochSize = 500;
-  const auto reports = EncodeReports(factory, 6 * kEpochSize, 31);
+  const auto reports = EncodeReports(config, 6 * kEpochSize, 31);
   auto store = OpenStore(1 << 12);
   EpochManagerOptions opts;
   opts.reports_per_epoch = kEpochSize;
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  for (const WireReport& r : reports) ASSERT_TRUE(mgr.Submit(r).ok());
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
 
-  ASSERT_TRUE(mgr.PruneEpochsBefore(4).ok());
-  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{4, 5}));
-  EXPECT_EQ(mgr.WindowedQuery(3, 5).status().code(), StatusCode::kOutOfRange);
-  auto kept_or = mgr.WindowedQuery(4, 5);
+  ASSERT_TRUE(mgr->PruneEpochsBefore(4).ok());
+  EXPECT_EQ(mgr->PersistedEpochs(), (std::vector<uint64_t>{4, 5}));
+  EXPECT_EQ(mgr->WindowedQuery(3, 5).status().code(), StatusCode::kOutOfRange);
+  auto kept_or = mgr->WindowedQuery(4, 5);
   ASSERT_TRUE(kept_or.ok());
   auto kept = std::move(kept_or).value();
-  kept->Finalize();
-  auto want = Baseline(factory, reports, 4 * kEpochSize, 6 * kEpochSize);
-  ExpectIdentical(*kept, *want);
-  ASSERT_TRUE(mgr.Close().ok());
+  auto want = DirectAggregate(config, reports, 4 * kEpochSize, 6 * kEpochSize);
+  ExpectSameEstimates(*kept, *want);
+  ASSERT_TRUE(mgr->Close().ok());
 
   // Compaction reclaims the pruned epochs; recovery does not resurrect
   // them, and the clock still resumes after the last kept epoch.
   ASSERT_TRUE(store->Compact().ok());
   store.reset();
   auto reopened_store = OpenStore(1 << 12);
-  EpochManager again(factory, reopened_store.get(), opts);
-  ASSERT_TRUE(again.Start().ok());
-  EXPECT_EQ(again.PersistedEpochs(), (std::vector<uint64_t>{4, 5}));
-  EXPECT_EQ(again.current_epoch(), 6u);
+  auto again = OpenManager(config, reopened_store.get(), opts);
+  ASSERT_TRUE(again->Start().ok());
+  EXPECT_EQ(again->PersistedEpochs(), (std::vector<uint64_t>{4, 5}));
+  EXPECT_EQ(again->current_epoch(), 6u);
 }
 
 TEST_F(EpochManagerTest, EpochClockSurvivesPruningEverything) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(32, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 32, 1.0);
   EpochManagerOptions opts;
   opts.reports_per_epoch = 100;
   {
     auto store = OpenStore();
-    EpochManager mgr(factory, store.get(), opts);
-    ASSERT_TRUE(mgr.Start().ok());
-    const auto reports = EncodeReports(factory, 500, 3);
-    for (const WireReport& r : reports) ASSERT_TRUE(mgr.Submit(r).ok());
-    EXPECT_EQ(mgr.current_epoch(), 5u);
+    auto mgr = OpenManager(config, store.get(), opts);
+    ASSERT_TRUE(mgr->Start().ok());
+    const auto reports = EncodeReports(config, 500, 3);
+    for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
+    EXPECT_EQ(mgr->current_epoch(), 5u);
     // Retention drops every persisted epoch; the ids 0..4 were still
     // issued and must never be reused.
-    ASSERT_TRUE(mgr.PruneEpochsBefore(5).ok());
-    EXPECT_TRUE(mgr.PersistedEpochs().empty());
+    ASSERT_TRUE(mgr->PruneEpochsBefore(5).ok());
+    EXPECT_TRUE(mgr->PersistedEpochs().empty());
     ASSERT_TRUE(store->Compact().ok());
   }
   auto store = OpenStore();
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  EXPECT_EQ(mgr.current_epoch(), 5u);
-  EXPECT_TRUE(mgr.PersistedEpochs().empty());
-  EXPECT_EQ(mgr.WindowedQuery(UINT64_MAX, UINT64_MAX).status().code(),
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  EXPECT_EQ(mgr->current_epoch(), 5u);
+  EXPECT_TRUE(mgr->PersistedEpochs().empty());
+  EXPECT_EQ(mgr->WindowedQuery(UINT64_MAX, UINT64_MAX).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -392,12 +387,10 @@ class EpochCompactionCrashTest
       public testing::WithParamInterface<CheckpointStore::CompactionCrashPoint> {};
 
 TEST_P(EpochCompactionCrashTest, NoClosedEpochLost) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(64, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 64, 1.0);
   const uint64_t kEpochSize = 800;
   const uint64_t kEpochs = 8;
-  const auto reports = EncodeReports(factory, kEpochs * kEpochSize, 7);
+  const auto reports = EncodeReports(config, kEpochs * kEpochSize, 7);
 
   // Tiny segments so the epochs spread across many sealed segments.
   {
@@ -405,9 +398,9 @@ TEST_P(EpochCompactionCrashTest, NoClosedEpochLost) {
     EpochManagerOptions opts;
     opts.reports_per_epoch = kEpochSize;
     opts.aggregator.num_shards = 2;
-    EpochManager mgr(factory, store.get(), opts);
-    ASSERT_TRUE(mgr.Start().ok());
-    for (const WireReport& r : reports) ASSERT_TRUE(mgr.Submit(r).ok());
+    auto mgr = OpenManager(config, store.get(), opts);
+    ASSERT_TRUE(mgr->Start().ok());
+    for (const WireReport& r : reports) ASSERT_TRUE(mgr->Submit(r).ok());
     ASSERT_GT(store->Stats().sealed_segments, 2u);
 
     store->set_crash_point_for_testing(GetParam());
@@ -420,21 +413,20 @@ TEST_P(EpochCompactionCrashTest, NoClosedEpochLost) {
   EpochManagerOptions opts;
   opts.reports_per_epoch = kEpochSize;
   opts.aggregator.num_shards = 2;
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  EXPECT_EQ(mgr.current_epoch(), kEpochs);
+  auto mgr = OpenManager(config, store.get(), opts);
+  ASSERT_TRUE(mgr->Start().ok());
+  EXPECT_EQ(mgr->current_epoch(), kEpochs);
 
   std::vector<uint64_t> want_epochs;
   for (uint64_t e = 0; e < kEpochs; ++e) want_epochs.push_back(e);
-  EXPECT_EQ(mgr.PersistedEpochs(), want_epochs);
+  EXPECT_EQ(mgr->PersistedEpochs(), want_epochs);
 
-  auto all_or = mgr.WindowedQuery(0, kEpochs - 1);
+  auto all_or = mgr->WindowedQuery(0, kEpochs - 1);
   ASSERT_TRUE(all_or.ok()) << all_or.status().ToString();
   auto all = std::move(all_or).value();
-  all->Finalize();
-  auto want = Baseline(factory, reports, 0, reports.size());
-  ExpectIdentical(*all, *want);
-  ASSERT_TRUE(mgr.Close().ok());
+  auto want = DirectAggregate(config, reports, 0, reports.size());
+  ExpectSameEstimates(*all, *want);
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -16,15 +16,35 @@
 
 #include "src/common/fault_fs.h"
 #include "src/common/random.h"
-#include "src/freq/hadamard_response.h"
 #include "src/server/epoch_manager.h"
 #include "src/server/replica_view.h"
 #include "src/server/sharded_aggregator.h"
 #include "src/store/checkpoint_store.h"
 #include "src/store/replica_store.h"
+#include "tests/serving_test_util.h"
 
 namespace ldphh {
 namespace {
+
+using testutil::DirectAggregate;
+using testutil::ExpectSameEstimates;
+using testutil::MustCreate;
+using testutil::OracleConfig;
+
+// Uniform reports over the config's domain through a registry client.
+std::vector<WireReport> UniformReports(const ProtocolConfig& config,
+                                       uint64_t n, uint64_t seed) {
+  const uint64_t domain = config.GetUintOr("domain", 64);
+  auto client = MustCreate(config);
+  Rng rng(seed);
+  std::vector<WireReport> reports;
+  reports.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    reports.push_back(
+        client->Encode(i, DomainItem(rng.UniformU64(domain)), rng).value());
+  }
+  return reports;
+}
 
 constexpr char kDir[] = "/faultfs/store";
 
@@ -277,53 +297,36 @@ TEST(StorePowerLossTest, SyncModeNoneLosesUnsyncedDataCleanly) {
 // Satellite: an acked (Synced) aggregator checkpoint survives power loss
 // whole — RestoreCheckpoint after the loss reproduces the exact estimates.
 TEST(CheckpointPowerLossTest, AckedAggregatorCheckpointSurvives) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(64, 1.0);
-  };
-  Rng rng(42);
-  std::vector<WireReport> reports(3000);
-  {
-    auto client = factory();
-    for (size_t i = 0; i < reports.size(); ++i) {
-      reports[i].user_index = i;
-      reports[i].report = client->Encode(rng.UniformU64(64), rng);
-    }
-  }
+  const ProtocolConfig config = OracleConfig("hadamard_response", 64, 1.0);
+  const auto reports = UniformReports(config, 3000, 42);
 
   FaultInjectingFileSystem fs;
   const std::string log_path = "/faultfs/checkpoint.log";
   ShardedAggregatorOptions agg_opts;
   agg_opts.num_shards = 2;
   {
-    ShardedAggregator agg(factory, agg_opts);
-    ASSERT_TRUE(agg.Start().ok());
-    for (const WireReport& r : reports) ASSERT_TRUE(agg.Submit(r).ok());
+    auto agg = std::move(ShardedAggregator::Create(config, agg_opts)).value();
+    ASSERT_TRUE(agg->Start().ok());
+    for (const WireReport& r : reports) ASSERT_TRUE(agg->Submit(r).ok());
     CheckpointWriter log;
     ASSERT_TRUE(log.Open(log_path, &fs, SyncMode::kFull).ok());
-    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());  // Acked: Flush+Sync inside.
+    ASSERT_TRUE(agg->WriteCheckpoint(log).ok());  // Acked: Flush+Sync inside.
   }
   EXPECT_GE(fs.file_sync_count(), 1u);
   EXPECT_GE(fs.dir_sync_count(), 1u);  // The created log file's entry too.
   fs.SimulatePowerLoss();
 
-  ShardedAggregator restored(factory, agg_opts);
+  auto restored = std::move(ShardedAggregator::Create(config, agg_opts)).value();
   CheckpointReader log;
   ASSERT_TRUE(log.Open(log_path, &fs).ok());
-  ASSERT_TRUE(restored.RestoreCheckpoint(log).ok());
-  ASSERT_TRUE(restored.Start().ok());
-  auto got_or = restored.Finish();
+  ASSERT_TRUE(restored->RestoreCheckpoint(log).ok());
+  ASSERT_TRUE(restored->Start().ok());
+  auto got_or = restored->Finish();
   ASSERT_TRUE(got_or.ok());
   auto got = std::move(got_or).value();
-  got->Finalize();
 
-  auto want = factory();
-  for (const WireReport& r : reports) {
-    want->AggregateIndexed(r.user_index, r.report);
-  }
-  want->Finalize();
-  for (uint64_t v = 0; v < want->domain_size(); ++v) {
-    EXPECT_EQ(got->Estimate(v), want->Estimate(v)) << "value " << v;
-  }
+  auto want = DirectAggregate(config, reports, 0, reports.size());
+  ExpectSameEstimates(*got, *want);
 }
 
 // ---------------------------------------------------------------- epochs ----
@@ -332,19 +335,9 @@ TEST(CheckpointPowerLossTest, AckedAggregatorCheckpointSurvives) {
 // closed epoch survives, bit for bit — the windowed query over the
 // recovered store matches a fresh single-threaded aggregation.
 TEST(EpochPowerLossTest, ClosedEpochsSurviveBitForBit) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(64, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 64, 1.0);
   const uint64_t kEpochSize = 700;
-  Rng rng(7);
-  std::vector<WireReport> reports(4 * kEpochSize);
-  {
-    auto client = factory();
-    for (size_t i = 0; i < reports.size(); ++i) {
-      reports[i].user_index = i;
-      reports[i].report = client->Encode(rng.UniformU64(64), rng);
-    }
-  }
+  const auto reports = UniformReports(config, 4 * kEpochSize, 7);
 
   FaultInjectingFileSystem fs;
   EpochManagerOptions opts;
@@ -352,34 +345,27 @@ TEST(EpochPowerLossTest, ClosedEpochsSurviveBitForBit) {
   opts.aggregator.num_shards = 2;
   {
     auto store = MustOpen(FaultOptions(&fs, SyncMode::kFull, 1 << 10));
-    EpochManager mgr(factory, store.get(), opts);
-    ASSERT_TRUE(mgr.Start().ok());
+    auto mgr = std::move(EpochManager::Create(config, store.get(), opts)).value();
+    ASSERT_TRUE(mgr->Start().ok());
     // 3 closed epochs plus half an open one; the open half is unacked.
     for (size_t i = 0; i < 3 * kEpochSize + kEpochSize / 2; ++i) {
-      ASSERT_TRUE(mgr.Submit(reports[i]).ok());
+      ASSERT_TRUE(mgr->Submit(reports[i]).ok());
     }
   }
   fs.SimulatePowerLoss();
 
   auto store = MustOpen(FaultOptions(&fs, SyncMode::kFull, 1 << 10));
-  EpochManager mgr(factory, store.get(), opts);
-  ASSERT_TRUE(mgr.Start().ok());
-  EXPECT_EQ(mgr.current_epoch(), 3u);
-  EXPECT_EQ(mgr.PersistedEpochs(), (std::vector<uint64_t>{0, 1, 2}));
+  auto mgr = std::move(EpochManager::Create(config, store.get(), opts)).value();
+  ASSERT_TRUE(mgr->Start().ok());
+  EXPECT_EQ(mgr->current_epoch(), 3u);
+  EXPECT_EQ(mgr->PersistedEpochs(), (std::vector<uint64_t>{0, 1, 2}));
 
-  auto window_or = mgr.WindowedQuery(0, 2);
+  auto window_or = mgr->WindowedQuery(0, 2);
   ASSERT_TRUE(window_or.ok()) << window_or.status().ToString();
   auto window = std::move(window_or).value();
-  window->Finalize();
-  auto want = factory();
-  for (size_t i = 0; i < 3 * kEpochSize; ++i) {
-    want->AggregateIndexed(reports[i].user_index, reports[i].report);
-  }
-  want->Finalize();
-  for (uint64_t v = 0; v < want->domain_size(); ++v) {
-    EXPECT_EQ(window->Estimate(v), want->Estimate(v)) << "value " << v;
-  }
-  ASSERT_TRUE(mgr.Close().ok());
+  auto want = DirectAggregate(config, reports, 0, 3 * kEpochSize);
+  ExpectSameEstimates(*window, *want);
+  ASSERT_TRUE(mgr->Close().ok());
 }
 
 // --------------------------------------------------------------- replica ----
@@ -532,19 +518,9 @@ INSTANTIATE_TEST_SUITE_P(
 // the primary's death and a power loss — the windowed answer over the
 // post-loss directory equals a crash-free single-threaded aggregation.
 TEST(EpochPowerLossTest, ReplicaViewServesClosedEpochsAcrossPowerLoss) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(64, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 64, 1.0);
   const uint64_t kEpochSize = 500;
-  Rng rng(21);
-  std::vector<WireReport> reports(3 * kEpochSize);
-  {
-    auto client = factory();
-    for (size_t i = 0; i < reports.size(); ++i) {
-      reports[i].user_index = i;
-      reports[i].report = client->Encode(rng.UniformU64(64), rng);
-    }
-  }
+  const auto reports = UniformReports(config, 3 * kEpochSize, 21);
 
   FaultInjectingFileSystem fs;
   EpochManagerOptions opts;
@@ -553,10 +529,10 @@ TEST(EpochPowerLossTest, ReplicaViewServesClosedEpochsAcrossPowerLoss) {
   std::unique_ptr<ReplicaStore> replica;
   {
     auto store = MustOpen(FaultOptions(&fs, SyncMode::kFull, 1 << 10));
-    EpochManager mgr(factory, store.get(), opts);
-    ASSERT_TRUE(mgr.Start().ok());
+    auto mgr = std::move(EpochManager::Create(config, store.get(), opts)).value();
+    ASSERT_TRUE(mgr->Start().ok());
     for (size_t i = 0; i < reports.size(); ++i) {
-      ASSERT_TRUE(mgr.Submit(reports[i]).ok());
+      ASSERT_TRUE(mgr->Submit(reports[i]).ok());
       if (i == kEpochSize + 3) {
         // Tail up mid-stream, one closed epoch in.
         auto replica_or = ReplicaStore::Open(kDir, FaultReplicaOptions(&fs));
@@ -567,22 +543,16 @@ TEST(EpochPowerLossTest, ReplicaViewServesClosedEpochsAcrossPowerLoss) {
   }
   fs.SimulatePowerLoss();
 
-  ReplicaView view(factory, replica.get());
+  // The view needs no protocol config: the epoch blobs are self-describing.
+  ReplicaView view(replica.get());
   ASSERT_TRUE(view.Refresh().ok());
   EXPECT_EQ(view.PersistedEpochs(), (std::vector<uint64_t>{0, 1, 2}));
   EXPECT_EQ(view.next_epoch(), 3u);
   auto window_or = view.WindowedQuery(0, 2);
   ASSERT_TRUE(window_or.ok()) << window_or.status().ToString();
   auto window = std::move(window_or).value();
-  window->Finalize();
-  auto want = factory();
-  for (const WireReport& r : reports) {
-    want->AggregateIndexed(r.user_index, r.report);
-  }
-  want->Finalize();
-  for (uint64_t v = 0; v < want->domain_size(); ++v) {
-    EXPECT_EQ(window->Estimate(v), want->Estimate(v)) << "value " << v;
-  }
+  auto want = DirectAggregate(config, reports, 0, reports.size());
+  ExpectSameEstimates(*window, *want);
 }
 
 }  // namespace

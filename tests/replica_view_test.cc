@@ -1,8 +1,10 @@
 // Tests for src/server/replica_view: epoch-level WindowedQuery served from
 // a read-only replica. The acceptance criterion is byte-identity — after
 // every primary CloseEpoch, once the tail catches up, the replica's answer
-// over ANY persisted window is bit-for-bit the primary's (serialized oracle
-// state compared as raw bytes, estimates compared exactly).
+// over ANY persisted window is bit-for-bit the primary's (serialized
+// aggregator state compared as raw bytes, estimates compared exactly). The
+// replica is built WITHOUT any protocol configuration: the persisted epoch
+// records are self-describing.
 
 #include "src/server/replica_view.h"
 
@@ -16,15 +18,19 @@
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/freq/hadamard_response.h"
 #include "src/server/epoch_manager.h"
 #include "src/store/checkpoint_store.h"
 #include "src/store/replica_store.h"
+#include "tests/serving_test_util.h"
 
 namespace fs = std::filesystem;
 
 namespace ldphh {
 namespace {
+
+using testutil::AllEstimates;
+using testutil::MustCreate;
+using testutil::OracleConfig;
 
 constexpr uint64_t kDomain = 64;
 constexpr uint64_t kEpochSize = 400;
@@ -37,13 +43,13 @@ class ReplicaViewTest : public testing::Test {
            testing::UnitTest::GetInstance()->current_test_info()->name() +
            "_" + std::to_string(::getpid());
     fs::remove_all(dir_);
-    factory_ = [] { return std::make_unique<HadamardResponseFO>(kDomain, 1.0); };
+    config_ = OracleConfig("hadamard_response", kDomain, 1.0);
     Rng rng(99);
-    auto client = factory_();
+    auto client = MustCreate(config_);
     reports_.resize(kEpochs * kEpochSize);
     for (size_t i = 0; i < reports_.size(); ++i) {
-      reports_[i].user_index = i;
-      reports_[i].report = client->Encode(rng.UniformU64(kDomain), rng);
+      reports_[i] =
+          client->Encode(i, DomainItem(rng.UniformU64(kDomain)), rng).value();
     }
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -63,120 +69,131 @@ class ReplicaViewTest : public testing::Test {
     return o;
   }
 
+  std::unique_ptr<EpochManager> OpenPrimary(CheckpointStore* store) {
+    auto mgr_or = EpochManager::Create(config_, store, EpochOptions());
+    EXPECT_TRUE(mgr_or.ok()) << mgr_or.status().ToString();
+    LDPHH_CHECK(mgr_or.ok(), "test: EpochManager::Create failed");
+    return std::move(mgr_or).value();
+  }
+
   // Serialized aggregation state — the byte-identity probe.
-  static std::string StateBytes(const SmallDomainFO& oracle) {
+  static std::string StateBytes(const Aggregator& agg) {
     std::string bytes;
-    EXPECT_TRUE(oracle.SerializeState(&bytes).ok());
+    EXPECT_TRUE(agg.SerializeState(&bytes).ok());
     return bytes;
   }
 
   std::string dir_;
-  EpochManager::OracleFactory factory_;
+  ProtocolConfig config_;
   std::vector<WireReport> reports_;
 };
 
 TEST_F(ReplicaViewTest, EveryWindowByteIdenticalAfterEveryCloseEpoch) {
   auto store = std::move(CheckpointStore::Open(dir_, StoreOptions())).value();
-  EpochManager primary(factory_, store.get(), EpochOptions());
-  ASSERT_TRUE(primary.Start().ok());
+  auto primary = OpenPrimary(store.get());
+  ASSERT_TRUE(primary->Start().ok());
 
   std::unique_ptr<ReplicaStore> replica;
   std::unique_ptr<ReplicaView> view;
 
   for (uint64_t e = 0; e < kEpochs; ++e) {
     for (uint64_t i = e * kEpochSize; i < (e + 1) * kEpochSize; ++i) {
-      ASSERT_TRUE(primary.Submit(reports_[i]).ok());
+      ASSERT_TRUE(primary->Submit(reports_[i]).ok());
     }
     // Submit auto-closed epoch e. First pass: bring the replica up now
-    // that the store exists and has content.
+    // that the store exists and has content. No config handed over — the
+    // epoch blobs describe themselves.
     if (view == nullptr) {
       ReplicaStoreOptions ro;
       replica = std::move(ReplicaStore::Open(dir_, ro)).value();
-      view = std::make_unique<ReplicaView>(factory_, replica.get());
+      view = std::make_unique<ReplicaView>(replica.get());
     }
     auto caught_up_or = view->Refresh();
     ASSERT_TRUE(caught_up_or.ok()) << caught_up_or.status().ToString();
 
     // The tail has caught the CloseEpoch: same persisted set, same clock.
-    EXPECT_EQ(view->PersistedEpochs(), primary.PersistedEpochs())
+    EXPECT_EQ(view->PersistedEpochs(), primary->PersistedEpochs())
         << "epoch " << e;
-    EXPECT_EQ(view->next_epoch(), primary.current_epoch()) << "epoch " << e;
+    EXPECT_EQ(view->next_epoch(), primary->current_epoch()) << "epoch " << e;
 
     // Every window over the persisted epochs, byte for byte.
     for (uint64_t first = 0; first <= e; ++first) {
       for (uint64_t last = first; last <= e; ++last) {
-        auto want_or = primary.WindowedQuery(first, last);
+        auto want_or = primary->WindowedQuery(first, last);
         auto got_or = view->WindowedQuery(first, last);
         ASSERT_TRUE(want_or.ok()) << want_or.status().ToString();
         ASSERT_TRUE(got_or.ok()) << got_or.status().ToString();
         auto want = std::move(want_or).value();
         auto got = std::move(got_or).value();
+        EXPECT_EQ(got->config(), want->config());
         EXPECT_EQ(StateBytes(*got), StateBytes(*want))
             << "window [" << first << ", " << last << "] after epoch " << e;
-        want->Finalize();
-        got->Finalize();
-        for (uint64_t v = 0; v < kDomain; ++v) {
-          ASSERT_EQ(got->Estimate(v), want->Estimate(v))
-              << "window [" << first << ", " << last << "] value " << v;
+        const auto want_entries = AllEstimates(*want);
+        const auto got_entries = AllEstimates(*got);
+        ASSERT_EQ(got_entries.size(), want_entries.size());
+        for (size_t v = 0; v < want_entries.size(); ++v) {
+          ASSERT_EQ(got_entries[v].item, want_entries[v].item);
+          ASSERT_EQ(got_entries[v].estimate, want_entries[v].estimate)
+              << "window [" << first << ", " << last << "] entry " << v;
         }
       }
     }
   }
-  ASSERT_TRUE(primary.Close().ok());
+  ASSERT_TRUE(primary->Close().ok());
 }
 
 TEST_F(ReplicaViewTest, UnTailedEpochIsOutOfRangeUntilRefresh) {
   auto store = std::move(CheckpointStore::Open(dir_, StoreOptions())).value();
-  EpochManager primary(factory_, store.get(), EpochOptions());
-  ASSERT_TRUE(primary.Start().ok());
+  auto primary = OpenPrimary(store.get());
+  ASSERT_TRUE(primary->Start().ok());
   for (uint64_t i = 0; i < kEpochSize; ++i) {
-    ASSERT_TRUE(primary.Submit(reports_[i]).ok());
+    ASSERT_TRUE(primary->Submit(reports_[i]).ok());
   }
   auto replica =
       std::move(ReplicaStore::Open(dir_, ReplicaStoreOptions())).value();
-  ReplicaView view(factory_, replica.get());
+  ReplicaView view(replica.get());
   ASSERT_TRUE(view.WindowedQuery(0, 0).ok());
 
   // Epoch 1 closes on the primary; the replica's snapshot predates it.
   for (uint64_t i = kEpochSize; i < 2 * kEpochSize; ++i) {
-    ASSERT_TRUE(primary.Submit(reports_[i]).ok());
+    ASSERT_TRUE(primary->Submit(reports_[i]).ok());
   }
-  ASSERT_TRUE(primary.WindowedQuery(1, 1).ok());
+  ASSERT_TRUE(primary->WindowedQuery(1, 1).ok());
   auto stale = view.WindowedQuery(1, 1);
   ASSERT_FALSE(stale.ok());
   EXPECT_EQ(stale.status().code(), StatusCode::kOutOfRange);
 
   ASSERT_TRUE(view.Refresh().ok());
   ASSERT_TRUE(view.WindowedQuery(1, 1).ok());
-  ASSERT_TRUE(primary.Close().ok());
+  ASSERT_TRUE(primary->Close().ok());
 }
 
 TEST_F(ReplicaViewTest, PruneReachesReplicaOnRefresh) {
   auto store = std::move(CheckpointStore::Open(dir_, StoreOptions())).value();
-  EpochManager primary(factory_, store.get(), EpochOptions());
-  ASSERT_TRUE(primary.Start().ok());
+  auto primary = OpenPrimary(store.get());
+  ASSERT_TRUE(primary->Start().ok());
   for (uint64_t i = 0; i < 3 * kEpochSize; ++i) {
-    ASSERT_TRUE(primary.Submit(reports_[i]).ok());
+    ASSERT_TRUE(primary->Submit(reports_[i]).ok());
   }
   auto replica =
       std::move(ReplicaStore::Open(dir_, ReplicaStoreOptions())).value();
-  ReplicaView view(factory_, replica.get());
+  ReplicaView view(replica.get());
   EXPECT_EQ(view.PersistedEpochs(), (std::vector<uint64_t>{0, 1, 2}));
 
-  ASSERT_TRUE(primary.PruneEpochsBefore(2).ok());
+  ASSERT_TRUE(primary->PruneEpochsBefore(2).ok());
   ASSERT_TRUE(store->Compact().ok());
   // Stale snapshot still serves the pruned epochs (documented staleness)...
   ASSERT_TRUE(view.WindowedQuery(0, 2).ok());
   // ...until the tail catches the tombstones, after which replica and
   // primary agree the window is gone.
   ASSERT_TRUE(view.Refresh().ok());
-  EXPECT_EQ(view.PersistedEpochs(), primary.PersistedEpochs());
+  EXPECT_EQ(view.PersistedEpochs(), primary->PersistedEpochs());
   auto gone = view.WindowedQuery(0, 2);
   ASSERT_FALSE(gone.ok());
   EXPECT_EQ(gone.status().code(), StatusCode::kOutOfRange);
-  EXPECT_FALSE(primary.WindowedQuery(0, 2).ok());
+  EXPECT_FALSE(primary->WindowedQuery(0, 2).ok());
   ASSERT_TRUE(view.WindowedQuery(2, 2).ok());
-  ASSERT_TRUE(primary.Close().ok());
+  ASSERT_TRUE(primary->Close().ok());
 }
 
 }  // namespace

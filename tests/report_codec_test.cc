@@ -173,5 +173,22 @@ TEST(ReportCodec, RejectsOversizedNumBits) {
   EXPECT_NE(st.message().find("num_bits"), std::string::npos);
 }
 
+TEST(ReportCodec, RoundTripsProtocolStamp) {
+  const auto reports = SampleReports(10, 3);
+  // Unstamped batches report id 0 (the legacy wire format byte-for-byte).
+  uint16_t id = 99;
+  std::vector<WireReport> out;
+  ASSERT_TRUE(
+      DecodeReportBatch(EncodeReportBatch(reports), &out, nullptr, &id).ok());
+  EXPECT_EQ(id, 0);
+  // A stamped batch carries its protocol id through the header.
+  out.clear();
+  ASSERT_TRUE(
+      DecodeReportBatch(EncodeReportBatch(reports, 7), &out, nullptr, &id)
+          .ok());
+  EXPECT_EQ(id, 7);
+  EXPECT_EQ(out.size(), reports.size());
+}
+
 }  // namespace
 }  // namespace ldphh

@@ -1,0 +1,100 @@
+// Shared helpers for the serving-stack tests: building ProtocolConfigs,
+// encoding skewed report streams through registry-created clients, direct
+// single-threaded aggregation as ground truth, and bit-for-bit comparison
+// of EstimateTopK outputs.
+
+#ifndef LDPHH_TESTS_SERVING_TEST_UTIL_H_
+#define LDPHH_TESTS_SERVING_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/protocols/aggregator.h"
+#include "src/protocols/registry.h"
+
+namespace ldphh {
+namespace testutil {
+
+inline ProtocolConfig OracleConfig(const std::string& name, uint64_t domain,
+                                   double eps) {
+  ProtocolConfig config(name);
+  config.SetUint("domain", domain).SetDouble("eps", eps);
+  return config;
+}
+
+inline ProtocolConfig OlhConfig(uint64_t domain, double eps, uint64_t seed) {
+  return OracleConfig("olh", domain, eps).SetUint("seed", seed);
+}
+
+inline std::unique_ptr<Aggregator> MustCreate(const ProtocolConfig& config) {
+  auto created_or = CreateAggregator(config);
+  EXPECT_TRUE(created_or.ok()) << created_or.status().ToString();
+  LDPHH_CHECK(created_or.ok(), "test: CreateAggregator failed");
+  return std::move(created_or).value();
+}
+
+/// Encodes n reports with sequential user indices through a fresh
+/// registry-created client. Values are skewed (30% mass on 0) over
+/// [0, value_domain) so estimates are far from uniform.
+inline std::vector<WireReport> EncodeSkewedReports(const ProtocolConfig& config,
+                                                   uint64_t n, uint64_t seed,
+                                                   uint64_t value_domain) {
+  auto client = MustCreate(config);
+  Rng rng(seed);
+  std::vector<WireReport> reports;
+  reports.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t value =
+        rng.Bernoulli(0.3) ? 0 : rng.UniformU64(value_domain);
+    auto report_or = client->Encode(i, DomainItem(value), rng);
+    EXPECT_TRUE(report_or.ok()) << report_or.status().ToString();
+    LDPHH_CHECK(report_or.ok(), "test: Encode failed");
+    reports.push_back(report_or.value());
+  }
+  return reports;
+}
+
+/// Single-threaded aggregation of reports [lo, hi) — the ground truth the
+/// served estimates are compared against, entry by entry, with ==.
+inline std::unique_ptr<Aggregator> DirectAggregate(
+    const ProtocolConfig& config, const std::vector<WireReport>& reports,
+    size_t lo, size_t hi) {
+  auto oracle = MustCreate(config);
+  for (size_t i = lo; i < hi; ++i) {
+    const Status st = oracle->Aggregate(reports[i]);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return oracle;
+}
+
+/// Full estimate list (every domain element for oracles, every recovered
+/// candidate for heavy-hitter protocols), canonically ordered.
+inline std::vector<HeavyHitterEntry> AllEstimates(Aggregator& agg) {
+  auto entries_or = agg.EstimateTopK(std::numeric_limits<size_t>::max());
+  EXPECT_TRUE(entries_or.ok()) << entries_or.status().ToString();
+  LDPHH_CHECK(entries_or.ok(), "test: EstimateTopK failed");
+  return std::move(entries_or).value();
+}
+
+/// The acceptance criterion: identical (==, not near) estimate lists.
+inline void ExpectSameEstimates(Aggregator& got, Aggregator& want) {
+  const auto got_entries = AllEstimates(got);
+  const auto want_entries = AllEstimates(want);
+  ASSERT_EQ(got_entries.size(), want_entries.size());
+  for (size_t i = 0; i < got_entries.size(); ++i) {
+    EXPECT_EQ(got_entries[i].item, want_entries[i].item) << "entry " << i;
+    EXPECT_EQ(got_entries[i].estimate, want_entries[i].estimate)
+        << "entry " << i;
+  }
+}
+
+}  // namespace testutil
+}  // namespace ldphh
+
+#endif  // LDPHH_TESTS_SERVING_TEST_UTIL_H_

@@ -1,6 +1,6 @@
 // Tests for src/server/sharded_aggregator: merge-equivalence of sharded
-// ingestion against the single-threaded baseline, durable checkpoints, and
-// the mergeable-state layer of every frequency oracle.
+// ingestion against the single-threaded baseline, durable self-describing
+// checkpoints, and the mergeable-state layer of every frequency oracle.
 
 #include "src/server/sharded_aggregator.h"
 
@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,115 +23,103 @@
 #include "src/freq/unary_encoding.h"
 #include "src/protocols/bitstogram.h"
 #include "src/protocols/private_expander_sketch.h"
+#include "src/protocols/registry.h"
 #include "src/protocols/treehist.h"
 #include "src/server/report_codec.h"
 #include "src/workload/workload.h"
+#include "tests/serving_test_util.h"
 
 namespace ldphh {
 namespace {
+
+using testutil::DirectAggregate;
+using testutil::EncodeSkewedReports;
+using testutil::ExpectSameEstimates;
+using testutil::MustCreate;
+using testutil::OlhConfig;
+using testutil::OracleConfig;
 
 std::string TempLogPath(const std::string& name) {
   return testing::TempDir() + "/ldphh_" + name + "_" +
          std::to_string(::getpid()) + ".ckpt";
 }
 
-// Encodes n reports with sequential user indices through a fresh client-side
-// oracle instance (so OLH's implicit user numbering matches the index).
-std::vector<WireReport> EncodeReports(
-    const ShardedAggregator::OracleFactory& factory, uint64_t n,
-    uint64_t seed) {
-  auto client = factory();
-  const uint64_t domain = client->domain_size();
-  Rng rng(seed);
-  std::vector<WireReport> reports(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    // Skewed input so estimates are far from uniform.
-    const uint64_t value =
-        rng.Bernoulli(0.3) ? 0 : rng.UniformU64(domain);
-    reports[i].user_index = i;
-    reports[i].report = client->Encode(value, rng);
-  }
-  return reports;
+std::vector<WireReport> EncodeReports(const ProtocolConfig& config, uint64_t n,
+                                      uint64_t seed) {
+  return EncodeSkewedReports(config, n, seed,
+                             config.GetUintOr("domain", 0));
+}
+
+std::unique_ptr<ShardedAggregator> MustCreateSharded(
+    const ProtocolConfig& config, const ShardedAggregatorOptions& opts) {
+  auto agg_or = ShardedAggregator::Create(config, opts);
+  EXPECT_TRUE(agg_or.ok()) << agg_or.status().ToString();
+  LDPHH_CHECK(agg_or.ok(), "test: ShardedAggregator::Create failed");
+  return std::move(agg_or).value();
 }
 
 // The acceptance-criterion test: an 8-shard ingest must produce estimates
 // identical (==, not near) to the single-threaded aggregation.
-void CheckMergeEquivalence(const ShardedAggregator::OracleFactory& factory,
-                           uint64_t n) {
-  const auto reports = EncodeReports(factory, n, 1234);
+void CheckMergeEquivalence(const ProtocolConfig& config, uint64_t n) {
+  const auto reports = EncodeReports(config, n, 1234);
 
-  auto baseline = factory();
-  for (const WireReport& r : reports) {
-    baseline->AggregateIndexed(r.user_index, r.report);
-  }
-  baseline->Finalize();
+  auto baseline = DirectAggregate(config, reports, 0, reports.size());
 
   ShardedAggregatorOptions opts;
   opts.num_shards = 8;
   opts.queue_capacity = 1024;
   opts.batch_size = 128;
-  ShardedAggregator agg(factory, opts);
-  ASSERT_TRUE(agg.Start().ok());
-  // Route everything through the wire codec in chunks, as a client would.
+  auto agg = MustCreateSharded(config, opts);
+  ASSERT_TRUE(agg->Start().ok());
+  // Route everything through the wire codec in chunks, as a client would —
+  // stamped with the protocol's wire id.
   const size_t chunk = 4096;
   for (size_t lo = 0; lo < reports.size(); lo += chunk) {
     const size_t hi = std::min(lo + chunk, reports.size());
     const std::vector<WireReport> slice(reports.begin() + lo,
                                         reports.begin() + hi);
-    ASSERT_TRUE(agg.SubmitWire(EncodeReportBatch(slice)).ok());
+    ASSERT_TRUE(
+        agg->SubmitWire(EncodeReportBatch(slice, agg->wire_id())).ok());
   }
-  auto merged_or = agg.Finish();
+  auto merged_or = agg->Finish();
   ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
   auto merged = std::move(merged_or).value();
-  merged->Finalize();
 
-  const IngestStats stats = agg.Stats();
+  const IngestStats stats = agg->Stats();
   EXPECT_EQ(stats.submitted, n);
+  EXPECT_EQ(stats.rejected, 0u);
   uint64_t per_shard_total = 0;
   for (uint64_t c : stats.per_shard) per_shard_total += c;
   EXPECT_EQ(per_shard_total, n);
 
-  for (uint64_t v = 0; v < baseline->domain_size(); ++v) {
-    EXPECT_EQ(merged->Estimate(v), baseline->Estimate(v)) << "value " << v;
-  }
+  ExpectSameEstimates(*merged, *baseline);
 }
 
 constexpr uint64_t kNumReports = 100000;
 
 TEST(ShardedAggregator, MergeEquivalenceDirectEncoding) {
-  CheckMergeEquivalence(
-      [] { return std::make_unique<DirectEncodingFO>(64, 1.0); }, kNumReports);
+  CheckMergeEquivalence(OracleConfig("k_rr", 64, 1.0), kNumReports);
 }
 
 TEST(ShardedAggregator, MergeEquivalenceHadamardResponse) {
-  CheckMergeEquivalence(
-      [] { return std::make_unique<HadamardResponseFO>(64, 1.0); },
-      kNumReports);
+  CheckMergeEquivalence(OracleConfig("hadamard_response", 64, 1.0),
+                        kNumReports);
 }
 
 TEST(ShardedAggregator, MergeEquivalenceUnaryEncoding) {
-  CheckMergeEquivalence(
-      [] { return std::make_unique<UnaryEncodingFO>(32, 1.0); }, kNumReports);
+  CheckMergeEquivalence(OracleConfig("rappor_unary", 32, 1.0), kNumReports);
 }
 
 TEST(ShardedAggregator, MergeEquivalenceOlh) {
-  CheckMergeEquivalence(
-      [] { return std::make_unique<OlhFO>(16, 1.0, /*seed=*/77); },
-      kNumReports);
+  CheckMergeEquivalence(OlhConfig(16, 1.0, /*seed=*/77), kNumReports);
 }
 
 TEST(ShardedAggregator, CheckpointRestoreResumesMidIngest) {
-  const auto factory = [] {
-    return std::make_unique<HadamardResponseFO>(128, 1.5);
-  };
+  const ProtocolConfig config = OracleConfig("hadamard_response", 128, 1.5);
   const uint64_t n = 100000;
-  const auto reports = EncodeReports(factory, n, 99);
+  const auto reports = EncodeReports(config, n, 99);
 
-  auto baseline = factory();
-  for (const WireReport& r : reports) {
-    baseline->AggregateIndexed(r.user_index, r.report);
-  }
-  baseline->Finalize();
+  auto baseline = DirectAggregate(config, reports, 0, reports.size());
 
   const std::string path = TempLogPath("resume");
   std::remove(path.c_str());
@@ -141,34 +130,32 @@ TEST(ShardedAggregator, CheckpointRestoreResumesMidIngest) {
   // state is simply dropped on the floor).
   const size_t cut = 60000;
   {
-    ShardedAggregator agg(factory, opts);
-    ASSERT_TRUE(agg.Start().ok());
-    for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
+    auto agg = MustCreateSharded(config, opts);
+    ASSERT_TRUE(agg->Start().ok());
+    for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(agg->Submit(reports[i]).ok());
     CheckpointWriter log;
     ASSERT_TRUE(log.Open(path).ok());
-    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
+    ASSERT_TRUE(agg->WriteCheckpoint(log).ok());
   }
 
-  // Phase 2: recover and replay only the post-checkpoint reports.
+  // Phase 2: recover and replay only the post-checkpoint reports. The log
+  // itself names the protocol; the aggregator only has to match it.
   {
-    ShardedAggregator agg(factory, opts);
+    auto agg = MustCreateSharded(config, opts);
     CheckpointReader log;
     ASSERT_TRUE(log.Open(path).ok());
-    ASSERT_TRUE(agg.RestoreCheckpoint(log).ok());
-    ASSERT_TRUE(agg.Start().ok());
-    for (size_t i = cut; i < n; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
-    auto merged_or = agg.Finish();
+    ASSERT_TRUE(agg->RestoreCheckpoint(log).ok());
+    ASSERT_TRUE(agg->Start().ok());
+    for (size_t i = cut; i < n; ++i) ASSERT_TRUE(agg->Submit(reports[i]).ok());
+    auto merged_or = agg->Finish();
     ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
     auto merged = std::move(merged_or).value();
-    merged->Finalize();
 
-    const IngestStats stats = agg.Stats();
+    const IngestStats stats = agg->Stats();
     EXPECT_EQ(stats.restored, cut);
     EXPECT_EQ(stats.submitted, n - cut);
 
-    for (uint64_t v = 0; v < baseline->domain_size(); ++v) {
-      EXPECT_EQ(merged->Estimate(v), baseline->Estimate(v)) << "value " << v;
-    }
+    ExpectSameEstimates(*merged, *baseline);
   }
   std::remove(path.c_str());
 }
@@ -176,120 +163,186 @@ TEST(ShardedAggregator, CheckpointRestoreResumesMidIngest) {
 TEST(ShardedAggregator, CheckpointDuringConcurrentIngestLosesNothing) {
   // The API allows producers to keep submitting while WriteCheckpoint runs;
   // the snapshot pause must neither lose nor double-count reports.
-  const auto factory = [] {
-    return std::make_unique<DirectEncodingFO>(32, 1.0);
-  };
+  const ProtocolConfig config = OracleConfig("k_rr", 32, 1.0);
   const uint64_t n = 50000;
-  const auto reports = EncodeReports(factory, n, 33);
+  const auto reports = EncodeReports(config, n, 33);
 
-  auto baseline = factory();
-  for (const WireReport& r : reports) {
-    baseline->AggregateIndexed(r.user_index, r.report);
-  }
-  baseline->Finalize();
+  auto baseline = DirectAggregate(config, reports, 0, reports.size());
 
   const std::string path = TempLogPath("concurrent");
   std::remove(path.c_str());
   ShardedAggregatorOptions opts;
   opts.num_shards = 4;
   opts.queue_capacity = 256;
-  ShardedAggregator agg(factory, opts);
-  ASSERT_TRUE(agg.Start().ok());
+  auto agg = MustCreateSharded(config, opts);
+  ASSERT_TRUE(agg->Start().ok());
 
   CheckpointWriter log;
   ASSERT_TRUE(log.Open(path).ok());
   std::thread producer([&] {
-    for (const WireReport& r : reports) ASSERT_TRUE(agg.Submit(r).ok());
+    for (const WireReport& r : reports) ASSERT_TRUE(agg->Submit(r).ok());
   });
-  for (int c = 0; c < 5; ++c) ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
+  for (int c = 0; c < 5; ++c) ASSERT_TRUE(agg->WriteCheckpoint(log).ok());
   producer.join();
 
-  auto merged_or = agg.Finish();
+  auto merged_or = agg->Finish();
   ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
   auto merged = std::move(merged_or).value();
-  merged->Finalize();
-  for (uint64_t v = 0; v < baseline->domain_size(); ++v) {
-    EXPECT_EQ(merged->Estimate(v), baseline->Estimate(v)) << "value " << v;
-  }
+  ExpectSameEstimates(*merged, *baseline);
   // Every checkpoint in the log must itself be restorable.
-  ShardedAggregator fresh(factory, opts);
+  auto fresh = MustCreateSharded(config, opts);
   CheckpointReader reader;
   ASSERT_TRUE(reader.Open(path).ok());
-  ASSERT_TRUE(fresh.RestoreCheckpoint(reader).ok());
-  EXPECT_LE(fresh.Stats().restored, n);
+  ASSERT_TRUE(fresh->RestoreCheckpoint(reader).ok());
+  EXPECT_LE(fresh->Stats().restored, n);
   std::remove(path.c_str());
 }
 
 TEST(ShardedAggregator, RestorePicksLastCompleteCheckpoint) {
-  const auto factory = [] { return std::make_unique<DirectEncodingFO>(16, 1.0); };
-  const auto reports = EncodeReports(factory, 2000, 5);
+  const ProtocolConfig config = OracleConfig("k_rr", 16, 1.0);
+  const auto reports = EncodeReports(config, 2000, 5);
   const std::string path = TempLogPath("last");
   std::remove(path.c_str());
   ShardedAggregatorOptions opts;
   opts.num_shards = 4;
   {
-    ShardedAggregator agg(factory, opts);
-    ASSERT_TRUE(agg.Start().ok());
+    auto agg = MustCreateSharded(config, opts);
+    ASSERT_TRUE(agg->Start().ok());
     CheckpointWriter log;
     ASSERT_TRUE(log.Open(path).ok());
-    for (size_t i = 0; i < 1000; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
-    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
-    for (size_t i = 1000; i < 1500; ++i) ASSERT_TRUE(agg.Submit(reports[i]).ok());
-    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());  // Supersedes the first.
+    for (size_t i = 0; i < 1000; ++i) ASSERT_TRUE(agg->Submit(reports[i]).ok());
+    ASSERT_TRUE(agg->WriteCheckpoint(log).ok());
+    for (size_t i = 1000; i < 1500; ++i) ASSERT_TRUE(agg->Submit(reports[i]).ok());
+    ASSERT_TRUE(agg->WriteCheckpoint(log).ok());  // Supersedes the first.
   }
-  ShardedAggregator agg(factory, opts);
+  auto agg = MustCreateSharded(config, opts);
   CheckpointReader log;
   ASSERT_TRUE(log.Open(path).ok());
-  ASSERT_TRUE(agg.RestoreCheckpoint(log).ok());
-  EXPECT_EQ(agg.Stats().restored, 1500u);
+  ASSERT_TRUE(agg->RestoreCheckpoint(log).ok());
+  EXPECT_EQ(agg->Stats().restored, 1500u);
   std::remove(path.c_str());
 }
 
 TEST(ShardedAggregator, RestoreRejectsShardCountMismatch) {
-  const auto factory = [] { return std::make_unique<DirectEncodingFO>(16, 1.0); };
+  const ProtocolConfig config = OracleConfig("k_rr", 16, 1.0);
   const std::string path = TempLogPath("mismatch");
   std::remove(path.c_str());
   {
     ShardedAggregatorOptions opts;
     opts.num_shards = 4;
-    ShardedAggregator agg(factory, opts);
-    ASSERT_TRUE(agg.Start().ok());
+    auto agg = MustCreateSharded(config, opts);
+    ASSERT_TRUE(agg->Start().ok());
     CheckpointWriter log;
     ASSERT_TRUE(log.Open(path).ok());
-    ASSERT_TRUE(agg.WriteCheckpoint(log).ok());
+    ASSERT_TRUE(agg->WriteCheckpoint(log).ok());
   }
   ShardedAggregatorOptions opts;
   opts.num_shards = 2;
-  ShardedAggregator agg(factory, opts);
+  auto agg = MustCreateSharded(config, opts);
   CheckpointReader log;
   ASSERT_TRUE(log.Open(path).ok());
-  EXPECT_EQ(agg.RestoreCheckpoint(log).code(), StatusCode::kInvalidArgument);
+  const Status st = agg->RestoreCheckpoint(log);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("shard count mismatch"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// The satellite fix: a checkpoint taken under a different protocol config
+// (here: different epsilon, same everything else) must be refused with a
+// descriptive error, not silently restored into mismatched oracles.
+TEST(ShardedAggregator, RestoreRejectsConfigMismatch) {
+  const ProtocolConfig config = OracleConfig("hadamard_response", 32, 1.0);
+  const std::string path = TempLogPath("cfg_mismatch");
+  std::remove(path.c_str());
+  ShardedAggregatorOptions opts;
+  opts.num_shards = 2;
+  {
+    auto agg = MustCreateSharded(config, opts);
+    ASSERT_TRUE(agg->Start().ok());
+    const auto reports = EncodeReports(config, 500, 8);
+    for (const WireReport& r : reports) ASSERT_TRUE(agg->Submit(r).ok());
+    CheckpointWriter log;
+    ASSERT_TRUE(log.Open(path).ok());
+    ASSERT_TRUE(agg->WriteCheckpoint(log).ok());
+  }
+  // Same oracle type and domain, different epsilon: without the embedded
+  // config this restore would silently produce garbage estimates.
+  const ProtocolConfig other = OracleConfig("hadamard_response", 32, 2.0);
+  auto agg = MustCreateSharded(other, opts);
+  CheckpointReader log;
+  ASSERT_TRUE(log.Open(path).ok());
+  const Status st = agg->RestoreCheckpoint(log);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("config mismatch"), std::string::npos)
+      << st.ToString();
   std::remove(path.c_str());
 }
 
 TEST(ShardedAggregator, SubmitWireRejectsCorruptBatchWhole) {
-  const auto factory = [] { return std::make_unique<DirectEncodingFO>(16, 1.0); };
-  const auto reports = EncodeReports(factory, 100, 8);
-  ShardedAggregator agg(factory, ShardedAggregatorOptions{});
-  ASSERT_TRUE(agg.Start().ok());
-  std::string wire = EncodeReportBatch(reports);
+  const ProtocolConfig config = OracleConfig("k_rr", 16, 1.0);
+  const auto reports = EncodeReports(config, 100, 8);
+  auto agg = MustCreateSharded(config, ShardedAggregatorOptions{});
+  ASSERT_TRUE(agg->Start().ok());
+  std::string wire = EncodeReportBatch(reports, agg->wire_id());
   wire[wire.size() - 1] ^= 0x1;
-  EXPECT_EQ(agg.SubmitWire(wire).code(), StatusCode::kDecodeFailure);
-  ASSERT_TRUE(agg.Drain().ok());
-  EXPECT_EQ(agg.Stats().submitted, 0u);
+  EXPECT_EQ(agg->SubmitWire(wire).code(), StatusCode::kDecodeFailure);
+  ASSERT_TRUE(agg->Drain().ok());
+  EXPECT_EQ(agg->Stats().submitted, 0u);
+}
+
+// The wire stamp: a batch encoded for one protocol is rejected by a server
+// serving another, before a single report is decoded into the shards. An
+// unstamped (id 0) batch is accepted for backward compatibility.
+TEST(ShardedAggregator, SubmitWireRejectsWrongProtocolStamp) {
+  const ProtocolConfig krr = OracleConfig("k_rr", 16, 1.0);
+  const auto reports = EncodeReports(krr, 100, 8);
+
+  auto agg = MustCreateSharded(OracleConfig("hadamard_response", 16, 1.0),
+                               ShardedAggregatorOptions{});
+  ASSERT_TRUE(agg->Start().ok());
+  const uint16_t krr_id =
+      ProtocolRegistry::Global().WireIdOf("k_rr").value();
+  const Status st = agg->SubmitWire(EncodeReportBatch(reports, krr_id));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("stamped for protocol"), std::string::npos);
+  ASSERT_TRUE(agg->Drain().ok());
+  EXPECT_EQ(agg->Stats().submitted, 0u);
+
+  // Unstamped batches still flow (the reports even happen to be the right
+  // width here — k_rr and hadamard_response over domain 16 differ).
+  EXPECT_TRUE(agg->SubmitWire(EncodeReportBatch(reports)).ok());
 }
 
 // ------------------------------------------------ oracle state snapshots --
 
+using FoFactory = std::function<std::unique_ptr<SmallDomainFO>()>;
+
+// Encodes n reports with sequential user indices through a fresh client-side
+// oracle instance (so OLH's implicit user numbering matches the index).
+std::vector<WireReport> EncodeFoReports(const FoFactory& factory, uint64_t n,
+                                        uint64_t seed) {
+  auto client = factory();
+  const uint64_t domain = client->domain_size();
+  Rng rng(seed);
+  std::vector<WireReport> reports(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    // Skewed input so estimates are far from uniform.
+    const uint64_t value = rng.Bernoulli(0.3) ? 0 : rng.UniformU64(domain);
+    reports[i].user_index = i;
+    reports[i].report = client->Encode(value, rng);
+  }
+  return reports;
+}
+
 TEST(MergeableState, SerializeRestoreRoundTripsEveryOracle) {
-  const std::vector<ShardedAggregator::OracleFactory> factories = {
+  const std::vector<FoFactory> factories = {
       [] { return std::make_unique<DirectEncodingFO>(32, 1.0); },
       [] { return std::make_unique<HadamardResponseFO>(32, 1.0); },
       [] { return std::make_unique<UnaryEncodingFO>(24, 1.0); },
       [] { return std::make_unique<OlhFO>(24, 1.0, 13); },
   };
   for (const auto& factory : factories) {
-    const auto reports = EncodeReports(factory, 5000, 21);
+    const auto reports = EncodeFoReports(factory, 5000, 21);
     auto a = factory();
     ASSERT_TRUE(a->Mergeable());
     for (size_t i = 0; i < 2500; ++i) {
