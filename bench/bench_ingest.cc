@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/metrics_dump.h"
 #include "src/common/random.h"
 #include "src/protocols/registry.h"
 #include "src/server/report_codec.h"

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/metrics_dump.h"
 #include "src/common/crc32.h"
 #include "src/common/random.h"
 #include "src/store/checkpoint_store.h"

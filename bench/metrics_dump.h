@@ -1,0 +1,49 @@
+// Optional end-of-run metrics dump for benchmarks.
+//
+// The benches link benchmark::benchmark_main, so there is no main() of our
+// own to hang a dump on; instead this header installs an at-exit object
+// whose destructor writes the process-wide metrics registry as JSON — the
+// same obs::MetricsRegistry::DumpJson() serializer the serving stack
+// exposes — so bench output and runtime exposition share one formatter.
+//
+// Off by default (zero cost for normal runs). Enable with
+//   LDPHH_DUMP_METRICS=<path>   write JSON to <path>
+//   LDPHH_DUMP_METRICS=-        write JSON to stderr
+// (bench/record_bench.sh uses this to archive instrumented runs.)
+
+#ifndef LDPHH_BENCH_METRICS_DUMP_H_
+#define LDPHH_BENCH_METRICS_DUMP_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace ldphh {
+namespace bench {
+
+struct MetricsDumpAtExit {
+  ~MetricsDumpAtExit() {
+    const char* path = std::getenv("LDPHH_DUMP_METRICS");
+    if (path == nullptr || *path == '\0') return;
+    // Global() is a leaked singleton, so it outlives static destruction.
+    const std::string json = obs::MetricsRegistry::Global().DumpJson();
+    if (std::string(path) == "-") {
+      std::fprintf(stderr, "%s\n", json.c_str());
+      return;
+    }
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+};
+
+inline MetricsDumpAtExit metrics_dump_at_exit;
+
+}  // namespace bench
+}  // namespace ldphh
+
+#endif  // LDPHH_BENCH_METRICS_DUMP_H_

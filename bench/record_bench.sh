@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark baselines at the repo root:
+#   BENCH_ingest.json   — ingestion + wire-codec throughput (bench_ingest)
+#   BENCH_store.json    — storage/replica throughput (bench_store)
+#
+# Runs a Release build (bench numbers from Debug/RelWithDebInfo are not
+# comparable) and writes google-benchmark's JSON straight to the repo root.
+# Each run also archives the process-wide metrics registry next to the
+# bench JSON (BENCH_*.metrics.json, not committed) via bench/metrics_dump.h
+# so an instrumented run's counters/latency histograms are inspectable.
+#
+# Usage:  bench/record_bench.sh [build-dir]     (default: build-release)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-release}"
+
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" --target bench_ingest bench_store -j "$(nproc)"
+
+run() {
+  local bench="$1" out="$2"
+  LDPHH_DUMP_METRICS="${out%.json}.metrics.json" \
+    "${build_dir}/${bench}" \
+      --benchmark_format=json \
+      --benchmark_out="${out}" \
+      --benchmark_out_format=json
+}
+
+run bench_ingest "${repo_root}/BENCH_ingest.json"
+run bench_store "${repo_root}/BENCH_store.json"
+
+echo "wrote ${repo_root}/BENCH_ingest.json and ${repo_root}/BENCH_store.json"

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "src/core/ldphh.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/server/replica_view.h"
 #include "src/store/replica_store.h"
 
@@ -206,6 +208,16 @@ int main() {
               identical ? "bit-for-bit identical" : "MISMATCH");
 
   if (!primary->Close().ok()) return 1;
+
+  // The full run is observable after the fact: replication lag, epoch-close
+  // latency, manifest fsyncs, and the privacy budget the fleet spent are all
+  // in the one process-wide registry. Dump while replica and store are still
+  // live so their gauges (lag, segment counts) are present.
+  std::printf("\n--- metrics (MetricsRegistry DumpText) ---\n%s",
+              obs::MetricsRegistry::Global().DumpText().c_str());
+  std::printf("\n--- trace (last structural events) ---\n%s",
+              obs::TraceRing::Global().DumpText().c_str());
+
   replica.reset();
   store.reset();
   std::filesystem::remove_all(dir);

@@ -21,6 +21,8 @@
 
 #include "src/common/timer.h"
 #include "src/core/ldphh.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -167,6 +169,14 @@ int main() {
                 EstimateOf(got, 42), 0.25 * static_cast<double>(n));
     std::printf("sharded+recovered == sequential baseline: %s\n",
                 identical ? "bit-for-bit identical" : "MISMATCH");
+
+    // Everything above left a metrics trail: ingest counters and latencies,
+    // fsync distributions, the privacy budget actually spent. One dump
+    // shows it all — the same text a scrape endpoint would serve.
+    std::printf("\n--- metrics (MetricsRegistry DumpText) ---\n%s",
+                obs::MetricsRegistry::Global().DumpText().c_str());
+    std::printf("\n--- trace (last structural events) ---\n%s",
+                obs::TraceRing::Global().DumpText().c_str());
     std::remove(ckpt_path.c_str());
     return identical ? 0 : 1;
   }

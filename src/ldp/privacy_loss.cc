@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+
+#include "src/obs/metrics.h"
 
 namespace ldphh {
 
@@ -108,6 +111,85 @@ double PrivacyLossDistribution::ExpectedLoss() const {
 double PrivacyLossDistribution::MaxLoss() const {
   if (atoms_.empty()) return 0.0;
   return Dequantize(atoms_.rbegin()->first);
+}
+
+// ------------------------------------------------------------------ ledger --
+
+namespace {
+
+struct LedgerInstruments {
+  std::shared_ptr<obs::Gauge> epsilon_spent;
+  std::shared_ptr<obs::Counter> reports_accounted;
+};
+
+LedgerInstruments& Instruments() {
+  static LedgerInstruments* const g = new LedgerInstruments{
+      obs::MetricsRegistry::Global().NewGauge(
+          "ldphh_privacy_epsilon_spent",
+          "Worst-case cumulative per-user epsilon (max per-report eps "
+          "accepted)"),
+      obs::MetricsRegistry::Global().NewCounter(
+          "ldphh_privacy_reports_accounted_total",
+          "Randomized reports whose privacy spend was accounted"),
+  };
+  return *g;
+}
+
+}  // namespace
+
+PrivacyBudgetLedger& PrivacyBudgetLedger::Global() {
+  static PrivacyBudgetLedger* const g = new PrivacyBudgetLedger();
+  return *g;
+}
+
+PrivacyBudgetLedger::PrivacyBudgetLedger() { Instruments(); }
+
+void PrivacyBudgetLedger::RecordSpend(double eps, uint64_t reports,
+                                      std::string_view scope) {
+  if (reports == 0) return;
+  SpendHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_epsilon_ = std::max(max_epsilon_, eps);
+    weighted_volume_ += eps * static_cast<double>(reports);
+    reports_ += reports;
+    if (this == &Global()) {
+      Instruments().epsilon_spent->Set(max_epsilon_);
+    }
+    hook = hook_;
+  }
+  if (this == &Global()) {
+    Instruments().reports_accounted->Increment(reports);
+  }
+  if (hook) hook(eps, reports, scope);
+}
+
+double PrivacyBudgetLedger::MaxEpsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_epsilon_;
+}
+
+double PrivacyBudgetLedger::WeightedEpsilonVolume() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return weighted_volume_;
+}
+
+uint64_t PrivacyBudgetLedger::ReportsAccounted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+void PrivacyBudgetLedger::SetSpendHook(SpendHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+void PrivacyBudgetLedger::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_epsilon_ = 0.0;
+  weighted_volume_ = 0.0;
+  reports_ = 0;
+  if (this == &Global()) Instruments().epsilon_spent->Set(0.0);
 }
 
 }  // namespace ldphh

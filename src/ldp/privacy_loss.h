@@ -12,7 +12,10 @@
 #define LDPHH_LDP_PRIVACY_LOSS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "src/ldp/randomizer.h"
@@ -67,6 +70,67 @@ class PrivacyLossDistribution {
 
   std::map<int64_t, double> atoms_;  ///< quantized loss -> probability.
   double infinity_mass_ = 0.0;
+};
+
+/// \brief Runtime accounting of privacy budget actually spent by the
+/// serving stack.
+///
+/// The PLD machinery above answers "what does running this mechanism
+/// cost?" analytically; the ledger records what the ingest path *did*: each
+/// batch of accepted reports under an eps-LDP randomizer calls
+/// `RecordSpend(eps, reports)`. Under pure worst-case sequential
+/// composition the cumulative per-user loss is bounded by the max eps seen
+/// (each user contributes one report per epoch under one randomizer); the
+/// ledger conservatively tracks both the max and the eps-weighted report
+/// volume so an operator can apply either view.
+///
+/// The cumulative epsilon is exported as the `ldphh_privacy_epsilon_spent`
+/// gauge and accounted reports as `ldphh_privacy_reports_accounted_total`.
+/// A forward hook lets a multi-tenant budget manager observe every spend
+/// (tenant attribution rides in via `scope`) and enforce its own caps.
+class PrivacyBudgetLedger {
+ public:
+  /// The process-wide ledger (never destroyed) — what the serving stack
+  /// records into.
+  static PrivacyBudgetLedger& Global();
+
+  PrivacyBudgetLedger();
+  PrivacyBudgetLedger(const PrivacyBudgetLedger&) = delete;
+  PrivacyBudgetLedger& operator=(const PrivacyBudgetLedger&) = delete;
+
+  /// Called once per accepted batch: \p eps is the randomizer's per-report
+  /// budget, \p reports how many reports the batch carried. \p scope
+  /// attributes the spend (empty = default tenant); the ledger itself does
+  /// not partition by scope — it forwards it to the hook.
+  void RecordSpend(double eps, uint64_t reports, std::string_view scope = {});
+
+  /// Worst-case cumulative per-user epsilon: the largest per-report eps any
+  /// accepted report was randomized under.
+  double MaxEpsilon() const;
+
+  /// Sum of eps * reports across all spends (population-level loss volume;
+  /// grows without bound by design — it is a counter, not a bound).
+  double WeightedEpsilonVolume() const;
+
+  /// Total reports accounted.
+  uint64_t ReportsAccounted() const;
+
+  /// Observes every RecordSpend (called outside the ledger lock). One hook
+  /// at a time; pass nullptr to clear. The forward point for multi-tenant
+  /// budget managers.
+  using SpendHook =
+      std::function<void(double eps, uint64_t reports, std::string_view scope)>;
+  void SetSpendHook(SpendHook hook);
+
+  /// Zeroes the ledger (gauges included). Test isolation only.
+  void ResetForTesting();
+
+ private:
+  mutable std::mutex mu_;
+  double max_epsilon_ = 0.0;
+  double weighted_volume_ = 0.0;
+  uint64_t reports_ = 0;
+  SpendHook hook_;
 };
 
 }  // namespace ldphh

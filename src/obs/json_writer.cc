@@ -1,0 +1,139 @@
+#include "src/obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ldphh {
+namespace obs {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Key() already emitted the separator comma and the colon.
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_.push_back(',');
+    has_value_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  frames_.push_back(true);
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  frames_.pop_back();
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  frames_.push_back(false);
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  frames_.pop_back();
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_.push_back(',');
+    has_value_.back() = true;
+  }
+  out_.push_back('"');
+  AppendEscaped(key);
+  out_.append("\":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  AppendEscaped(value);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  out_.append(FormatDouble(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+  return *this;
+}
+
+std::string JsonWriter::FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integers up to 2^53 print exactly without a trailing ".0"; everything
+  // else takes the shortest form that round-trips through %.17g, trimmed of
+  // the noise digits %.17g adds to short decimals (try %.15g / %.16g first).
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[40];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  return std::string(buf);
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_.append("\\\""); break;
+      case '\\': out_.append("\\\\"); break;
+      case '\n': out_.append("\\n"); break;
+      case '\r': out_.append("\\r"); break;
+      case '\t': out_.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace ldphh

@@ -1,0 +1,73 @@
+/// \file json_writer.h
+/// \brief Minimal streaming JSON serializer — the one emitter behind every
+/// machine-readable surface in the tree.
+///
+/// MetricsRegistry::DumpJson, TraceRing::DumpJson, ProtocolMetrics::ToJson,
+/// and the benchmark metric dumps all render through this writer, so their
+/// output shares one escaping/number-formatting policy instead of N hand-
+/// rolled printf emitters drifting apart.
+///
+/// Usage is push-style with automatic comma management:
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("name").String("x").Key("v").Uint(3).EndObject();
+///   w.str();  // {"name":"x","v":3}
+///
+/// Not a general-purpose library: no pretty printing, no parsing. Doubles
+/// render with round-trip precision; NaN/Inf (not representable in JSON)
+/// render as null.
+
+#ifndef LDPHH_OBS_JSON_WRITER_H_
+#define LDPHH_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldphh {
+namespace obs {
+
+/// \brief Push-style JSON emitter (see file comment).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next value call supplies its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  /// Round-trip precision; NaN/Inf emit null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+
+  /// Formats \p value the way Double() does (shortest round-trip form) —
+  /// shared with the text expositions so numbers print identically in the
+  /// JSON and Prometheus-style dumps.
+  static std::string FormatDouble(double value);
+
+ private:
+  void BeforeValue();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  /// One frame per open container: true = object, false = array.
+  std::vector<bool> frames_;
+  /// Whether the current container already holds a value (comma needed).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace ldphh
+
+#endif  // LDPHH_OBS_JSON_WRITER_H_

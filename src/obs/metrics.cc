@@ -1,0 +1,353 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/obs/json_writer.h"
+
+namespace ldphh {
+namespace obs {
+
+uint32_t ThreadStripeId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string_view BaseName(std::string_view name) {
+  const size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+std::string LabeledName(std::string_view name, std::string_view label_key,
+                        std::string_view label_value) {
+  std::string out;
+  out.reserve(name.size() + label_key.size() + label_value.size() + 5);
+  out.append(name).push_back('{');
+  out.append(label_key).append("=\"").append(label_value).append("\"}");
+  return out;
+}
+
+Counter::~Counter() { registry_->Retire(this); }
+Gauge::~Gauge() { registry_->Retire(this); }
+Histogram::~Histogram() { registry_->Retire(this); }
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& b : s.buckets) total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(kNumBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      merged[static_cast<size_t>(i)] +=
+          s.buckets[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+/// Midpoint-of-bucket quantile over a merged bucket array; 0 when empty.
+double QuantileFromBuckets(const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The smallest rank whose cumulative count covers quantile q.
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      const int idx = static_cast<int>(i);
+      return (static_cast<double>(Histogram::BucketLower(idx)) +
+              static_cast<double>(Histogram::BucketUpper(idx))) /
+             2.0;
+    }
+  }
+  return static_cast<double>(Histogram::BucketUpper(
+      static_cast<int>(buckets.size()) - 1));
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromBuckets(BucketCounts(), q);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: instruments owned by static-duration objects may retire during
+  // process teardown, after a normal static registry would be gone.
+  static MetricsRegistry* const g = new MetricsRegistry();
+  return *g;
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(const std::string& name,
+                                                    Type type,
+                                                    std::string* help,
+                                                    std::string* unit) {
+  Family& f = families_[name];
+  if (f.counters.empty() && f.gauges.empty() && f.histograms.empty() &&
+      f.help.empty()) {
+    f.type = type;
+    f.help = std::move(*help);
+    f.unit = std::move(*unit);
+  }
+  return f;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::NewCounter(std::string name,
+                                                     std::string help,
+                                                     std::string unit) {
+  std::shared_ptr<Counter> c(new Counter(this, name));
+  std::lock_guard<std::mutex> lock(mu_);
+  FamilyFor(name, Type::kCounter, &help, &unit).counters.insert(c.get());
+  return c;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::NewGauge(std::string name,
+                                                 std::string help,
+                                                 std::string unit) {
+  std::shared_ptr<Gauge> g(new Gauge(this, name));
+  std::lock_guard<std::mutex> lock(mu_);
+  FamilyFor(name, Type::kGauge, &help, &unit).gauges.insert(g.get());
+  return g;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::NewHistogram(std::string name,
+                                                         std::string help,
+                                                         std::string unit) {
+  std::shared_ptr<Histogram> h(new Histogram(this, name));
+  std::lock_guard<std::mutex> lock(mu_);
+  FamilyFor(name, Type::kHistogram, &help, &unit).histograms.insert(h.get());
+  return h;
+}
+
+void MetricsRegistry::Retire(const Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(c->name_);
+  if (it == families_.end()) return;  // ResetForTesting dropped the family.
+  it->second.counters.erase(c);
+  it->second.retired_count += c->Value();
+}
+
+void MetricsRegistry::Retire(const Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(g->name_);
+  if (it == families_.end()) return;
+  it->second.gauges.erase(g);
+}
+
+void MetricsRegistry::Retire(const Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(h->name_);
+  if (it == families_.end()) return;
+  Family& f = it->second;
+  f.histograms.erase(h);
+  const std::vector<uint64_t> buckets = h->BucketCounts();
+  if (f.retired_buckets.empty()) {
+    f.retired_buckets.assign(Histogram::kNumBuckets, 0);
+  }
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    f.retired_buckets[static_cast<size_t>(i)] +=
+        buckets[static_cast<size_t>(i)];
+    f.retired_count += buckets[static_cast<size_t>(i)];
+  }
+  f.retired_sum += h->Sum();
+}
+
+std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::SnapshotLocked()
+    const {
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, f] : families_) {
+    FamilySnapshot s;
+    s.name = name;
+    s.type = f.type;
+    s.help = f.help;
+    s.unit = f.unit;
+    switch (f.type) {
+      case Type::kCounter:
+        s.has_live = !f.counters.empty();
+        s.counter_value = f.retired_count;
+        for (const Counter* c : f.counters) s.counter_value += c->Value();
+        break;
+      case Type::kGauge:
+        s.has_live = !f.gauges.empty();
+        // A dead instance's last level is not a fact about the process; a
+        // gauge family with no live instrument is skipped by the dumps.
+        for (const Gauge* g : f.gauges) s.gauge_value += g->Value();
+        break;
+      case Type::kHistogram: {
+        s.has_live = !f.histograms.empty();
+        s.hist_count = f.retired_count;
+        s.hist_sum = f.retired_sum;
+        s.hist_buckets = f.retired_buckets;
+        if (s.hist_buckets.empty()) {
+          s.hist_buckets.assign(Histogram::kNumBuckets, 0);
+        }
+        for (const Histogram* h : f.histograms) {
+          const std::vector<uint64_t> buckets = h->BucketCounts();
+          for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+            s.hist_buckets[static_cast<size_t>(i)] +=
+                buckets[static_cast<size_t>(i)];
+            s.hist_count += buckets[static_cast<size_t>(i)];
+          }
+          s.hist_sum += h->Sum();
+        }
+        break;
+      }
+    }
+    if (f.type == Type::kGauge && !s.has_live) continue;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+const char* TypeString(int type) {
+  switch (type) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpText() const {
+  std::vector<FamilySnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = SnapshotLocked();
+  }
+  std::string out;
+  std::string last_base;
+  for (const FamilySnapshot& s : snap) {
+    const std::string base(BaseName(s.name));
+    if (base != last_base) {
+      out.append("# HELP ").append(base).push_back(' ');
+      out.append(s.help);
+      if (!s.unit.empty()) out.append(" (").append(s.unit).push_back(')');
+      out.push_back('\n');
+      out.append("# TYPE ").append(base).push_back(' ');
+      out.append(TypeString(static_cast<int>(s.type)));
+      out.push_back('\n');
+      last_base = base;
+    }
+    switch (s.type) {
+      case Type::kCounter:
+        out.append(s.name).push_back(' ');
+        out.append(std::to_string(s.counter_value)).push_back('\n');
+        break;
+      case Type::kGauge:
+        out.append(s.name).push_back(' ');
+        out.append(JsonWriter::FormatDouble(s.gauge_value)).push_back('\n');
+        break;
+      case Type::kHistogram: {
+        uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const uint64_t c = s.hist_buckets[static_cast<size_t>(i)];
+          if (c == 0) continue;
+          cumulative += c;
+          out.append(s.name).append("_bucket{le=\"");
+          out.append(std::to_string(Histogram::BucketUpper(i)));
+          out.append("\"} ").append(std::to_string(cumulative));
+          out.push_back('\n');
+        }
+        out.append(s.name).append("_bucket{le=\"+Inf\"} ");
+        out.append(std::to_string(s.hist_count)).push_back('\n');
+        out.append(s.name).append("_sum ");
+        out.append(std::to_string(s.hist_sum)).push_back('\n');
+        out.append(s.name).append("_count ");
+        out.append(std::to_string(s.hist_count)).push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::vector<FamilySnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = SnapshotLocked();
+  }
+  JsonWriter w;
+  w.BeginObject().Key("metrics").BeginArray();
+  for (const FamilySnapshot& s : snap) {
+    w.BeginObject();
+    w.Key("name").String(s.name);
+    w.Key("type").String(TypeString(static_cast<int>(s.type)));
+    if (!s.unit.empty()) w.Key("unit").String(s.unit);
+    w.Key("help").String(s.help);
+    switch (s.type) {
+      case Type::kCounter:
+        w.Key("value").Uint(s.counter_value);
+        break;
+      case Type::kGauge:
+        w.Key("value").Double(s.gauge_value);
+        break;
+      case Type::kHistogram: {
+        w.Key("count").Uint(s.hist_count);
+        w.Key("sum").Uint(s.hist_sum);
+        w.Key("p50").Double(QuantileFromBuckets(s.hist_buckets, 0.50));
+        w.Key("p90").Double(QuantileFromBuckets(s.hist_buckets, 0.90));
+        w.Key("p99").Double(QuantileFromBuckets(s.hist_buckets, 0.99));
+        w.Key("buckets").BeginArray();
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const uint64_t c = s.hist_buckets[static_cast<size_t>(i)];
+          if (c == 0) continue;
+          w.BeginObject();
+          w.Key("le").Uint(Histogram::BucketUpper(i));
+          w.Key("count").Uint(c);
+          w.EndObject();
+        }
+        w.EndArray();
+        break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<FamilySnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = SnapshotLocked();
+  }
+  std::vector<std::string> names;
+  names.reserve(snap.size());
+  for (const FamilySnapshot& s : snap) names.push_back(s.name);
+  return names;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+}
+
+}  // namespace obs
+}  // namespace ldphh

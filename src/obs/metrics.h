@@ -1,0 +1,305 @@
+/// \file metrics.h
+/// \brief Process-wide metrics: lock-cheap counters, gauges, and
+/// log-bucketed histograms with Prometheus-style text and JSON exposition.
+///
+/// The serving/storage stack (sharded ingest, segment store, epochs,
+/// replicas, privacy accounting) produces operational numbers at wildly
+/// different rates — per-report counters on the ingest hot path, per-fsync
+/// latencies, once-per-epoch durations. This layer makes all of them cheap
+/// to record and uniform to read:
+///
+///   - **Counter**: monotone u64, thread-sharded (striped cache-line-padded
+///     relaxed atomics) so a hot-path `Increment()` costs a few ns and never
+///     takes a lock. Stripe sums are exact — every increment lands in
+///     exactly one stripe — so totals are exact, not sampled.
+///   - **Gauge**: a double that can go up and down (queue depth, replication
+///     lag, cumulative privacy loss). Single atomic; `Set` is a store,
+///     `Add` a CAS loop.
+///   - **Histogram**: log-bucketed u64 distribution (latencies in ns, sizes
+///     in bytes). Buckets are 8-per-octave (3 mantissa bits after the
+///     leading one), so any recorded value is off from its bucket midpoint
+///     by at most 1/16 ≈ 6.25% relative — see BucketOf/BucketLower/
+///     BucketUpper, which the accuracy test pins. Observe() is two relaxed
+///     fetch_adds (bucket + sum) on a striped shard.
+///
+/// **Ownership and exposition.** Instruments are created through a
+/// `MetricsRegistry` (usually `MetricsRegistry::Global()`) and owned by the
+/// component that records into them — that keeps per-instance `Stats()`
+/// snapshots exact (two stores in one process do not bleed into each
+/// other's struct). The registry tracks every live instrument per name and
+/// *folds a counter's or histogram's final value into a retained total when
+/// the instrument is destroyed*, so the process-wide `DumpText()` /
+/// `DumpJson()` exposition stays monotone across instance churn (an epoch
+/// roll builds a fresh ShardedAggregator per epoch; its counts must not
+/// vanish from the exposition when the epoch closes). Gauges are dropped on
+/// retire — a dead instance's last queue depth is not a fact about the
+/// process.
+///
+/// Names follow the Prometheus convention (`ldphh_<layer>_<what>[_total]`,
+/// unit suffixes like `_ns` / `_bytes`); an optional label set may be
+/// embedded in the name (`ldphh_ingest_queue_depth{shard="3"}`) for
+/// counters and gauges. docs/observability.md enumerates every metric the
+/// stack exports.
+
+#ifndef LDPHH_OBS_METRICS_H_
+#define LDPHH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldphh {
+namespace obs {
+
+class MetricsRegistry;
+
+/// Stable per-thread id used to pick an atomic stripe (id mod stripes).
+uint32_t ThreadStripeId();
+
+/// \brief Monotone counter, striped for contention-free hot-path updates.
+class Counter {
+ public:
+  ~Counter();
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    cells_[ThreadStripeId() % kStripes].v.fetch_add(n,
+                                                    std::memory_order_relaxed);
+  }
+
+  /// Exact total across stripes.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  static constexpr size_t kStripes = 16;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+  MetricsRegistry* const registry_;
+  const std::string name_;
+};
+
+/// \brief A double-valued level (may go up and down).
+class Gauge {
+ public:
+  ~Gauge();
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  std::atomic<double> value_{0.0};
+  MetricsRegistry* const registry_;
+  const std::string name_;
+};
+
+/// \brief Log-bucketed u64 histogram (see file comment for the bucketing).
+class Histogram {
+ public:
+  /// 8 sub-buckets per octave: 3 mantissa bits after the implicit leading 1.
+  static constexpr int kSubBucketBits = 3;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 8
+  /// Indices are contiguous: values 0..7 get exact buckets; beyond that the
+  /// top (1 + kSubBucketBits) significant bits pick the bucket.
+  static constexpr int kNumBuckets = 62 * 8;  // Max index 60*8+15 = 495.
+
+  ~Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value) {
+    Shard& s = shards_[ThreadStripeId() % kShards];
+    s.buckets[static_cast<size_t>(BucketOf(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Exact number of observations / exact sum of observed values.
+  uint64_t Count() const;
+  uint64_t Sum() const;
+
+  /// A merged copy of the bucket array (index -> count).
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Quantile estimate from the bucket midpoints (q in [0, 1]); 0 when
+  /// empty. Off by at most the bucket's half-width (<= 6.25% relative).
+  double Quantile(double q) const;
+
+  /// Bucket index of \p value.
+  static int BucketOf(uint64_t value) {
+    if (value < kSubBuckets) return static_cast<int>(value);
+    const int msb = 63 - __builtin_clzll(value);
+    const int octave = msb - kSubBucketBits;  // >= 0.
+    return static_cast<int>(
+        (static_cast<uint64_t>(octave) << kSubBucketBits) +
+        (value >> (msb - kSubBucketBits)));
+  }
+  /// Smallest / largest value the bucket holds (inclusive).
+  static uint64_t BucketLower(int index) {
+    if (index < static_cast<int>(2 * kSubBuckets)) {
+      return static_cast<uint64_t>(index);
+    }
+    const int octave = (index >> kSubBucketBits) - 1;
+    const uint64_t h = static_cast<uint64_t>(index) -
+                       (static_cast<uint64_t>(octave) << kSubBucketBits);
+    return h << octave;
+  }
+  static uint64_t BucketUpper(int index) {
+    if (index < static_cast<int>(2 * kSubBuckets)) {
+      return static_cast<uint64_t>(index);
+    }
+    const int octave = (index >> kSubBucketBits) - 1;
+    const uint64_t h = static_cast<uint64_t>(index) -
+                       (static_cast<uint64_t>(octave) << kSubBucketBits);
+    return ((h + 1) << octave) - 1;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  /// Fewer stripes than Counter: a histogram is ~4 KB of buckets per shard,
+  /// and Observe sits on paths (fsync, batch aggregate) that run at most a
+  /// few hundred k/s per thread.
+  static constexpr size_t kShards = 4;
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, kShards> shards_;
+  MetricsRegistry* const registry_;
+  const std::string name_;
+};
+
+/// \brief The process-wide instrument directory and exposition surface.
+///
+/// Thread-safe. Creation/retirement/dump take one registry mutex; recording
+/// into an instrument never does.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed). Components default to
+  /// this; tests may build their own for isolation.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Creates (and registers) an instrument. Multiple live instruments may
+  /// share a name — the exposition sums them; `help`/`unit` are taken from
+  /// the first registration. A name must keep one instrument type for the
+  /// registry's lifetime. Labels (`name{k="v"}`) are allowed on counters
+  /// and gauges; help/type exposition lines use the base name.
+  std::shared_ptr<Counter> NewCounter(std::string name, std::string help,
+                                      std::string unit = "");
+  std::shared_ptr<Gauge> NewGauge(std::string name, std::string help,
+                                  std::string unit = "");
+  std::shared_ptr<Histogram> NewHistogram(std::string name, std::string help,
+                                          std::string unit = "");
+
+  /// Prometheus-style text exposition: `# HELP` / `# TYPE` per base name,
+  /// one sample line per name (live instruments summed with retired
+  /// totals), histogram `_bucket{le=...}` lines for nonempty buckets plus
+  /// `{le="+Inf"}`, `_sum`, `_count`. Gauge families with no live
+  /// instrument are omitted.
+  std::string DumpText() const;
+
+  /// The same data as one JSON document:
+  /// {"metrics":[{name,type,unit,help,value|count/sum/quantiles/buckets}]}.
+  std::string DumpJson() const;
+
+  /// Every name currently exposed (sorted). For tests.
+  std::vector<std::string> Names() const;
+
+  /// Drops every family, including retired totals. Live instruments keep
+  /// working but are no longer exposed (their retirement becomes a no-op).
+  /// Test isolation only.
+  void ResetForTesting();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::string unit;
+    std::set<const Counter*> counters;
+    std::set<const Gauge*> gauges;
+    std::set<const Histogram*> histograms;
+    /// Folded-in totals of retired counter/histogram instruments.
+    uint64_t retired_count = 0;
+    uint64_t retired_sum = 0;  // Histogram value sum.
+    std::vector<uint64_t> retired_buckets;
+  };
+
+  /// Summed live+retired view of one family (computed under mu_).
+  struct FamilySnapshot {
+    std::string name;
+    Type type;
+    std::string help;
+    std::string unit;
+    bool has_live = false;
+    uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    uint64_t hist_count = 0;
+    uint64_t hist_sum = 0;
+    std::vector<uint64_t> hist_buckets;
+  };
+
+  Family& FamilyFor(const std::string& name, Type type, std::string* help,
+                    std::string* unit);
+  void Retire(const Counter* c);
+  void Retire(const Gauge* g);
+  void Retire(const Histogram* h);
+  std::vector<FamilySnapshot> SnapshotLocked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// The base name of a possibly labeled metric name ("a{b=...}" -> "a").
+std::string_view BaseName(std::string_view name);
+
+/// Renders `name{label_key="label_value"}` — the one way labels are spelled.
+std::string LabeledName(std::string_view name, std::string_view label_key,
+                        std::string_view label_value);
+
+}  // namespace obs
+}  // namespace ldphh
+
+#endif  // LDPHH_OBS_METRICS_H_

@@ -1,0 +1,124 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+
+#include "src/obs/json_writer.h"
+
+namespace ldphh {
+namespace obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceRing& TraceRing::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global: static-duration
+  // components may record during process teardown.
+  static TraceRing* const g = new TraceRing(kDefaultCapacity);
+  return *g;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  events_.resize(capacity_);
+}
+
+void TraceRing::Record(std::string_view category, std::string_view name,
+                       std::string_view detail, uint64_t arg0, uint64_t arg1) {
+  TraceEvent e;
+  e.timestamp_ns = SteadyNowNs();
+  e.category.assign(category);
+  e.name.assign(name);
+  if (detail.size() > kMaxDetailBytes) {
+    e.detail.assign(detail.substr(0, kMaxDetailBytes));
+    e.detail.append("...");
+  } else {
+    e.detail.assign(detail);
+  }
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == capacity_) ++dropped_;
+  events_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event sits at next_ once the ring has wrapped, else at 0.
+  const size_t first = size_ == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceRing::DumpText() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  for (const TraceEvent& e : events) {
+    out.push_back('[');
+    out.append(std::to_string(e.timestamp_ns));
+    out.append("] ");
+    out.append(e.category).push_back('/');
+    out.append(e.name);
+    out.append(" arg0=").append(std::to_string(e.arg0));
+    out.append(" arg1=").append(std::to_string(e.arg1));
+    if (!e.detail.empty()) {
+      out.push_back(' ');
+      out.append(e.detail);
+    }
+    out.push_back('\n');
+  }
+  const uint64_t d = dropped();
+  if (d > 0) {
+    out.append("... ").append(std::to_string(d)).append(" older events dropped\n");
+  }
+  return out;
+}
+
+std::string TraceRing::DumpJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dropped").Uint(dropped());
+  w.Key("events").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("ts_ns").Uint(e.timestamp_ns);
+    w.Key("category").String(e.category);
+    w.Key("name").String(e.name);
+    if (!e.detail.empty()) w.Key("detail").String(e.detail);
+    w.Key("arg0").Uint(e.arg0);
+    w.Key("arg1").Uint(e.arg1);
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace ldphh

@@ -1,0 +1,90 @@
+/// \file trace.h
+/// \brief Bounded ring buffer of structured trace events.
+///
+/// Metrics answer "how much / how fast"; the trace ring answers "what
+/// happened, in what order" for the rare structural transitions of the
+/// stack — epoch rolls, segment installs, compaction phases, manifest
+/// reloads, power-loss recovery actions. Each event carries a category, a
+/// name, a short free-form detail string, two optional numeric arguments,
+/// and a timestamp (nanoseconds on the process-wide steady clock, so
+/// events order correctly across threads).
+///
+/// The ring holds the most recent `capacity` events in fixed memory;
+/// older events are overwritten and counted in `dropped()`. Recording is
+/// mutex-guarded — these events fire at per-epoch / per-compaction rates,
+/// thousands of times below where lock cost would matter — which keeps
+/// the dump a trivially consistent snapshot.
+
+#ifndef LDPHH_OBS_TRACE_H_
+#define LDPHH_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldphh {
+namespace obs {
+
+/// \brief One recorded event (see file comment).
+struct TraceEvent {
+  /// Nanoseconds on the process steady clock at Record() time.
+  uint64_t timestamp_ns = 0;
+  /// Subsystem, e.g. "epoch", "store", "replica", "recovery".
+  std::string category;
+  /// What happened, e.g. "close", "compaction_phase_a", "manifest_reload".
+  std::string name;
+  /// Free-form context, truncated to a bounded length at record time.
+  std::string detail;
+  /// Event-defined numeric arguments (ids, counts, durations).
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+/// \brief Fixed-capacity ring of TraceEvents.
+class TraceRing {
+ public:
+  /// The process-wide ring (never destroyed), capacity kDefaultCapacity.
+  static TraceRing& Global();
+
+  static constexpr size_t kDefaultCapacity = 1024;
+  /// Longest detail string kept; the tail is replaced with "..." beyond it.
+  static constexpr size_t kMaxDetailBytes = 160;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(std::string_view category, std::string_view name,
+              std::string_view detail = {}, uint64_t arg0 = 0,
+              uint64_t arg1 = 0);
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events overwritten since construction / last Clear.
+  uint64_t dropped() const;
+
+  /// One line per event: `[<t_ns>] <category>/<name> arg0=.. arg1=.. <detail>`.
+  std::string DumpText() const;
+
+  /// {"dropped":N,"events":[{ts_ns,category,name,detail,arg0,arg1}]}.
+  std::string DumpJson() const;
+
+  /// Empties the ring and zeroes the dropped count. Test isolation only.
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;  // Ring storage, capacity_ slots.
+  size_t next_ = 0;                 // Slot the next event lands in.
+  size_t size_ = 0;                 // Live events (<= capacity_).
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ldphh
+
+#endif  // LDPHH_OBS_TRACE_H_

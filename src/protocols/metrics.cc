@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/obs/json_writer.h"
+
 namespace ldphh {
 
 std::string ProtocolMetrics::ToString() const {
@@ -14,6 +16,22 @@ std::string ProtocolMetrics::ToString() const {
                 static_cast<unsigned long long>(public_random_bits_per_user),
                 server_memory_bytes, static_cast<unsigned long long>(num_users));
   return std::string(buf);
+}
+
+std::string ProtocolMetrics::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("server_seconds").Double(server_seconds);
+  w.Key("user_seconds_total").Double(user_seconds_total);
+  w.Key("user_seconds_avg").Double(UserSecondsAvg());
+  w.Key("comm_bits_total").Uint(comm_bits_total);
+  w.Key("comm_bits_avg").Double(CommBitsAvg());
+  w.Key("comm_bits_max_user").Uint(comm_bits_max_user);
+  w.Key("public_random_bits_per_user").Uint(public_random_bits_per_user);
+  w.Key("server_memory_bytes").Uint(static_cast<uint64_t>(server_memory_bytes));
+  w.Key("num_users").Uint(num_users);
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace ldphh

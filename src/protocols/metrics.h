@@ -33,7 +33,13 @@ struct ProtocolMetrics {
                      : 0.0;
   }
 
+  /// One human-readable line (Table-1 shorthand).
   std::string ToString() const;
+
+  /// The same measurements as one JSON object, rendered through the shared
+  /// obs::JsonWriter so harness output and runtime metrics expositions use
+  /// one number-formatting/escaping policy.
+  std::string ToJson() const;
 };
 
 }  // namespace ldphh

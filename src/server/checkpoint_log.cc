@@ -4,8 +4,41 @@
 
 #include "src/common/crc32.h"
 #include "src/common/serde.h"
+#include "src/common/timer.h"
+#include "src/obs/metrics.h"
 
 namespace ldphh {
+
+namespace {
+
+// Log-layer instruments are process-global: every writer in the process —
+// active segments, compaction outputs, epoch clocks — funnels through
+// these, giving one fsync latency distribution per process.
+obs::Counter& LogAppendsCounter() {
+  static const std::shared_ptr<obs::Counter> c =
+      obs::MetricsRegistry::Global().NewCounter(
+          "ldphh_log_appends_total", "Records appended to checkpoint logs");
+  return *c;
+}
+
+obs::Counter& LogAppendedBytesCounter() {
+  static const std::shared_ptr<obs::Counter> c =
+      obs::MetricsRegistry::Global().NewCounter(
+          "ldphh_log_appended_bytes_total",
+          "Bytes (header + payload) appended to checkpoint logs", "bytes");
+  return *c;
+}
+
+obs::Histogram& LogSyncHistogram() {
+  static const std::shared_ptr<obs::Histogram> h =
+      obs::MetricsRegistry::Global().NewHistogram(
+          "ldphh_log_sync_duration_ns",
+          "Checkpoint log Sync (fsync + deferred parent-dir sync) latency",
+          "ns");
+  return *h;
+}
+
+}  // namespace
 
 // ------------------------------------------------------------------ writer --
 
@@ -51,7 +84,10 @@ Status CheckpointWriter::Append(CheckpointRecordType type,
   PutU32(&header, static_cast<uint32_t>(payload.size()));
   PutU8(&header, static_cast<uint8_t>(type));
   LDPHH_RETURN_IF_ERROR(file_->Append(header));
-  return file_->Append(payload);
+  LDPHH_RETURN_IF_ERROR(file_->Append(payload));
+  LogAppendsCounter().Increment();
+  LogAppendedBytesCounter().Increment(header.size() + payload.size());
+  return Status::OK();
 }
 
 Status CheckpointWriter::Flush() {
@@ -65,11 +101,13 @@ Status CheckpointWriter::Sync() {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("checkpoint log: Sync on closed writer");
   }
+  const Timer timer;
   LDPHH_RETURN_IF_ERROR(file_->Sync(sync_mode_));
   if (dir_sync_pending_) {
     LDPHH_RETURN_IF_ERROR(fs_->SyncDirectory(ParentDirectory(path_)));
     dir_sync_pending_ = false;
   }
+  LogSyncHistogram().Observe(static_cast<uint64_t>(timer.Nanos()));
   return Status::OK();
 }
 

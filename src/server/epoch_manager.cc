@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/common/serde.h"
+#include "src/common/timer.h"
+#include "src/obs/trace.h"
 #include "src/protocols/registry.h"
 #include "src/server/report_codec.h"
 
@@ -14,7 +16,20 @@ EpochManager::EpochManager(ProtocolConfig config, uint16_t wire_id,
     : config_(std::move(config)),
       wire_id_(wire_id),
       store_(store),
-      options_(options) {}
+      options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  epoch_close_ns_ = reg.NewHistogram(
+      "ldphh_epoch_close_duration_ns",
+      "CloseEpoch duration (finish + serialize + durable puts + roll)", "ns");
+  epochs_closed_ =
+      reg.NewCounter("ldphh_epoch_closed_total", "Epochs closed durably");
+  epochs_pruned_ = reg.NewCounter("ldphh_epoch_pruned_total",
+                                  "Persisted epochs dropped by retention");
+  current_epoch_gauge_ =
+      reg.NewGauge("ldphh_epoch_current", "Id of the open epoch");
+  open_reports_gauge_ = reg.NewGauge(
+      "ldphh_epoch_open_reports", "Reports in the open epoch", "reports");
+}
 
 StatusOr<std::unique_ptr<EpochManager>> EpochManager::Create(
     const ProtocolConfig& config, CheckpointStore* store,
@@ -42,6 +57,8 @@ Status EpochManager::RollAggregator() {
   aggregator_ = std::move(aggregator_or).value();
   reports_in_epoch_ = 0;
   epoch_opened_at_ = Now();
+  current_epoch_gauge_->Set(static_cast<double>(current_epoch_));
+  open_reports_gauge_->Set(0.0);
   return aggregator_->Start();
 }
 
@@ -90,7 +107,8 @@ Status EpochManager::Submit(const WireReport& report) {
         "EpochManager: Submit outside Start()..Close()");
   }
   LDPHH_RETURN_IF_ERROR(aggregator_->Submit(report));
-  if (++reports_in_epoch_ >= options_.reports_per_epoch || EpochTimeUp()) {
+  open_reports_gauge_->Set(static_cast<double>(++reports_in_epoch_));
+  if (reports_in_epoch_ >= options_.reports_per_epoch || EpochTimeUp()) {
     return CloseEpoch();
   }
   return Status::OK();
@@ -121,6 +139,7 @@ Status EpochManager::CloseEpoch() {
     return Status::FailedPrecondition(
         "EpochManager: CloseEpoch outside Start()..Close()");
   }
+  const Timer close_timer;
   const uint64_t count = reports_in_epoch_;
   auto merged_or = aggregator_->Finish();
   LDPHH_RETURN_IF_ERROR(merged_or.status());
@@ -138,8 +157,12 @@ Status EpochManager::CloseEpoch() {
   PutU64(&clock_blob, current_epoch_ + 1);
   LDPHH_RETURN_IF_ERROR(store_->Put(kEpochClockKey, clock_blob));
 
+  epochs_closed_->Increment();
+  obs::TraceRing::Global().Record("epoch", "close", "", current_epoch_, count);
   ++current_epoch_;
-  return RollAggregator();
+  const Status rolled = RollAggregator();
+  epoch_close_ns_->Observe(static_cast<uint64_t>(close_timer.Nanos()));
+  return rolled;
 }
 
 Status EpochManager::Close() {
@@ -158,6 +181,21 @@ StatusOr<std::unique_ptr<Aggregator>> MergeEpochWindow(
     const std::function<Status(uint64_t epoch, std::string* blob)>& get,
     uint64_t first_epoch, uint64_t last_epoch,
     const ProtocolConfig* expected_config) {
+  // Process-global: the primary's WindowedQuery and every replica view
+  // funnel through this free function, giving one merge-latency
+  // distribution per process.
+  static const std::shared_ptr<obs::Histogram> merge_ns =
+      obs::MetricsRegistry::Global().NewHistogram(
+          "ldphh_epoch_window_merge_duration_ns",
+          "Windowed-query merge latency (fetch + restore + merge per window)",
+          "ns");
+  const Timer merge_timer;
+  struct ObserveOnExit {
+    const Timer& timer;
+    obs::Histogram& hist;
+    ~ObserveOnExit() { hist.Observe(static_cast<uint64_t>(timer.Nanos())); }
+  } observe{merge_timer, *merge_ns};
+
   if (first_epoch > last_epoch) {
     return Status::InvalidArgument("epoch window: first_epoch > last_epoch");
   }
@@ -236,9 +274,15 @@ StatusOr<std::unique_ptr<Aggregator>> EpochManager::WindowedQuery(
 }
 
 Status EpochManager::PruneEpochsBefore(uint64_t first_kept) {
+  uint64_t pruned = 0;
   for (uint64_t epoch : PersistedEpochs()) {
     if (epoch >= first_kept) break;
     LDPHH_RETURN_IF_ERROR(store_->Delete(epoch));
+    ++pruned;
+  }
+  if (pruned > 0) {
+    epochs_pruned_->Increment(pruned);
+    obs::TraceRing::Global().Record("epoch", "prune", "", pruned, first_kept);
   }
   return Status::OK();
 }

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/protocols/aggregator.h"
 #include "src/protocols/protocol_config.h"
 #include "src/server/sharded_aggregator.h"
@@ -154,6 +155,13 @@ class EpochManager {
   std::chrono::steady_clock::time_point epoch_opened_at_{};
   bool started_ = false;
   bool closed_ = false;
+
+  // Registry instruments for the epoch lifecycle.
+  std::shared_ptr<obs::Histogram> epoch_close_ns_;
+  std::shared_ptr<obs::Counter> epochs_closed_;
+  std::shared_ptr<obs::Counter> epochs_pruned_;
+  std::shared_ptr<obs::Gauge> current_epoch_gauge_;
+  std::shared_ptr<obs::Gauge> open_reports_gauge_;
 };
 
 /// Epoch snapshot blob layout (the value stored under an epoch id):

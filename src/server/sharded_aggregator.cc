@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "src/common/serde.h"
+#include "src/common/timer.h"
+#include "src/ldp/privacy_loss.h"
+#include "src/obs/trace.h"
 #include "src/protocols/registry.h"
 
 namespace ldphh {
@@ -22,10 +25,43 @@ ShardedAggregator::ShardedAggregator(
     std::vector<std::unique_ptr<Aggregator>> oracles,
     ShardedAggregatorOptions options)
     : config_(std::move(config)), wire_id_(wire_id), options_(options) {
+  // The served randomizer's per-report budget, for runtime privacy
+  // accounting; protocols without an "eps" parameter spend 0 (nothing to
+  // account — e.g. a non-private baseline).
+  report_epsilon_ = config_.GetDoubleOr("eps", 0.0);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  submitted_ = reg.NewCounter("ldphh_ingest_submitted_reports_total",
+                              "Reports accepted by Submit/SubmitBatch/SubmitWire");
+  restored_reports_ = reg.NewCounter(
+      "ldphh_ingest_restored_reports_total",
+      "Reports carried in via RestoreCheckpoint");
+  rejected_reports_ = reg.NewCounter(
+      "ldphh_ingest_rejected_reports_total",
+      "Reports the protocol refused (wrong shape for the config)");
+  wire_rejected_batches_ = reg.NewCounter(
+      "ldphh_ingest_wire_rejected_batches_total",
+      "Wire batches rejected before decode (bad stamp or corrupt)");
+  wire_decode_ns_ = reg.NewHistogram("ldphh_ingest_wire_decode_duration_ns",
+                                     "SubmitWire batch decode latency", "ns");
+  batch_aggregate_ns_ = reg.NewHistogram(
+      "ldphh_ingest_batch_aggregate_duration_ns",
+      "Worker latency aggregating one drained batch", "ns");
+  checkpoint_write_ns_ = reg.NewHistogram(
+      "ldphh_ingest_checkpoint_write_duration_ns",
+      "WriteCheckpoint duration (quiesce + serialize + sync)", "ns");
+  checkpoint_restore_ns_ = reg.NewHistogram(
+      "ldphh_ingest_checkpoint_restore_duration_ns",
+      "RestoreCheckpoint duration (scan + state restore)", "ns");
+
   shards_.reserve(oracles.size());
-  for (auto& oracle : oracles) {
+  for (size_t s = 0; s < oracles.size(); ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->oracle = std::move(oracle);
+    shard->oracle = std::move(oracles[s]);
+    shard->queue_depth = reg.NewGauge(
+        obs::LabeledName("ldphh_ingest_queue_depth", "shard",
+                         std::to_string(s)),
+        "Reports queued per shard", "reports");
     shards_.push_back(std::move(shard));
   }
 }
@@ -104,11 +140,15 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
         batch.push_back(shard.queue.front());
         shard.queue.pop_front();
       }
+      shard.queue_depth->Set(static_cast<double>(shard.queue.size()));
       shard.busy = true;
     }
     shard.not_full.notify_all();
     // Aggregation happens outside the queue lock: the oracle is only ever
     // touched by this worker (or by the main thread once quiesced).
+    // Instrumentation is per-batch (one timer + one histogram write per
+    // hundreds of reports), keeping the hot path unmeasurable by design.
+    const Timer batch_timer;
     uint64_t ok = 0, bad = 0;
     for (const WireReport& r : batch) {
       if (shard.oracle->Aggregate(r).ok()) {
@@ -119,6 +159,12 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
         // is dropped and counted; the stream keeps flowing.
         ++bad;
       }
+    }
+    batch_aggregate_ns_->Observe(static_cast<uint64_t>(batch_timer.Nanos()));
+    if (bad > 0) rejected_reports_->Increment(bad);
+    if (ok > 0 && report_epsilon_ > 0.0) {
+      PrivacyBudgetLedger::Global().RecordSpend(report_epsilon_, ok,
+                                                config_.protocol());
     }
     {
       std::lock_guard<std::mutex> lk(shard.mu);
@@ -143,7 +189,7 @@ Status ShardedAggregator::Submit(const WireReport& report) {
     shard.queue.push_back(report);
   }
   shard.not_empty.notify_one();
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_->Increment();
   return Status::OK();
 }
 
@@ -187,14 +233,20 @@ Status ShardedAggregator::SubmitBatch(const std::vector<WireReport>& reports) {
       pending -= take;
     }
   }
-  submitted_.fetch_add(reports.size(), std::memory_order_relaxed);
+  submitted_->Increment(reports.size());
   return Status::OK();
 }
 
 Status ShardedAggregator::SubmitWire(std::string_view batch) {
   std::vector<WireReport> reports;
-  LDPHH_RETURN_IF_ERROR(
-      DecodeReportBatchFor(batch, wire_id_, config_.protocol(), &reports));
+  const Timer decode_timer;
+  const Status decoded =
+      DecodeReportBatchFor(batch, wire_id_, config_.protocol(), &reports);
+  wire_decode_ns_->Observe(static_cast<uint64_t>(decode_timer.Nanos()));
+  if (!decoded.ok()) {
+    wire_rejected_batches_->Increment();
+    return decoded;
+  }
   return SubmitBatch(reports);
 }
 
@@ -210,6 +262,7 @@ Status ShardedAggregator::Drain() {
 }
 
 Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
+  const Timer checkpoint_timer;
   LDPHH_RETURN_IF_ERROR(Drain());
   // Pause the workers for the duration of the snapshot: Drain() alone is
   // not enough when producers keep submitting concurrently, since a worker
@@ -227,7 +280,7 @@ Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
     PutU16(&manifest, kCheckpointVersion);
     config_.AppendTo(&manifest);
     PutU32(&manifest, static_cast<uint32_t>(options_.num_shards));
-    PutU64(&manifest, submitted_.load() + restored_);
+    PutU64(&manifest, submitted_->Value() + restored_);
     LDPHH_RETURN_IF_ERROR(log.Append(CheckpointRecordType::kManifest, manifest));
 
     for (size_t s = 0; s < shards_.size(); ++s) {
@@ -248,6 +301,11 @@ Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
   }();
   paused_.store(false);
   for (auto& shard : shards_) shard->not_empty.notify_all();
+  checkpoint_write_ns_->Observe(static_cast<uint64_t>(checkpoint_timer.Nanos()));
+  obs::TraceRing::Global().Record("ingest", "checkpoint_write",
+                                  result.ok() ? "" : result.message(),
+                                  submitted_->Value() + restored_,
+                                  static_cast<uint64_t>(options_.num_shards));
   return result;
 }
 
@@ -256,6 +314,7 @@ Status ShardedAggregator::RestoreCheckpoint(CheckpointReader& log) {
     return Status::FailedPrecondition(
         "ShardedAggregator: RestoreCheckpoint after Start");
   }
+  const Timer restore_timer;
   // Scan the whole log; recovery applies the last *complete* checkpoint
   // (a crash while checkpointing leaves a partial set of shard records,
   // which is simply superseded or ignored).
@@ -335,6 +394,10 @@ Status ShardedAggregator::RestoreCheckpoint(CheckpointReader& log) {
     restored += state.first;
   }
   restored_ = restored;
+  restored_reports_->Increment(restored);
+  checkpoint_restore_ns_->Observe(static_cast<uint64_t>(restore_timer.Nanos()));
+  obs::TraceRing::Global().Record("ingest", "checkpoint_restore", "", restored,
+                                  static_cast<uint64_t>(options_.num_shards));
   return Status::OK();
 }
 
@@ -363,7 +426,7 @@ StatusOr<std::unique_ptr<Aggregator>> ShardedAggregator::Finish() {
 
 IngestStats ShardedAggregator::Stats() const {
   IngestStats stats;
-  stats.submitted = submitted_.load();
+  stats.submitted = submitted_->Value();
   stats.restored = restored_;
   stats.per_shard.reserve(shards_.size());
   for (const auto& shard : shards_) {

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/protocols/aggregator.h"
 #include "src/protocols/protocol_config.h"
 #include "src/server/checkpoint_log.h"
@@ -141,6 +142,7 @@ class ShardedAggregator {
     uint64_t ingested = 0;
     uint64_t rejected = 0;
     std::unique_ptr<Aggregator> oracle;
+    std::shared_ptr<obs::Gauge> queue_depth;  ///< ldphh_ingest_queue_depth{shard=}.
     std::thread worker;
   };
 
@@ -158,8 +160,22 @@ class ShardedAggregator {
   std::atomic<bool> paused_{false};  ///< Workers park while a checkpoint runs.
   bool started_ = false;
   bool finished_ = false;
-  std::atomic<uint64_t> submitted_{0};
   uint64_t restored_ = 0;
+  /// Per-report privacy budget of the served randomizer (config "eps");
+  /// 0 when the protocol does not declare one.
+  double report_epsilon_ = 0.0;
+
+  // Registry instruments. IngestStats is a thin snapshot of these (plus the
+  // per-shard counters above); `submitted_` lives here rather than as a raw
+  // atomic so the process-wide exposition sees it too.
+  std::shared_ptr<obs::Counter> submitted_;
+  std::shared_ptr<obs::Counter> restored_reports_;
+  std::shared_ptr<obs::Counter> rejected_reports_;
+  std::shared_ptr<obs::Counter> wire_rejected_batches_;
+  std::shared_ptr<obs::Histogram> wire_decode_ns_;
+  std::shared_ptr<obs::Histogram> batch_aggregate_ns_;
+  std::shared_ptr<obs::Histogram> checkpoint_write_ns_;
+  std::shared_ptr<obs::Histogram> checkpoint_restore_ns_;
 };
 
 }  // namespace ldphh

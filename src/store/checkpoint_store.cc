@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/common/serde.h"
+#include "src/common/timer.h"
+#include "src/obs/trace.h"
 
 namespace ldphh {
 
@@ -41,7 +43,44 @@ CheckpointStore::CheckpointStore(std::string dir, CheckpointStoreOptions options
       options_(options),
       fs_(options.file_system != nullptr ? options.file_system
                                          : FileSystem::Default()),
-      incarnation_(DrawIncarnation()) {}
+      incarnation_(DrawIncarnation()) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  puts_ = reg.NewCounter("ldphh_store_puts_total", "Put operations acked");
+  deletes_ = reg.NewCounter("ldphh_store_deletes_total",
+                            "Delete operations acked (tombstones)");
+  appended_bytes_ = reg.NewCounter(
+      "ldphh_store_appended_bytes_total",
+      "Record bytes (header + payload) appended to segments", "bytes");
+  compactions_ = reg.NewCounter("ldphh_store_compactions_total",
+                                "Compaction passes completed");
+  manifest_installs_ = reg.NewCounter("ldphh_store_manifest_installs_total",
+                                      "MANIFEST replacements installed");
+  recovered_records_ = reg.NewCounter("ldphh_store_recovered_records_total",
+                                      "Records replayed at Open");
+  recovered_bytes_ = reg.NewCounter("ldphh_store_recovered_bytes_total",
+                                    "Segment bytes scanned at Open", "bytes");
+  dropped_tail_records_ = reg.NewCounter(
+      "ldphh_store_dropped_tail_records_total",
+      "Torn/corrupt active-tail records discarded at Open");
+  put_duration_ns_ = reg.NewHistogram(
+      "ldphh_store_put_duration_ns",
+      "Put latency (append + sync per sync_mode, possible segment roll)",
+      "ns");
+  compaction_duration_ns_ = reg.NewHistogram(
+      "ldphh_store_compaction_duration_ns",
+      "Completed compaction pass duration (write + install + delete)", "ns");
+  live_segments_gauge_ =
+      reg.NewGauge("ldphh_store_live_segments",
+                   "Segments in the current MANIFEST", "segments");
+  sealed_segments_gauge_ =
+      reg.NewGauge("ldphh_store_sealed_segments",
+                   "Live segments no longer written to", "segments");
+  entries_gauge_ =
+      reg.NewGauge("ldphh_store_entries", "Distinct live keys", "keys");
+  manifest_sequence_gauge_ =
+      reg.NewGauge("ldphh_store_manifest_sequence",
+                   "Install generation of the current MANIFEST");
+}
 
 StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
     const std::string& dir, const CheckpointStoreOptions& options) {
@@ -165,6 +204,9 @@ Status CheckpointStore::Recover() {
   // fast path sound.
   LDPHH_RETURN_IF_ERROR(
       InstallManifestLocked(live_, next_segment_, active_segment_));
+  obs::TraceRing::Global().Record("store", "recover", dir_,
+                                  recovered_records_->Value(),
+                                  manifest_sequence_);
   return active_writer_.Open(PathOf(active_segment_), fs_, options_.sync_mode);
 }
 
@@ -187,9 +229,14 @@ Status CheckpointStore::ReplaySegment(uint64_t segment, bool is_active,
   LDPHH_RETURN_IF_ERROR(ReplayStoreSegment(fs_, path, segment,
                                            /*tolerate_damaged_tail=*/is_active,
                                            entries, tombstones, &replay));
-  stats_.recovered_records += replay.records;
-  stats_.recovered_bytes += replay.clean_end;
-  stats_.dropped_tail_records += replay.dropped_tail_records;
+  recovered_records_->Increment(replay.records);
+  recovered_bytes_->Increment(replay.clean_end);
+  dropped_tail_records_->Increment(replay.dropped_tail_records);
+  if (replay.dropped_tail_records > 0) {
+    obs::TraceRing::Global().Record("store", "recovery_dropped_tail", path,
+                                    replay.dropped_tail_records,
+                                    replay.clean_end);
+  }
   const uint64_t clean_end = replay.clean_end;
 
   // Truncate the active segment at the last clean record so the damaged
@@ -255,7 +302,13 @@ Status CheckpointStore::InstallManifestLocked(const std::set<uint64_t>& live,
     LDPHH_RETURN_IF_ERROR(fs_->RenameAndSync(tmp_path, manifest_path));
   }
   ++manifest_sequence_;
-  ++stats_.manifest_installs;
+  manifest_installs_->Increment();
+  manifest_sequence_gauge_->Set(static_cast<double>(manifest_sequence_));
+  live_segments_gauge_->Set(static_cast<double>(live.size()));
+  sealed_segments_gauge_->Set(
+      live.empty() ? 0.0 : static_cast<double>(live.size() - 1));
+  obs::TraceRing::Global().Record("store", "manifest_install", "",
+                                  manifest_sequence_, live.size());
   return Status::OK();
 }
 
@@ -274,6 +327,7 @@ Status CheckpointStore::AppendRecordLocked(CheckpointRecordType type,
   // sync of a freshly rolled segment also syncs its directory entry).
   LDPHH_RETURN_IF_ERROR(active_writer_.Sync());
   active_bytes_ += kCheckpointRecordHeaderSize + payload.size();
+  appended_bytes_->Increment(kCheckpointRecordHeaderSize + payload.size());
 
   if (type == kStoreEntryRecord) {
     StoreSegmentEntry entry;
@@ -285,6 +339,7 @@ Status CheckpointStore::AppendRecordLocked(CheckpointRecordType type,
     entries_.erase(key);
   }
 
+  entries_gauge_->Set(static_cast<double>(entries_.size()));
   if (active_bytes_ >= options_.segment_max_bytes) {
     LDPHH_RETURN_IF_ERROR(RollActiveLocked());
   }
@@ -302,10 +357,13 @@ Status CheckpointStore::RollActiveLocked() {
   LDPHH_RETURN_IF_ERROR(
       active_writer_.Open(PathOf(active_segment_), fs_, options_.sync_mode));
   active_bytes_ = 0;
+  obs::TraceRing::Global().Record("store", "segment_roll", "", active_segment_,
+                                  live_.size());
   return Status::OK();
 }
 
 Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
+  const Timer put_timer;
   bool wake = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -316,6 +374,8 @@ Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
     wake = options_.compaction_trigger > 0 &&
            SealedCountLocked() >= std::max(options_.compaction_trigger, 2);
   }
+  puts_->Increment();
+  put_duration_ns_->Observe(static_cast<uint64_t>(put_timer.Nanos()));
   if (wake) work_cv_.notify_one();
   return Status::OK();
 }
@@ -331,6 +391,7 @@ Status CheckpointStore::Delete(uint64_t key) {
     wake = options_.compaction_trigger > 0 &&
            SealedCountLocked() >= std::max(options_.compaction_trigger, 2);
   }
+  deletes_->Increment();
   if (wake) work_cv_.notify_one();
   return Status::OK();
 }
@@ -363,10 +424,15 @@ std::vector<uint64_t> CheckpointStore::Keys() const {
 
 CheckpointStoreStats CheckpointStore::Stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  CheckpointStoreStats s = stats_;
+  CheckpointStoreStats s;
   s.live_segments = live_.size();
   s.sealed_segments = static_cast<uint64_t>(SealedCountLocked());
   s.entries = entries_.size();
+  s.compactions = compactions_->Value();
+  s.manifest_installs = manifest_installs_->Value();
+  s.recovered_records = recovered_records_->Value();
+  s.recovered_bytes = recovered_bytes_->Value();
+  s.dropped_tail_records = dropped_tail_records_->Value();
   s.manifest_sequence = manifest_sequence_;
   return s;
 }
@@ -377,6 +443,7 @@ Status CheckpointStore::Compact() { return CompactPass(/*respect_trigger=*/false
 
 Status CheckpointStore::CompactPass(bool respect_trigger) {
   std::lock_guard<std::mutex> pass_lk(compaction_mu_);
+  const Timer pass_timer;
 
   const CompactionCrashPoint crash = crash_point_.load();
   std::set<uint64_t> inputs;
@@ -439,6 +506,8 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
     if (st.ok()) st = writer.Sync();
     if (st.ok()) st = writer.Close();
     if (!st.ok()) return done(st);
+    obs::TraceRing::Global().Record("store", "compaction_phase_a", "",
+                                    out_segment, records.size());
   }
   if (crash == CompactionCrashPoint::kAfterConsolidatedSegment) {
     return done(Status::OK());
@@ -467,7 +536,9 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
     for (auto& [key, state] : entries_) {
       if (inputs.count(state.segment) != 0) state.segment = out_segment;
     }
-    ++stats_.compactions;
+    compactions_->Increment();
+    obs::TraceRing::Global().Record("store", "compaction_phase_b", "",
+                                    manifest_sequence_, inputs.size());
   }
   if (crash == CompactionCrashPoint::kAfterManifestInstall) {
     return done(Status::OK());
@@ -485,6 +556,9 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
     const Status st = SyncDirIfDurable();
     if (!st.ok()) return done(st);
   }
+  obs::TraceRing::Global().Record("store", "compaction_phase_c", "",
+                                  inputs.size(), out_segment);
+  compaction_duration_ns_->Observe(static_cast<uint64_t>(pass_timer.Nanos()));
   return done(Status::OK());
 }
 

@@ -69,6 +69,7 @@
 
 #include "src/common/file.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/server/checkpoint_log.h"
 #include "src/store/store_format.h"
 
@@ -94,7 +95,8 @@ struct CheckpointStoreOptions {
   FileSystem* file_system = nullptr;
 };
 
-/// Counters for tests, benchmarks, and operators (a consistent snapshot).
+/// Counters for tests, benchmarks, and operators — a thin consistent
+/// snapshot of this store's registry instruments (Stats() assembles it).
 struct CheckpointStoreStats {
   uint64_t live_segments = 0;    ///< Segments in the current MANIFEST.
   uint64_t sealed_segments = 0;  ///< Live segments no longer written to.
@@ -219,7 +221,23 @@ class CheckpointStore {
   /// puts it on disk before any record is acknowledged.
   uint64_t incarnation_ = 0;
   CheckpointWriter active_writer_;
-  CheckpointStoreStats stats_;
+
+  // Registry instruments; CheckpointStoreStats snapshots them. Counters are
+  // per-instance (since Open), gauges track the current on-disk shape.
+  std::shared_ptr<obs::Counter> puts_;
+  std::shared_ptr<obs::Counter> deletes_;
+  std::shared_ptr<obs::Counter> appended_bytes_;
+  std::shared_ptr<obs::Counter> compactions_;
+  std::shared_ptr<obs::Counter> manifest_installs_;
+  std::shared_ptr<obs::Counter> recovered_records_;
+  std::shared_ptr<obs::Counter> recovered_bytes_;
+  std::shared_ptr<obs::Counter> dropped_tail_records_;
+  std::shared_ptr<obs::Histogram> put_duration_ns_;
+  std::shared_ptr<obs::Histogram> compaction_duration_ns_;
+  std::shared_ptr<obs::Gauge> live_segments_gauge_;
+  std::shared_ptr<obs::Gauge> sealed_segments_gauge_;
+  std::shared_ptr<obs::Gauge> entries_gauge_;
+  std::shared_ptr<obs::Gauge> manifest_sequence_gauge_;
 
   std::mutex compaction_mu_;       ///< Serializes compaction passes.
   std::condition_variable work_cv_;   ///< Wakes the background thread.

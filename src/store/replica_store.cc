@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/timer.h"
+#include "src/obs/trace.h"
+
 namespace ldphh {
 
 namespace {
@@ -36,7 +39,35 @@ ReplicaStore::ReplicaStore(std::string dir, ReplicaStoreOptions options)
     : dir_(std::move(dir)),
       options_(options),
       fs_(options.file_system != nullptr ? options.file_system
-                                         : FileSystem::Default()) {}
+                                         : FileSystem::Default()) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  refreshes_ = reg.NewCounter("ldphh_replica_refreshes_total",
+                              "Refresh passes (manual + background)");
+  snapshots_installed_ =
+      reg.NewCounter("ldphh_replica_snapshots_installed_total",
+                     "Refreshes that advanced the snapshot");
+  segment_races_ = reg.NewCounter(
+      "ldphh_replica_segment_races_total",
+      "MANIFEST re-reads forced by a segment deleted mid-refresh");
+  segments_replayed_ = reg.NewCounter("ldphh_replica_segments_replayed_total",
+                                      "Segment files parsed end to end");
+  segment_cache_hits_ = reg.NewCounter("ldphh_replica_segment_cache_hits_total",
+                                       "Sealed segments served from cache");
+  incremental_replays_ = reg.NewCounter(
+      "ldphh_replica_incremental_replays_total",
+      "Active-segment replays resumed from the last clean offset");
+  failed_refreshes_ = reg.NewCounter("ldphh_replica_failed_refreshes_total",
+                                     "Background refreshes that errored");
+  poll_duration_ns_ = reg.NewHistogram("ldphh_replica_poll_duration_ns",
+                                       "Refresh (tail poll) latency", "ns");
+  manifest_sequence_gauge_ =
+      reg.NewGauge("ldphh_replica_manifest_sequence",
+                   "MANIFEST generation of the current snapshot");
+  lag_gauge_ = reg.NewGauge(
+      "ldphh_replica_lag_generations",
+      "Primary MANIFEST generation minus this replica's, at poll time",
+      "generations");
+}
 
 StatusOr<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
     const std::string& dir, const ReplicaStoreOptions& options) {
@@ -77,7 +108,7 @@ void ReplicaStore::TailLoop() {
     // A transient race already retried inside Refresh; what reaches here is
     // an I/O error (or the primary's directory vanishing). The tailer keeps
     // polling — the condition may heal — and the failure is on the record.
-    if (!refreshed_or.ok()) ++stats_.failed_refreshes;
+    if (!refreshed_or.ok()) failed_refreshes_->Increment();
   }
 }
 
@@ -89,14 +120,14 @@ std::shared_ptr<const ReplicaStore::Snapshot> ReplicaStore::CurrentSnapshot()
 
 StatusOr<bool> ReplicaStore::Refresh() {
   std::lock_guard<std::mutex> pass_lk(refresh_mu_);
-  return RefreshLocked();
+  const Timer poll_timer;
+  const StatusOr<bool> refreshed = RefreshLocked();
+  poll_duration_ns_->Observe(static_cast<uint64_t>(poll_timer.Nanos()));
+  return refreshed;
 }
 
 StatusOr<bool> ReplicaStore::RefreshLocked() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.refreshes;
-  }
+  refreshes_->Increment();
   const std::string manifest_path = dir_ + "/" + kStoreManifestName;
   uint64_t failed_sequence = 0;
   uint64_t failed_incarnation = 0;
@@ -137,6 +168,12 @@ StatusOr<bool> ReplicaStore::RefreshLocked() {
     }
 
     const std::shared_ptr<const Snapshot> prev = CurrentSnapshot();
+    // Replication lag as seen by this poll: the freshest generation on disk
+    // is the primary's; ours is the snapshot still being served.
+    lag_gauge_->Set(static_cast<double>(
+        manifest.sequence -
+        std::min(manifest.sequence,
+                 prev != nullptr ? prev->manifest_sequence : 0)));
     // The fast path is only sound when the previous replay consumed the
     // whole active file it saw: a cut short of the raw size (a torn
     // in-flight record, or a stale read on a laggy shared filesystem)
@@ -173,8 +210,7 @@ StatusOr<bool> ReplicaStore::RefreshLocked() {
       failed_sequence = manifest.sequence;
       failed_incarnation = manifest.incarnation;
       have_failed_sequence = true;
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.segment_races;
+      segment_races_->Increment();
       continue;
     }
     LDPHH_RETURN_IF_ERROR(st);
@@ -190,8 +226,7 @@ StatusOr<bool> ReplicaStore::RefreshLocked() {
       LDPHH_RETURN_IF_ERROR(ReadStoreManifest(fs_, manifest_path, &check));
       if (check.sequence != manifest.sequence ||
           check.incarnation != manifest.incarnation) {
-        std::lock_guard<std::mutex> lk(mu_);
-        ++stats_.segment_races;
+        segment_races_->Increment();
         continue;
       }
     }
@@ -206,10 +241,16 @@ StatusOr<bool> ReplicaStore::RefreshLocked() {
       }
     }
 
-    std::lock_guard<std::mutex> lk(mu_);
-    snapshot_ = std::move(next);
-    ++stats_.snapshots_installed;
-    stats_.manifest_sequence = manifest.sequence;
+    const size_t installed_entries = next->entries.size();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      snapshot_ = std::move(next);
+    }
+    snapshots_installed_->Increment();
+    manifest_sequence_gauge_->Set(static_cast<double>(manifest.sequence));
+    lag_gauge_->Set(0.0);  // Caught up to the generation this poll read.
+    obs::TraceRing::Global().Record("replica", "snapshot_install", dir_,
+                                    manifest.sequence, installed_entries);
     return true;
   }
   return Status::ResourceExhausted(
@@ -243,8 +284,7 @@ Status ReplicaStore::LoadSnapshot(const StoreManifest& manifest,
       const auto cached = sealed_cache_.find(seg);
       if (cached != sealed_cache_.end()) {
         snap->pinned.push_back(cached->second);
-        std::lock_guard<std::mutex> lk(mu_);
-        ++stats_.segment_cache_hits;
+        segment_cache_hits_->Increment();
         continue;
       }
     }
@@ -309,8 +349,7 @@ Status ReplicaStore::LoadSnapshot(const StoreManifest& manifest,
       resumed_from = active_parts_.back()->clean_bytes;
       resumed = true;
       LDPHH_RETURN_IF_ERROR(p.file->Skip(resumed_from));
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.incremental_replays;
+      incremental_replays_->Increment();
     }
     LDPHH_RETURN_IF_ERROR(ReplayStoreSegment(
         std::move(p.file), p.path, p.segment,
@@ -319,10 +358,7 @@ Status ReplicaStore::LoadSnapshot(const StoreManifest& manifest,
     // clean_end counts from the (absolute) cursor, so an empty tail keeps
     // the resumed offset.
     data->clean_bytes = std::max(resumed_from, replay.clean_end);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.segments_replayed;
-    }
+    segments_replayed_->Increment();
     // A segment read while active may be a prefix of its sealed form;
     // cache only what is provably complete (sealed when listed). The
     // active prefix is kept as the parts chain for the incremental resume.
@@ -426,8 +462,16 @@ uint64_t ReplicaStore::manifest_sequence() const {
 }
 
 ReplicaStoreStats ReplicaStore::Stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  ReplicaStoreStats s;
+  s.refreshes = refreshes_->Value();
+  s.snapshots_installed = snapshots_installed_->Value();
+  s.segment_races = segment_races_->Value();
+  s.segments_replayed = segments_replayed_->Value();
+  s.segment_cache_hits = segment_cache_hits_->Value();
+  s.incremental_replays = incremental_replays_->Value();
+  s.failed_refreshes = failed_refreshes_->Value();
+  s.manifest_sequence = manifest_sequence();
+  return s;
 }
 
 }  // namespace ldphh

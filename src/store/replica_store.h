@@ -72,6 +72,7 @@
 
 #include "src/common/file.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/store/store_format.h"
 
 namespace ldphh {
@@ -92,7 +93,8 @@ struct ReplicaStoreOptions {
   std::chrono::milliseconds poll_interval{0};
 };
 
-/// Counters for tests, benchmarks, and operators (a consistent snapshot).
+/// Counters for tests, benchmarks, and operators — a thin snapshot of this
+/// replica's registry instruments (Stats() assembles it).
 struct ReplicaStoreStats {
   uint64_t refreshes = 0;           ///< Refresh passes (manual + background).
   uint64_t snapshots_installed = 0; ///< Refreshes that advanced the snapshot.
@@ -200,9 +202,21 @@ class ReplicaStore {
   const ReplicaStoreOptions options_;
   ReadableFileSystem* const fs_;
 
-  mutable std::mutex mu_;  ///< Guards snapshot_ swap and stats_.
+  mutable std::mutex mu_;  ///< Guards the snapshot_ swap.
   std::shared_ptr<const Snapshot> snapshot_;
-  ReplicaStoreStats stats_;
+
+  // Registry instruments; ReplicaStoreStats snapshots them. All are safe to
+  // bump without mu_.
+  std::shared_ptr<obs::Counter> refreshes_;
+  std::shared_ptr<obs::Counter> snapshots_installed_;
+  std::shared_ptr<obs::Counter> segment_races_;
+  std::shared_ptr<obs::Counter> segments_replayed_;
+  std::shared_ptr<obs::Counter> segment_cache_hits_;
+  std::shared_ptr<obs::Counter> incremental_replays_;
+  std::shared_ptr<obs::Counter> failed_refreshes_;
+  std::shared_ptr<obs::Histogram> poll_duration_ns_;
+  std::shared_ptr<obs::Gauge> manifest_sequence_gauge_;
+  std::shared_ptr<obs::Gauge> lag_gauge_;
 
   std::mutex refresh_mu_;  ///< Serializes refresh passes.
   /// Parsed sealed segments, keyed by segment number; guarded by
