@@ -1,0 +1,244 @@
+// Perf-regression gate: compare a fresh google-benchmark JSON dump against
+// a committed baseline and fail when throughput regresses past tolerance.
+//
+//   check_regression <baseline.json> <fresh.json> [flags]
+//
+// For every benchmark present in the baseline, the gate looks up the same
+// name in the fresh run and compares the rate counters google-benchmark
+// emits (`items_per_second`, `bytes_per_second` — higher is better). A
+// metric fails when fresh/baseline < 1 - tolerance.
+//
+// Flags:
+//   --default-tolerance=<frac>   allowed fractional drop (default 0.35 —
+//                                CI machines are noisy, 1-CPU VMs doubly so)
+//   --tolerance=<name>=<frac>    per-benchmark override (repeatable; <name>
+//                                is the full benchmark name)
+//   --normalize                  divide out machine speed: every per-metric
+//                                ratio is scaled by the median ratio across
+//                                all metrics, so a uniformly slower (or
+//                                faster) host cancels and only *relative*
+//                                regressions trip the gate
+//
+// Environment:
+//   LDPHH_BENCH_GATE=off         print what would have been checked and
+//                                exit 0 — the documented escape hatch for
+//                                intentional perf-profile changes (commit a
+//                                new baseline in the same PR to re-arm).
+//
+// Benchmarks present in the fresh run but not the baseline are ignored
+// (new benches don't need a baseline yet); baseline entries missing from
+// the fresh run only warn (renames shouldn't hard-fail unrelated PRs).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_reader.h"
+
+namespace {
+
+using ldphh::Status;
+using ldphh::obs::JsonValue;
+using ldphh::obs::ParseJson;
+
+struct Metric {
+  std::string bench;   // Full benchmark name.
+  std::string counter; // "items_per_second" | "bytes_per_second".
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double ratio = 0.0;  // fresh / baseline (after normalization, if any).
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// benchmark name -> counter name -> value, for every rate counter present.
+std::map<std::string, std::map<std::string, double>> ExtractRates(
+    const JsonValue& doc) {
+  std::map<std::string, std::map<std::string, double>> rates;
+  const JsonValue* benches = doc.Find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) return rates;
+  for (const JsonValue& b : benches->array) {
+    const JsonValue* name = b.Find("name");
+    const JsonValue* run_type = b.Find("run_type");
+    if (name == nullptr || !name->is_string()) continue;
+    // Skip aggregate rows (mean/median/stddev of repetitions).
+    if (run_type != nullptr && run_type->is_string() &&
+        run_type->string_value != "iteration") {
+      continue;
+    }
+    for (const char* counter : {"items_per_second", "bytes_per_second"}) {
+      const JsonValue* v = b.Find(counter);
+      if (v != nullptr && v->is_number() && v->number_value > 0.0) {
+        rates[name->string_value][counter] = v->number_value;
+      }
+    }
+  }
+  return rates;
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double default_tolerance = 0.35;
+  bool normalize = false;
+  std::map<std::string, double> per_bench_tolerance;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--default-tolerance=", 0) == 0) {
+      default_tolerance = std::atof(arg.c_str() + strlen("--default-tolerance="));
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      const std::string spec = arg.substr(strlen("--tolerance="));
+      const size_t eq = spec.rfind('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad flag (want --tolerance=<name>=<frac>): %s\n",
+                     arg.c_str());
+        return 2;
+      }
+      per_bench_tolerance[spec.substr(0, eq)] =
+          std::atof(spec.c_str() + eq + 1);
+    } else if (arg == "--normalize") {
+      normalize = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: check_regression <baseline.json> <fresh.json> "
+                 "[--default-tolerance=F] [--tolerance=NAME=F] "
+                 "[--normalize]\n");
+    return 2;
+  }
+
+  const char* gate = std::getenv("LDPHH_BENCH_GATE");
+  const bool gate_off = gate != nullptr && std::string(gate) == "off";
+
+  std::string baseline_text, fresh_text;
+  if (!ReadFile(positional[0], &baseline_text)) {
+    std::fprintf(stderr, "cannot read baseline: %s\n", positional[0].c_str());
+    return 2;
+  }
+  if (!ReadFile(positional[1], &fresh_text)) {
+    std::fprintf(stderr, "cannot read fresh run: %s\n", positional[1].c_str());
+    return 2;
+  }
+
+  JsonValue baseline_doc, fresh_doc;
+  if (const Status st = ParseJson(baseline_text, &baseline_doc); !st.ok()) {
+    std::fprintf(stderr, "baseline %s: %s\n", positional[0].c_str(),
+                 st.message().c_str());
+    return 2;
+  }
+  if (const Status st = ParseJson(fresh_text, &fresh_doc); !st.ok()) {
+    std::fprintf(stderr, "fresh %s: %s\n", positional[1].c_str(),
+                 st.message().c_str());
+    return 2;
+  }
+
+  const auto baseline_rates = ExtractRates(baseline_doc);
+  const auto fresh_rates = ExtractRates(fresh_doc);
+
+  std::vector<Metric> metrics;
+  int missing = 0;
+  for (const auto& [bench, counters] : baseline_rates) {
+    const auto fit = fresh_rates.find(bench);
+    if (fit == fresh_rates.end()) {
+      std::fprintf(stderr, "WARN  %s: in baseline but not in fresh run\n",
+                   bench.c_str());
+      ++missing;
+      continue;
+    }
+    for (const auto& [counter, base_value] : counters) {
+      const auto cit = fit->second.find(counter);
+      if (cit == fit->second.end()) {
+        std::fprintf(stderr, "WARN  %s [%s]: counter absent in fresh run\n",
+                     bench.c_str(), counter.c_str());
+        continue;
+      }
+      Metric m;
+      m.bench = bench;
+      m.counter = counter;
+      m.baseline = base_value;
+      m.fresh = cit->second;
+      m.ratio = m.fresh / m.baseline;
+      metrics.push_back(std::move(m));
+    }
+  }
+
+  if (metrics.empty()) {
+    std::fprintf(stderr, "no comparable metrics between %s and %s\n",
+                 positional[0].c_str(), positional[1].c_str());
+    return gate_off ? 0 : 2;
+  }
+
+  double scale = 1.0;
+  if (normalize) {
+    std::vector<double> ratios;
+    ratios.reserve(metrics.size());
+    for (const Metric& m : metrics) ratios.push_back(m.ratio);
+    const double median = Median(std::move(ratios));
+    if (median > 0.0) {
+      scale = 1.0 / median;
+      std::printf("normalize: median fresh/baseline ratio %.3f "
+                  "(scaling all ratios by %.3f)\n",
+                  median, scale);
+    }
+  }
+
+  int failures = 0;
+  for (Metric& m : metrics) {
+    m.ratio *= scale;
+    const auto tit = per_bench_tolerance.find(m.bench);
+    const double tolerance =
+        tit != per_bench_tolerance.end() ? tit->second : default_tolerance;
+    const bool ok = m.ratio >= 1.0 - tolerance;
+    std::printf("%s %-40s %-17s base=%12.0f fresh=%12.0f ratio=%.3f "
+                "(tolerance %.0f%%)\n",
+                ok ? "ok  " : "FAIL", m.bench.c_str(), m.counter.c_str(),
+                m.baseline, m.fresh, m.ratio, tolerance * 100.0);
+    if (!ok) ++failures;
+  }
+
+  if (missing > 0) {
+    std::printf("%d baseline benchmark(s) missing from the fresh run "
+                "(warned above, not fatal)\n",
+                missing);
+  }
+  if (failures > 0) {
+    std::printf("%d metric(s) regressed past tolerance%s\n", failures,
+                gate_off ? " — gate is OFF (LDPHH_BENCH_GATE=off), exiting 0"
+                         : "");
+    if (!gate_off) {
+      std::printf("intentional perf change? re-record the baseline in this "
+                  "PR, or set LDPHH_BENCH_GATE=off for one run\n");
+      return 1;
+    }
+    return 0;
+  }
+  std::printf("all %zu metric(s) within tolerance\n", metrics.size());
+  return 0;
+}

@@ -10,35 +10,83 @@
 //   LDPHH_DUMP_METRICS=<path>   write JSON to <path>
 //   LDPHH_DUMP_METRICS=-        write JSON to stderr
 // (bench/record_bench.sh uses this to archive instrumented runs.)
+//
+// Long-running benches can additionally set
+//   LDPHH_DUMP_METRICS_INTERVAL_MS=<ms>
+// to snapshot periodically from a background thread: each snapshot
+// overwrites the target file (so the file always holds one valid JSON
+// document — a poor man's live /metrics.json for processes with no admin
+// port). The at-exit dump still runs last, so the final state always wins.
 
 #ifndef LDPHH_BENCH_METRICS_DUMP_H_
 #define LDPHH_BENCH_METRICS_DUMP_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/obs/metrics.h"
 
 namespace ldphh {
 namespace bench {
 
+inline void DumpMetricsTo(const char* path) {
+  // Global() is a leaked singleton, so it outlives static destruction.
+  const std::string json = obs::MetricsRegistry::Global().DumpJson();
+  if (std::string(path) == "-") {
+    std::fprintf(stderr, "%s\n", json.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 struct MetricsDumpAtExit {
+  MetricsDumpAtExit() {
+    const char* path = std::getenv("LDPHH_DUMP_METRICS");
+    const char* interval = std::getenv("LDPHH_DUMP_METRICS_INTERVAL_MS");
+    if (path == nullptr || *path == '\0' || interval == nullptr) return;
+    const long ms = std::atol(interval);
+    if (ms <= 0) return;
+    ticker_ = std::thread([this, path = std::string(path), ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                     [this] { return stop_; });
+        if (stop_) break;
+        lock.unlock();
+        DumpMetricsTo(path.c_str());
+        lock.lock();
+      }
+    });
+  }
+
   ~MetricsDumpAtExit() {
+    if (ticker_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      ticker_.join();
+    }
     const char* path = std::getenv("LDPHH_DUMP_METRICS");
     if (path == nullptr || *path == '\0') return;
-    // Global() is a leaked singleton, so it outlives static destruction.
-    const std::string json = obs::MetricsRegistry::Global().DumpJson();
-    if (std::string(path) == "-") {
-      std::fprintf(stderr, "%s\n", json.c_str());
-      return;
-    }
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) return;
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+    DumpMetricsTo(path);
   }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread ticker_;
 };
 
 inline MetricsDumpAtExit metrics_dump_at_exit;

@@ -20,7 +20,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -28,8 +31,10 @@
 #include <vector>
 
 #include "src/core/ldphh.h"
+#include "src/ldp/privacy_loss.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/server/admin_server.h"
 #include "src/server/replica_view.h"
 #include "src/store/replica_store.h"
 
@@ -43,10 +48,49 @@ double EstimateOf(const std::vector<ldphh::HeavyHitterEntry>& entries,
   return 0.0;
 }
 
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ldphh;
+  int admin_port = -1;     // -1 = no admin plane.
+  int serve_seconds = -1;  // -1 = default (60 if admin plane is up).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      admin_port = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      serve_seconds = std::atoi(argv[i] + 16);
+    } else {
+      std::fprintf(stderr, "usage: %s [--admin-port=N] [--serve-seconds=S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // Declare an operator privacy budget: /healthz flips to 503 if the
+  // fleet's max accepted per-report epsilon ever exceeds it.
+  PrivacyBudgetLedger::Global().SetEpsilonBudget(64);
+
+  std::unique_ptr<AdminServer> admin;
+  if (admin_port >= 0) {
+    AdminServer::Options admin_opts;
+    admin_opts.port = static_cast<uint16_t>(admin_port);
+    auto admin_or = AdminServer::Start(admin_opts);
+    if (!admin_or.ok()) {
+      std::fprintf(stderr, "admin server failed to start: %s\n",
+                   admin_or.status().ToString().c_str());
+      return 1;
+    }
+    admin = std::move(admin_or).value();
+    std::printf("admin plane on http://127.0.0.1:%u (try /metrics, /statusz, "
+                "/spanz, /healthz; replica lag and epsilon spend are live)\n",
+                admin->port());
+  }
   const uint64_t kDomain = 512;
   const uint64_t kEpochSize = 1 << 15;  // Reports per epoch.
   const uint64_t kEpochs = 16;
@@ -106,6 +150,9 @@ int main() {
     auto replica_or = ReplicaStore::Open(dir, [] {
       ReplicaStoreOptions o;
       o.poll_interval = std::chrono::milliseconds(2);
+      // Readiness gate: /readyz fails while the replica trails the primary
+      // by more than 8 manifest generations (it heals by tailing).
+      o.healthy_lag_bound = 8;
       return o;
     }());
     if (replica_or.ok()) {
@@ -206,6 +253,23 @@ int main() {
       static_cast<unsigned long long>(stats.segment_races));
   std::printf("replica == primary == crash-free baseline: %s\n",
               identical ? "bit-for-bit identical" : "MISMATCH");
+
+  // Linger with primary, store, and replica all still live: /statusz shows
+  // every layer, the replica-lag readiness check and the epsilon-budget
+  // health check are armed, and the lag gauge is real. SIGINT/SIGTERM (or
+  // the deadline) ends the linger.
+  if (admin != nullptr) {
+    const int linger = serve_seconds >= 0 ? serve_seconds : 60;
+    std::printf("serving admin plane for up to %d s "
+                "(SIGINT/SIGTERM to stop)...\n",
+                linger);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(linger);
+    while (!g_stop.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    admin->Stop();
+  }
 
   if (!primary->Close().ok()) return 1;
 

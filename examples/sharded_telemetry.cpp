@@ -13,16 +13,29 @@
 // checkpoint, replaying only the reports that arrived after it: the final
 // estimates are bit-for-bit what a single-threaded, crash-free server would
 // have produced.
+//
+// With `--admin-port=N` the demo also starts the live admin plane on
+// 127.0.0.1:N (0 = pick a free port) and, after the verification phase,
+// keeps serving /metrics, /statusz, /spanz, /healthz etc. for
+// `--serve-seconds=S` (default 60 when an admin port is given) or until
+// SIGINT/SIGTERM. The exit-time text dump still runs either way.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/timer.h"
 #include "src/core/ldphh.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/server/admin_server.h"
 
 namespace {
 
@@ -34,9 +47,54 @@ double EstimateOf(const std::vector<ldphh::HeavyHitterEntry>& entries,
   return 0.0;
 }
 
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+/// Serves the admin plane until the deadline or a termination signal.
+void ServeAdminPlane(int serve_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(serve_seconds);
+  while (!g_stop.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int admin_port = -1;     // -1 = no admin plane.
+  int serve_seconds = -1;  // -1 = default (60 if admin plane is up).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      admin_port = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      serve_seconds = std::atoi(argv[i] + 16);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--admin-port=N] [--serve-seconds=S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::unique_ptr<ldphh::AdminServer> admin;
+  if (admin_port >= 0) {
+    ldphh::AdminServer::Options admin_opts;
+    admin_opts.port = static_cast<uint16_t>(admin_port);
+    auto admin_or = ldphh::AdminServer::Start(admin_opts);
+    if (!admin_or.ok()) {
+      std::fprintf(stderr, "admin server failed to start: %s\n",
+                   admin_or.status().ToString().c_str());
+      return 1;
+    }
+    admin = std::move(admin_or).value();
+    std::printf("admin plane on http://127.0.0.1:%u (try /metrics, "
+                "/statusz, /spanz, /healthz)\n",
+                admin->port());
+  }
   using namespace ldphh;
   const uint64_t kDomain = 1024;
   const uint64_t n = 1 << 20;  // ~1M clients.
@@ -169,6 +227,18 @@ int main() {
                 EstimateOf(got, 42), 0.25 * static_cast<double>(n));
     std::printf("sharded+recovered == sequential baseline: %s\n",
                 identical ? "bit-for-bit identical" : "MISMATCH");
+
+    // Keep the admin plane up while the service and its instruments are
+    // still live, so scrapes see the full run (queue gauges, span samples,
+    // ingest statusz). Ctrl-C or SIGTERM ends the linger early.
+    if (admin != nullptr) {
+      const int linger = serve_seconds >= 0 ? serve_seconds : 60;
+      std::printf("serving admin plane for up to %d s "
+                  "(SIGINT/SIGTERM to stop)...\n",
+                  linger);
+      ServeAdminPlane(linger);
+      admin->Stop();
+    }
 
     // Everything above left a metrics trail: ingest counters and latencies,
     // fsync distributions, the privacy budget actually spent. One dump

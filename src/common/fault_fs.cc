@@ -45,6 +45,9 @@ class FaultWritableFile : public WritableFile {
     LDPHH_RETURN_IF_ERROR(Flush());
     if (mode == SyncMode::kNone) return Status::OK();
     std::lock_guard<std::mutex> lk(fs_->mu_);
+    if (fs_->fail_file_syncs_) {
+      return Status::Internal("fault fs: injected sync failure");
+    }
     inode_->durable = inode_->content;
     ++fs_->file_syncs_;
     return Status::OK();
@@ -217,6 +220,11 @@ void FaultInjectingFileSystem::SimulatePowerLoss(
 uint64_t FaultInjectingFileSystem::file_sync_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return file_syncs_;
+}
+
+void FaultInjectingFileSystem::set_fail_file_syncs(bool fail) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fail_file_syncs_ = fail;
 }
 
 uint64_t FaultInjectingFileSystem::dir_sync_count() const {

@@ -65,6 +65,12 @@ class FaultInjectingFileSystem : public FileSystem {
   uint64_t file_sync_count() const;
   uint64_t dir_sync_count() const;
 
+  /// While set, every WritableFile::Sync(kData|kFull) fails with kInternal
+  /// and durability does not advance — a disk that stopped honoring fsync.
+  /// The health-check tests flip this to drive a store's write path into
+  /// (and back out of) a failing state.
+  void set_fail_file_syncs(bool fail);
+
  private:
   friend class FaultWritableFile;
   friend class FaultSequentialFile;
@@ -81,6 +87,7 @@ class FaultInjectingFileSystem : public FileSystem {
   std::map<std::string, std::shared_ptr<Inode>> durable_ns_;
   uint64_t file_syncs_ = 0;
   uint64_t dir_syncs_ = 0;
+  bool fail_file_syncs_ = false;
 };
 
 }  // namespace ldphh

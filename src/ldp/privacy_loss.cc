@@ -138,7 +138,35 @@ LedgerInstruments& Instruments() {
 }  // namespace
 
 PrivacyBudgetLedger& PrivacyBudgetLedger::Global() {
-  static PrivacyBudgetLedger* const g = new PrivacyBudgetLedger();
+  // Only the process-wide ledger is an admin-plane citizen; test-local
+  // ledgers stay out of the global registries. Registration happens here
+  // rather than in the constructor, where `this == &Global()` would
+  // recurse into this very initializer.
+  static PrivacyBudgetLedger* const g = [] {
+    auto* ledger = new PrivacyBudgetLedger();
+    ledger->health_ = obs::HealthRegistry::Global().Register(
+        "privacy_budget", [ledger] { return ledger->BudgetHealth(); });
+    ledger->statusz_ = obs::StatuszRegistry::Global().Register(
+        "privacy", [ledger](obs::JsonWriter& w) {
+          double max_eps, volume, budget;
+          uint64_t reports;
+          {
+            std::lock_guard<std::mutex> lock(ledger->mu_);
+            max_eps = ledger->max_epsilon_;
+            volume = ledger->weighted_volume_;
+            budget = ledger->epsilon_budget_;
+            reports = ledger->reports_;
+          }
+          w.BeginObject();
+          w.Key("max_epsilon").Double(max_eps);
+          w.Key("weighted_epsilon_volume").Double(volume);
+          w.Key("reports_accounted").Uint(reports);
+          w.Key("epsilon_budget").Double(budget);
+          w.Key("budget_exhausted").Bool(budget > 0.0 && max_eps > budget);
+          w.EndObject();
+        });
+    return ledger;
+  }();
   return *g;
 }
 
@@ -184,11 +212,33 @@ void PrivacyBudgetLedger::SetSpendHook(SpendHook hook) {
   hook_ = std::move(hook);
 }
 
+void PrivacyBudgetLedger::SetEpsilonBudget(double budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epsilon_budget_ = budget;
+}
+
+double PrivacyBudgetLedger::EpsilonBudget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epsilon_budget_;
+}
+
+Status PrivacyBudgetLedger::BudgetHealth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epsilon_budget_ > 0.0 && max_epsilon_ > epsilon_budget_) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted: max epsilon " +
+        std::to_string(max_epsilon_) + " exceeds declared budget " +
+        std::to_string(epsilon_budget_));
+  }
+  return Status::OK();
+}
+
 void PrivacyBudgetLedger::ResetForTesting() {
   std::lock_guard<std::mutex> lock(mu_);
   max_epsilon_ = 0.0;
   weighted_volume_ = 0.0;
   reports_ = 0;
+  epsilon_budget_ = 0.0;
   if (this == &Global()) Instruments().epsilon_spent->Set(0.0);
 }
 

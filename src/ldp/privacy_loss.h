@@ -18,7 +18,10 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/ldp/randomizer.h"
+#include "src/obs/health.h"
+#include "src/obs/statusz.h"
 
 namespace ldphh {
 
@@ -122,15 +125,32 @@ class PrivacyBudgetLedger {
       std::function<void(double eps, uint64_t reports, std::string_view scope)>;
   void SetSpendHook(SpendHook hook);
 
-  /// Zeroes the ledger (gauges included). Test isolation only.
+  /// An operator-declared cap on MaxEpsilon(): while the cap is positive
+  /// and exceeded, the ledger's registered health check fails (/healthz
+  /// goes 503 — spending past the declared budget is an operator-must-act
+  /// condition, not a self-healing one). Zero (default) = no cap.
+  void SetEpsilonBudget(double budget);
+  double EpsilonBudget() const;
+
+  /// Zeroes the ledger (gauges and budget included). Test isolation only.
   void ResetForTesting();
 
  private:
+  /// What the registered health check reports (OK while MaxEpsilon() is
+  /// within the budget or no budget is set).
+  Status BudgetHealth() const;
+
   mutable std::mutex mu_;
   double max_epsilon_ = 0.0;
   double weighted_volume_ = 0.0;
   uint64_t reports_ = 0;
+  double epsilon_budget_ = 0.0;
   SpendHook hook_;
+
+  /// Declared last (destroyed first); only the Global() ledger registers,
+  /// and it is never destroyed.
+  obs::HealthRegistry::Registration health_;
+  obs::StatuszRegistry::Registration statusz_;
 };
 
 }  // namespace ldphh

@@ -1,0 +1,77 @@
+#include "src/obs/health.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ldphh {
+namespace obs {
+
+HealthRegistry& HealthRegistry::Global() {
+  static HealthRegistry* const g = new HealthRegistry();
+  return *g;
+}
+
+void HealthRegistry::Registration::Reset() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+HealthRegistry::Registration HealthRegistry::Register(std::string name,
+                                                      CheckFn fn,
+                                                      bool readiness_only) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t id = next_id_++;
+  checks_[id] = Check{std::move(name), readiness_only, std::move(fn)};
+  return Registration(this, id);
+}
+
+void HealthRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  checks_.erase(id);
+}
+
+std::vector<HealthRegistry::CheckResult> HealthRegistry::RunChecks() const {
+  std::vector<CheckResult> results;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    results.reserve(checks_.size());
+    // Run under the lock: a component destroying itself concurrently blocks
+    // in its Registration::Reset until the pass is done, so a check can
+    // never observe a half-dead component. The checks are atomics-read
+    // cheap by contract.
+    for (const auto& [id, check] : checks_) {
+      results.push_back(
+          CheckResult{check.name, check.readiness_only, check.fn()});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const CheckResult& a, const CheckResult& b) {
+              return a.name < b.name;
+            });
+  return results;
+}
+
+bool HealthRegistry::Healthy() const {
+  for (const CheckResult& r : RunChecks()) {
+    if (!r.readiness_only && !r.status.ok()) return false;
+  }
+  return true;
+}
+
+bool HealthRegistry::Ready() const {
+  for (const CheckResult& r : RunChecks()) {
+    if (!r.status.ok()) return false;
+  }
+  return true;
+}
+
+void HealthRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lk(mu_);
+  checks_.clear();
+}
+
+}  // namespace obs
+}  // namespace ldphh

@@ -1,0 +1,123 @@
+/// \file health.h
+/// \brief Process-wide health registry behind /healthz and /readyz.
+///
+/// Components register named check functions for the conditions that make
+/// the process servable — the store's last write succeeded, the replica's
+/// lag is under its bound, the privacy budget is not exhausted — and the
+/// admin plane (src/server/admin_server.h) runs them per scrape:
+///
+///   - **/healthz** (liveness) runs the non-readiness-only checks: "this
+///     process is broken, restart it" conditions (a store whose appends
+///     fail). Any failure → 503.
+///   - **/readyz** (readiness) runs *every* check, adding the "do not send
+///     me traffic yet" conditions (a replica still catching up). Lag is a
+///     readiness matter, not a liveness one: a lagging replica heals by
+///     tailing, not by restarting.
+///
+/// Registration is RAII: the returned handle unregisters on destruction,
+/// so a component's checks live exactly as long as the component. Check
+/// functions run under the registry lock — keep them to reading a few
+/// atomics/gauges (every registered check does), and never register or
+/// hold a lock that a check function also takes.
+
+#ifndef LDPHH_OBS_HEALTH_H_
+#define LDPHH_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+namespace obs {
+
+/// \brief The check directory (see file comment). Thread-safe.
+class HealthRegistry {
+ public:
+  /// The process-wide registry (never destroyed). Components default to
+  /// this; tests may build their own for isolation.
+  static HealthRegistry& Global();
+
+  HealthRegistry() = default;
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  /// OK = healthy; any error Status = unhealthy, message shown in the
+  /// endpoint body. Must be fast and lock-light (runs under the registry
+  /// lock, once per scrape).
+  using CheckFn = std::function<Status()>;
+
+  /// \brief RAII registration handle; move-only, unregisters on destruction.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+        other.id_ = 0;
+      }
+      return *this;
+    }
+    ~Registration() { Reset(); }
+
+    /// Unregisters now (idempotent).
+    void Reset();
+
+   private:
+    friend class HealthRegistry;
+    Registration(HealthRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    HealthRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// Registers \p fn under \p name. With \p readiness_only the check gates
+  /// /readyz but not /healthz (see file comment for the split).
+  Registration Register(std::string name, CheckFn fn,
+                        bool readiness_only = false);
+
+  struct CheckResult {
+    std::string name;
+    bool readiness_only = false;
+    Status status;
+  };
+
+  /// Runs every check, name-sorted results.
+  std::vector<CheckResult> RunChecks() const;
+
+  /// All non-readiness-only checks OK? (/healthz; trivially true with no
+  /// checks registered).
+  bool Healthy() const;
+  /// All checks OK? (/readyz).
+  bool Ready() const;
+
+  /// Unregisters everything. Test isolation only (components holding a
+  /// Registration keep a dangling id; their Reset becomes a no-op).
+  void ResetForTesting();
+
+ private:
+  struct Check {
+    std::string name;
+    bool readiness_only = false;
+    CheckFn fn;
+  };
+
+  void Unregister(uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Check> checks_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace obs
+}  // namespace ldphh
+
+#endif  // LDPHH_OBS_HEALTH_H_

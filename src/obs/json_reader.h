@@ -1,0 +1,61 @@
+/// \file json_reader.h
+/// \brief Minimal JSON parser — the read half of json_writer.h.
+///
+/// Two in-tree consumers need to *read* JSON without third-party
+/// dependencies: `bench/check_regression` parses google-benchmark output
+/// against the committed baselines, and the admin-plane tests validate
+/// what /statusz, /spanz and /metrics.json serve. This parser covers the
+/// full JSON grammar (objects, arrays, strings with escapes, numbers,
+/// literals) into a plain Value tree with a bounded recursion depth.
+///
+/// Not a general-purpose library: numbers are held as double (exact for
+/// the u64 range the expositions emit up to 2^53, which covers every
+/// value the writers produce from real measurements), object keys keep
+/// insertion order, and duplicate keys keep the last occurrence.
+
+#ifndef LDPHH_OBS_JSON_READER_H_
+#define LDPHH_OBS_JSON_READER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+namespace obs {
+
+/// \brief One parsed JSON value (a tree).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Key → value, insertion order preserved.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup (last occurrence wins); null when absent or when
+  /// this value is not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses \p text (one complete JSON document; trailing garbage is an
+/// error) into \p out. kDecodeFailure with a position-annotated message on
+/// any syntax error; nesting deeper than 64 containers is rejected.
+Status ParseJson(std::string_view text, JsonValue* out);
+
+}  // namespace obs
+}  // namespace ldphh
+
+#endif  // LDPHH_OBS_JSON_READER_H_

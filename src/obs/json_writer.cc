@@ -97,6 +97,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_.append(json.data(), json.size());
+  return *this;
+}
+
 std::string JsonWriter::FormatDouble(double value) {
   if (!std::isfinite(value)) return "null";
   // Integers up to 2^53 print exactly without a trailing ".0"; everything

@@ -47,6 +47,13 @@ class JsonWriter {
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
 
+  /// Splices \p json — an already-serialized JSON value — in value
+  /// position, with the same comma management as any other value. The
+  /// caller vouches for its validity (it is emitted verbatim); the use
+  /// case is embedding one ToJson() document inside another without
+  /// re-parsing it.
+  JsonWriter& Raw(std::string_view json);
+
   /// The serialized document so far.
   const std::string& str() const { return out_; }
 

@@ -1,0 +1,164 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/json_writer.h"
+
+namespace ldphh {
+namespace obs {
+
+uint64_t SpanNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ------------------------------------------------------------------ family --
+
+void SpanFamily::Record(SpanRecord record) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(record.duration_ns, std::memory_order_relaxed);
+  // Fast path: the threshold only rises (until Clear), so a duration below
+  // a relaxed-loaded value can never belong in the top-N. A racing Clear
+  // at worst drops this one span from the freshly emptied set — the
+  // tallies above are already in.
+  if (record.duration_ns < threshold_ns_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slowest_.size() >= capacity_ &&
+      record.duration_ns <= slowest_.back().duration_ns) {
+    return;  // The threshold rose while we raced to the lock.
+  }
+  const auto pos = std::upper_bound(
+      slowest_.begin(), slowest_.end(), record,
+      [](const SpanRecord& a, const SpanRecord& b) {
+        return a.duration_ns > b.duration_ns;
+      });
+  slowest_.insert(pos, std::move(record));
+  if (slowest_.size() > capacity_) slowest_.pop_back();
+  if (slowest_.size() >= capacity_) {
+    threshold_ns_.store(slowest_.back().duration_ns,
+                        std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanRecord> SpanFamily::Slowest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slowest_;
+}
+
+void SpanFamily::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  slowest_.clear();
+  threshold_ns_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- sampler --
+
+SpanSampler& SpanSampler::Global() {
+  static SpanSampler* const g = new SpanSampler();
+  return *g;
+}
+
+SpanSampler::SpanSampler(size_t per_family_capacity)
+    : per_family_capacity_(per_family_capacity > 0 ? per_family_capacity : 1) {}
+
+std::shared_ptr<SpanFamily> SpanSampler::Family(std::string name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_
+             .emplace(name, std::shared_ptr<SpanFamily>(new SpanFamily(
+                                name, per_family_capacity_)))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<std::shared_ptr<SpanFamily>> SpanSampler::Families() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::shared_ptr<SpanFamily>> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) out.push_back(family);
+  return out;
+}
+
+std::string SpanSampler::DumpJson() const {
+  JsonWriter w;
+  w.BeginObject().Key("families").BeginArray();
+  for (const auto& family : Families()) {
+    const uint64_t count = family->Count();
+    const uint64_t total = family->TotalNs();
+    w.BeginObject();
+    w.Key("name").String(family->name());
+    w.Key("count").Uint(count);
+    w.Key("total_duration_ns").Uint(total);
+    w.Key("avg_duration_ns")
+        .Uint(count > 0 ? total / count : 0);
+    w.Key("slowest").BeginArray();
+    for (const SpanRecord& r : family->Slowest()) {
+      w.BeginObject();
+      w.Key("start_ns").Uint(r.start_ns);
+      w.Key("duration_ns").Uint(r.duration_ns);
+      if (r.arg0 != 0 || r.arg1 != 0) {
+        w.Key("arg0").Uint(r.arg0);
+        w.Key("arg1").Uint(r.arg1);
+      }
+      if (!r.detail.empty()) w.Key("detail").String(r.detail);
+      if (!r.children.empty()) {
+        w.Key("children").BeginArray();
+        for (const SpanChild& c : r.children) {
+          w.BeginObject();
+          w.Key("name").String(c.name);
+          w.Key("duration_ns").Uint(c.duration_ns);
+          w.EndObject();
+        }
+        w.EndArray();
+      }
+      if (r.dropped_children > 0) {
+        w.Key("dropped_children").Uint(r.dropped_children);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+void SpanSampler::ResetForTesting() {
+  for (const auto& family : Families()) family->Clear();
+}
+
+// -------------------------------------------------------------------- span --
+
+Span::~Span() {
+  if (family_ == nullptr) return;
+  SpanRecord record;
+  record.start_ns = start_ns_;
+  record.duration_ns = SpanNowNs() - start_ns_;
+  record.arg0 = arg0_;
+  record.arg1 = arg1_;
+  record.detail = std::move(detail_);
+  record.children = std::move(children_);
+  record.dropped_children = dropped_children_;
+  family_->Record(std::move(record));
+}
+
+void Span::AddChild(std::string_view name, uint64_t duration_ns) {
+  if (family_ == nullptr) return;
+  if (children_.size() >= SpanSampler::kMaxChildrenPerSpan) {
+    ++dropped_children_;
+    return;
+  }
+  children_.push_back(SpanChild{std::string(name), duration_ns});
+}
+
+}  // namespace obs
+}  // namespace ldphh

@@ -1,0 +1,218 @@
+/// \file span.h
+/// \brief Request-scoped spans with a bounded per-family slow-span sampler.
+///
+/// Metrics answer "how much / how fast on average"; the trace ring answers
+/// "what structural transitions happened". Spans answer the question
+/// neither can: *why was this one request slow?* A `Span` measures one
+/// logical operation (a SubmitWire call, a store Put, a replica poll, an
+/// epoch close) and carries a bounded child breakdown (decode vs enqueue,
+/// append vs fsync vs roll). On destruction the span reports into its
+/// `SpanFamily`, which keeps exact count/total-duration tallies plus the
+/// **top-N slowest** spans seen since the last clear — the /spanz endpoint
+/// (src/server/admin_server.h) dumps them with their child breakdowns, so
+/// one scrape shows where the tail latency of every hot path went.
+///
+/// Cost model (the hot-path contract): a completed span is two steady-clock
+/// reads and two relaxed `fetch_add`s; the sampler's mutex is only touched
+/// when the span's duration reaches the family's retain threshold — a
+/// relaxed atomic that is 0 only until the top-N fills, then rises
+/// monotonically (it can only grow until Clear), so steady-state fast
+/// traffic never contends. Children are recorded into a small inline
+/// vector owned by the span (no sharing until the final report) and are
+/// dropped (counted) past `kMaxChildrenPerSpan`.
+///
+/// Spans are intentionally *not* distributed tracing: no ids, no
+/// propagation, no export protocol — the smallest structure that makes a
+/// single process's tail latency inspectable.
+
+#ifndef LDPHH_OBS_SPAN_H_
+#define LDPHH_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldphh {
+namespace obs {
+
+class SpanFamily;
+class SpanSampler;
+
+/// Nanoseconds on the process-wide steady clock (the same clock the trace
+/// ring stamps with, so spans and trace events order consistently).
+uint64_t SpanNowNs();
+
+/// One timed sub-step of a span ("decode", "fsync", "roll").
+struct SpanChild {
+  std::string name;
+  uint64_t duration_ns = 0;
+};
+
+/// The retained record of one completed span.
+struct SpanRecord {
+  uint64_t start_ns = 0;     ///< SpanNowNs() at construction.
+  uint64_t duration_ns = 0;  ///< Total wall time.
+  /// Small numeric context (batch size, key, epoch id) — free to set,
+  /// meaningful per family.
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  /// Free-form context; empty on hot paths (it would allocate per span).
+  std::string detail;
+  std::vector<SpanChild> children;
+  uint64_t dropped_children = 0;  ///< Children beyond kMaxChildrenPerSpan.
+};
+
+/// \brief Per-operation-family tallies + the top-N slowest spans.
+///
+/// Obtained from SpanSampler::Family(); shared by every Span of that
+/// family. Thread-safe.
+class SpanFamily {
+ public:
+  /// Reports one completed span (Span's destructor calls this; tests call
+  /// it directly with synthetic durations). Count/total update with relaxed
+  /// atomics; the record is retained only if it is among the top-N slowest.
+  void Record(SpanRecord record);
+
+  const std::string& name() const { return name_; }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t TotalNs() const { return total_ns_.load(std::memory_order_relaxed); }
+
+  /// The retained slowest spans, slowest first.
+  std::vector<SpanRecord> Slowest() const;
+
+  /// Drops the retained spans and zeroes the tallies (threshold resets, so
+  /// retention warms up again).
+  void Clear();
+
+ private:
+  friend class SpanSampler;
+  SpanFamily(std::string name, size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  const std::string name_;
+  const size_t capacity_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  /// Minimum duration that can still enter the top-N. 0 until the set
+  /// fills; then the smallest retained duration, non-decreasing until
+  /// Clear(). Read relaxed on the fast path: a stale-low value costs one
+  /// harmless mutex trip, a stale-high value is impossible (monotone).
+  std::atomic<uint64_t> threshold_ns_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> slowest_;  ///< Sorted, slowest first.
+};
+
+/// \brief The process-wide directory of span families.
+class SpanSampler {
+ public:
+  /// The process-wide sampler (never destroyed). Components default to
+  /// this; tests may build their own for isolation.
+  static SpanSampler& Global();
+
+  /// Slowest spans retained per family.
+  static constexpr size_t kDefaultPerFamilyCapacity = 8;
+  /// Children kept per span; further AddChild calls count into
+  /// SpanRecord::dropped_children.
+  static constexpr size_t kMaxChildrenPerSpan = 16;
+
+  explicit SpanSampler(size_t per_family_capacity = kDefaultPerFamilyCapacity);
+  SpanSampler(const SpanSampler&) = delete;
+  SpanSampler& operator=(const SpanSampler&) = delete;
+
+  /// The family named \p name, created on first use. The returned handle is
+  /// stable for the sampler's lifetime — components fetch it once at
+  /// construction and hand the raw pointer to their Spans.
+  std::shared_ptr<SpanFamily> Family(std::string name);
+
+  /// Every family, name-sorted.
+  std::vector<std::shared_ptr<SpanFamily>> Families() const;
+
+  /// {"families":[{name,count,total_duration_ns,avg_duration_ns,
+  ///   slowest:[{start_ns,duration_ns,arg0,arg1,detail,
+  ///             children:[{name,duration_ns}],dropped_children}]}]}
+  /// — what /spanz serves.
+  std::string DumpJson() const;
+
+  /// Clears every family's retained spans and tallies (families persist).
+  /// Test isolation only.
+  void ResetForTesting();
+
+ private:
+  const size_t per_family_capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<SpanFamily>> families_;
+};
+
+/// \brief RAII measurement of one operation (see file comment for cost).
+///
+/// A null family disables the span entirely (every method is a cheap
+/// no-op), so call sites need no branches. Not thread-safe: a span belongs
+/// to the one thread timing the operation.
+class Span {
+ public:
+  explicit Span(SpanFamily* family)
+      : family_(family), start_ns_(family != nullptr ? SpanNowNs() : 0) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Records a completed sub-step.
+  void AddChild(std::string_view name, uint64_t duration_ns);
+
+  /// Numeric context retained with the record (batch size, key, ...).
+  void set_args(uint64_t arg0, uint64_t arg1 = 0) {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+  /// Free-form context. Allocates — keep off per-report hot paths.
+  void set_detail(std::string detail) {
+    if (family_ != nullptr) detail_ = std::move(detail);
+  }
+
+  uint64_t ElapsedNs() const {
+    return family_ != nullptr ? SpanNowNs() - start_ns_ : 0;
+  }
+
+  /// \brief RAII child timer: times its scope into the parent span.
+  /// \p name must outlive the scope (string literals at every call site).
+  class ChildScope {
+   public:
+    ChildScope(Span* span, std::string_view name)
+        : span_(span != nullptr && span->family_ != nullptr ? span : nullptr),
+          name_(name),
+          start_ns_(span_ != nullptr ? SpanNowNs() : 0) {}
+    ChildScope(const ChildScope&) = delete;
+    ChildScope& operator=(const ChildScope&) = delete;
+    ~ChildScope() {
+      if (span_ != nullptr) span_->AddChild(name_, SpanNowNs() - start_ns_);
+    }
+
+   private:
+    Span* const span_;
+    const std::string_view name_;
+    const uint64_t start_ns_;
+  };
+
+  /// Times the enclosing scope as a child named \p name.
+  ChildScope Child(std::string_view name) { return ChildScope(this, name); }
+
+ private:
+  friend class ChildScope;
+  SpanFamily* const family_;
+  const uint64_t start_ns_;
+  uint64_t arg0_ = 0;
+  uint64_t arg1_ = 0;
+  std::string detail_;
+  std::vector<SpanChild> children_;
+  uint64_t dropped_children_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ldphh
+
+#endif  // LDPHH_OBS_SPAN_H_

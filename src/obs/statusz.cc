@@ -1,0 +1,62 @@
+#include "src/obs/statusz.h"
+
+#include <utility>
+
+namespace ldphh {
+namespace obs {
+
+StatuszRegistry& StatuszRegistry::Global() {
+  static StatuszRegistry* const g = new StatuszRegistry();
+  return *g;
+}
+
+void StatuszRegistry::Registration::Reset() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+StatuszRegistry::Registration StatuszRegistry::Register(std::string name,
+                                                        SectionFn fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t id = next_id_++;
+  sections_[id] = Section{std::move(name), std::move(fn)};
+  return Registration(this, id);
+}
+
+void StatuszRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sections_.erase(id);
+}
+
+std::string StatuszRegistry::DumpJson() const {
+  // Group ids by section name (ids order = registration order within a
+  // name; the outer map sorts the names).
+  std::map<std::string, std::vector<const SectionFn*>> by_name;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [id, section] : sections_) {
+    by_name[section.name].push_back(&section.fn);
+  }
+  // Render under the lock: a component destroying itself concurrently
+  // blocks in Registration::Reset until the dump is done, so a section
+  // callback can never touch a half-dead component.
+  JsonWriter w;
+  w.BeginObject().Key("sections").BeginObject();
+  for (const auto& [name, fns] : by_name) {
+    w.Key(name).BeginArray();
+    for (const SectionFn* fn : fns) (*fn)(w);
+    w.EndArray();
+  }
+  w.EndObject().EndObject();
+  return w.str();
+}
+
+void StatuszRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sections_.clear();
+}
+
+}  // namespace obs
+}  // namespace ldphh

@@ -1,0 +1,105 @@
+/// \file statusz.h
+/// \brief Per-layer status snapshots behind the /statusz endpoint.
+///
+/// Metrics are flat name→value families; /statusz is the structured view:
+/// each live component registers a named section callback that renders its
+/// current shape — the ingest layer's protocol/shards/queue depths, the
+/// store's segment set, the epoch window, the replica's lag, the privacy
+/// ledger's spend — as one JSON object through the shared JsonWriter. One
+/// scrape of /statusz then answers "what is this process serving, and
+/// where is it at?" without correlating a dozen metric families.
+///
+/// Registration is RAII (same idiom as health.h): the handle unregisters
+/// on destruction, so sections exist exactly while their component does.
+/// Multiple instances of a layer (two stores in one process) each register
+/// under the same section name; the dump renders an array per name.
+/// Section callbacks run under the registry lock and may take their
+/// component's own locks (Stats()-grade) — a component must never register
+/// or unregister while holding a lock its callback also takes.
+
+#ifndef LDPHH_OBS_STATUSZ_H_
+#define LDPHH_OBS_STATUSZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_writer.h"
+
+namespace ldphh {
+namespace obs {
+
+/// \brief The section directory (see file comment). Thread-safe.
+class StatuszRegistry {
+ public:
+  /// The process-wide registry (never destroyed). Components default to
+  /// this; tests may build their own for isolation.
+  static StatuszRegistry& Global();
+
+  StatuszRegistry() = default;
+  StatuszRegistry(const StatuszRegistry&) = delete;
+  StatuszRegistry& operator=(const StatuszRegistry&) = delete;
+
+  /// Renders one section instance. The writer is positioned at a value:
+  /// emit exactly one (conventionally BeginObject()...EndObject()).
+  using SectionFn = std::function<void(JsonWriter&)>;
+
+  /// \brief RAII registration handle; move-only, unregisters on destruction.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+        other.id_ = 0;
+      }
+      return *this;
+    }
+    ~Registration() { Reset(); }
+
+    /// Unregisters now (idempotent).
+    void Reset();
+
+   private:
+    friend class StatuszRegistry;
+    Registration(StatuszRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    StatuszRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// Registers \p fn as one instance of section \p name ("ingest",
+  /// "store", "replica", "epoch", "privacy").
+  Registration Register(std::string name, SectionFn fn);
+
+  /// {"sections":{"<name>":[<instance>, ...], ...}} — names sorted,
+  /// instances in registration order. What /statusz serves.
+  std::string DumpJson() const;
+
+  /// Unregisters everything. Test isolation only.
+  void ResetForTesting();
+
+ private:
+  struct Section {
+    std::string name;
+    SectionFn fn;
+  };
+
+  void Unregister(uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Section> sections_;  ///< Keyed by id: registration order.
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace obs
+}  // namespace ldphh
+
+#endif  // LDPHH_OBS_STATUSZ_H_

@@ -1,0 +1,394 @@
+#include "src/server/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/health.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/statusz.h"
+#include "src/obs/trace.h"
+
+namespace ldphh {
+
+namespace {
+
+struct AdminInstruments {
+  std::shared_ptr<obs::Counter> requests;
+  std::shared_ptr<obs::Counter> errors;
+  std::shared_ptr<obs::Counter> rejected;
+};
+
+AdminInstruments& Instruments() {
+  static AdminInstruments* const g = new AdminInstruments{
+      obs::MetricsRegistry::Global().NewCounter(
+          "ldphh_admin_requests_total", "Admin-plane HTTP requests served."),
+      obs::MetricsRegistry::Global().NewCounter(
+          "ldphh_admin_errors_total",
+          "Admin-plane requests answered with a 4xx/5xx status."),
+      obs::MetricsRegistry::Global().NewCounter(
+          "ldphh_admin_rejected_total",
+          "Connections shed with an inline 503 (pending queue full)."),
+  };
+  return *g;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+void SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Client went away; nothing useful to do.
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(Options options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<AdminServer>> AdminServer::Start(Options options) {
+  std::unique_ptr<AdminServer> server(new AdminServer(std::move(options)));
+  LDPHH_RETURN_IF_ERROR(server->Listen());
+  if (server->options_.register_default_endpoints) {
+    RegisterDefaultAdminEndpoints(*server);
+  }
+  const int workers = server->options_.worker_threads > 0
+                          ? server->options_.worker_threads
+                          : 1;
+  for (int i = 0; i < workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  obs::TraceRing::Global().Record("admin", "start", "admin server listening",
+                                  server->port_);
+  return server;
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("admin: socket: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("admin: bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::Internal(
+        std::string("admin: bind ") + options_.bind_address + ":" +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status =
+        Status::Internal(std::string("admin: listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status status = Status::Internal(
+        std::string("admin: getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void AdminServer::Handle(std::string path, Handler handler) {
+  std::lock_guard<std::mutex> lk(handlers_mu_);
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+void AdminServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::AcceptLoop() {
+  pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // Timeout (stop-check) or EINTR.
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (pending_.size() < options_.max_pending_connections) {
+        pending_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      // Shed load inline rather than letting the backlog grow unbounded.
+      Instruments().rejected->Increment();
+      AdminResponse overloaded;
+      overloaded.status = 503;
+      overloaded.body = "admin server overloaded\n";
+      WriteResponse(fd, "GET", overloaded);
+      ::close(fd);
+    }
+  }
+}
+
+void AdminServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // Stopping and drained.
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = options_.read_timeout_ms / 1000;
+  timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the header block; the request line is all we use.
+  std::string buffer;
+  bool complete = false;
+  bool oversized = false;
+  char chunk[1024];
+  while (!complete && !oversized) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // Timeout, error, or client close before a full request.
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.find("\r\n\r\n") != std::string::npos ||
+        buffer.find("\n\n") != std::string::npos) {
+      complete = true;
+    }
+    if (buffer.size() > options_.max_request_bytes) oversized = true;
+  }
+
+  Instruments().requests->Increment();
+  AdminRequest request;
+  AdminResponse response;
+  if (oversized) {
+    response.status = 431;
+    response.body = "request too large\n";
+    request.method = "GET";
+  } else if (!complete) {
+    ::close(fd);
+    return;  // Nothing parseable arrived; no response owed.
+  } else {
+    // Request line: METHOD SP target SP HTTP/1.x
+    const size_t line_end = buffer.find_first_of("\r\n");
+    const std::string line = buffer.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      response.status = 400;
+      response.body = "malformed request line\n";
+      request.method = "GET";
+    } else {
+      request.method = line.substr(0, sp1);
+      request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t qmark = request.target.find('?');
+      request.path = request.target.substr(0, qmark);
+      request.query = qmark == std::string::npos
+                          ? std::string()
+                          : request.target.substr(qmark + 1);
+      if (request.method != "GET" && request.method != "HEAD") {
+        response.status = 405;
+        response.body = "only GET and HEAD are supported\n";
+      } else if (request.path.empty() || request.path[0] != '/') {
+        response.status = 400;
+        response.body = "malformed request target\n";
+      } else {
+        response = Dispatch(request);
+      }
+    }
+  }
+  if (response.status >= 400) Instruments().errors->Increment();
+  WriteResponse(fd, request.method, response);
+  ::close(fd);
+}
+
+AdminResponse AdminServer::Dispatch(const AdminRequest& request) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    const auto it = handlers_.find(request.path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    AdminResponse response;
+    response.status = 404;
+    response.body = "no such endpoint: " + request.path + "\n";
+    return response;
+  }
+  return handler(request);
+}
+
+void AdminServer::WriteResponse(int fd, const std::string& method,
+                                const AdminResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     ReasonPhrase(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  SendAll(fd, head.data(), head.size());
+  if (method != "HEAD") {
+    SendAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+namespace {
+
+AdminResponse TextResponse(std::string body) {
+  AdminResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+AdminResponse JsonResponse(std::string body) {
+  AdminResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+/// Shared by /healthz (liveness) and /readyz (readiness): one line per
+/// check, 503 when any check in scope fails.
+AdminResponse HealthResponse(bool include_readiness_only) {
+  const auto results = obs::HealthRegistry::Global().RunChecks();
+  std::string body;
+  bool healthy = true;
+  for (const auto& result : results) {
+    if (result.readiness_only && !include_readiness_only) continue;
+    if (result.status.ok()) {
+      body += "ok " + result.name + "\n";
+    } else {
+      healthy = false;
+      body += "FAIL " + result.name + ": " + result.status.message() + "\n";
+    }
+  }
+  if (body.empty()) body = "ok\n";
+  AdminResponse response;
+  response.status = healthy ? 200 : 503;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+void RegisterDefaultAdminEndpoints(AdminServer& server) {
+  server.Handle("/", [](const AdminRequest&) {
+    return TextResponse(
+        "ldphh admin plane\n"
+        "  /metrics       Prometheus text exposition\n"
+        "  /metrics.json  metrics as JSON\n"
+        "  /tracez        recent trace events (text; /tracez.json for JSON)\n"
+        "  /spanz         slow-span samples per family (JSON)\n"
+        "  /statusz       per-layer component snapshots (JSON)\n"
+        "  /healthz       liveness checks\n"
+        "  /readyz        readiness checks\n");
+  });
+  server.Handle("/metrics", [](const AdminRequest&) {
+    AdminResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::MetricsRegistry::Global().DumpText();
+    return response;
+  });
+  server.Handle("/metrics.json", [](const AdminRequest&) {
+    return JsonResponse(obs::MetricsRegistry::Global().DumpJson());
+  });
+  server.Handle("/tracez", [](const AdminRequest&) {
+    return TextResponse(obs::TraceRing::Global().DumpText());
+  });
+  server.Handle("/tracez.json", [](const AdminRequest&) {
+    return JsonResponse(obs::TraceRing::Global().DumpJson());
+  });
+  server.Handle("/spanz", [](const AdminRequest&) {
+    return JsonResponse(obs::SpanSampler::Global().DumpJson());
+  });
+  server.Handle("/statusz", [](const AdminRequest&) {
+    return JsonResponse(obs::StatuszRegistry::Global().DumpJson());
+  });
+  server.Handle("/healthz", [](const AdminRequest&) {
+    return HealthResponse(/*include_readiness_only=*/false);
+  });
+  server.Handle("/readyz", [](const AdminRequest&) {
+    return HealthResponse(/*include_readiness_only=*/true);
+  });
+}
+
+}  // namespace ldphh

@@ -1,0 +1,138 @@
+/// \file admin_server.h
+/// \brief Embedded admin-plane HTTP server — /metrics, /statusz, /healthz.
+///
+/// A deliberately small, dependency-free HTTP/1.1 server that gives a
+/// running process a live observability surface. Everything it serves
+/// already exists in-process — MetricsRegistry, TraceRing, SpanSampler,
+/// StatuszRegistry, HealthRegistry — this class is only the transport:
+///
+///   GET /              index of endpoints
+///   GET /metrics       Prometheus text exposition (MetricsRegistry::DumpText)
+///   GET /metrics.json  the same registry as JSON
+///   GET /tracez        recent trace events, text (add .json for JSON)
+///   GET /spanz         slow-span samples per family, JSON
+///   GET /statusz       per-layer component snapshots, JSON
+///   GET /healthz       liveness — 200 "ok" or 503 listing failing checks
+///   GET /readyz        readiness — same, but includes readiness-only checks
+///
+/// Design: one accept thread (poll()-driven so Stop() is prompt) hands
+/// connections to a small fixed worker pool over a bounded queue; past the
+/// bound, connections get an inline 503 rather than piling up. Requests
+/// are GET/HEAD-only, size-capped, read with a socket timeout, answered
+/// with Connection: close. This is an operator port bound to localhost by
+/// default — not a hardened public-facing server.
+///
+/// Scrapes are pull-only and allocate per request; nothing here sits on a
+/// hot path. The hot paths pay only their metric/span recording costs.
+
+#ifndef LDPHH_SERVER_ADMIN_SERVER_H_
+#define LDPHH_SERVER_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+
+/// \brief One parsed admin request, as seen by a handler.
+struct AdminRequest {
+  std::string method;  ///< "GET" or "HEAD" (anything else is rejected).
+  std::string target;  ///< Raw request target, e.g. "/tracez?n=100".
+  std::string path;    ///< Target up to '?', e.g. "/tracez".
+  std::string query;   ///< After '?', empty if none.
+};
+
+/// \brief What a handler returns; serialized as HTTP/1.1 with
+/// Connection: close.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// \brief The admin HTTP server (see file comment).
+class AdminServer {
+ public:
+  struct Options {
+    /// Interface to bind; loopback by default (operator port, not public).
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    /// Worker threads serving accepted connections.
+    int worker_threads = 2;
+    /// Accepted-but-unserved connections beyond this get an inline 503.
+    size_t max_pending_connections = 16;
+    /// Requests larger than this (request line + headers) get a 431.
+    size_t max_request_bytes = 8192;
+    /// Per-socket receive timeout; a stalled client cannot pin a worker.
+    int read_timeout_ms = 5000;
+    /// Install the endpoint table above via
+    /// RegisterDefaultAdminEndpoints(). Off for bare-transport tests.
+    bool register_default_endpoints = true;
+  };
+
+  using Handler = std::function<AdminResponse(const AdminRequest&)>;
+
+  /// Binds, listens, and starts the accept/worker threads. On success the
+  /// server is live before this returns (port() is final).
+  static StatusOr<std::unique_ptr<AdminServer>> Start(Options options);
+
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers \p handler for exact-match \p path (replaces any previous
+  /// handler for the path). Safe to call while serving.
+  void Handle(std::string path, Handler handler);
+
+  /// The bound port (the resolved one when Options::port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, drains workers, joins all threads. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+ private:
+  explicit AdminServer(Options options);
+
+  Status Listen();
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  AdminResponse Dispatch(const AdminRequest& request);
+  static void WriteResponse(int fd, const std::string& method,
+                            const AdminResponse& response);
+
+  const Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+
+  mutable std::mutex handlers_mu_;
+  std::map<std::string, Handler> handlers_;
+};
+
+/// Installs the default endpoint table (see file comment) on \p server.
+/// Called by Start() unless Options::register_default_endpoints is off.
+void RegisterDefaultAdminEndpoints(AdminServer& server);
+
+}  // namespace ldphh
+
+#endif  // LDPHH_SERVER_ADMIN_SERVER_H_

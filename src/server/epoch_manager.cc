@@ -29,6 +29,29 @@ EpochManager::EpochManager(ProtocolConfig config, uint16_t wire_id,
       reg.NewGauge("ldphh_epoch_current", "Id of the open epoch");
   open_reports_gauge_ = reg.NewGauge(
       "ldphh_epoch_open_reports", "Reports in the open epoch", "reports");
+  close_spans_ = obs::SpanSampler::Global().Family("epoch.close");
+
+  // The /statusz "epoch" section. Reads only gauges/counters (atomics) and
+  // the store's thread-safe Keys(), so a scrape never touches the
+  // single-threaded control surface.
+  statusz_ = obs::StatuszRegistry::Global().Register(
+      "epoch", [this](obs::JsonWriter& w) {
+        w.BeginObject();
+        w.Key("protocol").String(config_.protocol());
+        w.Key("current_epoch")
+            .Uint(static_cast<uint64_t>(current_epoch_gauge_->Value()));
+        w.Key("open_reports")
+            .Uint(static_cast<uint64_t>(open_reports_gauge_->Value()));
+        w.Key("epochs_closed").Uint(epochs_closed_->Value());
+        w.Key("epochs_pruned").Uint(epochs_pruned_->Value());
+        const std::vector<uint64_t> persisted = PersistedEpochs();
+        w.Key("persisted_epochs").Uint(persisted.size());
+        if (!persisted.empty()) {
+          w.Key("first_persisted").Uint(persisted.front());
+          w.Key("last_persisted").Uint(persisted.back());
+        }
+        w.EndObject();
+      });
 }
 
 StatusOr<std::unique_ptr<EpochManager>> EpochManager::Create(
@@ -139,29 +162,44 @@ Status EpochManager::CloseEpoch() {
     return Status::FailedPrecondition(
         "EpochManager: CloseEpoch outside Start()..Close()");
   }
-  const Timer close_timer;
+  obs::Span span(close_spans_.get());
   const uint64_t count = reports_in_epoch_;
-  auto merged_or = aggregator_->Finish();
-  LDPHH_RETURN_IF_ERROR(merged_or.status());
-  const std::unique_ptr<Aggregator> merged = std::move(merged_or).value();
+  span.set_args(current_epoch_, count);
+  std::unique_ptr<Aggregator> merged;
+  {
+    const obs::Span::ChildScope finish = span.Child("finish");
+    auto merged_or = aggregator_->Finish();
+    LDPHH_RETURN_IF_ERROR(merged_or.status());
+    merged = std::move(merged_or).value();
+  }
 
   std::string blob;
-  PutU32(&blob, kEpochBlobMagic);
-  PutU16(&blob, kEpochBlobVersion);
-  PutU64(&blob, current_epoch_);
-  PutU64(&blob, count);
-  config_.AppendTo(&blob);
-  LDPHH_RETURN_IF_ERROR(merged->SerializeState(&blob));
-  LDPHH_RETURN_IF_ERROR(store_->Put(current_epoch_, blob));
-  std::string clock_blob;
-  PutU64(&clock_blob, current_epoch_ + 1);
-  LDPHH_RETURN_IF_ERROR(store_->Put(kEpochClockKey, clock_blob));
+  {
+    const obs::Span::ChildScope serialize = span.Child("serialize");
+    PutU32(&blob, kEpochBlobMagic);
+    PutU16(&blob, kEpochBlobVersion);
+    PutU64(&blob, current_epoch_);
+    PutU64(&blob, count);
+    config_.AppendTo(&blob);
+    LDPHH_RETURN_IF_ERROR(merged->SerializeState(&blob));
+  }
+  {
+    const obs::Span::ChildScope put = span.Child("put");
+    LDPHH_RETURN_IF_ERROR(store_->Put(current_epoch_, blob));
+    std::string clock_blob;
+    PutU64(&clock_blob, current_epoch_ + 1);
+    LDPHH_RETURN_IF_ERROR(store_->Put(kEpochClockKey, clock_blob));
+  }
 
   epochs_closed_->Increment();
   obs::TraceRing::Global().Record("epoch", "close", "", current_epoch_, count);
   ++current_epoch_;
-  const Status rolled = RollAggregator();
-  epoch_close_ns_->Observe(static_cast<uint64_t>(close_timer.Nanos()));
+  Status rolled;
+  {
+    const obs::Span::ChildScope roll = span.Child("roll");
+    rolled = RollAggregator();
+  }
+  epoch_close_ns_->Observe(span.ElapsedNs());
   return rolled;
 }
 
@@ -189,12 +227,28 @@ StatusOr<std::unique_ptr<Aggregator>> MergeEpochWindow(
           "ldphh_epoch_window_merge_duration_ns",
           "Windowed-query merge latency (fetch + restore + merge per window)",
           "ns");
-  const Timer merge_timer;
+  static const std::shared_ptr<obs::SpanFamily> merge_spans =
+      obs::SpanSampler::Global().Family("epoch.window_merge");
+  obs::Span span(merge_spans.get());
+  span.set_args(first_epoch, last_epoch);
+  // Per-phase time is summed across the loop and attached as three children
+  // at the end — per-epoch children would blow kMaxChildrenPerSpan on a
+  // wide window and say less.
+  uint64_t fetch_total_ns = 0, restore_total_ns = 0, merge_total_ns = 0;
   struct ObserveOnExit {
-    const Timer& timer;
+    obs::Span& span;
     obs::Histogram& hist;
-    ~ObserveOnExit() { hist.Observe(static_cast<uint64_t>(timer.Nanos())); }
-  } observe{merge_timer, *merge_ns};
+    uint64_t& fetch_ns;
+    uint64_t& restore_ns;
+    uint64_t& merge_ns_total;
+    ~ObserveOnExit() {
+      span.AddChild("fetch", fetch_ns);
+      span.AddChild("restore", restore_ns);
+      span.AddChild("merge", merge_ns_total);
+      hist.Observe(span.ElapsedNs());
+    }
+  } observe{span, *merge_ns, fetch_total_ns, restore_total_ns,
+            merge_total_ns};
 
   if (first_epoch > last_epoch) {
     return Status::InvalidArgument("epoch window: first_epoch > last_epoch");
@@ -205,7 +259,9 @@ StatusOr<std::unique_ptr<Aggregator>> MergeEpochWindow(
   std::unique_ptr<Aggregator> merged;
   for (uint64_t e = first_epoch; e <= last_epoch; ++e) {
     std::string blob;
+    const uint64_t fetch_start = obs::SpanNowNs();
     Status st = get(e, &blob);
+    fetch_total_ns += obs::SpanNowNs() - fetch_start;
     if (!st.ok()) {
       if (st.code() == StatusCode::kOutOfRange) {
         return Status::OutOfRange("epoch window: epoch " + std::to_string(e) +
@@ -253,12 +309,16 @@ StatusOr<std::unique_ptr<Aggregator>> MergeEpochWindow(
     auto oracle_or = CreateAggregator(config);
     LDPHH_RETURN_IF_ERROR(oracle_or.status());
     std::unique_ptr<Aggregator> oracle = std::move(oracle_or).value();
+    const uint64_t restore_start = obs::SpanNowNs();
     LDPHH_RETURN_IF_ERROR(
         oracle->RestoreState(std::string_view(blob).substr(reader.position())));
+    restore_total_ns += obs::SpanNowNs() - restore_start;
     if (merged == nullptr) {
       merged = std::move(oracle);
     } else {
+      const uint64_t merge_start = obs::SpanNowNs();
       LDPHH_RETURN_IF_ERROR(merged->Merge(*oracle));
+      merge_total_ns += obs::SpanNowNs() - merge_start;
     }
   }
   return merged;

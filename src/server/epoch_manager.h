@@ -162,6 +162,11 @@ class EpochManager {
   std::shared_ptr<obs::Counter> epochs_pruned_;
   std::shared_ptr<obs::Gauge> current_epoch_gauge_;
   std::shared_ptr<obs::Gauge> open_reports_gauge_;
+  /// Slow-span family for CloseEpoch (served at /spanz).
+  std::shared_ptr<obs::SpanFamily> close_spans_;
+  /// Declared last: unregisters (stopping /statusz callbacks into this
+  /// object) before any member the callback reads is destroyed.
+  obs::StatuszRegistry::Registration statusz_;
 };
 
 /// Epoch snapshot blob layout (the value stored under an epoch id):

@@ -8,6 +8,7 @@
 #include "src/common/timer.h"
 #include "src/ldp/privacy_loss.h"
 #include "src/obs/trace.h"
+#include "src/protocols/metrics.h"
 #include "src/protocols/registry.h"
 
 namespace ldphh {
@@ -53,6 +54,12 @@ ShardedAggregator::ShardedAggregator(
   checkpoint_restore_ns_ = reg.NewHistogram(
       "ldphh_ingest_checkpoint_restore_duration_ns",
       "RestoreCheckpoint duration (scan + state restore)", "ns");
+  wire_bytes_ = reg.NewCounter("ldphh_ingest_wire_bytes_total",
+                               "Wire-format bytes accepted by SubmitWire",
+                               "bytes");
+  submit_wire_spans_ = obs::SpanSampler::Global().Family("ingest.submit_wire");
+  aggregate_spans_ =
+      obs::SpanSampler::Global().Family("ingest.aggregate_batch");
 
   shards_.reserve(oracles.size());
   for (size_t s = 0; s < oracles.size(); ++s) {
@@ -64,6 +71,36 @@ ShardedAggregator::ShardedAggregator(
         "Reports queued per shard", "reports");
     shards_.push_back(std::move(shard));
   }
+
+  // The /statusz "ingest" section: identity + the counters above. Reads
+  // only registry instruments (atomics), never shard fields, so a scrape
+  // needs no shard locks and stays off the workers' necks.
+  statusz_ = obs::StatuszRegistry::Global().Register(
+      "ingest", [this](obs::JsonWriter& w) {
+        w.BeginObject();
+        w.Key("protocol").String(config_.protocol());
+        w.Key("config").String(config_.ToText());
+        w.Key("wire_id").Uint(wire_id_);
+        w.Key("num_shards").Uint(static_cast<uint64_t>(options_.num_shards));
+        w.Key("submitted").Uint(submitted_->Value());
+        w.Key("restored").Uint(restored_reports_->Value());
+        w.Key("rejected").Uint(rejected_reports_->Value());
+        w.Key("wire_rejected_batches").Uint(wire_rejected_batches_->Value());
+        w.Key("queue_depth").BeginArray();
+        for (const auto& shard : shards_) {
+          w.Uint(static_cast<uint64_t>(shard->queue_depth->Value()));
+        }
+        w.EndArray();
+        // The Table-1 view of the live service, embedded via the shared
+        // ToJson so harness runs and the admin plane read the same shape.
+        ProtocolMetrics pm;
+        pm.server_seconds =
+            (wire_decode_ns_->Sum() + batch_aggregate_ns_->Sum()) / 1e9;
+        pm.num_users = submitted_->Value();
+        pm.comm_bits_total = wire_bytes_->Value() * 8;
+        w.Key("protocol_metrics").Raw(pm.ToJson());
+        w.EndObject();
+      });
 }
 
 StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
@@ -146,9 +183,11 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
     shard.not_full.notify_all();
     // Aggregation happens outside the queue lock: the oracle is only ever
     // touched by this worker (or by the main thread once quiesced).
-    // Instrumentation is per-batch (one timer + one histogram write per
-    // hundreds of reports), keeping the hot path unmeasurable by design.
-    const Timer batch_timer;
+    // Instrumentation is per-batch (one span + one histogram write per
+    // hundreds of reports), keeping the hot path unmeasurable by design;
+    // only the slowest batches per family survive in the sampler.
+    obs::Span span(aggregate_spans_.get());
+    span.set_args(batch.size());
     uint64_t ok = 0, bad = 0;
     for (const WireReport& r : batch) {
       if (shard.oracle->Aggregate(r).ok()) {
@@ -160,7 +199,7 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
         ++bad;
       }
     }
-    batch_aggregate_ns_->Observe(static_cast<uint64_t>(batch_timer.Nanos()));
+    batch_aggregate_ns_->Observe(span.ElapsedNs());
     if (bad > 0) rejected_reports_->Increment(bad);
     if (ok > 0 && report_epsilon_ > 0.0) {
       PrivacyBudgetLedger::Global().RecordSpend(report_epsilon_, ok,
@@ -238,15 +277,24 @@ Status ShardedAggregator::SubmitBatch(const std::vector<WireReport>& reports) {
 }
 
 Status ShardedAggregator::SubmitWire(std::string_view batch) {
+  obs::Span span(submit_wire_spans_.get());
+  span.set_args(batch.size());
   std::vector<WireReport> reports;
   const Timer decode_timer;
-  const Status decoded =
-      DecodeReportBatchFor(batch, wire_id_, config_.protocol(), &reports);
+  Status decoded;
+  {
+    const obs::Span::ChildScope decode = span.Child("decode");
+    decoded = DecodeReportBatchFor(batch, wire_id_, config_.protocol(),
+                                   &reports);
+  }
   wire_decode_ns_->Observe(static_cast<uint64_t>(decode_timer.Nanos()));
   if (!decoded.ok()) {
     wire_rejected_batches_->Increment();
+    span.set_detail(decoded.message());
     return decoded;
   }
+  wire_bytes_->Increment(batch.size());
+  const obs::Span::ChildScope enqueue = span.Child("enqueue");
   return SubmitBatch(reports);
 }
 

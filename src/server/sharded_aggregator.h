@@ -42,6 +42,8 @@
 
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/statusz.h"
 #include "src/protocols/aggregator.h"
 #include "src/protocols/protocol_config.h"
 #include "src/server/checkpoint_log.h"
@@ -172,10 +174,17 @@ class ShardedAggregator {
   std::shared_ptr<obs::Counter> restored_reports_;
   std::shared_ptr<obs::Counter> rejected_reports_;
   std::shared_ptr<obs::Counter> wire_rejected_batches_;
+  std::shared_ptr<obs::Counter> wire_bytes_;
   std::shared_ptr<obs::Histogram> wire_decode_ns_;
   std::shared_ptr<obs::Histogram> batch_aggregate_ns_;
   std::shared_ptr<obs::Histogram> checkpoint_write_ns_;
   std::shared_ptr<obs::Histogram> checkpoint_restore_ns_;
+  /// Slow-span families for the two ingest hot paths (served at /spanz).
+  std::shared_ptr<obs::SpanFamily> submit_wire_spans_;
+  std::shared_ptr<obs::SpanFamily> aggregate_spans_;
+  /// Declared last: unregisters (and thus stops /statusz callbacks into
+  /// this object) before any member the callback reads is destroyed.
+  obs::StatuszRegistry::Registration statusz_;
 };
 
 }  // namespace ldphh

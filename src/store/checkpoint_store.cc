@@ -80,6 +80,8 @@ CheckpointStore::CheckpointStore(std::string dir, CheckpointStoreOptions options
   manifest_sequence_gauge_ =
       reg.NewGauge("ldphh_store_manifest_sequence",
                    "Install generation of the current MANIFEST");
+  put_spans_ = obs::SpanSampler::Global().Family("store.put");
+  delete_spans_ = obs::SpanSampler::Global().Family("store.delete");
 }
 
 StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
@@ -93,6 +95,29 @@ StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
   if (options.background_compaction && options.compaction_trigger > 0) {
     store->compactor_ = std::thread([s = store.get()] { s->BackgroundLoop(); });
   }
+  // Admin-plane registrations, installed only once recovery succeeded (a
+  // store that never opened is not "unhealthy" — it does not exist).
+  store->health_ = obs::HealthRegistry::Global().Register(
+      "store:" + dir, [s = store.get()] { return s->WriteHealth(); });
+  store->statusz_ = obs::StatuszRegistry::Global().Register(
+      "store", [s = store.get()](obs::JsonWriter& w) {
+        const CheckpointStoreStats stats = s->Stats();
+        w.BeginObject();
+        w.Key("dir").String(s->dir_);
+        w.Key("sync_mode").String(SyncModeName(s->options_.sync_mode));
+        w.Key("live_segments").Uint(stats.live_segments);
+        w.Key("sealed_segments").Uint(stats.sealed_segments);
+        w.Key("entries").Uint(stats.entries);
+        w.Key("manifest_sequence").Uint(stats.manifest_sequence);
+        w.Key("compactions").Uint(stats.compactions);
+        w.Key("manifest_installs").Uint(stats.manifest_installs);
+        w.Key("puts").Uint(s->puts_->Value());
+        w.Key("deletes").Uint(s->deletes_->Value());
+        w.Key("appended_bytes").Uint(s->appended_bytes_->Value());
+        const Status health = s->WriteHealth();
+        w.Key("write_health").String(health.ok() ? "ok" : health.message());
+        w.EndObject();
+      });
   return store;
 }
 
@@ -315,17 +340,24 @@ Status CheckpointStore::InstallManifestLocked(const std::set<uint64_t>& live,
 // ------------------------------------------------------------------ writes --
 
 Status CheckpointStore::AppendRecordLocked(CheckpointRecordType type,
-                                           uint64_t key, std::string_view blob) {
+                                           uint64_t key, std::string_view blob,
+                                           obs::Span& span) {
   const uint64_t sequence = next_sequence_++;
   std::string payload;
   payload.reserve(16 + blob.size());
   PutU64(&payload, key);
   PutU64(&payload, sequence);
   payload.append(blob.data(), blob.size());
-  LDPHH_RETURN_IF_ERROR(active_writer_.Append(type, payload));
-  // Durable before the caller is acknowledged (per sync_mode; the first
-  // sync of a freshly rolled segment also syncs its directory entry).
-  LDPHH_RETURN_IF_ERROR(active_writer_.Sync());
+  {
+    const obs::Span::ChildScope append = span.Child("append");
+    LDPHH_RETURN_IF_ERROR(active_writer_.Append(type, payload));
+  }
+  {
+    // Durable before the caller is acknowledged (per sync_mode; the first
+    // sync of a freshly rolled segment also syncs its directory entry).
+    const obs::Span::ChildScope sync = span.Child("sync");
+    LDPHH_RETURN_IF_ERROR(active_writer_.Sync());
+  }
   active_bytes_ += kCheckpointRecordHeaderSize + payload.size();
   appended_bytes_->Increment(kCheckpointRecordHeaderSize + payload.size());
 
@@ -341,6 +373,7 @@ Status CheckpointStore::AppendRecordLocked(CheckpointRecordType type,
 
   entries_gauge_->Set(static_cast<double>(entries_.size()));
   if (active_bytes_ >= options_.segment_max_bytes) {
+    const obs::Span::ChildScope roll = span.Child("roll");
     LDPHH_RETURN_IF_ERROR(RollActiveLocked());
   }
   return Status::OK();
@@ -363,37 +396,73 @@ Status CheckpointStore::RollActiveLocked() {
 }
 
 Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
-  const Timer put_timer;
+  obs::Span span(put_spans_.get());
+  span.set_args(key, blob.size());
   bool wake = false;
+  Status appended;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!active_writer_.is_open()) {
       return Status::FailedPrecondition("checkpoint store: not open");
     }
-    LDPHH_RETURN_IF_ERROR(AppendRecordLocked(kStoreEntryRecord, key, blob));
+    appended = AppendRecordLocked(kStoreEntryRecord, key, blob, span);
     wake = options_.compaction_trigger > 0 &&
            SealedCountLocked() >= std::max(options_.compaction_trigger, 2);
   }
+  RecordWriteHealth(appended);
+  if (!appended.ok()) {
+    span.set_detail(appended.message());
+    return appended;
+  }
   puts_->Increment();
-  put_duration_ns_->Observe(static_cast<uint64_t>(put_timer.Nanos()));
+  put_duration_ns_->Observe(span.ElapsedNs());
   if (wake) work_cv_.notify_one();
   return Status::OK();
 }
 
 Status CheckpointStore::Delete(uint64_t key) {
+  obs::Span span(delete_spans_.get());
+  span.set_args(key);
   bool wake = false;
+  Status appended;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!active_writer_.is_open()) {
       return Status::FailedPrecondition("checkpoint store: not open");
     }
-    LDPHH_RETURN_IF_ERROR(AppendRecordLocked(kStoreTombstoneRecord, key, {}));
+    appended = AppendRecordLocked(kStoreTombstoneRecord, key, {}, span);
     wake = options_.compaction_trigger > 0 &&
            SealedCountLocked() >= std::max(options_.compaction_trigger, 2);
+  }
+  RecordWriteHealth(appended);
+  if (!appended.ok()) {
+    span.set_detail(appended.message());
+    return appended;
   }
   deletes_->Increment();
   if (wake) work_cv_.notify_one();
   return Status::OK();
+}
+
+Status CheckpointStore::WriteHealth() const {
+  if (!has_health_error_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lk(health_mu_);
+  return health_error_;
+}
+
+void CheckpointStore::RecordWriteHealth(const Status& status) {
+  if (status.ok()) {
+    // Self-heal: the fault cleared and writes land again.
+    if (has_health_error_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lk(health_mu_);
+      health_error_ = Status::OK();
+      has_health_error_.store(false, std::memory_order_release);
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lk(health_mu_);
+  health_error_ = status;
+  has_health_error_.store(true, std::memory_order_release);
 }
 
 // ------------------------------------------------------------------- reads --

@@ -69,7 +69,10 @@
 
 #include "src/common/file.h"
 #include "src/common/status.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/statusz.h"
 #include "src/server/checkpoint_log.h"
 #include "src/store/store_format.h"
 
@@ -194,7 +197,13 @@ class CheckpointStore {
   /// Seals the active segment and opens a fresh one. Caller holds mu_.
   Status RollActiveLocked();
   Status AppendRecordLocked(CheckpointRecordType type, uint64_t key,
-                            std::string_view blob);
+                            std::string_view blob, obs::Span& span);
+  /// Latches \p status as the store's write health: an error makes
+  /// /healthz fail until a later write succeeds (last write wins, so the
+  /// store self-heals when the fault clears).
+  void RecordWriteHealth(const Status& status);
+  /// What the registered health check reports.
+  Status WriteHealth() const;
   Status CompactPass(bool respect_trigger);
   void BackgroundLoop();
   int SealedCountLocked() const {
@@ -247,6 +256,22 @@ class CheckpointStore {
   std::thread compactor_;
 
   std::atomic<CompactionCrashPoint> crash_point_{CompactionCrashPoint::kNone};
+
+  /// Slow-span families for the write path (served at /spanz).
+  std::shared_ptr<obs::SpanFamily> put_spans_;
+  std::shared_ptr<obs::SpanFamily> delete_spans_;
+
+  /// Write-health latch: set by the first failing Put/Delete, cleared by
+  /// the next succeeding one. The atomic keeps the registered check to one
+  /// relaxed load in the healthy steady state.
+  std::atomic<bool> has_health_error_{false};
+  mutable std::mutex health_mu_;
+  Status health_error_;
+
+  /// Declared last: unregister (stopping admin-plane callbacks into this
+  /// object) before any member the callbacks read is destroyed.
+  obs::HealthRegistry::Registration health_;
+  obs::StatuszRegistry::Registration statusz_;
 };
 
 }  // namespace ldphh

@@ -67,6 +67,7 @@ ReplicaStore::ReplicaStore(std::string dir, ReplicaStoreOptions options)
       "ldphh_replica_lag_generations",
       "Primary MANIFEST generation minus this replica's, at poll time",
       "generations");
+  poll_spans_ = obs::SpanSampler::Global().Family("replica.poll");
 }
 
 StatusOr<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
@@ -85,6 +86,40 @@ StatusOr<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
   if (options.poll_interval.count() > 0) {
     replica->tailer_ = std::thread([r = replica.get()] { r->TailLoop(); });
   }
+  // Admin-plane registrations, installed only once the first refresh
+  // succeeded. Lag is a readiness matter (it heals by tailing, not by a
+  // restart), so the check gates /readyz only.
+  if (options.healthy_lag_bound > 0) {
+    replica->health_ = obs::HealthRegistry::Global().Register(
+        "replica:" + dir,
+        [r = replica.get(), bound = options.healthy_lag_bound]() -> Status {
+          const double lag = r->lag_gauge_->Value();
+          if (lag > static_cast<double>(bound)) {
+            return Status::FailedPrecondition(
+                "replica lag " + std::to_string(static_cast<uint64_t>(lag)) +
+                " generations exceeds bound " + std::to_string(bound));
+          }
+          return Status::OK();
+        },
+        /*readiness_only=*/true);
+  }
+  replica->statusz_ = obs::StatuszRegistry::Global().Register(
+      "replica", [r = replica.get()](obs::JsonWriter& w) {
+        const ReplicaStoreStats stats = r->Stats();
+        w.BeginObject();
+        w.Key("dir").String(r->dir_);
+        w.Key("manifest_sequence").Uint(stats.manifest_sequence);
+        w.Key("lag_generations")
+            .Uint(static_cast<uint64_t>(r->lag_gauge_->Value()));
+        w.Key("refreshes").Uint(stats.refreshes);
+        w.Key("snapshots_installed").Uint(stats.snapshots_installed);
+        w.Key("segment_races").Uint(stats.segment_races);
+        w.Key("segments_replayed").Uint(stats.segments_replayed);
+        w.Key("segment_cache_hits").Uint(stats.segment_cache_hits);
+        w.Key("incremental_replays").Uint(stats.incremental_replays);
+        w.Key("failed_refreshes").Uint(stats.failed_refreshes);
+        w.EndObject();
+      });
   return replica;
 }
 
@@ -120,13 +155,13 @@ std::shared_ptr<const ReplicaStore::Snapshot> ReplicaStore::CurrentSnapshot()
 
 StatusOr<bool> ReplicaStore::Refresh() {
   std::lock_guard<std::mutex> pass_lk(refresh_mu_);
-  const Timer poll_timer;
-  const StatusOr<bool> refreshed = RefreshLocked();
-  poll_duration_ns_->Observe(static_cast<uint64_t>(poll_timer.Nanos()));
+  obs::Span span(poll_spans_.get());
+  const StatusOr<bool> refreshed = RefreshLocked(span);
+  poll_duration_ns_->Observe(span.ElapsedNs());
   return refreshed;
 }
 
-StatusOr<bool> ReplicaStore::RefreshLocked() {
+StatusOr<bool> ReplicaStore::RefreshLocked(obs::Span& span) {
   refreshes_->Increment();
   const std::string manifest_path = dir_ + "/" + kStoreManifestName;
   uint64_t failed_sequence = 0;
@@ -134,8 +169,12 @@ StatusOr<bool> ReplicaStore::RefreshLocked() {
   bool have_failed_sequence = false;
   for (int attempt = 0; attempt <= options_.max_refresh_retries; ++attempt) {
     StoreManifest manifest;
-    LDPHH_RETURN_IF_ERROR(
-        ReadStoreManifest(fs_, manifest_path, &manifest));
+    {
+      const obs::Span::ChildScope read = span.Child("manifest_read");
+      LDPHH_RETURN_IF_ERROR(
+          ReadStoreManifest(fs_, manifest_path, &manifest));
+    }
+    span.set_args(manifest.sequence, static_cast<uint64_t>(attempt));
     if (manifest.incarnation == 0) {
       // A v1 MANIFEST (pre-incarnation primary). Without the incarnation
       // id the replica cannot detect a rolled-back-and-reissued generation,
@@ -201,7 +240,11 @@ StatusOr<bool> ReplicaStore::RefreshLocked() {
 
     std::shared_ptr<const Snapshot> next;
     bool active_was_missing = false;
-    const Status st = LoadSnapshot(manifest, &next, &active_was_missing);
+    Status st;
+    {
+      const obs::Span::ChildScope load = span.Child("load_snapshot");
+      st = LoadSnapshot(manifest, &next, &active_was_missing);
+    }
     if (st.code() == StatusCode::kOutOfRange) {
       // A listed segment vanished before it could be pinned: the primary
       // compacted past us. The MANIFEST installed before that deletion

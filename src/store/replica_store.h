@@ -72,7 +72,10 @@
 
 #include "src/common/file.h"
 #include "src/common/status.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/statusz.h"
 #include "src/store/store_format.h"
 
 namespace ldphh {
@@ -91,6 +94,11 @@ struct ReplicaStoreOptions {
   /// When positive, a background thread calls Refresh() at this cadence —
   /// the hands-off tail mode. Zero (default): the owner polls explicitly.
   std::chrono::milliseconds poll_interval{0};
+  /// When positive, the replica registers a *readiness* check (/readyz,
+  /// not /healthz — lag heals by tailing, not by restarting) that fails
+  /// while the last poll observed more than this many MANIFEST generations
+  /// of lag. Zero (default): no check registered.
+  uint64_t healthy_lag_bound = 0;
 };
 
 /// Counters for tests, benchmarks, and operators — a thin snapshot of this
@@ -184,8 +192,10 @@ class ReplicaStore {
 
   ReplicaStore(std::string dir, ReplicaStoreOptions options);
 
-  /// The refresh pass body; caller holds refresh_mu_.
-  StatusOr<bool> RefreshLocked();
+  /// The refresh pass body; caller holds refresh_mu_. \p span is the
+  /// enclosing poll span ("replica.poll"); manifest reads and snapshot
+  /// loads report into it as children.
+  StatusOr<bool> RefreshLocked(obs::Span& span);
   /// Loads (or serves from cache) every segment of \p manifest, pinning
   /// files open before replaying so the primary's compaction cannot delete
   /// them mid-pass; fails with kOutOfRange when a segment vanished before
@@ -251,6 +261,14 @@ class ReplicaStore {
   std::condition_variable stop_cv_;  ///< Wakes the tailer to exit (uses mu_).
   bool stop_ = false;
   std::thread tailer_;
+
+  /// Slow-span family for the tail poll (served at /spanz).
+  std::shared_ptr<obs::SpanFamily> poll_spans_;
+
+  /// Declared last: unregister (stopping admin-plane callbacks into this
+  /// object) before any member the callbacks read is destroyed.
+  obs::HealthRegistry::Registration health_;
+  obs::StatuszRegistry::Registration statusz_;
 };
 
 /// \brief An immutable point-in-time read handle (see ReplicaStore::Pin).

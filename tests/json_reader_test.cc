@@ -1,0 +1,173 @@
+// Tests for src/obs/json_reader.h: grammar coverage (literals, numbers,
+// strings with escapes and surrogate pairs, nesting), the documented
+// deviations (duplicate keys keep the last occurrence, numbers as double),
+// error positions, the recursion-depth bound, and a round trip through the
+// JsonWriter the expositions are produced with.
+
+#include "src/obs/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json_writer.h"
+
+namespace ldphh {
+namespace obs {
+namespace {
+
+JsonValue MustParse(std::string_view text) {
+  JsonValue v;
+  const Status st = ParseJson(text, &v);
+  EXPECT_TRUE(st.ok()) << st.ToString() << " parsing: " << text;
+  return v;
+}
+
+Status ParseError(std::string_view text) {
+  JsonValue v;
+  const Status st = ParseJson(text, &v);
+  EXPECT_FALSE(st.ok()) << "expected parse failure for: " << text;
+  EXPECT_EQ(st.code(), StatusCode::kDecodeFailure);
+  return st;
+}
+
+// ----------------------------------------------------------------- scalars
+
+TEST(JsonReader, Literals) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").is_bool());
+  EXPECT_TRUE(MustParse("true").bool_value);
+  EXPECT_FALSE(MustParse("false").bool_value);
+  EXPECT_TRUE(MustParse("  null  ").is_null());  // Surrounding whitespace.
+}
+
+TEST(JsonReader, Numbers) {
+  EXPECT_DOUBLE_EQ(MustParse("0").number_value, 0.0);
+  EXPECT_DOUBLE_EQ(MustParse("-17").number_value, -17.0);
+  EXPECT_DOUBLE_EQ(MustParse("3.5").number_value, 3.5);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").number_value, 1000.0);
+  EXPECT_DOUBLE_EQ(MustParse("-2.5E-2").number_value, -0.025);
+  // Exact for the integer range the writers emit (< 2^53).
+  EXPECT_DOUBLE_EQ(MustParse("9007199254740992").number_value, 9.007199254740992e15);
+}
+
+TEST(JsonReader, Strings) {
+  EXPECT_EQ(MustParse("\"\"").string_value, "");
+  EXPECT_EQ(MustParse("\"plain\"").string_value, "plain");
+  EXPECT_EQ(MustParse("\"a\\\"b\\\\c\\/d\"").string_value, "a\"b\\c/d");
+  EXPECT_EQ(MustParse("\"\\b\\f\\n\\r\\t\"").string_value, "\b\f\n\r\t");
+  EXPECT_EQ(MustParse("\"\\u0041\"").string_value, "A");
+  EXPECT_EQ(MustParse("\"\\u00e9\"").string_value, "\xc3\xa9");      // é
+  EXPECT_EQ(MustParse("\"\\u20ac\"").string_value, "\xe2\x82\xac");  // €
+  // Surrogate pair → 4-byte UTF-8 (U+1F600).
+  EXPECT_EQ(MustParse("\"\\ud83d\\ude00\"").string_value,
+            "\xf0\x9f\x98\x80");
+}
+
+// -------------------------------------------------------------- containers
+
+TEST(JsonReader, Arrays) {
+  const JsonValue v = MustParse("[1, \"two\", [true], {}]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array.size(), 4u);
+  EXPECT_DOUBLE_EQ(v.array[0].number_value, 1.0);
+  EXPECT_EQ(v.array[1].string_value, "two");
+  ASSERT_TRUE(v.array[2].is_array());
+  EXPECT_TRUE(v.array[2].array[0].bool_value);
+  EXPECT_TRUE(v.array[3].is_object());
+  EXPECT_TRUE(MustParse("[]").array.empty());
+}
+
+TEST(JsonReader, Objects) {
+  const JsonValue v = MustParse("{\"a\": 1, \"b\": {\"c\": [2]}}");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.Find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(v.Find("a")->number_value, 1.0);
+  const JsonValue* b = v.Find("b");
+  ASSERT_NE(b, nullptr);
+  const JsonValue* c = b->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->array[0].number_value, 2.0);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  // Find on a non-object is a safe null.
+  EXPECT_EQ(MustParse("[1]").Find("a"), nullptr);
+}
+
+TEST(JsonReader, DuplicateKeysKeepLast) {
+  const JsonValue v = MustParse("{\"k\": 1, \"k\": 2}");
+  ASSERT_NE(v.Find("k"), nullptr);
+  EXPECT_DOUBLE_EQ(v.Find("k")->number_value, 2.0);
+}
+
+TEST(JsonReader, InsertionOrderPreserved) {
+  const JsonValue v = MustParse("{\"z\": 1, \"a\": 2}");
+  ASSERT_EQ(v.object.size(), 2u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+}
+
+// ------------------------------------------------------------------ errors
+
+TEST(JsonReader, SyntaxErrors) {
+  ParseError("");
+  ParseError("{");
+  ParseError("[1,]");
+  ParseError("{\"a\" 1}");
+  ParseError("{\"a\": 1,}");
+  ParseError("nul");
+  ParseError("truex");
+  ParseError("01");       // Leading zero.
+  ParseError("1.");       // Bare decimal point.
+  ParseError("+1");       // Leading plus.
+  ParseError("\"open");   // Unterminated string.
+  ParseError("\"\\q\"");  // Unknown escape.
+  ParseError("\"\x01\"");     // Raw control character.
+  ParseError("\"\\ud83d\"");  // Lone high surrogate.
+  ParseError("\"\\ude00\"");  // Lone low surrogate.
+  ParseError("1 2");          // Trailing garbage.
+  ParseError("[1] x");
+}
+
+TEST(JsonReader, ErrorsNamePosition) {
+  const Status st = ParseError("[1, 2, oops]");
+  EXPECT_NE(st.message().find("7"), std::string::npos) << st.ToString();
+}
+
+TEST(JsonReader, DepthBound) {
+  // 64 nested arrays parse; 65 exceed the documented bound.
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  MustParse(ok);
+  std::string too_deep(65, '[');
+  too_deep += std::string(65, ']');
+  ParseError(too_deep);
+}
+
+// -------------------------------------------------- round trip with writer
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("quoted \"text\" with \\ and \n");
+  w.Key("count").Uint(123456789);
+  w.Key("ratio").Double(0.25);
+  w.Key("flag").Bool(true);
+  w.Key("nothing").Null();
+  w.Key("list").BeginArray();
+  w.Uint(1).Uint(2).Uint(3);
+  w.EndArray();
+  w.EndObject();
+
+  const JsonValue v = MustParse(w.str());
+  EXPECT_EQ(v.Find("name")->string_value, "quoted \"text\" with \\ and \n");
+  EXPECT_DOUBLE_EQ(v.Find("count")->number_value, 123456789.0);
+  EXPECT_DOUBLE_EQ(v.Find("ratio")->number_value, 0.25);
+  EXPECT_TRUE(v.Find("flag")->bool_value);
+  EXPECT_TRUE(v.Find("nothing")->is_null());
+  ASSERT_EQ(v.Find("list")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("list")->array[2].number_value, 3.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ldphh

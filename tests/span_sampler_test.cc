@@ -1,0 +1,199 @@
+// Tests for src/obs/span.h: exact tallies, top-N retention and ordering
+// under shuffled synthetic durations, the per-span children bound, the
+// null-family no-op contract, concurrent recording (the TSan target for
+// the span hot path), and /spanz-shaped DumpJson validated with the
+// in-tree JSON reader.
+
+#include "src/obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json_reader.h"
+
+namespace ldphh {
+namespace obs {
+namespace {
+
+SpanRecord Synthetic(uint64_t duration_ns, uint64_t arg0 = 0) {
+  SpanRecord r;
+  r.start_ns = 1;
+  r.duration_ns = duration_ns;
+  r.arg0 = arg0;
+  return r;
+}
+
+// ----------------------------------------------------------- family tallies
+
+TEST(SpanFamily, CountAndTotalAreExact) {
+  SpanSampler sampler;
+  auto family = sampler.Family("test.op");
+  for (uint64_t d = 1; d <= 100; ++d) family->Record(Synthetic(d));
+  EXPECT_EQ(family->Count(), 100u);
+  EXPECT_EQ(family->TotalNs(), 5050u);
+}
+
+TEST(SpanFamily, TopNRetainsTheSlowestInOrder) {
+  SpanSampler sampler(/*per_family_capacity=*/8);
+  auto family = sampler.Family("test.op");
+
+  // Durations 1..100 in shuffled order; the retained set must still be
+  // exactly {100, 99, ..., 93}, slowest first.
+  std::vector<uint64_t> durations(100);
+  std::iota(durations.begin(), durations.end(), 1);
+  std::mt19937 shuffle_rng(7);
+  std::shuffle(durations.begin(), durations.end(), shuffle_rng);
+  for (const uint64_t d : durations) family->Record(Synthetic(d, /*arg0=*/d));
+
+  const std::vector<SpanRecord> slowest = family->Slowest();
+  ASSERT_EQ(slowest.size(), 8u);
+  for (size_t i = 0; i < slowest.size(); ++i) {
+    EXPECT_EQ(slowest[i].duration_ns, 100 - i);
+    EXPECT_EQ(slowest[i].arg0, 100 - i);  // Context rides with the record.
+  }
+}
+
+TEST(SpanFamily, ClearResetsTalliesAndRetention) {
+  SpanSampler sampler;
+  auto family = sampler.Family("test.op");
+  for (uint64_t d = 1; d <= 50; ++d) family->Record(Synthetic(d));
+  family->Clear();
+  EXPECT_EQ(family->Count(), 0u);
+  EXPECT_EQ(family->TotalNs(), 0u);
+  EXPECT_TRUE(family->Slowest().empty());
+  // Retention warms up again after Clear: a small span is retained once
+  // the set is no longer full of larger ones.
+  family->Record(Synthetic(3));
+  ASSERT_EQ(family->Slowest().size(), 1u);
+  EXPECT_EQ(family->Slowest()[0].duration_ns, 3u);
+}
+
+TEST(SpanSampler, FamilyHandleIsStable) {
+  SpanSampler sampler;
+  auto a = sampler.Family("same");
+  auto b = sampler.Family("same");
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(sampler.Families().size(), 1u);
+}
+
+// ------------------------------------------------------------- span object
+
+TEST(Span, ReportsIntoFamilyWithChildren) {
+  SpanSampler sampler;
+  auto family = sampler.Family("test.op");
+  {
+    Span span(family.get());
+    span.set_args(42, 7);
+    span.set_detail("why it was slow");
+    { auto child = span.Child("step_a"); }
+    span.AddChild("step_b", 123);
+  }
+  EXPECT_EQ(family->Count(), 1u);
+  const std::vector<SpanRecord> slowest = family->Slowest();
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(slowest[0].arg0, 42u);
+  EXPECT_EQ(slowest[0].arg1, 7u);
+  EXPECT_EQ(slowest[0].detail, "why it was slow");
+  ASSERT_EQ(slowest[0].children.size(), 2u);
+  EXPECT_EQ(slowest[0].children[0].name, "step_a");
+  EXPECT_EQ(slowest[0].children[1].name, "step_b");
+  EXPECT_EQ(slowest[0].children[1].duration_ns, 123u);
+  EXPECT_EQ(slowest[0].dropped_children, 0u);
+}
+
+TEST(Span, ChildrenBeyondCapAreCountedNotKept) {
+  SpanSampler sampler;
+  auto family = sampler.Family("test.op");
+  {
+    Span span(family.get());
+    for (size_t i = 0; i < SpanSampler::kMaxChildrenPerSpan + 5; ++i) {
+      span.AddChild("c", 1);
+    }
+  }
+  const std::vector<SpanRecord> slowest = family->Slowest();
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(slowest[0].children.size(), SpanSampler::kMaxChildrenPerSpan);
+  EXPECT_EQ(slowest[0].dropped_children, 5u);
+}
+
+TEST(Span, NullFamilyIsANoOp) {
+  Span span(nullptr);
+  span.set_args(1, 2);
+  span.set_detail("ignored");
+  span.AddChild("c", 1);
+  { auto child = span.Child("scoped"); }
+  EXPECT_EQ(span.ElapsedNs(), 0u);
+  // Destruction must not touch any family.
+}
+
+// ------------------------------------------------------ concurrency (TSan)
+
+TEST(SpanFamily, ConcurrentRecordsKeepExactTalliesAndGlobalMax) {
+  SpanSampler sampler;
+  auto family = sampler.Family("test.op");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&family, t] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        // Distinct duration per (thread, i): the global max is known.
+        family->Record(Synthetic(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(family->Count(), uint64_t{kThreads} * kPerThread);
+  const std::vector<SpanRecord> slowest = family->Slowest();
+  ASSERT_FALSE(slowest.empty());
+  EXPECT_EQ(slowest[0].duration_ns, uint64_t{kThreads} * kPerThread);
+}
+
+// ------------------------------------------------------------- exposition
+
+TEST(SpanSampler, DumpJsonIsValidAndComplete) {
+  SpanSampler sampler;
+  auto fast = sampler.Family("alpha");
+  auto slow = sampler.Family("beta");
+  fast->Record(Synthetic(10));
+  {
+    Span span(slow.get());
+    span.set_args(3);
+    span.set_detail("quote \" and backslash \\");
+    span.AddChild("fsync", 99);
+  }
+
+  JsonValue doc;
+  const Status st = ParseJson(sampler.DumpJson(), &doc);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const JsonValue* families = doc.Find("families");
+  ASSERT_NE(families, nullptr);
+  ASSERT_TRUE(families->is_array());
+  ASSERT_EQ(families->array.size(), 2u);  // Name-sorted: alpha, beta.
+  EXPECT_EQ(families->array[0].Find("name")->string_value, "alpha");
+  EXPECT_DOUBLE_EQ(families->array[0].Find("count")->number_value, 1.0);
+  const JsonValue& beta = families->array[1];
+  EXPECT_EQ(beta.Find("name")->string_value, "beta");
+  const JsonValue* slowest = beta.Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_EQ(slowest->array.size(), 1u);
+  const JsonValue& record = slowest->array[0];
+  EXPECT_DOUBLE_EQ(record.Find("arg0")->number_value, 3.0);
+  EXPECT_EQ(record.Find("detail")->string_value,
+            "quote \" and backslash \\");
+  const JsonValue* children = record.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array.size(), 1u);
+  EXPECT_EQ(children->array[0].Find("name")->string_value, "fsync");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ldphh
