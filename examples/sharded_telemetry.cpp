@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
     for (size_t b = 0; b < cut; ++b) {
       if (!service->SubmitWire(wire_batches[b]).ok()) return 1;
     }
-    service->Drain();
+    if (!service->Drain().ok()) return 1;
     const IngestStats stats = service->Stats();
     std::printf("phase 1: ingested %llu reports on %d shards (%.2fM reports/s)\n",
                 static_cast<unsigned long long>(stats.submitted), kShards,

@@ -29,7 +29,7 @@ class FaultWritableFile : public WritableFile {
     if (inode_ == nullptr) {
       return Status::FailedPrecondition("fault fs: Append on closed file");
     }
-    std::lock_guard<std::mutex> lk(fs_->mu_);
+    MutexLock lk(&fs_->mu_);
     inode_->content.append(data.data(), data.size());
     return Status::OK();
   }
@@ -44,7 +44,7 @@ class FaultWritableFile : public WritableFile {
   Status Sync(SyncMode mode) override {
     LDPHH_RETURN_IF_ERROR(Flush());
     if (mode == SyncMode::kNone) return Status::OK();
-    std::lock_guard<std::mutex> lk(fs_->mu_);
+    MutexLock lk(&fs_->mu_);
     if (fs_->fail_file_syncs_) {
       return Status::Internal("fault fs: injected sync failure");
     }
@@ -71,7 +71,7 @@ class FaultSequentialFile : public SequentialFile {
       : fs_(fs), inode_(std::move(inode)), size_(size) {}
 
   Status Read(char* buf, size_t n, size_t* bytes_read) override {
-    std::lock_guard<std::mutex> lk(fs_->mu_);
+    MutexLock lk(&fs_->mu_);
     const std::string& content = inode_->content;
     const size_t avail =
         offset_ < content.size() ? content.size() - offset_ : 0;
@@ -99,7 +99,7 @@ class FaultSequentialFile : public SequentialFile {
 
 StatusOr<std::unique_ptr<WritableFile>>
 FaultInjectingFileSystem::NewWritableFile(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = live_.find(path);
   std::shared_ptr<Inode> inode;
   if (it == live_.end()) {
@@ -113,7 +113,7 @@ FaultInjectingFileSystem::NewWritableFile(const std::string& path) {
 
 StatusOr<std::unique_ptr<SequentialFile>>
 FaultInjectingFileSystem::NewSequentialFile(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const auto it = live_.find(path);
   if (it == live_.end()) return NotFound("open", path);
   return std::unique_ptr<SequentialFile>(new FaultSequentialFile(
@@ -121,13 +121,13 @@ FaultInjectingFileSystem::NewSequentialFile(const std::string& path) {
 }
 
 StatusOr<bool> FaultInjectingFileSystem::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return live_.count(path) != 0;
 }
 
 StatusOr<uint64_t> FaultInjectingFileSystem::FileSize(
     const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const auto it = live_.find(path);
   if (it == live_.end()) return NotFound("stat", path);
   return static_cast<uint64_t>(it->second->content.size());
@@ -135,7 +135,7 @@ StatusOr<uint64_t> FaultInjectingFileSystem::FileSize(
 
 Status FaultInjectingFileSystem::Truncate(const std::string& path,
                                           uint64_t size) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const auto it = live_.find(path);
   if (it == live_.end()) return NotFound("truncate", path);
   if (size < it->second->content.size()) it->second->content.resize(size);
@@ -145,14 +145,14 @@ Status FaultInjectingFileSystem::Truncate(const std::string& path,
 }
 
 Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   live_.erase(path);  // Absent is OK; durable entry dies at SyncDirectory.
   return Status::OK();
 }
 
 Status FaultInjectingFileSystem::RenameFile(const std::string& from,
                                             const std::string& to) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const auto it = live_.find(from);
   if (it == live_.end()) return NotFound("rename", from);
   live_[to] = it->second;  // Replaces any existing target, like rename(2).
@@ -167,7 +167,7 @@ Status FaultInjectingFileSystem::CreateDirectories(const std::string&) {
 }
 
 Status FaultInjectingFileSystem::SyncDirectory(const std::string& dir) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   ++dir_syncs_;
   // The durable namespace under `dir` becomes the live namespace: entries
   // created/renamed-in become durable, deleted/renamed-away entries die.
@@ -186,7 +186,7 @@ Status FaultInjectingFileSystem::SyncDirectory(const std::string& dir) {
 
 Status FaultInjectingFileSystem::ListDirectory(
     const std::string& dir, std::vector<std::string>* names) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   names->clear();
   for (const auto& [path, inode] : live_) {
     if (ParentDirectory(path) == dir) {
@@ -198,7 +198,7 @@ Status FaultInjectingFileSystem::ListDirectory(
 
 void FaultInjectingFileSystem::SimulatePowerLoss(
     size_t unsynced_tail_bytes_kept) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (auto& [path, inode] : durable_ns_) {
     std::string survives = inode->durable;
     // If the volatile content extends the durable image, a torn prefix of
@@ -218,17 +218,17 @@ void FaultInjectingFileSystem::SimulatePowerLoss(
 }
 
 uint64_t FaultInjectingFileSystem::file_sync_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return file_syncs_;
 }
 
 void FaultInjectingFileSystem::set_fail_file_syncs(bool fail) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   fail_file_syncs_ = fail;
 }
 
 uint64_t FaultInjectingFileSystem::dir_sync_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return dir_syncs_;
 }
 

@@ -26,11 +26,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "src/common/file.h"
+#include "src/common/mutex.h"
 
 namespace ldphh {
 
@@ -75,19 +75,22 @@ class FaultInjectingFileSystem : public FileSystem {
   friend class FaultWritableFile;
   friend class FaultSequentialFile;
 
+  /// Inode fields are protected by the owning filesystem's mu_ (every
+  /// access in fault_fs.cc holds it); per-inode GUARDED_BY cannot express
+  /// "the lock of the filesystem that owns me".
   struct Inode {
     std::string content;  ///< Volatile view (what reads observe).
     std::string durable;  ///< Survives power loss (if the entry does too).
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Current namespace: what Open/List/Exists observe.
-  std::map<std::string, std::shared_ptr<Inode>> live_;
+  std::map<std::string, std::shared_ptr<Inode>> live_ GUARDED_BY(mu_);
   /// Durable namespace: what survives power loss.
-  std::map<std::string, std::shared_ptr<Inode>> durable_ns_;
-  uint64_t file_syncs_ = 0;
-  uint64_t dir_syncs_ = 0;
-  bool fail_file_syncs_ = false;
+  std::map<std::string, std::shared_ptr<Inode>> durable_ns_ GUARDED_BY(mu_);
+  uint64_t file_syncs_ GUARDED_BY(mu_) = 0;
+  uint64_t dir_syncs_ GUARDED_BY(mu_) = 0;
+  bool fail_file_syncs_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ldphh

@@ -29,7 +29,9 @@ class PosixWritableFile : public WritableFile {
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      FlushBuffer();  // Best effort; durability needed an explicit Sync.
+      IgnoreStatus(FlushBuffer(),
+                   "destructor flush is best-effort; durability needed an"
+                   " explicit Sync");
       ::close(fd_);
     }
   }

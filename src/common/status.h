@@ -32,7 +32,11 @@ enum class StatusCode {
 ///
 /// `Status` is cheap to copy in the OK case (no allocation) and carries a
 /// code plus a human-readable message otherwise.
-class Status {
+///
+/// `[[nodiscard]]`: a dropped Status is a swallowed failure — every caller
+/// must handle it, propagate it (LDPHH_RETURN_IF_ERROR), or discard it
+/// explicitly through IgnoreStatus() with a stated reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -105,7 +109,7 @@ class Status {
 /// Accessing the value of a non-OK StatusOr aborts (programmer error), so
 /// callers must check `ok()` first.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicitly OK).
   StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -145,6 +149,14 @@ class StatusOr {
 
   std::variant<T, Status> payload_;
 };
+
+/// Discards \p status on purpose. The one sanctioned way to drop a Status:
+/// unlike a bare `(void)` cast it forces the writer to state *why* the
+/// failure does not matter, and the reason is greppable next to the call.
+inline void IgnoreStatus(const Status& status, const char* reason) {
+  (void)status;
+  (void)reason;
+}
 
 /// Propagates a non-OK Status out of the enclosing function.
 #define LDPHH_RETURN_IF_ERROR(expr)                   \

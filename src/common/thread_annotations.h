@@ -1,0 +1,89 @@
+/// \file thread_annotations.h
+/// \brief Clang Thread Safety Analysis annotation macros.
+///
+/// The leveldb/abseil discipline, adapted: lock-protected members declare
+/// their lock with GUARDED_BY, methods that must be called with a lock held
+/// declare it with REQUIRES, and the analysis proves — at compile time, on
+/// every clang build — that no code path touches guarded state without the
+/// right lock. The macros expand to clang attributes under clang and to
+/// nothing elsewhere, so GCC builds are unaffected.
+///
+/// The analysis only understands annotated capability types, not raw
+/// std::mutex: use ldphh::Mutex / ldphh::MutexLock / ldphh::CondVar from
+/// src/common/mutex.h (tools/lint.sh enforces this for src/). Enable the
+/// analysis with -DLDPHH_THREAD_SAFETY=ON (clang only), which adds
+/// -Wthread-safety -Werror=thread-safety; the CI static-analysis job runs
+/// it on every push. docs/static_analysis.md spells out the conventions.
+
+#ifndef LDPHH_COMMON_THREAD_ANNOTATIONS_H_
+#define LDPHH_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define LDPHH_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define LDPHH_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on non-clang
+#endif
+
+/// Declares a type as a capability (a lock). Goes on the class.
+#define CAPABILITY(x) LDPHH_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class that acquires a capability at construction and
+/// releases it at destruction.
+#define SCOPED_CAPABILITY LDPHH_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reading requires holding it (shared or exclusive), writing requires
+/// holding it exclusively.
+#define GUARDED_BY(x) LDPHH_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Like GUARDED_BY for pointers: the pointed-to data is protected, the
+/// pointer itself may be read freely.
+#define PT_GUARDED_BY(x) LDPHH_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that callers must hold the capability exclusively on entry
+/// (and still hold it on exit). The convention for *Locked() helpers.
+#define REQUIRES(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Spelled-out alias some codebases (leveldb) use for REQUIRES.
+#define EXCLUSIVE_LOCKS_REQUIRED(...) REQUIRES(__VA_ARGS__)
+
+/// Shared (reader) variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (and does not release it).
+#define ACQUIRE(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define RELEASE(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the capability held (it acquires
+/// it itself; catches self-deadlock).
+#define EXCLUDES(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Try-acquire: first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) LDPHH_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds the capability; tells
+/// the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the locking is sound anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LDPHH_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // LDPHH_COMMON_THREAD_ANNOTATIONS_H_

@@ -151,7 +151,7 @@ PrivacyBudgetLedger& PrivacyBudgetLedger::Global() {
           double max_eps, volume, budget;
           uint64_t reports;
           {
-            std::lock_guard<std::mutex> lock(ledger->mu_);
+            MutexLock lock(&ledger->mu_);
             max_eps = ledger->max_epsilon_;
             volume = ledger->weighted_volume_;
             budget = ledger->epsilon_budget_;
@@ -177,7 +177,7 @@ void PrivacyBudgetLedger::RecordSpend(double eps, uint64_t reports,
   if (reports == 0) return;
   SpendHook hook;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     max_epsilon_ = std::max(max_epsilon_, eps);
     weighted_volume_ += eps * static_cast<double>(reports);
     reports_ += reports;
@@ -193,37 +193,37 @@ void PrivacyBudgetLedger::RecordSpend(double eps, uint64_t reports,
 }
 
 double PrivacyBudgetLedger::MaxEpsilon() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_epsilon_;
 }
 
 double PrivacyBudgetLedger::WeightedEpsilonVolume() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return weighted_volume_;
 }
 
 uint64_t PrivacyBudgetLedger::ReportsAccounted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return reports_;
 }
 
 void PrivacyBudgetLedger::SetSpendHook(SpendHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   hook_ = std::move(hook);
 }
 
 void PrivacyBudgetLedger::SetEpsilonBudget(double budget) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   epsilon_budget_ = budget;
 }
 
 double PrivacyBudgetLedger::EpsilonBudget() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return epsilon_budget_;
 }
 
 Status PrivacyBudgetLedger::BudgetHealth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (epsilon_budget_ > 0.0 && max_epsilon_ > epsilon_budget_) {
     return Status::FailedPrecondition(
         "privacy budget exhausted: max epsilon " +
@@ -234,7 +234,7 @@ Status PrivacyBudgetLedger::BudgetHealth() const {
 }
 
 void PrivacyBudgetLedger::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   max_epsilon_ = 0.0;
   weighted_volume_ = 0.0;
   reports_ = 0;

@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/ldp/randomizer.h"
 #include "src/obs/health.h"
@@ -140,12 +140,12 @@ class PrivacyBudgetLedger {
   /// within the budget or no budget is set).
   Status BudgetHealth() const;
 
-  mutable std::mutex mu_;
-  double max_epsilon_ = 0.0;
-  double weighted_volume_ = 0.0;
-  uint64_t reports_ = 0;
-  double epsilon_budget_ = 0.0;
-  SpendHook hook_;
+  mutable Mutex mu_;
+  double max_epsilon_ GUARDED_BY(mu_) = 0.0;
+  double weighted_volume_ GUARDED_BY(mu_) = 0.0;
+  uint64_t reports_ GUARDED_BY(mu_) = 0;
+  double epsilon_budget_ GUARDED_BY(mu_) = 0.0;
+  SpendHook hook_ GUARDED_BY(mu_);
 
   /// Declared last (destroyed first); only the Global() ledger registers,
   /// and it is never destroyed.

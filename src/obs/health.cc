@@ -22,21 +22,21 @@ void HealthRegistry::Registration::Reset() {
 HealthRegistry::Registration HealthRegistry::Register(std::string name,
                                                       CheckFn fn,
                                                       bool readiness_only) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const uint64_t id = next_id_++;
   checks_[id] = Check{std::move(name), readiness_only, std::move(fn)};
   return Registration(this, id);
 }
 
 void HealthRegistry::Unregister(uint64_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   checks_.erase(id);
 }
 
 std::vector<HealthRegistry::CheckResult> HealthRegistry::RunChecks() const {
   std::vector<CheckResult> results;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     results.reserve(checks_.size());
     // Run under the lock: a component destroying itself concurrently blocks
     // in its Registration::Reset until the pass is done, so a check can
@@ -69,7 +69,7 @@ bool HealthRegistry::Ready() const {
 }
 
 void HealthRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   checks_.clear();
 }
 

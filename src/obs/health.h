@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace ldphh {
@@ -112,9 +112,9 @@ class HealthRegistry {
 
   void Unregister(uint64_t id);
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, Check> checks_;
-  uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::map<uint64_t, Check> checks_ GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace obs

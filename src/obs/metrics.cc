@@ -117,7 +117,7 @@ std::shared_ptr<Counter> MetricsRegistry::NewCounter(std::string name,
                                                      std::string help,
                                                      std::string unit) {
   std::shared_ptr<Counter> c(new Counter(this, name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FamilyFor(name, Type::kCounter, &help, &unit).counters.insert(c.get());
   return c;
 }
@@ -126,7 +126,7 @@ std::shared_ptr<Gauge> MetricsRegistry::NewGauge(std::string name,
                                                  std::string help,
                                                  std::string unit) {
   std::shared_ptr<Gauge> g(new Gauge(this, name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FamilyFor(name, Type::kGauge, &help, &unit).gauges.insert(g.get());
   return g;
 }
@@ -135,13 +135,13 @@ std::shared_ptr<Histogram> MetricsRegistry::NewHistogram(std::string name,
                                                          std::string help,
                                                          std::string unit) {
   std::shared_ptr<Histogram> h(new Histogram(this, name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FamilyFor(name, Type::kHistogram, &help, &unit).histograms.insert(h.get());
   return h;
 }
 
 void MetricsRegistry::Retire(const Counter* c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = families_.find(c->name_);
   if (it == families_.end()) return;  // ResetForTesting dropped the family.
   it->second.counters.erase(c);
@@ -149,14 +149,14 @@ void MetricsRegistry::Retire(const Counter* c) {
 }
 
 void MetricsRegistry::Retire(const Gauge* g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = families_.find(g->name_);
   if (it == families_.end()) return;
   it->second.gauges.erase(g);
 }
 
 void MetricsRegistry::Retire(const Histogram* h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = families_.find(h->name_);
   if (it == families_.end()) return;
   Family& f = it->second;
@@ -236,7 +236,7 @@ const char* TypeString(int type) {
 std::string MetricsRegistry::DumpText() const {
   std::vector<FamilySnapshot> snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snap = SnapshotLocked();
   }
   std::string out;
@@ -289,7 +289,7 @@ std::string MetricsRegistry::DumpText() const {
 std::string MetricsRegistry::DumpJson() const {
   std::vector<FamilySnapshot> snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snap = SnapshotLocked();
   }
   JsonWriter w;
@@ -335,7 +335,7 @@ std::string MetricsRegistry::DumpJson() const {
 std::vector<std::string> MetricsRegistry::Names() const {
   std::vector<FamilySnapshot> snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snap = SnapshotLocked();
   }
   std::vector<std::string> names;
@@ -345,7 +345,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 void MetricsRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   families_.clear();
 }
 

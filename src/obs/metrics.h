@@ -49,11 +49,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace ldphh {
 namespace obs {
@@ -282,14 +283,14 @@ class MetricsRegistry {
   };
 
   Family& FamilyFor(const std::string& name, Type type, std::string* help,
-                    std::string* unit);
+                    std::string* unit) REQUIRES(mu_);
   void Retire(const Counter* c);
   void Retire(const Gauge* g);
   void Retire(const Histogram* h);
-  std::vector<FamilySnapshot> SnapshotLocked() const;
+  std::vector<FamilySnapshot> SnapshotLocked() const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
 };
 
 /// The base name of a possibly labeled metric name ("a{b=...}" -> "a").

@@ -27,7 +27,7 @@ void SpanFamily::Record(SpanRecord record) {
   if (record.duration_ns < threshold_ns_.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (slowest_.size() >= capacity_ &&
       record.duration_ns <= slowest_.back().duration_ns) {
     return;  // The threshold rose while we raced to the lock.
@@ -46,12 +46,12 @@ void SpanFamily::Record(SpanRecord record) {
 }
 
 std::vector<SpanRecord> SpanFamily::Slowest() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return slowest_;
 }
 
 void SpanFamily::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   slowest_.clear();
   threshold_ns_.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -69,7 +69,7 @@ SpanSampler::SpanSampler(size_t per_family_capacity)
     : per_family_capacity_(per_family_capacity > 0 ? per_family_capacity : 1) {}
 
 std::shared_ptr<SpanFamily> SpanSampler::Family(std::string name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = families_.find(name);
   if (it == families_.end()) {
     it = families_
@@ -81,7 +81,7 @@ std::shared_ptr<SpanFamily> SpanSampler::Family(std::string name) {
 }
 
 std::vector<std::shared_ptr<SpanFamily>> SpanSampler::Families() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<std::shared_ptr<SpanFamily>> out;
   out.reserve(families_.size());
   for (const auto& [name, family] : families_) out.push_back(family);

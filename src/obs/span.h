@@ -32,10 +32,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace ldphh {
 namespace obs {
@@ -103,8 +104,9 @@ class SpanFamily {
   /// Clear(). Read relaxed on the fast path: a stale-low value costs one
   /// harmless mutex trip, a stale-high value is impossible (monotone).
   std::atomic<uint64_t> threshold_ns_{0};
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> slowest_;  ///< Sorted, slowest first.
+  mutable Mutex mu_;
+  /// Sorted, slowest first.
+  std::vector<SpanRecord> slowest_ GUARDED_BY(mu_);
 };
 
 /// \brief The process-wide directory of span families.
@@ -144,8 +146,8 @@ class SpanSampler {
 
  private:
   const size_t per_family_capacity_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<SpanFamily>> families_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<SpanFamily>> families_ GUARDED_BY(mu_);
 };
 
 /// \brief RAII measurement of one operation (see file comment for cost).

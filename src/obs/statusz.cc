@@ -20,14 +20,14 @@ void StatuszRegistry::Registration::Reset() {
 
 StatuszRegistry::Registration StatuszRegistry::Register(std::string name,
                                                         SectionFn fn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const uint64_t id = next_id_++;
   sections_[id] = Section{std::move(name), std::move(fn)};
   return Registration(this, id);
 }
 
 void StatuszRegistry::Unregister(uint64_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   sections_.erase(id);
 }
 
@@ -35,7 +35,7 @@ std::string StatuszRegistry::DumpJson() const {
   // Group ids by section name (ids order = registration order within a
   // name; the outer map sorts the names).
   std::map<std::string, std::vector<const SectionFn*>> by_name;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& [id, section] : sections_) {
     by_name[section.name].push_back(&section.fn);
   }
@@ -54,7 +54,7 @@ std::string StatuszRegistry::DumpJson() const {
 }
 
 void StatuszRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   sections_.clear();
 }
 

@@ -23,10 +23,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/obs/json_writer.h"
 
 namespace ldphh {
@@ -94,9 +94,10 @@ class StatuszRegistry {
 
   void Unregister(uint64_t id);
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, Section> sections_;  ///< Keyed by id: registration order.
-  uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  /// Keyed by id: registration order.
+  std::map<uint64_t, Section> sections_ GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace obs

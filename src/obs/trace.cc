@@ -45,7 +45,7 @@ void TraceRing::Record(std::string_view category, std::string_view name,
   e.arg0 = arg0;
   e.arg1 = arg1;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (size_ == capacity_) ++dropped_;
   events_[next_] = std::move(e);
   next_ = (next_ + 1) % capacity_;
@@ -53,7 +53,7 @@ void TraceRing::Record(std::string_view category, std::string_view name,
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   // Oldest event sits at next_ once the ring has wrapped, else at 0.
@@ -65,7 +65,7 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
 }
 
 uint64_t TraceRing::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dropped_;
 }
 
@@ -114,7 +114,7 @@ std::string TraceRing::DumpJson() const {
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   next_ = 0;
   size_ = 0;
   dropped_ = 0;

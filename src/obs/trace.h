@@ -19,10 +19,11 @@
 #define LDPHH_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace ldphh {
 namespace obs {
@@ -77,11 +78,12 @@ class TraceRing {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;  // Ring storage, capacity_ slots.
-  size_t next_ = 0;                 // Slot the next event lands in.
-  size_t size_ = 0;                 // Live events (<= capacity_).
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  /// Ring storage, capacity_ slots.
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;     // Slot the next event lands in.
+  size_t size_ GUARDED_BY(mu_) = 0;     // Live events (<= capacity_).
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -301,8 +301,8 @@ std::vector<DomainItem> PesRecoverCandidates(
       }
       if (static_cast<int>(cands.size()) > list_cap) {
         std::partial_sort(cands.begin(), cands.begin() + list_cap, cands.end(),
-                          [](const Candidate& a, const Candidate& b) {
-                            return a.count > b.count;
+                          [](const Candidate& lhs, const Candidate& rhs) {
+                            return lhs.count > rhs.count;
                           });
         cands.resize(static_cast<size_t>(list_cap));
       }

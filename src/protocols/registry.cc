@@ -1,6 +1,5 @@
 #include "src/protocols/registry.h"
 
-#include <mutex>
 #include <utility>
 
 #include "src/protocols/fo_serving.h"
@@ -20,7 +19,7 @@ Status ProtocolRegistry::Register(const std::string& name, uint16_t wire_id,
     return Status::InvalidArgument(
         "protocol registry: wire id 0 is reserved for unstamped batches");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [existing, entry] : entries_) {
     if (entry.wire_id == wire_id) {
       return Status::InvalidArgument("protocol registry: wire id " +
@@ -38,7 +37,7 @@ StatusOr<std::unique_ptr<Aggregator>> ProtocolRegistry::Create(
     const ProtocolConfig& config) const {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = entries_.find(config.protocol());
     if (it == entries_.end()) {
       std::string known;
@@ -63,7 +62,7 @@ StatusOr<std::unique_ptr<Aggregator>> ProtocolRegistry::Create(
 }
 
 StatusOr<uint16_t> ProtocolRegistry::WireIdOf(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::InvalidArgument("protocol registry: unknown protocol '" +
@@ -73,7 +72,7 @@ StatusOr<uint16_t> ProtocolRegistry::WireIdOf(const std::string& name) const {
 }
 
 std::vector<std::string> ProtocolRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);

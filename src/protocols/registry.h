@@ -21,10 +21,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/protocols/aggregator.h"
 #include "src/protocols/protocol_config.h"
@@ -79,8 +79,8 @@ class ProtocolRegistry {
   };
   /// Guards entries_: Register may run concurrently with Create/WireIdOf on
   /// the process-wide Global() (factories are invoked outside the lock).
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 /// Convenience: Global().Create(config).

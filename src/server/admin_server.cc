@@ -140,7 +140,7 @@ Status AdminServer::Listen() {
 }
 
 void AdminServer::Handle(std::string path, Handler handler) {
-  std::lock_guard<std::mutex> lk(handlers_mu_);
+  MutexLock lk(&handlers_mu_);
   handlers_[std::move(path)] = std::move(handler);
 }
 
@@ -148,14 +148,19 @@ void AdminServer::Stop() {
   if (stopping_.exchange(true)) {
     return;
   }
-  queue_cv_.notify_all();
+  {
+    // Take the lock so a worker between its predicate check and its Wait()
+    // cannot miss the wakeup.
+    MutexLock lk(&queue_mu_);
+    queue_cv_.SignalAll();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(&queue_mu_);
     for (const int fd : pending_) ::close(fd);
     pending_.clear();
   }
@@ -176,15 +181,14 @@ void AdminServer::AcceptLoop() {
     if (fd < 0) continue;
     bool enqueued = false;
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lk(&queue_mu_);
       if (pending_.size() < options_.max_pending_connections) {
         pending_.push_back(fd);
         enqueued = true;
+        queue_cv_.Signal();
       }
     }
-    if (enqueued) {
-      queue_cv_.notify_one();
-    } else {
+    if (!enqueued) {
       // Shed load inline rather than letting the backlog grow unbounded.
       Instruments().rejected->Increment();
       AdminResponse overloaded;
@@ -200,10 +204,10 @@ void AdminServer::WorkerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [this] {
-        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
-      });
+      MutexLock lk(&queue_mu_);
+      while (!stopping_.load(std::memory_order_acquire) && pending_.empty()) {
+        queue_cv_.Wait();
+      }
       if (pending_.empty()) return;  // Stopping and drained.
       fd = pending_.front();
       pending_.pop_front();
@@ -285,7 +289,7 @@ void AdminServer::ServeConnection(int fd) {
 AdminResponse AdminServer::Dispatch(const AdminRequest& request) {
   Handler handler;
   {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
+    MutexLock lk(&handlers_mu_);
     const auto it = handlers_.find(request.path);
     if (it != handlers_.end()) handler = it->second;
   }

@@ -29,17 +29,16 @@
 #define LDPHH_SERVER_ADMIN_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace ldphh {
@@ -121,12 +120,13 @@ class AdminServer {
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+  Mutex queue_mu_;
+  CondVar queue_cv_{&queue_mu_};
+  std::deque<int> pending_ GUARDED_BY(queue_mu_);  ///< Accepted fds awaiting
+                                                   ///< a worker.
 
-  mutable std::mutex handlers_mu_;
-  std::map<std::string, Handler> handlers_;
+  mutable Mutex handlers_mu_;
+  std::map<std::string, Handler> handlers_ GUARDED_BY(handlers_mu_);
 };
 
 /// Installs the default endpoint table (see file comment) on \p server.

@@ -46,7 +46,10 @@ inline constexpr size_t kCheckpointRecordHeaderSize = 4 + 4 + 1;
 class CheckpointWriter {
  public:
   CheckpointWriter() = default;
-  ~CheckpointWriter() { Close(); }
+  ~CheckpointWriter() {
+    IgnoreStatus(Close(), "destructor close is best-effort; callers that"
+                          " need the result call Close() first");
+  }
   CheckpointWriter(const CheckpointWriter&) = delete;
   CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
@@ -84,7 +87,9 @@ class CheckpointWriter {
 class CheckpointReader {
  public:
   CheckpointReader() = default;
-  ~CheckpointReader() { Close(); }
+  ~CheckpointReader() {
+    IgnoreStatus(Close(), "read-side close has nothing to lose");
+  }
   CheckpointReader(const CheckpointReader&) = delete;
   CheckpointReader& operator=(const CheckpointReader&) = delete;
 

@@ -134,9 +134,11 @@ ShardedAggregator::~ShardedAggregator() {
   stop_.store(true);
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lk(shard->mu);
+      // Under the lock so a worker between its predicate check and its
+      // Wait() cannot miss the stop wakeup.
+      MutexLock lk(&shard->mu);
+      shard->not_empty.SignalAll();
     }
-    shard->not_empty.notify_all();
     if (shard->worker.joinable()) shard->worker.join();
   }
 }
@@ -157,17 +159,17 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
   batch.reserve(options_.batch_size);
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(shard.mu);
+      MutexLock lk(&shard.mu);
       // The paused_ loads must be seq_cst (not relaxed): WriteCheckpoint
       // serializes the oracle without holding shard.mu, so the only thing
       // ordering a resumed worker's Aggregate writes after the serializer's
       // reads is the paused_ store/load pair itself (paired with the mutex
       // for the pause direction). A relaxed load synchronizes with nothing
       // and lets the worker race the snapshot (found by TSan).
-      shard.not_empty.wait(lk, [&] {
-        return stop_.load(std::memory_order_relaxed) ||
-               (!paused_.load() && !shard.queue.empty());
-      });
+      while (!(stop_.load(std::memory_order_relaxed) ||
+               (!paused_.load() && !shard.queue.empty()))) {
+        shard.not_empty.Wait();
+      }
       if (shard.queue.empty() || paused_.load()) {
         if (stop_.load(std::memory_order_relaxed)) return;
         continue;
@@ -180,7 +182,7 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
       shard.queue_depth->Set(static_cast<double>(shard.queue.size()));
       shard.busy = true;
     }
-    shard.not_full.notify_all();
+    shard.not_full.SignalAll();
     // Aggregation happens outside the queue lock: the oracle is only ever
     // touched by this worker (or by the main thread once quiesced).
     // Instrumentation is per-batch (one span + one histogram write per
@@ -206,12 +208,12 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
                                                 config_.protocol());
     }
     {
-      std::lock_guard<std::mutex> lk(shard.mu);
+      MutexLock lk(&shard.mu);
       shard.busy = false;
       shard.ingested += ok;
       shard.rejected += bad;
     }
-    shard.idle.notify_all();
+    shard.idle.SignalAll();
   }
 }
 
@@ -222,12 +224,13 @@ Status ShardedAggregator::Submit(const WireReport& report) {
   }
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(report.user_index))];
   {
-    std::unique_lock<std::mutex> lk(shard.mu);
-    shard.not_full.wait(
-        lk, [&] { return shard.queue.size() < options_.queue_capacity; });
+    MutexLock lk(&shard.mu);
+    while (shard.queue.size() >= options_.queue_capacity) {
+      shard.not_full.Wait();
+    }
     shard.queue.push_back(report);
   }
-  shard.not_empty.notify_one();
+  shard.not_empty.Signal();
   submitted_->Increment();
   return Status::OK();
 }
@@ -258,16 +261,17 @@ Status ShardedAggregator::SubmitBatch(const std::vector<WireReport>& reports) {
       Shard& shard = *shards_[s];
       size_t take;
       {
-        std::unique_lock<std::mutex> lk(shard.mu);
-        shard.not_full.wait(
-            lk, [&] { return shard.queue.size() < options_.queue_capacity; });
+        MutexLock lk(&shard.mu);
+        while (shard.queue.size() >= options_.queue_capacity) {
+          shard.not_full.Wait();
+        }
         take = std::min(options_.queue_capacity - shard.queue.size(),
                         bucket.size() - offset);
         shard.queue.insert(shard.queue.end(),
                            bucket.begin() + static_cast<ptrdiff_t>(offset),
                            bucket.begin() + static_cast<ptrdiff_t>(offset + take));
       }
-      shard.not_empty.notify_one();
+      shard.not_empty.Signal();
       offset += take;
       pending -= take;
     }
@@ -303,8 +307,10 @@ Status ShardedAggregator::Drain() {
     return Status::FailedPrecondition("ShardedAggregator: Drain before Start");
   }
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lk(shard->mu);
-    shard->idle.wait(lk, [&] { return shard->queue.empty() && !shard->busy; });
+    MutexLock lk(&shard->mu);
+    while (!shard->queue.empty() || shard->busy) {
+      shard->idle.Wait();
+    }
   }
   return Status::OK();
 }
@@ -320,8 +326,10 @@ Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
   // point is captured.
   paused_.store(true);
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lk(shard->mu);
-    shard->idle.wait(lk, [&] { return !shard->busy; });
+    MutexLock lk(&shard->mu);
+    while (shard->busy) {
+      shard->idle.Wait();
+    }
   }
   const Status result = [&]() -> Status {
     std::string manifest;
@@ -337,7 +345,7 @@ Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
       PutU32(&record, static_cast<uint32_t>(s));
       uint64_t ingested;
       {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        MutexLock lk(&shard.mu);
         ingested = shard.ingested;
       }
       PutU64(&record, ingested);
@@ -348,7 +356,12 @@ Status ShardedAggregator::WriteCheckpoint(CheckpointWriter& log) {
     return log.Sync();
   }();
   paused_.store(false);
-  for (auto& shard : shards_) shard->not_empty.notify_all();
+  for (auto& shard : shards_) {
+    // Under the lock: a worker that just re-checked paused_ and is about to
+    // park must not miss the resume wakeup.
+    MutexLock lk(&shard->mu);
+    shard->not_empty.SignalAll();
+  }
   checkpoint_write_ns_->Observe(static_cast<uint64_t>(checkpoint_timer.Nanos()));
   obs::TraceRing::Global().Record("ingest", "checkpoint_write",
                                   result.ok() ? "" : result.message(),
@@ -438,6 +451,8 @@ Status ShardedAggregator::RestoreCheckpoint(CheckpointReader& log) {
   for (const auto& [shard_id, state] : last_complete.shard_states) {
     Shard& shard = *shards_[shard_id];
     LDPHH_RETURN_IF_ERROR(shard.oracle->RestoreState(state.second));
+    // Pre-Start, so uncontended — locked to keep the guarded write honest.
+    MutexLock lk(&shard.mu);
     shard.ingested = state.first;
     restored += state.first;
   }
@@ -459,9 +474,11 @@ StatusOr<std::unique_ptr<Aggregator>> ShardedAggregator::Finish() {
   stop_.store(true);
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lk(shard->mu);
+      // Under the lock so a worker between its predicate check and its
+      // Wait() cannot miss the stop wakeup.
+      MutexLock lk(&shard->mu);
+      shard->not_empty.SignalAll();
     }
-    shard->not_empty.notify_all();
     if (shard->worker.joinable()) shard->worker.join();
   }
   std::unique_ptr<Aggregator> merged = std::move(shards_[0]->oracle);
@@ -478,7 +495,7 @@ IngestStats ShardedAggregator::Stats() const {
   stats.restored = restored_;
   stats.per_shard.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->mu);
+    MutexLock lk(&shard->mu);
     stats.per_shard.push_back(shard->ingested);
     stats.rejected += shard->rejected;
   }

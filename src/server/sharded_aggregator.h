@@ -31,15 +31,14 @@
 #define LDPHH_SERVER_SHARDED_AGGREGATOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -135,14 +134,18 @@ class ShardedAggregator {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::condition_variable idle;    ///< Signaled when queue empty and worker idle.
-    std::deque<WireReport> queue;
-    bool busy = false;               ///< Worker is aggregating a batch.
-    uint64_t ingested = 0;
-    uint64_t rejected = 0;
+    mutable Mutex mu;
+    CondVar not_empty{&mu};
+    CondVar not_full{&mu};
+    CondVar idle{&mu};  ///< Signaled when queue empty and worker idle.
+    std::deque<WireReport> queue GUARDED_BY(mu);
+    bool busy GUARDED_BY(mu) = false;  ///< Worker is aggregating a batch.
+    uint64_t ingested GUARDED_BY(mu) = 0;
+    uint64_t rejected GUARDED_BY(mu) = 0;
+    /// Deliberately not guarded by mu: the oracle is touched only by the
+    /// owning worker outside the queue lock, or by the main thread once the
+    /// worker is quiesced (paused_ handshake or joined) — an ownership
+    /// handoff, not a shared-state protocol.
     std::unique_ptr<Aggregator> oracle;
     std::shared_ptr<obs::Gauge> queue_depth;  ///< ldphh_ingest_queue_depth{shard=}.
     std::thread worker;

@@ -91,7 +91,12 @@ StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
   }
   std::unique_ptr<CheckpointStore> store(
       new CheckpointStore(dir, options));
-  LDPHH_RETURN_IF_ERROR(store->Recover());
+  {
+    // Single-threaded here (no worker exists yet); locked so Recover's
+    // guarded-member writes stay inside the analyzed discipline.
+    MutexLock lk(&store->mu_);
+    LDPHH_RETURN_IF_ERROR(store->Recover());
+  }
   if (options.background_compaction && options.compaction_trigger > 0) {
     store->compactor_ = std::thread([s = store.get()] { s->BackgroundLoop(); });
   }
@@ -123,12 +128,15 @@ StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
 
 CheckpointStore::~CheckpointStore() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     stop_ = true;
+    work_cv_.SignalAll();
+    idle_cv_.SignalAll();
   }
-  work_cv_.notify_all();
   if (compactor_.joinable()) compactor_.join();
-  active_writer_.Close();
+  IgnoreStatus(active_writer_.Close(),
+               "acknowledged writes were already synced per sync_mode; a"
+               " destructor has no caller to report to");
 }
 
 // ---------------------------------------------------------------- recovery --
@@ -401,7 +409,7 @@ Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
   bool wake = false;
   Status appended;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (!active_writer_.is_open()) {
       return Status::FailedPrecondition("checkpoint store: not open");
     }
@@ -416,7 +424,10 @@ Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
   }
   puts_->Increment();
   put_duration_ns_->Observe(span.ElapsedNs());
-  if (wake) work_cv_.notify_one();
+  if (wake) {
+    MutexLock lk(&mu_);
+    work_cv_.Signal();
+  }
   return Status::OK();
 }
 
@@ -426,7 +437,7 @@ Status CheckpointStore::Delete(uint64_t key) {
   bool wake = false;
   Status appended;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (!active_writer_.is_open()) {
       return Status::FailedPrecondition("checkpoint store: not open");
     }
@@ -440,13 +451,16 @@ Status CheckpointStore::Delete(uint64_t key) {
     return appended;
   }
   deletes_->Increment();
-  if (wake) work_cv_.notify_one();
+  if (wake) {
+    MutexLock lk(&mu_);
+    work_cv_.Signal();
+  }
   return Status::OK();
 }
 
 Status CheckpointStore::WriteHealth() const {
   if (!has_health_error_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard<std::mutex> lk(health_mu_);
+  MutexLock lk(&health_mu_);
   return health_error_;
 }
 
@@ -454,13 +468,13 @@ void CheckpointStore::RecordWriteHealth(const Status& status) {
   if (status.ok()) {
     // Self-heal: the fault cleared and writes land again.
     if (has_health_error_.load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lk(health_mu_);
+      MutexLock lk(&health_mu_);
       health_error_ = Status::OK();
       has_health_error_.store(false, std::memory_order_release);
     }
     return;
   }
-  std::lock_guard<std::mutex> lk(health_mu_);
+  MutexLock lk(&health_mu_);
   health_error_ = status;
   has_health_error_.store(true, std::memory_order_release);
 }
@@ -468,7 +482,7 @@ void CheckpointStore::RecordWriteHealth(const Status& status) {
 // ------------------------------------------------------------------- reads --
 
 Status CheckpointStore::Get(uint64_t key, std::string* blob) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::OutOfRange("checkpoint store: no entry for key " +
@@ -479,12 +493,12 @@ Status CheckpointStore::Get(uint64_t key, std::string* blob) const {
 }
 
 bool CheckpointStore::Contains(uint64_t key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return entries_.count(key) != 0;
 }
 
 std::vector<uint64_t> CheckpointStore::Keys() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<uint64_t> keys;
   keys.reserve(entries_.size());
   for (const auto& [key, state] : entries_) keys.push_back(key);
@@ -492,7 +506,7 @@ std::vector<uint64_t> CheckpointStore::Keys() const {
 }
 
 CheckpointStoreStats CheckpointStore::Stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   CheckpointStoreStats s;
   s.live_segments = live_.size();
   s.sealed_segments = static_cast<uint64_t>(SealedCountLocked());
@@ -511,7 +525,7 @@ CheckpointStoreStats CheckpointStore::Stats() const {
 Status CheckpointStore::Compact() { return CompactPass(/*respect_trigger=*/false); }
 
 Status CheckpointStore::CompactPass(bool respect_trigger) {
-  std::lock_guard<std::mutex> pass_lk(compaction_mu_);
+  MutexLock pass_lk(&compaction_mu_);
   const Timer pass_timer;
 
   const CompactionCrashPoint crash = crash_point_.load();
@@ -524,7 +538,7 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
   std::vector<Record> records;
   uint64_t out_segment = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (stop_) return Status::OK();
     for (uint64_t seg : live_) {
       if (seg != active_segment_) inputs.insert(seg);
@@ -553,10 +567,10 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
   // nothing may reference this segment until all of it is durable.
   auto done = [&](Status st) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       compacting_ = false;
+      idle_cv_.SignalAll();
     }
-    idle_cv_.notify_all();
     return st;
   };
   const bool have_output = !records.empty();
@@ -586,7 +600,7 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
   // consolidated segment. Split around the rename so the crash tests can
   // observe both halves.
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    mu_.Lock();
     std::set<uint64_t> new_live;
     for (uint64_t seg : live_) {
       if (inputs.count(seg) == 0) new_live.insert(seg);
@@ -597,7 +611,7 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
     const Status st = InstallManifestLocked(new_live, next_segment_,
                                             active_segment_, abandon);
     if (!st.ok() || abandon) {
-      lk.unlock();  // done() re-locks mu_ to clear the compacting flag.
+      mu_.Unlock();  // done() re-locks mu_ to clear the compacting flag.
       return done(st);
     }
 
@@ -605,9 +619,11 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
     for (auto& [key, state] : entries_) {
       if (inputs.count(state.segment) != 0) state.segment = out_segment;
     }
+    const uint64_t installed_sequence = manifest_sequence_;
+    mu_.Unlock();
     compactions_->Increment();
     obs::TraceRing::Global().Record("store", "compaction_phase_b", "",
-                                    manifest_sequence_, inputs.size());
+                                    installed_sequence, inputs.size());
   }
   if (crash == CompactionCrashPoint::kAfterManifestInstall) {
     return done(Status::OK());
@@ -633,32 +649,34 @@ Status CheckpointStore::CompactPass(bool respect_trigger) {
 
 void CheckpointStore::BackgroundLoop() {
   const int trigger = std::max(options_.compaction_trigger, 2);
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   while (!stop_) {
     if (SealedCountLocked() >= trigger && !compacting_) {
-      lk.unlock();
+      mu_.Unlock();
       const Status st = CompactPass(/*respect_trigger=*/true);
-      lk.lock();
+      mu_.Lock();
       // On success, re-check immediately (a roll may have raced past the
       // trigger again). A failed pass parks until the next write wakes the
       // thread, so a persistent I/O error cannot busy-spin; the failure
       // itself surfaces via Stats().compactions staying put.
       if (st.ok()) continue;
     }
-    work_cv_.wait(lk);
+    work_cv_.Wait();
   }
+  mu_.Unlock();
 }
 
 Status CheckpointStore::WaitForCompaction() {
   const int trigger = std::max(options_.compaction_trigger, 2);
   const bool background =
       options_.background_compaction && options_.compaction_trigger > 0;
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] {
+  MutexLock lk(&mu_);
+  const auto idle = [&]() REQUIRES(mu_) {
     if (compacting_) return false;
     if (!background) return true;
     return stop_ || SealedCountLocked() < trigger;
-  });
+  };
+  while (!idle()) idle_cv_.Wait();
   return Status::OK();
 }
 

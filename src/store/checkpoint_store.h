@@ -56,11 +56,9 @@
 #define LDPHH_STORE_CHECKPOINT_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -68,6 +66,7 @@
 #include <vector>
 
 #include "src/common/file.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
@@ -184,7 +183,9 @@ class CheckpointStore {
  private:
   CheckpointStore(std::string dir, CheckpointStoreOptions options);
 
-  Status Recover();
+  /// Runs at Open before any other thread exists; takes mu_ anyway so the
+  /// guarded-member writes stay inside the analyzed discipline.
+  Status Recover() REQUIRES(mu_);
   Status ReplaySegment(uint64_t segment, bool is_active,
                        std::map<uint64_t, StoreSegmentEntry>* entries,
                        std::map<uint64_t, uint64_t>* tombstones);
@@ -193,11 +194,13 @@ class CheckpointStore {
   /// the tmp file is left uninstalled — the kAfterTempManifest kill.
   Status InstallManifestLocked(const std::set<uint64_t>& live,
                                uint64_t next_segment, uint64_t active_segment,
-                               bool abandon_before_rename = false);
+                               bool abandon_before_rename = false)
+      REQUIRES(mu_);
   /// Seals the active segment and opens a fresh one. Caller holds mu_.
-  Status RollActiveLocked();
+  Status RollActiveLocked() REQUIRES(mu_);
   Status AppendRecordLocked(CheckpointRecordType type, uint64_t key,
-                            std::string_view blob, obs::Span& span);
+                            std::string_view blob, obs::Span& span)
+      REQUIRES(mu_);
   /// Latches \p status as the store's write health: an error makes
   /// /healthz fail until a later write succeeds (last write wins, so the
   /// store self-heals when the fault clears).
@@ -206,7 +209,7 @@ class CheckpointStore {
   Status WriteHealth() const;
   Status CompactPass(bool respect_trigger);
   void BackgroundLoop();
-  int SealedCountLocked() const {
+  int SealedCountLocked() const REQUIRES(mu_) {
     return static_cast<int>(live_.size()) - 1;  // All live but the active.
   }
   std::string PathOf(uint64_t segment) const;
@@ -217,19 +220,20 @@ class CheckpointStore {
   const CheckpointStoreOptions options_;
   FileSystem* const fs_;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, StoreSegmentEntry> entries_;
-  std::set<uint64_t> live_;        ///< Live segment numbers (incl. active).
-  uint64_t active_segment_ = 0;
-  size_t active_bytes_ = 0;
-  uint64_t next_segment_ = 1;
-  uint64_t next_sequence_ = 1;
-  uint64_t manifest_sequence_ = 0;
+  mutable Mutex mu_;
+  std::map<uint64_t, StoreSegmentEntry> entries_ GUARDED_BY(mu_);
+  /// Live segment numbers (incl. active).
+  std::set<uint64_t> live_ GUARDED_BY(mu_);
+  uint64_t active_segment_ GUARDED_BY(mu_) = 0;
+  size_t active_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t next_segment_ GUARDED_BY(mu_) = 1;
+  uint64_t next_sequence_ GUARDED_BY(mu_) = 1;
+  uint64_t manifest_sequence_ GUARDED_BY(mu_) = 0;
   /// Random id of this Open, stamped into every MANIFEST this instance
   /// installs (see StoreManifest::incarnation). The recovery-time install
   /// puts it on disk before any record is acknowledged.
   uint64_t incarnation_ = 0;
-  CheckpointWriter active_writer_;
+  CheckpointWriter active_writer_ GUARDED_BY(mu_);
 
   // Registry instruments; CheckpointStoreStats snapshots them. Counters are
   // per-instance (since Open), gauges track the current on-disk shape.
@@ -248,11 +252,11 @@ class CheckpointStore {
   std::shared_ptr<obs::Gauge> entries_gauge_;
   std::shared_ptr<obs::Gauge> manifest_sequence_gauge_;
 
-  std::mutex compaction_mu_;       ///< Serializes compaction passes.
-  std::condition_variable work_cv_;   ///< Wakes the background thread.
-  std::condition_variable idle_cv_;   ///< Signals WaitForCompaction.
-  bool compacting_ = false;
-  bool stop_ = false;
+  Mutex compaction_mu_;     ///< Serializes compaction passes.
+  CondVar work_cv_{&mu_};   ///< Wakes the background thread.
+  CondVar idle_cv_{&mu_};   ///< Signals WaitForCompaction.
+  bool compacting_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread compactor_;
 
   std::atomic<CompactionCrashPoint> crash_point_{CompactionCrashPoint::kNone};
@@ -265,8 +269,8 @@ class CheckpointStore {
   /// the next succeeding one. The atomic keeps the registered check to one
   /// relaxed load in the healthy steady state.
   std::atomic<bool> has_health_error_{false};
-  mutable std::mutex health_mu_;
-  Status health_error_;
+  mutable Mutex health_mu_;
+  Status health_error_ GUARDED_BY(health_mu_);
 
   /// Declared last: unregister (stopping admin-plane callbacks into this
   /// object) before any member the callbacks read is destroyed.

@@ -125,36 +125,39 @@ StatusOr<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
 
 ReplicaStore::~ReplicaStore() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     stop_ = true;
+    stop_cv_.SignalAll();
   }
-  stop_cv_.notify_all();
   if (tailer_.joinable()) tailer_.join();
 }
 
 void ReplicaStore::TailLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   while (!stop_) {
-    stop_cv_.wait_for(lk, options_.poll_interval, [this] { return stop_; });
+    // Sleep one poll interval, waking early only for stop. A timeout is the
+    // normal "go poll" signal; a signal always means stop_ flipped.
+    stop_cv_.TimedWait(options_.poll_interval);
     if (stop_) break;
-    lk.unlock();
+    mu_.Unlock();
     const auto refreshed_or = Refresh();
-    lk.lock();
+    mu_.Lock();
     // A transient race already retried inside Refresh; what reaches here is
     // an I/O error (or the primary's directory vanishing). The tailer keeps
     // polling — the condition may heal — and the failure is on the record.
     if (!refreshed_or.ok()) failed_refreshes_->Increment();
   }
+  mu_.Unlock();
 }
 
 std::shared_ptr<const ReplicaStore::Snapshot> ReplicaStore::CurrentSnapshot()
     const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return snapshot_;
 }
 
 StatusOr<bool> ReplicaStore::Refresh() {
-  std::lock_guard<std::mutex> pass_lk(refresh_mu_);
+  MutexLock pass_lk(&refresh_mu_);
   obs::Span span(poll_spans_.get());
   const StatusOr<bool> refreshed = RefreshLocked(span);
   poll_duration_ns_->Observe(span.ElapsedNs());
@@ -286,7 +289,7 @@ StatusOr<bool> ReplicaStore::RefreshLocked(obs::Span& span) {
 
     const size_t installed_entries = next->entries.size();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       snapshot_ = std::move(next);
     }
     snapshots_installed_->Increment();

@@ -61,16 +61,15 @@
 #define LDPHH_STORE_REPLICA_STORE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/file.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
@@ -195,7 +194,7 @@ class ReplicaStore {
   /// The refresh pass body; caller holds refresh_mu_. \p span is the
   /// enclosing poll span ("replica.poll"); manifest reads and snapshot
   /// loads report into it as children.
-  StatusOr<bool> RefreshLocked(obs::Span& span);
+  StatusOr<bool> RefreshLocked(obs::Span& span) REQUIRES(refresh_mu_);
   /// Loads (or serves from cache) every segment of \p manifest, pinning
   /// files open before replaying so the primary's compaction cannot delete
   /// them mid-pass; fails with kOutOfRange when a segment vanished before
@@ -212,8 +211,8 @@ class ReplicaStore {
   const ReplicaStoreOptions options_;
   ReadableFileSystem* const fs_;
 
-  mutable std::mutex mu_;  ///< Guards the snapshot_ swap.
-  std::shared_ptr<const Snapshot> snapshot_;
+  mutable Mutex mu_;  ///< Guards the snapshot_ swap (and the stop flag).
+  std::shared_ptr<const Snapshot> snapshot_ GUARDED_BY(mu_);
 
   // Registry instruments; ReplicaStoreStats snapshots them. All are safe to
   // bump without mu_.
@@ -228,15 +227,17 @@ class ReplicaStore {
   std::shared_ptr<obs::Gauge> manifest_sequence_gauge_;
   std::shared_ptr<obs::Gauge> lag_gauge_;
 
-  std::mutex refresh_mu_;  ///< Serializes refresh passes.
+  Mutex refresh_mu_;  ///< Serializes refresh passes.
   /// Parsed sealed segments, keyed by segment number; guarded by
   /// refresh_mu_. Only segments that were non-active when read are cached
   /// (a segment read while active may be a prefix). Entries are evicted
   /// when no longer live — and the whole cache is flushed when the
   /// primary's incarnation changes, because a recovery may have swept and
   /// reallocated segment numbers a rolled-back MANIFEST once listed.
-  std::map<uint64_t, std::shared_ptr<const SegmentData>> sealed_cache_;
-  uint64_t cache_incarnation_ = 0;  ///< Incarnation the cache belongs to.
+  std::map<uint64_t, std::shared_ptr<const SegmentData>> sealed_cache_
+      GUARDED_BY(refresh_mu_);
+  uint64_t cache_incarnation_ GUARDED_BY(refresh_mu_) =
+      0;  ///< Incarnation the cache belongs to.
   /// Parsed parts of the active segment's clean prefix, in replay order,
   /// for the incremental resume. Each advancing poll parses only the newly
   /// appended bytes into a fresh immutable delta part; the already-parsed
@@ -248,8 +249,9 @@ class ReplicaStore {
   /// (only recovery — a new incarnation — may truncate the file, so within
   /// one incarnation the prefix is immutable). The covered clean offset is
   /// the last part's clean_bytes.
-  std::vector<std::shared_ptr<const SegmentData>> active_parts_;
-  uint64_t active_parts_segment_ = 0;
+  std::vector<std::shared_ptr<const SegmentData>> active_parts_
+      GUARDED_BY(refresh_mu_);
+  uint64_t active_parts_segment_ GUARDED_BY(refresh_mu_) = 0;
 
   /// Folds an active-parts chain into one fresh part: per key the highest
   /// sequence wins and tombstone sequences max-combine — the same rule the
@@ -258,8 +260,8 @@ class ReplicaStore {
   static std::shared_ptr<const SegmentData> ConsolidateParts(
       const std::vector<std::shared_ptr<const SegmentData>>& parts);
 
-  std::condition_variable stop_cv_;  ///< Wakes the tailer to exit (uses mu_).
-  bool stop_ = false;
+  CondVar stop_cv_{&mu_};  ///< Wakes the tailer to exit.
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread tailer_;
 
   /// Slow-span family for the tail poll (served at /spanz).

@@ -197,7 +197,7 @@ TEST(AdminServer, ConcurrentScrapesWhileIngesting) {
     for (int round = 0; round < 50; ++round) {
       if (!agg->SubmitWire(wire).ok()) break;
     }
-    agg->Drain();
+    EXPECT_TRUE(agg->Drain().ok());
     ingest_done.store(true);
   });
 

@@ -28,6 +28,23 @@ class CheckpointLogTest : public testing::Test {
   std::string path_;
 };
 
+// Pins the error propagation [[nodiscard]] Status now enforces at compile
+// time: a failed fsync in the durability path must surface to the caller —
+// a checkpoint is only declared durable on a Sync() that really succeeded —
+// and the writer must heal once the fault clears.
+TEST_F(CheckpointLogTest, SyncFailurePropagatesAndHeals) {
+  FaultInjectingFileSystem fs;
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open("/fault/sync.ckpt", &fs).ok());
+  ASSERT_TRUE(writer.Append(CheckpointRecordType::kManifest, "m").ok());
+  fs.set_fail_file_syncs(true);
+  const Status failed = writer.Sync();
+  EXPECT_FALSE(failed.ok());
+  fs.set_fail_file_syncs(false);
+  EXPECT_TRUE(writer.Sync().ok());
+  EXPECT_TRUE(writer.Close().ok());
+}
+
 TEST_F(CheckpointLogTest, RoundTripsRecords) {
   path_ = TempLogPath("roundtrip");
   CheckpointWriter writer;

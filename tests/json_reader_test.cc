@@ -25,10 +25,16 @@ JsonValue MustParse(std::string_view text) {
 
 Status ParseError(std::string_view text) {
   JsonValue v;
-  const Status st = ParseJson(text, &v);
+  Status st = ParseJson(text, &v);
   EXPECT_FALSE(st.ok()) << "expected parse failure for: " << text;
   EXPECT_EQ(st.code(), StatusCode::kDecodeFailure);
   return st;
+}
+
+/// ParseError for call sites that only care about the assertions inside it.
+void ExpectParseError(std::string_view text) {
+  IgnoreStatus(ParseError(text), "the assertions inside ParseError are the"
+                                 " point; the message is not inspected");
 }
 
 // ----------------------------------------------------------------- scalars
@@ -109,23 +115,23 @@ TEST(JsonReader, InsertionOrderPreserved) {
 // ------------------------------------------------------------------ errors
 
 TEST(JsonReader, SyntaxErrors) {
-  ParseError("");
-  ParseError("{");
-  ParseError("[1,]");
-  ParseError("{\"a\" 1}");
-  ParseError("{\"a\": 1,}");
-  ParseError("nul");
-  ParseError("truex");
-  ParseError("01");       // Leading zero.
-  ParseError("1.");       // Bare decimal point.
-  ParseError("+1");       // Leading plus.
-  ParseError("\"open");   // Unterminated string.
-  ParseError("\"\\q\"");  // Unknown escape.
-  ParseError("\"\x01\"");     // Raw control character.
-  ParseError("\"\\ud83d\"");  // Lone high surrogate.
-  ParseError("\"\\ude00\"");  // Lone low surrogate.
-  ParseError("1 2");          // Trailing garbage.
-  ParseError("[1] x");
+  ExpectParseError("");
+  ExpectParseError("{");
+  ExpectParseError("[1,]");
+  ExpectParseError("{\"a\" 1}");
+  ExpectParseError("{\"a\": 1,}");
+  ExpectParseError("nul");
+  ExpectParseError("truex");
+  ExpectParseError("01");       // Leading zero.
+  ExpectParseError("1.");       // Bare decimal point.
+  ExpectParseError("+1");       // Leading plus.
+  ExpectParseError("\"open");   // Unterminated string.
+  ExpectParseError("\"\\q\"");  // Unknown escape.
+  ExpectParseError("\"\x01\"");     // Raw control character.
+  ExpectParseError("\"\\ud83d\"");  // Lone high surrogate.
+  ExpectParseError("\"\\ude00\"");  // Lone low surrogate.
+  ExpectParseError("1 2");          // Trailing garbage.
+  ExpectParseError("[1] x");
 }
 
 TEST(JsonReader, ErrorsNamePosition) {
@@ -140,7 +146,7 @@ TEST(JsonReader, DepthBound) {
   MustParse(ok);
   std::string too_deep(65, '[');
   too_deep += std::string(65, ']');
-  ParseError(too_deep);
+  ExpectParseError(too_deep);
 }
 
 // -------------------------------------------------- round trip with writer

@@ -267,7 +267,9 @@ TEST(TraceRing, BoundedMemoryOldestFirstAndDropCount) {
   EXPECT_EQ(ring.dropped(), 2u);
   for (size_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(events[i].arg0, i + 2);  // 0 and 1 were overwritten.
-    if (i > 0) EXPECT_GE(events[i].timestamp_ns, events[i - 1].timestamp_ns);
+    if (i > 0) {
+      EXPECT_GE(events[i].timestamp_ns, events[i - 1].timestamp_ns);
+    }
   }
   EXPECT_NE(ring.DumpText().find("test/event"), std::string::npos);
   EXPECT_NE(ring.DumpJson().find("\"dropped\":2"), std::string::npos);

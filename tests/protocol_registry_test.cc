@@ -346,8 +346,8 @@ TEST_P(RegistryProtocolTest, EpochWindowMatchesDirectBitForBit) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, RegistryProtocolTest, testing::ValuesIn(Cases()),
-    [](const testing::TestParamInfo<ProtocolCase>& info) {
-      const std::string& text = info.param.text;
+    [](const testing::TestParamInfo<ProtocolCase>& param_info) {
+      const std::string& text = param_info.param.text;
       return text.substr(0, text.find('('));
     });
 

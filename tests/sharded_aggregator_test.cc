@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault_fs.h"
 #include "src/freq/count_mean_sketch.h"
 #include "src/freq/direct_encoding.h"
 #include "src/freq/hadamard_response.h"
@@ -530,6 +531,36 @@ TEST(ShardedProtocols, BitstogramShardedRunMatchesSequential) {
     EXPECT_EQ(shard_res.entries[i].item, seq_res.entries[i].item);
     EXPECT_EQ(shard_res.entries[i].estimate, seq_res.entries[i].estimate);
   }
+}
+
+// Pins that WriteCheckpoint refuses to acknowledge a checkpoint whose final
+// Sync failed (the [[nodiscard]] sweep hardened this path; a swallowed sync
+// error here would ack a checkpoint power loss can erase) — and that the
+// aggregator still checkpoints fine once the fault clears.
+TEST(ShardedAggregatorCheckpoint, WriteCheckpointSurfacesSyncFailure) {
+  const ProtocolConfig config = OlhConfig(/*domain=*/64, /*eps=*/1.0,
+                                          /*seed=*/7);
+  ShardedAggregatorOptions opts;
+  opts.num_shards = 2;
+  auto agg = MustCreateSharded(config, opts);
+  ASSERT_TRUE(agg->Start().ok());
+  for (const WireReport& r : EncodeReports(config, 256, 11)) {
+    ASSERT_TRUE(agg->Submit(r).ok());
+  }
+
+  FaultInjectingFileSystem fs;
+  CheckpointWriter log;
+  ASSERT_TRUE(log.Open("/fault/agg.ckpt", &fs).ok());
+  fs.set_fail_file_syncs(true);
+  EXPECT_FALSE(agg->WriteCheckpoint(log).ok());
+
+  // The fault clears: ingestion was never wedged and the checkpoint lands.
+  fs.set_fail_file_syncs(false);
+  for (const WireReport& r : EncodeReports(config, 64, 12)) {
+    ASSERT_TRUE(agg->Submit(r).ok());
+  }
+  EXPECT_TRUE(agg->WriteCheckpoint(log).ok());
+  ASSERT_TRUE(agg->Finish().ok());
 }
 
 }  // namespace

@@ -186,9 +186,9 @@ TEST_P(StoreModelTest, RandomWalkMatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(PosixAndFaultInjected, StoreModelTest,
                          testing::Values(false, true),
-                         [](const testing::TestParamInfo<bool>& info) {
-                           return info.param ? "FaultInjectedPowerLoss"
-                                             : "PosixTempDir";
+                         [](const testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "FaultInjectedPowerLoss"
+                                                   : "PosixTempDir";
                          });
 
 }  // namespace
