@@ -8,7 +8,11 @@
 // MB/s = bytes_per_second), BM_StoreRecovery (replayed epochs/s), and
 // BM_StoreCompaction (consolidated MB/s). BM_StorePut runs one column per
 // SyncMode (none/data/full) so the fsync cost of power-loss durability is
-// on the record — see docs/storage.md for reference numbers. The replica
+// on the record — see docs/storage.md for reference numbers. The
+// multi-writer columns (BM_StorePutMultiWriter / BM_StorePutGroupCommit)
+// measure N concurrent acknowledged-durable writers with the group-commit
+// lane off vs on; the group column's syncs_per_put counter is the
+// coalescing ratio (group commits per acked intent). The replica
 // columns (BM_ReplicaTailCatchup / BM_ReplicaIdlePoll / BM_ReplicaGet)
 // measure the read-only follower: tail-lag absorption per poll, the idle
 // poll floor, and snapshot read throughput.
@@ -17,9 +21,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/metrics_dump.h"
 #include "src/common/crc32.h"
@@ -89,6 +95,73 @@ void BM_StorePut(benchmark::State& state) {
 BENCHMARK(BM_StorePut)
     ->Args({1 << 10, 0})->Args({1 << 10, 1})->Args({1 << 10, 2})
     ->Args({1 << 14, 0})->Args({1 << 14, 1})->Args({1 << 14, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// Concurrent acknowledged-durable writers against one store, kFull @1 KB —
+// the group-commit lane's reason to exist. Every thread's Put must be
+// durable on return; with the lane off each Put pays its own fsync, with it
+// on the queue leader coalesces every waiting writer into one append + one
+// sync. syncs_per_put (group commits / acked intents, from the store's own
+// counters) is the coalescing evidence: <0.3 at 8 writers means groups
+// average more than 3 intents. The single-writer lane-on state is pinned
+// bit-for-bit by tests/group_commit_test.cc, so only the multi-writer
+// columns run with the lane enabled here.
+std::unique_ptr<CheckpointStore> shared_put_store;
+std::string shared_put_dir;
+
+void RunStorePutConcurrent(benchmark::State& state, bool group_commit) {
+  constexpr size_t kBlob = 1 << 10;
+  if (state.thread_index() == 0) {
+    shared_put_dir = BenchDir(group_commit ? "put_group" : "put_mt");
+    fs::remove_all(shared_put_dir);
+    CheckpointStoreOptions options = BenchOptions(SyncMode::kFull);
+    options.group_commit = group_commit;
+    shared_put_store =
+        std::move(CheckpointStore::Open(shared_put_dir, options)).value();
+  }
+  // Pre-built blobs: the timed region measures the store, not the RNG.
+  std::vector<std::string> blobs;
+  for (uint64_t b = 0; b < 64; ++b) blobs.push_back(EpochBlob(b, kBlob));
+  const uint64_t base = static_cast<uint64_t>(state.thread_index() + 1) << 32;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    if (!shared_put_store->Put(base + (i & 4095), blobs[i & 63]).ok()) {
+      state.SkipWithError("Put failed");
+      break;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(kBlob));
+  state.SetLabel(std::string("sync=full group=") +
+                 (group_commit ? "on" : "off"));
+  if (state.thread_index() == 0) {
+    const CheckpointStoreStats stats = shared_put_store->Stats();
+    state.counters["syncs_per_put"] =
+        group_commit
+            ? static_cast<double>(stats.group_commits) /
+                  std::max<double>(
+                      1.0, static_cast<double>(stats.group_commit_writes))
+            : 1.0;
+    shared_put_store.reset();
+    fs::remove_all(shared_put_dir);
+  }
+}
+
+void BM_StorePutMultiWriter(benchmark::State& state) {
+  RunStorePutConcurrent(state, /*group_commit=*/false);
+}
+BENCHMARK(BM_StorePutMultiWriter)
+    ->Threads(1)->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StorePutGroupCommit(benchmark::State& state) {
+  RunStorePutConcurrent(state, /*group_commit=*/true);
+}
+BENCHMARK(BM_StorePutGroupCommit)
+    ->Threads(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_StoreRecovery(benchmark::State& state) {

@@ -90,6 +90,33 @@ Status CheckpointWriter::Append(CheckpointRecordType type,
   return Status::OK();
 }
 
+Status CheckpointWriter::EncodeRecord(CheckpointRecordType type,
+                                      std::string_view payload,
+                                      std::string* out) {
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("checkpoint log: record too large");
+  }
+  uint32_t crc = Crc32c(&type, 1);
+  crc = Crc32c(payload.data(), payload.size(), crc);
+  out->reserve(out->size() + kCheckpointRecordHeaderSize + payload.size());
+  PutU32(out, MaskCrc32(crc));
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU8(out, static_cast<uint8_t>(type));
+  out->append(payload.data(), payload.size());
+  return Status::OK();
+}
+
+Status CheckpointWriter::AppendEncoded(std::string_view encoded,
+                                       uint64_t record_count) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("checkpoint log: Append on closed writer");
+  }
+  LDPHH_RETURN_IF_ERROR(file_->Append(encoded));
+  LogAppendsCounter().Increment(record_count);
+  LogAppendedBytesCounter().Increment(encoded.size());
+  return Status::OK();
+}
+
 Status CheckpointWriter::Flush() {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("checkpoint log: Flush on closed writer");

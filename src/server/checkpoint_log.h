@@ -61,6 +61,20 @@ class CheckpointWriter {
   /// Appends one record; durable only after Sync().
   Status Append(CheckpointRecordType type, std::string_view payload);
 
+  /// Encodes one record (CRC header + payload) into \p out — exactly the
+  /// bytes Append would write. The group-commit lane
+  /// (src/store/checkpoint_store.h) batch-encodes a whole group of records
+  /// into one buffer and hands it to AppendEncoded, so N coalesced writes
+  /// cost one file append instead of 2N.
+  static Status EncodeRecord(CheckpointRecordType type,
+                             std::string_view payload, std::string* out);
+
+  /// Appends pre-encoded record bytes (a concatenation of EncodeRecord
+  /// outputs) in a single write. \p record_count is how many records
+  /// \p encoded holds (for the append counters only — the bytes are
+  /// written as-is either way). Durable only after Sync().
+  Status AppendEncoded(std::string_view encoded, uint64_t record_count);
+
   /// Pushes buffered writes to the OS (process-crash safe only).
   Status Flush();
 

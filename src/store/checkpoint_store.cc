@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <random>
+#include <thread>
 #include <utility>
 
 #include "src/common/serde.h"
@@ -62,6 +63,18 @@ CheckpointStore::CheckpointStore(std::string dir, CheckpointStoreOptions options
   dropped_tail_records_ = reg.NewCounter(
       "ldphh_store_dropped_tail_records_total",
       "Torn/corrupt active-tail records discarded at Open");
+  group_commits_ = reg.NewCounter(
+      "ldphh_store_group_commits_total",
+      "Group commits (one shared append + sync per group)");
+  group_follower_writes_ = reg.NewCounter(
+      "ldphh_store_group_follower_writes_total",
+      "Write intents acknowledged by another writer's group commit");
+  group_commit_writes_ = reg.NewCounter(
+      "ldphh_store_group_commit_writes_total",
+      "Write intents acknowledged through the group-commit lane");
+  group_size_ = reg.NewHistogram(
+      "ldphh_store_group_size", "Write intents coalesced per group commit",
+      "records");
   put_duration_ns_ = reg.NewHistogram(
       "ldphh_store_put_duration_ns",
       "Put latency (append + sync per sync_mode, possible segment roll)",
@@ -119,6 +132,9 @@ StatusOr<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
         w.Key("puts").Uint(s->puts_->Value());
         w.Key("deletes").Uint(s->deletes_->Value());
         w.Key("appended_bytes").Uint(s->appended_bytes_->Value());
+        w.Key("group_commit").Bool(s->options_.group_commit);
+        w.Key("group_commits").Uint(s->group_commits_->Value());
+        w.Key("group_commit_writes").Uint(s->group_commit_writes_->Value());
         const Status health = s->WriteHealth();
         w.Key("write_health").String(health.ok() ? "ok" : health.message());
         w.EndObject();
@@ -403,9 +419,255 @@ Status CheckpointStore::RollActiveLocked() {
   return Status::OK();
 }
 
+// -------------------------------------------------------------- group lane --
+
+namespace {
+
+/// On-disk size of one encoded store record for a write intent: CRC header
+/// plus the (key, sequence) prefix plus the blob.
+size_t EncodedSizeOf(const StoreWrite& w) {
+  return kCheckpointRecordHeaderSize + 16 + (w.is_delete ? 0 : w.blob.size());
+}
+
+}  // namespace
+
+Status CheckpointStore::GroupWrite(const StoreWrite* writes, size_t count,
+                                   obs::Span& span) {
+  size_t bytes = 0;
+  for (size_t i = 0; i < count; ++i) bytes += EncodedSizeOf(writes[i]);
+
+  MutexLock lk(&mu_);
+  if (!active_writer_.is_open()) {
+    return Status::FailedPrecondition("checkpoint store: not open");
+  }
+  if (group_crashed_) {
+    return Status::Internal(
+        "checkpoint store: store is down after a simulated group-commit "
+        "crash (reopen to recover)");
+  }
+  PendingWrite w(&mu_, writes, count, bytes);
+  group_queue_.push_back(&w);
+  {
+    // Park until a leader commits this writer's records (done) or the
+    // writer reaches the queue front and must lead the next group itself.
+    const obs::Span::ChildScope wait = span.Child("group_wait");
+    while (!w.done && group_queue_.front() != &w) w.cv.Wait();
+  }
+  if (w.done) return w.status;
+  return LeadGroupCommit(&w, span);
+}
+
+Status CheckpointStore::LeadGroupCommit(PendingWrite* self, obs::Span& span) {
+  // Oscillation damping: when a full group commits, every member wakes at
+  // once, and the first writer to loop back would otherwise lead a group
+  // of one — paying a whole sync — while its peers are still mid-wakeup.
+  // If the queue is thinner than the group that just committed, give the
+  // stragglers one scheduler turn to enqueue before freezing membership.
+  // Holding the queue-front position across the unlock keeps this safe
+  // (parked writers cannot commit past the leader), and a steadily lone
+  // writer never yields: last_group_records_ settles to 1 after one
+  // solo commit.
+  {
+    size_t queued = 0;
+    for (const PendingWrite* w : group_queue_) queued += w->count;
+    if (queued < last_group_records_) {
+      mu_.Unlock();
+      std::this_thread::yield();
+      mu_.Lock();
+    }
+  }
+
+  // Coalesce the queue head into one group. The leader (queue front) joins
+  // unconditionally — a batch bigger than the bounds still commits whole —
+  // and later writers join until a bound would be crossed; whoever is left
+  // behind leads the next group.
+  std::vector<PendingWrite*> group;
+  size_t records = 0;
+  size_t bytes = 0;
+  for (PendingWrite* w : group_queue_) {
+    if (!group.empty() && (records + w->count > options_.group_max_records ||
+                           bytes + w->bytes > options_.group_max_bytes)) {
+      break;
+    }
+    group.push_back(w);
+    records += w->count;
+    bytes += w->bytes;
+  }
+  last_group_records_ = records;
+
+  // Assign the group's sequence numbers and encode every record into one
+  // contiguous buffer under the lock (cheap CPU work; queue order is
+  // sequence order). Only the file I/O below runs unlocked.
+  const GroupCrashPoint crash =
+      group_crash_point_.exchange(GroupCrashPoint::kNone);
+  const uint64_t first_sequence = next_sequence_;
+  std::string encoded;
+  encoded.reserve(bytes);
+  size_t half_offset = 0;  // Bytes of the first ~half of the records — the
+                           // kAfterPartialAppend torn-group cut.
+  size_t encoded_records = 0;
+  Status result;
+  std::string payload;  // Reused per record: one allocation per group.
+  for (PendingWrite* w : group) {
+    for (size_t i = 0; i < w->count && result.ok(); ++i) {
+      const StoreWrite& intent = w->writes[i];
+      const uint64_t sequence = next_sequence_++;
+      payload.clear();
+      payload.reserve(16 + intent.blob.size());
+      PutU64(&payload, intent.key);
+      PutU64(&payload, sequence);
+      if (!intent.is_delete) {
+        payload.append(intent.blob.data(), intent.blob.size());
+      }
+      result = CheckpointWriter::EncodeRecord(
+          intent.is_delete ? kStoreTombstoneRecord : kStoreEntryRecord,
+          payload, &encoded);
+      ++encoded_records;
+      if (encoded_records == (records + 1) / 2) half_offset = encoded.size();
+    }
+    if (!result.ok()) break;
+  }
+
+  if (result.ok()) {
+    // The queue-front position is the exclusive-writer token: releasing
+    // mu_ here lets new writers enqueue (so groups can actually form
+    // behind a slow fsync) while no one else can touch the active writer —
+    // every write goes through this lane, rolls happen only here, and
+    // compaction never writes the active segment. The alias pointer keeps
+    // the unlocked calls outside the analyzed mu_ discipline on purpose.
+    CheckpointWriter* writer = &active_writer_;
+    mu_.Unlock();
+    if (crash != GroupCrashPoint::kAfterEnqueue) {
+      const size_t append_bytes = crash == GroupCrashPoint::kAfterPartialAppend
+                                      ? half_offset
+                                      : encoded.size();
+      const uint64_t append_records =
+          crash == GroupCrashPoint::kAfterPartialAppend ? (records + 1) / 2
+                                                        : records;
+      {
+        const obs::Span::ChildScope append = span.Child("group_append");
+        result = writer->AppendEncoded(
+            std::string_view(encoded).substr(0, append_bytes), append_records);
+      }
+      const bool sync = crash != GroupCrashPoint::kAfterPartialAppend &&
+                        crash != GroupCrashPoint::kAfterAppendPreSync;
+      if (result.ok() && sync) {
+        const obs::Span::ChildScope group_sync = span.Child("group_sync");
+        result = writer->Sync();
+      }
+    }
+    mu_.Lock();
+  }
+
+  if (crash != GroupCrashPoint::kNone) {
+    // Simulated power loss: the process is gone, so nobody is acknowledged
+    // — not even writers whose bytes reached the platter (the
+    // kAfterSyncPreNotify phase: durable yet unacked, which recovery must
+    // still replay). Drain the whole queue, not just the group: every
+    // parked writer dies with the "process".
+    group_crashed_ = true;
+    const Status aborted = Status::Internal(
+        "checkpoint store: simulated power loss during group commit");
+    while (!group_queue_.empty()) {
+      PendingWrite* w = group_queue_.front();
+      group_queue_.pop_front();
+      w->status = aborted;
+      w->done = true;
+      if (w != self) w->cv.Signal();
+    }
+    return aborted;
+  }
+
+  if (!result.ok()) {
+    // One failed append/sync fails every member of the group — none of
+    // their records is known durable (some may still land, exactly like a
+    // failed single-writer sync). Nothing is applied in memory; the next
+    // group starts clean and heals the write-health latch if it succeeds.
+    for (PendingWrite* member : group) {
+      group_queue_.pop_front();
+      member->status = result;
+      member->done = true;
+      if (member != self) member->cv.Signal();
+    }
+    if (!group_queue_.empty()) group_queue_.front()->cv.Signal();
+    return result;
+  }
+
+  // Durable: apply the group in memory in sequence order, then wake the
+  // members. The reserved sequences are contiguous from first_sequence.
+  uint64_t sequence = first_sequence;
+  for (PendingWrite* w : group) {
+    for (size_t i = 0; i < w->count; ++i) {
+      const StoreWrite& intent = w->writes[i];
+      if (intent.is_delete) {
+        entries_.erase(intent.key);
+      } else {
+        StoreSegmentEntry entry;
+        entry.sequence = sequence;
+        entry.segment = active_segment_;
+        entry.blob = std::string(intent.blob);
+        entries_[intent.key] = std::move(entry);
+      }
+      ++sequence;
+    }
+  }
+  active_bytes_ += encoded.size();
+  appended_bytes_->Increment(encoded.size());
+  entries_gauge_->Set(static_cast<double>(entries_.size()));
+  group_commits_->Increment();
+  group_commit_writes_->Increment(records);
+  group_follower_writes_->Increment(records - self->count);
+  group_size_->Observe(records);
+
+  Status rolled;
+  if (active_bytes_ >= options_.segment_max_bytes) {
+    const obs::Span::ChildScope roll = span.Child("roll");
+    rolled = RollActiveLocked();
+  }
+
+  // Acknowledge the group. A failed roll does not unwind durability —
+  // every record is already synced — so only the leader reports it (and
+  // latches write health); the followers' writes genuinely succeeded.
+  for (PendingWrite* member : group) {
+    group_queue_.pop_front();
+    member->status = Status::OK();
+    member->done = true;
+    if (member != self) member->cv.Signal();
+  }
+  if (!group_queue_.empty()) group_queue_.front()->cv.Signal();
+  return rolled;
+}
+
+void CheckpointStore::MaybeSignalCompaction() {
+  // Without a background worker nobody waits on work_cv_ for this signal,
+  // so skip the extra trip through the (write-contended) store mutex.
+  if (!options_.background_compaction || options_.compaction_trigger <= 0) {
+    return;
+  }
+  MutexLock lk(&mu_);
+  if (SealedCountLocked() >= std::max(options_.compaction_trigger, 2)) {
+    work_cv_.Signal();
+  }
+}
+
 Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
   obs::Span span(put_spans_.get());
   span.set_args(key, blob.size());
+  if (options_.group_commit) {
+    StoreWrite w;
+    w.key = key;
+    w.blob = blob;
+    const Status result = GroupWrite(&w, 1, span);
+    RecordWriteHealth(result);
+    if (!result.ok()) {
+      span.set_detail(result.message());
+      return result;
+    }
+    puts_->Increment();
+    put_duration_ns_->Observe(span.ElapsedNs());
+    MaybeSignalCompaction();
+    return Status::OK();
+  }
   bool wake = false;
   Status appended;
   {
@@ -434,6 +696,20 @@ Status CheckpointStore::Put(uint64_t key, std::string_view blob) {
 Status CheckpointStore::Delete(uint64_t key) {
   obs::Span span(delete_spans_.get());
   span.set_args(key);
+  if (options_.group_commit) {
+    StoreWrite w;
+    w.is_delete = true;
+    w.key = key;
+    const Status result = GroupWrite(&w, 1, span);
+    RecordWriteHealth(result);
+    if (!result.ok()) {
+      span.set_detail(result.message());
+      return result;
+    }
+    deletes_->Increment();
+    MaybeSignalCompaction();
+    return Status::OK();
+  }
   bool wake = false;
   Status appended;
   {
@@ -455,6 +731,61 @@ Status CheckpointStore::Delete(uint64_t key) {
     MutexLock lk(&mu_);
     work_cv_.Signal();
   }
+  return Status::OK();
+}
+
+Status CheckpointStore::Apply(const std::vector<StoreWrite>& writes) {
+  if (writes.empty()) return Status::OK();
+  obs::Span span(put_spans_.get());
+  size_t blob_bytes = 0;
+  for (const StoreWrite& w : writes) {
+    blob_bytes += w.is_delete ? 0 : w.blob.size();
+  }
+  span.set_args(writes.size(), blob_bytes);
+
+  Status result;
+  size_t applied = 0;
+  bool wake = false;
+  if (options_.group_commit) {
+    // The whole batch is one group member: one shared append + sync covers
+    // it (and any concurrent writers that joined the same group).
+    result = GroupWrite(writes.data(), writes.size(), span);
+    if (result.ok()) applied = writes.size();
+  } else {
+    // Sequential fallback: one append + one sync per intent — exactly the
+    // bytes and syncs N separate Put/Delete calls would have issued.
+    MutexLock lk(&mu_);
+    if (!active_writer_.is_open()) {
+      return Status::FailedPrecondition("checkpoint store: not open");
+    }
+    for (const StoreWrite& w : writes) {
+      result = AppendRecordLocked(
+          w.is_delete ? kStoreTombstoneRecord : kStoreEntryRecord, w.key,
+          w.is_delete ? std::string_view() : w.blob, span);
+      if (!result.ok()) break;
+      ++applied;
+    }
+    wake = options_.compaction_trigger > 0 &&
+           SealedCountLocked() >= std::max(options_.compaction_trigger, 2);
+  }
+  RecordWriteHealth(result);
+  for (size_t i = 0; i < applied; ++i) {
+    if (writes[i].is_delete) {
+      deletes_->Increment();
+    } else {
+      puts_->Increment();
+    }
+  }
+  if (!result.ok()) {
+    span.set_detail(result.message());
+    return result;
+  }
+  put_duration_ns_->Observe(span.ElapsedNs());
+  if (wake) {
+    MutexLock lk(&mu_);
+    work_cv_.Signal();
+  }
+  if (options_.group_commit) MaybeSignalCompaction();
   return Status::OK();
 }
 
@@ -517,6 +848,8 @@ CheckpointStoreStats CheckpointStore::Stats() const {
   s.recovered_bytes = recovered_bytes_->Value();
   s.dropped_tail_records = dropped_tail_records_->Value();
   s.manifest_sequence = manifest_sequence_;
+  s.group_commits = group_commits_->Value();
+  s.group_commit_writes = group_commit_writes_->Value();
   return s;
 }
 

@@ -57,6 +57,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -95,6 +96,28 @@ struct CheckpointStoreOptions {
   /// File layer to write through; null = FileSystem::Default() (POSIX).
   /// Tests inject a FaultInjectingFileSystem to simulate power loss.
   FileSystem* file_system = nullptr;
+  /// Group commit (the leveldb writer-queue idiom): concurrent Put/Delete
+  /// callers enqueue their intents; the queue-front writer becomes the
+  /// *leader*, coalesces the queue into one log append + one sync, and
+  /// acknowledges the whole group — so N concurrent acknowledged-durable
+  /// writes cost ~1 fsync instead of N. Every writer still returns only
+  /// after its own record is durable per sync_mode, and a failed group
+  /// sync surfaces to every member. Off (default), each write appends and
+  /// syncs by itself — the original single-writer discipline, bit for bit.
+  bool group_commit = false;
+  /// A forming group stops absorbing queued writers past either bound (the
+  /// member that crosses a bound still commits whole; writers left behind
+  /// lead the next group).
+  size_t group_max_records = 128;
+  size_t group_max_bytes = 4 << 20;
+};
+
+/// One write intent for CheckpointStore::Apply — a Put (key, blob) or a
+/// Delete (key). The referenced blob must outlive the Apply call.
+struct StoreWrite {
+  bool is_delete = false;
+  uint64_t key = 0;
+  std::string_view blob;  ///< Ignored for deletes.
 };
 
 /// Counters for tests, benchmarks, and operators — a thin consistent
@@ -111,6 +134,10 @@ struct CheckpointStoreStats {
                                       ///< discarded by Open.
   uint64_t manifest_sequence = 0;///< Install generation of the current
                                  ///< MANIFEST (what a replica tails).
+  uint64_t group_commits = 0;    ///< Groups committed (≈ write-path syncs
+                                 ///< issued) since Open, group_commit on.
+  uint64_t group_commit_writes = 0;  ///< Write intents acknowledged through
+                                     ///< the group-commit lane.
 };
 
 /// \brief The durable keyed blob store.
@@ -131,6 +158,20 @@ class CheckpointStore {
     kAfterManifestInstall,      ///< New MANIFEST live; inputs not yet deleted.
   };
 
+  /// Crash-injection points for the group-commit power-loss matrix: when
+  /// armed (one-shot), the next group leader abandons the commit right
+  /// after the named phase exactly as a power cut would — the log is left
+  /// with whatever bytes reached it, every queued writer (this group and
+  /// any writers behind it) gets kAborted, further group writes fail, and
+  /// the in-memory store must be discarded (reopen to observe recovery).
+  enum class GroupCrashPoint {
+    kNone = 0,
+    kAfterEnqueue,          ///< Group formed; nothing appended.
+    kAfterPartialAppend,    ///< Roughly half the group's bytes appended.
+    kAfterAppendPreSync,    ///< Whole group appended; sync not issued.
+    kAfterSyncPreNotify,    ///< Group durable; no member ever acknowledged.
+  };
+
   /// Opens (creating if needed) the store at \p dir and recovers its state
   /// from the MANIFEST and live segments. Fails on real corruption, never
   /// on the debris of a crash.
@@ -148,6 +189,15 @@ class CheckpointStore {
   /// Removes \p key (a durable tombstone; compaction reclaims the space).
   /// Deleting an absent key is OK.
   Status Delete(uint64_t key);
+
+  /// Applies every intent in \p writes, in order, and returns only after
+  /// all of them are durable per sync_mode. With group_commit on, the
+  /// whole batch rides the group-commit lane as one member — one append +
+  /// one sync for the batch, possibly shared with concurrent writers (the
+  /// epoch layer commits an epoch blob and its clock record this way).
+  /// With group_commit off it degrades to sequential Put/Delete semantics:
+  /// one append + one sync per intent, bit-for-bit the single-writer path.
+  Status Apply(const std::vector<StoreWrite>& writes);
 
   /// Fetches the blob stored under \p key; kOutOfRange if absent.
   Status Get(uint64_t key, std::string* blob) const;
@@ -173,6 +223,12 @@ class CheckpointStore {
   /// Arms the crash injection for the next Compact() pass (test-only).
   void set_crash_point_for_testing(CompactionCrashPoint p) {
     crash_point_.store(p);
+  }
+
+  /// Arms the crash injection for the next group commit (test-only;
+  /// one-shot — the leader that consumes it simulates the kill).
+  void set_group_crash_point_for_testing(GroupCrashPoint p) {
+    group_crash_point_.store(p);
   }
 
   /// Segment file name for segment number \p n ("NNNNNN.seg").
@@ -201,6 +257,34 @@ class CheckpointStore {
   Status AppendRecordLocked(CheckpointRecordType type, uint64_t key,
                             std::string_view blob, obs::Span& span)
       REQUIRES(mu_);
+  /// One writer parked in the group-commit queue: its intents, their
+  /// pre-computed on-disk size, and the condition it sleeps on until the
+  /// group leader reports the outcome.
+  struct PendingWrite {
+    PendingWrite(Mutex* mu, const StoreWrite* w, size_t n, size_t b)
+        : cv(mu), writes(w), count(n), bytes(b) {}
+    CondVar cv;
+    const StoreWrite* writes;
+    size_t count;
+    size_t bytes;  ///< Encoded size (headers included) of all intents.
+    Status status;
+    bool done = false;
+  };
+
+  /// The group-commit lane: enqueues \p writes, then either waits for a
+  /// leader to commit them (follower) or, on reaching the queue front,
+  /// leads the commit itself. Returns the writer's durable outcome.
+  Status GroupWrite(const StoreWrite* writes, size_t count, obs::Span& span);
+  /// Called by the queue-front writer with mu_ held: coalesces the queue
+  /// head into one group, appends + syncs it with mu_ released (the
+  /// queue-front position is the exclusive-writer token while unlocked),
+  /// applies the group in memory, and wakes every member.
+  Status LeadGroupCommit(PendingWrite* self, obs::Span& span) REQUIRES(mu_);
+  /// Wakes the background compactor if the sealed-segment trigger is met.
+  /// The group-commit paths call it after releasing mu_; the single-writer
+  /// paths fold the check into their existing critical section instead.
+  void MaybeSignalCompaction();
+
   /// Latches \p status as the store's write health: an error makes
   /// /healthz fail until a later write succeeds (last write wins, so the
   /// store self-heals when the fault clears).
@@ -235,6 +319,18 @@ class CheckpointStore {
   uint64_t incarnation_ = 0;
   CheckpointWriter active_writer_ GUARDED_BY(mu_);
 
+  /// Writers parked in the group-commit lane, in arrival order; the front
+  /// writer is (or becomes) the leader. Entries live on their owners'
+  /// stacks — a writer only leaves GroupWrite after done is set.
+  std::deque<PendingWrite*> group_queue_ GUARDED_BY(mu_);
+  /// Records in the most recently led group — the oscillation-damping
+  /// hint in LeadGroupCommit (yield once when the queue is thinner than
+  /// the group that just committed).
+  size_t last_group_records_ GUARDED_BY(mu_) = 1;
+  /// Set by a simulated group-commit crash: the in-memory store no longer
+  /// matches the log, so every later group write fails until reopen.
+  bool group_crashed_ GUARDED_BY(mu_) = false;
+
   // Registry instruments; CheckpointStoreStats snapshots them. Counters are
   // per-instance (since Open), gauges track the current on-disk shape.
   std::shared_ptr<obs::Counter> puts_;
@@ -245,6 +341,10 @@ class CheckpointStore {
   std::shared_ptr<obs::Counter> recovered_records_;
   std::shared_ptr<obs::Counter> recovered_bytes_;
   std::shared_ptr<obs::Counter> dropped_tail_records_;
+  std::shared_ptr<obs::Counter> group_commits_;
+  std::shared_ptr<obs::Counter> group_follower_writes_;
+  std::shared_ptr<obs::Counter> group_commit_writes_;
+  std::shared_ptr<obs::Histogram> group_size_;
   std::shared_ptr<obs::Histogram> put_duration_ns_;
   std::shared_ptr<obs::Histogram> compaction_duration_ns_;
   std::shared_ptr<obs::Gauge> live_segments_gauge_;
@@ -260,6 +360,7 @@ class CheckpointStore {
   std::thread compactor_;
 
   std::atomic<CompactionCrashPoint> crash_point_{CompactionCrashPoint::kNone};
+  std::atomic<GroupCrashPoint> group_crash_point_{GroupCrashPoint::kNone};
 
   /// Slow-span families for the write path (served at /spanz).
   std::shared_ptr<obs::SpanFamily> put_spans_;

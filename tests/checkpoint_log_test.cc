@@ -45,6 +45,82 @@ TEST_F(CheckpointLogTest, SyncFailurePropagatesAndHeals) {
   EXPECT_TRUE(writer.Close().ok());
 }
 
+// The group-commit building blocks: EncodeRecord must produce exactly the
+// bytes Append writes (a reader cannot tell them apart), and a sync failure
+// after AppendEncoded propagates and heals like any other — the batch is
+// only durable on a Sync() that really succeeded.
+TEST_F(CheckpointLogTest, EncodeRecordMatchesAppendByteForByte) {
+  const std::string payloads[] = {"manifest", "", std::string(3000, 'x')};
+  path_ = TempLogPath("appended");
+  const std::string encoded_path = TempLogPath("encoded");
+  {
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(
+        writer.Append(CheckpointRecordType::kManifest, payloads[0]).ok());
+    ASSERT_TRUE(
+        writer.Append(CheckpointRecordType::kShardState, payloads[1]).ok());
+    ASSERT_TRUE(writer.Append(CheckpointRecordType::kCustom, payloads[2]).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    std::string batch;
+    ASSERT_TRUE(CheckpointWriter::EncodeRecord(CheckpointRecordType::kManifest,
+                                               payloads[0], &batch)
+                    .ok());
+    ASSERT_TRUE(CheckpointWriter::EncodeRecord(
+                    CheckpointRecordType::kShardState, payloads[1], &batch)
+                    .ok());
+    ASSERT_TRUE(CheckpointWriter::EncodeRecord(CheckpointRecordType::kCustom,
+                                               payloads[2], &batch)
+                    .ok());
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.Open(encoded_path).ok());
+    ASSERT_TRUE(writer.AppendEncoded(batch, 3).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(path_), slurp(encoded_path));
+  std::remove(encoded_path.c_str());
+
+  // And the batch reads back as three ordinary records.
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.Open(path_).ok());
+  CheckpointRecordType type;
+  std::string payload;
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(reader.Read(&type, &payload).ok()) << "record " << i;
+    EXPECT_EQ(payload, payloads[i]) << "record " << i;
+  }
+  EXPECT_EQ(reader.Read(&type, &payload).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CheckpointLogTest, AppendEncodedSyncFailurePropagatesAndHeals) {
+  FaultInjectingFileSystem fs;
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open("/fault/batch.ckpt", &fs).ok());
+  std::string batch;
+  ASSERT_TRUE(CheckpointWriter::EncodeRecord(CheckpointRecordType::kManifest,
+                                             "grouped", &batch)
+                  .ok());
+  ASSERT_TRUE(writer.AppendEncoded(batch, 1).ok());
+  fs.set_fail_file_syncs(true);
+  EXPECT_FALSE(writer.Sync().ok());  // The batch is NOT durable.
+  fs.set_fail_file_syncs(false);
+  EXPECT_TRUE(writer.Sync().ok());  // Heals: now it is.
+  EXPECT_TRUE(writer.Close().ok());
+  CheckpointReader reader;
+  ASSERT_TRUE(reader.Open("/fault/batch.ckpt", &fs).ok());
+  CheckpointRecordType type;
+  std::string payload;
+  ASSERT_TRUE(reader.Read(&type, &payload).ok());
+  EXPECT_EQ(payload, "grouped");
+}
+
 TEST_F(CheckpointLogTest, RoundTripsRecords) {
   path_ = TempLogPath("roundtrip");
   CheckpointWriter writer;

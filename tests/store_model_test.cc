@@ -20,6 +20,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/common/fault_fs.h"
@@ -190,6 +192,154 @@ INSTANTIATE_TEST_SUITE_P(PosixAndFaultInjected, StoreModelTest,
                            return param_info.param ? "FaultInjectedPowerLoss"
                                                    : "PosixTempDir";
                          });
+
+// ------------------------------------------------ concurrent model walks ----
+
+// Seeded multi-threaded Put/Delete/Apply walks: each thread owns a disjoint
+// key range, so its private reference model stays exact with no cross-thread
+// coordination, while the main thread compacts and scans the store under the
+// writers' feet. Runs with the group-commit lane on and off, on POSIX and on
+// the fault FS; after the walk — and again after a restart, with a simulated
+// power loss on the fault FS — the store must equal the union of the thread
+// models. (This is also the suite the TSan CI job runs against the
+// leader/follower handoff.)
+void RunConcurrentWalk(const std::string& dir,
+                       FaultInjectingFileSystem* fault_fs, bool group_commit,
+                       uint64_t seed) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 250;
+  constexpr uint64_t kRangePerThread = 64;
+
+  CheckpointStoreOptions o;
+  o.segment_max_bytes = 1 << 10;  // Rolls mid-walk, also mid-group.
+  o.compaction_trigger = 3;
+  o.background_compaction = true;
+  o.sync_mode = fault_fs != nullptr ? SyncMode::kFull : SyncMode::kNone;
+  o.file_system = fault_fs;
+  o.group_commit = group_commit;
+  o.group_max_records = 8;  // Small: the bound-crossing path runs too.
+  auto store_or = CheckpointStore::Open(dir, o);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto store = std::move(store_or).value();
+
+  std::vector<std::map<uint64_t, std::string>> models(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed * 131 + static_cast<uint64_t>(t));
+      std::map<uint64_t, std::string>& model = models[t];
+      const uint64_t base = static_cast<uint64_t>(t) * kRangePerThread;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t r = rng.UniformU64(100);
+        const uint64_t key = base + rng.UniformU64(kRangePerThread);
+        const std::string at =
+            "thread " + std::to_string(t) + " op " + std::to_string(i);
+        if (r < 50) {
+          const std::string blob = RandomBlob(rng);
+          ASSERT_TRUE(store->Put(key, blob).ok()) << at;
+          model[key] = blob;
+        } else if (r < 68) {
+          ASSERT_TRUE(store->Delete(key).ok()) << at;
+          model.erase(key);
+        } else if (r < 84) {
+          // A two-intent batch riding the lane as one member.
+          const uint64_t other = base + rng.UniformU64(kRangePerThread);
+          const std::string blob = RandomBlob(rng);
+          std::vector<StoreWrite> batch(2);
+          batch[0].key = key;
+          batch[0].blob = blob;
+          batch[1].is_delete = true;
+          batch[1].key = other;
+          ASSERT_TRUE(store->Apply(batch).ok()) << at;
+          model[key] = blob;
+          model.erase(other);  // In batch order: a self-pair ends deleted.
+        } else {
+          // Owner read: no other thread mutates this range, so the store
+          // must agree with the private model even mid-hammer.
+          const auto it = model.find(key);
+          if (it != model.end()) {
+            std::string got;
+            ASSERT_TRUE(store->Get(key, &got).ok()) << at;
+            ASSERT_EQ(got, it->second) << at;
+          } else {
+            ASSERT_FALSE(store->Contains(key)) << at;
+          }
+        }
+      }
+    });
+  }
+  // The main thread churns compactions and scans against the writers.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store->Compact().ok()) << "main compact " << i;
+    (void)store->Keys();
+    std::this_thread::yield();
+  }
+  for (std::thread& t : threads) t.join();
+  if (testing::Test::HasFatalFailure()) return;
+
+  std::map<uint64_t, std::string> merged;
+  for (const auto& model : models) merged.insert(model.begin(), model.end());
+  const auto verify = [&](CheckpointStore* s, const std::string& context) {
+    std::vector<uint64_t> want_keys;
+    for (const auto& [key, blob] : merged) want_keys.push_back(key);
+    ASSERT_EQ(s->Keys(), want_keys) << context;
+    for (const auto& [key, blob] : merged) {
+      std::string got;
+      ASSERT_TRUE(s->Get(key, &got).ok()) << context << " key " << key;
+      ASSERT_EQ(got, blob) << context << " key " << key;
+    }
+  };
+  verify(store.get(), "after walk");
+  if (group_commit) {
+    const CheckpointStoreStats stats = store->Stats();
+    EXPECT_GT(stats.group_commit_writes, 0u);
+    EXPECT_GE(stats.group_commit_writes, stats.group_commits);
+  }
+
+  // Restart (with the lights going out on the fault FS): recovery must land
+  // on exactly the acknowledged union.
+  store.reset();
+  if (fault_fs != nullptr) fault_fs->SimulatePowerLoss();
+  store_or = CheckpointStore::Open(dir, o);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  verify(store_or.value().get(), "after restart");
+}
+
+using ConcurrentParam = std::tuple<bool, bool>;  // (fault FS, group commit)
+
+class ConcurrentStoreModelTest
+    : public testing::TestWithParam<ConcurrentParam> {};
+
+TEST_P(ConcurrentStoreModelTest, ConcurrentWalkMatchesReferenceModel) {
+  const auto [fault, group_commit] = GetParam();
+  for (const uint64_t seed : {uint64_t{11}, uint64_t{0xc0ffee}}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    if (fault) {
+      FaultInjectingFileSystem ffs;
+      RunConcurrentWalk("/faultfs/concurrent", &ffs, group_commit, seed);
+    } else {
+      const std::string dir = testing::TempDir() + "/ldphh_concurrent_" +
+                              std::to_string(seed) + "_" +
+                              (group_commit ? "g1" : "g0") + "_" +
+                              std::to_string(::getpid());
+      fs::remove_all(dir);
+      RunConcurrentWalk(dir, nullptr, group_commit, seed);
+      fs::remove_all(dir);
+    }
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndLanes, ConcurrentStoreModelTest,
+    testing::Combine(testing::Values(false, true),
+                     testing::Values(false, true)),
+    [](const testing::TestParamInfo<ConcurrentParam>& param_info) {
+      return std::string(std::get<0>(param_info.param) ? "FaultInjected"
+                                                       : "PosixTempDir") +
+             (std::get<1>(param_info.param) ? "GroupCommit" : "SingleWriter");
+    });
 
 }  // namespace
 }  // namespace ldphh

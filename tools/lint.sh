@@ -83,6 +83,26 @@ for f in $bench_files; do
   fi
 done
 
+# Rule 5: durable record writing goes through CheckpointStore. A direct
+# CheckpointWriter append bypasses the store's write lane — group commit,
+# sequence numbering, the write-health latch, and the put metrics/spans all
+# live there — so serving code must not hold one. Allowed: the definition
+# (src/server/checkpoint_log.*), the store itself (src/store/*), and
+# sharded_aggregator, whose WriteCheckpoint(CheckpointWriter&) serializes
+# shard state into a log the *caller* owns. Tests/benches stay exempt:
+# they exercise the raw writer by design (fault injection, format pinning).
+for f in $src_files; do
+  case "$f" in
+    src/server/checkpoint_log.*) continue ;;
+    src/store/*) continue ;;
+    src/server/sharded_aggregator.*) continue ;;
+  esac
+  hits=$(strip_comments "$f" | grep -nE '(^|[^_[:alnum:]])CheckpointWriter([^_[:alnum:]]|$)')
+  if [ -n "$hits" ]; then
+    fail "$f: direct CheckpointWriter use outside src/store/; write through CheckpointStore so group commit, write health, and metrics apply" "$hits"
+  fi
+done
+
 # clang-tidy over the exported compile commands (the .clang-tidy config at
 # the repo root curates the checks).
 if command -v clang-tidy >/dev/null 2>&1; then
