@@ -1,0 +1,201 @@
+#include "src/net/connection.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ldphh {
+namespace net {
+
+Connection::Connection(EventLoop* loop, int fd, const Options& options,
+                       DataFn on_data, ClosedFn on_closed)
+    : loop_(loop),
+      fd_(fd),
+      options_(options),
+      on_data_(std::move(on_data)),
+      on_closed_(std::move(on_closed)) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  loop_->WatchFd(fd_, kFdReadable,
+                 [this](uint32_t events) { HandleEvents(events); });
+}
+
+Connection::~Connection() {
+  *alive_ = false;
+  if (!closed_) {
+    // Owner destroyed us without Close(): silent teardown, no callback.
+    closed_ = true;
+    loop_->UnwatchFd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::Consume(size_t n) {
+  read_buffer_.erase(0, n < read_buffer_.size() ? n : read_buffer_.size());
+}
+
+void Connection::Send(std::string_view data) {
+  if (closed_) return;
+  if (write_buffer_.empty()) {
+    // Fast path: the socket is usually writable; skip the POLLOUT round
+    // trip for whatever fits right now.
+    while (!data.empty()) {
+      const ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n > 0) {
+        data.remove_prefix(static_cast<size_t>(n));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      Close(Status::Internal(std::string("net: write: ") +
+                             std::strerror(errno)));
+      return;
+    }
+    if (data.empty()) return;
+  }
+  write_buffer_.append(data.data(), data.size());
+  if (write_buffer_.size() > options_.write_buffer_cap) {
+    Close(Status::ResourceExhausted(
+        "net: outbound buffer cap exceeded (slow client)"));
+    return;
+  }
+  UpdateInterest();
+}
+
+void Connection::PauseRead() {
+  if (closed_ || read_paused_) return;
+  read_paused_ = true;
+  UpdateInterest();
+}
+
+void Connection::ResumeRead() {
+  if (closed_ || !read_paused_) return;
+  read_paused_ = false;
+  UpdateInterest();
+  if (!read_buffer_.empty() && on_data_) {
+    // Bytes that arrived before the pause are still waiting; deliver them
+    // from a fresh stack frame (not reentrantly under the caller).
+    auto alive = alive_;
+    DataFn on_data = on_data_;
+    Connection* self = this;
+    loop_->Post([alive, on_data, self] {
+      if (*alive && !self->closed_) on_data(self);
+    });
+  }
+}
+
+void Connection::Close(const Status& reason) {
+  if (closed_) return;
+  closed_ = true;
+  loop_->UnwatchFd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (on_closed_) {
+    ClosedFn on_closed = on_closed_;
+    on_closed(this, reason);  // May delete `this`; touch nothing after.
+  }
+}
+
+void Connection::HandleEvents(uint32_t events) {
+  const auto alive = alive_;
+  if (events & kFdError) {
+    Close(Status::Internal("net: socket error (POLLERR)"));
+    return;
+  }
+  if (events & kFdWritable) {
+    if (!FlushToSocket()) return;  // Closed (and possibly deleted).
+    if (!*alive || closed_) return;
+  }
+  if (events & (kFdReadable | kFdHangup)) FillFromSocket();
+}
+
+bool Connection::DeliverData() {
+  if (!on_data_) return true;
+  const auto alive = alive_;
+  DataFn on_data = on_data_;
+  on_data(this);  // May Close() (and delete) us.
+  return *alive && !closed_;
+}
+
+bool Connection::FillFromSocket() {
+  // A hangup against a read-paused connection lands here too (the loop
+  // always delivers kFdHangup); reading is still correct — we pick up any
+  // final bytes plus the EOF.
+  bool got_data = false;
+  bool saw_eof = false;
+  for (;;) {
+    if (read_buffer_.size() >= options_.read_buffer_cap) {
+      // Cap reached mid-fill: let the consumer drain (or pause us) before
+      // judging this an overflow. Closing here would turn a fast sender
+      // into a protocol error even though the consumer never got to run.
+      got_data = false;
+      if (!DeliverData()) return false;
+      if (read_paused_) break;  // Consumer applied backpressure.
+      if (read_buffer_.size() >= options_.read_buffer_cap) {
+        // Consumer could make no room: the buffer holds data it cannot
+        // consume (cap is sized to fit any one well-formed frame).
+        Close(Status::ResourceExhausted("net: inbound buffer cap exceeded"));
+        return false;
+      }
+    }
+    char buf[16384];
+    const size_t want = std::min(
+        sizeof(buf), options_.read_buffer_cap - read_buffer_.size());
+    const ssize_t n = ::read(fd_, buf, want);
+    if (n > 0) {
+      read_buffer_.append(buf, static_cast<size_t>(n));
+      got_data = true;
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    Close(Status::Internal(std::string("net: read: ") + std::strerror(errno)));
+    return false;
+  }
+  if (got_data && !DeliverData()) return false;
+  if (saw_eof) {
+    Close(Status::OK());  // Clean peer close.
+    return false;
+  }
+  return true;
+}
+
+bool Connection::FlushToSocket() {
+  size_t off = 0;
+  while (off < write_buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, write_buffer_.data() + off, write_buffer_.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    write_buffer_.erase(0, off);
+    Close(Status::Internal(std::string("net: write: ") + std::strerror(errno)));
+    return false;
+  }
+  write_buffer_.erase(0, off);
+  UpdateInterest();
+  return true;
+}
+
+void Connection::UpdateInterest() {
+  if (closed_) return;
+  uint32_t events = 0;
+  if (!read_paused_) events |= kFdReadable;
+  if (!write_buffer_.empty()) events |= kFdWritable;
+  loop_->SetInterest(fd_, events);
+}
+
+}  // namespace net
+}  // namespace ldphh

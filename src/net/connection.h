@@ -1,0 +1,122 @@
+/// \file connection.h
+/// \brief A buffered non-blocking stream connection on an EventLoop.
+///
+/// Connection wraps one accepted (or connected) socket fd in the loop's
+/// non-blocking discipline: a capped inbound buffer filled on POLLIN, a
+/// capped outbound buffer drained on POLLOUT, and two callbacks — `on_data`
+/// whenever new bytes land in the inbound buffer, `on_closed` exactly once
+/// when the connection dies (peer EOF, IO error, buffer-cap violation, or
+/// an explicit Close()).
+///
+/// Backpressure is first-class: `PauseRead()` removes POLLIN from the
+/// interest set, so the kernel socket buffer — and eventually the peer's
+/// TCP window — absorbs the load instead of this process's memory. A
+/// paused connection still learns about peer death (POLLHUP is delivered
+/// regardless of interest; see event_loop.h). `ResumeRead()` re-arms
+/// POLLIN and, if bytes are already buffered, re-fires `on_data` so no
+/// already-received frame is stranded.
+///
+/// All methods are loop-thread-only. Callbacks run on the loop thread and
+/// may destroy the Connection (the usual `on_closed` pattern erases it
+/// from the owner's map); internal code never touches members after
+/// invoking a callback that may do so.
+
+#ifndef LDPHH_NET_CONNECTION_H_
+#define LDPHH_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/net/event_loop.h"
+
+namespace ldphh {
+namespace net {
+
+/// \brief One buffered stream socket (see file comment).
+class Connection {
+ public:
+  struct Options {
+    /// Inbound-buffer cap. If a consumer leaves more than this unconsumed,
+    /// the connection is closed (a frame parser that respects its own
+    /// max-frame limit never hits this).
+    size_t read_buffer_cap = 1u << 20;
+    /// Outbound-buffer cap. Exceeding it means the peer is not draining
+    /// its socket (slow client); the connection is closed.
+    size_t write_buffer_cap = 1u << 20;
+  };
+
+  /// `on_data` fires on the loop thread when the inbound buffer grew;
+  /// consume via buffer()/Consume(). `on_closed` fires exactly once with
+  /// the reason; the callback may delete the Connection.
+  using DataFn = std::function<void(Connection*)>;
+  using ClosedFn = std::function<void(Connection*, const Status&)>;
+
+  /// Takes ownership of \p fd (switched to non-blocking). Loop thread only.
+  Connection(EventLoop* loop, int fd, const Options& options, DataFn on_data,
+             ClosedFn on_closed);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  bool closed() const { return closed_; }
+  bool read_paused() const { return read_paused_; }
+
+  /// Unconsumed inbound bytes.
+  const std::string& buffer() const { return read_buffer_; }
+  /// Drops the first \p n bytes of the inbound buffer.
+  void Consume(size_t n);
+
+  /// Queues \p data for the peer (appends to the outbound buffer, attempts
+  /// an immediate flush, arms POLLOUT for the rest). Closes the connection
+  /// if the outbound cap is exceeded — the caller learns via on_closed.
+  void Send(std::string_view data);
+
+  /// Bytes queued but not yet written to the socket.
+  size_t pending_write_bytes() const { return write_buffer_.size(); }
+
+  /// Stops / resumes reading from the socket (see file comment).
+  void PauseRead();
+  void ResumeRead();
+
+  /// Closes immediately with \p reason; fires on_closed (once).
+  void Close(const Status& reason);
+
+ private:
+  void HandleEvents(uint32_t events);
+  /// Runs on_data; returns false if the connection closed (and was
+  /// possibly deleted) during the callback.
+  bool DeliverData();
+  /// Reads until EAGAIN/EOF, delivering to on_data whenever the buffer cap
+  /// fills mid-read so the consumer can drain or pause before the cap is
+  /// judged exceeded; returns false if the connection closed.
+  bool FillFromSocket();
+  /// Writes until EAGAIN/empty; returns false if the connection closed.
+  bool FlushToSocket();
+  void UpdateInterest();
+
+  EventLoop* const loop_;
+  int fd_;
+  const Options options_;
+  const DataFn on_data_;
+  const ClosedFn on_closed_;
+
+  std::string read_buffer_;
+  std::string write_buffer_;
+  bool read_paused_ = false;
+  bool closed_ = false;
+  /// Liveness sentinel: callbacks may delete `this`, so internal code that
+  /// must continue after a callback snapshots this pointer and checks the
+  /// flag (the destructor flips it) before touching members again.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace net
+}  // namespace ldphh
+
+#endif  // LDPHH_NET_CONNECTION_H_

@@ -1,0 +1,150 @@
+/// \file event_loop.h
+/// \brief A single-threaded, poll()-driven reactor.
+///
+/// `src/net/` is the one place in the tree allowed to touch raw sockets
+/// (tools/lint.sh enforces it). The EventLoop is its core: one thread
+/// owns a `poll()` cycle over a set of watched file descriptors, a
+/// monotonic timer queue, and a task queue fed from other threads through
+/// a self-pipe wakeup. Everything registered with the loop — listeners,
+/// connections, timers — is touched only from the loop thread, so none of
+/// it needs locks; the only synchronized state is the posted-task queue.
+///
+/// Threading contract:
+///   - `WatchFd` / `SetInterest` / `UnwatchFd` / `RunAfter` / `CancelTimer`
+///     must be called on the loop thread (checked with LDPHH_DCHECK).
+///   - `Post` is thread-safe and wakes the loop; the task runs on the loop
+///     thread in FIFO order.
+///   - `RunSync` posts a task and blocks until it has run — the teardown
+///     primitive (close a listener, snapshot loop-owned state). Called on
+///     the loop thread it runs inline; called after Stop() it also runs
+///     inline (the loop thread is joined, so there is no concurrency left
+///     to synchronize with).
+///
+/// The loop never owns file descriptors: whoever watched an fd closes it
+/// (after unwatching). Dispatch is snapshot-based — a callback may unwatch
+/// any fd, including its own, mid-cycle; stale snapshot entries are
+/// re-checked against the live table before delivery.
+
+#ifndef LDPHH_NET_EVENT_LOOP_H_
+#define LDPHH_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+
+namespace ldphh {
+namespace net {
+
+/// Bitmask delivered to fd callbacks (a stable alias for the poll bits,
+/// so callers do not include <poll.h>).
+enum FdEvents : uint32_t {
+  kFdReadable = 1u << 0,  ///< POLLIN: data (or EOF) to read.
+  kFdWritable = 1u << 1,  ///< POLLOUT.
+  kFdError = 1u << 2,     ///< POLLERR | POLLNVAL.
+  /// POLLHUP. Unlike the others this cannot be masked off at the poll()
+  /// level, so it is always delivered even when the watcher's interest set
+  /// is empty (a read-paused connection whose peer vanished must still
+  /// find out, without the loop spinning on an undeliverable event).
+  kFdHangup = 1u << 3,
+};
+
+/// \brief The reactor (see file comment).
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+  /// \p events is an FdEvents bitmask of what fired.
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the wakeup pipe and spawns the loop thread. Call once.
+  Status Start();
+
+  /// Requests stop, wakes the loop, and joins the thread. Pending posted
+  /// tasks run before the thread exits; watched fds stay registered (their
+  /// owners unwatch/close during their own teardown, via RunSync if they
+  /// outlive the loop). Idempotent.
+  void Stop();
+
+  /// True iff called from the loop thread.
+  bool InLoopThread() const;
+
+  /// Enqueues \p task for the loop thread (thread-safe). Returns false —
+  /// and drops the task — once Stop() has begun and the final drain is
+  /// over.
+  bool Post(Task task);
+
+  /// Runs \p task on the loop thread and waits for it to finish (see the
+  /// threading contract in the file comment).
+  void RunSync(Task task);
+
+  /// Watches \p fd. \p events is an FdEvents mask; \p callback fires on
+  /// the loop thread. Loop thread only.
+  void WatchFd(int fd, uint32_t events, FdCallback callback);
+
+  /// Replaces the interest mask of a watched fd. Loop thread only.
+  void SetInterest(int fd, uint32_t events);
+
+  /// Stops watching \p fd (the caller still owns and closes it). Loop
+  /// thread only.
+  void UnwatchFd(int fd);
+
+  /// Runs \p task on the loop thread after \p delay_ms. Returns a timer id
+  /// for CancelTimer. Loop thread only.
+  uint64_t RunAfter(int64_t delay_ms, Task task);
+
+  /// Cancels a pending timer (no-op if already fired). Loop thread only.
+  void CancelTimer(uint64_t timer_id);
+
+  /// Watched-fd count (loop thread only; tests).
+  size_t WatchedFdsForTesting() const { return fds_.size(); }
+
+ private:
+  struct Watch {
+    uint32_t events = 0;
+    FdCallback callback;
+  };
+  struct Timer {
+    uint64_t id = 0;
+    Task task;
+  };
+
+  void LoopThread();
+  void RunLoopOnce();
+  void DrainWakeupPipe();
+  void RunDueTimers();
+  int NextPollTimeoutMs() const;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+
+  int wakeup_read_fd_ = -1;
+  int wakeup_write_fd_ = -1;
+
+  Mutex tasks_mu_;
+  std::deque<Task> tasks_ GUARDED_BY(tasks_mu_);
+  bool accepting_tasks_ GUARDED_BY(tasks_mu_) = true;
+
+  // Loop-thread-only state (no locks by design; see file comment).
+  std::map<int, Watch> fds_;
+  std::multimap<std::chrono::steady_clock::time_point, Timer> timers_;
+  uint64_t next_timer_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace ldphh
+
+#endif  // LDPHH_NET_EVENT_LOOP_H_

@@ -1,0 +1,79 @@
+#include "src/net/frame.h"
+
+namespace ldphh {
+namespace net {
+
+namespace {
+
+void AppendU32Le(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t ReadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  AppendU32Le(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+void AppendStatusFrame(std::string* out, const Status& status) {
+  AppendU32Le(out, static_cast<uint32_t>(1 + status.message().size()));
+  out->push_back(static_cast<char>(status.code()));
+  out->append(status.message());
+}
+
+FrameParse TryParseFrame(std::string_view buffer, size_t max_payload_bytes,
+                         std::string_view* payload, size_t* consumed,
+                         Status* error) {
+  if (buffer.size() < kFrameHeaderSize) return FrameParse::kNeedMore;
+  const uint32_t length = ReadU32Le(buffer.data());
+  if (length > max_payload_bytes) {
+    *error = Status::InvalidArgument(
+        "net: frame length " + std::to_string(length) + " exceeds limit " +
+        std::to_string(max_payload_bytes));
+    return FrameParse::kBad;
+  }
+  if (buffer.size() < kFrameHeaderSize + length) return FrameParse::kNeedMore;
+  *payload = buffer.substr(kFrameHeaderSize, length);
+  *consumed = kFrameHeaderSize + length;
+  return FrameParse::kFrame;
+}
+
+Status DecodeStatusPayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::Internal("net: empty ack payload");
+  }
+  const auto raw = static_cast<unsigned char>(payload[0]);
+  std::string message(payload.substr(1));
+  switch (static_cast<StatusCode>(raw)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kDecodeFailure:
+      return Status::DecodeFailure(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+  }
+  return Status::Internal("net: unknown ack status code " +
+                          std::to_string(raw) + ": " + message);
+}
+
+}  // namespace net
+}  // namespace ldphh

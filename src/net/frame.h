@@ -1,0 +1,73 @@
+/// \file frame.h
+/// \brief Length-prefixed framing for the report-ingestion wire protocol.
+///
+/// Every message on a ReportServer connection — in either direction — is a
+/// frame:
+///
+///     u32 LE payload_length | payload bytes
+///
+/// Client→server payloads are `report_codec` batches (EncodeReportBatch
+/// output, which carries its own "LDPB" magic, version, and CRC). The
+/// server answers every request frame, in order, with an ack frame whose
+/// payload is a serialized Status:
+///
+///     u8 status_code | UTF-8 message bytes (may be empty)
+///
+/// `status_code` is the numeric value of `ldphh::StatusCode`; codes a
+/// newer server might add decode as kInternal on an older client rather
+/// than failing. kResourceExhausted acks are *retryable*: the batch was
+/// not enqueued, and the client should back off and resend.
+///
+/// These helpers are deliberately dumb — no IO, no allocation beyond the
+/// output string — so the exact same code frames and parses on both the
+/// server's non-blocking path and the client's blocking path, and in
+/// tests.
+
+#ifndef LDPHH_NET_FRAME_H_
+#define LDPHH_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace ldphh {
+namespace net {
+
+/// Frame header size: the u32 length prefix.
+inline constexpr size_t kFrameHeaderSize = 4;
+
+/// Appends `u32 LE length | payload` to \p out.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Appends an ack frame carrying \p status to \p out.
+void AppendStatusFrame(std::string* out, const Status& status);
+
+/// Outcome of TryParseFrame.
+enum class FrameParse {
+  kFrame,     ///< A complete frame was extracted.
+  kNeedMore,  ///< The buffer holds only a partial frame; read more.
+  kBad,       ///< Protocol violation (oversized frame); close the connection.
+};
+
+/// Attempts to extract one frame from the front of \p buffer.
+///
+/// On kFrame, \p payload points into \p buffer and \p consumed is the
+/// total frame size (header + payload) to drop from the buffer. On kBad,
+/// \p error describes the violation. A declared length above
+/// \p max_payload_bytes is rejected *before* its bytes are buffered, so a
+/// hostile length prefix cannot make the server allocate.
+FrameParse TryParseFrame(std::string_view buffer, size_t max_payload_bytes,
+                         std::string_view* payload, size_t* consumed,
+                         Status* error);
+
+/// Decodes an ack-frame payload (`u8 code | message`) back into a Status.
+/// Unknown codes decode as kInternal.
+Status DecodeStatusPayload(std::string_view payload);
+
+}  // namespace net
+}  // namespace ldphh
+
+#endif  // LDPHH_NET_FRAME_H_

@@ -1,0 +1,162 @@
+#include "src/net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ldphh {
+namespace net {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("net: fcntl O_NONBLOCK: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Listener::Listener(EventLoop* loop, int fd, uint16_t port, std::string path,
+                   AcceptFn on_accept)
+    : loop_(loop),
+      fd_(fd),
+      port_(port),
+      path_(std::move(path)),
+      on_accept_(std::move(on_accept)) {}
+
+StatusOr<std::unique_ptr<Listener>> Listener::ListenTcp(
+    EventLoop* loop, const std::string& bind_address, uint16_t port,
+    AcceptFn on_accept) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("net: socket: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("net: bad bind address '" + bind_address +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(
+        std::string("net: bind ") + bind_address + ":" + std::to_string(port) +
+        ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status status =
+        Status::Internal(std::string("net: listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status = Status::Internal(
+        std::string("net: getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  LDPHH_RETURN_IF_ERROR(SetNonBlocking(fd));
+
+  std::unique_ptr<Listener> listener(new Listener(
+      loop, fd, ntohs(bound.sin_port), std::string(), std::move(on_accept)));
+  Listener* raw = listener.get();
+  loop->RunSync([raw] {
+    raw->loop_->WatchFd(raw->fd_, kFdReadable,
+                        [raw](uint32_t) { raw->HandleReadable(); });
+  });
+  return listener;
+}
+
+StatusOr<std::unique_ptr<Listener>> Listener::ListenUds(
+    EventLoop* loop, const std::string& path, AcceptFn on_accept) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("net: bad unix socket path '" + path +
+                                   "' (empty or longer than sun_path)");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("net: socket(AF_UNIX): ") +
+                            std::strerror(errno));
+  }
+  // A previous instance that died without Close() leaves the socket file
+  // behind, and bind() would fail on it forever; unlink unconditionally
+  // (callers own the path namespace they pass in).
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(std::string("net: bind ") + path +
+                                           ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status status =
+        Status::Internal(std::string("net: listen: ") + std::strerror(errno));
+    ::close(fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  LDPHH_RETURN_IF_ERROR(SetNonBlocking(fd));
+
+  std::unique_ptr<Listener> listener(
+      new Listener(loop, fd, 0, path, std::move(on_accept)));
+  Listener* raw = listener.get();
+  loop->RunSync([raw] {
+    raw->loop_->WatchFd(raw->fd_, kFdReadable,
+                        [raw](uint32_t) { raw->HandleReadable(); });
+  });
+  return listener;
+}
+
+Listener::~Listener() { Close(); }
+
+void Listener::Close() {
+  loop_->RunSync([this] {
+    if (closed_) return;
+    closed_ = true;
+    loop_->UnwatchFd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty()) ::unlink(path_.c_str());
+  });
+}
+
+void Listener::HandleReadable() {
+  // Accept everything ready; the listening fd is non-blocking.
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or a transient accept error.
+    }
+    // Accepted sockets start in blocking mode regardless of the listening
+    // socket's flags; consumers that want non-blocking set it themselves.
+    on_accept_(fd);
+  }
+}
+
+}  // namespace net
+}  // namespace ldphh

@@ -1,0 +1,84 @@
+/// \file listener.h
+/// \brief Listening sockets (TCP and Unix-domain) on an EventLoop.
+///
+/// A Listener owns one non-blocking listening socket registered with an
+/// EventLoop; every accepted connection is handed to the accept callback
+/// on the loop thread as a plain (blocking) file descriptor whose
+/// ownership transfers to the callback. This is the only accept/bind/
+/// listen code in the tree — AdminServer and ReportServer both listen
+/// through it (tools/lint.sh keeps raw socket calls out of everything but
+/// `src/net/`).
+///
+/// TCP listeners support port 0 (ephemeral; the resolved port is read
+/// back before ListenTcp returns). Unix-domain listeners bind a
+/// filesystem path; a stale socket file from a dead process is unlinked
+/// before binding, and the path is unlinked again on Close().
+///
+/// Close() is safe from any thread (it synchronizes with the loop via
+/// RunSync) and idempotent; the destructor calls it. The accept callback
+/// will not be invoked after Close() returns.
+
+#ifndef LDPHH_NET_LISTENER_H_
+#define LDPHH_NET_LISTENER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/event_loop.h"
+
+namespace ldphh {
+namespace net {
+
+/// \brief One listening socket (see file comment).
+class Listener {
+ public:
+  /// Called on the loop thread with an accepted fd (blocking mode);
+  /// ownership of the fd transfers to the callback.
+  using AcceptFn = std::function<void(int fd)>;
+
+  /// Binds and listens on \p bind_address:\p port (port 0 = ephemeral) and
+  /// registers with \p loop. The loop must already be started.
+  static StatusOr<std::unique_ptr<Listener>> ListenTcp(
+      EventLoop* loop, const std::string& bind_address, uint16_t port,
+      AcceptFn on_accept);
+
+  /// Binds and listens on Unix-domain socket \p path (unlinking any stale
+  /// socket file first) and registers with \p loop.
+  static StatusOr<std::unique_ptr<Listener>> ListenUds(EventLoop* loop,
+                                                       const std::string& path,
+                                                       AcceptFn on_accept);
+
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The bound TCP port (resolved when 0 was requested); 0 for UDS.
+  uint16_t port() const { return port_; }
+  /// The bound UDS path; empty for TCP.
+  const std::string& path() const { return path_; }
+
+  /// Unregisters and closes the socket (unlinks the UDS path). Safe from
+  /// any thread; idempotent.
+  void Close();
+
+ private:
+  Listener(EventLoop* loop, int fd, uint16_t port, std::string path,
+           AcceptFn on_accept);
+
+  void HandleReadable();
+
+  EventLoop* const loop_;
+  int fd_;
+  const uint16_t port_;
+  const std::string path_;
+  const AcceptFn on_accept_;
+  bool closed_ = false;  ///< Guarded by the loop thread (all access via RunSync/loop).
+};
+
+}  // namespace net
+}  // namespace ldphh
+
+#endif  // LDPHH_NET_LISTENER_H_

@@ -1,0 +1,266 @@
+#include "src/net/report_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "src/net/frame.h"
+
+namespace ldphh {
+namespace net {
+
+namespace {
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+ReportClient::ReportClient(Endpoint endpoint, const Options& options)
+    : endpoint_(std::move(endpoint)), options_(options) {}
+
+ReportClient::~ReportClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<ReportClient>> ReportClient::ConnectTcp(
+    const std::string& host, uint16_t port, const Options& options) {
+  Endpoint endpoint;
+  endpoint.is_uds = false;
+  endpoint.host_or_path = host;
+  endpoint.port = port;
+  std::unique_ptr<ReportClient> client(
+      new ReportClient(std::move(endpoint), options));
+  LDPHH_RETURN_IF_ERROR(client->Connect());
+  return client;
+}
+
+StatusOr<std::unique_ptr<ReportClient>> ReportClient::ConnectUds(
+    const std::string& path, const Options& options) {
+  Endpoint endpoint;
+  endpoint.is_uds = true;
+  endpoint.host_or_path = path;
+  std::unique_ptr<ReportClient> client(
+      new ReportClient(std::move(endpoint), options));
+  LDPHH_RETURN_IF_ERROR(client->Connect());
+  return client;
+}
+
+Status ReportClient::Connect() {
+  int fd = -1;
+  if (endpoint_.is_uds) {
+    sockaddr_un addr{};
+    if (endpoint_.host_or_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("ReportClient: unix path too long");
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("ReportClient: socket: ") +
+                              std::strerror(errno));
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, endpoint_.host_or_path.c_str(),
+                endpoint_.host_or_path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Status status =
+          Status::Internal(std::string("ReportClient: connect ") +
+                           endpoint_.host_or_path + ": " +
+                           std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint_.port);
+    if (::inet_pton(AF_INET, endpoint_.host_or_path.c_str(), &addr.sin_addr) !=
+        1) {
+      return Status::InvalidArgument("ReportClient: bad host '" +
+                                     endpoint_.host_or_path +
+                                     "' (numeric IPv4 only)");
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("ReportClient: socket: ") +
+                              std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Status status = Status::Internal(
+          std::string("ReportClient: connect ") + endpoint_.host_or_path +
+          ":" + std::to_string(endpoint_.port) + ": " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  SetIoTimeout(fd, options_.io_timeout_ms);
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status ReportClient::Send(std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("ReportClient: not connected");
+  }
+  std::string owned(payload);
+  Status write_status = WriteFrame(owned);
+  if (!write_status.ok()) {
+    // The frame may be half-written; Reconnect resends all of pending_,
+    // so enqueue before reconnecting to avoid losing this payload.
+    pending_.push_back(std::move(owned));
+    return Reconnect();
+  }
+  pending_.push_back(std::move(owned));
+  while (pending_.size() >= options_.pipeline_window) {
+    LDPHH_RETURN_IF_ERROR(AwaitAck());
+  }
+  return Status::OK();
+}
+
+Status ReportClient::Flush() {
+  while (!pending_.empty()) {
+    LDPHH_RETURN_IF_ERROR(AwaitAck());
+  }
+  return Status::OK();
+}
+
+Status ReportClient::WriteFrame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(&frame, payload);
+  return WriteAll(frame.data(), frame.size());
+}
+
+Status ReportClient::AwaitAck() {
+  char header[kFrameHeaderSize];
+  Status io = ReadExact(header, sizeof(header));
+  if (!io.ok()) return Reconnect();
+  const uint32_t length =
+      static_cast<uint32_t>(static_cast<unsigned char>(header[0])) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(header[1])) << 8) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(header[2])) << 16) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(header[3])) << 24);
+  if (length == 0 || length > (1u << 16)) {
+    // Ack frames are a status byte plus a short message; anything else
+    // means the stream is out of sync — resync via reconnect.
+    return Reconnect();
+  }
+  std::string payload(length, '\0');
+  io = ReadExact(payload.data(), payload.size());
+  if (!io.ok()) return Reconnect();
+
+  const Status ack = DecodeStatusPayload(payload);
+  if (pending_.empty()) {
+    return Status::Internal("ReportClient: ack with no frame in flight");
+  }
+  if (ack.ok()) {
+    pending_.pop_front();
+    ++stats_.frames_acked;
+    busy_backoff_ms_ = 0;
+    return Status::OK();
+  }
+  if (ack.code() == StatusCode::kResourceExhausted) {
+    // Retryable: the server refused to enqueue, nothing was consumed.
+    // Resend the same payload after a (doubling) backoff.
+    std::string payload_again = std::move(pending_.front());
+    pending_.pop_front();
+    ++stats_.busy_retries;
+    busy_backoff_ms_ = busy_backoff_ms_ == 0
+                           ? options_.busy_backoff_ms
+                           : busy_backoff_ms_ * 2;
+    if (busy_backoff_ms_ > options_.busy_backoff_max_ms) {
+      busy_backoff_ms_ = options_.busy_backoff_max_ms;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(busy_backoff_ms_));
+    Status write_status = WriteFrame(payload_again);
+    pending_.push_back(std::move(payload_again));
+    if (!write_status.ok()) return Reconnect();
+    return Status::OK();
+  }
+  // Permanent rejection (malformed batch, unknown protocol, ...): the
+  // server consumed and answered the frame; drop it and surface the error.
+  pending_.pop_front();
+  ++stats_.frames_rejected;
+  return ack;
+}
+
+Status ReportClient::ReadExact(char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::recv(fd_, buf + off, n - off, 0);
+    if (got > 0) {
+      off += static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    if (got == 0) return Status::Internal("ReportClient: server closed");
+    return Status::Internal(std::string("ReportClient: recv: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ReportClient::WriteAll(const char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t put = ::send(fd_, buf + off, n - off, MSG_NOSIGNAL);
+    if (put > 0) {
+      off += static_cast<size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return Status::Internal(std::string("ReportClient: send: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ReportClient::Reconnect() {
+  for (int attempt = 0; attempt < options_.max_reconnect_attempts; ++attempt) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.reconnect_backoff_ms));
+    }
+    Status status = Connect();
+    if (!status.ok()) continue;
+    // Resend every unacked frame on the fresh connection (at-least-once).
+    bool resent_all = true;
+    for (const std::string& payload : pending_) {
+      status = WriteFrame(payload);
+      if (!status.ok()) {
+        resent_all = false;
+        break;
+      }
+    }
+    if (resent_all) {
+      ++stats_.reconnects;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("ReportClient: reconnect failed after " +
+                          std::to_string(options_.max_reconnect_attempts) +
+                          " attempts");
+}
+
+}  // namespace net
+}  // namespace ldphh

@@ -1,8 +1,5 @@
 #include "src/server/admin_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -72,7 +69,16 @@ AdminServer::AdminServer(Options options) : options_(std::move(options)) {}
 
 StatusOr<std::unique_ptr<AdminServer>> AdminServer::Start(Options options) {
   std::unique_ptr<AdminServer> server(new AdminServer(std::move(options)));
-  LDPHH_RETURN_IF_ERROR(server->Listen());
+  LDPHH_RETURN_IF_ERROR(server->loop_.Start());
+  auto listener_or = net::Listener::ListenTcp(
+      &server->loop_, server->options_.bind_address, server->options_.port,
+      [s = server.get()](int fd) { s->HandleAccept(fd); });
+  if (!listener_or.ok()) {
+    server->loop_.Stop();
+    return listener_or.status();
+  }
+  server->listener_ = std::move(listener_or).value();
+  server->port_ = server->listener_->port();
   if (server->options_.register_default_endpoints) {
     RegisterDefaultAdminEndpoints(*server);
   }
@@ -82,62 +88,12 @@ StatusOr<std::unique_ptr<AdminServer>> AdminServer::Start(Options options) {
   for (int i = 0; i < workers; ++i) {
     server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
   }
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   obs::TraceRing::Global().Record("admin", "start", "admin server listening",
                                   server->port_);
   return server;
 }
 
 AdminServer::~AdminServer() { Stop(); }
-
-Status AdminServer::Listen() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("admin: socket: ") +
-                            std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("admin: bad bind address '" +
-                                   options_.bind_address + "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const Status status = Status::Internal(
-        std::string("admin: bind ") + options_.bind_address + ":" +
-        std::to_string(options_.port) + ": " + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    const Status status =
-        Status::Internal(std::string("admin: listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    const Status status = Status::Internal(
-        std::string("admin: getsockname: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  port_ = ntohs(bound.sin_port);
-  return Status::OK();
-}
 
 void AdminServer::Handle(std::string path, Handler handler) {
   MutexLock lk(&handlers_mu_);
@@ -148,13 +104,15 @@ void AdminServer::Stop() {
   if (stopping_.exchange(true)) {
     return;
   }
+  // Stop accepting first (closes the listening socket), then stop the loop.
+  if (listener_) listener_->Close();
+  loop_.Stop();
   {
     // Take the lock so a worker between its predicate check and its Wait()
     // cannot miss the wakeup.
     MutexLock lk(&queue_mu_);
     queue_cv_.SignalAll();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -164,39 +122,28 @@ void AdminServer::Stop() {
     for (const int fd : pending_) ::close(fd);
     pending_.clear();
   }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
 }
 
-void AdminServer::AcceptLoop() {
-  pollfd pfd{};
-  pfd.fd = listen_fd_;
-  pfd.events = POLLIN;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // Timeout (stop-check) or EINTR.
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    bool enqueued = false;
-    {
-      MutexLock lk(&queue_mu_);
-      if (pending_.size() < options_.max_pending_connections) {
-        pending_.push_back(fd);
-        enqueued = true;
-        queue_cv_.Signal();
-      }
+void AdminServer::HandleAccept(int fd) {
+  bool enqueued = false;
+  {
+    MutexLock lk(&queue_mu_);
+    if (pending_.size() < options_.max_pending_connections) {
+      pending_.push_back(fd);
+      enqueued = true;
+      queue_cv_.Signal();
     }
-    if (!enqueued) {
-      // Shed load inline rather than letting the backlog grow unbounded.
-      Instruments().rejected->Increment();
-      AdminResponse overloaded;
-      overloaded.status = 503;
-      overloaded.body = "admin server overloaded\n";
-      WriteResponse(fd, "GET", overloaded);
-      ::close(fd);
-    }
+  }
+  if (!enqueued) {
+    // Shed load inline rather than letting the backlog grow unbounded. The
+    // 503 is a few hundred bytes into a fresh socket buffer — safe to write
+    // from the loop thread without blocking it.
+    Instruments().rejected->Increment();
+    AdminResponse overloaded;
+    overloaded.status = 503;
+    overloaded.body = "admin server overloaded\n";
+    WriteResponse(fd, "GET", overloaded);
+    ::close(fd);
   }
 }
 

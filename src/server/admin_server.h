@@ -15,8 +15,9 @@
 ///   GET /healthz       liveness — 200 "ok" or 503 listing failing checks
 ///   GET /readyz        readiness — same, but includes readiness-only checks
 ///
-/// Design: one accept thread (poll()-driven so Stop() is prompt) hands
-/// connections to a small fixed worker pool over a bounded queue; past the
+/// Design: accepting runs on a `src/net/` EventLoop (shared with the
+/// ingestion front-end — see src/net/event_loop.h); accepted connections
+/// are handed to a small fixed worker pool over a bounded queue; past the
 /// bound, connections get an inline 503 rather than piling up. Requests
 /// are GET/HEAD-only, size-capped, read with a socket timeout, answered
 /// with Connection: close. This is an operator port bound to localhost by
@@ -40,6 +41,8 @@
 
 #include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/net/event_loop.h"
+#include "src/net/listener.h"
 
 namespace ldphh {
 
@@ -104,8 +107,8 @@ class AdminServer {
  private:
   explicit AdminServer(Options options);
 
-  Status Listen();
-  void AcceptLoop();
+  /// Loop-thread accept callback: enqueue for a worker or shed with 503.
+  void HandleAccept(int fd);
   void WorkerLoop();
   void ServeConnection(int fd);
   AdminResponse Dispatch(const AdminRequest& request);
@@ -114,10 +117,11 @@ class AdminServer {
 
   const Options options_;
   uint16_t port_ = 0;
-  int listen_fd_ = -1;
+
+  net::EventLoop loop_;
+  std::unique_ptr<net::Listener> listener_;
 
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
   Mutex queue_mu_;

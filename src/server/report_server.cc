@@ -1,0 +1,434 @@
+#include "src/server/report_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "src/net/frame.h"
+
+namespace ldphh {
+
+ReportServer::ReportServer(const Options& options, Sink sink)
+    : options_(options), sink_(std::move(sink)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  connections_accepted_ =
+      reg.NewCounter("ldphh_net_connections_accepted_total",
+                     "Report-server connections accepted (TCP + UDS)");
+  connections_closed_ = reg.NewCounter(
+      "ldphh_net_connections_closed_total",
+      "Report-server connections closed (any reason)");
+  active_connections_ = reg.NewGauge("ldphh_net_active_connections",
+                                     "Report-server connections currently open",
+                                     "connections");
+  frames_total_ = reg.NewCounter("ldphh_net_frames_total",
+                                 "Well-formed frames parsed off the wire");
+  frames_acked_ = reg.NewCounter("ldphh_net_frames_acked_total",
+                                 "Frames acked OK (sink accepted the batch)");
+  frames_busy_ = reg.NewCounter(
+      "ldphh_net_frames_busy_total",
+      "Frames acked busy (retryable kResourceExhausted from the sink)");
+  frames_rejected_ = reg.NewCounter(
+      "ldphh_net_frames_rejected_total",
+      "Frames rejected permanently (oversized, malformed, sink error)");
+  rx_bytes_ = reg.NewCounter("ldphh_net_rx_bytes_total",
+                             "Frame bytes received (header + payload)",
+                             "bytes");
+  tx_bytes_ = reg.NewCounter("ldphh_net_tx_bytes_total",
+                             "Ack bytes sent (header + payload)", "bytes");
+  in_flight_gauge_ = reg.NewGauge(
+      "ldphh_net_in_flight_frames",
+      "Frames parsed but not yet acked (bounded by max_in_flight_frames)",
+      "frames");
+  throttled_gauge_ = reg.NewGauge(
+      "ldphh_net_read_throttled",
+      "1 while the in-flight budget is exhausted and all reads are paused");
+  throttle_events_ = reg.NewCounter(
+      "ldphh_net_read_throttle_events_total",
+      "Times the server paused all reads (in-flight budget exhausted)");
+  sink_ns_ = reg.NewHistogram("ldphh_net_frame_sink_duration_ns",
+                              "Sink latency per frame (decode + enqueue)",
+                              "ns");
+  frame_spans_ = obs::SpanSampler::Global().Family("net.frame");
+
+  health_ = obs::HealthRegistry::Global().Register(
+      "net.ingest",
+      [this]() -> Status {
+        if (!accepting_.load(std::memory_order_relaxed)) {
+          return Status::FailedPrecondition(
+              "report server not accepting (stopped or not started)");
+        }
+        return Status::OK();
+      },
+      /*readiness_only=*/true);
+
+  // Reads registry instruments only (atomics), so a scrape never touches
+  // loop-thread state.
+  statusz_ = obs::StatuszRegistry::Global().Register(
+      "net", [this](obs::JsonWriter& w) {
+        w.BeginObject();
+        w.Key("accepting").Bool(accepting_.load(std::memory_order_relaxed));
+        w.Key("tcp_port").Uint(port_);
+        w.Key("uds_path").String(options_.uds_path);
+        w.Key("active_connections")
+            .Uint(static_cast<uint64_t>(active_connections_->Value()));
+        w.Key("in_flight_frames")
+            .Uint(static_cast<uint64_t>(in_flight_gauge_->Value()));
+        w.Key("max_in_flight_frames")
+            .Uint(static_cast<uint64_t>(options_.max_in_flight_frames));
+        w.Key("read_throttled").Bool(throttled_gauge_->Value() != 0.0);
+        w.Key("frames").Uint(frames_total_->Value());
+        w.Key("acked").Uint(frames_acked_->Value());
+        w.Key("busy").Uint(frames_busy_->Value());
+        w.Key("rejected").Uint(frames_rejected_->Value());
+        w.Key("rx_bytes").Uint(rx_bytes_->Value());
+        w.Key("tx_bytes").Uint(tx_bytes_->Value());
+        w.EndObject();
+      });
+}
+
+StatusOr<std::unique_ptr<ReportServer>> ReportServer::Create(
+    const Options& options, Sink sink) {
+  if (!sink) {
+    return Status::InvalidArgument("ReportServer: null sink");
+  }
+  if (!options.enable_tcp && options.uds_path.empty()) {
+    return Status::InvalidArgument(
+        "ReportServer: no listener configured (TCP disabled, no UDS path)");
+  }
+  if (options.max_frame_bytes == 0) {
+    return Status::InvalidArgument("ReportServer: max_frame_bytes must be > 0");
+  }
+  if (options.sink_threads < 1) {
+    return Status::InvalidArgument("ReportServer: need >= 1 sink thread");
+  }
+  if (options.max_in_flight_frames < 1) {
+    return Status::InvalidArgument(
+        "ReportServer: max_in_flight_frames must be >= 1");
+  }
+  Options resolved = options;
+  // The inbound buffer must hold at least one maximal frame or that frame
+  // could never be parsed.
+  resolved.read_buffer_cap =
+      std::max(resolved.read_buffer_cap,
+               net::kFrameHeaderSize + resolved.max_frame_bytes);
+  return std::unique_ptr<ReportServer>(
+      new ReportServer(resolved, std::move(sink)));
+}
+
+ReportServer::~ReportServer() { Stop(); }
+
+Status ReportServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("ReportServer: already started");
+  }
+  started_ = true;
+  LDPHH_RETURN_IF_ERROR(loop_.Start());
+  for (int i = 0; i < options_.sink_threads; ++i) {
+    sink_workers_.emplace_back([this] { SinkWorker(); });
+  }
+
+  Status listen_status = Status::OK();
+  if (options_.enable_tcp) {
+    auto listener_or = net::Listener::ListenTcp(
+        &loop_, options_.bind_address, options_.port,
+        [this](int fd) { HandleAccept(fd, /*is_uds=*/false); });
+    if (listener_or.ok()) {
+      tcp_listener_ = std::move(listener_or).value();
+      port_ = tcp_listener_->port();
+    } else {
+      listen_status = listener_or.status();
+    }
+  }
+  if (listen_status.ok() && !options_.uds_path.empty()) {
+    auto listener_or = net::Listener::ListenUds(
+        &loop_, options_.uds_path,
+        [this](int fd) { HandleAccept(fd, /*is_uds=*/true); });
+    if (listener_or.ok()) {
+      uds_listener_ = std::move(listener_or).value();
+    } else {
+      listen_status = listener_or.status();
+    }
+  }
+  if (!listen_status.ok()) {
+    Stop();
+    return listen_status;
+  }
+  loop_.RunSync([this] { ScheduleIdleSweep(); });
+  accepting_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ReportServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  accepting_.store(false, std::memory_order_relaxed);
+
+  // 1. No new connections.
+  if (tcp_listener_) tcp_listener_->Close();
+  if (uds_listener_) uds_listener_->Close();
+
+  // 2. No new frames: pause every read. In-flight frames keep flowing to
+  //    the sink and their acks keep flushing.
+  loop_.RunSync([this] {
+    draining_ = true;
+    for (auto& [id, conn] : conns_) conn.connection->PauseRead();
+  });
+
+  // 3. Drain: wait (bounded) until every parsed frame is acked and every
+  //    ack byte has left the process.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+  for (;;) {
+    bool drained = false;
+    loop_.RunSync([this, &drained] {
+      drained = in_flight_ == 0;
+      for (const auto& [id, conn] : conns_) {
+        if (conn.connection->pending_write_bytes() > 0) drained = false;
+      }
+    });
+    if (drained || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // 4. Stop the sink pool (drain timed out => leftover jobs are dropped).
+  {
+    MutexLock lk(&sink_mu_);
+    sink_stop_ = true;
+    sink_cv_.SignalAll();
+  }
+  for (std::thread& worker : sink_workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  sink_workers_.clear();
+
+  // 5. Close the connections (silent teardown — no per-conn callbacks).
+  loop_.RunSync([this] {
+    conns_.clear();
+    active_connections_->Set(0);
+  });
+
+  // 6. Stop the loop.
+  loop_.Stop();
+}
+
+size_t ReportServer::InFlightForTesting() {
+  size_t v = 0;
+  loop_.RunSync([this, &v] { v = in_flight_; });
+  return v;
+}
+
+size_t ReportServer::ActiveConnectionsForTesting() {
+  size_t v = 0;
+  loop_.RunSync([this, &v] { v = conns_.size(); });
+  return v;
+}
+
+bool ReportServer::ReadThrottledForTesting() {
+  bool v = false;
+  loop_.RunSync([this, &v] { v = throttled_; });
+  return v;
+}
+
+void ReportServer::HandleAccept(int fd, bool is_uds) {
+  if (draining_) {
+    ::close(fd);
+    return;
+  }
+  if (!is_uds) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  const uint64_t id = next_conn_id_++;
+  net::Connection::Options conn_options;
+  conn_options.read_buffer_cap = options_.read_buffer_cap;
+  conn_options.write_buffer_cap = options_.write_buffer_cap;
+  Conn conn;
+  conn.connection = std::make_unique<net::Connection>(
+      &loop_, fd, conn_options,
+      [this, id](net::Connection* c) { HandleData(id, c); },
+      [this, id](net::Connection*, const Status& reason) {
+        HandleClosed(id, reason);
+      });
+  conn.last_activity = std::chrono::steady_clock::now();
+  if (throttled_) conn.connection->PauseRead();
+  conns_.emplace(id, std::move(conn));
+  connections_accepted_->Increment();
+  active_connections_->Set(static_cast<double>(conns_.size()));
+}
+
+void ReportServer::HandleData(uint64_t conn_id, net::Connection* connection) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  conn.last_activity = std::chrono::steady_clock::now();
+
+  while (!draining_) {
+    if (in_flight_ >= options_.max_in_flight_frames) {
+      // Budget exhausted: leave the rest in the (capped) buffer and stop
+      // reading everywhere. Parsing resumes when acks free budget.
+      ThrottleReads();
+      break;
+    }
+    std::string_view payload;
+    size_t consumed = 0;
+    Status frame_error = Status::OK();
+    const net::FrameParse parse = net::TryParseFrame(
+        connection->buffer(), options_.max_frame_bytes, &payload, &consumed,
+        &frame_error);
+    if (parse == net::FrameParse::kNeedMore) break;
+    if (parse == net::FrameParse::kBad) {
+      // Protocol violation: best-effort error ack, then drop the client
+      // (the stream cannot be resynchronized past a bad length prefix).
+      frames_rejected_->Increment();
+      std::string reply;
+      net::AppendStatusFrame(&reply, frame_error);
+      connection->Send(reply);
+      tx_bytes_->Increment(reply.size());
+      connection->Close(frame_error);
+      return;  // `conn` and `connection` are gone.
+    }
+    rx_bytes_->Increment(consumed);
+    frames_total_->Increment();
+    ++in_flight_;
+    in_flight_gauge_->Set(static_cast<double>(in_flight_));
+    conn.frames.emplace_back(payload);
+    connection->Consume(consumed);
+  }
+  ScheduleSink(conn_id);
+}
+
+void ReportServer::HandleClosed(uint64_t conn_id, const Status& reason) {
+  IgnoreStatus(reason, "close reason is for logging/metrics only");
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Frames parsed but never dispatched die with the connection; the one
+  // in the sink (if any) returns its budget via HandleSinkDone.
+  in_flight_ -= it->second.frames.size();
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  conns_.erase(it);  // Destroys the Connection (safe: liveness sentinel).
+  connections_closed_->Increment();
+  active_connections_->Set(static_cast<double>(conns_.size()));
+  MaybeUnthrottle();
+}
+
+void ReportServer::ScheduleSink(uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.in_sink || conn.frames.empty()) return;
+  conn.in_sink = true;
+  SinkJob job;
+  job.conn_id = conn_id;
+  job.payload = std::move(conn.frames.front());
+  conn.frames.pop_front();
+  {
+    MutexLock lk(&sink_mu_);
+    sink_queue_.push_back(std::move(job));
+  }
+  sink_cv_.Signal();
+}
+
+void ReportServer::HandleSinkDone(uint64_t conn_id, const Status& status) {
+  --in_flight_;
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  MaybeUnthrottle();
+
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // Client vanished mid-frame; ack moot.
+  Conn& conn = it->second;
+  conn.in_sink = false;
+  conn.last_activity = std::chrono::steady_clock::now();
+
+  if (status.ok()) {
+    frames_acked_->Increment();
+  } else if (status.code() == StatusCode::kResourceExhausted) {
+    frames_busy_->Increment();
+  } else {
+    frames_rejected_->Increment();
+  }
+  std::string reply;
+  net::AppendStatusFrame(&reply, status);
+  tx_bytes_->Increment(reply.size());
+  conn.connection->Send(reply);
+  // Send may have closed the connection (write cap / IO error) and erased
+  // it from conns_; re-resolve before dispatching the next frame.
+  ScheduleSink(conn_id);
+}
+
+void ReportServer::ThrottleReads() {
+  if (throttled_) return;
+  throttled_ = true;
+  throttled_gauge_->Set(1.0);
+  throttle_events_->Increment();
+  for (auto& [id, conn] : conns_) conn.connection->PauseRead();
+}
+
+void ReportServer::MaybeUnthrottle() {
+  if (!throttled_ || draining_) return;
+  if (in_flight_ >= options_.max_in_flight_frames) return;
+  throttled_ = false;
+  throttled_gauge_->Set(0.0);
+  // ResumeRead re-fires on_data for buffered-but-unparsed bytes, so frames
+  // that arrived before the pause are picked right back up.
+  for (auto& [id, conn] : conns_) conn.connection->ResumeRead();
+}
+
+void ReportServer::ScheduleIdleSweep() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const int64_t period = std::min<int64_t>(options_.idle_timeout_ms, 1000);
+  loop_.RunAfter(period, [this] { IdleSweep(); });
+}
+
+void ReportServer::IdleSweep() {
+  if (draining_) return;  // Stop() owns the connections now.
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<uint64_t> idle;
+  for (const auto& [id, conn] : conns_) {
+    // A throttled connection is quiet through no fault of its own, and one
+    // with frames queued or in the sink is mid-work — neither is idle.
+    if (throttled_ || conn.in_sink || !conn.frames.empty()) continue;
+    if (now - conn.last_activity > limit) idle.push_back(id);
+  }
+  for (const uint64_t id : idle) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    it->second.connection->Close(
+        Status::FailedPrecondition("net: idle timeout"));
+  }
+  ScheduleIdleSweep();
+}
+
+void ReportServer::SinkWorker() {
+  for (;;) {
+    SinkJob job;
+    {
+      MutexLock lk(&sink_mu_);
+      while (sink_queue_.empty() && !sink_stop_) sink_cv_.Wait();
+      if (sink_stop_) return;
+      job = std::move(sink_queue_.front());
+      sink_queue_.pop_front();
+    }
+    Status status;
+    {
+      obs::Span span(frame_spans_.get());
+      span.set_args(job.payload.size());
+      status = sink_(job.payload);
+      if (!status.ok()) span.set_detail(status.message());
+      sink_ns_->Observe(span.ElapsedNs());
+    }
+    const uint64_t conn_id = job.conn_id;
+    if (!loop_.Post([this, conn_id, status] {
+          HandleSinkDone(conn_id, status);
+        })) {
+      // Loop is stopping; bookkeeping no longer matters.
+      return;
+    }
+  }
+}
+
+}  // namespace ldphh

@@ -1,0 +1,197 @@
+/// \file report_server.h
+/// \brief Network ingestion front-end: framed report batches over TCP/UDS.
+///
+/// ReportServer is the wire between LDP clients and the aggregation
+/// pipeline. It listens on TCP and/or a Unix-domain socket via the
+/// `src/net/` event loop, speaks the length-prefixed framing of frame.h
+/// (payload = `report_codec` batch bytes), and feeds every frame to a
+/// pluggable `Sink` — in production `ShardedAggregator::TrySubmitWire` or
+/// `EpochManager::SubmitWire` — answering each frame, in order per
+/// connection, with an ack frame carrying the sink's `Status`.
+///
+/// **Backpressure is bounded memory, end to end.** Three mechanisms stack:
+///
+///   1. Per-connection buffer caps (`read_buffer_cap` / `write_buffer_cap`)
+///      bound what any one socket can pin.
+///   2. A global in-flight budget (`max_in_flight_frames`): frames that
+///      have been parsed but not yet acked. When the budget is exhausted
+///      the server *stops reading every socket* (Connection::PauseRead),
+///      pushing the overload into kernel buffers and the clients' TCP
+///      windows instead of this process's heap. Worst-case frame memory is
+///      `max_in_flight_frames × max_frame_bytes` plus the capped
+///      per-connection buffers — independent of client count and offered
+///      load.
+///   3. A non-blocking sink: when shard queues are full the sink returns
+///      kResourceExhausted *without enqueuing*, and the client sees a
+///      retryable busy ack (frame.h documents the retry contract). The
+///      event loop never blocks on a full queue.
+///
+/// Robustness: oversized frames are rejected from the length prefix alone
+/// (before buffering the body); malformed batches get a permanent error
+/// ack; idle connections are disconnected after `idle_timeout_ms`; a
+/// slow client that stops draining acks trips its write cap and is
+/// dropped. `Stop()` drains gracefully — listeners close, reads pause,
+/// in-flight frames finish and their acks flush (up to
+/// `drain_timeout_ms`), then connections close.
+///
+/// Frames are processed by a small sink-thread pool; per-connection
+/// ordering (one outstanding sink call per connection, acks in frame
+/// order) is preserved, and frames from different connections proceed in
+/// parallel.
+///
+/// Observability: every `ldphh_net_*` counter/gauge below, a "net.frame"
+/// span family around sink calls, a `/statusz` "net" section, and a
+/// readiness check ("net.ingest"). docs/observability.md lists them all.
+
+#ifndef LDPHH_SERVER_REPORT_SERVER_H_
+#define LDPHH_SERVER_REPORT_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/net/connection.h"
+#include "src/net/event_loop.h"
+#include "src/net/listener.h"
+#include "src/obs/health.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/statusz.h"
+
+namespace ldphh {
+
+/// \brief The framed-ingestion server (see file comment).
+class ReportServer {
+ public:
+  struct Options {
+    bool enable_tcp = true;            ///< Listen on TCP.
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;                 ///< 0 = ephemeral; see port().
+    std::string uds_path;              ///< Non-empty = also listen on UDS.
+    size_t max_frame_bytes = 1u << 20; ///< Payload cap; larger frames rejected.
+    size_t read_buffer_cap = 1u << 20; ///< Per-conn inbound cap (raised to fit
+                                       ///< one max frame if set lower).
+    size_t write_buffer_cap = 1u << 20;///< Per-conn outbound (ack) cap.
+    size_t max_in_flight_frames = 64;  ///< Global parsed-but-unacked budget.
+    int sink_threads = 2;              ///< Sink worker pool size (>= 1).
+    int64_t idle_timeout_ms = 60000;   ///< Disconnect idle conns; <= 0 = never.
+    int64_t drain_timeout_ms = 5000;   ///< Stop() grace period.
+  };
+
+  /// Handles one frame payload. Runs on a sink worker thread; must be
+  /// thread-safe up to `sink_threads` concurrent calls. kResourceExhausted
+  /// means "not consumed, client should retry"; any other error is a
+  /// permanent per-frame rejection. Either way the connection survives.
+  using Sink = std::function<Status(std::string_view payload)>;
+
+  static StatusOr<std::unique_ptr<ReportServer>> Create(const Options& options,
+                                                        Sink sink);
+
+  ~ReportServer();
+  ReportServer(const ReportServer&) = delete;
+  ReportServer& operator=(const ReportServer&) = delete;
+
+  /// Starts the loop, the sink pool, and the listeners. Call once.
+  Status Start();
+
+  /// Graceful drain + shutdown (see file comment). Idempotent.
+  void Stop();
+
+  /// The bound TCP port (resolved when Options::port was 0); 0 if TCP is
+  /// disabled. Valid after Start().
+  uint16_t port() const { return port_; }
+  const std::string& uds_path() const { return options_.uds_path; }
+
+  /// Loop-synchronized snapshots for tests.
+  size_t InFlightForTesting();
+  size_t ActiveConnectionsForTesting();
+  bool ReadThrottledForTesting();
+
+ private:
+  /// Per-connection state, owned by (and touched only on) the loop thread.
+  struct Conn {
+    std::unique_ptr<net::Connection> connection;
+    /// Parsed frames awaiting their turn at the sink (each counted in
+    /// in_flight_). Per-connection FIFO keeps acks in frame order.
+    std::deque<std::string> frames;
+    bool in_sink = false;  ///< One sink call outstanding for this conn.
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct SinkJob {
+    uint64_t conn_id = 0;
+    std::string payload;
+  };
+
+  explicit ReportServer(const Options& options, Sink sink);
+
+  // Loop-thread handlers.
+  void HandleAccept(int fd, bool is_uds);
+  void HandleData(uint64_t conn_id, net::Connection* connection);
+  void HandleClosed(uint64_t conn_id, const Status& reason);
+  void HandleSinkDone(uint64_t conn_id, const Status& status);
+  void ScheduleSink(uint64_t conn_id);
+  void ThrottleReads();
+  void MaybeUnthrottle();
+  void ScheduleIdleSweep();
+  void IdleSweep();
+
+  void SinkWorker();
+
+  const Options options_;
+  const Sink sink_;
+
+  net::EventLoop loop_;
+  std::unique_ptr<net::Listener> tcp_listener_;
+  std::unique_ptr<net::Listener> uds_listener_;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<bool> accepting_{false};  ///< Readiness (health check reads it).
+
+  // Loop-thread-only state (no locks by design; see event_loop.h).
+  std::map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 1;
+  size_t in_flight_ = 0;  ///< Frames parsed but not yet acked.
+  bool throttled_ = false;
+  bool draining_ = false;
+
+  Mutex sink_mu_;
+  CondVar sink_cv_{&sink_mu_};
+  std::deque<SinkJob> sink_queue_ GUARDED_BY(sink_mu_);
+  bool sink_stop_ GUARDED_BY(sink_mu_) = false;
+  std::vector<std::thread> sink_workers_;
+
+  // Instruments (docs/observability.md).
+  std::shared_ptr<obs::Counter> connections_accepted_;
+  std::shared_ptr<obs::Counter> connections_closed_;
+  std::shared_ptr<obs::Gauge> active_connections_;
+  std::shared_ptr<obs::Counter> frames_total_;
+  std::shared_ptr<obs::Counter> frames_acked_;
+  std::shared_ptr<obs::Counter> frames_busy_;
+  std::shared_ptr<obs::Counter> frames_rejected_;
+  std::shared_ptr<obs::Counter> rx_bytes_;
+  std::shared_ptr<obs::Counter> tx_bytes_;
+  std::shared_ptr<obs::Gauge> in_flight_gauge_;
+  std::shared_ptr<obs::Gauge> throttled_gauge_;
+  std::shared_ptr<obs::Counter> throttle_events_;
+  std::shared_ptr<obs::Histogram> sink_ns_;
+  std::shared_ptr<obs::SpanFamily> frame_spans_;
+  /// Declared last: unregister before members the callbacks read die.
+  obs::HealthRegistry::Registration health_;
+  obs::StatuszRegistry::Registration statusz_;
+};
+
+}  // namespace ldphh
+
+#endif  // LDPHH_SERVER_REPORT_SERVER_H_

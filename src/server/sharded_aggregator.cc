@@ -302,6 +302,80 @@ Status ShardedAggregator::SubmitWire(std::string_view batch) {
   return SubmitBatch(reports);
 }
 
+// Thread-safety analysis is off here because the function locks a *set* of
+// shard mutexes chosen at runtime — beyond what the annotations can
+// express. The locking is sound: mutexes are acquired in ascending shard
+// order (every other path locks at most one shard mutex at a time, so no
+// cycle is possible) and each is released exactly once on both the success
+// and the busy path, before any condition-variable signaling.
+Status ShardedAggregator::TrySubmitBatch(const std::vector<WireReport>& reports)
+    NO_THREAD_SAFETY_ANALYSIS {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: Submit outside Start()..Finish()");
+  }
+  if (reports.empty()) return Status::OK();
+  std::vector<std::vector<WireReport>> buckets(shards_.size());
+  for (const WireReport& r : reports) {
+    buckets[static_cast<size_t>(ShardOf(r.user_index))].push_back(r);
+  }
+  // All-or-nothing: take every target shard's lock (ascending order),
+  // check that every slice fits, and only then insert any of them.
+  std::vector<size_t> locked;
+  locked.reserve(shards_.size());
+  bool fits = true;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    shards_[s]->mu.Lock();
+    locked.push_back(s);
+    if (shards_[s]->queue.size() + buckets[s].size() >
+        options_.queue_capacity) {
+      fits = false;
+      break;
+    }
+  }
+  if (!fits) {
+    for (const size_t s : locked) shards_[s]->mu.Unlock();
+    return Status::ResourceExhausted(
+        "ShardedAggregator: shard queue full, retry later");
+  }
+  for (const size_t s : locked) {
+    Shard& shard = *shards_[s];
+    shard.queue.insert(shard.queue.end(), buckets[s].begin(),
+                       buckets[s].end());
+    shard.queue_depth->Set(static_cast<double>(shard.queue.size()));
+    shard.mu.Unlock();
+  }
+  for (const size_t s : locked) shards_[s]->not_empty.Signal();
+  submitted_->Increment(reports.size());
+  return Status::OK();
+}
+
+Status ShardedAggregator::TrySubmitWire(std::string_view batch) {
+  obs::Span span(submit_wire_spans_.get());
+  span.set_args(batch.size());
+  std::vector<WireReport> reports;
+  const Timer decode_timer;
+  Status decoded;
+  {
+    const obs::Span::ChildScope decode = span.Child("decode");
+    decoded = DecodeReportBatchFor(batch, wire_id_, config_.protocol(),
+                                   &reports);
+  }
+  wire_decode_ns_->Observe(static_cast<uint64_t>(decode_timer.Nanos()));
+  if (!decoded.ok()) {
+    wire_rejected_batches_->Increment();
+    span.set_detail(decoded.message());
+    return decoded;
+  }
+  const obs::Span::ChildScope enqueue = span.Child("enqueue");
+  Status submitted = TrySubmitBatch(reports);
+  // Counted only on success: a busy batch comes back through here on
+  // retry, and counting it every attempt would inflate the byte totals.
+  if (submitted.ok()) wire_bytes_->Increment(batch.size());
+  return submitted;
+}
+
 Status ShardedAggregator::Drain() {
   if (!started_) {
     return Status::FailedPrecondition("ShardedAggregator: Drain before Start");

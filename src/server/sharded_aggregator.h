@@ -94,6 +94,21 @@ class ShardedAggregator {
   /// stamped for a different protocol is rejected before decode.
   Status SubmitWire(std::string_view batch);
 
+  /// Non-blocking, all-or-nothing SubmitBatch: enqueues the whole batch iff
+  /// every target shard queue has room for its slice *right now*; otherwise
+  /// enqueues nothing and returns kResourceExhausted (retryable — nothing
+  /// was consumed). This is the ingestion path for network servers, which
+  /// must answer "busy" instead of parking an event-loop thread on a full
+  /// queue. A batch whose per-shard slice exceeds `queue_capacity` can
+  /// never fit and always gets kResourceExhausted; network callers bound
+  /// their batch sizes accordingly.
+  Status TrySubmitBatch(const std::vector<WireReport>& reports);
+
+  /// Decodes a wire-format batch and TrySubmitBatch-es it. Decode errors
+  /// are permanent (kDecodeFailure / kInvalidArgument); a full queue is
+  /// kResourceExhausted and the caller may retry the same bytes.
+  Status TrySubmitWire(std::string_view batch);
+
   /// Blocks until every queue is empty and every worker is idle.
   Status Drain();
 

@@ -103,6 +103,20 @@ for f in $src_files; do
   fi
 done
 
+# Rule 6: raw socket plumbing stays inside src/net/. The event loop,
+# Listener, and Connection own every socket/bind/listen/accept/poll call
+# so non-blocking discipline, fd ownership, and accept-time setup are
+# decided in exactly one place; servers consume the net layer. (recv/send/
+# setsockopt on an already-accepted fd are fine — workers own those.)
+for f in $src_files; do
+  case "$f" in src/net/*) continue ;; esac
+  hits=$(strip_comments "$f" | grep -nE \
+    '(^|[^_[:alnum:]])(::)?(socket|bind|listen|accept|accept4|poll|ppoll)[[:space:]]*\(')
+  if [ -n "$hits" ]; then
+    fail "$f: raw socket/poll call outside src/net/; build on net::EventLoop/Listener/Connection instead" "$hits"
+  fi
+done
+
 # clang-tidy over the exported compile commands (the .clang-tidy config at
 # the repo root curates the checks).
 if command -v clang-tidy >/dev/null 2>&1; then
